@@ -1,0 +1,71 @@
+//! Figure 8 / Equation 1: intra-query parallelism by static range
+//! partitioning.
+//!
+//! Measures the parallel scan-aggregate plan of the execution engine at
+//! 1, 2, 4 and 8 workers over the same table, under PBM. The partitioning is
+//! exactly Equation 1 of the paper; the printed summary shows that results
+//! are identical regardless of the worker count.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use scanshare_common::{PolicyKind, ScanShareConfig, TupleRange};
+use scanshare_core::metrics::BufferStats;
+use scanshare_storage::storage::Storage;
+use scanshare_workload::microbench;
+
+fn setup() -> (Arc<scanshare_exec::Engine>, scanshare_common::TableId) {
+    let storage = Storage::with_seed(128 * 1024, 50_000, 42);
+    let lineitem = microbench::setup_lineitem(&storage, 500_000).expect("table");
+    let config = ScanShareConfig {
+        page_size_bytes: 128 * 1024,
+        chunk_tuples: 50_000,
+        buffer_pool_bytes: 16 << 20,
+        policy: PolicyKind::Pbm,
+        ..Default::default()
+    };
+    (scanshare_exec::Engine::new(storage, config).expect("engine"), lineitem)
+}
+
+fn q6(engine: &Arc<scanshare_exec::Engine>, table: scanshare_common::TableId, threads: usize) -> i64 {
+    use scanshare_exec::ops::{Aggregate, AggrSpec, CompareOp, Predicate};
+    let result = scanshare_exec::parallel_scan_aggregate(
+        engine,
+        table,
+        &["l_quantity", "l_extendedprice", "l_discount", "l_shipdate"],
+        TupleRange::new(0, 500_000),
+        threads,
+        Some(Predicate::new(0, CompareOp::Le, 24)),
+        &AggrSpec::global(vec![Aggregate::Sum(1), Aggregate::Count]),
+    )
+    .expect("query");
+    result[&0].accumulators[0]
+}
+
+fn bench(c: &mut Criterion) {
+    let (engine, table) = setup();
+    // Correctness summary: every worker count returns the same answer.
+    let reference = q6(&engine, table, 1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(q6(&engine, table, threads), reference);
+    }
+    let stats: BufferStats = engine.buffer_stats();
+    println!(
+        "Figure 8 / Eq. 1: Q6-style aggregate = {reference}, identical for 1/2/4/8 workers \
+         (buffer: {} hits, {} misses)",
+        stats.hits, stats.misses
+    );
+
+    let mut group = c.benchmark_group("fig08_parallel_split");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| q6(&engine, table, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

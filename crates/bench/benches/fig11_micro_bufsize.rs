@@ -1,0 +1,30 @@
+//! Figure 11: microbenchmark results, varying the buffer pool size.
+//!
+//! Prints the full table (LRU / CScans / PBM / OPT × pool size as a fraction
+//! of the accessed data volume) and measures the PBM point at the default
+//! 40 % pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanshare_bench::{bench_scale, measured_scale};
+use scanshare_sim::experiment::fig11_micro_buffer_sweep;
+use scanshare_sim::report::format_rows;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig11_micro_buffer_sweep(&bench_scale()).expect("fig11 sweep");
+    println!(
+        "{}",
+        format_rows("Figure 11: microbenchmark, varying the buffer pool size", &rows)
+    );
+
+    let mut group = c.benchmark_group("fig11_micro_bufsize");
+    group.sample_size(10);
+    group.bench_function("sweep_all_policies", |b| {
+        let scale = measured_scale();
+        b.iter(|| fig11_micro_buffer_sweep(&scale).expect("fig11 sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 12: microbenchmark results, varying the I/O bandwidth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanshare_bench::{bench_scale, measured_scale};
+use scanshare_sim::experiment::fig12_micro_bandwidth_sweep;
+use scanshare_sim::report::format_rows;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig12_micro_bandwidth_sweep(&bench_scale()).expect("fig12 sweep");
+    println!(
+        "{}",
+        format_rows("Figure 12: microbenchmark, varying the I/O bandwidth", &rows)
+    );
+
+    let mut group = c.benchmark_group("fig12_micro_bandwidth");
+    group.sample_size(10);
+    group.bench_function("sweep_all_policies", |b| {
+        let scale = measured_scale();
+        b.iter(|| fig12_micro_bandwidth_sweep(&scale).expect("fig12 sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 13: microbenchmark results, varying the number of concurrent
+//! streams (all queries scan 50 % of the table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanshare_bench::{bench_scale, measured_scale};
+use scanshare_sim::experiment::fig13_micro_stream_sweep;
+use scanshare_sim::report::format_rows;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig13_micro_stream_sweep(&bench_scale()).expect("fig13 sweep");
+    println!(
+        "{}",
+        format_rows("Figure 13: microbenchmark, varying the number of streams", &rows)
+    );
+
+    let mut group = c.benchmark_group("fig13_micro_streams");
+    group.sample_size(10);
+    group.bench_function("sweep_all_policies", |b| {
+        let scale = measured_scale();
+        b.iter(|| fig13_micro_stream_sweep(&scale).expect("fig13 sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

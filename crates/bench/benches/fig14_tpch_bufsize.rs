@@ -1,0 +1,26 @@
+//! Figure 14: TPC-H throughput results, varying the buffer pool size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanshare_bench::{bench_scale, measured_scale};
+use scanshare_sim::experiment::fig14_tpch_buffer_sweep;
+use scanshare_sim::report::format_rows;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig14_tpch_buffer_sweep(&bench_scale()).expect("fig14 sweep");
+    println!(
+        "{}",
+        format_rows("Figure 14: TPC-H throughput, varying the buffer pool size", &rows)
+    );
+
+    let mut group = c.benchmark_group("fig14_tpch_bufsize");
+    group.sample_size(10);
+    group.bench_function("sweep_all_policies", |b| {
+        let scale = measured_scale();
+        b.iter(|| fig14_tpch_buffer_sweep(&scale).expect("fig14 sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

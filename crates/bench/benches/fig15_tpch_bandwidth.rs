@@ -1,0 +1,26 @@
+//! Figure 15: TPC-H throughput results, varying the I/O bandwidth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanshare_bench::{bench_scale, measured_scale};
+use scanshare_sim::experiment::fig15_tpch_bandwidth_sweep;
+use scanshare_sim::report::format_rows;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig15_tpch_bandwidth_sweep(&bench_scale()).expect("fig15 sweep");
+    println!(
+        "{}",
+        format_rows("Figure 15: TPC-H throughput, varying the I/O bandwidth", &rows)
+    );
+
+    let mut group = c.benchmark_group("fig15_tpch_bandwidth");
+    group.sample_size(10);
+    group.bench_function("sweep_all_policies", |b| {
+        let scale = measured_scale();
+        b.iter(|| fig15_tpch_bandwidth_sweep(&scale).expect("fig15 sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 16: TPC-H throughput results, varying the number of streams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanshare_bench::{bench_scale, measured_scale};
+use scanshare_sim::experiment::fig16_tpch_stream_sweep;
+use scanshare_sim::report::format_rows;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig16_tpch_stream_sweep(&bench_scale()).expect("fig16 sweep");
+    println!(
+        "{}",
+        format_rows("Figure 16: TPC-H throughput, varying the number of streams", &rows)
+    );
+
+    let mut group = c.benchmark_group("fig16_tpch_streams");
+    group.sample_size(10);
+    group.bench_function("sweep_all_policies", |b| {
+        let scale = measured_scale();
+        b.iter(|| fig16_tpch_stream_sweep(&scale).expect("fig16 sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 17: sharing potential in the microbenchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanshare_bench::{bench_scale, measured_scale};
+use scanshare_sim::experiment::fig17_sharing_micro;
+use scanshare_sim::report::format_sharing;
+
+fn bench(c: &mut Criterion) {
+    let profile = fig17_sharing_micro(&bench_scale()).expect("fig17 profile");
+    println!(
+        "{}",
+        format_sharing("Figure 17: sharing potential in the microbenchmark", &profile)
+    );
+
+    let mut group = c.benchmark_group("fig17_sharing_micro");
+    group.sample_size(10);
+    group.bench_function("profile", |b| {
+        let scale = measured_scale();
+        b.iter(|| fig17_sharing_micro(&scale).expect("fig17 profile"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 18: sharing potential in the TPC-H throughput run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanshare_bench::{bench_scale, measured_scale};
+use scanshare_sim::experiment::fig18_sharing_tpch;
+use scanshare_sim::report::format_sharing;
+
+fn bench(c: &mut Criterion) {
+    let profile = fig18_sharing_tpch(&bench_scale()).expect("fig18 profile");
+    println!(
+        "{}",
+        format_sharing("Figure 18: sharing potential in TPC-H throughput", &profile)
+    );
+
+    let mut group = c.benchmark_group("fig18_sharing_tpch");
+    group.sample_size(10);
+    group.bench_function("profile", |b| {
+        let scale = measured_scale();
+        b.iter(|| fig18_sharing_tpch(&scale).expect("fig18 profile"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

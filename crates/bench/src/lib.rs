@@ -1,0 +1,44 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Every `benches/figNN_*.rs` target regenerates one figure of the paper:
+//! it prints the figure's data table (policies × swept parameter, average
+//! stream time and total I/O volume) and then measures a representative
+//! simulation point with Criterion.
+//!
+//! The scale of the printed figures is controlled with the
+//! `SCANSHARE_BENCH_SCALE` environment variable: `test` (default, seconds),
+//! `quick` (tens of seconds) or `paper` (minutes, closest to the paper's
+//! setup).
+
+#![warn(missing_docs)]
+
+use scanshare_sim::ExperimentScale;
+
+/// The experiment scale selected via `SCANSHARE_BENCH_SCALE`.
+pub fn bench_scale() -> ExperimentScale {
+    match std::env::var("SCANSHARE_BENCH_SCALE").as_deref() {
+        Ok("paper") => ExperimentScale::paper(),
+        Ok("quick") => ExperimentScale::quick(),
+        _ => ExperimentScale::test(),
+    }
+}
+
+/// A smaller scale used for the point measured inside the Criterion loop
+/// (so `cargo bench` stays fast even when the printed figure is large).
+pub fn measured_scale() -> ExperimentScale {
+    ExperimentScale::test()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_the_test_scale() {
+        // The env var is not set in unit tests.
+        if std::env::var("SCANSHARE_BENCH_SCALE").is_err() {
+            assert_eq!(bench_scale(), ExperimentScale::test());
+        }
+        assert_eq!(measured_scale(), ExperimentScale::test());
+    }
+}

@@ -1,0 +1,235 @@
+//! Workspace-level configuration.
+//!
+//! [`ScanShareConfig`] captures the knobs that the paper's evaluation section
+//! sweeps: buffer pool size, I/O bandwidth, chunk granularity and the CPU
+//! processing rate that determines when a workload turns CPU-bound. Policy
+//! specific tuning (PBM bucket layout, ABM relevance weights) lives next to
+//! the policies in `scanshare-core`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::Bandwidth;
+use crate::error::{Error, Result};
+
+/// Which concurrent-scan buffer-management policy to run.
+///
+/// These are exactly the four lines in every figure of the paper's
+/// evaluation: traditional LRU buffering, Cooperative Scans, Predictive
+/// Buffer Management and the OPT oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Traditional buffer management: scans issue page requests in order and
+    /// the pool evicts the least-recently-used page.
+    Lru,
+    /// Cooperative Scans: an Active Buffer Manager takes over load/evict and
+    /// chunk-dispatch decisions; CScan operators accept data out of order.
+    CScan,
+    /// Predictive Buffer Management: scans report progress, the pool evicts
+    /// the page whose estimated next consumption is furthest in the future.
+    Pbm,
+    /// Belady's OPT replayed over a previously recorded page-reference trace;
+    /// the theoretical lower bound for order-preserving policies.
+    Opt,
+}
+
+impl PolicyKind {
+    /// All policies, in the order the paper's figures list them.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::Lru, PolicyKind::CScan, PolicyKind::Pbm, PolicyKind::Opt];
+
+    /// Short lowercase name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::CScan => "cscan",
+            PolicyKind::Pbm => "pbm",
+            PolicyKind::Opt => "opt",
+        }
+    }
+
+    /// Parses a policy name (case-insensitive).
+    pub fn parse(name: &str) -> Result<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "lru" => Ok(PolicyKind::Lru),
+            "cscan" | "cscans" | "abm" => Ok(PolicyKind::CScan),
+            "pbm" => Ok(PolicyKind::Pbm),
+            "opt" | "belady" | "min" => Ok(PolicyKind::Opt),
+            other => Err(Error::config(format!("unknown policy {other:?}"))),
+        }
+    }
+
+    /// Whether the policy preserves the order of page references issued by
+    /// scans (true for everything except Cooperative Scans).
+    pub fn is_order_preserving(self) -> bool {
+        !matches!(self, PolicyKind::CScan)
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        Self::parse(s)
+    }
+}
+
+/// Top-level configuration shared by the storage layer, the buffer manager,
+/// the execution engine and the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanShareConfig {
+    /// Size of a storage page in bytes. Vectorwise uses large pages; the
+    /// default here is 256 KiB.
+    pub page_size_bytes: u64,
+    /// Number of consecutive tuples (SIDs) forming one chunk, the scheduling
+    /// granularity of the Active Buffer Manager ("at least a few hundreds of
+    /// thousands of tuples").
+    pub chunk_tuples: u64,
+    /// Capacity of the buffer pool in bytes.
+    pub buffer_pool_bytes: u64,
+    /// Simulated sequential bandwidth of the I/O subsystem.
+    pub io_bandwidth: Bandwidth,
+    /// Fixed per-request latency of the I/O subsystem (seek/queueing cost).
+    pub io_latency_nanos: u64,
+    /// How many tuples one core processes per second of CPU work for a
+    /// typical scan-select-aggregate query. Determines when a configuration
+    /// becomes CPU-bound.
+    pub cpu_tuples_per_sec: u64,
+    /// Maximum number of threads used per query by the parallel plans
+    /// (the paper's experiments use 8).
+    pub threads_per_query: usize,
+    /// Which buffer-management policy to run.
+    pub policy: PolicyKind,
+}
+
+impl Default for ScanShareConfig {
+    fn default() -> Self {
+        Self {
+            page_size_bytes: 256 * 1024,
+            chunk_tuples: 262_144,
+            buffer_pool_bytes: 512 * 1024 * 1024,
+            io_bandwidth: Bandwidth::from_mb_per_sec(700.0),
+            io_latency_nanos: 100_000, // 0.1 ms per request
+            cpu_tuples_per_sec: 250_000_000,
+            threads_per_query: 8,
+            policy: PolicyKind::Pbm,
+        }
+    }
+}
+
+impl ScanShareConfig {
+    /// Validates the configuration, returning a descriptive error for any
+    /// nonsensical value.
+    pub fn validate(&self) -> Result<()> {
+        if self.page_size_bytes == 0 {
+            return Err(Error::config("page_size_bytes must be positive"));
+        }
+        if self.chunk_tuples == 0 {
+            return Err(Error::config("chunk_tuples must be positive"));
+        }
+        if self.buffer_pool_bytes < self.page_size_bytes {
+            return Err(Error::config(
+                "buffer_pool_bytes must hold at least one page",
+            ));
+        }
+        if self.cpu_tuples_per_sec == 0 {
+            return Err(Error::config("cpu_tuples_per_sec must be positive"));
+        }
+        if self.threads_per_query == 0 {
+            return Err(Error::config("threads_per_query must be at least 1"));
+        }
+        Ok(())
+    }
+
+    /// Buffer pool capacity expressed in whole pages.
+    pub fn buffer_pool_pages(&self) -> usize {
+        (self.buffer_pool_bytes / self.page_size_bytes) as usize
+    }
+
+    /// Returns a copy with a different buffer pool size.
+    pub fn with_buffer_pool_bytes(mut self, bytes: u64) -> Self {
+        self.buffer_pool_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with a different I/O bandwidth.
+    pub fn with_bandwidth(mut self, bw: Bandwidth) -> Self {
+        self.io_bandwidth = bw;
+        self
+    }
+
+    /// Returns a copy with a different policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ScanShareConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_zero_page_size() {
+        let cfg = ScanShareConfig { page_size_bytes: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_tiny_buffer_pool() {
+        let cfg = ScanShareConfig {
+            buffer_pool_bytes: 10,
+            page_size_bytes: 4096,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn buffer_pool_pages_is_floor_division() {
+        let cfg = ScanShareConfig {
+            page_size_bytes: 1000,
+            buffer_pool_bytes: 2500,
+            ..Default::default()
+        };
+        assert_eq!(cfg.buffer_pool_pages(), 2);
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(p.name()).unwrap(), p);
+        }
+        assert_eq!(PolicyKind::parse("CScans").unwrap(), PolicyKind::CScan);
+        assert_eq!(PolicyKind::parse("belady").unwrap(), PolicyKind::Opt);
+        assert!(PolicyKind::parse("mru").is_err());
+    }
+
+    #[test]
+    fn only_cscan_reorders_accesses() {
+        assert!(PolicyKind::Lru.is_order_preserving());
+        assert!(PolicyKind::Pbm.is_order_preserving());
+        assert!(PolicyKind::Opt.is_order_preserving());
+        assert!(!PolicyKind::CScan.is_order_preserving());
+    }
+
+    #[test]
+    fn builder_helpers_modify_fields() {
+        let cfg = ScanShareConfig::default()
+            .with_policy(PolicyKind::Lru)
+            .with_bandwidth(Bandwidth::from_mb_per_sec(200.0))
+            .with_buffer_pool_bytes(1 << 20);
+        assert_eq!(cfg.policy, PolicyKind::Lru);
+        assert_eq!(cfg.buffer_pool_bytes, 1 << 20);
+        assert_eq!(cfg.io_bandwidth.mb_per_sec(), 200.0);
+    }
+}

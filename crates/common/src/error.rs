@@ -1,0 +1,141 @@
+//! Workspace-wide error type.
+//!
+//! The error enum is deliberately small: the storage, buffer-management and
+//! execution crates all surface their failure modes through it so that the
+//! public API of the facade crate (`scanshare`) exposes a single `Result`.
+
+use std::fmt;
+
+use crate::ids::{ChunkId, PageId, ScanId, SnapshotId, TableId};
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced by the scanshare crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A table id was not found in the catalog.
+    UnknownTable(TableId),
+    /// A column name was not found in a table.
+    UnknownColumn {
+        /// Table that was searched.
+        table: TableId,
+        /// The missing column name.
+        column: String,
+    },
+    /// A page id was not present in stable storage.
+    UnknownPage(PageId),
+    /// A chunk id was not registered with the Active Buffer Manager.
+    UnknownChunk(ChunkId),
+    /// A scan id was not registered with the buffer manager.
+    UnknownScan(ScanId),
+    /// A snapshot id was not known to the storage layer.
+    UnknownSnapshot(SnapshotId),
+    /// The buffer pool cannot fit even the working set of a single operation.
+    BufferPoolTooSmall {
+        /// Configured capacity in pages.
+        capacity_pages: usize,
+        /// Pages that were required simultaneously.
+        required_pages: usize,
+    },
+    /// A transaction conflict was detected (concurrent appends to the same
+    /// table, only one of which may commit).
+    TransactionConflict(String),
+    /// A transaction was already committed or aborted.
+    TransactionClosed,
+    /// An update position was out of bounds for the visible table image.
+    PositionOutOfBounds {
+        /// The offending position (RID space).
+        position: u64,
+        /// Number of visible tuples.
+        visible: u64,
+    },
+    /// A query plan was malformed (wrong arity, unknown columns, ...).
+    InvalidPlan(String),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// An operation is not supported in the current mode (e.g. out-of-order
+    /// delivery requested from an in-order CScan).
+    Unsupported(String),
+    /// Internal invariant violation; indicates a bug in this library.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(t) => write!(f, "unknown table {t}"),
+            Error::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column:?} in table {table}")
+            }
+            Error::UnknownPage(p) => write!(f, "unknown page {p}"),
+            Error::UnknownChunk(c) => write!(f, "unknown chunk {c}"),
+            Error::UnknownScan(s) => write!(f, "unknown scan {s}"),
+            Error::UnknownSnapshot(v) => write!(f, "unknown snapshot {v}"),
+            Error::BufferPoolTooSmall { capacity_pages, required_pages } => write!(
+                f,
+                "buffer pool of {capacity_pages} pages cannot hold the {required_pages} pages \
+                 required by a single operation"
+            ),
+            Error::TransactionConflict(msg) => write!(f, "transaction conflict: {msg}"),
+            Error::TransactionClosed => write!(f, "transaction is already committed or aborted"),
+            Error::PositionOutOfBounds { position, visible } => write!(
+                f,
+                "position {position} is out of bounds for a table with {visible} visible tuples"
+            ),
+            Error::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Helper constructing an [`Error::Internal`] from anything printable.
+    pub fn internal(msg: impl fmt::Display) -> Self {
+        Error::Internal(msg.to_string())
+    }
+
+    /// Helper constructing an [`Error::InvalidConfig`].
+    pub fn config(msg: impl fmt::Display) -> Self {
+        Error::InvalidConfig(msg.to_string())
+    }
+
+    /// Helper constructing an [`Error::InvalidPlan`].
+    pub fn plan(msg: impl fmt::Display) -> Self {
+        Error::InvalidPlan(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = Error::UnknownColumn { table: TableId::new(1), column: "l_extendedprice".into() };
+        assert!(e.to_string().contains("l_extendedprice"));
+        assert!(e.to_string().contains("T1"));
+
+        let e = Error::BufferPoolTooSmall { capacity_pages: 4, required_pages: 9 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert!(matches!(Error::internal("x"), Error::Internal(_)));
+        assert!(matches!(Error::config("x"), Error::InvalidConfig(_)));
+        assert!(matches!(Error::plan("x"), Error::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::TransactionClosed);
+    }
+}

@@ -1,0 +1,355 @@
+//! The page-level buffer pool.
+//!
+//! [`BufferPool`] tracks which pages are resident, delegates every
+//! replacement decision to a pluggable [`ReplacementPolicy`] (LRU or PBM),
+//! maintains the statistics reported in the paper's figures, and can record
+//! a page-reference trace for the OPT simulation.
+//!
+//! The pool is deliberately free of timing concerns: callers (the execution
+//! engine and the discrete-event simulator) decide *when* a miss completes
+//! using the simulated I/O device; the pool only answers *whether* a request
+//! hits and *which* pages get evicted.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use scanshare_common::{Error, PageId, Result, ScanId, VirtualInstant};
+use scanshare_iosim::ReferenceTrace;
+use scanshare_storage::layout::ScanPagePlan;
+
+use crate::metrics::BufferStats;
+use crate::policy::{ReplacementPolicy, ScanInfo};
+
+/// Result of a page request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The page was already resident.
+    Hit,
+    /// The page had to be loaded; the listed pages were evicted to make room.
+    Miss {
+        /// Pages evicted to make room for the new page.
+        evicted: Vec<PageId>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access was a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// A fixed-capacity page buffer driven by a replacement policy.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity_pages: usize,
+    page_size_bytes: u64,
+    policy: Box<dyn ReplacementPolicy>,
+    resident: HashSet<PageId>,
+    pinned: HashMap<PageId, u32>,
+    stats: BufferStats,
+    trace: Option<Arc<ReferenceTrace>>,
+    evict_batch: usize,
+    next_scan: u64,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity_pages` pages of `page_size_bytes` each.
+    pub fn new(
+        capacity_pages: usize,
+        page_size_bytes: u64,
+        policy: Box<dyn ReplacementPolicy>,
+    ) -> Self {
+        assert!(capacity_pages > 0, "buffer pool must hold at least one page");
+        Self {
+            capacity_pages,
+            page_size_bytes,
+            policy,
+            resident: HashSet::new(),
+            pinned: HashMap::new(),
+            stats: BufferStats::default(),
+            trace: None,
+            evict_batch: 1,
+            next_scan: 0,
+        }
+    }
+
+    /// Attaches a reference-trace recorder (used to later replay the same
+    /// page-reference sequence under OPT, exactly like the paper does with
+    /// the trace of a PBM run).
+    pub fn with_trace(mut self, trace: Arc<ReferenceTrace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Sets the eviction batch size (PBM amortizes evictions in groups of 16
+    /// or more; the default here is 1 so that the pool always runs at full
+    /// capacity).
+    pub fn with_evict_batch(mut self, batch: usize) -> Self {
+        self.evict_batch = batch.max(1);
+        self
+    }
+
+    /// The policy's short name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Page size in bytes.
+    pub fn page_size_bytes(&self) -> u64 {
+        self.page_size_bytes
+    }
+
+    /// Number of resident pages.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.resident.contains(&page)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Registers a scan and announces its page plan to the policy
+    /// (`RegisterScan`). Returns the scan id to use in subsequent calls.
+    pub fn register_scan(&mut self, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId {
+        let id = ScanId::new(self.next_scan);
+        self.next_scan += 1;
+        let info = ScanInfo {
+            id,
+            total_tuples: plan.total_tuples,
+            distinct_pages: plan.distinct_pages(),
+        };
+        self.policy.register_scan(&info, plan, now);
+        id
+    }
+
+    /// Reports scan progress (`ReportScanPosition`).
+    pub fn report_scan_position(&mut self, scan: ScanId, tuples_consumed: u64, now: VirtualInstant) {
+        self.policy.report_scan_position(scan, tuples_consumed, now);
+    }
+
+    /// Unregisters a finished scan (`UnregisterScan`).
+    pub fn unregister_scan(&mut self, scan: ScanId, now: VirtualInstant) {
+        self.policy.unregister_scan(scan, now);
+    }
+
+    /// Pins a page, preventing its eviction until unpinned.
+    pub fn pin(&mut self, page: PageId) {
+        *self.pinned.entry(page).or_insert(0) += 1;
+    }
+
+    /// Unpins a page previously pinned.
+    pub fn unpin(&mut self, page: PageId) {
+        if let Some(count) = self.pinned.get_mut(&page) {
+            *count -= 1;
+            if *count == 0 {
+                self.pinned.remove(&page);
+            }
+        }
+    }
+
+    /// Requests a page on behalf of `scan`. On a miss the page is admitted
+    /// immediately (the caller accounts for the load time) after evicting
+    /// enough unpinned pages to stay within capacity.
+    pub fn request_page(
+        &mut self,
+        page: PageId,
+        scan: Option<ScanId>,
+        now: VirtualInstant,
+    ) -> Result<AccessOutcome> {
+        if let Some(trace) = &self.trace {
+            trace.record(page, scan);
+        }
+        if self.resident.contains(&page) {
+            self.stats.hits += 1;
+            self.policy.on_access(page, scan, now);
+            return Ok(AccessOutcome::Hit);
+        }
+
+        // Make room.
+        let mut evicted = Vec::new();
+        if self.resident.len() >= self.capacity_pages {
+            let need = self.resident.len() + 1 - self.capacity_pages;
+            let want = need.max(self.evict_batch).min(self.resident.len());
+            let mut exclude: HashSet<PageId> = self.pinned.keys().copied().collect();
+            exclude.insert(page);
+            let victims = self.policy.choose_victims(want, &exclude, now);
+            for victim in victims {
+                if self.resident.remove(&victim) {
+                    self.policy.on_evict(victim);
+                    self.stats.evictions += 1;
+                    evicted.push(victim);
+                }
+            }
+            if self.resident.len() >= self.capacity_pages {
+                return Err(Error::BufferPoolTooSmall {
+                    capacity_pages: self.capacity_pages,
+                    required_pages: self.pinned.len() + 1,
+                });
+            }
+        }
+
+        self.resident.insert(page);
+        self.policy.on_admit(page, now);
+        self.policy.on_access(page, scan, now);
+        self.stats.misses += 1;
+        self.stats.pages_loaded += 1;
+        self.stats.io_bytes += self.page_size_bytes;
+        Ok(AccessOutcome::Miss { evicted })
+    }
+
+    /// Drops every resident page and resets the statistics (the policy keeps
+    /// its scan registrations). Mostly useful between experiment repetitions.
+    pub fn clear(&mut self) {
+        for page in self.resident.drain() {
+            self.policy.on_evict(page);
+        }
+        self.pinned.clear();
+        self.stats = BufferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruPolicy;
+
+    fn pool(capacity: usize) -> BufferPool {
+        BufferPool::new(capacity, 1024, Box::new(LruPolicy::new()))
+    }
+
+    fn p(i: u64) -> PageId {
+        PageId::new(i)
+    }
+
+    fn now() -> VirtualInstant {
+        VirtualInstant::EPOCH
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut pool = pool(2);
+        assert!(!pool.request_page(p(1), None, now()).unwrap().is_hit());
+        assert!(pool.request_page(p(1), None, now()).unwrap().is_hit());
+        assert!(!pool.request_page(p(2), None, now()).unwrap().is_hit());
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.io_bytes, 2048);
+        assert_eq!(pool.resident_count(), 2);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut pool = pool(3);
+        for i in 0..10 {
+            pool.request_page(p(i), None, now()).unwrap();
+            assert!(pool.resident_count() <= 3);
+        }
+        assert_eq!(pool.stats().evictions, 7);
+    }
+
+    #[test]
+    fn lru_pool_evicts_oldest_page() {
+        let mut pool = pool(2);
+        pool.request_page(p(1), None, now()).unwrap();
+        pool.request_page(p(2), None, now()).unwrap();
+        pool.request_page(p(1), None, now()).unwrap(); // 1 most recent
+        let outcome = pool.request_page(p(3), None, now()).unwrap();
+        assert_eq!(outcome, AccessOutcome::Miss { evicted: vec![p(2)] });
+        assert!(pool.contains(p(1)));
+        assert!(!pool.contains(p(2)));
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let mut pool = pool(2);
+        pool.request_page(p(1), None, now()).unwrap();
+        pool.pin(p(1));
+        pool.request_page(p(2), None, now()).unwrap();
+        pool.request_page(p(3), None, now()).unwrap();
+        assert!(pool.contains(p(1)), "pinned page survived eviction");
+        pool.unpin(p(1));
+        pool.request_page(p(4), None, now()).unwrap();
+        // Now page 1 is evictable again (and is the LRU page).
+        assert!(!pool.contains(p(1)));
+    }
+
+    #[test]
+    fn fully_pinned_pool_reports_an_error() {
+        let mut pool = pool(2);
+        pool.request_page(p(1), None, now()).unwrap();
+        pool.request_page(p(2), None, now()).unwrap();
+        pool.pin(p(1));
+        pool.pin(p(2));
+        let err = pool.request_page(p(3), None, now()).unwrap_err();
+        assert!(matches!(err, Error::BufferPoolTooSmall { .. }));
+    }
+
+    #[test]
+    fn trace_records_every_request_in_order() {
+        let trace = Arc::new(ReferenceTrace::new());
+        let mut pool =
+            BufferPool::new(2, 1024, Box::new(LruPolicy::new())).with_trace(Arc::clone(&trace));
+        pool.request_page(p(5), Some(ScanId::new(9)), now()).unwrap();
+        pool.request_page(p(6), None, now()).unwrap();
+        pool.request_page(p(5), None, now()).unwrap();
+        assert_eq!(trace.pages(), vec![p(5), p(6), p(5)]);
+        assert_eq!(trace.snapshot()[0].scan, Some(ScanId::new(9)));
+    }
+
+    #[test]
+    fn evict_batch_frees_multiple_pages_at_once() {
+        let mut pool = BufferPool::new(4, 1024, Box::new(LruPolicy::new())).with_evict_batch(2);
+        for i in 0..4 {
+            pool.request_page(p(i), None, now()).unwrap();
+        }
+        pool.request_page(p(10), None, now()).unwrap();
+        // Two pages were evicted even though only one slot was needed.
+        assert_eq!(pool.resident_count(), 3);
+        assert_eq!(pool.stats().evictions, 2);
+    }
+
+    #[test]
+    fn clear_resets_contents_and_stats() {
+        let mut pool = pool(2);
+        pool.request_page(p(1), None, now()).unwrap();
+        pool.clear();
+        assert_eq!(pool.resident_count(), 0);
+        assert_eq!(pool.stats(), BufferStats::default());
+        assert!(!pool.request_page(p(1), None, now()).unwrap().is_hit());
+    }
+
+    #[test]
+    fn scan_registration_assigns_increasing_ids() {
+        let mut pool = pool(2);
+        let plan = ScanPagePlan {
+            table: scanshare_common::TableId::new(0),
+            total_tuples: 0,
+            pages: vec![],
+        };
+        let a = pool.register_scan(&plan, now());
+        let b = pool.register_scan(&plan, now());
+        assert!(b > a);
+        pool.report_scan_position(a, 10, now());
+        pool.unregister_scan(a, now());
+        pool.unregister_scan(b, now());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_is_rejected() {
+        let _ = pool(0);
+    }
+}

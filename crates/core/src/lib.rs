@@ -1,0 +1,46 @@
+//! Scan-aware buffer management — the primary contribution of the paper.
+//!
+//! This crate implements the four concurrent-scan buffer-management
+//! approaches the paper evaluates:
+//!
+//! * [`lru`] — traditional buffer management: scans request pages in order
+//!   and the pool evicts the least-recently-used page;
+//! * [`pbm`] — **Predictive Buffer Management**: scans register their future
+//!   page accesses and report their progress; the pool estimates for every
+//!   page the time of its next consumption and evicts the page needed
+//!   furthest in the future, using the O(1) bucket timeline of Figure 9/10;
+//! * [`cscan`] — **Cooperative Scans**: an Active Buffer Manager (ABM) takes
+//!   over load / evict / dispatch decisions at chunk granularity, using the
+//!   QueryRelevance / LoadRelevance / UseRelevance / KeepRelevance functions,
+//!   and delivers chunks to CScan operators out of order;
+//! * [`opt`] — Belady's OPT replayed over a recorded page-reference trace,
+//!   the theoretical optimum for order-preserving policies.
+//!
+//! [`bufferpool::BufferPool`] is the shared page-level pool driven by a
+//! pluggable [`policy::ReplacementPolicy`] (LRU or PBM); the ABM replaces the
+//! pool wholesale for Cooperative Scans, as it does in the paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bufferpool;
+pub mod cscan;
+pub mod lru;
+pub mod metrics;
+pub mod opportunistic;
+pub mod opt;
+pub mod pbm;
+pub mod pbm_lru;
+pub mod policy;
+pub mod throttle;
+
+pub use bufferpool::{AccessOutcome, BufferPool};
+pub use cscan::{Abm, AbmAction, AbmConfig, CScanHandle};
+pub use lru::LruPolicy;
+pub use metrics::BufferStats;
+pub use opportunistic::OpportunisticPlanner;
+pub use opt::{simulate_opt, OptResult};
+pub use pbm::{PbmConfig, PbmPolicy};
+pub use pbm_lru::{PbmLruConfig, PbmLruPolicy};
+pub use policy::{ReplacementPolicy, ScanInfo};
+pub use throttle::{ScanProgress, ThrottleConfig, ThrottlePlanner};

@@ -1,0 +1,73 @@
+//! Buffer-manager statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by the buffer pool (and by the ABM for Cooperative
+/// Scans). `io_bytes` is the "total volume of performed I/O" reported in all
+/// of the paper's figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Page requests satisfied from the pool.
+    pub hits: u64,
+    /// Page requests that required a load.
+    pub misses: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+    /// Pages loaded from the I/O subsystem.
+    pub pages_loaded: u64,
+    /// Bytes loaded from the I/O subsystem.
+    pub io_bytes: u64,
+}
+
+impl BufferStats {
+    /// Hit ratio in `[0, 1]`; zero when nothing was requested.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// I/O volume in (decimal) megabytes.
+    pub fn io_megabytes(&self) -> f64 {
+        self.io_bytes as f64 / 1_000_000.0
+    }
+
+    /// Merges another stats snapshot into this one.
+    pub fn merge(&mut self, other: &BufferStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.pages_loaded += other.pages_loaded;
+        self.io_bytes += other.io_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_empty_and_counts() {
+        let mut s = BufferStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let a = BufferStats { hits: 1, misses: 2, evictions: 3, pages_loaded: 4, io_bytes: 5 };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.hits, 2);
+        assert_eq!(b.misses, 4);
+        assert_eq!(b.evictions, 6);
+        assert_eq!(b.pages_loaded, 8);
+        assert_eq!(b.io_bytes, 10);
+        assert!((a.io_megabytes() - 5e-6).abs() < 1e-15);
+    }
+}

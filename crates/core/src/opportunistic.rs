@@ -1,0 +1,185 @@
+//! Opportunistic CScans (Section 5, "Opportunistic CScans").
+//!
+//! The paper sketches a decentralized alternative to the Active Buffer
+//! Manager: instead of a global scheduler, every Scan monitors which parts of
+//! its remaining range are already cached and dynamically jumps to the region
+//! with the most cached pages, so concurrent scans "attach" to each other
+//! without central planning.
+//!
+//! [`OpportunisticPlanner`] implements that decision: given the scan's
+//! remaining SID ranges and a predicate telling which pages are resident, it
+//! scores every chunk-sized region by its cached fraction and returns the
+//! best region to process next.
+
+use scanshare_common::{PageId, RangeList, TupleRange};
+use scanshare_storage::layout::TableLayout;
+use scanshare_storage::snapshot::Snapshot;
+
+/// A candidate region of a table, scored by how much of it is cached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionScore {
+    /// The region's SID range (clamped to the scan's remaining ranges).
+    pub range: TupleRange,
+    /// Pages of the region (for the scanned columns).
+    pub total_pages: usize,
+    /// Pages of the region currently resident in the buffer pool.
+    pub cached_pages: usize,
+}
+
+impl RegionScore {
+    /// Fraction of the region's pages that are cached.
+    pub fn cached_fraction(&self) -> f64 {
+        if self.total_pages == 0 {
+            0.0
+        } else {
+            self.cached_pages as f64 / self.total_pages as f64
+        }
+    }
+}
+
+/// Chooses the next region an opportunistic scan should process.
+#[derive(Debug)]
+pub struct OpportunisticPlanner<'a> {
+    layout: &'a TableLayout,
+    snapshot: &'a Snapshot,
+    columns: Vec<usize>,
+    region_tuples: u64,
+}
+
+impl<'a> OpportunisticPlanner<'a> {
+    /// Creates a planner for a scan of `columns` under `snapshot`.
+    /// `region_tuples` is the granularity at which the scan is willing to
+    /// jump around (the paper suggests chunk-sized regions).
+    pub fn new(
+        layout: &'a TableLayout,
+        snapshot: &'a Snapshot,
+        columns: Vec<usize>,
+        region_tuples: u64,
+    ) -> Self {
+        assert!(region_tuples > 0);
+        Self { layout, snapshot, columns, region_tuples }
+    }
+
+    /// Scores every region of the remaining ranges.
+    pub fn score_regions(
+        &self,
+        remaining: &RangeList,
+        is_cached: &dyn Fn(PageId) -> bool,
+    ) -> Vec<RegionScore> {
+        let mut scores = Vec::new();
+        for range in remaining.ranges() {
+            let mut start = range.start;
+            while start < range.end {
+                let end = (start + self.region_tuples).min(range.end);
+                let region = TupleRange::new(start, end);
+                let mut total = 0usize;
+                let mut cached = 0usize;
+                for &col in &self.columns {
+                    if let Some((first, last)) = self.layout.page_index_range(col, &region) {
+                        for idx in first..=last {
+                            if let Some(page) = self.snapshot.page(col, idx) {
+                                total += 1;
+                                if is_cached(page) {
+                                    cached += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                scores.push(RegionScore { range: region, total_pages: total, cached_pages: cached });
+                start = end;
+            }
+        }
+        scores
+    }
+
+    /// Picks the region with the highest cached fraction (ties broken towards
+    /// the lowest start position, which degrades gracefully to a plain
+    /// in-order scan when nothing is cached).
+    pub fn next_region(
+        &self,
+        remaining: &RangeList,
+        is_cached: &dyn Fn(PageId) -> bool,
+    ) -> Option<TupleRange> {
+        self.score_regions(remaining, is_cached)
+            .into_iter()
+            .max_by(|a, b| {
+                a.cached_fraction()
+                    .partial_cmp(&b.cached_fraction())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.range.start.cmp(&a.range.start))
+            })
+            .map(|score| score.range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_common::{ColumnId, SnapshotId, TableId};
+    use scanshare_storage::column::{ColumnSpec, ColumnType};
+    use scanshare_storage::snapshot::SnapshotStore;
+    use scanshare_storage::table::TableSpec;
+    use std::collections::HashSet;
+
+    fn setup() -> (TableLayout, Snapshot) {
+        let spec = TableSpec::new(
+            "t",
+            vec![ColumnSpec::with_width("a", ColumnType::Int64, 8.0)],
+            10_000,
+        );
+        let layout = TableLayout::new(TableId::new(0), spec, vec![ColumnId::new(0)], 1024, 1000);
+        let mut store = SnapshotStore::new();
+        let snapshot = store.create_base_snapshot(&layout, SnapshotId::new(0));
+        (layout, snapshot)
+    }
+
+    #[test]
+    fn with_a_cold_buffer_the_scan_stays_in_order() {
+        let (layout, snapshot) = setup();
+        let planner = OpportunisticPlanner::new(&layout, &snapshot, vec![0], 1000);
+        let remaining = RangeList::single(0, 10_000);
+        let next = planner.next_region(&remaining, &|_| false).unwrap();
+        assert_eq!(next, TupleRange::new(0, 1000));
+    }
+
+    #[test]
+    fn the_scan_jumps_to_the_most_cached_region() {
+        let (layout, snapshot) = setup();
+        let planner = OpportunisticPlanner::new(&layout, &snapshot, vec![0], 1000);
+        let remaining = RangeList::single(0, 10_000);
+        // Cache the pages of SIDs [5000, 6000): page indices 39..=46 (128 t/p).
+        let cached: HashSet<PageId> = (39..=46).filter_map(|i| snapshot.page(0, i)).collect();
+        let next = planner.next_region(&remaining, &|p| cached.contains(&p)).unwrap();
+        assert_eq!(next, TupleRange::new(5000, 6000));
+
+        let scores = planner.score_regions(&remaining, &|p| cached.contains(&p));
+        assert_eq!(scores.len(), 10);
+        let best = scores.iter().find(|s| s.range.start == 5000).unwrap();
+        assert!(best.cached_fraction() > 0.8);
+        let cold = scores.iter().find(|s| s.range.start == 0).unwrap();
+        assert_eq!(cold.cached_pages, 0);
+    }
+
+    #[test]
+    fn regions_respect_the_remaining_ranges() {
+        let (layout, snapshot) = setup();
+        let planner = OpportunisticPlanner::new(&layout, &snapshot, vec![0], 1000);
+        let remaining = RangeList::from_ranges([TupleRange::new(200, 700), TupleRange::new(9_500, 10_000)]);
+        let scores = planner.score_regions(&remaining, &|_| false);
+        assert_eq!(scores.len(), 2);
+        assert_eq!(scores[0].range, TupleRange::new(200, 700));
+        assert_eq!(scores[1].range, TupleRange::new(9_500, 10_000));
+        // Empty remaining ranges produce no region.
+        assert!(planner.next_region(&RangeList::new(), &|_| true).is_none());
+    }
+
+    #[test]
+    fn fully_cached_ties_resolve_to_the_earliest_region() {
+        let (layout, snapshot) = setup();
+        let planner = OpportunisticPlanner::new(&layout, &snapshot, vec![0], 1000);
+        let remaining = RangeList::single(0, 3000);
+        let next = planner.next_region(&remaining, &|_| true).unwrap();
+        assert_eq!(next.start, 0);
+    }
+}

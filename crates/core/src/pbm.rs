@@ -1,0 +1,746 @@
+//! Predictive Buffer Management (PBM).
+//!
+//! PBM is the paper's main contribution: a buffer-replacement policy that
+//! approximates the OPT oracle by *predicting* when each page will next be
+//! consumed. Scans register the pages they are going to read together with
+//! the number of tuples they must process before reaching each page
+//! (`RegisterScan`, Figure 9), periodically report their position and speed
+//! (`ReportScanPosition`), and unregister when done. The estimated time of
+//! next consumption of a page is
+//!
+//! ```text
+//! next_consumption(page) = min over scans s that still need the page of
+//!     (tuples_behind(s, page) - tuples_consumed(s)) / speed(s)
+//! ```
+//!
+//! Pages are kept in a **timeline of buckets** (Figure 10): `n` groups of `m`
+//! buckets, where the time range covered by a bucket doubles with every
+//! group, so a bounded number of buckets covers an exponentially long
+//! horizon with O(1) insertion and O(1) (amortized) aging. Pages not needed
+//! by any registered scan live in a separate *not requested* bucket kept in
+//! LRU order. Eviction takes pages from the not-requested bucket first, then
+//! from the requested buckets furthest in the future.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use scanshare_common::{PageId, ScanId, VirtualDuration, VirtualInstant};
+use scanshare_storage::layout::ScanPagePlan;
+
+use crate::policy::{ReplacementPolicy, ScanInfo};
+
+/// Tuning knobs of the Predictive Buffer Manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PbmConfig {
+    /// Length of the finest bucket (the paper's `time_slice`, 100 ms in its
+    /// example).
+    pub time_slice: VirtualDuration,
+    /// Number of bucket groups (`n`). The time range length doubles with
+    /// every successive group.
+    pub bucket_groups: usize,
+    /// Buckets per group (`m`).
+    pub buckets_per_group: usize,
+    /// Speed (tuples per second) assumed for a scan before its first
+    /// progress report.
+    pub default_scan_speed: f64,
+}
+
+impl Default for PbmConfig {
+    fn default() -> Self {
+        Self {
+            time_slice: VirtualDuration::from_millis(100),
+            bucket_groups: 10,
+            buckets_per_group: 10,
+            default_scan_speed: 100_000_000.0,
+        }
+    }
+}
+
+impl PbmConfig {
+    /// Total number of requested-page buckets.
+    pub fn total_buckets(&self) -> usize {
+        self.bucket_groups * self.buckets_per_group
+    }
+
+    /// The largest future horizon (in slices) the bucket timeline can
+    /// distinguish; anything further lands in the last bucket.
+    pub fn horizon_slices(&self) -> u64 {
+        let m = self.buckets_per_group as u64;
+        (0..self.bucket_groups as u64).map(|g| m * (1u64 << g)).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    /// Not in the buffer pool; only interest metadata is kept.
+    NotResident,
+    /// Resident and wanted by at least one scan; the payload is the bucket
+    /// index on the timeline.
+    Requested(usize),
+    /// Resident but not wanted by any registered scan (kept in LRU order).
+    NotRequested,
+}
+
+#[derive(Debug, Default)]
+struct PageMeta {
+    /// Scans that will consume this page, with the number of tuples each
+    /// must process before reaching it (`page.consuming_scans` in Figure 9).
+    consuming: HashMap<ScanId, u64>,
+    state: Option<PageState>,
+    lru_stamp: u64,
+}
+
+impl PageMeta {
+    fn state(&self) -> PageState {
+        self.state.unwrap_or(PageState::NotResident)
+    }
+    fn is_resident(&self) -> bool {
+        !matches!(self.state(), PageState::NotResident)
+    }
+}
+
+#[derive(Debug)]
+struct ScanState {
+    tuples_consumed: u64,
+    total_tuples: u64,
+    speed_tps: f64,
+    registered_at: VirtualInstant,
+    pages: Vec<PageId>,
+}
+
+/// The Predictive Buffer Management replacement policy.
+#[derive(Debug)]
+pub struct PbmPolicy {
+    config: PbmConfig,
+    scans: HashMap<ScanId, ScanState>,
+    pages: HashMap<PageId, PageMeta>,
+    /// Requested buckets; index 0 is the nearest future.
+    buckets: Vec<HashSet<PageId>>,
+    /// LRU queue (with lazy deletion) for the "not requested" bucket.
+    not_requested: VecDeque<(PageId, u64)>,
+    next_stamp: u64,
+    /// Number of whole time slices already applied by `refresh`.
+    refreshed_slices: u64,
+}
+
+impl Default for PbmPolicy {
+    fn default() -> Self {
+        Self::new(PbmConfig::default())
+    }
+}
+
+impl PbmPolicy {
+    /// Creates a PBM policy with the given configuration.
+    pub fn new(config: PbmConfig) -> Self {
+        assert!(config.bucket_groups > 0 && config.buckets_per_group > 0);
+        assert!(config.time_slice > VirtualDuration::ZERO);
+        assert!(config.default_scan_speed > 0.0);
+        let total = config.total_buckets();
+        Self {
+            config,
+            scans: HashMap::new(),
+            pages: HashMap::new(),
+            buckets: (0..total).map(|_| HashSet::new()).collect(),
+            not_requested: VecDeque::new(),
+            next_stamp: 0,
+            refreshed_slices: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PbmConfig {
+        &self.config
+    }
+
+    /// Number of registered scans.
+    pub fn registered_scans(&self) -> usize {
+        self.scans.len()
+    }
+
+    /// Number of resident pages currently in requested buckets.
+    pub fn requested_pages(&self) -> usize {
+        self.buckets.iter().map(HashSet::len).sum()
+    }
+
+    /// Number of resident pages currently in the not-requested bucket.
+    pub fn not_requested_pages(&self) -> usize {
+        self.pages.values().filter(|m| m.state() == PageState::NotRequested).count()
+    }
+
+    /// The bucket index a page with `next_consumption` `d` in the future is
+    /// assigned to (`TimeToBucketNumber`).
+    pub fn bucket_index(&self, d: VirtualDuration) -> usize {
+        let ts = self.config.time_slice.as_nanos().max(1);
+        let slices = d.as_nanos() / ts;
+        let m = self.config.buckets_per_group as u64;
+        let mut idx = 0u64;
+        let mut remaining = slices;
+        for g in 0..self.config.bucket_groups as u64 {
+            let len = 1u64 << g;
+            let span = m * len;
+            if remaining < span {
+                return (idx + remaining / len) as usize;
+            }
+            remaining -= span;
+            idx += m;
+        }
+        self.config.total_buckets() - 1
+    }
+
+    /// Estimated time until the next consumption of `page`
+    /// (`PageNextConsumption`): the minimum over all scans that registered
+    /// the page. Returns `None` when no registered scan needs the page.
+    pub fn next_consumption(&self, page: PageId) -> Option<VirtualDuration> {
+        let meta = self.pages.get(&page)?;
+        let mut nearest: Option<f64> = None;
+        for (scan_id, &tuples_behind) in &meta.consuming {
+            let Some(scan) = self.scans.get(scan_id) else { continue };
+            let remaining = tuples_behind.saturating_sub(scan.tuples_consumed) as f64;
+            let secs = remaining / scan.speed_tps.max(1.0);
+            nearest = Some(match nearest {
+                Some(cur) => cur.min(secs),
+                None => secs,
+            });
+        }
+        nearest.map(VirtualDuration::from_secs_f64)
+    }
+
+    fn remove_from_current_bucket(&mut self, page: PageId) {
+        if let Some(meta) = self.pages.get(&page) {
+            if let PageState::Requested(idx) = meta.state() {
+                self.buckets[idx].remove(&page);
+            }
+        }
+    }
+
+    /// Re-computes the priority of a resident page and places it in the
+    /// appropriate bucket (`PagePush`).
+    fn page_push(&mut self, page: PageId, _now: VirtualInstant) {
+        self.remove_from_current_bucket(page);
+        let next = self.next_consumption(page);
+        self.pages.entry(page).or_default();
+        match next {
+            None => {
+                let stamp = self.next_stamp;
+                self.next_stamp += 1;
+                let meta = self.pages.get_mut(&page).expect("meta exists");
+                meta.state = Some(PageState::NotRequested);
+                meta.lru_stamp = stamp;
+                self.not_requested.push_back((page, stamp));
+            }
+            Some(d) => {
+                let idx = self.bucket_index(d);
+                let meta = self.pages.get_mut(&page).expect("meta exists");
+                meta.state = Some(PageState::Requested(idx));
+                self.buckets[idx].insert(page);
+            }
+        }
+    }
+
+    /// Ages the bucket timeline (`RefreshRequestedBuckets`): every
+    /// `time_slice` the nearest buckets shift one position towards "now";
+    /// a bucket in group `g` shifts every `2^g` slices. Pages that fall off
+    /// the front get their priority recalculated.
+    fn refresh(&mut self, now: VirtualInstant) {
+        let ts = self.config.time_slice.as_nanos().max(1);
+        let target_slices = now.as_nanos() / ts;
+        if target_slices <= self.refreshed_slices {
+            return;
+        }
+        let m = self.config.buckets_per_group;
+        let n = self.config.bucket_groups;
+        for slice in self.refreshed_slices + 1..=target_slices {
+            // How many whole groups shift at this tick (always a prefix).
+            let mut shifted_groups = 0usize;
+            for g in 0..n {
+                if slice % (1u64 << g) == 0 {
+                    shifted_groups = g + 1;
+                } else {
+                    break;
+                }
+            }
+            let k = shifted_groups * m;
+            if k == 0 {
+                continue;
+            }
+            // Bucket 0 falls off the timeline; its pages are re-pushed below.
+            let overflow: Vec<PageId> = self.buckets[0].drain().collect();
+            for i in 1..k {
+                let set = std::mem::take(&mut self.buckets[i]);
+                for &page in &set {
+                    if let Some(meta) = self.pages.get_mut(&page) {
+                        meta.state = Some(PageState::Requested(i - 1));
+                    }
+                }
+                self.buckets[i - 1] = set;
+            }
+            self.buckets[k - 1] = HashSet::new();
+            self.refreshed_slices = slice;
+            for page in overflow {
+                self.page_push(page, now);
+            }
+        }
+        self.refreshed_slices = target_slices;
+    }
+
+    fn pop_not_requested(&mut self, exclude: &HashSet<PageId>) -> Option<PageId> {
+        let mut skipped = Vec::new();
+        let mut found = None;
+        while let Some((page, stamp)) = self.not_requested.pop_front() {
+            let valid = self
+                .pages
+                .get(&page)
+                .map(|m| m.state() == PageState::NotRequested && m.lru_stamp == stamp)
+                .unwrap_or(false);
+            if !valid {
+                continue;
+            }
+            if exclude.contains(&page) {
+                skipped.push((page, stamp));
+                continue;
+            }
+            found = Some(page);
+            break;
+        }
+        for entry in skipped.into_iter().rev() {
+            self.not_requested.push_front(entry);
+        }
+        found
+    }
+}
+
+impl ReplacementPolicy for PbmPolicy {
+    fn name(&self) -> &'static str {
+        "pbm"
+    }
+
+    fn register_scan(&mut self, info: &ScanInfo, plan: &ScanPagePlan, now: VirtualInstant) {
+        let mut page_list = Vec::with_capacity(plan.pages.len());
+        for desc in &plan.pages {
+            let meta = self.pages.entry(desc.page).or_default();
+            // A page may be registered once per column; the scan needs it as
+            // soon as it reaches the *earliest* of those positions.
+            let entry = meta.consuming.entry(info.id).or_insert(desc.tuples_behind);
+            *entry = (*entry).min(desc.tuples_behind);
+            page_list.push(desc.page);
+        }
+        page_list.sort_unstable();
+        page_list.dedup();
+        self.scans.insert(
+            info.id,
+            ScanState {
+                tuples_consumed: 0,
+                total_tuples: info.total_tuples,
+                speed_tps: self.config.default_scan_speed,
+                registered_at: now,
+                pages: page_list.clone(),
+            },
+        );
+        // Re-prioritize the pages of this scan that are already resident.
+        for page in page_list {
+            if self.pages.get(&page).map(|m| m.is_resident()).unwrap_or(false) {
+                self.page_push(page, now);
+            }
+        }
+    }
+
+    fn report_scan_position(&mut self, scan: ScanId, tuples_consumed: u64, now: VirtualInstant) {
+        self.refresh(now);
+        if let Some(state) = self.scans.get_mut(&scan) {
+            state.tuples_consumed = tuples_consumed.min(state.total_tuples);
+            let elapsed = now.since(state.registered_at).as_secs_f64();
+            if elapsed > 0.0 && tuples_consumed > 0 {
+                state.speed_tps = tuples_consumed as f64 / elapsed;
+            }
+        }
+    }
+
+    fn unregister_scan(&mut self, scan: ScanId, now: VirtualInstant) {
+        let Some(state) = self.scans.remove(&scan) else { return };
+        for page in state.pages {
+            let mut resident = false;
+            let mut remove_meta = false;
+            if let Some(meta) = self.pages.get_mut(&page) {
+                meta.consuming.remove(&scan);
+                resident = meta.is_resident();
+                remove_meta = meta.consuming.is_empty() && !resident;
+            }
+            if resident {
+                self.page_push(page, now);
+            } else if remove_meta {
+                self.pages.remove(&page);
+            }
+        }
+    }
+
+    fn on_access(&mut self, page: PageId, scan: Option<ScanId>, now: VirtualInstant) {
+        // A consumption by the registered scan removes that scan's interest
+        // in the page (it will not read it again) and re-prioritizes it.
+        let mut changed = false;
+        if let Some(scan) = scan {
+            if let Some(meta) = self.pages.get_mut(&page) {
+                changed = meta.consuming.remove(&scan).is_some();
+            }
+        }
+        let resident = self.pages.get(&page).map(|m| m.is_resident()).unwrap_or(false);
+        if resident && (changed || scan.is_none()) {
+            self.page_push(page, now);
+        }
+    }
+
+    fn on_admit(&mut self, page: PageId, now: VirtualInstant) {
+        self.refresh(now);
+        self.pages.entry(page).or_default();
+        self.page_push(page, now);
+    }
+
+    fn on_evict(&mut self, page: PageId) {
+        self.remove_from_current_bucket(page);
+        let remove = if let Some(meta) = self.pages.get_mut(&page) {
+            meta.state = Some(PageState::NotResident);
+            meta.consuming.is_empty()
+        } else {
+            false
+        };
+        if remove {
+            self.pages.remove(&page);
+        }
+    }
+
+    fn choose_victims(
+        &mut self,
+        count: usize,
+        exclude: &HashSet<PageId>,
+        now: VirtualInstant,
+    ) -> Vec<PageId> {
+        self.refresh(now);
+        let mut victims = Vec::with_capacity(count);
+        // 1. Pages not requested by any scan, in LRU order.
+        while victims.len() < count {
+            match self.pop_not_requested(exclude) {
+                Some(page) => victims.push(page),
+                None => break,
+            }
+        }
+        // 2. Requested pages with the furthest estimated consumption time.
+        //    Candidates within a bucket are taken in page-id order so that
+        //    victim selection (and therefore every experiment) is
+        //    deterministic.
+        if victims.len() < count {
+            for idx in (0..self.buckets.len()).rev() {
+                if victims.len() >= count {
+                    break;
+                }
+                if self.buckets[idx].is_empty() {
+                    continue;
+                }
+                let mut candidates: Vec<PageId> = self.buckets[idx]
+                    .iter()
+                    .copied()
+                    .filter(|p| !exclude.contains(p))
+                    .collect();
+                candidates.sort_unstable();
+                for page in candidates {
+                    if victims.len() >= count {
+                        break;
+                    }
+                    victims.push(page);
+                }
+            }
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_common::{ColumnId, TableId, TupleRange};
+    use scanshare_storage::layout::PageDescriptor;
+
+    fn now_ms(ms: u64) -> VirtualInstant {
+        VirtualInstant::from_nanos(ms * 1_000_000)
+    }
+
+    fn p(i: u64) -> PageId {
+        PageId::new(i)
+    }
+
+    /// Builds a single-column scan plan over `pages` of `tuples_per_page`
+    /// tuples each.
+    fn plan(pages: &[u64], tuples_per_page: u64) -> ScanPagePlan {
+        let descs = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &page)| PageDescriptor {
+                page: p(page),
+                column: ColumnId::new(0),
+                column_index: 0,
+                sid_range: TupleRange::new(
+                    i as u64 * tuples_per_page,
+                    (i as u64 + 1) * tuples_per_page,
+                ),
+                tuples_behind: i as u64 * tuples_per_page,
+                tuple_count: tuples_per_page,
+            })
+            .collect();
+        ScanPagePlan {
+            table: TableId::new(0),
+            total_tuples: pages.len() as u64 * tuples_per_page,
+            pages: descs,
+        }
+    }
+
+    fn pbm_with_speed(speed: f64) -> PbmPolicy {
+        PbmPolicy::new(PbmConfig { default_scan_speed: speed, ..Default::default() })
+    }
+
+    fn register(pbm: &mut PbmPolicy, id: u64, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId {
+        let sid = ScanId::new(id);
+        let info =
+            ScanInfo { id: sid, total_tuples: plan.total_tuples, distinct_pages: plan.distinct_pages() };
+        pbm.register_scan(&info, plan, now);
+        sid
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_respects_group_lengths() {
+        let pbm = PbmPolicy::new(PbmConfig {
+            time_slice: VirtualDuration::from_millis(100),
+            bucket_groups: 3,
+            buckets_per_group: 2,
+            ..Default::default()
+        });
+        // Group 0: buckets 0,1 of 100ms each; group 1: buckets 2,3 of 200ms;
+        // group 2: buckets 4,5 of 400ms.
+        assert_eq!(pbm.bucket_index(VirtualDuration::from_millis(0)), 0);
+        assert_eq!(pbm.bucket_index(VirtualDuration::from_millis(99)), 0);
+        assert_eq!(pbm.bucket_index(VirtualDuration::from_millis(100)), 1);
+        assert_eq!(pbm.bucket_index(VirtualDuration::from_millis(200)), 2);
+        assert_eq!(pbm.bucket_index(VirtualDuration::from_millis(399)), 2);
+        assert_eq!(pbm.bucket_index(VirtualDuration::from_millis(400)), 3);
+        assert_eq!(pbm.bucket_index(VirtualDuration::from_millis(600)), 4);
+        assert_eq!(pbm.bucket_index(VirtualDuration::from_millis(999)), 4);
+        assert_eq!(pbm.bucket_index(VirtualDuration::from_millis(1000)), 5);
+        // Far beyond the horizon still lands in the last bucket.
+        assert_eq!(pbm.bucket_index(VirtualDuration::from_secs(3600)), 5);
+        // Monotonicity.
+        let mut last = 0;
+        for ms in (0..2000).step_by(10) {
+            let idx = pbm.bucket_index(VirtualDuration::from_millis(ms));
+            assert!(idx >= last);
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn next_consumption_uses_nearest_interested_scan() {
+        // Speed: 1000 tuples/sec so 100 tuples = 100ms.
+        let mut pbm = pbm_with_speed(1000.0);
+        let pl = plan(&[1, 2, 3], 100);
+        let s1 = register(&mut pbm, 1, &pl, now_ms(0));
+        // A second scan that is further behind page 3 does not matter; the
+        // nearest consumer defines the estimate.
+        let pl2 = plan(&[3], 100);
+        let _s2 = register(&mut pbm, 2, &pl2, now_ms(0));
+
+        // Within scan 1: page 1 is needed before page 2.
+        let d1 = pbm.next_consumption(p(1)).unwrap();
+        let d2 = pbm.next_consumption(p(2)).unwrap();
+        assert!(d1 < d2);
+        // Page 3: scan 1 needs it after 200 tuples (200ms), scan 2 needs it
+        // immediately — the *nearest* consumer defines the estimate.
+        let d3 = pbm.next_consumption(p(3)).unwrap();
+        assert_eq!(pbm.bucket_index(d3), 0);
+        assert!(d3 < VirtualDuration::from_millis(200));
+
+        // After scan 1 consumed 150 tuples, page 2 is only 50 tuples away.
+        pbm.report_scan_position(s1, 150, now_ms(150));
+        let d2 = pbm.next_consumption(p(2)).unwrap();
+        assert!(d2 <= VirtualDuration::from_millis(60));
+        assert_eq!(pbm.next_consumption(p(99)), None);
+    }
+
+    #[test]
+    fn eviction_prefers_not_requested_then_furthest_requested() {
+        let mut pbm = pbm_with_speed(1000.0);
+        let pl = plan(&[1, 2, 3], 1000); // 1 second of work per page
+        register(&mut pbm, 1, &pl, now_ms(0));
+        // Admit pages 1..3 (requested) and 10 (not requested by any scan).
+        for page in [1, 2, 3, 10] {
+            pbm.on_admit(p(page), now_ms(0));
+        }
+        assert_eq!(pbm.not_requested_pages(), 1);
+        assert_eq!(pbm.requested_pages(), 3);
+
+        let victims = pbm.choose_victims(2, &HashSet::new(), now_ms(0));
+        // First the unrequested page, then the requested page needed last.
+        assert_eq!(victims[0], p(10));
+        assert_eq!(victims[1], p(3));
+    }
+
+    #[test]
+    fn consumed_pages_lose_the_consuming_scans_interest() {
+        let mut pbm = pbm_with_speed(1000.0);
+        let pl = plan(&[1, 2], 100);
+        let s = register(&mut pbm, 1, &pl, now_ms(0));
+        pbm.on_admit(p(1), now_ms(0));
+        pbm.on_admit(p(2), now_ms(0));
+        assert_eq!(pbm.not_requested_pages(), 0);
+        // Scan consumes page 1: it becomes "not requested".
+        pbm.on_access(p(1), Some(s), now_ms(10));
+        assert_eq!(pbm.not_requested_pages(), 1);
+        let victims = pbm.choose_victims(1, &HashSet::new(), now_ms(10));
+        assert_eq!(victims, vec![p(1)]);
+    }
+
+    #[test]
+    fn unregister_scan_demotes_its_pages_to_lru() {
+        let mut pbm = pbm_with_speed(1000.0);
+        let pl = plan(&[1, 2], 100);
+        let s = register(&mut pbm, 1, &pl, now_ms(0));
+        pbm.on_admit(p(1), now_ms(0));
+        pbm.on_admit(p(2), now_ms(0));
+        pbm.unregister_scan(s, now_ms(5));
+        assert_eq!(pbm.registered_scans(), 0);
+        assert_eq!(pbm.requested_pages(), 0);
+        assert_eq!(pbm.not_requested_pages(), 2);
+        // Non-resident page metadata of the finished scan is dropped.
+        let mut pbm2 = pbm_with_speed(1000.0);
+        let s2 = register(&mut pbm2, 7, &plan(&[5], 10), now_ms(0));
+        pbm2.unregister_scan(s2, now_ms(0));
+        assert!(pbm2.pages.is_empty());
+    }
+
+    #[test]
+    fn two_scans_same_page_keeps_interest_after_one_finishes() {
+        let mut pbm = pbm_with_speed(1000.0);
+        let s1 = register(&mut pbm, 1, &plan(&[7], 100), now_ms(0));
+        let _s2 = register(&mut pbm, 2, &plan(&[7], 100), now_ms(0));
+        pbm.on_admit(p(7), now_ms(0));
+        pbm.on_access(p(7), Some(s1), now_ms(1));
+        // Scan 2 still wants it: the page must stay in a requested bucket.
+        assert_eq!(pbm.requested_pages(), 1);
+        assert_eq!(pbm.not_requested_pages(), 0);
+    }
+
+    #[test]
+    fn faster_reported_speed_moves_pages_to_nearer_buckets() {
+        let mut pbm = pbm_with_speed(100.0); // very slow default: 100 tuples/s
+        let s = register(&mut pbm, 1, &plan(&[1, 2, 3, 4], 100), now_ms(0));
+        pbm.on_admit(p(4), now_ms(0));
+        let before = match pbm.pages[&p(4)].state() {
+            PageState::Requested(idx) => idx,
+            other => panic!("unexpected state {other:?}"),
+        };
+        // After 100ms the scan has done 200 tuples: 2000 tuples/sec.
+        pbm.report_scan_position(s, 200, now_ms(100));
+        pbm.on_admit(p(4), now_ms(100)); // re-push via admit path
+        let after = match pbm.pages[&p(4)].state() {
+            PageState::Requested(idx) => idx,
+            other => panic!("unexpected state {other:?}"),
+        };
+        assert!(after < before, "higher speed => sooner consumption => nearer bucket");
+    }
+
+    #[test]
+    fn refresh_shifts_pages_towards_the_present() {
+        let config = PbmConfig {
+            time_slice: VirtualDuration::from_millis(100),
+            bucket_groups: 2,
+            buckets_per_group: 2,
+            default_scan_speed: 1000.0,
+            ..Default::default()
+        };
+        let mut pbm = PbmPolicy::new(config);
+        // Buckets: 0:[0,100ms) 1:[100,200) 2:[200,400) 3:[400,800). Page 3 is
+        // needed after 200 tuples (200ms) and page 4 after 300 tuples (300ms),
+        // so both land in bucket 2.
+        register(&mut pbm, 1, &plan(&[1, 2, 3, 4], 100), now_ms(0));
+        pbm.on_admit(p(4), now_ms(0));
+        assert_eq!(pbm.pages[&p(4)].state(), PageState::Requested(2));
+        pbm.on_admit(p(3), now_ms(0));
+        assert_eq!(pbm.pages[&p(3)].state(), PageState::Requested(2));
+
+        // After 200ms of virtual time the timeline has aged two slices: the
+        // page that was ~200ms away is now imminent.
+        pbm.refresh(now_ms(200));
+        let idx3 = match pbm.pages[&p(3)].state() {
+            PageState::Requested(idx) => idx,
+            other => panic!("unexpected {other:?}"),
+        };
+        let idx4 = match pbm.pages[&p(4)].state() {
+            PageState::Requested(idx) => idx,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(idx3 < 2, "page 3 moved towards the present (bucket {idx3})");
+        assert!(idx4 <= 3 && idx4 >= idx3);
+    }
+
+    #[test]
+    fn refresh_overflow_pages_are_reprioritized_not_lost() {
+        let config = PbmConfig {
+            time_slice: VirtualDuration::from_millis(100),
+            bucket_groups: 2,
+            buckets_per_group: 2,
+            default_scan_speed: 1_000_000.0,
+            ..Default::default()
+        };
+        let mut pbm = PbmPolicy::new(config);
+        register(&mut pbm, 1, &plan(&[1], 100), now_ms(0));
+        pbm.on_admit(p(1), now_ms(0));
+        assert_eq!(pbm.requested_pages(), 1);
+        // Let a lot of virtual time pass; the page keeps being tracked.
+        pbm.refresh(now_ms(10_000));
+        assert_eq!(pbm.requested_pages() + pbm.not_requested_pages(), 1);
+        let victims = pbm.choose_victims(1, &HashSet::new(), now_ms(10_000));
+        assert_eq!(victims, vec![p(1)]);
+    }
+
+    #[test]
+    fn excluded_pages_are_never_chosen() {
+        let mut pbm = pbm_with_speed(1000.0);
+        register(&mut pbm, 1, &plan(&[1, 2], 100), now_ms(0));
+        pbm.on_admit(p(1), now_ms(0));
+        pbm.on_admit(p(2), now_ms(0));
+        let exclude: HashSet<PageId> = [p(1), p(2)].into_iter().collect();
+        assert!(pbm.choose_victims(2, &exclude, now_ms(0)).is_empty());
+        let exclude: HashSet<PageId> = [p(2)].into_iter().collect();
+        assert_eq!(pbm.choose_victims(2, &exclude, now_ms(0)), vec![p(1)]);
+    }
+
+    #[test]
+    fn not_requested_pages_are_evicted_in_lru_order() {
+        let mut pbm = pbm_with_speed(1000.0);
+        for page in [10, 11, 12] {
+            pbm.on_admit(p(page), now_ms(0));
+        }
+        // Touch page 10 so it becomes the most recently used.
+        pbm.on_access(p(10), None, now_ms(1));
+        let victims = pbm.choose_victims(2, &HashSet::new(), now_ms(1));
+        assert_eq!(victims, vec![p(11), p(12)]);
+    }
+
+    #[test]
+    fn behaves_like_an_opt_approximation_for_two_scans() {
+        // Scan A is at the start of pages [1..10]; scan B is at the start of
+        // pages [6..10] only. Pages 6..10 will be consumed (by B) sooner than
+        // A reaches them, so with room for only a few pages the policy must
+        // prefer evicting pages that are far for *everyone*.
+        let mut pbm = pbm_with_speed(1000.0);
+        register(&mut pbm, 1, &plan(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], 100), now_ms(0));
+        let pl_b = plan(&[6, 7, 8, 9, 10], 100);
+        register(&mut pbm, 2, &pl_b, now_ms(0));
+        for page in 1..=10 {
+            pbm.on_admit(p(page), now_ms(0));
+        }
+        let victims = pbm.choose_victims(3, &HashSet::new(), now_ms(0));
+        // The furthest-needed pages are 5 (only A needs it, 400ms away) and
+        // 10 (B reaches it after 400ms, long before A); pages that B needs
+        // soon (6, 7, 8) must survive.
+        assert!(victims.contains(&p(5)));
+        assert!(victims.contains(&p(10)));
+        assert!(!victims.contains(&p(6)));
+        assert!(!victims.contains(&p(7)));
+        assert!(!victims.contains(&p(8)));
+    }
+}

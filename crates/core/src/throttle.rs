@@ -1,0 +1,237 @@
+//! PBM attach & throttle (Section 5, "PBM Attach & Throttle").
+//!
+//! The paper's future-work discussion sketches how circular-scan techniques
+//! could be folded into PBM: incoming scans *attach* to scans that are
+//! already running nearby, and fast scans are *throttled* so that groups of
+//! queries stay at close positions and keep sharing the pages loaded for the
+//! group's leader — the same idea as DB2's throttling, but driven by PBM's
+//! next-consumption estimates.
+//!
+//! [`ThrottlePlanner`] implements the decision logic: it groups registered
+//! scans of the same table whose positions lie within an attach window, and
+//! computes a throttle factor for every scan so that the whole group advances
+//! at the pace of its slowest member. A scan is only throttled if the pages
+//! it has just consumed would otherwise be evicted before the scans behind it
+//! catch up (approximated by comparing the group gap with the buffer
+//! headroom the caller supplies).
+
+use std::collections::HashMap;
+
+use scanshare_common::{ScanId, TableId};
+
+/// Position and speed of one registered scan, as tracked by PBM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanProgress {
+    /// The scan.
+    pub scan: ScanId,
+    /// The table it scans.
+    pub table: TableId,
+    /// Current position in tuples from the start of its range.
+    pub position: u64,
+    /// Observed speed in tuples per second.
+    pub speed_tps: f64,
+}
+
+/// Configuration of the attach & throttle heuristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleConfig {
+    /// Two scans whose positions differ by at most this many tuples are
+    /// considered part of the same group ("attached").
+    pub attach_window_tuples: u64,
+    /// A group leader is throttled only if the distance to the group's
+    /// slowest member exceeds this many tuples (the buffer headroom measured
+    /// in tuples: beyond it, pages consumed by the leader are likely evicted
+    /// before the followers reach them).
+    pub headroom_tuples: u64,
+    /// Lower bound on the throttle factor, so no scan is stalled completely.
+    pub min_factor: f64,
+}
+
+impl Default for ThrottleConfig {
+    fn default() -> Self {
+        Self { attach_window_tuples: 1_000_000, headroom_tuples: 250_000, min_factor: 0.25 }
+    }
+}
+
+/// A group of scans that should advance together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanGroup {
+    /// Table the group scans.
+    pub table: TableId,
+    /// Members ordered by position (ascending).
+    pub members: Vec<ScanId>,
+    /// Position of the slowest / furthest-behind member.
+    pub tail_position: u64,
+    /// Position of the leader.
+    pub head_position: u64,
+}
+
+/// Per-scan throttle decision: multiply the scan's processing speed by the
+/// factor (1.0 = run at full speed).
+pub type ThrottlePlan = HashMap<ScanId, f64>;
+
+/// Computes attach groups and throttle factors for a set of scans.
+#[derive(Debug, Clone, Default)]
+pub struct ThrottlePlanner {
+    config: ThrottleConfig,
+}
+
+impl ThrottlePlanner {
+    /// Creates a planner with the given configuration.
+    pub fn new(config: ThrottleConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ThrottleConfig {
+        &self.config
+    }
+
+    /// Groups scans of the same table whose positions are within the attach
+    /// window of their neighbour.
+    pub fn groups(&self, scans: &[ScanProgress]) -> Vec<ScanGroup> {
+        let mut by_table: HashMap<TableId, Vec<&ScanProgress>> = HashMap::new();
+        for scan in scans {
+            by_table.entry(scan.table).or_default().push(scan);
+        }
+        let mut groups = Vec::new();
+        for (table, mut members) in by_table {
+            members.sort_by_key(|s| (s.position, s.scan));
+            let mut current: Vec<&ScanProgress> = Vec::new();
+            for scan in members {
+                match current.last() {
+                    Some(prev)
+                        if scan.position - prev.position <= self.config.attach_window_tuples =>
+                    {
+                        current.push(scan);
+                    }
+                    Some(_) => {
+                        groups.push(Self::make_group(table, &current));
+                        current = vec![scan];
+                    }
+                    None => current = vec![scan],
+                }
+            }
+            if !current.is_empty() {
+                groups.push(Self::make_group(table, &current));
+            }
+        }
+        groups.sort_by_key(|g| (g.table, g.tail_position));
+        groups
+    }
+
+    fn make_group(table: TableId, members: &[&ScanProgress]) -> ScanGroup {
+        ScanGroup {
+            table,
+            members: members.iter().map(|s| s.scan).collect(),
+            tail_position: members.first().map(|s| s.position).unwrap_or(0),
+            head_position: members.last().map(|s| s.position).unwrap_or(0),
+        }
+    }
+
+    /// Computes throttle factors: every scan that runs ahead of its group by
+    /// more than the headroom is slowed down proportionally to its lead, so
+    /// the scans behind it can catch up and reuse its pages.
+    pub fn plan(&self, scans: &[ScanProgress]) -> ThrottlePlan {
+        let mut plan: ThrottlePlan = scans.iter().map(|s| (s.scan, 1.0)).collect();
+        for group in self.groups(scans) {
+            if group.members.len() < 2 {
+                continue;
+            }
+            let tail = group.tail_position;
+            for scan in scans.iter().filter(|s| group.members.contains(&s.scan)) {
+                let lead = scan.position.saturating_sub(tail);
+                if lead > self.config.headroom_tuples {
+                    // The further ahead, the harder the throttle, down to the
+                    // configured minimum.
+                    let overshoot = (lead - self.config.headroom_tuples) as f64;
+                    let factor = (self.config.headroom_tuples as f64
+                        / (self.config.headroom_tuples as f64 + overshoot))
+                        .max(self.config.min_factor);
+                    plan.insert(scan.scan, factor);
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(id: u64, table: u32, position: u64, speed: f64) -> ScanProgress {
+        ScanProgress {
+            scan: ScanId::new(id),
+            table: TableId::new(table),
+            position,
+            speed_tps: speed,
+        }
+    }
+
+    fn planner(window: u64, headroom: u64) -> ThrottlePlanner {
+        ThrottlePlanner::new(ThrottleConfig {
+            attach_window_tuples: window,
+            headroom_tuples: headroom,
+            min_factor: 0.25,
+        })
+    }
+
+    #[test]
+    fn nearby_scans_form_one_group() {
+        let planner = planner(1000, 100);
+        let scans =
+            vec![scan(1, 0, 0, 1e6), scan(2, 0, 500, 1e6), scan(3, 0, 900, 1e6), scan(4, 0, 5000, 1e6)];
+        let groups = planner.groups(&scans);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].members.len(), 3);
+        assert_eq!(groups[0].tail_position, 0);
+        assert_eq!(groups[0].head_position, 900);
+        assert_eq!(groups[1].members, vec![ScanId::new(4)]);
+    }
+
+    #[test]
+    fn scans_on_different_tables_never_attach() {
+        let planner = planner(1000, 100);
+        let scans = vec![scan(1, 0, 0, 1e6), scan(2, 1, 10, 1e6)];
+        let groups = planner.groups(&scans);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn leader_far_ahead_is_throttled_followers_are_not() {
+        let planner = planner(10_000, 1_000);
+        let scans = vec![scan(1, 0, 0, 1e6), scan(2, 0, 500, 1e6), scan(3, 0, 6_000, 1e6)];
+        let plan = planner.plan(&scans);
+        assert_eq!(plan[&ScanId::new(1)], 1.0);
+        assert_eq!(plan[&ScanId::new(2)], 1.0);
+        let leader = plan[&ScanId::new(3)];
+        assert!(leader < 1.0, "leader must be throttled, got {leader}");
+        assert!(leader >= 0.25, "throttle never goes below the configured minimum");
+    }
+
+    #[test]
+    fn tight_groups_run_at_full_speed() {
+        let planner = planner(10_000, 5_000);
+        let scans = vec![scan(1, 0, 0, 1e6), scan(2, 0, 2_000, 1e6), scan(3, 0, 4_000, 1e6)];
+        let plan = planner.plan(&scans);
+        assert!(plan.values().all(|&f| (f - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn lone_scans_are_never_throttled() {
+        let planner = planner(100, 10);
+        let scans = vec![scan(1, 0, 1_000_000, 1e6)];
+        let plan = planner.plan(&scans);
+        assert_eq!(plan[&ScanId::new(1)], 1.0);
+    }
+
+    #[test]
+    fn throttle_strength_grows_with_the_lead() {
+        let planner = planner(1_000_000, 1_000);
+        let small_lead = planner.plan(&[scan(1, 0, 0, 1e6), scan(2, 0, 2_000, 1e6)]);
+        let large_lead = planner.plan(&[scan(1, 0, 0, 1e6), scan(2, 0, 500_000, 1e6)]);
+        assert!(large_lead[&ScanId::new(2)] < small_lead[&ScanId::new(2)]);
+        assert_eq!(large_lead[&ScanId::new(2)], 0.25, "clamped at the minimum factor");
+    }
+}

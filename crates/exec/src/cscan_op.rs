@@ -1,0 +1,373 @@
+//! The `CScan` operator: a scan attached to the Active Buffer Manager.
+//!
+//! A CScan registers its data interest with the ABM up front, then
+//! repeatedly asks for whatever chunk the ABM considers best to process next
+//! (`GetChunk`), which generally arrives **out of table order**. For every
+//! delivered chunk the operator:
+//!
+//! 1. translates the chunk's SID range into the widest RID range it can
+//!    produce (`SIDtoRIDlow` / `SIDtoRIDhigh`),
+//! 2. trims that RID range against the rows it has already produced (ranges
+//!    of neighbouring chunks may overlap after translation),
+//! 3. re-initializes PDT merging at the trimmed position and produces the
+//!    merged rows.
+//!
+//! When the ABM has nothing cached for the scan, the operator drives the
+//! ABM's load loop itself (in the real system a dedicated ABM thread does
+//! this; inside the embedded engine the load simply happens on the calling
+//! thread, charged to the simulated I/O device).
+
+use std::sync::Arc;
+
+use scanshare_common::{Error, RangeList, Result, ScanId, TableId, TupleRange};
+use scanshare_core::cscan::{AbmAction, CScanRequest};
+use scanshare_pdt::merge::MergeCursor;
+use scanshare_pdt::pdt::Pdt;
+use scanshare_storage::datagen::Value;
+use scanshare_storage::layout::TableLayout;
+use scanshare_storage::snapshot::Snapshot;
+
+use crate::batch::Batch;
+use crate::engine::Engine;
+use crate::ops::BatchSource;
+use crate::scan::{rid_range_to_sid_ranges, sid_range_to_rid_range, PooledSource};
+
+/// The out-of-order (or optionally in-order) CScan operator.
+pub struct CScanOperator {
+    engine: Arc<Engine>,
+    layout: Arc<TableLayout>,
+    snapshot: Arc<Snapshot>,
+    pdt: Pdt,
+    columns: Vec<usize>,
+    /// RID ranges requested by the plan.
+    requested: RangeList,
+    /// RID ranges already produced (chunk translations may overlap).
+    produced: RangeList,
+    scan_id: ScanId,
+    tuples_expected: u64,
+    tuples_produced: u64,
+    finished: bool,
+    unregistered: bool,
+}
+
+impl CScanOperator {
+    /// Creates a CScan over `columns` of `table` covering the visible rows in
+    /// `rid_range`. `in_order` forces sequential chunk delivery, making the
+    /// operator a drop-in replacement for the traditional Scan.
+    pub fn new(
+        engine: Arc<Engine>,
+        table: TableId,
+        columns: Vec<usize>,
+        rid_range: TupleRange,
+        in_order: bool,
+    ) -> Result<Self> {
+        let layout = engine.storage().layout(table)?;
+        let snapshot = engine.storage().master_snapshot(table)?;
+        let pdt = engine.pdt(table)?.read().clone();
+        let visible = pdt.visible_count(snapshot.stable_tuples());
+        let rid_range = rid_range.intersect(&TupleRange::new(0, visible));
+        if rid_range.is_empty() {
+            return Err(Error::plan("CScan over an empty row range"));
+        }
+
+        // The plan hands the operator RID ranges; ABM thinks in SID ranges.
+        let sid_ranges = rid_range_to_sid_ranges(&pdt, &rid_range, snapshot.stable_tuples());
+        let abm = engine.abm().ok_or_else(|| {
+            Error::Unsupported("CScanOperator requires a Cooperative Scans engine".into())
+        })?;
+        let handle = abm.lock().register_cscan(CScanRequest {
+            table,
+            snapshot: Arc::clone(&snapshot),
+            layout: Arc::clone(&layout),
+            columns: columns.clone(),
+            ranges: sid_ranges,
+            in_order,
+        })?;
+
+        Ok(Self {
+            engine,
+            layout,
+            snapshot,
+            pdt,
+            columns,
+            requested: RangeList::from_ranges([rid_range]),
+            produced: RangeList::new(),
+            scan_id: handle.id,
+            tuples_expected: rid_range.len(),
+            tuples_produced: 0,
+            finished: false,
+            unregistered: false,
+        })
+    }
+
+    /// The ABM scan id of this operator.
+    pub fn scan_id(&self) -> ScanId {
+        self.scan_id
+    }
+
+    fn unregister(&mut self) {
+        if self.unregistered {
+            return;
+        }
+        self.unregistered = true;
+        if let Some(abm) = self.engine.abm() {
+            let _ = abm.lock().unregister_cscan(self.scan_id);
+        }
+    }
+
+    /// Produces the rows of one delivered chunk (may be empty if the chunk's
+    /// translated RID range was entirely produced already).
+    fn produce_chunk(&mut self, chunk: scanshare_common::ChunkId) -> Result<Vec<Vec<Value>>> {
+        let chunk_sids = self.layout.chunk_sid_range(chunk, self.snapshot.stable_tuples());
+        let rid_window = sid_range_to_rid_range(&self.pdt, &chunk_sids);
+        let fresh = RangeList::from_ranges([rid_window])
+            .intersect(&self.requested)
+            .subtract(&self.produced);
+        let mut rows = Vec::new();
+        let mut source = PooledSource::new(
+            Arc::clone(&self.engine),
+            Arc::clone(&self.layout),
+            Arc::clone(&self.snapshot),
+            None,
+        );
+        for range in fresh.ranges() {
+            // Re-initialize the PDT merge at this chunk's position.
+            let mut cursor =
+                MergeCursor::new(&self.pdt, &mut source, self.columns.clone(), *range);
+            rows.extend(cursor.collect_rows());
+            self.produced.add(*range);
+        }
+        self.tuples_produced += rows.len() as u64;
+        self.engine.charge_cpu(rows.len() as u64);
+        Ok(rows)
+    }
+
+    /// Runs the ABM load loop until a chunk becomes available for this scan
+    /// (or the ABM reports that the scan is finished).
+    fn drive_abm(&mut self) -> Result<()> {
+        let abm = self.engine.abm().expect("checked at construction");
+        loop {
+            let action = abm.lock().next_action(self.engine.now());
+            match action {
+                AbmAction::Load(plan) => {
+                    self.engine.charge_io(plan.bytes);
+                    abm.lock().complete_load(&plan, self.engine.now())?;
+                    // If the load was for (or also useful to) this scan we may
+                    // now have a cached chunk; the caller re-checks.
+                    if abm.lock().has_cached_chunk(self.scan_id) {
+                        return Ok(());
+                    }
+                }
+                AbmAction::Idle => {
+                    return Err(Error::internal(
+                        "CScan is starved but the ABM has nothing to load",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl BatchSource for CScanOperator {
+    fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.finished {
+            return Ok(None);
+        }
+        loop {
+            let abm = self.engine.abm().expect("checked at construction");
+            let delivery = abm.lock().get_chunk(self.scan_id)?;
+            match delivery {
+                Some(delivery) => {
+                    let rows = self.produce_chunk(delivery.chunk)?;
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    return Ok(Some(Batch::from_rows(self.columns.len(), &rows)));
+                }
+                None => {
+                    if abm.lock().is_finished(self.scan_id) {
+                        self.finished = true;
+                        self.unregister();
+                        debug_assert_eq!(
+                            self.tuples_produced, self.tuples_expected,
+                            "CScan must produce every requested row exactly once"
+                        );
+                        return Ok(None);
+                    }
+                    self.drive_abm()?;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for CScanOperator {
+    fn drop(&mut self) {
+        self.unregister();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_common::{PolicyKind, ScanShareConfig};
+    use scanshare_storage::column::{ColumnSpec, ColumnType};
+    use scanshare_storage::datagen::DataGen;
+    use scanshare_storage::storage::Storage;
+    use scanshare_storage::table::TableSpec;
+
+    fn engine(buffer_bytes: u64, tuples: u64) -> (Arc<Engine>, TableId) {
+        let storage = Storage::with_seed(1024, 500, 5);
+        let spec = TableSpec::new(
+            "t",
+            vec![
+                ColumnSpec::with_width("k", ColumnType::Int64, 8.0),
+                ColumnSpec::with_width("v", ColumnType::Int64, 4.0),
+            ],
+            tuples,
+        );
+        let table = storage
+            .create_table_with_data(
+                spec,
+                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(7)],
+            )
+            .unwrap();
+        let config = ScanShareConfig {
+            page_size_bytes: 1024,
+            chunk_tuples: 500,
+            buffer_pool_bytes: buffer_bytes,
+            policy: PolicyKind::CScan,
+            ..Default::default()
+        };
+        (Engine::new(storage, config).unwrap(), table)
+    }
+
+    fn collect_sorted(op: &mut dyn BatchSource) -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        while let Some(batch) = op.next_batch().unwrap() {
+            rows.extend(batch.to_rows());
+        }
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn cscan_produces_every_row_exactly_once() {
+        let (engine, table) = engine(1 << 20, 3000);
+        let mut op =
+            CScanOperator::new(Arc::clone(&engine), table, vec![0, 1], TupleRange::new(0, 3000), false)
+                .unwrap();
+        let rows = collect_sorted(&mut op);
+        assert_eq!(rows.len(), 3000);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row[0], i as i64);
+            assert_eq!(row[1], 7);
+        }
+        assert!(engine.buffer_stats().io_bytes > 0);
+    }
+
+    #[test]
+    fn cscan_sees_pdt_updates_despite_out_of_order_delivery() {
+        let (engine, table) = engine(1 << 20, 2000);
+        engine.delete_row(table, 100).unwrap();
+        engine.insert_row(table, 0, vec![-5, -5]).unwrap();
+        engine.update_value(table, 1999, 1, 42).unwrap();
+        let visible = engine.visible_rows(table).unwrap();
+        assert_eq!(visible, 2000);
+        let mut op = CScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0, 1],
+            TupleRange::new(0, visible),
+            false,
+        )
+        .unwrap();
+        let rows = collect_sorted(&mut op);
+        assert_eq!(rows.len(), 2000);
+        assert!(rows.contains(&vec![-5, -5]));
+        assert!(!rows.iter().any(|r| r[0] == 100), "deleted row must not appear");
+        assert!(rows.contains(&vec![1999, 42]));
+    }
+
+    #[test]
+    fn cscan_with_small_buffer_still_completes() {
+        // Each chunk is ~6 pages; give the ABM room for only two chunks.
+        let (engine, table) = engine(12 * 1024, 5000);
+        let mut op =
+            CScanOperator::new(Arc::clone(&engine), table, vec![0, 1], TupleRange::new(0, 5000), false)
+                .unwrap();
+        let rows = collect_sorted(&mut op);
+        assert_eq!(rows.len(), 5000);
+        assert!(engine.buffer_stats().evictions > 0);
+    }
+
+    #[test]
+    fn two_concurrent_cscans_share_io() {
+        let (engine, table) = engine(1 << 20, 4000);
+        let mut a =
+            CScanOperator::new(Arc::clone(&engine), table, vec![0, 1], TupleRange::new(0, 4000), false)
+                .unwrap();
+        let mut b =
+            CScanOperator::new(Arc::clone(&engine), table, vec![0, 1], TupleRange::new(0, 4000), false)
+                .unwrap();
+        // Interleave the two scans so they run "concurrently".
+        let mut rows_a = Vec::new();
+        let mut rows_b = Vec::new();
+        loop {
+            let batch_a = a.next_batch().unwrap();
+            let batch_b = b.next_batch().unwrap();
+            if let Some(batch) = &batch_a {
+                rows_a.extend(batch.to_rows());
+            }
+            if let Some(batch) = &batch_b {
+                rows_b.extend(batch.to_rows());
+            }
+            if batch_a.is_none() && batch_b.is_none() {
+                break;
+            }
+        }
+        assert_eq!(rows_a.len(), 4000);
+        assert_eq!(rows_b.len(), 4000);
+        // The table occupies 32 pages (column k, 8 B/tuple) + 16 pages
+        // (column v, 4 B/tuple) = 48 pages. Two cooperative scans sharing
+        // chunks read it exactly once instead of twice.
+        let io = engine.buffer_stats().io_bytes;
+        assert_eq!(io, 48 * 1024, "two cooperative scans read the table exactly once");
+    }
+
+    #[test]
+    fn in_order_cscan_delivers_rows_in_rid_order() {
+        let (engine, table) = engine(1 << 20, 2000);
+        let mut op =
+            CScanOperator::new(Arc::clone(&engine), table, vec![0], TupleRange::new(0, 2000), true)
+                .unwrap();
+        let mut last = -1;
+        while let Some(batch) = op.next_batch().unwrap() {
+            for &v in batch.column(0) {
+                assert!(v > last, "in-order CScan must deliver ascending keys");
+                last = v;
+            }
+        }
+        assert_eq!(last, 1999);
+    }
+
+    #[test]
+    fn cscan_on_non_cscan_engine_is_rejected() {
+        let storage = Storage::with_seed(1024, 500, 5);
+        let table = storage.create_table(TableSpec::with_int_columns("t", 1, 100)).unwrap();
+        let config = ScanShareConfig {
+            page_size_bytes: 1024,
+            chunk_tuples: 500,
+            buffer_pool_bytes: 1 << 20,
+            policy: PolicyKind::Lru,
+            ..Default::default()
+        };
+        let engine = Engine::new(storage, config).unwrap();
+        let err = CScanOperator::new(engine, table, vec![0], TupleRange::new(0, 100), false);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! The engine/session object tying storage, updates and buffer management
+//! together.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use scanshare_common::{
+    Error, PolicyKind, Result, Rid, ScanShareConfig, TableId, TupleRange, VirtualClock,
+    VirtualDuration, VirtualInstant,
+};
+use scanshare_core::bufferpool::BufferPool;
+use scanshare_core::cscan::{Abm, AbmConfig};
+use scanshare_core::lru::LruPolicy;
+use scanshare_core::metrics::BufferStats;
+use scanshare_core::opt::{simulate_opt, OptResult};
+use scanshare_core::pbm::{PbmConfig, PbmPolicy};
+use scanshare_core::policy::ReplacementPolicy;
+use scanshare_iosim::{IoDevice, ReferenceTrace};
+use scanshare_pdt::checkpoint::checkpoint_table;
+use scanshare_pdt::pdt::Pdt;
+use scanshare_storage::datagen::Value;
+use scanshare_storage::snapshot::Snapshot;
+use scanshare_storage::storage::Storage;
+
+use crate::cscan_op::CScanOperator;
+use crate::ops::BatchSource;
+use crate::scan::ScanOperator;
+
+/// Summary of the work an engine performed (virtual time and I/O volume).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Virtual time elapsed on the engine's clock.
+    pub elapsed: VirtualDuration,
+    /// Buffer-manager counters (hits, misses, I/O bytes).
+    pub buffer: BufferStats,
+}
+
+/// A query-execution session: storage + differential updates + the
+/// configured concurrent-scan buffer-management policy.
+#[derive(Debug)]
+pub struct Engine {
+    storage: Arc<Storage>,
+    config: ScanShareConfig,
+    pool: Option<Mutex<BufferPool>>,
+    abm: Option<Mutex<Abm>>,
+    device: Arc<IoDevice>,
+    clock: Arc<VirtualClock>,
+    trace: Option<Arc<ReferenceTrace>>,
+    pdts: RwLock<HashMap<TableId, Arc<RwLock<Pdt>>>>,
+}
+
+impl Engine {
+    /// Creates an engine over `storage` with the policy selected in `config`.
+    ///
+    /// `PolicyKind::Opt` runs the engine under PBM while recording the page
+    /// reference trace; [`Engine::opt_result`] then replays that trace under
+    /// Belady's algorithm, exactly like the paper's OPT methodology.
+    pub fn new(storage: Arc<Storage>, config: ScanShareConfig) -> Result<Arc<Self>> {
+        config.validate()?;
+        let device = Arc::new(IoDevice::new(
+            config.io_bandwidth,
+            VirtualDuration::from_nanos(config.io_latency_nanos),
+        ));
+        let clock = VirtualClock::shared();
+        let mut trace = None;
+
+        let (pool, abm) = match config.policy {
+            PolicyKind::CScan => {
+                let abm = Abm::new(AbmConfig::new(config.buffer_pool_bytes, config.page_size_bytes));
+                (None, Some(Mutex::new(abm)))
+            }
+            policy => {
+                let replacement: Box<dyn ReplacementPolicy> = match policy {
+                    PolicyKind::Lru => Box::new(LruPolicy::new()),
+                    PolicyKind::Pbm | PolicyKind::Opt => Box::new(PbmPolicy::new(PbmConfig {
+                        default_scan_speed: config.cpu_tuples_per_sec as f64,
+                        ..PbmConfig::default()
+                    })),
+                    PolicyKind::CScan => unreachable!("handled above"),
+                };
+                let mut pool = BufferPool::new(
+                    config.buffer_pool_pages().max(1),
+                    config.page_size_bytes,
+                    replacement,
+                );
+                if policy == PolicyKind::Opt {
+                    let t = Arc::new(ReferenceTrace::new());
+                    trace = Some(Arc::clone(&t));
+                    pool = pool.with_trace(t);
+                }
+                (Some(Mutex::new(pool)), None)
+            }
+        };
+
+        Ok(Arc::new(Self {
+            storage,
+            config,
+            pool,
+            abm,
+            device,
+            clock,
+            trace,
+            pdts: RwLock::new(HashMap::new()),
+        }))
+    }
+
+    /// The underlying storage engine.
+    pub fn storage(&self) -> &Arc<Storage> {
+        &self.storage
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ScanShareConfig {
+        &self.config
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> PolicyKind {
+        self.config.policy
+    }
+
+    /// The engine's virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The simulated I/O device.
+    pub fn device(&self) -> &Arc<IoDevice> {
+        &self.device
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualInstant {
+        self.clock.now()
+    }
+
+    /// The page-level buffer pool (LRU / PBM / OPT engines).
+    pub(crate) fn pool(&self) -> Option<&Mutex<BufferPool>> {
+        self.pool.as_ref()
+    }
+
+    /// The Active Buffer Manager (Cooperative Scans engines).
+    pub(crate) fn abm(&self) -> Option<&Mutex<Abm>> {
+        self.abm.as_ref()
+    }
+
+    /// Aggregated buffer-manager statistics.
+    pub fn buffer_stats(&self) -> BufferStats {
+        if let Some(pool) = &self.pool {
+            pool.lock().stats()
+        } else if let Some(abm) = &self.abm {
+            abm.lock().stats()
+        } else {
+            BufferStats::default()
+        }
+    }
+
+    /// Replays the recorded page-reference trace under Belady's OPT with the
+    /// configured buffer capacity. Only available when the engine was created
+    /// with `PolicyKind::Opt`.
+    pub fn opt_result(&self) -> Result<OptResult> {
+        let trace = self
+            .trace
+            .as_ref()
+            .ok_or_else(|| Error::Unsupported("OPT trace recording is not enabled".into()))?;
+        Ok(simulate_opt(&trace.pages(), self.config.buffer_pool_pages().max(1)))
+    }
+
+    /// Summary of the engine's work so far.
+    pub fn query_stats(&self) -> QueryStats {
+        QueryStats {
+            elapsed: self.now().since(VirtualInstant::EPOCH),
+            buffer: self.buffer_stats(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Differential updates (PDT)
+    // ------------------------------------------------------------------
+
+    /// The shared PDT of a table (created on first use).
+    pub fn pdt(&self, table: TableId) -> Result<Arc<RwLock<Pdt>>> {
+        {
+            let pdts = self.pdts.read();
+            if let Some(pdt) = pdts.get(&table) {
+                return Ok(Arc::clone(pdt));
+            }
+        }
+        let columns = self.storage.table(table)?.spec.columns.len();
+        let mut pdts = self.pdts.write();
+        Ok(Arc::clone(
+            pdts.entry(table).or_insert_with(|| Arc::new(RwLock::new(Pdt::new(columns)))),
+        ))
+    }
+
+    /// Number of rows currently visible in `table` (stable tuples of the
+    /// master snapshot plus PDT inserts minus deletes).
+    pub fn visible_rows(&self, table: TableId) -> Result<u64> {
+        let stable = self.storage.master_snapshot(table)?.stable_tuples();
+        Ok(self.pdt(table)?.read().visible_count(stable))
+    }
+
+    /// Inserts a row at visible position `rid` (use `visible_rows` to append
+    /// at the end).
+    pub fn insert_row(&self, table: TableId, rid: u64, row: Vec<Value>) -> Result<()> {
+        let stable = self.storage.master_snapshot(table)?.stable_tuples();
+        self.pdt(table)?.write().insert(Rid::new(rid), row, stable)
+    }
+
+    /// Deletes the visible row at `rid`.
+    pub fn delete_row(&self, table: TableId, rid: u64) -> Result<()> {
+        let stable = self.storage.master_snapshot(table)?.stable_tuples();
+        self.pdt(table)?.write().delete(Rid::new(rid), stable)
+    }
+
+    /// Updates column `col` of the visible row at `rid`.
+    pub fn update_value(&self, table: TableId, rid: u64, col: usize, value: Value) -> Result<()> {
+        let stable = self.storage.master_snapshot(table)?.stable_tuples();
+        self.pdt(table)?.write().modify(Rid::new(rid), col, value, stable)
+    }
+
+    /// Checkpoints `table`: merges its PDT into a brand-new stable image and
+    /// clears the PDT. Returns the new master snapshot.
+    pub fn checkpoint(&self, table: TableId) -> Result<Arc<Snapshot>> {
+        let snapshot = self.storage.master_snapshot(table)?;
+        let pdt_handle = self.pdt(table)?;
+        let mut pdt = pdt_handle.write();
+        let new_snapshot = checkpoint_table(&self.storage, table, &snapshot, &pdt)?;
+        *pdt = Pdt::new(pdt.column_count());
+        Ok(new_snapshot)
+    }
+
+    // ------------------------------------------------------------------
+    // Scans
+    // ------------------------------------------------------------------
+
+    /// Opens a scan over `columns` (by name) of `table` for the visible row
+    /// range `rid_range`, using the engine's configured policy: a traditional
+    /// in-order Scan for LRU / PBM / OPT, a CScan attached to the ABM for
+    /// Cooperative Scans.
+    pub fn scan(
+        self: &Arc<Self>,
+        table: TableId,
+        columns: &[&str],
+        rid_range: TupleRange,
+    ) -> Result<Box<dyn BatchSource + Send>> {
+        self.scan_with_order(table, columns, rid_range, false)
+    }
+
+    /// Like [`Engine::scan`] but forcing in-order delivery even under
+    /// Cooperative Scans (the "CScan as drop-in replacement for Scan" mode of
+    /// Section 2.3).
+    pub fn scan_in_order(
+        self: &Arc<Self>,
+        table: TableId,
+        columns: &[&str],
+        rid_range: TupleRange,
+    ) -> Result<Box<dyn BatchSource + Send>> {
+        self.scan_with_order(table, columns, rid_range, true)
+    }
+
+    fn scan_with_order(
+        self: &Arc<Self>,
+        table: TableId,
+        columns: &[&str],
+        rid_range: TupleRange,
+        force_in_order: bool,
+    ) -> Result<Box<dyn BatchSource + Send>> {
+        let column_indices = self.storage.resolve_columns(table, columns)?;
+        match self.config.policy {
+            PolicyKind::CScan => Ok(Box::new(CScanOperator::new(
+                Arc::clone(self),
+                table,
+                column_indices,
+                rid_range,
+                force_in_order,
+            )?)),
+            _ => Ok(Box::new(ScanOperator::new(
+                Arc::clone(self),
+                table,
+                column_indices,
+                rid_range,
+            )?)),
+        }
+    }
+
+    /// Charges `tuples` of CPU work to the engine's virtual clock.
+    pub(crate) fn charge_cpu(&self, tuples: u64) {
+        let secs = tuples as f64 / self.config.cpu_tuples_per_sec as f64;
+        self.clock.advance(VirtualDuration::from_secs_f64(secs));
+    }
+
+    /// Charges an I/O of `bytes` to the device and waits (in virtual time)
+    /// for it to complete.
+    pub(crate) fn charge_io(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let done = self.device.submit(self.clock.now(), bytes);
+        self.clock.advance_to(done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_storage::column::{ColumnSpec, ColumnType};
+    use scanshare_storage::datagen::DataGen;
+    use scanshare_storage::table::TableSpec;
+
+    fn storage_with_table(tuples: u64) -> (Arc<Storage>, TableId) {
+        let storage = Storage::with_seed(1024, 500, 5);
+        let spec = TableSpec::new(
+            "t",
+            vec![
+                ColumnSpec::with_width("k", ColumnType::Int64, 8.0),
+                ColumnSpec::with_width("v", ColumnType::Int64, 4.0),
+            ],
+            tuples,
+        );
+        let id = storage
+            .create_table_with_data(
+                spec,
+                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(2)],
+            )
+            .unwrap();
+        (storage, id)
+    }
+
+    fn config(policy: PolicyKind) -> ScanShareConfig {
+        ScanShareConfig {
+            page_size_bytes: 1024,
+            chunk_tuples: 500,
+            buffer_pool_bytes: 64 * 1024,
+            policy,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn engine_selects_pool_or_abm_by_policy() {
+        let (storage, _) = storage_with_table(100);
+        let lru = Engine::new(Arc::clone(&storage), config(PolicyKind::Lru)).unwrap();
+        assert!(lru.pool().is_some() && lru.abm().is_none());
+        let cscan = Engine::new(Arc::clone(&storage), config(PolicyKind::CScan)).unwrap();
+        assert!(cscan.pool().is_none() && cscan.abm().is_some());
+        let opt = Engine::new(storage, config(PolicyKind::Opt)).unwrap();
+        assert!(opt.opt_result().is_ok());
+        assert!(lru.opt_result().is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let (storage, _) = storage_with_table(10);
+        let bad = ScanShareConfig { page_size_bytes: 0, ..config(PolicyKind::Lru) };
+        assert!(Engine::new(storage, bad).is_err());
+    }
+
+    #[test]
+    fn updates_change_visible_rows() {
+        let (storage, table) = storage_with_table(100);
+        let engine = Engine::new(storage, config(PolicyKind::Lru)).unwrap();
+        assert_eq!(engine.visible_rows(table).unwrap(), 100);
+        engine.insert_row(table, 0, vec![-1, -1]).unwrap();
+        assert_eq!(engine.visible_rows(table).unwrap(), 101);
+        engine.delete_row(table, 5).unwrap();
+        engine.delete_row(table, 5).unwrap();
+        assert_eq!(engine.visible_rows(table).unwrap(), 99);
+        engine.update_value(table, 0, 1, 42).unwrap();
+        // Bad positions surface errors.
+        assert!(engine.insert_row(table, 10_000, vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_clears_the_pdt_and_keeps_visible_data() {
+        let (storage, table) = storage_with_table(200);
+        let engine = Engine::new(Arc::clone(&storage), config(PolicyKind::Lru)).unwrap();
+        engine.delete_row(table, 0).unwrap();
+        engine.insert_row(table, 0, vec![-7, -8]).unwrap();
+        let before = engine.visible_rows(table).unwrap();
+        let snapshot = engine.checkpoint(table).unwrap();
+        assert_eq!(snapshot.stable_tuples(), before);
+        assert!(engine.pdt(table).unwrap().read().is_empty());
+        assert_eq!(engine.visible_rows(table).unwrap(), before);
+        // The checkpointed data starts with the inserted row.
+        let layout = storage.layout(table).unwrap();
+        let head = storage.read_range(&layout, &snapshot, 0, TupleRange::new(0, 2)).unwrap();
+        assert_eq!(head, vec![-7, 1]);
+    }
+
+    #[test]
+    fn charge_cpu_and_io_advance_the_clock() {
+        let (storage, _) = storage_with_table(10);
+        let engine = Engine::new(storage, config(PolicyKind::Lru)).unwrap();
+        let t0 = engine.now();
+        engine.charge_cpu(1_000_000);
+        let t1 = engine.now();
+        assert!(t1 > t0);
+        engine.charge_io(1024 * 1024);
+        assert!(engine.now() > t1);
+        engine.charge_io(0);
+        let stats = engine.query_stats();
+        assert!(stats.elapsed > VirtualDuration::ZERO);
+    }
+}

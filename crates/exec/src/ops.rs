@@ -1,0 +1,314 @@
+//! Relational operators above the scans: Select, Project and Aggr.
+//!
+//! These are just enough to express the TPC-H Q1 / Q6 style queries used by
+//! the paper's microbenchmarks: a range scan with a selection, projection and
+//! (optionally grouped) aggregation on top.
+
+use std::collections::BTreeMap;
+
+use scanshare_common::Result;
+use scanshare_storage::datagen::Value;
+
+use crate::batch::Batch;
+
+/// A producer of vectorized batches (the bottom of every query plan).
+pub trait BatchSource {
+    /// Number of columns each batch carries.
+    fn width(&self) -> usize;
+    /// Produces the next batch, or `None` when the source is exhausted.
+    fn next_batch(&mut self) -> Result<Option<Batch>>;
+}
+
+/// A [`BatchSource`] over pre-materialized batches (useful for tests and for
+/// feeding operators from collected data).
+#[derive(Debug)]
+pub struct VecSource {
+    width: usize,
+    batches: Vec<Batch>,
+    next: usize,
+}
+
+impl VecSource {
+    /// Creates a source that yields the given batches in order.
+    pub fn new(width: usize, batches: Vec<Batch>) -> Self {
+        Self { width, batches, next: 0 }
+    }
+}
+
+impl BatchSource for VecSource {
+    fn width(&self) -> usize {
+        self.width
+    }
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.next >= self.batches.len() {
+            return Ok(None);
+        }
+        let batch = self.batches[self.next].clone();
+        self.next += 1;
+        Ok(Some(batch))
+    }
+}
+
+/// Comparison operators for simple predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `value < constant`
+    Lt,
+    /// `value <= constant`
+    Le,
+    /// `value > constant`
+    Gt,
+    /// `value >= constant`
+    Ge,
+    /// `value == constant`
+    Eq,
+}
+
+/// A conjunctive predicate over one column of the scanned projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predicate {
+    /// Column index within the operator's output (not the table).
+    pub column: usize,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Constant to compare against.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(column: usize, op: CompareOp, value: Value) -> Self {
+        Self { column, op, value }
+    }
+
+    /// Evaluates the predicate for one value.
+    pub fn matches(&self, v: Value) -> bool {
+        match self.op {
+            CompareOp::Lt => v < self.value,
+            CompareOp::Le => v <= self.value,
+            CompareOp::Gt => v > self.value,
+            CompareOp::Ge => v >= self.value,
+            CompareOp::Eq => v == self.value,
+        }
+    }
+
+    /// Evaluates the predicate over a batch, returning a selection mask.
+    pub fn mask(&self, batch: &Batch) -> Vec<bool> {
+        batch.column(self.column).iter().map(|&v| self.matches(v)).collect()
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Count of qualifying rows.
+    Count,
+    /// Sum of a column.
+    Sum(usize),
+    /// Minimum of a column.
+    Min(usize),
+    /// Maximum of a column.
+    Max(usize),
+}
+
+/// An aggregation specification: optional group-by column plus a list of
+/// aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggrSpec {
+    /// Column (within the operator output) to group by, if any.
+    pub group_by: Option<usize>,
+    /// Aggregates to compute.
+    pub aggregates: Vec<Aggregate>,
+}
+
+impl AggrSpec {
+    /// Ungrouped aggregation.
+    pub fn global(aggregates: Vec<Aggregate>) -> Self {
+        Self { group_by: None, aggregates }
+    }
+
+    /// Grouped aggregation.
+    pub fn grouped(group_by: usize, aggregates: Vec<Aggregate>) -> Self {
+        Self { group_by: Some(group_by), aggregates }
+    }
+}
+
+/// Partial aggregation state for one group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupState {
+    /// Row count.
+    pub count: u64,
+    /// One accumulator per aggregate.
+    pub accumulators: Vec<Value>,
+}
+
+/// The result of an aggregation: group key (0 for global aggregation) mapped
+/// to its aggregate values, ordered by key.
+pub type AggrResult = BTreeMap<Value, GroupState>;
+
+/// Consumes `source`, applying `filter` (if any) and computing `spec`.
+/// This is the Select → Project → Aggr pipeline of the microbenchmark
+/// queries, fused into one pass over the batches.
+pub fn aggregate(
+    source: &mut dyn BatchSource,
+    filter: Option<Predicate>,
+    spec: &AggrSpec,
+) -> Result<AggrResult> {
+    let mut groups: AggrResult = BTreeMap::new();
+    while let Some(batch) = source.next_batch()? {
+        let batch = match &filter {
+            Some(pred) => batch.filter(&pred.mask(&batch)),
+            None => batch,
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        for row in 0..batch.len() {
+            let key = spec.group_by.map(|c| batch.value(row, c)).unwrap_or(0);
+            let entry = groups.entry(key).or_insert_with(|| GroupState {
+                count: 0,
+                accumulators: spec
+                    .aggregates
+                    .iter()
+                    .map(|a| match a {
+                        Aggregate::Count | Aggregate::Sum(_) => 0,
+                        Aggregate::Min(_) => Value::MAX,
+                        Aggregate::Max(_) => Value::MIN,
+                    })
+                    .collect(),
+            });
+            entry.count += 1;
+            for (acc, agg) in entry.accumulators.iter_mut().zip(spec.aggregates.iter()) {
+                match agg {
+                    Aggregate::Count => *acc += 1,
+                    Aggregate::Sum(c) => *acc += batch.value(row, *c),
+                    Aggregate::Min(c) => *acc = (*acc).min(batch.value(row, *c)),
+                    Aggregate::Max(c) => *acc = (*acc).max(batch.value(row, *c)),
+                }
+            }
+        }
+    }
+    Ok(groups)
+}
+
+/// Merges partial aggregation results produced by parallel plan fragments
+/// (the "XChg + upper Aggr" of Figure 8).
+pub fn merge_aggregates(spec: &AggrSpec, partials: Vec<AggrResult>) -> AggrResult {
+    let mut merged: AggrResult = BTreeMap::new();
+    for partial in partials {
+        for (key, state) in partial {
+            match merged.get_mut(&key) {
+                None => {
+                    merged.insert(key, state);
+                }
+                Some(existing) => {
+                    existing.count += state.count;
+                    for ((acc, other), agg) in existing
+                        .accumulators
+                        .iter_mut()
+                        .zip(state.accumulators.iter())
+                        .zip(spec.aggregates.iter())
+                    {
+                        match agg {
+                            Aggregate::Count | Aggregate::Sum(_) => *acc += other,
+                            Aggregate::Min(_) => *acc = (*acc).min(*other),
+                            Aggregate::Max(_) => *acc = (*acc).max(*other),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source() -> VecSource {
+        // Columns: key (0/1), value.
+        VecSource::new(
+            2,
+            vec![
+                Batch::new(vec![vec![0, 1, 0, 1], vec![10, 20, 30, 40]]),
+                Batch::new(vec![vec![1, 0], vec![50, 60]]),
+            ],
+        )
+    }
+
+    #[test]
+    fn predicate_masks_rows() {
+        let p = Predicate::new(1, CompareOp::Gt, 25);
+        let batch = Batch::new(vec![vec![0, 1, 0], vec![10, 30, 50]]);
+        assert_eq!(p.mask(&batch), vec![false, true, true]);
+        assert!(Predicate::new(0, CompareOp::Eq, 1).matches(1));
+        assert!(Predicate::new(0, CompareOp::Le, 1).matches(1));
+        assert!(!Predicate::new(0, CompareOp::Lt, 1).matches(1));
+        assert!(Predicate::new(0, CompareOp::Ge, 1).matches(2));
+    }
+
+    #[test]
+    fn global_aggregation_without_filter() {
+        let spec = AggrSpec::global(vec![
+            Aggregate::Count,
+            Aggregate::Sum(1),
+            Aggregate::Min(1),
+            Aggregate::Max(1),
+        ]);
+        let result = aggregate(&mut source(), None, &spec).unwrap();
+        assert_eq!(result.len(), 1);
+        let g = &result[&0];
+        assert_eq!(g.count, 6);
+        assert_eq!(g.accumulators, vec![6, 210, 10, 60]);
+    }
+
+    #[test]
+    fn grouped_aggregation_with_filter() {
+        // Q1-style: filter value <= 50, group by key, sum(value) and count.
+        let spec = AggrSpec::grouped(0, vec![Aggregate::Sum(1), Aggregate::Count]);
+        let filter = Some(Predicate::new(1, CompareOp::Le, 50));
+        let result = aggregate(&mut source(), filter, &spec).unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result[&0].accumulators, vec![40, 2]); // 10 + 30
+        assert_eq!(result[&1].accumulators, vec![110, 3]); // 20 + 40 + 50
+    }
+
+    #[test]
+    fn empty_source_gives_empty_result() {
+        let mut empty = VecSource::new(2, vec![]);
+        let spec = AggrSpec::global(vec![Aggregate::Count]);
+        assert!(aggregate(&mut empty, None, &spec).unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_aggregates_combines_partials() {
+        let spec =
+            AggrSpec::grouped(0, vec![Aggregate::Sum(1), Aggregate::Count, Aggregate::Min(1)]);
+        let mut a = AggrResult::new();
+        a.insert(1, GroupState { count: 2, accumulators: vec![30, 2, 10] });
+        let mut b = AggrResult::new();
+        b.insert(1, GroupState { count: 1, accumulators: vec![5, 1, 5] });
+        b.insert(2, GroupState { count: 1, accumulators: vec![7, 1, 7] });
+        let merged = merge_aggregates(&spec, vec![a, b]);
+        assert_eq!(merged[&1].count, 3);
+        assert_eq!(merged[&1].accumulators, vec![35, 3, 5]);
+        assert_eq!(merged[&2].accumulators, vec![7, 1, 7]);
+    }
+
+    #[test]
+    fn merging_partials_equals_single_pass() {
+        let spec = AggrSpec::grouped(0, vec![Aggregate::Sum(1), Aggregate::Max(1)]);
+        let whole = aggregate(&mut source(), None, &spec).unwrap();
+        // Split the same data into two sources and merge.
+        let part1 = VecSource::new(2, vec![Batch::new(vec![vec![0, 1, 0, 1], vec![10, 20, 30, 40]])]);
+        let part2 = VecSource::new(2, vec![Batch::new(vec![vec![1, 0], vec![50, 60]])]);
+        let mut p1 = part1;
+        let mut p2 = part2;
+        let merged = merge_aggregates(
+            &spec,
+            vec![aggregate(&mut p1, None, &spec).unwrap(), aggregate(&mut p2, None, &spec).unwrap()],
+        );
+        assert_eq!(whole, merged);
+    }
+}

@@ -1,0 +1,375 @@
+//! The traditional in-order `Scan` operator.
+//!
+//! A `Scan` reads its RID ranges in order, requesting pages from the shared
+//! buffer pool as it crosses page boundaries, merging the table's PDT on the
+//! fly and periodically reporting its position and speed to the buffer
+//! manager (which is what PBM exploits). Data is delivered strictly in RID
+//! order, so the operator can sit under order-sensitive plans.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scanshare_common::{RangeList, Result, ScanId, Sid, TableId, TupleRange};
+use scanshare_pdt::merge::{MergeCursor, StableSource};
+use scanshare_pdt::pdt::Pdt;
+use scanshare_storage::datagen::Value;
+use scanshare_storage::layout::TableLayout;
+use scanshare_storage::snapshot::Snapshot;
+use scanshare_storage::storage::PageData;
+
+use crate::batch::Batch;
+use crate::engine::Engine;
+use crate::ops::BatchSource;
+
+/// How many tuples are produced per batch.
+pub const BATCH_SIZE: usize = 1024;
+/// How often (in tuples) the scan reports its position to the buffer manager.
+const REPORT_INTERVAL: u64 = 4096;
+
+/// A stable-tuple source that fetches pages through the engine's buffer pool
+/// and accounts I/O and CPU on the engine's virtual clock.
+pub(crate) struct PooledSource {
+    engine: Arc<Engine>,
+    layout: Arc<TableLayout>,
+    snapshot: Arc<Snapshot>,
+    scan_id: Option<ScanId>,
+    /// Last page materialized per column.
+    cached: HashMap<usize, PageData>,
+}
+
+impl PooledSource {
+    pub(crate) fn new(
+        engine: Arc<Engine>,
+        layout: Arc<TableLayout>,
+        snapshot: Arc<Snapshot>,
+        scan_id: Option<ScanId>,
+    ) -> Self {
+        Self { engine, layout, snapshot, scan_id, cached: HashMap::new() }
+    }
+}
+
+impl StableSource for PooledSource {
+    fn stable_tuples(&self) -> u64 {
+        self.snapshot.stable_tuples()
+    }
+
+    fn value(&mut self, col: usize, sid: u64) -> Value {
+        if let Some(page) = self.cached.get(&col) {
+            if let Some(v) = page.value(sid) {
+                return v;
+            }
+        }
+        let page_index = self.layout.page_index_for_sid(col, sid);
+        // Request the page through the buffer pool (if one is configured);
+        // a miss is charged to the simulated I/O device.
+        if let (Some(pool), Some(page_id)) =
+            (self.engine.pool(), self.snapshot.page(col, page_index))
+        {
+            let outcome = pool.lock().request_page(page_id, self.scan_id, self.engine.now());
+            if let Ok(outcome) = outcome {
+                if !outcome.is_hit() {
+                    self.engine.charge_io(self.engine.config().page_size_bytes);
+                }
+            }
+        }
+        let data = self
+            .engine
+            .storage()
+            .read_page(&self.layout, &self.snapshot, col, page_index)
+            .expect("page exists for a valid SID");
+        let v = data.value(sid).expect("page covers sid");
+        self.cached.insert(col, data);
+        v
+    }
+}
+
+/// The in-order scan operator.
+pub struct ScanOperator {
+    engine: Arc<Engine>,
+    pdt: Pdt,
+    source: PooledSource,
+    columns: Vec<usize>,
+    /// Remaining RID ranges to produce, in order.
+    pending: Vec<TupleRange>,
+    /// Position within the first pending range.
+    next_rid: u64,
+    scan_id: Option<ScanId>,
+    tuples_produced: u64,
+    last_report: u64,
+    finished: bool,
+}
+
+impl ScanOperator {
+    /// Creates a scan over `columns` of `table` covering the visible rows in
+    /// `rid_range`.
+    pub fn new(
+        engine: Arc<Engine>,
+        table: TableId,
+        columns: Vec<usize>,
+        rid_range: TupleRange,
+    ) -> Result<Self> {
+        let layout = engine.storage().layout(table)?;
+        let snapshot = engine.storage().master_snapshot(table)?;
+        let pdt = engine.pdt(table)?.read().clone();
+        let visible = pdt.visible_count(snapshot.stable_tuples());
+        let rid_range = rid_range.intersect(&TupleRange::new(0, visible));
+
+        // Convert the RID range to SID ranges and register the page plan with
+        // the buffer manager (RegisterScan).
+        let scan_id = if let Some(pool) = engine.pool() {
+            let sid_ranges = rid_range_to_sid_ranges(&pdt, &rid_range, snapshot.stable_tuples());
+            let plan = layout.scan_page_plan(&snapshot, &columns, &sid_ranges);
+            Some(pool.lock().register_scan(&plan, engine.now()))
+        } else {
+            None
+        };
+
+        let source =
+            PooledSource::new(Arc::clone(&engine), layout, Arc::clone(&snapshot), scan_id);
+        Ok(Self {
+            engine,
+            pdt,
+            source,
+            columns,
+            pending: if rid_range.is_empty() { vec![] } else { vec![rid_range] },
+            next_rid: rid_range.start,
+            scan_id,
+            tuples_produced: 0,
+            last_report: 0,
+            finished: rid_range.is_empty(),
+        })
+    }
+
+    fn report_progress(&mut self) {
+        if let (Some(pool), Some(scan_id)) = (self.engine.pool(), self.scan_id) {
+            pool.lock().report_scan_position(scan_id, self.tuples_produced, self.engine.now());
+        }
+        self.last_report = self.tuples_produced;
+    }
+
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let (Some(pool), Some(scan_id)) = (self.engine.pool(), self.scan_id) {
+            pool.lock().unregister_scan(scan_id, self.engine.now());
+        }
+    }
+}
+
+impl BatchSource for ScanOperator {
+    fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        loop {
+            let Some(range) = self.pending.first().copied() else {
+                self.finish();
+                return Ok(None);
+            };
+            if self.next_rid >= range.end {
+                self.pending.remove(0);
+                if let Some(next) = self.pending.first() {
+                    self.next_rid = next.start;
+                }
+                continue;
+            }
+            let end = (self.next_rid + BATCH_SIZE as u64).min(range.end);
+            let mut cursor = MergeCursor::new(
+                &self.pdt,
+                &mut self.source,
+                self.columns.clone(),
+                TupleRange::new(self.next_rid, end),
+            );
+            let rows = cursor.collect_rows();
+            drop(cursor);
+            let produced = rows.len() as u64;
+            self.next_rid = end;
+            self.tuples_produced += produced;
+            self.engine.charge_cpu(produced);
+            if self.tuples_produced - self.last_report >= REPORT_INTERVAL {
+                self.report_progress();
+            }
+            if rows.is_empty() {
+                continue;
+            }
+            return Ok(Some(Batch::from_rows(self.columns.len(), &rows)));
+        }
+    }
+}
+
+impl Drop for ScanOperator {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Converts a visible-row (RID) range into the stable (SID) ranges that must
+/// be read from storage, using the PDT's positional translation.
+pub(crate) fn rid_range_to_sid_ranges(
+    pdt: &Pdt,
+    rid_range: &TupleRange,
+    stable_tuples: u64,
+) -> RangeList {
+    if rid_range.is_empty() {
+        return RangeList::new();
+    }
+    let lo = pdt.rid_to_sid(scanshare_common::Rid::new(rid_range.start), stable_tuples);
+    let hi = pdt.rid_to_sid(scanshare_common::Rid::new(rid_range.end - 1), stable_tuples);
+    let hi_sid = (hi.raw() + 1).min(stable_tuples);
+    RangeList::single(lo.raw().min(stable_tuples), hi_sid.max(lo.raw()))
+}
+
+/// Translates a chunk's SID range into the widest RID range it can produce,
+/// using `SIDtoRIDlow` for the lower bound and `SIDtoRIDhigh` for the upper
+/// bound (Section 2.1).
+pub(crate) fn sid_range_to_rid_range(pdt: &Pdt, sid_range: &TupleRange) -> TupleRange {
+    if sid_range.is_empty() {
+        return TupleRange::new(0, 0);
+    }
+    let lo = pdt.sid_to_rid_low(Sid::new(sid_range.start)).raw();
+    let hi = pdt.sid_to_rid_high(Sid::new(sid_range.end - 1)).raw() + 1;
+    TupleRange::new(lo, hi.max(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_common::{PolicyKind, ScanShareConfig};
+    use scanshare_storage::column::{ColumnSpec, ColumnType};
+    use scanshare_storage::datagen::DataGen;
+    use scanshare_storage::storage::Storage;
+    use scanshare_storage::table::TableSpec;
+
+    fn engine(policy: PolicyKind, tuples: u64) -> (Arc<Engine>, TableId) {
+        let storage = Storage::with_seed(1024, 500, 5);
+        let spec = TableSpec::new(
+            "t",
+            vec![
+                ColumnSpec::with_width("k", ColumnType::Int64, 8.0),
+                ColumnSpec::with_width("v", ColumnType::Int64, 4.0),
+            ],
+            tuples,
+        );
+        let table = storage
+            .create_table_with_data(
+                spec,
+                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(3)],
+            )
+            .unwrap();
+        let config = ScanShareConfig {
+            page_size_bytes: 1024,
+            chunk_tuples: 500,
+            buffer_pool_bytes: 32 * 1024,
+            policy,
+            ..Default::default()
+        };
+        (Engine::new(storage, config).unwrap(), table)
+    }
+
+    fn collect(op: &mut dyn BatchSource) -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        while let Some(batch) = op.next_batch().unwrap() {
+            rows.extend(batch.to_rows());
+        }
+        rows
+    }
+
+    #[test]
+    fn scan_returns_all_rows_in_order() {
+        let (engine, table) = engine(PolicyKind::Lru, 3000);
+        let mut op =
+            ScanOperator::new(Arc::clone(&engine), table, vec![0, 1], TupleRange::new(0, 3000))
+                .unwrap();
+        let rows = collect(&mut op);
+        assert_eq!(rows.len(), 3000);
+        assert_eq!(rows[0], vec![0, 3]);
+        assert_eq!(rows[2999], vec![2999, 3]);
+        // In-order delivery.
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row[0], i as i64);
+        }
+        let stats = engine.buffer_stats();
+        assert!(stats.misses > 0);
+        assert!(stats.io_bytes > 0);
+    }
+
+    #[test]
+    fn scan_respects_rid_range_and_projection() {
+        let (engine, table) = engine(PolicyKind::Pbm, 2000);
+        let mut op =
+            ScanOperator::new(Arc::clone(&engine), table, vec![0], TupleRange::new(100, 110))
+                .unwrap();
+        let rows = collect(&mut op);
+        assert_eq!(rows, (100..110).map(|i| vec![i as i64]).collect::<Vec<_>>());
+        // Out-of-bounds ranges are clamped.
+        let mut op =
+            ScanOperator::new(Arc::clone(&engine), table, vec![0], TupleRange::new(1990, 99_999))
+                .unwrap();
+        assert_eq!(collect(&mut op).len(), 10);
+    }
+
+    #[test]
+    fn scan_sees_pdt_updates() {
+        let (engine, table) = engine(PolicyKind::Pbm, 1000);
+        engine.delete_row(table, 0).unwrap();
+        engine.insert_row(table, 0, vec![-1, -2]).unwrap();
+        engine.update_value(table, 10, 1, 99).unwrap();
+        let mut op =
+            ScanOperator::new(Arc::clone(&engine), table, vec![0, 1], TupleRange::new(0, 20))
+                .unwrap();
+        let rows = collect(&mut op);
+        assert_eq!(rows[0], vec![-1, -2]);
+        assert_eq!(rows[1], vec![1, 3]);
+        assert_eq!(rows[10], vec![10, 99]);
+    }
+
+    #[test]
+    fn scan_isolation_from_later_updates() {
+        let (engine, table) = engine(PolicyKind::Lru, 100);
+        let mut op =
+            ScanOperator::new(Arc::clone(&engine), table, vec![0], TupleRange::new(0, 100))
+                .unwrap();
+        // Updates applied after the operator was created are not visible to it.
+        engine.delete_row(table, 0).unwrap();
+        let rows = collect(&mut op);
+        assert_eq!(rows.len(), 100);
+        assert_eq!(rows[0], vec![0]);
+    }
+
+    #[test]
+    fn repeated_scans_hit_the_buffer_pool() {
+        let (engine, table) = engine(PolicyKind::Lru, 1000);
+        let run = |engine: &Arc<Engine>| {
+            let mut op =
+                ScanOperator::new(Arc::clone(engine), table, vec![0, 1], TupleRange::new(0, 1000))
+                    .unwrap();
+            collect(&mut op).len()
+        };
+        assert_eq!(run(&engine), 1000);
+        let cold = engine.buffer_stats();
+        assert_eq!(run(&engine), 1000);
+        let warm = engine.buffer_stats();
+        // Table is 8+4 bytes/tuple * 1000 = 12 pages < 32 KiB pool: the second
+        // scan is served entirely from the buffer pool.
+        assert_eq!(warm.io_bytes, cold.io_bytes);
+        assert!(warm.hits > cold.hits);
+    }
+
+    #[test]
+    fn rid_sid_translation_helpers() {
+        let mut pdt = Pdt::new(1);
+        pdt.delete(scanshare_common::Rid::new(0), 100).unwrap();
+        pdt.insert(scanshare_common::Rid::new(10), vec![1], 100).unwrap();
+        // Visible rows 0..99 map to stable tuples 1..99 (tuple 0 is deleted,
+        // the inserted row is anchored inside the range).
+        let sids = rid_range_to_sid_ranges(&pdt, &TupleRange::new(0, 99), 100);
+        assert_eq!(sids.ranges(), &[TupleRange::new(1, 99)]);
+        let rids = sid_range_to_rid_range(&pdt, &TupleRange::new(0, 100));
+        assert_eq!(rids, TupleRange::new(0, 100));
+        assert!(rid_range_to_sid_ranges(&pdt, &TupleRange::new(5, 5), 100).is_empty());
+        assert!(sid_range_to_rid_range(&pdt, &TupleRange::new(5, 5)).is_empty());
+    }
+}

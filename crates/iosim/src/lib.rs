@@ -1,0 +1,19 @@
+//! Simulated I/O subsystem.
+//!
+//! The paper evaluates the buffer-management policies under I/O bandwidths
+//! from 200 MB/s to 2 GB/s by artificially limiting the rate at which the
+//! storage layer delivers pages. This crate provides the equivalent for the
+//! reproduction: a bandwidth-limited [`IoDevice`] operating in virtual time,
+//! I/O accounting ([`IoStats`]), and a [`ReferenceTrace`] recorder used to
+//! replay page-reference traces under the OPT (Belady) oracle.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod device;
+pub mod stats;
+pub mod trace;
+
+pub use device::IoDevice;
+pub use stats::IoStats;
+pub use trace::ReferenceTrace;

@@ -1,0 +1,66 @@
+//! I/O accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated I/O counters. "Total volume of performed I/O" is the second
+/// performance measure used throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Total bytes read from the device.
+    pub bytes_read: u64,
+    /// Total pages read from the device.
+    pub pages_read: u64,
+    /// Number of read requests issued.
+    pub requests: u64,
+}
+
+impl IoStats {
+    /// Records a raw read of `bytes` bytes (counted as one request and, for
+    /// page accounting, zero pages).
+    pub fn record_read(&mut self, bytes: u64) {
+        self.bytes_read += bytes;
+        self.requests += 1;
+    }
+
+    /// Records a read of `pages` pages of `page_size` bytes as one request.
+    pub fn record_pages(&mut self, pages: u64, page_size: u64) {
+        self.bytes_read += pages * page_size;
+        self.pages_read += pages;
+        self.requests += 1;
+    }
+
+    /// Merges another stats snapshot into this one.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.bytes_read += other.bytes_read;
+        self.pages_read += other.pages_read;
+        self.requests += other.requests;
+    }
+
+    /// Bytes read expressed in (decimal) megabytes.
+    pub fn megabytes_read(&self) -> f64 {
+        self.bytes_read as f64 / 1_000_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = IoStats::default();
+        a.record_read(100);
+        a.record_pages(2, 50);
+        assert_eq!(a.bytes_read, 200);
+        assert_eq!(a.pages_read, 2);
+        assert_eq!(a.requests, 2);
+
+        let mut b = IoStats::default();
+        b.record_pages(1, 1_000_000);
+        b.merge(&a);
+        assert_eq!(b.bytes_read, 1_000_200);
+        assert_eq!(b.pages_read, 3);
+        assert_eq!(b.requests, 3);
+        assert!((b.megabytes_read() - 1.0002).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Page-reference traces.
+//!
+//! To evaluate OPT, the paper gathers a trace of all page references made in
+//! a PBM run and feeds it to an OPT simulator. [`ReferenceTrace`] is that
+//! trace: an append-only sequence of page references, optionally tagged with
+//! the scan that issued them.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use scanshare_common::{PageId, ScanId};
+
+/// One recorded page reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reference {
+    /// The referenced page.
+    pub page: PageId,
+    /// The scan that referenced it, if known.
+    pub scan: Option<ScanId>,
+}
+
+/// A thread-safe, append-only page-reference trace.
+#[derive(Debug, Default)]
+pub struct ReferenceTrace {
+    refs: Mutex<Vec<Reference>>,
+}
+
+impl ReferenceTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a reference to `page` by `scan`.
+    pub fn record(&self, page: PageId, scan: Option<ScanId>) {
+        self.refs.lock().push(Reference { page, scan });
+    }
+
+    /// Number of recorded references.
+    pub fn len(&self) -> usize {
+        self.refs.lock().len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.refs.lock().is_empty()
+    }
+
+    /// Returns a copy of the recorded references, in order.
+    pub fn snapshot(&self) -> Vec<Reference> {
+        self.refs.lock().clone()
+    }
+
+    /// Returns just the page ids, in reference order.
+    pub fn pages(&self) -> Vec<PageId> {
+        self.refs.lock().iter().map(|r| r.page).collect()
+    }
+
+    /// Number of distinct pages referenced.
+    pub fn distinct_pages(&self) -> usize {
+        let mut pages = self.pages();
+        pages.sort_unstable();
+        pages.dedup();
+        pages.len()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&self) {
+        self.refs.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot_preserve_order() {
+        let trace = ReferenceTrace::new();
+        assert!(trace.is_empty());
+        trace.record(PageId::new(3), Some(ScanId::new(1)));
+        trace.record(PageId::new(1), None);
+        trace.record(PageId::new(3), Some(ScanId::new(2)));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(
+            trace.pages(),
+            vec![PageId::new(3), PageId::new(1), PageId::new(3)]
+        );
+        assert_eq!(trace.distinct_pages(), 2);
+        let snap = trace.snapshot();
+        assert_eq!(snap[0].scan, Some(ScanId::new(1)));
+        assert_eq!(snap[1].scan, None);
+        trace.clear();
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn trace_is_thread_safe() {
+        use std::sync::Arc;
+        let trace = Arc::new(ReferenceTrace::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let tr = Arc::clone(&trace);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tr.record(PageId::new(t * 1000 + i), None);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(trace.len(), 400);
+        assert_eq!(trace.distinct_pages(), 400);
+    }
+}

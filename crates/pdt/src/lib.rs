@@ -1,0 +1,32 @@
+//! Positional Delta Trees (PDTs): in-memory differential updates.
+//!
+//! Vectorwise never updates columnar data in place: modifications are kept in
+//! memory in *Positional Delta Trees* and merged into the stable tuple stream
+//! on the fly during scans (Héman et al., SIGMOD 2010; Section 2.1 of the
+//! reproduced paper). This crate implements:
+//!
+//! * the [`Pdt`] structure itself — insert / delete / modify actions keyed by
+//!   stable position, with the running-delta bookkeeping needed for
+//!   positional translation;
+//! * the translation functions of Figure 4: [`Pdt::rid_to_sid`],
+//!   [`Pdt::sid_to_rid_low`] and [`Pdt::sid_to_rid_high`];
+//! * [`merge`]: a re-initializable merge cursor that applies PDT changes to a
+//!   stable tuple stream for an arbitrary RID range — the operation a CScan
+//!   must restart for every out-of-order chunk it receives;
+//! * [`stack`]: stacked PDTs ("differences on differences") used for snapshot
+//!   isolation, with composition (propagation) of layers;
+//! * [`checkpoint`]: materializing stable storage + PDT into a brand-new
+//!   table image, as performed by a PDT checkpoint (Figure 7).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checkpoint;
+pub mod merge;
+pub mod pdt;
+pub mod stack;
+
+pub use crate::pdt::{Pdt, UpdateStats};
+pub use checkpoint::checkpoint_table;
+pub use merge::{MergeCursor, SliceSource, StableSource};
+pub use stack::PdtStack;

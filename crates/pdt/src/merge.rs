@@ -1,0 +1,360 @@
+//! PDT merging: applying differential updates to a stable tuple stream.
+//!
+//! Every scan (classical `Scan` or `CScan`) reads *stale* columnar data and
+//! merges the PDT on the fly so that its output corresponds to the latest
+//! visible database state. The merge is driven by RID ranges: the scan knows
+//! which visible rows it must produce, and pulls the stable tuples it needs
+//! from the buffer manager.
+//!
+//! Out-of-order chunk delivery (Cooperative Scans) means the merge must be
+//! **re-initializable at an arbitrary position**: whenever a new chunk
+//! arrives, the proper starting position inside the PDT has to be found
+//! again. [`MergeCursor::seek`] implements exactly that.
+
+use scanshare_common::{Rid, TupleRange};
+use scanshare_storage::datagen::Value;
+
+use crate::pdt::Pdt;
+
+/// A source of stable (on-disk, pre-update) tuple values.
+pub trait StableSource {
+    /// Number of stable tuples available.
+    fn stable_tuples(&self) -> u64;
+    /// The value of column `col` for stable tuple `sid`.
+    fn value(&mut self, col: usize, sid: u64) -> Value;
+}
+
+impl<S: StableSource + ?Sized> StableSource for &mut S {
+    fn stable_tuples(&self) -> u64 {
+        (**self).stable_tuples()
+    }
+    fn value(&mut self, col: usize, sid: u64) -> Value {
+        (**self).value(col, sid)
+    }
+}
+
+/// A [`StableSource`] backed by in-memory column slices (column-major).
+#[derive(Debug, Clone)]
+pub struct SliceSource {
+    columns: Vec<Vec<Value>>,
+}
+
+impl SliceSource {
+    /// Creates a source from column-major data. All columns must have equal
+    /// length.
+    pub fn new(columns: Vec<Vec<Value>>) -> Self {
+        if let Some(first) = columns.first() {
+            assert!(columns.iter().all(|c| c.len() == first.len()), "column lengths must match");
+        }
+        Self { columns }
+    }
+
+    /// Builds a source with `columns` generated as `f(col, sid)`.
+    pub fn generate(column_count: usize, tuples: u64, f: impl Fn(usize, u64) -> Value) -> Self {
+        Self::new(
+            (0..column_count).map(|c| (0..tuples).map(|s| f(c, s)).collect()).collect(),
+        )
+    }
+}
+
+impl StableSource for SliceSource {
+    fn stable_tuples(&self) -> u64 {
+        self.columns.first().map(|c| c.len() as u64).unwrap_or(0)
+    }
+
+    fn value(&mut self, col: usize, sid: u64) -> Value {
+        self.columns[col][sid as usize]
+    }
+}
+
+/// A restartable cursor producing the merged (visible) tuple stream for a
+/// RID range, projected onto a set of columns.
+#[derive(Debug)]
+pub struct MergeCursor<'a, S> {
+    pdt: &'a Pdt,
+    source: S,
+    columns: Vec<usize>,
+    next_rid: u64,
+    end_rid: u64,
+    current_sid: u64,
+    offset: usize,
+}
+
+impl<'a, S: StableSource> MergeCursor<'a, S> {
+    /// Creates a cursor over the visible rows in `rid_range`.
+    pub fn new(pdt: &'a Pdt, source: S, columns: Vec<usize>, rid_range: TupleRange) -> Self {
+        let mut cursor = Self {
+            pdt,
+            source,
+            columns,
+            next_rid: 0,
+            end_rid: 0,
+            current_sid: 0,
+            offset: 0,
+        };
+        cursor.seek_range(rid_range);
+        cursor
+    }
+
+    /// Re-initializes the cursor at a new RID range. This is the operation a
+    /// CScan performs whenever ABM delivers the next (out-of-order) chunk.
+    pub fn seek_range(&mut self, rid_range: TupleRange) {
+        let visible = self.pdt.visible_count(self.source.stable_tuples());
+        let clamped = rid_range.intersect(&TupleRange::new(0, visible));
+        self.next_rid = clamped.start;
+        self.end_rid = clamped.end;
+        self.seek(Rid::new(clamped.start));
+    }
+
+    /// Positions the internal PDT state at `rid` (without changing the end of
+    /// the current range).
+    pub fn seek(&mut self, rid: Rid) {
+        let stable = self.source.stable_tuples();
+        let (sid, offset) = if rid.raw() >= self.pdt.visible_count(stable) {
+            (stable, self.pdt.node_inserts(stable))
+        } else {
+            self.pdt_locate(rid)
+        };
+        self.next_rid = rid.raw();
+        self.current_sid = sid;
+        self.offset = offset;
+    }
+
+    fn pdt_locate(&self, rid: Rid) -> (u64, usize) {
+        // `locate` is crate-private on Pdt; re-derive it from the public API
+        // to keep the cursor independent of internals.
+        let stable = self.source.stable_tuples();
+        let sid = self.pdt.rid_to_sid(rid, stable);
+        let low = self.pdt.sid_to_rid_low(sid);
+        (sid.raw(), (rid.raw() - low.raw()) as usize)
+    }
+
+    /// The RID the next produced row will have.
+    pub fn position(&self) -> Rid {
+        Rid::new(self.next_rid)
+    }
+
+    /// Whether the cursor has produced every row of its range.
+    pub fn is_exhausted(&self) -> bool {
+        self.next_rid >= self.end_rid
+    }
+
+    /// Produces the next visible row (projected on the cursor's columns), or
+    /// `None` when the range is exhausted.
+    pub fn next_row(&mut self) -> Option<Vec<Value>> {
+        if self.is_exhausted() {
+            return None;
+        }
+        let stable = self.source.stable_tuples();
+        loop {
+            let inserts = self.pdt.node_inserts(self.current_sid);
+            if self.offset < inserts {
+                let row = self
+                    .pdt
+                    .node_insert_row(self.current_sid, self.offset)
+                    .expect("offset < inserts");
+                let projected = self.columns.iter().map(|&c| row[c]).collect();
+                self.offset += 1;
+                self.next_rid += 1;
+                return Some(projected);
+            }
+            let deleted = self.pdt.node_deleted(self.current_sid);
+            if self.offset == inserts && !deleted && self.current_sid < stable {
+                let sid = self.current_sid;
+                let projected = self
+                    .columns
+                    .iter()
+                    .map(|&c| {
+                        self.pdt
+                            .node_modify(sid, c)
+                            .unwrap_or_else(|| self.source.value(c, sid))
+                    })
+                    .collect();
+                self.offset += 1;
+                self.next_rid += 1;
+                return Some(projected);
+            }
+            // Move to the next anchor position.
+            if self.current_sid >= stable {
+                // Past the end: nothing left (should not happen when the
+                // range was clamped, but guard anyway).
+                self.next_rid = self.end_rid;
+                return None;
+            }
+            self.current_sid += 1;
+            self.offset = 0;
+        }
+    }
+
+    /// Produces every remaining row of the range.
+    pub fn collect_rows(&mut self) -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        while let Some(row) = self.next_row() {
+            out.push(row);
+        }
+        out
+    }
+}
+
+/// Convenience: merges `pdt` over `source` for `rid_range`, projecting
+/// `columns`, and returns all rows.
+pub fn merge_range<S: StableSource>(
+    pdt: &Pdt,
+    source: S,
+    columns: &[usize],
+    rid_range: TupleRange,
+) -> Vec<Vec<Value>> {
+    MergeCursor::new(pdt, source, columns.to_vec(), rid_range).collect_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_common::Sid;
+
+    fn source(n: u64) -> SliceSource {
+        SliceSource::generate(2, n, |c, s| (s * 10 + c as u64) as Value)
+    }
+
+    #[test]
+    fn identity_merge_returns_stable_rows() {
+        let pdt = Pdt::new(2);
+        let rows = merge_range(&pdt, source(5), &[0, 1], TupleRange::new(0, 5));
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[3], vec![30, 31]);
+    }
+
+    #[test]
+    fn projection_selects_columns_in_order() {
+        let pdt = Pdt::new(2);
+        let rows = merge_range(&pdt, source(3), &[1], TupleRange::new(1, 3));
+        assert_eq!(rows, vec![vec![11], vec![21]]);
+        let rows = merge_range(&pdt, source(3), &[1, 0], TupleRange::new(0, 1));
+        assert_eq!(rows, vec![vec![1, 0]]);
+    }
+
+    #[test]
+    fn merge_applies_inserts_deletes_modifies() {
+        let n = 6;
+        let mut pdt = Pdt::new(2);
+        pdt.delete(Rid::new(0), n).unwrap();
+        pdt.insert(Rid::new(2), vec![-1, -2], n).unwrap();
+        pdt.modify(Rid::new(0), 1, 999, n).unwrap();
+        // Visible stream: [10,999], [20,21], [-1,-2], [30,31], [40,41], [50,51]
+        let rows = merge_range(&pdt, source(n), &[0, 1], TupleRange::new(0, 6));
+        assert_eq!(
+            rows,
+            vec![
+                vec![10, 999],
+                vec![20, 21],
+                vec![-1, -2],
+                vec![30, 31],
+                vec![40, 41],
+                vec![50, 51]
+            ]
+        );
+    }
+
+    #[test]
+    fn range_is_clamped_to_visible_count() {
+        let mut pdt = Pdt::new(2);
+        pdt.delete(Rid::new(0), 4).unwrap();
+        let rows = merge_range(&pdt, source(4), &[0], TupleRange::new(0, 100));
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn partial_ranges_match_full_merge() {
+        let n = 20;
+        let mut pdt = Pdt::new(2);
+        for i in 0..5 {
+            pdt.insert(Rid::new(i * 3), vec![-(i as Value), 0], n).unwrap();
+        }
+        pdt.delete(Rid::new(10), n).unwrap();
+        pdt.modify(Rid::new(7), 0, 777, n).unwrap();
+
+        let full = merge_range(&pdt, source(n), &[0, 1], TupleRange::new(0, 100));
+        let visible = pdt.visible_count(n);
+        assert_eq!(full.len() as u64, visible);
+
+        // Any split into sub-ranges must reproduce the same stream.
+        for split in 1..visible {
+            let mut parts = merge_range(&pdt, source(n), &[0, 1], TupleRange::new(0, split));
+            parts.extend(merge_range(&pdt, source(n), &[0, 1], TupleRange::new(split, visible)));
+            assert_eq!(parts, full, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn cursor_can_be_reused_across_chunks_out_of_order() {
+        let n = 12;
+        let mut pdt = Pdt::new(2);
+        pdt.insert(Rid::new(4), vec![100, 200], n).unwrap();
+        pdt.delete(Rid::new(9), n).unwrap();
+        let full = merge_range(&pdt, source(n), &[0], TupleRange::new(0, 12));
+
+        // Deliver "chunks" out of order: [8,12), [0,4), [4,8).
+        let mut cursor = MergeCursor::new(&pdt, source(n), vec![0], TupleRange::new(8, 12));
+        let mut c3 = cursor.collect_rows();
+        cursor.seek_range(TupleRange::new(0, 4));
+        let c1 = cursor.collect_rows();
+        cursor.seek_range(TupleRange::new(4, 8));
+        let c2 = cursor.collect_rows();
+
+        let mut reassembled = c1;
+        reassembled.extend(c2);
+        reassembled.append(&mut c3);
+        assert_eq!(reassembled, full);
+    }
+
+    #[test]
+    fn seek_tracks_position() {
+        let n = 5;
+        let pdt = Pdt::new(2);
+        let mut cursor = MergeCursor::new(&pdt, source(n), vec![0], TupleRange::new(0, 5));
+        assert_eq!(cursor.position(), Rid::new(0));
+        cursor.next_row().unwrap();
+        assert_eq!(cursor.position(), Rid::new(1));
+        assert!(!cursor.is_exhausted());
+        cursor.collect_rows();
+        assert!(cursor.is_exhausted());
+        assert!(cursor.next_row().is_none());
+    }
+
+    #[test]
+    fn translation_and_merge_are_consistent_for_chunk_boundaries() {
+        // Mimic what a CScan does: translate a SID chunk boundary to a RID
+        // range (low/high) and merge that range.
+        let n = 30;
+        let mut pdt = Pdt::new(2);
+        for i in 0..6 {
+            pdt.insert(Rid::new(i * 4 + 1), vec![1000 + i as Value, 0], n).unwrap();
+        }
+        for _ in 0..3 {
+            pdt.delete(Rid::new(12), n).unwrap();
+        }
+        let chunk = TupleRange::new(10, 20); // SID space
+        let lo = pdt.sid_to_rid_low(Sid::new(chunk.start)).raw();
+        let hi = pdt.sid_to_rid_high(Sid::new(chunk.end - 1)).raw() + 1;
+        let rows = merge_range(&pdt, source(n), &[0], TupleRange::new(lo, hi));
+        // The produced rows must be exactly the slice [lo, hi) of the full
+        // visible stream.
+        let full = merge_range(&pdt, source(n), &[0], TupleRange::new(0, 100));
+        assert_eq!(rows.as_slice(), &full[lo as usize..hi as usize]);
+    }
+
+    #[test]
+    fn generate_and_slice_source_agree() {
+        let mut s = SliceSource::new(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(s.stable_tuples(), 3);
+        assert_eq!(s.value(1, 2), 6);
+        let empty = SliceSource::new(vec![]);
+        assert_eq!(empty.stable_tuples(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column lengths")]
+    fn slice_source_rejects_ragged_columns() {
+        let _ = SliceSource::new(vec![vec![1], vec![2, 3]]);
+    }
+}

@@ -1,0 +1,382 @@
+//! Stacked PDTs: differences on differences.
+//!
+//! Vectorwise keeps three PDT layers per table (Section 2.1): a large
+//! *read-optimized* PDT shared by all transactions, a smaller *shared* PDT,
+//! and a tiny *trans-private* PDT per snapshot. Only the top-most layer is
+//! private; the lower layers are shared, which keeps the memory cost of
+//! snapshot isolation low.
+//!
+//! The positions stored in layer `k` refer to the output (RID space) of layer
+//! `k-1`, so reads *compose* the layers: translation goes through every layer
+//! and the merged stream of layer `k-1` acts as the "stable" input of layer
+//! `k`. [`PdtStack::propagate`] flattens the top layer into the one below it
+//! (the operation performed when a transaction commits its private PDT into
+//! the shared one).
+
+use scanshare_common::{Result, Rid, Sid, TupleRange};
+use scanshare_storage::datagen::Value;
+
+use crate::merge::{MergeCursor, StableSource};
+use crate::pdt::Pdt;
+
+/// A stack of PDT layers. `layers[0]` is closest to stable storage; the last
+/// layer is the top (most recent, typically transaction-private) one.
+#[derive(Debug, Clone)]
+pub struct PdtStack {
+    column_count: usize,
+    layers: Vec<Pdt>,
+}
+
+impl PdtStack {
+    /// Creates a stack of `depth` empty layers (Vectorwise uses three).
+    pub fn new(column_count: usize, depth: usize) -> Self {
+        assert!(depth >= 1, "a stack needs at least one layer");
+        Self { column_count, layers: (0..depth).map(|_| Pdt::new(column_count)).collect() }
+    }
+
+    /// Number of table columns.
+    pub fn column_count(&self) -> usize {
+        self.column_count
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Immutable access to a layer (0 = closest to stable storage).
+    pub fn layer(&self, i: usize) -> &Pdt {
+        &self.layers[i]
+    }
+
+    /// Mutable access to the top (private) layer, where new updates land.
+    pub fn top_mut(&mut self) -> &mut Pdt {
+        self.layers.last_mut().expect("depth >= 1")
+    }
+
+    /// Immutable access to the top layer.
+    pub fn top(&self) -> &Pdt {
+        self.layers.last().expect("depth >= 1")
+    }
+
+    /// Number of rows visible after all layers are applied.
+    pub fn visible_count(&self, stable_tuples: u64) -> u64 {
+        self.layers.iter().fold(stable_tuples, |acc, layer| layer.visible_count(acc))
+    }
+
+    /// Visible count after applying only the first `upto` layers.
+    fn visible_below(&self, stable_tuples: u64, upto: usize) -> u64 {
+        self.layers[..upto].iter().fold(stable_tuples, |acc, layer| layer.visible_count(acc))
+    }
+
+    /// Translates a top-level RID down to the stable SID it is anchored at,
+    /// going through every layer.
+    pub fn rid_to_sid(&self, rid: Rid, stable_tuples: u64) -> Sid {
+        let mut pos = rid.raw();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let below = self.visible_below(stable_tuples, i);
+            pos = layer.rid_to_sid(Rid::new(pos), below).raw();
+        }
+        Sid::new(pos)
+    }
+
+    /// Lowest top-level RID anchored at stable position `sid`.
+    pub fn sid_to_rid_low(&self, sid: Sid) -> Rid {
+        let mut pos = sid.raw();
+        for layer in &self.layers {
+            pos = layer.sid_to_rid_low(Sid::new(pos)).raw();
+        }
+        Rid::new(pos)
+    }
+
+    /// Highest top-level RID anchored at stable position `sid`.
+    pub fn sid_to_rid_high(&self, sid: Sid) -> Rid {
+        let mut pos = sid.raw();
+        for layer in &self.layers {
+            pos = layer.sid_to_rid_high(Sid::new(pos)).raw();
+        }
+        Rid::new(pos)
+    }
+
+    /// Inserts a row at top-level position `rid`.
+    pub fn insert(&mut self, rid: Rid, row: Vec<Value>, stable_tuples: u64) -> Result<()> {
+        let below = self.visible_below(stable_tuples, self.layers.len() - 1);
+        self.top_mut().insert(rid, row, below)
+    }
+
+    /// Deletes the visible row at top-level position `rid`.
+    pub fn delete(&mut self, rid: Rid, stable_tuples: u64) -> Result<()> {
+        let below = self.visible_below(stable_tuples, self.layers.len() - 1);
+        self.top_mut().delete(rid, below)
+    }
+
+    /// Modifies column `col` of the visible row at top-level position `rid`.
+    pub fn modify(&mut self, rid: Rid, col: usize, value: Value, stable_tuples: u64) -> Result<()> {
+        let below = self.visible_below(stable_tuples, self.layers.len() - 1);
+        self.top_mut().modify(rid, col, value, below)
+    }
+
+    /// Merges the whole stack over `source` for a top-level RID range,
+    /// projecting `columns`.
+    pub fn merge_range<S: StableSource + Clone>(
+        &self,
+        source: S,
+        columns: &[usize],
+        rid_range: TupleRange,
+    ) -> Vec<Vec<Value>> {
+        self.merge_layer(self.layers.len(), source, columns, rid_range)
+    }
+
+    /// Merges layers `0..upto` for a range in layer `upto`'s input space.
+    fn merge_layer<S: StableSource + Clone>(
+        &self,
+        upto: usize,
+        source: S,
+        columns: &[usize],
+        range: TupleRange,
+    ) -> Vec<Vec<Value>> {
+        if upto == 0 {
+            let mut source = source;
+            let stable = source.stable_tuples();
+            let clamped = range.intersect(&TupleRange::new(0, stable));
+            return (clamped.start..clamped.end)
+                .map(|sid| columns.iter().map(|&c| source.value(c, sid)).collect())
+                .collect();
+        }
+        let layer = &self.layers[upto - 1];
+        // The layer needs *all* columns of its input rows because inserted
+        // rows store every column; we materialize the input lazily through a
+        // recursive source.
+        let lower = StackSource { stack: self, upto: upto - 1, source, cache: None };
+        let mut cursor = MergeCursor::new(layer, lower, columns.to_vec(), range);
+        cursor.collect_rows()
+    }
+
+    /// Flattens the top layer into the layer below it, leaving a fresh empty
+    /// top layer. The observable merged stream is unchanged.
+    pub fn propagate(&mut self, stable_tuples: u64) -> Result<()> {
+        if self.layers.len() < 2 {
+            return Ok(());
+        }
+        let top = self.layers.pop().expect("len >= 2");
+        let below_tuples = self.visible_below(stable_tuples, self.layers.len() - 1);
+        {
+            let lower = self.layers.last_mut().expect("len >= 1");
+            compose_into(lower, &top, below_tuples)?;
+        }
+        self.layers.push(Pdt::new(self.column_count));
+        Ok(())
+    }
+
+    /// Flattens every layer into a single equivalent PDT (used by
+    /// checkpointing and by tests).
+    ///
+    /// The combined PDT stays anchored directly on stable storage, so every
+    /// composition step passes the same `stable_tuples` count.
+    pub fn flatten(&self, stable_tuples: u64) -> Result<Pdt> {
+        let mut combined = self.layers[0].clone();
+        for layer in &self.layers[1..] {
+            compose_into(&mut combined, layer, stable_tuples)?;
+        }
+        Ok(combined)
+    }
+}
+
+/// Applies every update of `upper` (whose positions live in the output space
+/// of `lower`) onto `lower`, so that `lower` alone produces the same visible
+/// stream as `lower` followed by `upper`.
+///
+/// Updates are replayed in descending position order: edits at a position
+/// never disturb the meaning of positions smaller than it, so later (smaller)
+/// replays still refer to the correct rows.
+fn compose_into(lower: &mut Pdt, upper: &Pdt, lower_stable: u64) -> Result<()> {
+    let lower_visible = lower.visible_count(lower_stable);
+    let anchors: Vec<u64> = upper.anchors_in(0, u64::MAX).collect();
+    for &anchor in anchors.iter().rev() {
+        // 1. Delete / modify of the row at position `anchor` (a position in
+        //    lower's output space).
+        if upper.node_deleted(anchor) {
+            lower.delete(Rid::new(anchor), lower_stable)?;
+        } else {
+            for col in 0..upper.column_count() {
+                if let Some(v) = upper.node_modify(anchor, col) {
+                    lower.modify(Rid::new(anchor), col, v, lower_stable)?;
+                }
+            }
+        }
+        // 2. Rows inserted before position `anchor`, preserving their order.
+        let inserts = upper.node_inserts(anchor);
+        for i in 0..inserts {
+            let row = upper.node_insert_row(anchor, i).expect("i < inserts").clone();
+            let pos = (anchor + i as u64).min(lower_visible + i as u64);
+            lower.insert(Rid::new(pos), row, lower_stable)?;
+        }
+    }
+    Ok(())
+}
+
+/// A [`StableSource`] that materializes the merged output of the lower layers
+/// of a stack, used as the input of the layer above them.
+struct StackSource<'a, S> {
+    stack: &'a PdtStack,
+    upto: usize,
+    source: S,
+    cache: Option<(u64, Vec<Value>)>,
+}
+
+impl<'a, S: StableSource + Clone> StableSource for StackSource<'a, S> {
+    fn stable_tuples(&self) -> u64 {
+        let mut count = self.source.stable_tuples();
+        for layer in &self.stack.layers[..self.upto] {
+            count = layer.visible_count(count);
+        }
+        count
+    }
+
+    fn value(&mut self, col: usize, sid: u64) -> Value {
+        if let Some((cached_sid, row)) = &self.cache {
+            if *cached_sid == sid {
+                return row[col];
+            }
+        }
+        let all_columns: Vec<usize> = (0..self.stack.column_count).collect();
+        let rows = self.stack.merge_layer(
+            self.upto,
+            self.source.clone(),
+            &all_columns,
+            TupleRange::new(sid, sid + 1),
+        );
+        let row = rows.into_iter().next().unwrap_or_else(|| vec![0; self.stack.column_count]);
+        let v = row[col];
+        self.cache = Some((sid, row));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{merge_range, SliceSource};
+
+    fn source(n: u64) -> SliceSource {
+        SliceSource::generate(2, n, |c, s| (s * 10 + c as u64) as Value)
+    }
+
+    #[test]
+    fn single_layer_stack_behaves_like_a_pdt() {
+        let n = 10;
+        let mut stack = PdtStack::new(2, 1);
+        stack.insert(Rid::new(2), vec![-1, -2], n).unwrap();
+        stack.delete(Rid::new(5), n).unwrap();
+        let mut pdt = Pdt::new(2);
+        pdt.insert(Rid::new(2), vec![-1, -2], n).unwrap();
+        pdt.delete(Rid::new(5), n).unwrap();
+        assert_eq!(
+            stack.merge_range(source(n), &[0, 1], TupleRange::new(0, 100)),
+            merge_range(&pdt, source(n), &[0, 1], TupleRange::new(0, 100))
+        );
+        assert_eq!(stack.visible_count(n), pdt.visible_count(n));
+    }
+
+    #[test]
+    fn updates_land_in_the_top_layer_only() {
+        let n = 10;
+        let mut stack = PdtStack::new(2, 3);
+        stack.insert(Rid::new(0), vec![1, 1], n).unwrap();
+        assert!(stack.layer(0).is_empty());
+        assert!(stack.layer(1).is_empty());
+        assert_eq!(stack.top().stats().inserts, 1);
+    }
+
+    #[test]
+    fn stacked_layers_compose_for_reads() {
+        let n = 10;
+        let mut stack = PdtStack::new(2, 2);
+        // Layer 0 (shared): delete stable row 0.
+        stack.top_mut().delete(Rid::new(0), n).unwrap();
+        stack.propagate(n).unwrap(); // move it into layer 0
+        assert_eq!(stack.layer(0).stats().deletes, 1);
+        // Layer 1 (private): insert at the new position 0.
+        stack.insert(Rid::new(0), vec![-5, -6], n).unwrap();
+        let rows = stack.merge_range(source(n), &[0, 1], TupleRange::new(0, 3));
+        assert_eq!(rows, vec![vec![-5, -6], vec![10, 11], vec![20, 21]]);
+        assert_eq!(stack.visible_count(n), 10);
+    }
+
+    #[test]
+    fn translation_composes_through_layers() {
+        let n = 10;
+        let mut stack = PdtStack::new(2, 2);
+        stack.top_mut().insert(Rid::new(3), vec![0, 0], n).unwrap();
+        stack.propagate(n).unwrap();
+        stack.insert(Rid::new(0), vec![1, 1], n).unwrap();
+        // Visible: [ins(1,1)], s0, s1, s2, [ins(0,0)], s3, ...
+        assert_eq!(stack.rid_to_sid(Rid::new(0), n), Sid::new(0));
+        assert_eq!(stack.rid_to_sid(Rid::new(1), n), Sid::new(0));
+        assert_eq!(stack.rid_to_sid(Rid::new(4), n), Sid::new(3));
+        assert_eq!(stack.rid_to_sid(Rid::new(5), n), Sid::new(3));
+        assert_eq!(stack.sid_to_rid_low(Sid::new(0)), Rid::new(0));
+        assert_eq!(stack.sid_to_rid_high(Sid::new(0)), Rid::new(1));
+        assert_eq!(stack.sid_to_rid_low(Sid::new(3)), Rid::new(4));
+        assert_eq!(stack.sid_to_rid_high(Sid::new(3)), Rid::new(5));
+    }
+
+    #[test]
+    fn propagate_preserves_the_visible_stream() {
+        let n = 20;
+        let mut stack = PdtStack::new(2, 3);
+        // A batch of updates in the private layer.
+        stack.insert(Rid::new(5), vec![-1, -1], n).unwrap();
+        stack.delete(Rid::new(10), n).unwrap();
+        stack.modify(Rid::new(0), 1, 77, n).unwrap();
+        let before = stack.merge_range(source(n), &[0, 1], TupleRange::new(0, 100));
+        stack.propagate(n).unwrap();
+        // More updates in the fresh private layer.
+        stack.insert(Rid::new(0), vec![-9, -9], n).unwrap();
+        stack.propagate(n).unwrap();
+        let after = stack.merge_range(source(n), &[0, 1], TupleRange::new(0, 100));
+        assert_eq!(after.len(), before.len() + 1);
+        assert_eq!(&after[1..], &before[..]);
+        assert!(stack.top().is_empty());
+        assert!(stack.layer(2).is_empty());
+    }
+
+    #[test]
+    fn flatten_produces_equivalent_single_pdt() {
+        let n = 15;
+        let mut stack = PdtStack::new(2, 3);
+        stack.insert(Rid::new(3), vec![-1, -2], n).unwrap();
+        stack.propagate(n).unwrap();
+        stack.delete(Rid::new(0), n).unwrap();
+        stack.modify(Rid::new(5), 0, 500, n).unwrap();
+        stack.propagate(n).unwrap();
+        stack.insert(Rid::new(7), vec![-3, -4], n).unwrap();
+
+        let flat = stack.flatten(n).unwrap();
+        assert_eq!(
+            merge_range(&flat, source(n), &[0, 1], TupleRange::new(0, 100)),
+            stack.merge_range(source(n), &[0, 1], TupleRange::new(0, 100))
+        );
+        assert_eq!(flat.visible_count(n), stack.visible_count(n));
+    }
+
+    #[test]
+    fn partial_range_merge_through_stack_matches_slice_of_full() {
+        let n = 25;
+        let mut stack = PdtStack::new(2, 2);
+        for i in 0..5 {
+            stack.insert(Rid::new(i * 5), vec![-(i as Value), 0], n).unwrap();
+        }
+        stack.propagate(n).unwrap();
+        stack.delete(Rid::new(3), n).unwrap();
+        let full = stack.merge_range(source(n), &[0], TupleRange::new(0, 1000));
+        let part = stack.merge_range(source(n), &[0], TupleRange::new(10, 20));
+        assert_eq!(part.as_slice(), &full[10..20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_depth_stack_is_rejected() {
+        let _ = PdtStack::new(1, 0);
+    }
+}

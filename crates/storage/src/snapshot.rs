@@ -1,0 +1,444 @@
+//! Storage snapshots: versioned per-column arrays of page references.
+//!
+//! Vectorwise gives every transaction a *storage snapshot*: per column, an
+//! array of page identifiers (Section 2.1, "Bulk Appends"). Appending data
+//! creates new pages and adds references to them in a transaction-local
+//! snapshot; committing promotes that snapshot to the *master* snapshot that
+//! new transactions start from. A PDT checkpoint creates a snapshot whose
+//! pages are all new (Figure 7).
+//!
+//! Two snapshots of the same table always share a *common prefix* of pages
+//! (possibly empty after a checkpoint). The Active Buffer Manager uses the
+//! longest prefix shared by at least two running CScans to mark chunks as
+//! *shared* or *local*.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use scanshare_common::{Error, PageId, Result, SnapshotId, TableId, TupleRange};
+
+use crate::layout::TableLayout;
+
+/// An immutable storage snapshot of one table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    id: SnapshotId,
+    table: TableId,
+    /// Page references per column (outer index = column index in the table
+    /// spec, inner index = page index).
+    column_pages: Vec<Vec<PageId>>,
+    /// Number of tuples stored in stable storage under this snapshot.
+    stable_tuples: u64,
+    /// Snapshot this one was derived from (None for the base snapshot or a
+    /// checkpoint image).
+    parent: Option<SnapshotId>,
+}
+
+impl Snapshot {
+    /// The snapshot id.
+    pub fn id(&self) -> SnapshotId {
+        self.id
+    }
+
+    /// The table this snapshot belongs to.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// Number of stable tuples visible in this snapshot.
+    pub fn stable_tuples(&self) -> u64 {
+        self.stable_tuples
+    }
+
+    /// The snapshot this one was derived from, if any.
+    pub fn parent(&self) -> Option<SnapshotId> {
+        self.parent
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.column_pages.len()
+    }
+
+    /// Page reference `page_index` of column `col`, if it exists.
+    pub fn page(&self, col: usize, page_index: u64) -> Option<PageId> {
+        self.column_pages.get(col).and_then(|pages| pages.get(page_index as usize)).copied()
+    }
+
+    /// All page references of column `col`.
+    pub fn column_pages(&self, col: usize) -> &[PageId] {
+        self.column_pages.get(col).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of page references across all columns.
+    pub fn total_pages(&self) -> usize {
+        self.column_pages.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the given page is referenced by this snapshot.
+    pub fn references_page(&self, page: PageId) -> bool {
+        self.column_pages.iter().any(|pages| pages.contains(&page))
+    }
+
+    /// Per-column count of leading page references that are identical in
+    /// `self` and `other`.
+    pub fn common_prefix_pages(&self, other: &Snapshot) -> Vec<usize> {
+        self.column_pages
+            .iter()
+            .zip(other.column_pages.iter())
+            .map(|(a, b)| a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count())
+            .collect()
+    }
+
+    /// Number of leading *tuples* whose pages (in **all** columns) are shared
+    /// between the two snapshots. A chunk is "shared" only if every page of
+    /// every column in the chunk belongs to both snapshots, so the shared
+    /// tuple prefix is the minimum over columns of the tuples covered by the
+    /// shared page prefix.
+    pub fn shared_prefix_tuples(&self, other: &Snapshot, layout: &TableLayout) -> u64 {
+        if self.table != other.table || self.column_pages.len() != other.column_pages.len() {
+            return 0;
+        }
+        let limit = self.stable_tuples.min(other.stable_tuples);
+        self.common_prefix_pages(other)
+            .iter()
+            .enumerate()
+            .map(|(col, &prefix)| (prefix as u64 * layout.tuples_per_page(col)).min(limit))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether the two snapshots reference exactly the same pages.
+    pub fn same_pages(&self, other: &Snapshot) -> bool {
+        self.column_pages == other.column_pages
+    }
+}
+
+/// Descriptor of a page that was newly allocated while deriving a snapshot
+/// (by an append or a checkpoint). The storage layer uses this to attach the
+/// page's data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewPage {
+    /// The freshly allocated page id.
+    pub page: PageId,
+    /// Column (index in the table spec) the page belongs to.
+    pub column_index: usize,
+    /// SID range the page covers in the *new* snapshot.
+    pub sid_range: TupleRange,
+}
+
+/// Allocates page ids and snapshot ids, derives snapshots and tracks the
+/// master snapshot of every table.
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    next_page: u64,
+    next_snapshot: u64,
+    snapshots: HashMap<SnapshotId, Arc<Snapshot>>,
+    masters: HashMap<TableId, SnapshotId>,
+}
+
+impl SnapshotStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates `n` fresh page ids.
+    pub fn allocate_pages(&mut self, n: u64) -> Vec<PageId> {
+        let start = self.next_page;
+        self.next_page += n;
+        (start..start + n).map(PageId::new).collect()
+    }
+
+    /// Allocates a fresh snapshot id.
+    pub fn allocate_snapshot_id(&mut self) -> SnapshotId {
+        let id = SnapshotId::new(self.next_snapshot);
+        self.next_snapshot += 1;
+        id
+    }
+
+    /// Creates the base snapshot of a table (its initial stable image) with
+    /// an explicit id, registering it as the table's master snapshot.
+    pub fn create_base_snapshot(&mut self, layout: &TableLayout, id: SnapshotId) -> Snapshot {
+        self.next_snapshot = self.next_snapshot.max(id.raw() + 1);
+        let base_tuples = layout.spec().base_tuples;
+        let column_pages: Vec<Vec<PageId>> = (0..layout.column_count())
+            .map(|col| self.allocate_pages(layout.pages_for_tuples(col, base_tuples)))
+            .collect();
+        let snapshot = Snapshot {
+            id,
+            table: layout.table(),
+            column_pages,
+            stable_tuples: base_tuples,
+            parent: None,
+        };
+        self.register(snapshot.clone());
+        self.masters.insert(layout.table(), id);
+        snapshot
+    }
+
+    /// Registers a snapshot so it can be looked up by id.
+    pub fn register(&mut self, snapshot: Snapshot) -> Arc<Snapshot> {
+        let arc = Arc::new(snapshot);
+        self.snapshots.insert(arc.id(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Looks up a snapshot by id.
+    pub fn snapshot(&self, id: SnapshotId) -> Result<Arc<Snapshot>> {
+        self.snapshots.get(&id).cloned().ok_or(Error::UnknownSnapshot(id))
+    }
+
+    /// The master snapshot id of a table.
+    pub fn master_id(&self, table: TableId) -> Result<SnapshotId> {
+        self.masters.get(&table).copied().ok_or(Error::UnknownTable(table))
+    }
+
+    /// The master snapshot of a table.
+    pub fn master(&self, table: TableId) -> Result<Arc<Snapshot>> {
+        self.snapshot(self.master_id(table)?)
+    }
+
+    /// Promotes `id` to be the master snapshot of its table.
+    pub fn set_master(&mut self, id: SnapshotId) -> Result<()> {
+        let snap = self.snapshot(id)?;
+        self.masters.insert(snap.table(), id);
+        Ok(())
+    }
+
+    /// Derives a new snapshot from `parent` by appending `added_tuples`
+    /// tuples. Following the copy-on-write rule, a partially-filled last page
+    /// of any column is replaced by a fresh page (this is why "even after
+    /// appending a single value to a table, its last chunk becomes local").
+    ///
+    /// Returns the derived snapshot and the list of newly allocated pages
+    /// with the SID ranges they cover.
+    pub fn derive_append(
+        &mut self,
+        layout: &TableLayout,
+        parent: &Snapshot,
+        added_tuples: u64,
+    ) -> (Snapshot, Vec<NewPage>) {
+        let id = self.allocate_snapshot_id();
+        let old_tuples = parent.stable_tuples;
+        let new_tuples = old_tuples + added_tuples;
+        let mut column_pages = parent.column_pages.clone();
+        let mut new_pages = Vec::new();
+
+        if added_tuples > 0 {
+            for col in 0..layout.column_count() {
+                let tpp = layout.tuples_per_page(col);
+                let pages = &mut column_pages[col];
+                // Replace a partial last page (copy-on-write).
+                let first_new_sid;
+                if old_tuples % tpp != 0 && !pages.is_empty() {
+                    let last_idx = pages.len() - 1;
+                    let fresh = self.allocate_pages(1)[0];
+                    pages[last_idx] = fresh;
+                    first_new_sid = last_idx as u64 * tpp;
+                    new_pages.push(NewPage {
+                        page: fresh,
+                        column_index: col,
+                        sid_range: layout.sid_range_of_page(col, last_idx as u64, new_tuples),
+                    });
+                } else {
+                    first_new_sid = pages.len() as u64 * tpp;
+                }
+                // Append brand-new pages until new_tuples are covered.
+                let needed = layout.pages_for_tuples(col, new_tuples);
+                let mut idx = pages.len() as u64;
+                while (pages.len() as u64) < needed {
+                    let fresh = self.allocate_pages(1)[0];
+                    pages.push(fresh);
+                    new_pages.push(NewPage {
+                        page: fresh,
+                        column_index: col,
+                        sid_range: layout.sid_range_of_page(col, idx, new_tuples),
+                    });
+                    idx += 1;
+                }
+                debug_assert!(first_new_sid <= new_tuples);
+            }
+        }
+
+        let snapshot = Snapshot {
+            id,
+            table: parent.table,
+            column_pages,
+            stable_tuples: new_tuples,
+            parent: Some(parent.id),
+        };
+        (snapshot, new_pages)
+    }
+
+    /// Derives a checkpoint snapshot: a completely new set of pages holding
+    /// `new_tuples` tuples (the result of merging PDT changes into the old
+    /// image). The old and new snapshot share no pages at all.
+    pub fn derive_checkpoint(
+        &mut self,
+        layout: &TableLayout,
+        new_tuples: u64,
+    ) -> (Snapshot, Vec<NewPage>) {
+        let id = self.allocate_snapshot_id();
+        let mut new_pages = Vec::new();
+        let column_pages: Vec<Vec<PageId>> = (0..layout.column_count())
+            .map(|col| {
+                let pages = self.allocate_pages(layout.pages_for_tuples(col, new_tuples));
+                for (idx, &page) in pages.iter().enumerate() {
+                    new_pages.push(NewPage {
+                        page,
+                        column_index: col,
+                        sid_range: layout.sid_range_of_page(col, idx as u64, new_tuples),
+                    });
+                }
+                pages
+            })
+            .collect();
+        let snapshot = Snapshot {
+            id,
+            table: layout.table(),
+            column_pages,
+            stable_tuples: new_tuples,
+            parent: None,
+        };
+        (snapshot, new_pages)
+    }
+
+    /// Number of page ids allocated so far.
+    pub fn pages_allocated(&self) -> u64 {
+        self.next_page
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{ColumnSpec, ColumnType};
+    use crate::table::TableSpec;
+    use scanshare_common::ColumnId;
+
+    fn layout(base_tuples: u64) -> TableLayout {
+        // 1024-byte pages; wide column 8 B/tuple (128 t/page), narrow 1 B/tuple (1024 t/page).
+        let spec = TableSpec::new(
+            "t",
+            vec![
+                ColumnSpec::with_width("wide", ColumnType::Int64, 8.0),
+                ColumnSpec::with_width("narrow", ColumnType::Dict { cardinality: 200 }, 1.0),
+            ],
+            base_tuples,
+        );
+        TableLayout::new(
+            TableId::new(0),
+            spec,
+            vec![ColumnId::new(0), ColumnId::new(1)],
+            1024,
+            1000,
+        )
+    }
+
+    #[test]
+    fn base_snapshot_allocates_expected_pages() {
+        let layout = layout(1000);
+        let mut store = SnapshotStore::new();
+        let snap = store.create_base_snapshot(&layout, SnapshotId::new(0));
+        assert_eq!(snap.column_pages(0).len(), 8); // 1000/128 -> 8 pages
+        assert_eq!(snap.column_pages(1).len(), 1); // 1000/1024 -> 1 page
+        assert_eq!(snap.stable_tuples(), 1000);
+        assert_eq!(store.master(TableId::new(0)).unwrap().id(), snap.id());
+        assert_eq!(store.pages_allocated(), 9);
+    }
+
+    #[test]
+    fn append_reuses_prefix_and_rewrites_partial_last_page() {
+        let layout = layout(1000);
+        let mut store = SnapshotStore::new();
+        let base = store.create_base_snapshot(&layout, SnapshotId::new(0));
+        let (appended, new_pages) = store.derive_append(&layout, &base, 500);
+        assert_eq!(appended.stable_tuples(), 1500);
+        assert_eq!(appended.parent(), Some(base.id()));
+
+        // Wide column: 1000 tuples = 7 full pages + 1 partial page of 104 tuples.
+        // The partial page is rewritten, and 1500 tuples need 12 pages total.
+        assert_eq!(appended.column_pages(0).len(), 12);
+        let prefix = base.common_prefix_pages(&appended);
+        assert_eq!(prefix[0], 7, "partial last page of the wide column is rewritten");
+        // Narrow column: 1000 of 1024 used -> its single page is rewritten too.
+        assert_eq!(prefix[1], 0);
+
+        // New pages are reported for both columns.
+        assert!(new_pages.iter().any(|p| p.column_index == 0));
+        assert!(new_pages.iter().any(|p| p.column_index == 1));
+        // All new pages really are new (not referenced by the base snapshot).
+        for p in &new_pages {
+            assert!(!base.references_page(p.page));
+            assert!(appended.references_page(p.page));
+        }
+    }
+
+    #[test]
+    fn append_on_page_boundary_keeps_whole_prefix() {
+        let layout = layout(1024); // narrow column exactly fills one page
+        let mut store = SnapshotStore::new();
+        let base = store.create_base_snapshot(&layout, SnapshotId::new(0));
+        let (appended, _) = store.derive_append(&layout, &base, 1024);
+        let prefix = base.common_prefix_pages(&appended);
+        assert_eq!(prefix[1], 1, "full pages are shared, not rewritten");
+        assert_eq!(appended.column_pages(1).len(), 2);
+    }
+
+    #[test]
+    fn append_zero_tuples_shares_everything() {
+        let layout = layout(1000);
+        let mut store = SnapshotStore::new();
+        let base = store.create_base_snapshot(&layout, SnapshotId::new(0));
+        let (same, new_pages) = store.derive_append(&layout, &base, 0);
+        assert!(new_pages.is_empty());
+        assert!(same.same_pages(&base));
+    }
+
+    #[test]
+    fn shared_prefix_tuples_is_min_over_columns() {
+        let layout = layout(1000);
+        let mut store = SnapshotStore::new();
+        let base = store.create_base_snapshot(&layout, SnapshotId::new(0));
+        let (appended, _) = store.derive_append(&layout, &base, 500);
+        // Wide column shares 7 pages = 896 tuples; narrow shares 0 pages.
+        assert_eq!(base.shared_prefix_tuples(&appended, &layout), 0);
+        // A snapshot always fully shares with itself (clamped to tuple count).
+        assert_eq!(base.shared_prefix_tuples(&base, &layout), 1000);
+    }
+
+    #[test]
+    fn checkpoint_shares_no_pages() {
+        let layout = layout(1000);
+        let mut store = SnapshotStore::new();
+        let base = store.create_base_snapshot(&layout, SnapshotId::new(0));
+        let (ckpt, new_pages) = store.derive_checkpoint(&layout, 900);
+        assert_eq!(ckpt.stable_tuples(), 900);
+        assert_eq!(base.common_prefix_pages(&ckpt), vec![0, 0]);
+        assert_eq!(base.shared_prefix_tuples(&ckpt, &layout), 0);
+        assert_eq!(new_pages.len(), ckpt.total_pages());
+        assert_eq!(ckpt.parent(), None);
+    }
+
+    #[test]
+    fn master_promotion() {
+        let layout = layout(1000);
+        let mut store = SnapshotStore::new();
+        let base = store.create_base_snapshot(&layout, SnapshotId::new(0));
+        let (appended, _) = store.derive_append(&layout, &base, 10);
+        let arc = store.register(appended.clone());
+        store.set_master(arc.id()).unwrap();
+        assert_eq!(store.master(TableId::new(0)).unwrap().id(), appended.id());
+        assert!(store.set_master(SnapshotId::new(999)).is_err());
+    }
+
+    #[test]
+    fn snapshot_lookup_errors_on_unknown_id() {
+        let store = SnapshotStore::new();
+        assert!(store.snapshot(SnapshotId::new(5)).is_err());
+        assert!(store.master(TableId::new(3)).is_err());
+    }
+}

@@ -1,0 +1,597 @@
+//! The storage facade: catalog + snapshots + page contents.
+//!
+//! [`Storage`] is the single object the execution engine and the buffer
+//! managers talk to. It owns the catalog, the snapshot store (master
+//! snapshot per table, transaction-local snapshots for appends, checkpoint
+//! images) and the page contents. Base table pages are materialized lazily
+//! from deterministic generators; pages created by appends or checkpoints
+//! store their values explicitly.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use scanshare_common::{
+    Error, PageId, Result, SnapshotId, TableId, TupleRange,
+};
+
+use crate::catalog::{Catalog, TableEntry};
+use crate::datagen::{DataGen, Value};
+use crate::layout::TableLayout;
+use crate::snapshot::{NewPage, Snapshot, SnapshotStore};
+use crate::table::TableSpec;
+
+/// The materialized contents of one page of one column.
+#[derive(Debug, Clone)]
+pub struct PageData {
+    /// The page id.
+    pub page: PageId,
+    /// The SID range the values cover.
+    pub sid_range: TupleRange,
+    /// One value per SID in `sid_range`.
+    pub values: Arc<Vec<Value>>,
+}
+
+impl PageData {
+    /// Value of `sid`, if the page covers it.
+    pub fn value(&self, sid: u64) -> Option<Value> {
+        if self.sid_range.contains(sid) {
+            self.values.get((sid - self.sid_range.start) as usize).copied()
+        } else {
+            None
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    catalog: Catalog,
+    snapshots: SnapshotStore,
+    /// Explicitly stored page contents (appended / checkpointed pages).
+    page_data: HashMap<PageId, Arc<Vec<Value>>>,
+    /// Per table: one generator per column for base data.
+    datagens: HashMap<TableId, Vec<DataGen>>,
+    seed: u64,
+}
+
+/// Shared storage engine.
+#[derive(Debug)]
+pub struct Storage {
+    inner: RwLock<Inner>,
+    page_size_bytes: u64,
+    chunk_tuples: u64,
+}
+
+impl Storage {
+    /// Creates an empty storage engine.
+    pub fn new(page_size_bytes: u64, chunk_tuples: u64) -> Arc<Self> {
+        Self::with_seed(page_size_bytes, chunk_tuples, 0x5ca5_5a17)
+    }
+
+    /// Creates an empty storage engine with an explicit data-generation seed.
+    pub fn with_seed(page_size_bytes: u64, chunk_tuples: u64, seed: u64) -> Arc<Self> {
+        Arc::new(Self {
+            inner: RwLock::new(Inner {
+                catalog: Catalog::new(page_size_bytes, chunk_tuples),
+                snapshots: SnapshotStore::new(),
+                page_data: HashMap::new(),
+                datagens: HashMap::new(),
+                seed,
+            }),
+            page_size_bytes,
+            chunk_tuples,
+        })
+    }
+
+    /// Page size in bytes (uniform across the engine).
+    pub fn page_size_bytes(&self) -> u64 {
+        self.page_size_bytes
+    }
+
+    /// Chunk granularity in tuples.
+    pub fn chunk_tuples(&self) -> u64 {
+        self.chunk_tuples
+    }
+
+    /// Creates a table with default generators (uniform values per column).
+    pub fn create_table(self: &Arc<Self>, spec: TableSpec) -> Result<TableId> {
+        let gens = spec
+            .columns
+            .iter()
+            .map(|_| DataGen::Uniform { min: 0, max: 10_000 })
+            .collect();
+        self.create_table_with_data(spec, gens)
+    }
+
+    /// Creates a table whose base data is produced by the given generators
+    /// (one per column).
+    pub fn create_table_with_data(
+        self: &Arc<Self>,
+        spec: TableSpec,
+        generators: Vec<DataGen>,
+    ) -> Result<TableId> {
+        if generators.len() != spec.columns.len() {
+            return Err(Error::config(format!(
+                "table {} has {} columns but {} generators were supplied",
+                spec.name,
+                spec.columns.len(),
+                generators.len()
+            )));
+        }
+        let mut inner = self.inner.write();
+        let id = inner.catalog.create_table(spec)?;
+        let layout = inner.catalog.layout(id)?;
+        let snapshot_id = inner.snapshots.allocate_snapshot_id();
+        inner.snapshots.create_base_snapshot(&layout, snapshot_id);
+        inner.datagens.insert(id, generators);
+        Ok(id)
+    }
+
+    /// Looks up a table entry by name.
+    pub fn table_by_name(&self, name: &str) -> Result<Arc<TableEntry>> {
+        Ok(Arc::clone(self.inner.read().catalog.table_by_name(name)?))
+    }
+
+    /// Looks up a table entry by id.
+    pub fn table(&self, id: TableId) -> Result<Arc<TableEntry>> {
+        Ok(Arc::clone(self.inner.read().catalog.table(id)?))
+    }
+
+    /// The layout helper of a table.
+    pub fn layout(&self, id: TableId) -> Result<Arc<TableLayout>> {
+        self.inner.read().catalog.layout(id)
+    }
+
+    /// Resolves column names to indices.
+    pub fn resolve_columns(&self, table: TableId, names: &[&str]) -> Result<Vec<usize>> {
+        self.inner.read().catalog.resolve_columns(table, names)
+    }
+
+    /// Ids of all tables currently in the catalog.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        self.inner.read().catalog.tables().map(|t| t.id).collect()
+    }
+
+    /// The current master snapshot of a table.
+    pub fn master_snapshot(&self, table: TableId) -> Result<Arc<Snapshot>> {
+        self.inner.read().snapshots.master(table)
+    }
+
+    /// Looks up any registered snapshot by id.
+    pub fn snapshot(&self, id: SnapshotId) -> Result<Arc<Snapshot>> {
+        self.inner.read().snapshots.snapshot(id)
+    }
+
+    /// Starts an append transaction against the current master snapshot of
+    /// `table`.
+    pub fn begin_append(self: &Arc<Self>, table: TableId) -> Result<AppendTransaction> {
+        let inner = self.inner.read();
+        let master = inner.snapshots.master(table)?;
+        Ok(AppendTransaction {
+            storage: Arc::clone(self),
+            table,
+            base_master: master.id(),
+            working: master,
+            open: true,
+        })
+    }
+
+    /// Materializes one page of one column under a snapshot.
+    pub fn read_page(
+        &self,
+        layout: &TableLayout,
+        snapshot: &Snapshot,
+        col: usize,
+        page_index: u64,
+    ) -> Result<PageData> {
+        let page = snapshot
+            .page(col, page_index)
+            .ok_or_else(|| Error::internal(format!("column {col} has no page {page_index}")))?;
+        let sid_range = layout.sid_range_of_page(col, page_index, snapshot.stable_tuples());
+        let inner = self.inner.read();
+        if let Some(values) = inner.page_data.get(&page) {
+            return Ok(PageData { page, sid_range, values: Arc::clone(values) });
+        }
+        // Base page: materialize from the generator.
+        let gens = inner
+            .datagens
+            .get(&layout.table())
+            .ok_or_else(|| Error::UnknownTable(layout.table()))?;
+        let gen = gens.get(col).copied().unwrap_or(DataGen::Constant(0));
+        let seed = inner.seed ^ ((layout.table().raw() as u64) << 32) ^ col as u64;
+        let values = Arc::new(gen.materialize(seed, sid_range.start, sid_range.end));
+        Ok(PageData { page, sid_range, values })
+    }
+
+    /// Convenience: reads the values of a column over a SID range (crossing
+    /// page boundaries as needed).
+    pub fn read_range(
+        &self,
+        layout: &TableLayout,
+        snapshot: &Snapshot,
+        col: usize,
+        range: TupleRange,
+    ) -> Result<Vec<Value>> {
+        let clamped = range.intersect(&TupleRange::new(0, snapshot.stable_tuples()));
+        let mut out = Vec::with_capacity(clamped.len() as usize);
+        if clamped.is_empty() {
+            return Ok(out);
+        }
+        let (first, last) = layout
+            .page_index_range(col, &clamped)
+            .ok_or_else(|| Error::internal("empty range after clamping"))?;
+        for idx in first..=last {
+            let data = self.read_page(layout, snapshot, col, idx)?;
+            let covered = data.sid_range.intersect(&clamped);
+            for sid in covered.start..covered.end {
+                out.push(data.value(sid).expect("page covers sid"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Installs a checkpoint image of `table`: a brand-new set of pages
+    /// holding `new_tuples` tuples. When `values` is provided it must
+    /// contain one vector per column with exactly `new_tuples` entries; when
+    /// it is `None` only the metadata is installed (sufficient for
+    /// simulation-level experiments).
+    ///
+    /// The new snapshot becomes the master snapshot; older snapshots remain
+    /// readable by transactions that still hold them.
+    pub fn install_checkpoint(
+        &self,
+        table: TableId,
+        new_tuples: u64,
+        values: Option<Vec<Vec<Value>>>,
+    ) -> Result<Arc<Snapshot>> {
+        let mut inner = self.inner.write();
+        let layout = inner.catalog.layout(table)?;
+        if let Some(v) = &values {
+            if v.len() != layout.column_count() {
+                return Err(Error::config("checkpoint values must cover every column"));
+            }
+            if v.iter().any(|col| col.len() as u64 != new_tuples) {
+                return Err(Error::config("checkpoint column lengths must equal new_tuples"));
+            }
+        }
+        let (snapshot, new_pages) = inner.snapshots.derive_checkpoint(&layout, new_tuples);
+        if let Some(values) = values {
+            store_new_page_data(&mut inner.page_data, &new_pages, |col, sid| {
+                values[col][sid as usize]
+            });
+        }
+        let arc = inner.snapshots.register(snapshot);
+        inner.snapshots.set_master(arc.id())?;
+        Ok(arc)
+    }
+
+    /// Internal: total pages currently referenced by the master snapshots
+    /// (useful for sanity checks in tests).
+    pub fn master_page_count(&self, table: TableId) -> Result<usize> {
+        Ok(self.master_snapshot(table)?.total_pages())
+    }
+
+    fn commit_append(
+        &self,
+        table: TableId,
+        base_master: SnapshotId,
+        working: &Arc<Snapshot>,
+    ) -> Result<Arc<Snapshot>> {
+        let mut inner = self.inner.write();
+        let current_master = inner.snapshots.master_id(table)?;
+        if current_master != base_master {
+            return Err(Error::TransactionConflict(format!(
+                "table {table}: master snapshot changed from {base_master} to {current_master} \
+                 while the append transaction was running"
+            )));
+        }
+        inner.snapshots.set_master(working.id())?;
+        Ok(Arc::clone(working))
+    }
+
+    fn append_to_snapshot(
+        &self,
+        table: TableId,
+        working: &Snapshot,
+        rows: &[Vec<Value>],
+    ) -> Result<Arc<Snapshot>> {
+        let mut inner = self.inner.write();
+        let layout = inner.catalog.layout(table)?;
+        if rows.len() != layout.column_count() {
+            return Err(Error::config(format!(
+                "append must provide {} columns, got {}",
+                layout.column_count(),
+                rows.len()
+            )));
+        }
+        let added = rows.first().map(|c| c.len()).unwrap_or(0) as u64;
+        if rows.iter().any(|c| c.len() as u64 != added) {
+            return Err(Error::config("append columns must have equal lengths"));
+        }
+        let (snapshot, new_pages) = inner.snapshots.derive_append(&layout, working, added);
+        let old_tuples = working.stable_tuples();
+
+        // Materialize data for the new pages: existing tuples come from the
+        // parent snapshot, appended tuples from `rows`.
+        let mut existing: Vec<HashMap<u64, Value>> = vec![HashMap::new(); layout.column_count()];
+        {
+            // Collect the old values needed for rewritten partial pages.
+            for np in &new_pages {
+                let overlap =
+                    np.sid_range.intersect(&TupleRange::new(0, old_tuples));
+                if overlap.is_empty() {
+                    continue;
+                }
+                let col = np.column_index;
+                let (first, last) = layout
+                    .page_index_range(col, &overlap)
+                    .expect("non-empty overlap maps to pages");
+                for idx in first..=last {
+                    let page = working.page(col, idx).expect("parent page exists");
+                    let sid_range = layout.sid_range_of_page(col, idx, old_tuples);
+                    let values = if let Some(v) = inner.page_data.get(&page) {
+                        Arc::clone(v)
+                    } else {
+                        let gens = inner.datagens.get(&table).ok_or(Error::UnknownTable(table))?;
+                        let gen = gens.get(col).copied().unwrap_or(DataGen::Constant(0));
+                        let seed = inner.seed ^ ((table.raw() as u64) << 32) ^ col as u64;
+                        Arc::new(gen.materialize(seed, sid_range.start, sid_range.end))
+                    };
+                    for sid in overlap.start.max(sid_range.start)..overlap.end.min(sid_range.end) {
+                        existing[col].insert(sid, values[(sid - sid_range.start) as usize]);
+                    }
+                }
+            }
+        }
+        store_new_page_data(&mut inner.page_data, &new_pages, |col, sid| {
+            if sid < old_tuples {
+                *existing[col].get(&sid).expect("old value collected for rewritten page")
+            } else {
+                rows[col][(sid - old_tuples) as usize]
+            }
+        });
+        Ok(inner.snapshots.register(snapshot))
+    }
+}
+
+/// Stores values for freshly allocated pages using `value_of(col, sid)`.
+fn store_new_page_data(
+    page_data: &mut HashMap<PageId, Arc<Vec<Value>>>,
+    new_pages: &[NewPage],
+    value_of: impl Fn(usize, u64) -> Value,
+) {
+    for np in new_pages {
+        let values: Vec<Value> =
+            (np.sid_range.start..np.sid_range.end).map(|sid| value_of(np.column_index, sid)).collect();
+        page_data.insert(np.page, Arc::new(values));
+    }
+}
+
+/// A bulk-append transaction (the paper's `Append` operator followed by
+/// `Commit`, Figure 5).
+///
+/// The transaction works on its own snapshot, which is registered with the
+/// snapshot store immediately so that scans inside the same transaction (and
+/// the Active Buffer Manager) can reference it before commit. Only one of
+/// several concurrent appenders to the same table can commit; the others
+/// fail with [`Error::TransactionConflict`].
+#[derive(Debug)]
+pub struct AppendTransaction {
+    storage: Arc<Storage>,
+    table: TableId,
+    base_master: SnapshotId,
+    working: Arc<Snapshot>,
+    open: bool,
+}
+
+impl AppendTransaction {
+    /// The table the transaction appends to.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// The snapshot this transaction currently sees (its own appends
+    /// included).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.working)
+    }
+
+    /// Appends a batch of rows given column-major (`rows[col][i]`).
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> Result<()> {
+        if !self.open {
+            return Err(Error::TransactionClosed);
+        }
+        self.working = self.storage.append_to_snapshot(self.table, &self.working, rows)?;
+        Ok(())
+    }
+
+    /// Commits the transaction, promoting its snapshot to master.
+    pub fn commit(mut self) -> Result<Arc<Snapshot>> {
+        if !self.open {
+            return Err(Error::TransactionClosed);
+        }
+        self.open = false;
+        self.storage.commit_append(self.table, self.base_master, &self.working)
+    }
+
+    /// Aborts the transaction. Its snapshot stays registered (other
+    /// components may still hold references) but never becomes master.
+    pub fn abort(mut self) {
+        self.open = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{ColumnSpec, ColumnType};
+    use scanshare_common::RangeList;
+
+    fn small_storage() -> Arc<Storage> {
+        Storage::with_seed(1024, 1000, 7)
+    }
+
+    fn two_col_spec(base: u64) -> TableSpec {
+        TableSpec::new(
+            "t",
+            vec![
+                ColumnSpec::with_width("a", ColumnType::Int64, 8.0),
+                ColumnSpec::with_width("b", ColumnType::Int64, 4.0),
+            ],
+            base,
+        )
+    }
+
+    #[test]
+    fn create_table_and_read_base_data() {
+        let storage = small_storage();
+        let id = storage
+            .create_table_with_data(
+                two_col_spec(1000),
+                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(5)],
+            )
+            .unwrap();
+        let layout = storage.layout(id).unwrap();
+        let snap = storage.master_snapshot(id).unwrap();
+        let a = storage.read_range(&layout, &snap, 0, TupleRange::new(100, 105)).unwrap();
+        assert_eq!(a, vec![100, 101, 102, 103, 104]);
+        let b = storage.read_range(&layout, &snap, 1, TupleRange::new(0, 3)).unwrap();
+        assert_eq!(b, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn read_range_is_clamped_to_table_size() {
+        let storage = small_storage();
+        let id = storage.create_table(two_col_spec(100)).unwrap();
+        let layout = storage.layout(id).unwrap();
+        let snap = storage.master_snapshot(id).unwrap();
+        let v = storage.read_range(&layout, &snap, 0, TupleRange::new(90, 500)).unwrap();
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn generator_count_must_match_columns() {
+        let storage = small_storage();
+        let err =
+            storage.create_table_with_data(two_col_spec(10), vec![DataGen::Constant(1)]).unwrap_err();
+        assert!(err.to_string().contains("generators"));
+    }
+
+    #[test]
+    fn append_commit_changes_master_and_preserves_data() {
+        let storage = small_storage();
+        let id = storage
+            .create_table_with_data(
+                two_col_spec(1000),
+                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(5)],
+            )
+            .unwrap();
+        let layout = storage.layout(id).unwrap();
+        let before = storage.master_snapshot(id).unwrap();
+
+        let mut tx = storage.begin_append(id).unwrap();
+        tx.append_rows(&[vec![-1, -2, -3], vec![50, 51, 52]]).unwrap();
+        // The transaction sees its own appended rows before commit.
+        let local = tx.snapshot();
+        assert_eq!(local.stable_tuples(), 1003);
+        let tail = storage.read_range(&layout, &local, 0, TupleRange::new(1000, 1003)).unwrap();
+        assert_eq!(tail, vec![-1, -2, -3]);
+        // Old values on the rewritten partial page are preserved.
+        let old = storage.read_range(&layout, &local, 0, TupleRange::new(995, 1000)).unwrap();
+        assert_eq!(old, vec![995, 996, 997, 998, 999]);
+
+        // Other transactions still see the old master until commit.
+        assert_eq!(storage.master_snapshot(id).unwrap().id(), before.id());
+        let committed = tx.commit().unwrap();
+        assert_eq!(storage.master_snapshot(id).unwrap().id(), committed.id());
+    }
+
+    #[test]
+    fn conflicting_appends_abort_the_second_committer() {
+        let storage = small_storage();
+        let id = storage.create_table(two_col_spec(1000)).unwrap();
+        let mut t1 = storage.begin_append(id).unwrap();
+        let mut t2 = storage.begin_append(id).unwrap();
+        t1.append_rows(&[vec![1], vec![1]]).unwrap();
+        t2.append_rows(&[vec![2], vec![2]]).unwrap();
+        t2.commit().unwrap();
+        let err = t1.commit().unwrap_err();
+        assert!(matches!(err, Error::TransactionConflict(_)));
+    }
+
+    #[test]
+    fn aborted_append_never_becomes_master() {
+        let storage = small_storage();
+        let id = storage.create_table(two_col_spec(1000)).unwrap();
+        let before = storage.master_snapshot(id).unwrap().id();
+        let mut tx = storage.begin_append(id).unwrap();
+        tx.append_rows(&[vec![1, 2], vec![3, 4]]).unwrap();
+        tx.abort();
+        assert_eq!(storage.master_snapshot(id).unwrap().id(), before);
+    }
+
+    #[test]
+    fn append_after_commit_is_rejected() {
+        let storage = small_storage();
+        let id = storage.create_table(two_col_spec(10)).unwrap();
+        let tx = storage.begin_append(id).unwrap();
+        let snapshot = tx.snapshot();
+        tx.commit().unwrap();
+        // a second transaction object for the same base would conflict only
+        // if masters changed; committing an empty append keeps the master.
+        assert_eq!(storage.master_snapshot(id).unwrap().id(), snapshot.id());
+    }
+
+    #[test]
+    fn mismatched_append_shapes_are_rejected() {
+        let storage = small_storage();
+        let id = storage.create_table(two_col_spec(10)).unwrap();
+        let mut tx = storage.begin_append(id).unwrap();
+        assert!(tx.append_rows(&[vec![1]]).is_err());
+        assert!(tx.append_rows(&[vec![1], vec![2, 3]]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_installs_fresh_pages_and_new_master() {
+        let storage = small_storage();
+        let id = storage
+            .create_table_with_data(
+                two_col_spec(1000),
+                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(5)],
+            )
+            .unwrap();
+        let layout = storage.layout(id).unwrap();
+        let old = storage.master_snapshot(id).unwrap();
+        let new_vals = vec![(0..900).map(|i| i * 2).collect::<Vec<i64>>(), vec![9; 900]];
+        let ckpt = storage.install_checkpoint(id, 900, Some(new_vals)).unwrap();
+        assert_eq!(storage.master_snapshot(id).unwrap().id(), ckpt.id());
+        assert_eq!(old.common_prefix_pages(&ckpt).iter().sum::<usize>(), 0);
+        let v = storage.read_range(&layout, &ckpt, 0, TupleRange::new(10, 13)).unwrap();
+        assert_eq!(v, vec![20, 22, 24]);
+        // The old snapshot still reads its original data.
+        let v_old = storage.read_range(&layout, &old, 0, TupleRange::new(10, 13)).unwrap();
+        assert_eq!(v_old, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn checkpoint_value_shape_is_validated() {
+        let storage = small_storage();
+        let id = storage.create_table(two_col_spec(10)).unwrap();
+        assert!(storage.install_checkpoint(id, 5, Some(vec![vec![1; 5]])).is_err());
+        assert!(storage.install_checkpoint(id, 5, Some(vec![vec![1; 4], vec![1; 5]])).is_err());
+        assert!(storage.install_checkpoint(id, 5, None).is_ok());
+    }
+
+    #[test]
+    fn scan_page_plan_through_storage_layout() {
+        let storage = small_storage();
+        let id = storage.create_table(two_col_spec(1000)).unwrap();
+        let layout = storage.layout(id).unwrap();
+        let snap = storage.master_snapshot(id).unwrap();
+        let plan = layout.scan_page_plan(&snap, &[0, 1], &RangeList::single(0, 1000));
+        // col a: 8 B/tuple, 128 t/page -> 8 pages; col b: 4 B/tuple, 256 t/page -> 4 pages.
+        assert_eq!(plan.distinct_pages(), 12);
+        assert_eq!(plan.cold_bytes(1024), 12 * 1024);
+    }
+}

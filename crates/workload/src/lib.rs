@@ -1,0 +1,29 @@
+//! Workload generators for the scanshare experiments.
+//!
+//! Two workloads reproduce the paper's evaluation section:
+//!
+//! * [`microbench`] — the scan-sharing microbenchmarks of the original
+//!   Cooperative Scans paper: streams of TPC-H Q1/Q6-style range scans over
+//!   the `lineitem` table, each covering 1 %, 10 %, 50 % or 100 % of the
+//!   table starting at a random position;
+//! * [`tpch`] — a TPC-H-like throughput run: eight tables with 61 columns of
+//!   realistic relative sizes, and the scan access patterns (tables, columns
+//!   and selectivities) of the 22 queries, permuted per stream as `qgen`
+//!   does.
+//!
+//! Workloads are expressed as [`spec::WorkloadSpec`]: a set of streams, each
+//! a sequence of [`spec::QuerySpec`]s describing which table ranges and
+//! columns a query scans and how CPU-intensive it is. The discrete-event
+//! simulator in `scanshare-sim` executes these specs against any of the
+//! buffer-management policies.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod microbench;
+pub mod spec;
+pub mod tpch;
+
+pub use microbench::MicrobenchConfig;
+pub use spec::{QuerySpec, ScanSpec, StreamSpec, WorkloadSpec};
+pub use tpch::TpchConfig;

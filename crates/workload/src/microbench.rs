@@ -1,0 +1,257 @@
+//! The scan-sharing microbenchmark (Section 4.1 of the paper).
+//!
+//! The microbenchmark runs concurrent streams of TPC-H Q1 / Q6 style queries
+//! against the `lineitem` table: every query scans a tuple range that starts
+//! at a random position and covers 1 %, 10 %, 50 % or 100 % of the table,
+//! performing selection, projection and aggregation. Streams consist of
+//! batches of 16 queries. The default knobs follow the paper: 8 concurrent
+//! streams, buffer pool of 40 % of the accessed volume, 700 MB/s of I/O
+//! bandwidth (those last two live in the simulator configuration).
+
+use serde::{Deserialize, Serialize};
+
+use scanshare_common::{RangeList, Result, TableId, TupleRange};
+use scanshare_storage::column::{ColumnSpec, ColumnType};
+use scanshare_storage::datagen::{splitmix64, DataGen};
+use scanshare_storage::storage::Storage;
+use scanshare_storage::table::TableSpec;
+
+use crate::spec::{QuerySpec, ScanSpec, StreamSpec, WorkloadSpec};
+
+/// Configuration of the microbenchmark generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicrobenchConfig {
+    /// Number of concurrent streams (the paper sweeps 1–32, default 8).
+    pub streams: usize,
+    /// Queries per stream (one batch of 16 in the paper).
+    pub queries_per_stream: usize,
+    /// Number of tuples in the `lineitem` table.
+    pub lineitem_tuples: u64,
+    /// Fractions of the table each query may scan, in percent.
+    pub scan_percentages: Vec<u32>,
+    /// Share of Q1-style queries (the rest are Q6-style), in `[0, 1]`.
+    pub q1_share: f64,
+    /// RNG seed for query placement.
+    pub seed: u64,
+}
+
+impl Default for MicrobenchConfig {
+    fn default() -> Self {
+        Self {
+            streams: 8,
+            queries_per_stream: 16,
+            lineitem_tuples: 2_000_000,
+            scan_percentages: vec![1, 10, 50, 100],
+            q1_share: 0.5,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl MicrobenchConfig {
+    /// A reduced configuration suitable for unit tests: 4 streams of 4 small
+    /// queries over a 100k-tuple table.
+    pub fn tiny() -> Self {
+        Self {
+            streams: 4,
+            queries_per_stream: 4,
+            lineitem_tuples: 100_000,
+            scan_percentages: vec![10, 50, 100],
+            q1_share: 0.5,
+            seed: 7,
+        }
+    }
+
+    /// Returns a copy with a different stream count (used by the Figure 13
+    /// sweep).
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.streams = streams;
+        self
+    }
+
+    /// Returns a copy where every query scans `percent` of the table (used by
+    /// the Figure 13 sweep, which uses 50 % scans only).
+    pub fn with_fixed_percentage(mut self, percent: u32) -> Self {
+        self.scan_percentages = vec![percent];
+        self
+    }
+}
+
+/// Column layout of the `lineitem`-like table used by the microbenchmark:
+/// seven columns modelled after the ones Q1 and Q6 touch, with compressed
+/// widths that differ per column (so chunks map to very different page counts
+/// per column).
+pub fn lineitem_spec(tuples: u64) -> TableSpec {
+    TableSpec::new(
+        "lineitem",
+        vec![
+            ColumnSpec::with_width("l_quantity", ColumnType::Decimal, 2.0),
+            ColumnSpec::with_width("l_extendedprice", ColumnType::Decimal, 4.0),
+            ColumnSpec::with_width("l_discount", ColumnType::Decimal, 1.0),
+            ColumnSpec::with_width("l_tax", ColumnType::Decimal, 1.0),
+            ColumnSpec::with_width("l_returnflag", ColumnType::Dict { cardinality: 3 }, 0.5),
+            ColumnSpec::with_width("l_linestatus", ColumnType::Dict { cardinality: 2 }, 0.5),
+            ColumnSpec::with_width("l_shipdate", ColumnType::Date, 2.0),
+        ],
+        tuples,
+    )
+}
+
+/// Data generators matching [`lineitem_spec`].
+pub fn lineitem_generators() -> Vec<DataGen> {
+    vec![
+        DataGen::Uniform { min: 1, max: 50 },
+        DataGen::Uniform { min: 100, max: 100_000 },
+        DataGen::Uniform { min: 0, max: 10 },
+        DataGen::Uniform { min: 0, max: 8 },
+        DataGen::Cyclic { period: 3, min: 0, max: 2 },
+        DataGen::Cyclic { period: 2, min: 0, max: 1 },
+        DataGen::Cyclic { period: 2526, min: 8000, max: 10_500 },
+    ]
+}
+
+/// Columns scanned by a Q1-style query (selection on `l_shipdate`, grouping
+/// on the flag columns, aggregation over the measures).
+pub const Q1_COLUMNS: [usize; 7] = [0, 1, 2, 3, 4, 5, 6];
+/// Columns scanned by a Q6-style query.
+pub const Q6_COLUMNS: [usize; 4] = [0, 1, 2, 6];
+
+/// Creates the `lineitem` table in `storage` and returns its id.
+pub fn setup_lineitem(storage: &std::sync::Arc<Storage>, tuples: u64) -> Result<TableId> {
+    storage.create_table_with_data(lineitem_spec(tuples), lineitem_generators())
+}
+
+/// Generates the microbenchmark workload against an already-created
+/// `lineitem` table.
+pub fn generate(config: &MicrobenchConfig, lineitem: TableId) -> WorkloadSpec {
+    let tuples = config.lineitem_tuples;
+    let mut rng_state = config.seed | 1;
+    let mut next = |limit: u64| -> u64 {
+        rng_state = splitmix64(rng_state);
+        if limit == 0 {
+            0
+        } else {
+            rng_state % limit
+        }
+    };
+
+    let streams = (0..config.streams)
+        .map(|s| {
+            let queries = (0..config.queries_per_stream)
+                .map(|q| {
+                    let pct_idx = next(config.scan_percentages.len() as u64) as usize;
+                    let pct = config.scan_percentages[pct_idx];
+                    let span = (tuples * pct as u64 / 100).max(1);
+                    let start = next(tuples.saturating_sub(span).max(1));
+                    let range = TupleRange::new(start, (start + span).min(tuples));
+                    let is_q1 = (next(1000) as f64 / 1000.0) < config.q1_share;
+                    let (columns, label, cpu_factor) = if is_q1 {
+                        (Q1_COLUMNS.to_vec(), format!("micro-q1-{pct}%"), 1.4)
+                    } else {
+                        (Q6_COLUMNS.to_vec(), format!("micro-q6-{pct}%"), 1.0)
+                    };
+                    QuerySpec {
+                        label: format!("{label}#{s}.{q}"),
+                        scans: vec![ScanSpec {
+                            table: lineitem,
+                            columns,
+                            ranges: RangeList::from_ranges([range]),
+                        }],
+                        cpu_factor,
+                    }
+                })
+                .collect();
+            StreamSpec { label: format!("stream-{s}"), queries }
+        })
+        .collect();
+
+    WorkloadSpec { name: format!("microbench-{}streams", config.streams), streams }
+}
+
+/// Convenience: creates the storage, the `lineitem` table and the workload in
+/// one call.
+pub fn build(
+    config: &MicrobenchConfig,
+    page_size_bytes: u64,
+    chunk_tuples: u64,
+) -> Result<(std::sync::Arc<Storage>, WorkloadSpec)> {
+    let storage = Storage::with_seed(page_size_bytes, chunk_tuples, config.seed);
+    let lineitem = setup_lineitem(&storage, config.lineitem_tuples)?;
+    Ok((storage, generate(config, lineitem)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_requested_shape() {
+        let config = MicrobenchConfig::default();
+        let (_storage, workload) = build(&config, 64 * 1024, 100_000).unwrap();
+        assert_eq!(workload.stream_count(), 8);
+        assert_eq!(workload.query_count(), 8 * 16);
+        for stream in &workload.streams {
+            for query in &stream.queries {
+                assert_eq!(query.scans.len(), 1);
+                let scan = &query.scans[0];
+                assert!(!scan.ranges.is_empty());
+                assert!(scan.total_tuples() <= config.lineitem_tuples);
+                assert!(scan.columns.len() == 7 || scan.columns.len() == 4);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = MicrobenchConfig::tiny();
+        let (_s1, w1) = build(&config, 64 * 1024, 10_000).unwrap();
+        let (_s2, w2) = build(&config, 64 * 1024, 10_000).unwrap();
+        assert_eq!(w1, w2);
+        let other = MicrobenchConfig { seed: 99, ..MicrobenchConfig::tiny() };
+        let (_s3, w3) = build(&other, 64 * 1024, 10_000).unwrap();
+        assert_ne!(w1, w3);
+    }
+
+    #[test]
+    fn scan_percentages_are_respected() {
+        let config = MicrobenchConfig::default().with_fixed_percentage(50);
+        let (_storage, workload) = build(&config, 64 * 1024, 100_000).unwrap();
+        for stream in &workload.streams {
+            for query in &stream.queries {
+                let tuples = query.scans[0].total_tuples();
+                assert_eq!(tuples, config.lineitem_tuples / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_start_at_random_positions() {
+        let config = MicrobenchConfig::default().with_fixed_percentage(10);
+        let (_storage, workload) = build(&config, 64 * 1024, 100_000).unwrap();
+        let starts: std::collections::HashSet<u64> = workload
+            .streams
+            .iter()
+            .flat_map(|s| &s.queries)
+            .map(|q| q.scans[0].ranges.ranges()[0].start)
+            .collect();
+        assert!(starts.len() > 10, "query ranges should start at many distinct positions");
+    }
+
+    #[test]
+    fn lineitem_columns_have_heterogeneous_widths() {
+        let spec = lineitem_spec(1000);
+        assert_eq!(spec.columns.len(), 7);
+        let widths: Vec<f64> = spec.columns.iter().map(|c| c.bytes_per_tuple).collect();
+        let min = widths.iter().cloned().fold(f64::MAX, f64::min);
+        let max = widths.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max / min >= 4.0, "columns must differ strongly in width");
+        assert_eq!(lineitem_generators().len(), 7);
+    }
+
+    #[test]
+    fn with_streams_changes_only_stream_count() {
+        let config = MicrobenchConfig::default().with_streams(2);
+        let (_storage, workload) = build(&config, 64 * 1024, 100_000).unwrap();
+        assert_eq!(workload.stream_count(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Workload specification types.
+
+use serde::{Deserialize, Serialize};
+
+use scanshare_common::{RangeList, TableId};
+
+/// One range scan performed by a query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanSpec {
+    /// The scanned table.
+    pub table: TableId,
+    /// Column indices (within the table spec) the scan reads.
+    pub columns: Vec<usize>,
+    /// Tuple ranges (SID space) the scan covers.
+    pub ranges: RangeList,
+}
+
+impl ScanSpec {
+    /// Total tuples the scan covers.
+    pub fn total_tuples(&self) -> u64 {
+        self.ranges.total_tuples()
+    }
+}
+
+/// One query of a workload stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Human-readable label ("Q01", "micro-q6-50%", ...).
+    pub label: String,
+    /// The scans the query performs (executed one after another).
+    pub scans: Vec<ScanSpec>,
+    /// CPU cost multiplier relative to the baseline tuple-processing rate
+    /// (1.0 = a simple scan-select-aggregate; complex TPC-H queries are
+    /// higher).
+    pub cpu_factor: f64,
+}
+
+impl QuerySpec {
+    /// Total tuples the query scans across all of its scans.
+    pub fn total_tuples(&self) -> u64 {
+        self.scans.iter().map(ScanSpec::total_tuples).sum()
+    }
+}
+
+/// A stream: a sequence of queries executed back to back by one client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Stream label.
+    pub label: String,
+    /// Queries in execution order.
+    pub queries: Vec<QuerySpec>,
+}
+
+/// A complete workload: several concurrent streams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name used in reports.
+    pub name: String,
+    /// Concurrent streams.
+    pub streams: Vec<StreamSpec>,
+}
+
+impl WorkloadSpec {
+    /// Number of streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total number of queries across all streams.
+    pub fn query_count(&self) -> usize {
+        self.streams.iter().map(|s| s.queries.len()).sum()
+    }
+
+    /// Total tuples scanned by the whole workload.
+    pub fn total_tuples(&self) -> u64 {
+        self.streams.iter().flat_map(|s| &s.queries).map(QuerySpec::total_tuples).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_common::TupleRange;
+
+    #[test]
+    fn totals_add_up() {
+        let scan = ScanSpec {
+            table: TableId::new(0),
+            columns: vec![0, 1],
+            ranges: RangeList::from_ranges([TupleRange::new(0, 100), TupleRange::new(200, 250)]),
+        };
+        assert_eq!(scan.total_tuples(), 150);
+        let query = QuerySpec { label: "q".into(), scans: vec![scan.clone(), scan], cpu_factor: 1.0 };
+        assert_eq!(query.total_tuples(), 300);
+        let stream = StreamSpec { label: "s".into(), queries: vec![query.clone(), query] };
+        let workload = WorkloadSpec { name: "w".into(), streams: vec![stream.clone(), stream] };
+        assert_eq!(workload.stream_count(), 2);
+        assert_eq!(workload.query_count(), 4);
+        assert_eq!(workload.total_tuples(), 1200);
+    }
+}

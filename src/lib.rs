@@ -1,0 +1,114 @@
+//! # scanshare
+//!
+//! A from-scratch Rust reproduction of
+//! *"From Cooperative Scans to Predictive Buffer Management"*
+//! (Świtakowski, Boncz, Żukowski — PVLDB 5(12), 2012).
+//!
+//! The workspace implements, on top of its own columnar storage engine:
+//!
+//! * **Predictive Buffer Management (PBM)** — scans register their future
+//!   page accesses and report progress; the buffer pool estimates each page's
+//!   time of next consumption with an O(1) bucket timeline and evicts the
+//!   page needed furthest in the future (an online approximation of OPT);
+//! * **Cooperative Scans (CScans)** — an Active Buffer Manager that owns all
+//!   load/evict/dispatch decisions at chunk granularity and hands chunks to
+//!   CScan operators out of order, including the machinery needed in a real
+//!   system: PDT differential updates with SID/RID translation, snapshot
+//!   isolation for bulk appends with shared/local chunks, PDT checkpoints and
+//!   intra-query parallelism;
+//! * **LRU** and **OPT (Belady)** baselines;
+//! * a vectorized mini execution engine, workload generators (scan-sharing
+//!   microbenchmarks and a TPC-H-like throughput run) and a discrete-event
+//!   simulator that regenerates every figure of the paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use scanshare::prelude::*;
+//!
+//! // A small table with two columns.
+//! let storage = Storage::new(64 * 1024, 10_000);
+//! let table = storage
+//!     .create_table_with_data(
+//!         TableSpec::new(
+//!             "t",
+//!             vec![
+//!                 ColumnSpec::new("k", ColumnType::Int64),
+//!                 ColumnSpec::new("v", ColumnType::Decimal),
+//!             ],
+//!             100_000,
+//!         ),
+//!         vec![
+//!             DataGen::Sequential { start: 0, step: 1 },
+//!             DataGen::Uniform { min: 0, max: 100 },
+//!         ],
+//!     )
+//!     .unwrap();
+//!
+//! // An engine using Predictive Buffer Management.
+//! let config = ScanShareConfig {
+//!     page_size_bytes: 64 * 1024,
+//!     chunk_tuples: 10_000,
+//!     buffer_pool_bytes: 1 << 20,
+//!     policy: PolicyKind::Pbm,
+//!     ..Default::default()
+//! };
+//! let engine = Engine::new(Arc::clone(&storage), config).unwrap();
+//!
+//! // SELECT count(*), sum(v) FROM t WHERE v <= 50
+//! let result = parallel_scan_aggregate(
+//!     &engine,
+//!     table,
+//!     &["k", "v"],
+//!     TupleRange::new(0, 100_000),
+//!     4,
+//!     Some(Predicate::new(1, CompareOp::Le, 50)),
+//!     &AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(1)]),
+//! )
+//! .unwrap();
+//! assert!(result[&0].count > 0);
+//! assert!(engine.buffer_stats().io_bytes > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use scanshare_common as common;
+pub use scanshare_core as core;
+pub use scanshare_exec as exec;
+pub use scanshare_iosim as iosim;
+pub use scanshare_pdt as pdt;
+pub use scanshare_sim as sim;
+pub use scanshare_storage as storage;
+pub use scanshare_workload as workload;
+
+/// The most commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use scanshare_common::{
+        Bandwidth, PolicyKind, RangeList, Rid, ScanShareConfig, Sid, TableId, TupleRange,
+        VirtualClock, VirtualDuration, VirtualInstant,
+    };
+    pub use scanshare_core::{
+        Abm, AbmConfig, BufferPool, BufferStats, LruPolicy, PbmConfig, PbmPolicy, ReplacementPolicy,
+    };
+    pub use scanshare_core::opt::simulate_opt;
+    pub use scanshare_exec::ops::{aggregate, Aggregate, AggrSpec, BatchSource, CompareOp, Predicate};
+    pub use scanshare_exec::{parallel_scan_aggregate, Batch, Engine};
+    pub use scanshare_pdt::{Pdt, PdtStack};
+    pub use scanshare_sim::{ExperimentScale, SimConfig, SimResult, Simulation};
+    pub use scanshare_storage::datagen::DataGen;
+    pub use scanshare_storage::{ColumnSpec, ColumnType, Storage, TableSpec};
+    pub use scanshare_workload::{MicrobenchConfig, TpchConfig, WorkloadSpec};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let _ = PolicyKind::Pbm;
+        let _ = ScanShareConfig::default();
+        let _ = TupleRange::new(0, 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Failure-injection style integration tests: transactions that abort,
+//! conflicting committers, scans abandoned mid-flight, and checkpoints racing
+//! already-running scans. The system must stay consistent in every case.
+
+use std::sync::Arc;
+
+use scanshare::core::cscan::{Abm, AbmConfig, CScanRequest};
+use scanshare::prelude::*;
+
+fn lineitem(tuples: u64) -> (Arc<Storage>, TableId) {
+    let storage = Storage::with_seed(64 * 1024, 10_000, 99);
+    let table = scanshare::workload::microbench::setup_lineitem(&storage, tuples).unwrap();
+    (storage, table)
+}
+
+fn engine(policy: PolicyKind, storage: &Arc<Storage>) -> Arc<Engine> {
+    Engine::new(
+        Arc::clone(storage),
+        ScanShareConfig {
+            page_size_bytes: 64 * 1024,
+            chunk_tuples: 10_000,
+            buffer_pool_bytes: 2 << 20,
+            policy,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn count_rows(engine: &Arc<Engine>, table: TableId) -> u64 {
+    let rows = engine.visible_rows(table).unwrap();
+    let result = parallel_scan_aggregate(
+        engine,
+        table,
+        &["l_quantity"],
+        TupleRange::new(0, rows),
+        2,
+        None,
+        &AggrSpec::global(vec![Aggregate::Count]),
+    )
+    .unwrap();
+    result[&0].count
+}
+
+#[test]
+fn aborted_appends_are_never_visible() {
+    let (storage, table) = lineitem(20_000);
+    let engine = engine(PolicyKind::Pbm, &storage);
+    assert_eq!(count_rows(&engine, table), 20_000);
+
+    let mut tx = storage.begin_append(table).unwrap();
+    tx.append_rows(&[vec![1; 500], vec![2; 500], vec![3; 500], vec![4; 500], vec![0; 500], vec![1; 500], vec![9000; 500]])
+        .unwrap();
+    // The transaction itself sees its rows ...
+    assert_eq!(tx.snapshot().stable_tuples(), 20_500);
+    // ... but after abort the master snapshot and every query are unchanged.
+    tx.abort();
+    assert_eq!(storage.master_snapshot(table).unwrap().stable_tuples(), 20_000);
+    assert_eq!(count_rows(&engine, table), 20_000);
+}
+
+#[test]
+fn only_one_of_two_conflicting_appenders_wins() {
+    let (storage, table) = lineitem(10_000);
+    let engine = engine(PolicyKind::Lru, &storage);
+
+    let row = |v: i64| vec![vec![v; 10]; 7];
+    let mut t1 = storage.begin_append(table).unwrap();
+    let mut t2 = storage.begin_append(table).unwrap();
+    t1.append_rows(&row(1)).unwrap();
+    t2.append_rows(&row(2)).unwrap();
+    t1.commit().unwrap();
+    assert!(t2.commit().is_err(), "second committer must conflict");
+    assert_eq!(count_rows(&engine, table), 10_010);
+}
+
+#[test]
+fn abandoning_a_scan_mid_flight_leaves_the_system_usable() {
+    let (storage, table) = lineitem(50_000);
+    for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+        let engine = engine(policy, &storage);
+        // Start a scan, consume only a couple of batches, then drop it.
+        {
+            let mut op = engine.scan(table, &["l_quantity", "l_shipdate"], TupleRange::new(0, 50_000)).unwrap();
+            let first = op.next_batch().unwrap().expect("at least one batch");
+            assert!(!first.is_empty());
+            let _ = op.next_batch().unwrap();
+            // Dropped here: the operator unregisters from its buffer manager.
+        }
+        // A fresh scan still sees the whole table and completes.
+        assert_eq!(count_rows(&engine, table), 50_000, "policy {policy}");
+    }
+}
+
+#[test]
+fn scans_started_before_a_checkpoint_keep_their_snapshot() {
+    let (storage, table) = lineitem(30_000);
+    let engine = engine(PolicyKind::Pbm, &storage);
+
+    // Open a scan on the current state.
+    let mut old_scan =
+        engine.scan(table, &["l_quantity"], TupleRange::new(0, 30_000)).unwrap();
+    let first = old_scan.next_batch().unwrap().expect("batch");
+    assert!(!first.is_empty());
+
+    // Delete rows and checkpoint while the old scan is still open.
+    for _ in 0..100 {
+        engine.delete_row(table, 0).unwrap();
+    }
+    let new_snapshot = engine.checkpoint(table).unwrap();
+    assert_eq!(new_snapshot.stable_tuples(), 29_900);
+
+    // The old scan keeps producing from its original snapshot + PDT state.
+    let mut produced = first.len();
+    while let Some(batch) = old_scan.next_batch().unwrap() {
+        produced += batch.len();
+    }
+    assert_eq!(produced, 30_000, "pre-checkpoint scan sees the old state");
+
+    // New queries see the checkpointed state under every policy.
+    drop(old_scan);
+    for policy in [PolicyKind::Lru, PolicyKind::CScan] {
+        let fresh = Engine::new(
+            Arc::clone(&storage),
+            ScanShareConfig {
+                page_size_bytes: 64 * 1024,
+                chunk_tuples: 10_000,
+                buffer_pool_bytes: 2 << 20,
+                policy,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(count_rows(&fresh, table), 29_900);
+    }
+}
+
+#[test]
+fn abm_unregisters_cleanly_when_a_cscan_aborts_half_way() {
+    let (storage, table) = lineitem(40_000);
+    let layout = storage.layout(table).unwrap();
+    let snapshot = storage.master_snapshot(table).unwrap();
+    let mut abm = Abm::new(AbmConfig::new(4 << 20, 64 * 1024));
+
+    let request = |range: TupleRange| CScanRequest {
+        table,
+        snapshot: Arc::clone(&snapshot),
+        layout: Arc::clone(&layout),
+        columns: vec![0, 1, 6],
+        ranges: RangeList::from_ranges([range]),
+        in_order: false,
+    };
+    let doomed = abm.register_cscan(request(TupleRange::new(0, 40_000))).unwrap();
+    let survivor = abm.register_cscan(request(TupleRange::new(0, 40_000))).unwrap();
+    assert_eq!(abm.registered_scans(), 2);
+
+    // Let the doomed scan consume a single chunk, then unregister it.
+    let now = VirtualInstant::EPOCH;
+    while abm.get_chunk(doomed.id).unwrap().is_none() {
+        match abm.next_action(now) {
+            scanshare::core::cscan::AbmAction::Load(plan) => {
+                abm.complete_load(&plan, now).unwrap()
+            }
+            scanshare::core::cscan::AbmAction::Idle => panic!("nothing to load"),
+        }
+    }
+    abm.unregister_cscan(doomed.id).unwrap();
+    assert_eq!(abm.registered_scans(), 1);
+    assert!(abm.get_chunk(doomed.id).is_err(), "the aborted scan is gone");
+
+    // The surviving scan still receives every one of its chunks.
+    let mut delivered = 0;
+    let mut guard = 0;
+    while !abm.is_finished(survivor.id) {
+        guard += 1;
+        assert!(guard < 10_000, "survivor made no progress");
+        if abm.get_chunk(survivor.id).unwrap().is_some() {
+            delivered += 1;
+        } else {
+            match abm.next_action(now) {
+                scanshare::core::cscan::AbmAction::Load(plan) => {
+                    abm.complete_load(&plan, now).unwrap()
+                }
+                scanshare::core::cscan::AbmAction::Idle => panic!("survivor starved"),
+            }
+        }
+    }
+    assert_eq!(delivered, survivor.total_chunks);
+
+    // With the last scan gone, the ABM destroys the table metadata.
+    abm.unregister_cscan(survivor.id).unwrap();
+    assert_eq!(abm.version_count(table), 0);
+    assert_eq!(abm.registered_scans(), 0);
+}

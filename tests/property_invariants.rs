@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) on the core invariants of the system:
+//! PDT positional translation and merging, range arithmetic, buffer-pool
+//! capacity, OPT optimality relative to LRU, and PBM consistency.
+
+use proptest::prelude::*;
+
+use scanshare::common::{PageId, RangeList, Rid, TupleRange, VirtualInstant};
+use scanshare::core::bufferpool::BufferPool;
+use scanshare::core::lru::LruPolicy;
+use scanshare::core::opt::simulate_opt;
+use scanshare::core::pbm::{PbmConfig, PbmPolicy};
+use scanshare::pdt::merge::{merge_range, SliceSource};
+use scanshare::pdt::Pdt;
+
+// ---------------------------------------------------------------------------
+// PDT invariants
+// ---------------------------------------------------------------------------
+
+/// A random sequence of PDT operations expressed against the visible stream.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, i64),
+    Delete(u64),
+    Modify(u64, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..2000, any::<i16>()).prop_map(|(p, v)| Op::Insert(p, v as i64)),
+        (0u64..2000).prop_map(Op::Delete),
+        (0u64..2000, any::<i16>()).prop_map(|(p, v)| Op::Modify(p, v as i64)),
+    ]
+}
+
+fn apply_ops(stable: u64, ops: &[Op]) -> (Pdt, Vec<Vec<i64>>) {
+    // Reference model: an explicit vector of single-column rows.
+    let mut model: Vec<Vec<i64>> = (0..stable as i64).map(|i| vec![i]).collect();
+    let mut pdt = Pdt::new(1);
+    for op in ops {
+        let visible = pdt.visible_count(stable);
+        assert_eq!(visible as usize, model.len());
+        match *op {
+            Op::Insert(pos, v) => {
+                let pos = pos.min(visible);
+                pdt.insert(Rid::new(pos), vec![v], stable).unwrap();
+                model.insert(pos as usize, vec![v]);
+            }
+            Op::Delete(pos) if visible > 0 => {
+                let pos = pos % visible;
+                pdt.delete(Rid::new(pos), stable).unwrap();
+                model.remove(pos as usize);
+            }
+            Op::Modify(pos, v) if visible > 0 => {
+                let pos = pos % visible;
+                pdt.modify(Rid::new(pos), 0, v, stable).unwrap();
+                model[pos as usize][0] = v;
+            }
+            _ => {}
+        }
+    }
+    (pdt, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging the PDT over the stable stream reproduces the reference model,
+    /// no matter how the visible range is split into pieces.
+    #[test]
+    fn pdt_merge_equals_reference_model(
+        stable in 1u64..300,
+        ops in prop::collection::vec(op_strategy(), 0..60),
+        split in 0u64..400,
+    ) {
+        let (pdt, model) = apply_ops(stable, &ops);
+        let source = SliceSource::generate(1, stable, |_, s| s as i64);
+        let visible = pdt.visible_count(stable);
+        prop_assert_eq!(visible as usize, model.len());
+
+        let full = merge_range(&pdt, source.clone(), &[0], TupleRange::new(0, visible));
+        prop_assert_eq!(&full, &model);
+
+        // Split reproduction: any prefix/suffix split produces the same stream.
+        let split = split.min(visible);
+        let mut pieces = merge_range(&pdt, source.clone(), &[0], TupleRange::new(0, split));
+        pieces.extend(merge_range(&pdt, source, &[0], TupleRange::new(split, visible)));
+        prop_assert_eq!(pieces, model);
+    }
+
+    /// Every visible position maps to a SID whose RID window contains it, and
+    /// SID->RID conversions are monotone.
+    #[test]
+    fn pdt_translation_round_trips(
+        stable in 1u64..200,
+        ops in prop::collection::vec(op_strategy(), 0..40),
+    ) {
+        let (pdt, _) = apply_ops(stable, &ops);
+        let visible = pdt.visible_count(stable);
+        for rid in 0..visible {
+            let sid = pdt.rid_to_sid(Rid::new(rid), stable);
+            let lo = pdt.sid_to_rid_low(sid).raw();
+            let hi = pdt.sid_to_rid_high(sid).raw();
+            prop_assert!(lo <= rid && rid <= hi, "rid {} not in [{}, {}]", rid, lo, hi);
+        }
+        let mut last_low = 0;
+        for sid in 0..=stable {
+            let lo = pdt.sid_to_rid_low(scanshare::common::Sid::new(sid)).raw();
+            prop_assert!(lo >= last_low, "sid_to_rid_low must be monotone");
+            last_low = lo;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range arithmetic invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Equation 1 partitioning covers the range exactly, without overlap.
+    #[test]
+    fn split_even_is_a_partition(start in 0u64..10_000, len in 0u64..10_000, n in 1usize..16) {
+        let range = TupleRange::new(start, start + len);
+        let parts = range.split_even(n);
+        prop_assert_eq!(parts.len(), n);
+        prop_assert_eq!(parts.iter().map(TupleRange::len).sum::<u64>(), range.len());
+        for pair in parts.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+        if !parts.is_empty() {
+            prop_assert_eq!(parts[0].start, range.start);
+            prop_assert_eq!(parts[parts.len() - 1].end, range.end);
+        }
+    }
+
+    /// subtract/intersect/union are consistent: A = (A - B) ∪ (A ∩ B).
+    #[test]
+    fn range_list_subtract_union_identity(
+        a in prop::collection::vec((0u64..500, 1u64..100), 1..8),
+        b in prop::collection::vec((0u64..500, 1u64..100), 1..8),
+    ) {
+        let list_a = RangeList::from_ranges(a.iter().map(|&(s, l)| TupleRange::new(s, s + l)));
+        let list_b = RangeList::from_ranges(b.iter().map(|&(s, l)| TupleRange::new(s, s + l)));
+        let minus = list_a.subtract(&list_b);
+        let inter = list_a.intersect(&list_b);
+        prop_assert!(minus.intersect(&list_b).is_empty());
+        prop_assert_eq!(minus.union(&inter), list_a.clone());
+        prop_assert_eq!(minus.total_tuples() + inter.total_tuples(), list_a.total_tuples());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Buffer-management invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The buffer pool never exceeds its capacity and never loses pages, for
+    /// both LRU and PBM, on arbitrary reference strings.
+    #[test]
+    fn buffer_pool_respects_capacity(
+        refs in prop::collection::vec(0u64..200, 1..400),
+        capacity in 1usize..64,
+        use_pbm in any::<bool>(),
+    ) {
+        let policy: Box<dyn scanshare::core::policy::ReplacementPolicy> = if use_pbm {
+            Box::new(PbmPolicy::new(PbmConfig::default()))
+        } else {
+            Box::new(LruPolicy::new())
+        };
+        let mut pool = BufferPool::new(capacity, 4096, policy);
+        let now = VirtualInstant::EPOCH;
+        for &r in &refs {
+            pool.request_page(PageId::new(r), None, now).unwrap();
+            prop_assert!(pool.resident_count() <= capacity);
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.hits + stats.misses, refs.len() as u64);
+        prop_assert_eq!(stats.io_bytes, stats.misses * 4096);
+        // Distinct pages referenced bounds the resident count.
+        let mut distinct = refs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(pool.resident_count() <= distinct.len());
+    }
+
+    /// OPT never incurs more misses than LRU on the same reference string and
+    /// never fewer than the number of distinct pages (cold misses).
+    #[test]
+    fn opt_is_a_lower_bound(
+        refs in prop::collection::vec(0u64..100, 1..500),
+        capacity in 1usize..32,
+    ) {
+        let trace: Vec<PageId> = refs.iter().map(|&r| PageId::new(r)).collect();
+        let opt = simulate_opt(&trace, capacity);
+
+        let mut pool = BufferPool::new(capacity, 1, Box::new(LruPolicy::new()));
+        let now = VirtualInstant::EPOCH;
+        for &page in &trace {
+            pool.request_page(page, None, now).unwrap();
+        }
+        let lru_misses = pool.stats().misses;
+        prop_assert!(opt.misses <= lru_misses, "OPT {} vs LRU {}", opt.misses, lru_misses);
+
+        let mut distinct = refs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(opt.misses >= distinct.len() as u64);
+        prop_assert_eq!(opt.hits + opt.misses, trace.len() as u64);
+    }
+}
