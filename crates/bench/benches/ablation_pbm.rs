@@ -13,15 +13,16 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scanshare_bench::crit::Criterion;
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_bench::measured_scale;
+use scanshare_common::VirtualDuration;
 use scanshare_common::{PolicyKind, ScanShareConfig, VirtualInstant};
 use scanshare_core::bufferpool::BufferPool;
 use scanshare_core::lru::LruPolicy;
 use scanshare_core::pbm::{PbmConfig, PbmPolicy};
 use scanshare_core::policy::ReplacementPolicy;
-use scanshare_common::VirtualDuration;
 use scanshare_storage::storage::Storage;
 use scanshare_workload::microbench::{self, MicrobenchConfig};
 
@@ -92,15 +93,22 @@ fn bench(c: &mut Criterion) {
 
     // Pool of roughly 10% of the table.
     let table_pages = {
-        let layout = storage.layout(workload.streams[0].queries[0].scans[0].table).unwrap();
+        let layout = storage
+            .layout(workload.streams[0].queries[0].scans[0].table)
+            .unwrap();
         let cols: Vec<usize> = (0..layout.column_count()).collect();
         layout.bytes_for_scan(&cols, micro.lineitem_tuples) / page_size
     };
     let pool_pages = ((table_pages / 10) as usize).max(8);
 
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn ReplacementPolicy>>;
     let default_speed = ScanShareConfig::default().cpu_tuples_per_sec as f64;
-    let variants: Vec<(&str, Box<dyn Fn() -> Box<dyn ReplacementPolicy>>, bool)> = vec![
-        ("lru", Box::new(|| Box::new(LruPolicy::new()) as Box<dyn ReplacementPolicy>), true),
+    let variants: Vec<(&str, PolicyFactory, bool)> = vec![
+        (
+            "lru",
+            Box::new(|| Box::new(LruPolicy::new()) as Box<dyn ReplacementPolicy>),
+            true,
+        ),
         (
             "pbm-default",
             Box::new(move || {
@@ -135,10 +143,20 @@ fn bench(c: &mut Criterion) {
         ),
     ];
 
-    println!("PBM ablation (pool = {pool_pages} pages, {PolicyKind:?})", PolicyKind = PolicyKind::Pbm);
+    println!(
+        "PBM ablation (pool = {pool_pages} pages, {PolicyKind:?})",
+        PolicyKind = PolicyKind::Pbm
+    );
     println!("{:<26}{:>16}", "variant", "I/O [MB]");
     for (name, make_policy, report) in &variants {
-        let io = replay(&storage, &workload, pool_pages, page_size, make_policy(), *report);
+        let io = replay(
+            &storage,
+            &workload,
+            pool_pages,
+            page_size,
+            make_policy(),
+            *report,
+        );
         println!("{name:<26}{:>16.1}", io as f64 / 1e6);
     }
 
@@ -146,7 +164,16 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for (name, make_policy, report) in variants {
         group.bench_function(name, |b| {
-            b.iter(|| replay(&storage, &workload, pool_pages, page_size, make_policy(), report))
+            b.iter(|| {
+                replay(
+                    &storage,
+                    &workload,
+                    pool_pages,
+                    page_size,
+                    make_policy(),
+                    report,
+                )
+            })
         });
     }
     group.finish();

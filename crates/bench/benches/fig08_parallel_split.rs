@@ -8,7 +8,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanshare_bench::crit::{BenchmarkId, Criterion};
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_common::{PolicyKind, ScanShareConfig, TupleRange};
 use scanshare_core::metrics::BufferStats;
@@ -25,21 +26,27 @@ fn setup() -> (Arc<scanshare_exec::Engine>, scanshare_common::TableId) {
         policy: PolicyKind::Pbm,
         ..Default::default()
     };
-    (scanshare_exec::Engine::new(storage, config).expect("engine"), lineitem)
+    (
+        scanshare_exec::Engine::new(storage, config).expect("engine"),
+        lineitem,
+    )
 }
 
-fn q6(engine: &Arc<scanshare_exec::Engine>, table: scanshare_common::TableId, threads: usize) -> i64 {
-    use scanshare_exec::ops::{Aggregate, AggrSpec, CompareOp, Predicate};
-    let result = scanshare_exec::parallel_scan_aggregate(
-        engine,
-        table,
-        &["l_quantity", "l_extendedprice", "l_discount", "l_shipdate"],
-        TupleRange::new(0, 500_000),
-        threads,
-        Some(Predicate::new(0, CompareOp::Le, 24)),
-        &AggrSpec::global(vec![Aggregate::Sum(1), Aggregate::Count]),
-    )
-    .expect("query");
+fn q6(
+    engine: &Arc<scanshare_exec::Engine>,
+    table: scanshare_common::TableId,
+    threads: usize,
+) -> i64 {
+    use scanshare_exec::ops::{AggrSpec, Aggregate, CompareOp, Predicate};
+    let result = engine
+        .query(table)
+        .columns(["l_quantity", "l_extendedprice", "l_discount", "l_shipdate"])
+        .tuple_range(TupleRange::new(0, 500_000))
+        .filter(Predicate::new(0, CompareOp::Le, 24))
+        .aggregate(AggrSpec::global(vec![Aggregate::Sum(1), Aggregate::Count]))
+        .parallelism(threads)
+        .run()
+        .expect("query");
     result[&0].accumulators[0]
 }
 
@@ -60,9 +67,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig08_parallel_split");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| q6(&engine, table, threads))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| q6(&engine, table, threads)),
+        );
     }
     group.finish();
 }

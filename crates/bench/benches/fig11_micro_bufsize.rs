@@ -4,7 +4,8 @@
 //! of the accessed data volume) and measures the PBM point at the default
 //! 40 % pool.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scanshare_bench::crit::Criterion;
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_bench::{bench_scale, measured_scale};
 use scanshare_sim::experiment::fig11_micro_buffer_sweep;
@@ -14,7 +15,10 @@ fn bench(c: &mut Criterion) {
     let rows = fig11_micro_buffer_sweep(&bench_scale()).expect("fig11 sweep");
     println!(
         "{}",
-        format_rows("Figure 11: microbenchmark, varying the buffer pool size", &rows)
+        format_rows(
+            "Figure 11: microbenchmark, varying the buffer pool size",
+            &rows
+        )
     );
 
     let mut group = c.benchmark_group("fig11_micro_bufsize");

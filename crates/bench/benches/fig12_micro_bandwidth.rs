@@ -1,6 +1,7 @@
 //! Figure 12: microbenchmark results, varying the I/O bandwidth.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scanshare_bench::crit::Criterion;
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_bench::{bench_scale, measured_scale};
 use scanshare_sim::experiment::fig12_micro_bandwidth_sweep;
@@ -10,7 +11,10 @@ fn bench(c: &mut Criterion) {
     let rows = fig12_micro_bandwidth_sweep(&bench_scale()).expect("fig12 sweep");
     println!(
         "{}",
-        format_rows("Figure 12: microbenchmark, varying the I/O bandwidth", &rows)
+        format_rows(
+            "Figure 12: microbenchmark, varying the I/O bandwidth",
+            &rows
+        )
     );
 
     let mut group = c.benchmark_group("fig12_micro_bandwidth");

@@ -1,7 +1,8 @@
 //! Figure 13: microbenchmark results, varying the number of concurrent
 //! streams (all queries scan 50 % of the table).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scanshare_bench::crit::Criterion;
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_bench::{bench_scale, measured_scale};
 use scanshare_sim::experiment::fig13_micro_stream_sweep;
@@ -11,7 +12,10 @@ fn bench(c: &mut Criterion) {
     let rows = fig13_micro_stream_sweep(&bench_scale()).expect("fig13 sweep");
     println!(
         "{}",
-        format_rows("Figure 13: microbenchmark, varying the number of streams", &rows)
+        format_rows(
+            "Figure 13: microbenchmark, varying the number of streams",
+            &rows
+        )
     );
 
     let mut group = c.benchmark_group("fig13_micro_streams");

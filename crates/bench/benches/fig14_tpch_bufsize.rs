@@ -1,6 +1,7 @@
 //! Figure 14: TPC-H throughput results, varying the buffer pool size.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scanshare_bench::crit::Criterion;
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_bench::{bench_scale, measured_scale};
 use scanshare_sim::experiment::fig14_tpch_buffer_sweep;
@@ -10,7 +11,10 @@ fn bench(c: &mut Criterion) {
     let rows = fig14_tpch_buffer_sweep(&bench_scale()).expect("fig14 sweep");
     println!(
         "{}",
-        format_rows("Figure 14: TPC-H throughput, varying the buffer pool size", &rows)
+        format_rows(
+            "Figure 14: TPC-H throughput, varying the buffer pool size",
+            &rows
+        )
     );
 
     let mut group = c.benchmark_group("fig14_tpch_bufsize");

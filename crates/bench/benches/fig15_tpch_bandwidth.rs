@@ -1,6 +1,7 @@
 //! Figure 15: TPC-H throughput results, varying the I/O bandwidth.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scanshare_bench::crit::Criterion;
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_bench::{bench_scale, measured_scale};
 use scanshare_sim::experiment::fig15_tpch_bandwidth_sweep;
@@ -10,7 +11,10 @@ fn bench(c: &mut Criterion) {
     let rows = fig15_tpch_bandwidth_sweep(&bench_scale()).expect("fig15 sweep");
     println!(
         "{}",
-        format_rows("Figure 15: TPC-H throughput, varying the I/O bandwidth", &rows)
+        format_rows(
+            "Figure 15: TPC-H throughput, varying the I/O bandwidth",
+            &rows
+        )
     );
 
     let mut group = c.benchmark_group("fig15_tpch_bandwidth");

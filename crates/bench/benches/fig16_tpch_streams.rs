@@ -1,6 +1,7 @@
 //! Figure 16: TPC-H throughput results, varying the number of streams.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scanshare_bench::crit::Criterion;
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_bench::{bench_scale, measured_scale};
 use scanshare_sim::experiment::fig16_tpch_stream_sweep;
@@ -10,7 +11,10 @@ fn bench(c: &mut Criterion) {
     let rows = fig16_tpch_stream_sweep(&bench_scale()).expect("fig16 sweep");
     println!(
         "{}",
-        format_rows("Figure 16: TPC-H throughput, varying the number of streams", &rows)
+        format_rows(
+            "Figure 16: TPC-H throughput, varying the number of streams",
+            &rows
+        )
     );
 
     let mut group = c.benchmark_group("fig16_tpch_streams");

@@ -1,6 +1,7 @@
 //! Figure 17: sharing potential in the microbenchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scanshare_bench::crit::Criterion;
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_bench::{bench_scale, measured_scale};
 use scanshare_sim::experiment::fig17_sharing_micro;
@@ -10,7 +11,10 @@ fn bench(c: &mut Criterion) {
     let profile = fig17_sharing_micro(&bench_scale()).expect("fig17 profile");
     println!(
         "{}",
-        format_sharing("Figure 17: sharing potential in the microbenchmark", &profile)
+        format_sharing(
+            "Figure 17: sharing potential in the microbenchmark",
+            &profile
+        )
     );
 
     let mut group = c.benchmark_group("fig17_sharing_micro");

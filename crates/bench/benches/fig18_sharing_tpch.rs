@@ -1,6 +1,7 @@
 //! Figure 18: sharing potential in the TPC-H throughput run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scanshare_bench::crit::Criterion;
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_bench::{bench_scale, measured_scale};
 use scanshare_sim::experiment::fig18_sharing_tpch;

@@ -7,7 +7,8 @@
 //! paths: page requests (hits), scan registration and eviction decisions,
 //! plus the OPT replay used by the harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanshare_bench::crit::{BenchmarkId, Criterion};
+use scanshare_bench::{criterion_group, criterion_main};
 
 use scanshare_common::{PageId, ScanShareConfig, VirtualInstant};
 use scanshare_core::bufferpool::BufferPool;
@@ -45,57 +46,71 @@ fn bench(c: &mut Criterion) {
     // Hot path 1: page request hits on a warm pool.
     let mut group = c.benchmark_group("request_page_hit");
     for policy_name in ["lru", "pbm"] {
-        group.bench_with_input(BenchmarkId::from_parameter(policy_name), &policy_name, |b, name| {
-            let mut pool = BufferPool::new(4096, page_size, make_policy(name));
-            let scan = pool.register_scan(&plan, now);
-            for desc in plan.interleaved() {
-                pool.request_page(desc.page, Some(scan), now).unwrap();
-            }
-            let pages: Vec<PageId> = plan.interleaved().iter().map(|d| d.page).collect();
-            let mut i = 0;
-            b.iter(|| {
-                let page = pages[i % pages.len()];
-                i += 1;
-                pool.request_page(page, Some(scan), now).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy_name),
+            &policy_name,
+            |b, name| {
+                let mut pool = BufferPool::new(4096, page_size, make_policy(name));
+                let scan = pool.register_scan(&plan, now);
+                for desc in plan.interleaved() {
+                    pool.request_page(desc.page, Some(scan), now).unwrap();
+                }
+                let pages: Vec<PageId> = plan.interleaved().iter().map(|d| d.page).collect();
+                let mut i = 0;
+                b.iter(|| {
+                    let page = pages[i % pages.len()];
+                    i += 1;
+                    pool.request_page(page, Some(scan), now).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 
     // Hot path 2: RegisterScan over the whole table plan.
     let mut group = c.benchmark_group("register_scan");
     for policy_name in ["lru", "pbm"] {
-        group.bench_with_input(BenchmarkId::from_parameter(policy_name), &policy_name, |b, name| {
-            b.iter(|| {
-                let mut pool = BufferPool::new(4096, page_size, make_policy(name));
-                let id = pool.register_scan(&plan, now);
-                pool.unregister_scan(id, now);
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy_name),
+            &policy_name,
+            |b, name| {
+                b.iter(|| {
+                    let mut pool = BufferPool::new(4096, page_size, make_policy(name));
+                    let id = pool.register_scan(&plan, now);
+                    pool.unregister_scan(id, now);
+                });
+            },
+        );
     }
     group.finish();
 
     // Hot path 3: eviction pressure (every request misses and evicts).
     let mut group = c.benchmark_group("evict_under_pressure");
     for policy_name in ["lru", "pbm"] {
-        group.bench_with_input(BenchmarkId::from_parameter(policy_name), &policy_name, |b, name| {
-            let mut pool = BufferPool::new(64, page_size, make_policy(name));
-            let scan = pool.register_scan(&plan, now);
-            let pages: Vec<PageId> = plan.interleaved().iter().map(|d| d.page).collect();
-            let mut i = 0;
-            b.iter(|| {
-                let page = pages[i % pages.len()];
-                i += 1;
-                pool.request_page(page, Some(scan), now).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy_name),
+            &policy_name,
+            |b, name| {
+                let mut pool = BufferPool::new(64, page_size, make_policy(name));
+                let scan = pool.register_scan(&plan, now);
+                let pages: Vec<PageId> = plan.interleaved().iter().map(|d| d.page).collect();
+                let mut i = 0;
+                b.iter(|| {
+                    let page = pages[i % pages.len()];
+                    i += 1;
+                    pool.request_page(page, Some(scan), now).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 
     // The OPT replay itself (cost of the oracle simulation, not a policy).
     let mut group = c.benchmark_group("opt_replay");
     let trace: Vec<PageId> = (0..50_000u64).map(|i| PageId::new(i % 1000)).collect();
-    group.bench_function("50k_refs_256_pages", |b| b.iter(|| simulate_opt(&trace, 256)));
+    group.bench_function("50k_refs_256_pages", |b| {
+        b.iter(|| simulate_opt(&trace, 256))
+    });
     group.finish();
 }
 

@@ -1,0 +1,188 @@
+//! A minimal, dependency-free stand-in for the parts of the Criterion API
+//! the figure benches use.
+//!
+//! The container this workspace builds in has no network access, so the real
+//! `criterion` crate cannot be fetched. The benches only need wall-clock
+//! timing of a closure plus the `benchmark_group` / `bench_function` /
+//! `bench_with_input` surface; this module provides exactly that and prints
+//! one line per measurement (`<group>/<id>: mean ... over N samples`).
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level handle passed to every bench function (mirrors
+/// `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Measures a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 10,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// A named benchmark id (mirrors `criterion::BenchmarkId`).
+#[derive(Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the swept parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A group of measurements sharing a name and a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each measurement takes.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Measures `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, id);
+        self
+    }
+
+    /// Measures `f` applied to `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured closure (mirrors `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `samples` executions of `f` (after one untimed warm-up run).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, group: &str, id: impl Display) {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if self.iters == 0 {
+            println!("{label}: no samples");
+            return;
+        }
+        let mean = self.total / self.iters as u32;
+        println!("{label}: mean {mean:?} over {} samples", self.iters);
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::crit::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `main` from runner
+/// functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_closure_and_accumulates_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // One warm-up plus three timed samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input_through() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7u64), &7u64, |b, &x| {
+            b.iter(|| seen = x)
+        });
+        assert_eq!(seen, 7);
+        assert_eq!(BenchmarkId::from_parameter("abc").to_string(), "abc");
+    }
+}

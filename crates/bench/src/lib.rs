@@ -1,9 +1,10 @@
-//! Shared helpers for the Criterion benchmark harness.
+//! Shared helpers for the benchmark harness.
 //!
 //! Every `benches/figNN_*.rs` target regenerates one figure of the paper:
 //! it prints the figure's data table (policies × swept parameter, average
 //! stream time and total I/O volume) and then measures a representative
-//! simulation point with Criterion.
+//! simulation point with the [`crit`] mini-harness (a dependency-free
+//! Criterion stand-in).
 //!
 //! The scale of the printed figures is controlled with the
 //! `SCANSHARE_BENCH_SCALE` environment variable: `test` (default, seconds),
@@ -11,6 +12,8 @@
 //! setup).
 
 #![warn(missing_docs)]
+
+pub mod crit;
 
 use scanshare_sim::ExperimentScale;
 

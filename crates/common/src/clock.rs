@@ -7,15 +7,12 @@
 //! harness sweep I/O bandwidth from 200 MB/s to 2 GB/s exactly like the
 //! paper does by throttling the storage layer.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A duration in virtual nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtualDuration(pub u64);
 
 impl VirtualDuration {
@@ -44,7 +41,10 @@ impl VirtualDuration {
 
     /// Creates a duration from fractional seconds.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         Self((s * 1e9).round() as u64)
     }
 
@@ -124,9 +124,7 @@ impl std::iter::Sum for VirtualDuration {
 }
 
 /// A point in virtual time (nanoseconds since simulation start).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtualInstant(pub u64);
 
 impl VirtualInstant {
@@ -173,7 +171,7 @@ impl std::ops::Add<VirtualDuration> for VirtualInstant {
 }
 
 /// I/O bandwidth, stored as bytes per second.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth {
     bytes_per_sec: f64,
 }
@@ -183,7 +181,9 @@ impl Bandwidth {
     /// paper's "200MB/s to 2GB/s" sweep).
     pub fn from_mb_per_sec(mb: f64) -> Self {
         assert!(mb > 0.0 && mb.is_finite(), "bandwidth must be positive");
-        Self { bytes_per_sec: mb * 1_000_000.0 }
+        Self {
+            bytes_per_sec: mb * 1_000_000.0,
+        }
     }
 
     /// Creates a bandwidth from gigabytes per second.
@@ -193,8 +193,13 @@ impl Bandwidth {
 
     /// Creates a bandwidth from raw bytes per second.
     pub fn from_bytes_per_sec(bytes: f64) -> Self {
-        assert!(bytes > 0.0 && bytes.is_finite(), "bandwidth must be positive");
-        Self { bytes_per_sec: bytes }
+        assert!(
+            bytes > 0.0 && bytes.is_finite(),
+            "bandwidth must be positive"
+        );
+        Self {
+            bytes_per_sec: bytes,
+        }
     }
 
     /// Bytes per second.

@@ -6,8 +6,6 @@
 //! specific tuning (PBM bucket layout, ABM relevance weights) lives next to
 //! the policies in `scanshare-core`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::Bandwidth;
 use crate::error::{Error, Result};
 
@@ -16,7 +14,7 @@ use crate::error::{Error, Result};
 /// These are exactly the four lines in every figure of the paper's
 /// evaluation: traditional LRU buffering, Cooperative Scans, Predictive
 /// Buffer Management and the OPT oracle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Traditional buffer management: scans issue page requests in order and
     /// the pool evicts the least-recently-used page.
@@ -34,8 +32,12 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// All policies, in the order the paper's figures list them.
-    pub const ALL: [PolicyKind; 4] =
-        [PolicyKind::Lru, PolicyKind::CScan, PolicyKind::Pbm, PolicyKind::Opt];
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Lru,
+        PolicyKind::CScan,
+        PolicyKind::Pbm,
+        PolicyKind::Opt,
+    ];
 
     /// Short lowercase name used in reports and CLI arguments.
     pub fn name(self) -> &'static str {
@@ -80,7 +82,7 @@ impl std::str::FromStr for PolicyKind {
 
 /// Top-level configuration shared by the storage layer, the buffer manager,
 /// the execution engine and the simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanShareConfig {
     /// Size of a storage page in bytes. Vectorwise uses large pages; the
     /// default here is 256 KiB.
@@ -104,6 +106,13 @@ pub struct ScanShareConfig {
     pub threads_per_query: usize,
     /// Which buffer-management policy to run.
     pub policy: PolicyKind,
+    /// Name of a custom replacement policy registered with a
+    /// `PolicyRegistry`, overriding the page-level policy that `policy`
+    /// would select. The engine keeps `policy`'s family semantics (OPT trace
+    /// recording stays on under `PolicyKind::Opt`); combining a custom
+    /// policy with `PolicyKind::CScan` is rejected, as Cooperative Scans
+    /// replace the page-level pool wholesale.
+    pub custom_policy: Option<String>,
 }
 
 impl Default for ScanShareConfig {
@@ -117,6 +126,7 @@ impl Default for ScanShareConfig {
             cpu_tuples_per_sec: 250_000_000,
             threads_per_query: 8,
             policy: PolicyKind::Pbm,
+            custom_policy: None,
         }
     }
 }
@@ -141,6 +151,12 @@ impl ScanShareConfig {
         }
         if self.threads_per_query == 0 {
             return Err(Error::config("threads_per_query must be at least 1"));
+        }
+        if self.custom_policy.is_some() && self.policy == PolicyKind::CScan {
+            return Err(Error::config(
+                "custom_policy selects a page-level replacement policy and cannot be \
+                 combined with PolicyKind::CScan (the ABM replaces the pool wholesale)",
+            ));
         }
         Ok(())
     }
@@ -167,6 +183,12 @@ impl ScanShareConfig {
         self.policy = policy;
         self
     }
+
+    /// Returns a copy selecting a custom registered replacement policy.
+    pub fn with_custom_policy(mut self, name: impl Into<String>) -> Self {
+        self.custom_policy = Some(name.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +202,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_zero_page_size() {
-        let cfg = ScanShareConfig { page_size_bytes: 0, ..Default::default() };
+        let cfg = ScanShareConfig {
+            page_size_bytes: 0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -73,7 +73,10 @@ impl fmt::Display for Error {
             Error::UnknownChunk(c) => write!(f, "unknown chunk {c}"),
             Error::UnknownScan(s) => write!(f, "unknown scan {s}"),
             Error::UnknownSnapshot(v) => write!(f, "unknown snapshot {v}"),
-            Error::BufferPoolTooSmall { capacity_pages, required_pages } => write!(
+            Error::BufferPoolTooSmall {
+                capacity_pages,
+                required_pages,
+            } => write!(
                 f,
                 "buffer pool of {capacity_pages} pages cannot hold the {required_pages} pages \
                  required by a single operation"
@@ -117,11 +120,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_descriptive() {
-        let e = Error::UnknownColumn { table: TableId::new(1), column: "l_extendedprice".into() };
+        let e = Error::UnknownColumn {
+            table: TableId::new(1),
+            column: "l_extendedprice".into(),
+        };
         assert!(e.to_string().contains("l_extendedprice"));
         assert!(e.to_string().contains("T1"));
 
-        let e = Error::BufferPoolTooSmall { capacity_pages: 4, required_pages: 9 };
+        let e = Error::BufferPoolTooSmall {
+            capacity_pages: 4,
+            required_pages: 9,
+        };
         assert!(e.to_string().contains('4'));
         assert!(e.to_string().contains('9'));
     }

@@ -18,6 +18,7 @@ pub mod error;
 pub mod ids;
 pub mod range;
 pub mod rid;
+pub mod sync;
 
 pub use clock::{Bandwidth, VirtualClock, VirtualDuration, VirtualInstant};
 pub use config::{PolicyKind, ScanShareConfig};

@@ -9,11 +9,10 @@
 //! [`TupleRange::split_even`] implements Equation (1) of the paper: the
 //! static partitioning of a scanned range over `n` parallel threads.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open interval `[start, end)` of tuple positions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TupleRange {
     /// Inclusive start position.
     pub start: u64,
@@ -110,7 +109,7 @@ impl fmt::Display for TupleRange {
 
 /// A normalized list of tuple ranges: sorted by start, non-overlapping and
 /// non-adjacent (touching ranges are coalesced).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RangeList {
     ranges: Vec<TupleRange>,
 }
@@ -186,19 +185,18 @@ impl RangeList {
     /// Whether `pos` falls in any range of the list.
     pub fn contains(&self, pos: u64) -> bool {
         // Binary search on the start positions.
-        match self.ranges.binary_search_by(|r| {
-            use std::cmp::Ordering;
-            if pos < r.start {
-                Ordering::Greater
-            } else if pos >= r.end {
-                Ordering::Less
-            } else {
-                Ordering::Equal
-            }
-        }) {
-            Ok(_) => true,
-            Err(_) => false,
-        }
+        self.ranges
+            .binary_search_by(|r| {
+                use std::cmp::Ordering;
+                if pos < r.start {
+                    Ordering::Greater
+                } else if pos >= r.end {
+                    Ordering::Less
+                } else {
+                    Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 
     /// Intersects the list with a single range.
@@ -318,7 +316,10 @@ mod tests {
         let r = TupleRange::new(10, 20);
         assert!(r.contains(10));
         assert!(!r.contains(20));
-        assert_eq!(r.intersect(&TupleRange::new(15, 30)), TupleRange::new(15, 20));
+        assert_eq!(
+            r.intersect(&TupleRange::new(15, 30)),
+            TupleRange::new(15, 20)
+        );
         assert!(r.intersect(&TupleRange::new(20, 30)).is_empty());
         assert!(r.overlaps(&TupleRange::new(19, 21)));
         assert!(!r.overlaps(&TupleRange::new(20, 21)));
@@ -336,7 +337,10 @@ mod tests {
     fn split_even_matches_equation_1() {
         // range [0, 1000) over 2 threads -> [0,500) and [500,1000)
         let parts = TupleRange::new(0, 1000).split_even(2);
-        assert_eq!(parts, vec![TupleRange::new(0, 500), TupleRange::new(500, 1000)]);
+        assert_eq!(
+            parts,
+            vec![TupleRange::new(0, 500), TupleRange::new(500, 1000)]
+        );
 
         // Uneven split keeps full coverage without overlap.
         let parts = TupleRange::new(0, 10).split_even(3);
@@ -393,7 +397,10 @@ mod tests {
         let a = RangeList::from_ranges([TupleRange::new(0, 10), TupleRange::new(20, 30)]);
         let b = RangeList::single(5, 25);
         let i = a.intersect(&b);
-        assert_eq!(i.ranges(), &[TupleRange::new(5, 10), TupleRange::new(20, 25)]);
+        assert_eq!(
+            i.ranges(),
+            &[TupleRange::new(5, 10), TupleRange::new(20, 25)]
+        );
         let u = a.union(&b);
         assert_eq!(u.ranges(), &[TupleRange::new(0, 30)]);
     }
@@ -405,7 +412,11 @@ mod tests {
         let d = a.subtract(&b);
         assert_eq!(
             d.ranges(),
-            &[TupleRange::new(0, 10), TupleRange::new(20, 50), TupleRange::new(60, 100)]
+            &[
+                TupleRange::new(0, 10),
+                TupleRange::new(20, 50),
+                TupleRange::new(60, 100)
+            ]
         );
         // Subtracting a superset leaves nothing.
         assert!(b.subtract(&a).is_empty());

@@ -13,7 +13,6 @@
 //! functions in `scanshare-pdt` (`rid_to_sid`, `sid_to_rid_low`,
 //! `sid_to_rid_high`) are the only way to move between the two spaces.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -22,7 +21,6 @@ macro_rules! define_pos {
         $(#[$doc])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub u64);
 

@@ -60,7 +60,10 @@ impl BufferPool {
         page_size_bytes: u64,
         policy: Box<dyn ReplacementPolicy>,
     ) -> Self {
-        assert!(capacity_pages > 0, "buffer pool must hold at least one page");
+        assert!(
+            capacity_pages > 0,
+            "buffer pool must hold at least one page"
+        );
         Self {
             capacity_pages,
             page_size_bytes,
@@ -135,7 +138,12 @@ impl BufferPool {
     }
 
     /// Reports scan progress (`ReportScanPosition`).
-    pub fn report_scan_position(&mut self, scan: ScanId, tuples_consumed: u64, now: VirtualInstant) {
+    pub fn report_scan_position(
+        &mut self,
+        scan: ScanId,
+        tuples_consumed: u64,
+        now: VirtualInstant,
+    ) {
         self.policy.report_scan_position(scan, tuples_consumed, now);
     }
 
@@ -267,7 +275,12 @@ mod tests {
         pool.request_page(p(2), None, now()).unwrap();
         pool.request_page(p(1), None, now()).unwrap(); // 1 most recent
         let outcome = pool.request_page(p(3), None, now()).unwrap();
-        assert_eq!(outcome, AccessOutcome::Miss { evicted: vec![p(2)] });
+        assert_eq!(
+            outcome,
+            AccessOutcome::Miss {
+                evicted: vec![p(2)]
+            }
+        );
         assert!(pool.contains(p(1)));
         assert!(!pool.contains(p(2)));
     }
@@ -302,7 +315,8 @@ mod tests {
         let trace = Arc::new(ReferenceTrace::new());
         let mut pool =
             BufferPool::new(2, 1024, Box::new(LruPolicy::new())).with_trace(Arc::clone(&trace));
-        pool.request_page(p(5), Some(ScanId::new(9)), now()).unwrap();
+        pool.request_page(p(5), Some(ScanId::new(9)), now())
+            .unwrap();
         pool.request_page(p(6), None, now()).unwrap();
         pool.request_page(p(5), None, now()).unwrap();
         assert_eq!(trace.pages(), vec![p(5), p(6), p(5)]);

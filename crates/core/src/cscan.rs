@@ -47,7 +47,11 @@ pub struct AbmConfig {
 impl AbmConfig {
     /// Creates a configuration for the given pool capacity and page size.
     pub fn new(buffer_capacity_bytes: u64, page_size_bytes: u64) -> Self {
-        Self { buffer_capacity_bytes, page_size_bytes, shared_chunk_bonus: 0.5 }
+        Self {
+            buffer_capacity_bytes,
+            page_size_bytes,
+            shared_chunk_bonus: 0.5,
+        }
     }
 }
 
@@ -183,8 +187,6 @@ struct CScanState {
     /// evicted before that scan consumes it (otherwise two starved scans can
     /// keep evicting each other's freshly loaded chunks forever).
     cached_available: usize,
-    total_chunks: usize,
-    total_tuples: u64,
 }
 
 /// The Active Buffer Manager.
@@ -229,17 +231,25 @@ impl Abm {
 
     /// Number of distinct table versions registered for `table`.
     pub fn version_count(&self, table: TableId) -> usize {
-        self.tables.get(&table).map(|t| t.versions.len()).unwrap_or(0)
+        self.tables
+            .get(&table)
+            .map(|t| t.versions.len())
+            .unwrap_or(0)
     }
 
     /// Number of leading chunks of `table` currently marked shared.
     pub fn shared_prefix_chunks(&self, table: TableId) -> u32 {
-        self.tables.get(&table).map(|t| t.shared_prefix_chunks).unwrap_or(0)
+        self.tables
+            .get(&table)
+            .map(|t| t.shared_prefix_chunks)
+            .unwrap_or(0)
     }
 
     /// Whether `chunk` of the version used by `scan` is cached.
     pub fn chunk_is_cached(&self, scan: ScanId, chunk: ChunkId) -> bool {
-        let Some(state) = self.scans.get(&scan) else { return false };
+        let Some(state) = self.scans.get(&scan) else {
+            return false;
+        };
         self.tables
             .get(&state.request.table)
             .and_then(|t| t.versions.get(state.version))
@@ -253,8 +263,11 @@ impl Abm {
         let id = ScanId::new(self.next_scan);
         self.next_scan += 1;
 
-        let chunk_map =
-            Arc::new(request.layout.chunk_map(&request.snapshot, &request.columns));
+        let chunk_map = Arc::new(
+            request
+                .layout
+                .chunk_map(&request.snapshot, &request.columns),
+        );
         let stable = request.snapshot.stable_tuples();
         let chunk_ids = request.layout.chunks_for_ranges(&request.ranges, stable);
         if chunk_ids.is_empty() {
@@ -303,7 +316,11 @@ impl Abm {
                 .insert(id);
         }
 
-        let handle = CScanHandle { id, total_chunks: order.len(), total_tuples };
+        let handle = CScanHandle {
+            id,
+            total_chunks: order.len(),
+            total_tuples,
+        };
         // Some of the requested chunks may already be cached (loaded for
         // other scans or by a previous query on the same table version).
         let cached_available = order
@@ -326,8 +343,6 @@ impl Abm {
                 order,
                 next_in_order: 0,
                 cached_available,
-                total_chunks: handle.total_chunks,
-                total_tuples,
             },
         );
         self.recompute_shared_prefix(handle.id);
@@ -382,7 +397,9 @@ impl Abm {
     }
 
     fn reindex_versions(&mut self, table: TableId) {
-        let Some(table_state) = self.tables.get(&table) else { return };
+        let Some(table_state) = self.tables.get(&table) else {
+            return;
+        };
         let mapping: Vec<(usize, Vec<ScanId>)> = table_state
             .versions
             .iter()
@@ -408,7 +425,9 @@ impl Abm {
     /// Finds the longest prefix (in chunks) shared by at least two registered
     /// CScans of `table` and marks chunks accordingly.
     fn recompute_shared_prefix_for_table(&mut self, table: TableId) {
-        let Some(table_state) = self.tables.get(&table) else { return };
+        let Some(table_state) = self.tables.get(&table) else {
+            return;
+        };
         let scans: Vec<&CScanState> = table_state
             .versions
             .iter()
@@ -459,7 +478,9 @@ impl Abm {
     /// LoadRelevance of `chunk` for the version of `scan`: the number of
     /// interested scans, with a bonus for shared chunks.
     fn load_relevance(&self, scan: ScanId, chunk: ChunkId) -> f64 {
-        let Some(state) = self.scans.get(&scan) else { return 0.0 };
+        let Some(state) = self.scans.get(&scan) else {
+            return 0.0;
+        };
         let Some(chunk_state) = self
             .tables
             .get(&state.request.table)
@@ -469,7 +490,11 @@ impl Abm {
             return 0.0;
         };
         chunk_state.interested.len() as f64
-            + if chunk_state.shared { self.config.shared_chunk_bonus } else { 0.0 }
+            + if chunk_state.shared {
+                self.config.shared_chunk_bonus
+            } else {
+                0.0
+            }
     }
 
     /// KeepRelevance of a cached chunk: how much it is worth keeping (the
@@ -477,7 +502,11 @@ impl Abm {
     /// scoring chunk is the eviction candidate.
     fn keep_relevance(chunk_state: &ChunkState, shared_bonus: f64) -> f64 {
         chunk_state.interested.len() as f64
-            + if chunk_state.shared { shared_bonus } else { 0.0 }
+            + if chunk_state.shared {
+                shared_bonus
+            } else {
+                0.0
+            }
     }
 
     /// The cached chunk `scan` should process next (UseRelevance): the cached
@@ -491,18 +520,29 @@ impl Abm {
             .and_then(|t| t.versions.get(state.version))?;
         if state.request.in_order {
             let next = state.order.get(state.next_in_order)?;
-            let cached = version.chunks.get(next).map(|c| c.is_cached()).unwrap_or(false);
+            let cached = version
+                .chunks
+                .get(next)
+                .map(|c| c.is_cached())
+                .unwrap_or(false);
             return cached.then_some(*next);
         }
         state
             .needed
             .keys()
             .filter(|chunk| {
-                version.chunks.get(chunk).map(|c| c.is_cached()).unwrap_or(false)
+                version
+                    .chunks
+                    .get(chunk)
+                    .map(|c| c.is_cached())
+                    .unwrap_or(false)
             })
             .min_by_key(|chunk| {
-                let interest =
-                    version.chunks.get(chunk).map(|c| c.interested.len()).unwrap_or(0);
+                let interest = version
+                    .chunks
+                    .get(chunk)
+                    .map(|c| c.interested.len())
+                    .unwrap_or(0);
                 (interest, chunk.raw())
             })
             .copied()
@@ -530,9 +570,14 @@ impl Abm {
         let mut candidates: Vec<(bool, i64, ScanId)> = self
             .scans
             .keys()
-            .filter_map(|&id| self.query_relevance(id).map(|(starved, rem)| (starved, rem, id)))
+            .filter_map(|&id| {
+                self.query_relevance(id)
+                    .map(|(starved, rem)| (starved, rem, id))
+            })
             .collect();
-        candidates.sort_by_key(|&(starved, rem, id)| (std::cmp::Reverse(starved), std::cmp::Reverse(rem), id));
+        candidates.sort_by_key(|&(starved, rem, id)| {
+            (std::cmp::Reverse(starved), std::cmp::Reverse(rem), id)
+        });
 
         for (_starved, _rem, scan_id) in candidates {
             if let Some(plan) = self.plan_load_for(scan_id) {
@@ -584,15 +629,13 @@ impl Abm {
 
         // LoadRelevance: most interested scans (shared bonus), then lowest id
         // to preserve some sequential locality.
-        let best_chunk = loadable
-            .into_iter()
-            .max_by(|a, b| {
-                let ra = self.load_relevance(scan_id, *a);
-                let rb = self.load_relevance(scan_id, *b);
-                ra.partial_cmp(&rb)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.cmp(a))
-            })?;
+        let best_chunk = loadable.into_iter().max_by(|a, b| {
+            let ra = self.load_relevance(scan_id, *a);
+            let rb = self.load_relevance(scan_id, *b);
+            ra.partial_cmp(&rb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(a))
+        })?;
         let load_relevance = self.load_relevance(scan_id, best_chunk);
 
         // Pages to load: union of the pages every interested scan needs for
@@ -626,7 +669,14 @@ impl Abm {
         // Make room, evicting chunks whose KeepRelevance is lower than the
         // candidate's LoadRelevance (forced if the requesting scan is starved).
         let starved = self.cached_chunk_for(scan_id).is_none();
-        if !self.make_room(bytes, load_relevance, starved, table, version_idx, best_chunk) {
+        if !self.make_room(
+            bytes,
+            load_relevance,
+            starved,
+            table,
+            version_idx,
+            best_chunk,
+        ) {
             return None;
         }
 
@@ -639,7 +689,13 @@ impl Abm {
         chunk_state.loading = true;
         chunk_state.pending_pages = full_pages;
 
-        Some(LoadPlan { scan: scan_id, chunk: best_chunk, table, pages: new_pages, bytes })
+        Some(LoadPlan {
+            scan: scan_id,
+            chunk: best_chunk,
+            table,
+            pages: new_pages,
+            bytes,
+        })
     }
 
     /// Evicts cached chunks until `bytes` more fit in the buffer. Only chunks
@@ -677,12 +733,10 @@ impl Abm {
                         let candidate = (keep, table, vidx, chunk);
                         let better = match &victim {
                             None => true,
-                            Some(best) => {
-                                (candidate.0, candidate.1, candidate.2, candidate.3)
-                                    .partial_cmp(&(best.0, best.1, best.2, best.3))
-                                    .map(|o| o.is_lt())
-                                    .unwrap_or(false)
-                            }
+                            Some(best) => (candidate.0, candidate.1, candidate.2, candidate.3)
+                                .partial_cmp(&(best.0, best.1, best.2, best.3))
+                                .map(|o| o.is_lt())
+                                .unwrap_or(false),
                         };
                         if better {
                             victim = Some(candidate);
@@ -711,7 +765,9 @@ impl Abm {
     /// holds. Returns the number of bytes actually freed.
     fn evict_chunk(&mut self, table: TableId, version_idx: usize, chunk: ChunkId) -> u64 {
         let page_size = self.config.page_size_bytes;
-        let Some(table_state) = self.tables.get_mut(&table) else { return 0 };
+        let Some(table_state) = self.tables.get_mut(&table) else {
+            return 0;
+        };
         let Some(chunk_state) = table_state
             .versions
             .get_mut(version_idx)
@@ -750,7 +806,10 @@ impl Abm {
     /// scans and a small pool) can livelock the ABM.
     fn is_protected(&self, chunk_state: &ChunkState) -> bool {
         chunk_state.interested.iter().any(|scan| {
-            self.scans.get(scan).map(|s| s.cached_available <= 1).unwrap_or(false)
+            self.scans
+                .get(scan)
+                .map(|s| s.cached_available <= 1)
+                .unwrap_or(false)
         })
     }
 
@@ -759,11 +818,16 @@ impl Abm {
     /// already resident (chunk boundaries, shared snapshot prefixes) are
     /// reference-counted rather than duplicated.
     pub fn complete_load(&mut self, plan: &LoadPlan, _now: VirtualInstant) -> Result<()> {
-        let scan = self.scans.get(&plan.scan).ok_or(Error::UnknownScan(plan.scan))?;
+        let scan = self
+            .scans
+            .get(&plan.scan)
+            .ok_or(Error::UnknownScan(plan.scan))?;
         let version_idx = scan.version;
         let page_size = self.config.page_size_bytes;
-        let table_state =
-            self.tables.get_mut(&plan.table).ok_or(Error::UnknownTable(plan.table))?;
+        let table_state = self
+            .tables
+            .get_mut(&plan.table)
+            .ok_or(Error::UnknownTable(plan.table))?;
         let chunk_state = table_state
             .versions
             .get_mut(version_idx)
@@ -835,7 +899,10 @@ impl Abm {
 
     /// Whether `scan` has received every chunk it registered for.
     pub fn is_finished(&self, scan: ScanId) -> bool {
-        self.scans.get(&scan).map(|s| s.needed.is_empty()).unwrap_or(true)
+        self.scans
+            .get(&scan)
+            .map(|s| s.needed.is_empty())
+            .unwrap_or(true)
     }
 
     /// Number of chunks `scan` still needs.
@@ -869,7 +936,10 @@ mod tests {
         let id = storage
             .create_table_with_data(
                 spec,
-                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(1)],
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Constant(1),
+                ],
             )
             .unwrap();
         (storage, id)
@@ -928,8 +998,9 @@ mod tests {
     fn register_reports_chunks_and_tuples() {
         let (storage, table) = setup(10_000);
         let mut abm = abm(1 << 20);
-        let handle =
-            abm.register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false)).unwrap();
+        let handle = abm
+            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
+            .unwrap();
         assert_eq!(handle.total_chunks, 10);
         assert_eq!(handle.total_tuples, 10_000);
         assert_eq!(abm.registered_scans(), 1);
@@ -954,8 +1025,9 @@ mod tests {
     fn single_scan_receives_all_chunks_exactly_once() {
         let (storage, table) = setup(5_000);
         let mut abm = abm(1 << 20);
-        let handle =
-            abm.register_cscan(request(&storage, table, TupleRange::new(0, 5_000), false)).unwrap();
+        let handle = abm
+            .register_cscan(request(&storage, table, TupleRange::new(0, 5_000), false))
+            .unwrap();
         let mut delivered = Vec::new();
         let mut guard = 0;
         while !abm.is_finished(handle.id) {
@@ -975,7 +1047,11 @@ mod tests {
         assert_eq!(delivered.len(), handle.total_chunks);
         abm.unregister_cscan(handle.id).unwrap();
         assert_eq!(abm.registered_scans(), 0);
-        assert_eq!(abm.version_count(table), 0, "metadata destroyed with the last scan");
+        assert_eq!(
+            abm.version_count(table),
+            0,
+            "metadata destroyed with the last scan"
+        );
     }
 
     #[test]
@@ -983,10 +1059,12 @@ mod tests {
         let (storage, table) = setup(10_000);
         // Plenty of buffer: every chunk is loaded at most once.
         let mut abm = abm(1 << 22);
-        let a =
-            abm.register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false)).unwrap();
-        let b =
-            abm.register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false)).unwrap();
+        let a = abm
+            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
+            .unwrap();
+        let b = abm
+            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
+            .unwrap();
 
         // Drive both scans round-robin.
         let mut guard = 0;
@@ -1020,14 +1098,24 @@ mod tests {
         let (storage, table) = setup(10_000);
         let mut abm = abm(1 << 22);
         // Scan A needs everything; scan B only chunks 5..10.
-        let a =
-            abm.register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false)).unwrap();
-        let _b =
-            abm.register_cscan(request(&storage, table, TupleRange::new(5_000, 10_000), false))
-                .unwrap();
+        let a = abm
+            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
+            .unwrap();
+        let _b = abm
+            .register_cscan(request(
+                &storage,
+                table,
+                TupleRange::new(5_000, 10_000),
+                false,
+            ))
+            .unwrap();
         // First load decision for A must pick a chunk B also wants.
         let plan = abm.plan_load_for(a.id).unwrap();
-        assert!(plan.chunk.raw() >= 5, "chunk {} is not shared with scan B", plan.chunk);
+        assert!(
+            plan.chunk.raw() >= 5,
+            "chunk {} is not shared with scan B",
+            plan.chunk
+        );
     }
 
     #[test]
@@ -1036,8 +1124,9 @@ mod tests {
         // Column a needs 4 pages per chunk, column b 2 pages per chunk ->
         // 6 KiB per chunk. Capacity of 2 chunks.
         let mut abm = abm(12 * PAGE);
-        let a =
-            abm.register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false)).unwrap();
+        let a = abm
+            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
+            .unwrap();
         let loads = drain_scan(&mut abm, a.id);
         assert_eq!(loads, 10, "every chunk loaded exactly once");
         assert!(abm.stats().evictions > 0, "small buffer forces evictions");
@@ -1048,8 +1137,9 @@ mod tests {
     fn in_order_scans_get_chunks_sequentially() {
         let (storage, table) = setup(5_000);
         let mut abm = abm(1 << 22);
-        let handle =
-            abm.register_cscan(request(&storage, table, TupleRange::new(0, 5_000), true)).unwrap();
+        let handle = abm
+            .register_cscan(request(&storage, table, TupleRange::new(0, 5_000), true))
+            .unwrap();
         let mut seen = Vec::new();
         while !abm.is_finished(handle.id) {
             if let Some(d) = abm.get_chunk(handle.id).unwrap() {
@@ -1062,7 +1152,10 @@ mod tests {
             }
         }
         let expected: Vec<u32> = (0..5).collect();
-        assert_eq!(seen, expected, "in-order CScan must receive chunks in table order");
+        assert_eq!(
+            seen, expected,
+            "in-order CScan must receive chunks in table order"
+        );
     }
 
     #[test]
@@ -1096,12 +1189,19 @@ mod tests {
         };
         let _a = abm.register_cscan(old_req).unwrap();
         let _b = abm.register_cscan(new_req).unwrap();
-        assert_eq!(abm.version_count(table), 2, "different snapshots are different versions");
+        assert_eq!(
+            abm.version_count(table),
+            2,
+            "different snapshots are different versions"
+        );
         // 10,000 base tuples: the wide column has 256 tuples/page so the last
         // partial page is rewritten by the append; the shared prefix covers
         // all but the tail of the table.
         let prefix = abm.shared_prefix_chunks(table);
-        assert!(prefix >= 9, "most of the table is shared, got {prefix} chunks");
+        assert!(
+            prefix >= 9,
+            "most of the table is shared, got {prefix} chunks"
+        );
         assert!(prefix <= 10);
     }
 
@@ -1143,10 +1243,12 @@ mod tests {
     fn same_snapshot_scans_reuse_the_version() {
         let (storage, table) = setup(3_000);
         let mut abm = abm(1 << 22);
-        let a =
-            abm.register_cscan(request(&storage, table, TupleRange::new(0, 3_000), false)).unwrap();
-        let b =
-            abm.register_cscan(request(&storage, table, TupleRange::new(0, 3_000), false)).unwrap();
+        let a = abm
+            .register_cscan(request(&storage, table, TupleRange::new(0, 3_000), false))
+            .unwrap();
+        let b = abm
+            .register_cscan(request(&storage, table, TupleRange::new(0, 3_000), false))
+            .unwrap();
         assert_eq!(abm.version_count(table), 1);
         abm.unregister_cscan(a.id).unwrap();
         assert_eq!(abm.version_count(table), 1);
@@ -1158,11 +1260,17 @@ mod tests {
     fn starved_short_query_is_served_before_long_query() {
         let (storage, table) = setup(10_000);
         let mut abm = abm(1 << 22);
-        let long =
-            abm.register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false)).unwrap();
-        let short =
-            abm.register_cscan(request(&storage, table, TupleRange::new(9_000, 10_000), false))
-                .unwrap();
+        let long = abm
+            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
+            .unwrap();
+        let short = abm
+            .register_cscan(request(
+                &storage,
+                table,
+                TupleRange::new(9_000, 10_000),
+                false,
+            ))
+            .unwrap();
         // Both are starved; the shorter query (1 chunk) wins QueryRelevance.
         let plan = abm.next_load(now()).unwrap();
         assert_eq!(plan.scan, short.id);

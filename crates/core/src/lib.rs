@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod bufferpool;
 pub mod cscan;
 pub mod lru;
@@ -32,8 +33,10 @@ pub mod opt;
 pub mod pbm;
 pub mod pbm_lru;
 pub mod policy;
+pub mod registry;
 pub mod throttle;
 
+pub use backend::{CScanBackend, PooledBackend, ScanBackend, ScanRequest, ScanStep};
 pub use bufferpool::{AccessOutcome, BufferPool};
 pub use cscan::{Abm, AbmAction, AbmConfig, CScanHandle};
 pub use lru::LruPolicy;
@@ -43,4 +46,5 @@ pub use opt::{simulate_opt, OptResult};
 pub use pbm::{PbmConfig, PbmPolicy};
 pub use pbm_lru::{PbmLruConfig, PbmLruPolicy};
 pub use policy::{ReplacementPolicy, ScanInfo};
+pub use registry::{PolicyFactory, PolicyRegistry};
 pub use throttle::{ScanProgress, ThrottleConfig, ThrottlePlanner};

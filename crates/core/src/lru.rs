@@ -55,8 +55,7 @@ impl LruPolicy {
     /// The resident pages ordered from least to most recently used.
     /// (Primarily for tests and diagnostics; O(n log n).)
     pub fn recency_order(&self) -> Vec<PageId> {
-        let mut pages: Vec<(u64, PageId)> =
-            self.resident.iter().map(|(&p, &s)| (s, p)).collect();
+        let mut pages: Vec<(u64, PageId)> = self.resident.iter().map(|(&p, &s)| (s, p)).collect();
         pages.sort_unstable();
         pages.into_iter().map(|(_, p)| p).collect()
     }
@@ -98,7 +97,9 @@ impl ReplacementPolicy for LruPolicy {
         let mut victims = Vec::with_capacity(count);
         let mut skipped = Vec::new();
         while victims.len() < count {
-            let Some((page, stamp)) = self.queue.pop_front() else { break };
+            let Some((page, stamp)) = self.queue.pop_front() else {
+                break;
+            };
             if self.resident.get(&page) != Some(&stamp) {
                 continue; // stale entry
             }
@@ -192,7 +193,11 @@ mod tests {
     #[test]
     fn scan_callbacks_are_ignored_gracefully() {
         let mut lru = LruPolicy::new();
-        let info = ScanInfo { id: ScanId::new(1), total_tuples: 10, distinct_pages: 2 };
+        let info = ScanInfo {
+            id: ScanId::new(1),
+            total_tuples: 10,
+            distinct_pages: 2,
+        };
         let plan = ScanPagePlan {
             table: scanshare_common::TableId::new(0),
             total_tuples: 10,

@@ -1,11 +1,9 @@
 //! Buffer-manager statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters maintained by the buffer pool (and by the ABM for Cooperative
 /// Scans). `io_bytes` is the "total volume of performed I/O" reported in all
 /// of the paper's figures.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BufferStats {
     /// Page requests satisfied from the pool.
     pub hits: u64,
@@ -60,7 +58,13 @@ mod tests {
 
     #[test]
     fn merge_accumulates_all_fields() {
-        let a = BufferStats { hits: 1, misses: 2, evictions: 3, pages_loaded: 4, io_bytes: 5 };
+        let a = BufferStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            pages_loaded: 4,
+            io_bytes: 5,
+        };
         let mut b = a;
         b.merge(&a);
         assert_eq!(b.hits, 2);

@@ -57,7 +57,12 @@ impl<'a> OpportunisticPlanner<'a> {
         region_tuples: u64,
     ) -> Self {
         assert!(region_tuples > 0);
-        Self { layout, snapshot, columns, region_tuples }
+        Self {
+            layout,
+            snapshot,
+            columns,
+            region_tuples,
+        }
     }
 
     /// Scores every region of the remaining ranges.
@@ -86,7 +91,11 @@ impl<'a> OpportunisticPlanner<'a> {
                         }
                     }
                 }
-                scores.push(RegionScore { range: region, total_pages: total, cached_pages: cached });
+                scores.push(RegionScore {
+                    range: region,
+                    total_pages: total,
+                    cached_pages: cached,
+                });
                 start = end;
             }
         }
@@ -150,7 +159,9 @@ mod tests {
         let remaining = RangeList::single(0, 10_000);
         // Cache the pages of SIDs [5000, 6000): page indices 39..=46 (128 t/p).
         let cached: HashSet<PageId> = (39..=46).filter_map(|i| snapshot.page(0, i)).collect();
-        let next = planner.next_region(&remaining, &|p| cached.contains(&p)).unwrap();
+        let next = planner
+            .next_region(&remaining, &|p| cached.contains(&p))
+            .unwrap();
         assert_eq!(next, TupleRange::new(5000, 6000));
 
         let scores = planner.score_regions(&remaining, &|p| cached.contains(&p));
@@ -165,7 +176,8 @@ mod tests {
     fn regions_respect_the_remaining_ranges() {
         let (layout, snapshot) = setup();
         let planner = OpportunisticPlanner::new(&layout, &snapshot, vec![0], 1000);
-        let remaining = RangeList::from_ranges([TupleRange::new(200, 700), TupleRange::new(9_500, 10_000)]);
+        let remaining =
+            RangeList::from_ranges([TupleRange::new(200, 700), TupleRange::new(9_500, 10_000)]);
         let scores = planner.score_regions(&remaining, &|_| false);
         assert_eq!(scores.len(), 2);
         assert_eq!(scores[0].range, TupleRange::new(200, 700));

@@ -9,12 +9,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use scanshare_common::PageId;
 
 /// Result of replaying a trace under OPT.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OptResult {
     /// References served from the buffer.
     pub hits: u64,
@@ -52,7 +50,10 @@ impl OptResult {
 /// reference is precomputed, and the resident set is kept in a max-structure
 /// keyed by next use.
 pub fn simulate_opt(trace: &[PageId], capacity_pages: usize) -> OptResult {
-    assert!(capacity_pages > 0, "OPT needs a buffer of at least one page");
+    assert!(
+        capacity_pages > 0,
+        "OPT needs a buffer of at least one page"
+    );
     let n = trace.len();
     // next_use[i] = index of the next reference to trace[i] after i, or
     // usize::MAX if it is never referenced again.
@@ -84,8 +85,10 @@ pub fn simulate_opt(trace: &[PageId], capacity_pages: usize) -> OptResult {
         result.misses += 1;
         if resident.len() >= capacity_pages {
             // Evict the resident page referenced furthest in the future.
-            let (&(victim_next, victim), ()) =
-                by_next_use.iter().next_back().expect("resident set is non-empty");
+            let (&(victim_next, victim), ()) = by_next_use
+                .iter()
+                .next_back()
+                .expect("resident set is non-empty");
             let _ = victim_next;
             by_next_use.remove(&(victim_next, victim));
             resident.remove(&victim);

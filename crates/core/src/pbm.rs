@@ -65,7 +65,9 @@ impl PbmConfig {
     /// distinguish; anything further lands in the last bucket.
     pub fn horizon_slices(&self) -> u64 {
         let m = self.buckets_per_group as u64;
-        (0..self.bucket_groups as u64).map(|g| m * (1u64 << g)).sum()
+        (0..self.bucket_groups as u64)
+            .map(|g| m * (1u64 << g))
+            .sum()
     }
 }
 
@@ -163,7 +165,10 @@ impl PbmPolicy {
 
     /// Number of resident pages currently in the not-requested bucket.
     pub fn not_requested_pages(&self) -> usize {
-        self.pages.values().filter(|m| m.state() == PageState::NotRequested).count()
+        self.pages
+            .values()
+            .filter(|m| m.state() == PageState::NotRequested)
+            .count()
     }
 
     /// The bucket index a page with `next_consumption` `d` in the future is
@@ -193,7 +198,9 @@ impl PbmPolicy {
         let meta = self.pages.get(&page)?;
         let mut nearest: Option<f64> = None;
         for (scan_id, &tuples_behind) in &meta.consuming {
-            let Some(scan) = self.scans.get(scan_id) else { continue };
+            let Some(scan) = self.scans.get(scan_id) else {
+                continue;
+            };
             let remaining = tuples_behind.saturating_sub(scan.tuples_consumed) as f64;
             let secs = remaining / scan.speed_tps.max(1.0);
             nearest = Some(match nearest {
@@ -337,7 +344,12 @@ impl ReplacementPolicy for PbmPolicy {
         );
         // Re-prioritize the pages of this scan that are already resident.
         for page in page_list {
-            if self.pages.get(&page).map(|m| m.is_resident()).unwrap_or(false) {
+            if self
+                .pages
+                .get(&page)
+                .map(|m| m.is_resident())
+                .unwrap_or(false)
+            {
                 self.page_push(page, now);
             }
         }
@@ -355,7 +367,9 @@ impl ReplacementPolicy for PbmPolicy {
     }
 
     fn unregister_scan(&mut self, scan: ScanId, now: VirtualInstant) {
-        let Some(state) = self.scans.remove(&scan) else { return };
+        let Some(state) = self.scans.remove(&scan) else {
+            return;
+        };
         for page in state.pages {
             let mut resident = false;
             let mut remove_meta = false;
@@ -381,7 +395,11 @@ impl ReplacementPolicy for PbmPolicy {
                 changed = meta.consuming.remove(&scan).is_some();
             }
         }
-        let resident = self.pages.get(&page).map(|m| m.is_resident()).unwrap_or(false);
+        let resident = self
+            .pages
+            .get(&page)
+            .map(|m| m.is_resident())
+            .unwrap_or(false);
         if resident && (changed || scan.is_none()) {
             self.page_push(page, now);
         }
@@ -491,13 +509,19 @@ mod tests {
     }
 
     fn pbm_with_speed(speed: f64) -> PbmPolicy {
-        PbmPolicy::new(PbmConfig { default_scan_speed: speed, ..Default::default() })
+        PbmPolicy::new(PbmConfig {
+            default_scan_speed: speed,
+            ..Default::default()
+        })
     }
 
     fn register(pbm: &mut PbmPolicy, id: u64, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId {
         let sid = ScanId::new(id);
-        let info =
-            ScanInfo { id: sid, total_tuples: plan.total_tuples, distinct_pages: plan.distinct_pages() };
+        let info = ScanInfo {
+            id: sid,
+            total_tuples: plan.total_tuples,
+            distinct_pages: plan.distinct_pages(),
+        };
         pbm.register_scan(&info, plan, now);
         sid
     }
@@ -639,7 +663,10 @@ mod tests {
             PageState::Requested(idx) => idx,
             other => panic!("unexpected state {other:?}"),
         };
-        assert!(after < before, "higher speed => sooner consumption => nearer bucket");
+        assert!(
+            after < before,
+            "higher speed => sooner consumption => nearer bucket"
+        );
     }
 
     #[test]
@@ -649,7 +676,6 @@ mod tests {
             bucket_groups: 2,
             buckets_per_group: 2,
             default_scan_speed: 1000.0,
-            ..Default::default()
         };
         let mut pbm = PbmPolicy::new(config);
         // Buckets: 0:[0,100ms) 1:[100,200) 2:[200,400) 3:[400,800). Page 3 is
@@ -683,7 +709,6 @@ mod tests {
             bucket_groups: 2,
             buckets_per_group: 2,
             default_scan_speed: 1_000_000.0,
-            ..Default::default()
         };
         let mut pbm = PbmPolicy::new(config);
         register(&mut pbm, 1, &plan(&[1], 100), now_ms(0));
@@ -727,7 +752,12 @@ mod tests {
         // A reaches them, so with room for only a few pages the policy must
         // prefer evicting pages that are far for *everyone*.
         let mut pbm = pbm_with_speed(1000.0);
-        register(&mut pbm, 1, &plan(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], 100), now_ms(0));
+        register(
+            &mut pbm,
+            1,
+            &plan(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], 100),
+            now_ms(0),
+        );
         let pl_b = plan(&[6, 7, 8, 9, 10], 100);
         register(&mut pbm, 2, &pl_b, now_ms(0));
         for page in 1..=10 {

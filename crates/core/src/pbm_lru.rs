@@ -128,7 +128,9 @@ impl PbmLruPolicy {
         if self.pbm.next_consumption(page).is_some() {
             return; // the scan-registered side owns it
         }
-        let Some(estimate) = self.estimated_next_use(page) else { return };
+        let Some(estimate) = self.estimated_next_use(page) else {
+            return;
+        };
         let key = (estimate.as_nanos(), page);
         self.order.insert(key);
         self.history.entry(page).or_default().order_key = Some(key);
@@ -207,7 +209,10 @@ impl ReplacementPolicy for PbmLruPolicy {
         if victims.len() < count {
             let mut extended = exclude.clone();
             extended.extend(victims.iter().copied());
-            victims.extend(self.pbm.choose_victims(count - victims.len(), &extended, now));
+            victims.extend(
+                self.pbm
+                    .choose_victims(count - victims.len(), &extended, now),
+            );
         }
         victims
     }
@@ -249,7 +254,12 @@ mod tests {
         }
     }
 
-    fn register(policy: &mut PbmLruPolicy, id: u64, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId {
+    fn register(
+        policy: &mut PbmLruPolicy,
+        id: u64,
+        plan: &ScanPagePlan,
+        now: VirtualInstant,
+    ) -> ScanId {
         let sid = ScanId::new(id);
         let info = ScanInfo {
             id: sid,
@@ -273,7 +283,10 @@ mod tests {
         }
         assert_eq!(policy.history_tracked(), 3);
         let victims = policy.choose_victims(2, &HashSet::new(), at(50));
-        assert!(!victims.contains(&p(10)), "the frequently reused page survives: {victims:?}");
+        assert!(
+            !victims.contains(&p(10)),
+            "the frequently reused page survives: {victims:?}"
+        );
         assert_eq!(victims.len(), 2);
     }
 
@@ -302,7 +315,11 @@ mod tests {
         policy.on_admit(p(1), at(0));
         policy.on_admit(p(2), at(0));
         policy.on_admit(p(50), at(0)); // unrequested
-        assert_eq!(policy.history_tracked(), 1, "only the unrequested page is history-tracked");
+        assert_eq!(
+            policy.history_tracked(),
+            1,
+            "only the unrequested page is history-tracked"
+        );
         // Eviction prefers the unrequested page even though it was admitted
         // at the same time.
         let victims = policy.choose_victims(1, &HashSet::new(), at(1));
@@ -317,7 +334,10 @@ mod tests {
         // A slow default scan speed (1000 tuples/s) spreads the pages of the
         // plan over distinct buckets so the furthest-needed page is distinct.
         let mut policy = PbmLruPolicy::new(PbmLruConfig {
-            pbm: PbmConfig { default_scan_speed: 1000.0, ..PbmConfig::default() },
+            pbm: PbmConfig {
+                default_scan_speed: 1000.0,
+                ..PbmConfig::default()
+            },
             ..PbmLruConfig::default()
         });
         let pl = plan(&[1, 2, 3], 100);

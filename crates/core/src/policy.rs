@@ -91,7 +91,12 @@ mod tests {
             exclude: &HashSet<PageId>,
             _: VirtualInstant,
         ) -> Vec<PageId> {
-            self.order.iter().copied().filter(|p| !exclude.contains(p)).take(count).collect()
+            self.order
+                .iter()
+                .copied()
+                .filter(|p| !exclude.contains(p))
+                .take(count)
+                .collect()
         }
     }
 

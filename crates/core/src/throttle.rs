@@ -49,7 +49,11 @@ pub struct ThrottleConfig {
 
 impl Default for ThrottleConfig {
     fn default() -> Self {
-        Self { attach_window_tuples: 1_000_000, headroom_tuples: 250_000, min_factor: 0.25 }
+        Self {
+            attach_window_tuples: 1_000_000,
+            headroom_tuples: 250_000,
+            min_factor: 0.25,
+        }
     }
 }
 
@@ -180,8 +184,12 @@ mod tests {
     #[test]
     fn nearby_scans_form_one_group() {
         let planner = planner(1000, 100);
-        let scans =
-            vec![scan(1, 0, 0, 1e6), scan(2, 0, 500, 1e6), scan(3, 0, 900, 1e6), scan(4, 0, 5000, 1e6)];
+        let scans = vec![
+            scan(1, 0, 0, 1e6),
+            scan(2, 0, 500, 1e6),
+            scan(3, 0, 900, 1e6),
+            scan(4, 0, 5000, 1e6),
+        ];
         let groups = planner.groups(&scans);
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0].members.len(), 3);
@@ -201,19 +209,30 @@ mod tests {
     #[test]
     fn leader_far_ahead_is_throttled_followers_are_not() {
         let planner = planner(10_000, 1_000);
-        let scans = vec![scan(1, 0, 0, 1e6), scan(2, 0, 500, 1e6), scan(3, 0, 6_000, 1e6)];
+        let scans = vec![
+            scan(1, 0, 0, 1e6),
+            scan(2, 0, 500, 1e6),
+            scan(3, 0, 6_000, 1e6),
+        ];
         let plan = planner.plan(&scans);
         assert_eq!(plan[&ScanId::new(1)], 1.0);
         assert_eq!(plan[&ScanId::new(2)], 1.0);
         let leader = plan[&ScanId::new(3)];
         assert!(leader < 1.0, "leader must be throttled, got {leader}");
-        assert!(leader >= 0.25, "throttle never goes below the configured minimum");
+        assert!(
+            leader >= 0.25,
+            "throttle never goes below the configured minimum"
+        );
     }
 
     #[test]
     fn tight_groups_run_at_full_speed() {
         let planner = planner(10_000, 5_000);
-        let scans = vec![scan(1, 0, 0, 1e6), scan(2, 0, 2_000, 1e6), scan(3, 0, 4_000, 1e6)];
+        let scans = vec![
+            scan(1, 0, 0, 1e6),
+            scan(2, 0, 2_000, 1e6),
+            scan(3, 0, 4_000, 1e6),
+        ];
         let plan = planner.plan(&scans);
         assert!(plan.values().all(|&f| (f - 1.0).abs() < 1e-12));
     }
@@ -232,6 +251,10 @@ mod tests {
         let small_lead = planner.plan(&[scan(1, 0, 0, 1e6), scan(2, 0, 2_000, 1e6)]);
         let large_lead = planner.plan(&[scan(1, 0, 0, 1e6), scan(2, 0, 500_000, 1e6)]);
         assert!(large_lead[&ScanId::new(2)] < small_lead[&ScanId::new(2)]);
-        assert_eq!(large_lead[&ScanId::new(2)], 0.25, "clamped at the minimum factor");
+        assert_eq!(
+            large_lead[&ScanId::new(2)],
+            0.25,
+            "clamped at the minimum factor"
+        );
     }
 }

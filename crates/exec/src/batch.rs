@@ -22,7 +22,9 @@ impl Batch {
 
     /// An empty batch with `width` columns.
     pub fn empty(width: usize) -> Self {
-        Self { columns: vec![Vec::new(); width] }
+        Self {
+            columns: vec![Vec::new(); width],
+        }
     }
 
     /// Builds a batch from row-major data.
@@ -82,7 +84,10 @@ impl Batch {
             .columns
             .iter()
             .map(|col| {
-                col.iter().zip(keep.iter()).filter_map(|(&v, &k)| k.then_some(v)).collect()
+                col.iter()
+                    .zip(keep.iter())
+                    .filter_map(|(&v, &k)| k.then_some(v))
+                    .collect()
             })
             .collect();
         Batch { columns }
@@ -90,12 +95,16 @@ impl Batch {
 
     /// Returns a batch containing only the given columns, in order.
     pub fn project(&self, cols: &[usize]) -> Batch {
-        Batch { columns: cols.iter().map(|&c| self.columns[c].clone()).collect() }
+        Batch {
+            columns: cols.iter().map(|&c| self.columns[c].clone()).collect(),
+        }
     }
 
     /// Converts to row-major form (convenient in tests).
     pub fn to_rows(&self) -> Vec<Vec<Value>> {
-        (0..self.len()).map(|r| self.columns.iter().map(|c| c[r]).collect()).collect()
+        (0..self.len())
+            .map(|r| self.columns.iter().map(|c| c[r]).collect())
+            .collect()
     }
 }
 

@@ -4,19 +4,17 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
-
+use scanshare_common::sync::RwLock;
 use scanshare_common::{
     Error, PolicyKind, Result, Rid, ScanShareConfig, TableId, TupleRange, VirtualClock,
     VirtualDuration, VirtualInstant,
 };
+use scanshare_core::backend::{CScanBackend, PooledBackend, ScanBackend};
 use scanshare_core::bufferpool::BufferPool;
 use scanshare_core::cscan::{Abm, AbmConfig};
-use scanshare_core::lru::LruPolicy;
 use scanshare_core::metrics::BufferStats;
 use scanshare_core::opt::{simulate_opt, OptResult};
-use scanshare_core::pbm::{PbmConfig, PbmPolicy};
-use scanshare_core::policy::ReplacementPolicy;
+use scanshare_core::registry::PolicyRegistry;
 use scanshare_iosim::{IoDevice, ReferenceTrace};
 use scanshare_pdt::checkpoint::checkpoint_table;
 use scanshare_pdt::pdt::Pdt;
@@ -24,8 +22,8 @@ use scanshare_storage::datagen::Value;
 use scanshare_storage::snapshot::Snapshot;
 use scanshare_storage::storage::Storage;
 
-use crate::cscan_op::CScanOperator;
 use crate::ops::BatchSource;
+use crate::query::Query;
 use crate::scan::ScanOperator;
 
 /// Summary of the work an engine performed (virtual time and I/O volume).
@@ -38,13 +36,17 @@ pub struct QueryStats {
 }
 
 /// A query-execution session: storage + differential updates + the
-/// configured concurrent-scan buffer-management policy.
+/// configured concurrent-scan buffer-management backend.
+///
+/// The engine holds exactly one [`ScanBackend`]: a [`PooledBackend`] for the
+/// page-level policies (LRU / PBM / OPT / anything registered with a
+/// [`PolicyRegistry`]) or a [`CScanBackend`] for Cooperative Scans. Scans
+/// never branch on the policy — they drive whichever backend is installed.
 #[derive(Debug)]
 pub struct Engine {
     storage: Arc<Storage>,
     config: ScanShareConfig,
-    pool: Option<Mutex<BufferPool>>,
-    abm: Option<Mutex<Abm>>,
+    backend: Box<dyn ScanBackend>,
     device: Arc<IoDevice>,
     clock: Arc<VirtualClock>,
     trace: Option<Arc<ReferenceTrace>>,
@@ -52,12 +54,25 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates an engine over `storage` with the policy selected in `config`.
+    /// Creates an engine over `storage` with the policy selected in `config`,
+    /// resolving page-level policies from the default [`PolicyRegistry`]
+    /// (`"lru"`, `"pbm"`, `"pbm-lru"`).
     ///
     /// `PolicyKind::Opt` runs the engine under PBM while recording the page
     /// reference trace; [`Engine::opt_result`] then replays that trace under
     /// Belady's algorithm, exactly like the paper's OPT methodology.
     pub fn new(storage: Arc<Storage>, config: ScanShareConfig) -> Result<Arc<Self>> {
+        Self::with_registry(storage, config, &PolicyRegistry::default())
+    }
+
+    /// Like [`Engine::new`], resolving the replacement policy from a caller
+    /// supplied registry. `config.custom_policy` selects a registered policy
+    /// by name; otherwise `config.policy` maps to the built-in names.
+    pub fn with_registry(
+        storage: Arc<Storage>,
+        config: ScanShareConfig,
+        registry: &PolicyRegistry,
+    ) -> Result<Arc<Self>> {
         config.validate()?;
         let device = Arc::new(IoDevice::new(
             config.io_bandwidth,
@@ -66,20 +81,21 @@ impl Engine {
         let clock = VirtualClock::shared();
         let mut trace = None;
 
-        let (pool, abm) = match config.policy {
-            PolicyKind::CScan => {
-                let abm = Abm::new(AbmConfig::new(config.buffer_pool_bytes, config.page_size_bytes));
-                (None, Some(Mutex::new(abm)))
+        let backend: Box<dyn ScanBackend> = match (config.policy, &config.custom_policy) {
+            (PolicyKind::CScan, None) => {
+                let abm = Abm::new(AbmConfig::new(
+                    config.buffer_pool_bytes,
+                    config.page_size_bytes,
+                ));
+                Box::new(CScanBackend::new(
+                    abm,
+                    Arc::clone(&clock),
+                    Arc::clone(&device),
+                ))
             }
-            policy => {
-                let replacement: Box<dyn ReplacementPolicy> = match policy {
-                    PolicyKind::Lru => Box::new(LruPolicy::new()),
-                    PolicyKind::Pbm | PolicyKind::Opt => Box::new(PbmPolicy::new(PbmConfig {
-                        default_scan_speed: config.cpu_tuples_per_sec as f64,
-                        ..PbmConfig::default()
-                    })),
-                    PolicyKind::CScan => unreachable!("handled above"),
-                };
+            (policy, _custom) => {
+                let name = scanshare_core::registry::pooled_policy_name(&config, policy);
+                let replacement = registry.build(name, &config)?;
                 let mut pool = BufferPool::new(
                     config.buffer_pool_pages().max(1),
                     config.page_size_bytes,
@@ -90,15 +106,19 @@ impl Engine {
                     trace = Some(Arc::clone(&t));
                     pool = pool.with_trace(t);
                 }
-                (Some(Mutex::new(pool)), None)
+                Box::new(PooledBackend::new(
+                    pool,
+                    Arc::clone(&clock),
+                    Arc::clone(&device),
+                    policy,
+                ))
             }
         };
 
         Ok(Arc::new(Self {
             storage,
             config,
-            pool,
-            abm,
+            backend,
             device,
             clock,
             trace,
@@ -136,25 +156,14 @@ impl Engine {
         self.clock.now()
     }
 
-    /// The page-level buffer pool (LRU / PBM / OPT engines).
-    pub(crate) fn pool(&self) -> Option<&Mutex<BufferPool>> {
-        self.pool.as_ref()
-    }
-
-    /// The Active Buffer Manager (Cooperative Scans engines).
-    pub(crate) fn abm(&self) -> Option<&Mutex<Abm>> {
-        self.abm.as_ref()
+    /// The scan backend every scan of this engine drives.
+    pub fn backend(&self) -> &dyn ScanBackend {
+        self.backend.as_ref()
     }
 
     /// Aggregated buffer-manager statistics.
     pub fn buffer_stats(&self) -> BufferStats {
-        if let Some(pool) = &self.pool {
-            pool.lock().stats()
-        } else if let Some(abm) = &self.abm {
-            abm.lock().stats()
-        } else {
-            BufferStats::default()
-        }
+        self.backend.stats()
     }
 
     /// Replays the recorded page-reference trace under Belady's OPT with the
@@ -165,7 +174,10 @@ impl Engine {
             .trace
             .as_ref()
             .ok_or_else(|| Error::Unsupported("OPT trace recording is not enabled".into()))?;
-        Ok(simulate_opt(&trace.pages(), self.config.buffer_pool_pages().max(1)))
+        Ok(simulate_opt(
+            &trace.pages(),
+            self.config.buffer_pool_pages().max(1),
+        ))
     }
 
     /// Summary of the engine's work so far.
@@ -190,9 +202,9 @@ impl Engine {
         }
         let columns = self.storage.table(table)?.spec.columns.len();
         let mut pdts = self.pdts.write();
-        Ok(Arc::clone(
-            pdts.entry(table).or_insert_with(|| Arc::new(RwLock::new(Pdt::new(columns)))),
-        ))
+        Ok(Arc::clone(pdts.entry(table).or_insert_with(|| {
+            Arc::new(RwLock::new(Pdt::new(columns)))
+        })))
     }
 
     /// Number of rows currently visible in `table` (stable tuples of the
@@ -218,7 +230,9 @@ impl Engine {
     /// Updates column `col` of the visible row at `rid`.
     pub fn update_value(&self, table: TableId, rid: u64, col: usize, value: Value) -> Result<()> {
         let stable = self.storage.master_snapshot(table)?.stable_tuples();
-        self.pdt(table)?.write().modify(Rid::new(rid), col, value, stable)
+        self.pdt(table)?
+            .write()
+            .modify(Rid::new(rid), col, value, stable)
     }
 
     /// Checkpoints `table`: merges its PDT into a brand-new stable image and
@@ -233,13 +247,30 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
-    // Scans
+    // Queries and scans
     // ------------------------------------------------------------------
 
+    /// Starts building a query over `table`; see [`Query`] for the available
+    /// clauses. This is the primary entry point for running queries:
+    ///
+    /// ```ignore
+    /// let result = engine
+    ///     .query(table)
+    ///     .columns(["k", "v"])
+    ///     .range(..)
+    ///     .filter(Predicate::new(1, CompareOp::Le, 50))
+    ///     .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+    ///     .parallelism(4)
+    ///     .run()?;
+    /// ```
+    pub fn query(self: &Arc<Self>, table: TableId) -> Query {
+        Query::new(Arc::clone(self), table)
+    }
+
     /// Opens a scan over `columns` (by name) of `table` for the visible row
-    /// range `rid_range`, using the engine's configured policy: a traditional
-    /// in-order Scan for LRU / PBM / OPT, a CScan attached to the ABM for
-    /// Cooperative Scans.
+    /// range `rid_range`, driven by the engine's backend: sequential range
+    /// delivery for pooled backends, ABM chunk dispatch (out of table order)
+    /// for Cooperative Scans.
     pub fn scan(
         self: &Arc<Self>,
         table: TableId,
@@ -266,24 +297,16 @@ impl Engine {
         table: TableId,
         columns: &[&str],
         rid_range: TupleRange,
-        force_in_order: bool,
+        in_order: bool,
     ) -> Result<Box<dyn BatchSource + Send>> {
         let column_indices = self.storage.resolve_columns(table, columns)?;
-        match self.config.policy {
-            PolicyKind::CScan => Ok(Box::new(CScanOperator::new(
-                Arc::clone(self),
-                table,
-                column_indices,
-                rid_range,
-                force_in_order,
-            )?)),
-            _ => Ok(Box::new(ScanOperator::new(
-                Arc::clone(self),
-                table,
-                column_indices,
-                rid_range,
-            )?)),
-        }
+        Ok(Box::new(ScanOperator::new(
+            Arc::clone(self),
+            table,
+            column_indices,
+            rid_range,
+            in_order,
+        )?))
     }
 
     /// Charges `tuples` of CPU work to the engine's virtual clock.
@@ -291,23 +314,15 @@ impl Engine {
         let secs = tuples as f64 / self.config.cpu_tuples_per_sec as f64;
         self.clock.advance(VirtualDuration::from_secs_f64(secs));
     }
-
-    /// Charges an I/O of `bytes` to the device and waits (in virtual time)
-    /// for it to complete.
-    pub(crate) fn charge_io(&self, bytes: u64) {
-        if bytes == 0 {
-            return;
-        }
-        let done = self.device.submit(self.clock.now(), bytes);
-        self.clock.advance_to(done);
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scanshare_core::policy::{ReplacementPolicy, ScanInfo};
     use scanshare_storage::column::{ColumnSpec, ColumnType};
     use scanshare_storage::datagen::DataGen;
+    use scanshare_storage::layout::ScanPagePlan;
     use scanshare_storage::table::TableSpec;
 
     fn storage_with_table(tuples: u64) -> (Arc<Storage>, TableId) {
@@ -323,7 +338,10 @@ mod tests {
         let id = storage
             .create_table_with_data(
                 spec,
-                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(2)],
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Constant(2),
+                ],
             )
             .unwrap();
         (storage, id)
@@ -340,22 +358,87 @@ mod tests {
     }
 
     #[test]
-    fn engine_selects_pool_or_abm_by_policy() {
+    fn engine_selects_backend_by_policy() {
         let (storage, _) = storage_with_table(100);
         let lru = Engine::new(Arc::clone(&storage), config(PolicyKind::Lru)).unwrap();
-        assert!(lru.pool().is_some() && lru.abm().is_none());
+        assert_eq!(lru.backend().kind(), PolicyKind::Lru);
+        assert_eq!(lru.backend().name(), "lru");
+        let pbm = Engine::new(Arc::clone(&storage), config(PolicyKind::Pbm)).unwrap();
+        assert_eq!(pbm.backend().name(), "pbm");
         let cscan = Engine::new(Arc::clone(&storage), config(PolicyKind::CScan)).unwrap();
-        assert!(cscan.pool().is_none() && cscan.abm().is_some());
+        assert_eq!(cscan.backend().kind(), PolicyKind::CScan);
+        assert_eq!(cscan.backend().name(), "cscan");
         let opt = Engine::new(storage, config(PolicyKind::Opt)).unwrap();
+        assert_eq!(opt.backend().name(), "pbm", "OPT records a trace under PBM");
         assert!(opt.opt_result().is_ok());
         assert!(lru.opt_result().is_err());
+    }
+
+    #[derive(Debug)]
+    struct NeverEvict;
+
+    impl ReplacementPolicy for NeverEvict {
+        fn name(&self) -> &'static str {
+            "never-evict"
+        }
+        fn register_scan(&mut self, _: &ScanInfo, _: &ScanPagePlan, _: VirtualInstant) {}
+        fn report_scan_position(&mut self, _: scanshare_common::ScanId, _: u64, _: VirtualInstant) {
+        }
+        fn unregister_scan(&mut self, _: scanshare_common::ScanId, _: VirtualInstant) {}
+        fn on_access(
+            &mut self,
+            _: scanshare_common::PageId,
+            _: Option<scanshare_common::ScanId>,
+            _: VirtualInstant,
+        ) {
+        }
+        fn on_admit(&mut self, _: scanshare_common::PageId, _: VirtualInstant) {}
+        fn on_evict(&mut self, _: scanshare_common::PageId) {}
+        fn choose_victims(
+            &mut self,
+            _: usize,
+            _: &std::collections::HashSet<scanshare_common::PageId>,
+            _: VirtualInstant,
+        ) -> Vec<scanshare_common::PageId> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn custom_policies_plug_in_through_the_registry() {
+        let (storage, table) = storage_with_table(200);
+        let mut registry = PolicyRegistry::default();
+        registry.register("never-evict", |_| Box::new(NeverEvict));
+        let cfg = config(PolicyKind::Lru).with_custom_policy("never-evict");
+        let engine = Engine::with_registry(Arc::clone(&storage), cfg, &registry).unwrap();
+        assert_eq!(engine.backend().name(), "never-evict");
+        // The engine actually scans through the custom policy.
+        let count = engine
+            .query(table)
+            .columns(["k"])
+            .aggregate(crate::ops::AggrSpec::global(vec![
+                crate::ops::Aggregate::Count,
+            ]))
+            .run()
+            .unwrap()[&0]
+            .count;
+        assert_eq!(count, 200);
+
+        // Unknown names surface a configuration error.
+        let bad = config(PolicyKind::Lru).with_custom_policy("does-not-exist");
+        assert!(Engine::with_registry(storage, bad, &registry).is_err());
     }
 
     #[test]
     fn invalid_config_is_rejected() {
         let (storage, _) = storage_with_table(10);
-        let bad = ScanShareConfig { page_size_bytes: 0, ..config(PolicyKind::Lru) };
-        assert!(Engine::new(storage, bad).is_err());
+        let bad = ScanShareConfig {
+            page_size_bytes: 0,
+            ..config(PolicyKind::Lru)
+        };
+        assert!(Engine::new(Arc::clone(&storage), bad).is_err());
+        let conflicting = config(PolicyKind::CScan).with_custom_policy("lru");
+        assert!(Engine::new(storage, conflicting).is_err());
     }
 
     #[test]
@@ -386,21 +469,19 @@ mod tests {
         assert_eq!(engine.visible_rows(table).unwrap(), before);
         // The checkpointed data starts with the inserted row.
         let layout = storage.layout(table).unwrap();
-        let head = storage.read_range(&layout, &snapshot, 0, TupleRange::new(0, 2)).unwrap();
+        let head = storage
+            .read_range(&layout, &snapshot, 0, TupleRange::new(0, 2))
+            .unwrap();
         assert_eq!(head, vec![-7, 1]);
     }
 
     #[test]
-    fn charge_cpu_and_io_advance_the_clock() {
+    fn charge_cpu_advances_the_clock() {
         let (storage, _) = storage_with_table(10);
         let engine = Engine::new(storage, config(PolicyKind::Lru)).unwrap();
         let t0 = engine.now();
         engine.charge_cpu(1_000_000);
-        let t1 = engine.now();
-        assert!(t1 > t0);
-        engine.charge_io(1024 * 1024);
-        assert!(engine.now() > t1);
-        engine.charge_io(0);
+        assert!(engine.now() > t0);
         let stats = engine.query_stats();
         assert!(stats.elapsed > VirtualDuration::ZERO);
     }

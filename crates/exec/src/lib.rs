@@ -3,34 +3,41 @@
 //!
 //! The engine exists for two reasons:
 //!
-//! 1. **Functional correctness of the reproduced mechanisms.** Scans (both
-//!    the traditional in-order [`scan::ScanOperator`] and the out-of-order
-//!    [`cscan_op::CScanOperator`]) run real queries against real data, with
-//!    PDT merging, snapshot isolation for appends, checkpointing and
-//!    intra-query parallelism (XChg-style range partitioning, Figure 8 /
-//!    Equation 1). Integration tests assert that every buffer-management
-//!    policy returns byte-identical query results.
+//! 1. **Functional correctness of the reproduced mechanisms.** The unified
+//!    [`scan::ScanOperator`] runs real queries against real data through
+//!    whatever [`ScanBackend`](scanshare_core::backend::ScanBackend) the
+//!    engine is configured with — in-order page-level delivery for
+//!    LRU / PBM / OPT, out-of-order ABM chunk dispatch for Cooperative
+//!    Scans — with PDT merging, snapshot isolation for appends,
+//!    checkpointing and intra-query parallelism (XChg-style range
+//!    partitioning, Figure 8 / Equation 1). Integration tests assert that
+//!    every buffer-management policy returns byte-identical query results.
 //! 2. **Realistic driving of the buffer managers.** The engine issues the
 //!    same `RegisterScan` / `ReportScanPosition` / `GetChunk` call sequences
 //!    the paper describes, so the policies that the benchmarks measure are
 //!    the policies that the engine actually exercises.
 //!
-//! The engine is deliberately small: batches are plain `Vec<i64>` columns,
-//! expressions are closures, and the operator set (`Scan`, `CScan`, `Select`,
-//! `Project`, `Aggr`, XChg-style parallel merge) is just large enough to run
-//! the TPC-H Q1 / Q6 style workloads of the paper's microbenchmarks.
+//! Queries are built with the fluent [`query::Query`] API
+//! (`engine.query(table).columns(...).aggregate(...).run()`); the engine is
+//! deliberately small: batches are plain `Vec<i64>` columns and the operator
+//! set (`Scan`, `Select`, `Project`, `Aggr`, XChg-style parallel merge) is
+//! just large enough to run the TPC-H Q1 / Q6 style workloads of the paper's
+//! microbenchmarks.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
-pub mod cscan_op;
 pub mod engine;
 pub mod ops;
 pub mod parallel;
+pub mod query;
 pub mod scan;
 
 pub use batch::Batch;
 pub use engine::{Engine, QueryStats};
 pub use ops::{AggrSpec, Aggregate, Predicate};
+#[allow(deprecated)]
 pub use parallel::parallel_scan_aggregate;
+pub use query::Query;
+pub use scan::ScanOperator;

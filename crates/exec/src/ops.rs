@@ -31,7 +31,11 @@ pub struct VecSource {
 impl VecSource {
     /// Creates a source that yields the given batches in order.
     pub fn new(width: usize, batches: Vec<Batch>) -> Self {
-        Self { width, batches, next: 0 }
+        Self {
+            width,
+            batches,
+            next: 0,
+        }
     }
 }
 
@@ -94,7 +98,11 @@ impl Predicate {
 
     /// Evaluates the predicate over a batch, returning a selection mask.
     pub fn mask(&self, batch: &Batch) -> Vec<bool> {
-        batch.column(self.column).iter().map(|&v| self.matches(v)).collect()
+        batch
+            .column(self.column)
+            .iter()
+            .map(|&v| self.matches(v))
+            .collect()
     }
 }
 
@@ -124,12 +132,18 @@ pub struct AggrSpec {
 impl AggrSpec {
     /// Ungrouped aggregation.
     pub fn global(aggregates: Vec<Aggregate>) -> Self {
-        Self { group_by: None, aggregates }
+        Self {
+            group_by: None,
+            aggregates,
+        }
     }
 
     /// Grouped aggregation.
     pub fn grouped(group_by: usize, aggregates: Vec<Aggregate>) -> Self {
-        Self { group_by: Some(group_by), aggregates }
+        Self {
+            group_by: Some(group_by),
+            aggregates,
+        }
     }
 }
 
@@ -283,13 +297,33 @@ mod tests {
 
     #[test]
     fn merge_aggregates_combines_partials() {
-        let spec =
-            AggrSpec::grouped(0, vec![Aggregate::Sum(1), Aggregate::Count, Aggregate::Min(1)]);
+        let spec = AggrSpec::grouped(
+            0,
+            vec![Aggregate::Sum(1), Aggregate::Count, Aggregate::Min(1)],
+        );
         let mut a = AggrResult::new();
-        a.insert(1, GroupState { count: 2, accumulators: vec![30, 2, 10] });
+        a.insert(
+            1,
+            GroupState {
+                count: 2,
+                accumulators: vec![30, 2, 10],
+            },
+        );
         let mut b = AggrResult::new();
-        b.insert(1, GroupState { count: 1, accumulators: vec![5, 1, 5] });
-        b.insert(2, GroupState { count: 1, accumulators: vec![7, 1, 7] });
+        b.insert(
+            1,
+            GroupState {
+                count: 1,
+                accumulators: vec![5, 1, 5],
+            },
+        );
+        b.insert(
+            2,
+            GroupState {
+                count: 1,
+                accumulators: vec![7, 1, 7],
+            },
+        );
         let merged = merge_aggregates(&spec, vec![a, b]);
         assert_eq!(merged[&1].count, 3);
         assert_eq!(merged[&1].accumulators, vec![35, 3, 5]);
@@ -301,13 +335,19 @@ mod tests {
         let spec = AggrSpec::grouped(0, vec![Aggregate::Sum(1), Aggregate::Max(1)]);
         let whole = aggregate(&mut source(), None, &spec).unwrap();
         // Split the same data into two sources and merge.
-        let part1 = VecSource::new(2, vec![Batch::new(vec![vec![0, 1, 0, 1], vec![10, 20, 30, 40]])]);
+        let part1 = VecSource::new(
+            2,
+            vec![Batch::new(vec![vec![0, 1, 0, 1], vec![10, 20, 30, 40]])],
+        );
         let part2 = VecSource::new(2, vec![Batch::new(vec![vec![1, 0], vec![50, 60]])]);
         let mut p1 = part1;
         let mut p2 = part2;
         let merged = merge_aggregates(
             &spec,
-            vec![aggregate(&mut p1, None, &spec).unwrap(), aggregate(&mut p2, None, &spec).unwrap()],
+            vec![
+                aggregate(&mut p1, None, &spec).unwrap(),
+                aggregate(&mut p2, None, &spec).unwrap(),
+            ],
         );
         assert_eq!(whole, merged);
     }

@@ -1,26 +1,25 @@
-//! Intra-query parallelism: XChg-style range partitioning.
+//! Deprecated free-function front end to the [`Query`](crate::query::Query)
+//! builder.
 //!
-//! Vectorwise parallelizes a plan by duplicating the subtree below an
-//! exchange (XChg) operator and statically splitting the scanned RID range
-//! over the workers (Figure 8 / Equation 1 of the paper). The partial
-//! aggregates of the workers are merged by an upper aggregation.
-//!
-//! [`parallel_scan_aggregate`] reproduces exactly that plan shape: it splits
-//! the range with [`TupleRange::split_even`], runs one scan + filter +
-//! aggregate pipeline per thread against the shared engine (and therefore
-//! the shared buffer manager), and merges the partial results.
+//! Intra-query parallelism (XChg-style static range partitioning, Figure 8 /
+//! Equation 1) now lives in [`Query::run`](crate::query::Query::run); this
+//! module keeps the old seven-positional-argument entry point alive as a
+//! thin shim for downstream code that has not migrated yet.
 
 use std::sync::Arc;
 
 use scanshare_common::{Result, TableId, TupleRange};
 
 use crate::engine::Engine;
-use crate::ops::{aggregate, merge_aggregates, AggrResult, AggrSpec, Predicate};
+use crate::ops::{AggrResult, AggrSpec, Predicate};
 
 /// Runs `Select(filter) -> Aggr(spec)` over a scan of `columns` of `table`
-/// restricted to `rid_range`, parallelized over `threads` workers using
-/// static range partitioning (Equation 1). With `threads == 1` the plan is
-/// executed inline.
+/// restricted to `rid_range`, parallelized over `threads` workers.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the builder API: `engine.query(table).columns(...).tuple_range(...)\
+            .filter(...).aggregate(...).parallelism(...).run()`"
+)]
 pub fn parallel_scan_aggregate(
     engine: &Arc<Engine>,
     table: TableId,
@@ -30,41 +29,22 @@ pub fn parallel_scan_aggregate(
     filter: Option<Predicate>,
     spec: &AggrSpec,
 ) -> Result<AggrResult> {
-    assert!(threads > 0, "at least one worker is required");
-    if threads == 1 || rid_range.len() < threads as u64 {
-        let mut scan = engine.scan(table, columns, rid_range)?;
-        return aggregate(scan.as_mut(), filter, spec);
+    let mut query = engine
+        .query(table)
+        .columns(columns.iter().copied())
+        .tuple_range(rid_range)
+        .aggregate(spec.clone())
+        .parallelism(threads);
+    if let Some(filter) = filter {
+        query = query.filter(filter);
     }
-
-    let parts = rid_range.split_even(threads);
-    let partials: Vec<Result<AggrResult>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .iter()
-            .filter(|part| !part.is_empty())
-            .map(|part| {
-                let engine = Arc::clone(engine);
-                let columns: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
-                let spec = spec.clone();
-                let part = *part;
-                scope.spawn(move || {
-                    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
-                    let mut scan = engine.scan(table, &column_refs, part)?;
-                    aggregate(scan.as_mut(), filter, &spec)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
-    });
-
-    let mut results = Vec::with_capacity(partials.len());
-    for partial in partials {
-        results.push(partial?);
-    }
-    Ok(merge_aggregates(spec, results))
+    query.run()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::ops::{Aggregate, CompareOp};
     use scanshare_common::{PolicyKind, ScanShareConfig};
@@ -73,24 +53,23 @@ mod tests {
     use scanshare_storage::storage::Storage;
     use scanshare_storage::table::TableSpec;
 
-    fn engine(policy: PolicyKind, tuples: u64) -> (Arc<Engine>, TableId) {
+    #[test]
+    fn the_shim_matches_the_builder() {
         let storage = Storage::with_seed(1024, 500, 13);
         let spec = TableSpec::new(
-            "lineitem",
+            "t",
             vec![
-                ColumnSpec::with_width("l_flag", ColumnType::Dict { cardinality: 4 }, 1.0),
-                ColumnSpec::with_width("l_quantity", ColumnType::Decimal, 4.0),
-                ColumnSpec::with_width("l_price", ColumnType::Decimal, 4.0),
+                ColumnSpec::with_width("k", ColumnType::Int64, 8.0),
+                ColumnSpec::with_width("v", ColumnType::Decimal, 4.0),
             ],
-            tuples,
+            4000,
         );
         let table = storage
             .create_table_with_data(
                 spec,
                 vec![
-                    DataGen::Cyclic { period: 4, min: 0, max: 3 },
-                    DataGen::Uniform { min: 1, max: 50 },
-                    DataGen::Uniform { min: 100, max: 10_000 },
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Uniform { min: 0, max: 100 },
                 ],
             )
             .unwrap();
@@ -98,95 +77,32 @@ mod tests {
             page_size_bytes: 1024,
             chunk_tuples: 500,
             buffer_pool_bytes: 256 * 1024,
-            policy,
-            threads_per_query: 4,
+            policy: PolicyKind::Pbm,
             ..Default::default()
         };
-        (Engine::new(storage, config).unwrap(), table)
-    }
+        let engine = Engine::new(storage, config).unwrap();
+        let aggr = AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(1)]);
+        let filter = Predicate::new(1, CompareOp::Le, 50);
 
-    fn q1_spec() -> AggrSpec {
-        AggrSpec::grouped(0, vec![Aggregate::Sum(1), Aggregate::Sum(2), Aggregate::Count])
-    }
-
-    #[test]
-    fn parallel_results_match_sequential() {
-        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
-            let (engine, table) = engine(policy, 6000);
-            let cols = ["l_flag", "l_quantity", "l_price"];
-            let filter = Some(Predicate::new(1, CompareOp::Le, 24));
-            let sequential = parallel_scan_aggregate(
-                &engine,
-                table,
-                &cols,
-                TupleRange::new(0, 6000),
-                1,
-                filter,
-                &q1_spec(),
-            )
-            .unwrap();
-            let parallel = parallel_scan_aggregate(
-                &engine,
-                table,
-                &cols,
-                TupleRange::new(0, 6000),
-                4,
-                filter,
-                &q1_spec(),
-            )
-            .unwrap();
-            assert_eq!(sequential, parallel, "policy {policy}");
-            assert_eq!(sequential.len(), 4, "four flag groups");
-            let total: u64 = sequential.values().map(|g| g.count).sum();
-            assert!(total > 0 && total < 6000, "the filter removes some rows");
-        }
-    }
-
-    #[test]
-    fn all_policies_compute_identical_answers() {
-        let mut reference: Option<AggrResult> = None;
-        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::Opt, PolicyKind::CScan] {
-            let (engine, table) = engine(policy, 5000);
-            let result = parallel_scan_aggregate(
-                &engine,
-                table,
-                &["l_flag", "l_quantity", "l_price"],
-                TupleRange::new(500, 4500),
-                4,
-                None,
-                &q1_spec(),
-            )
-            .unwrap();
-            match &reference {
-                None => reference = Some(result),
-                Some(expected) => assert_eq!(expected, &result, "policy {policy} diverged"),
-            }
-        }
-    }
-
-    #[test]
-    fn equation_1_partitioning_covers_range_without_overlap() {
-        let parts = TupleRange::new(0, 1000).split_even(8);
-        assert_eq!(parts.len(), 8);
-        assert_eq!(parts[0], TupleRange::new(0, 125));
-        assert_eq!(parts[7], TupleRange::new(875, 1000));
-        let covered: u64 = parts.iter().map(TupleRange::len).sum();
-        assert_eq!(covered, 1000);
-    }
-
-    #[test]
-    fn single_threaded_fallback_for_tiny_ranges() {
-        let (engine, table) = engine(PolicyKind::Pbm, 100);
-        let result = parallel_scan_aggregate(
+        let legacy = parallel_scan_aggregate(
             &engine,
             table,
-            &["l_flag", "l_quantity", "l_price"],
-            TupleRange::new(0, 3),
-            8,
-            None,
-            &AggrSpec::global(vec![Aggregate::Count]),
+            &["k", "v"],
+            TupleRange::new(100, 3900),
+            4,
+            Some(filter),
+            &aggr,
         )
         .unwrap();
-        assert_eq!(result[&0].count, 3);
+        let builder = engine
+            .query(table)
+            .columns(["k", "v"])
+            .range(100..3900)
+            .filter(filter)
+            .aggregate(aggr)
+            .parallelism(4)
+            .run()
+            .unwrap();
+        assert_eq!(legacy, builder);
     }
 }

@@ -1,0 +1,447 @@
+//! The builder-style query API — the single entry point for running queries
+//! against an [`Engine`].
+//!
+//! A [`Query`] expresses the `Scan -> Select -> Aggr` plans of the paper's
+//! microbenchmarks (optionally parallelized with the XChg-style static range
+//! partitioning of Figure 8 / Equation 1) without positional arguments:
+//!
+//! ```ignore
+//! let result = engine
+//!     .query(table)
+//!     .columns(["l_flag", "l_quantity"])
+//!     .range(1000..5000)
+//!     .filter(Predicate::new(1, CompareOp::Le, 24))
+//!     .aggregate(AggrSpec::grouped(0, vec![Aggregate::Sum(1), Aggregate::Count]))
+//!     .parallelism(4)
+//!     .run()?;
+//! ```
+//!
+//! Every clause has a default: all visible rows (`range`), no filter, one
+//! worker (`parallelism`), backend-chosen delivery order. Only `columns` is
+//! mandatory, and `run` requires an `aggregate`; use [`Query::rows`] to
+//! materialize filtered rows without aggregating.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+use scanshare_common::{Error, Result, TableId, TupleRange};
+use scanshare_storage::datagen::Value;
+
+use crate::engine::Engine;
+use crate::ops::{aggregate, merge_aggregates, AggrResult, AggrSpec, BatchSource, Predicate};
+
+/// A query under construction; see the [module docs](self) for the clause
+/// semantics. Created with [`Engine::query`].
+#[derive(Debug, Clone)]
+#[must_use = "a Query does nothing until `.run()` or `.rows()` is called"]
+pub struct Query {
+    engine: Arc<Engine>,
+    table: TableId,
+    columns: Vec<String>,
+    start: u64,
+    end: Option<u64>,
+    filter: Option<Predicate>,
+    aggregate: Option<AggrSpec>,
+    parallelism: usize,
+    in_order: bool,
+}
+
+impl Query {
+    pub(crate) fn new(engine: Arc<Engine>, table: TableId) -> Self {
+        Self {
+            engine,
+            table,
+            columns: Vec::new(),
+            start: 0,
+            end: None,
+            filter: None,
+            aggregate: None,
+            parallelism: 1,
+            in_order: false,
+        }
+    }
+
+    /// Sets the columns (by name) the query scans. Predicate and aggregate
+    /// column indices refer to positions in this projection.
+    pub fn columns<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.columns = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Restricts the query to a visible-row (RID) range; accepts any range
+    /// expression (`..`, `500..`, `..4500`, `500..4500`). Defaults to all
+    /// visible rows; the end is clamped to the table's visible row count.
+    pub fn range<R: RangeBounds<u64>>(mut self, range: R) -> Self {
+        self.start = match range.start_bound() {
+            Bound::Included(&start) => start,
+            Bound::Excluded(&start) => start + 1,
+            Bound::Unbounded => 0,
+        };
+        self.end = match range.end_bound() {
+            Bound::Included(&end) => Some(end + 1),
+            Bound::Excluded(&end) => Some(end),
+            Bound::Unbounded => None,
+        };
+        self
+    }
+
+    /// Restricts the query to `rid_range` (the [`TupleRange`] form of
+    /// [`Query::range`]).
+    pub fn tuple_range(self, rid_range: TupleRange) -> Self {
+        self.range(rid_range.start..rid_range.end)
+    }
+
+    /// Filters scanned rows with `predicate` (column index within the
+    /// projection).
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.filter = Some(predicate);
+        self
+    }
+
+    /// Sets the aggregation computed over the (filtered) rows; required by
+    /// [`Query::run`].
+    pub fn aggregate(mut self, spec: AggrSpec) -> Self {
+        self.aggregate = Some(spec);
+        self
+    }
+
+    /// Parallelizes the plan over `workers` threads using static range
+    /// partitioning (Equation 1). Defaults to 1 (inline execution).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Forces in-order row delivery even on backends that prefer to reorder
+    /// (the "CScan as drop-in Scan replacement" mode). Aggregations are
+    /// order-insensitive; this matters for [`Query::rows`].
+    pub fn in_order(mut self) -> Self {
+        self.in_order = true;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.columns.is_empty() {
+            return Err(Error::plan(
+                "query selects no columns; call .columns([...]) with at least one column name",
+            ));
+        }
+        if self.parallelism == 0 {
+            return Err(Error::plan("query parallelism must be at least 1"));
+        }
+        Ok(())
+    }
+
+    /// The effective RID range: the requested bounds clamped to the rows
+    /// visible right now.
+    fn resolve_range(&self) -> Result<TupleRange> {
+        let visible = self.engine.visible_rows(self.table)?;
+        let end = self.end.unwrap_or(visible).min(visible);
+        Ok(TupleRange::new(self.start.min(end), end))
+    }
+
+    fn column_refs(&self) -> Vec<&str> {
+        self.columns.iter().map(String::as_str).collect()
+    }
+
+    fn open_scan(&self, range: TupleRange) -> Result<Box<dyn BatchSource + Send>> {
+        let columns = self.column_refs();
+        if self.in_order {
+            self.engine.scan_in_order(self.table, &columns, range)
+        } else {
+            self.engine.scan(self.table, &columns, range)
+        }
+    }
+
+    /// Executes the query and returns the aggregation result.
+    ///
+    /// With `parallelism > 1` the plan is duplicated below an XChg-style
+    /// exchange: the RID range is split evenly over the workers
+    /// (Equation 1), each worker runs scan → filter → partial aggregate
+    /// against the shared engine (and therefore the shared buffer-management
+    /// backend), and the partials are merged by an upper aggregation.
+    pub fn run(self) -> Result<AggrResult> {
+        self.validate()?;
+        let spec = self.aggregate.clone().ok_or_else(|| {
+            Error::plan("query has no aggregate; call .aggregate(...) or use .rows()")
+        })?;
+        let range = self.resolve_range()?;
+
+        if self.parallelism == 1 || range.len() < self.parallelism as u64 {
+            let mut scan = self.open_scan(range)?;
+            return aggregate(scan.as_mut(), self.filter, &spec);
+        }
+
+        let parts = range.split_even(self.parallelism);
+        let partials: Vec<Result<AggrResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .filter(|part| !part.is_empty())
+                .map(|part| {
+                    let query = &self;
+                    let spec = &spec;
+                    let part = *part;
+                    scope.spawn(move || {
+                        let mut scan = query.open_scan(part)?;
+                        aggregate(scan.as_mut(), query.filter, spec)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+
+        let mut results = Vec::with_capacity(partials.len());
+        for partial in partials {
+            results.push(partial?);
+        }
+        Ok(merge_aggregates(&spec, results))
+    }
+
+    /// Executes the query and materializes the (filtered) rows instead of
+    /// aggregating. Rows arrive in backend delivery order unless
+    /// [`Query::in_order`] is set. Single-threaded: materialization is for
+    /// result inspection, not for the throughput paths.
+    pub fn rows(self) -> Result<Vec<Vec<Value>>> {
+        self.validate()?;
+        let range = self.resolve_range()?;
+        let mut scan = self.open_scan(range)?;
+        let mut rows = Vec::new();
+        while let Some(batch) = scan.next_batch()? {
+            let batch = match &self.filter {
+                Some(predicate) => batch.filter(&predicate.mask(&batch)),
+                None => batch,
+            };
+            rows.extend(batch.to_rows());
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Aggregate, CompareOp};
+    use scanshare_common::{PolicyKind, ScanShareConfig};
+    use scanshare_storage::column::{ColumnSpec, ColumnType};
+    use scanshare_storage::datagen::DataGen;
+    use scanshare_storage::storage::Storage;
+    use scanshare_storage::table::TableSpec;
+
+    fn engine(policy: PolicyKind, tuples: u64) -> (Arc<Engine>, TableId) {
+        let storage = Storage::with_seed(1024, 500, 13);
+        let spec = TableSpec::new(
+            "lineitem",
+            vec![
+                ColumnSpec::with_width("l_flag", ColumnType::Dict { cardinality: 4 }, 1.0),
+                ColumnSpec::with_width("l_quantity", ColumnType::Decimal, 4.0),
+                ColumnSpec::with_width("l_price", ColumnType::Decimal, 4.0),
+            ],
+            tuples,
+        );
+        let table = storage
+            .create_table_with_data(
+                spec,
+                vec![
+                    DataGen::Cyclic {
+                        period: 4,
+                        min: 0,
+                        max: 3,
+                    },
+                    DataGen::Uniform { min: 1, max: 50 },
+                    DataGen::Uniform {
+                        min: 100,
+                        max: 10_000,
+                    },
+                ],
+            )
+            .unwrap();
+        let config = ScanShareConfig {
+            page_size_bytes: 1024,
+            chunk_tuples: 500,
+            buffer_pool_bytes: 256 * 1024,
+            policy,
+            threads_per_query: 4,
+            ..Default::default()
+        };
+        (Engine::new(storage, config).unwrap(), table)
+    }
+
+    fn q1_spec() -> AggrSpec {
+        AggrSpec::grouped(
+            0,
+            vec![Aggregate::Sum(1), Aggregate::Sum(2), Aggregate::Count],
+        )
+    }
+
+    #[test]
+    fn defaults_cover_all_visible_rows_single_threaded() {
+        let (engine, table) = engine(PolicyKind::Pbm, 4000);
+        let result = engine
+            .query(table)
+            .columns(["l_flag"])
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .run()
+            .unwrap();
+        assert_eq!(result[&0].count, 4000);
+    }
+
+    #[test]
+    fn range_clauses_accept_every_bound_shape() {
+        let (engine, table) = engine(PolicyKind::Lru, 2000);
+        let count = |query: Query| {
+            query
+                .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+                .run()
+                .unwrap()[&0]
+                .count
+        };
+        let base = || engine.query(table).columns(["l_flag"]);
+        assert_eq!(count(base().range(..)), 2000);
+        assert_eq!(count(base().range(100..300)), 200);
+        assert_eq!(count(base().range(1900..)), 100);
+        assert_eq!(count(base().range(..=99)), 100);
+        assert_eq!(count(base().tuple_range(TupleRange::new(5, 10))), 5);
+        // Ranges beyond the visible rows are clamped, inverted ranges empty.
+        assert_eq!(count(base().range(1000..100_000)), 1000);
+        let inverted = (Bound::Included(300u64), Bound::Excluded(100u64));
+        let empty = base()
+            .range(inverted)
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .run()
+            .unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn missing_columns_and_bad_clauses_error() {
+        let (engine, table) = engine(PolicyKind::Pbm, 100);
+        let no_columns = engine
+            .query(table)
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .run();
+        assert!(matches!(no_columns.unwrap_err(), Error::InvalidPlan(_)));
+
+        let no_aggregate = engine.query(table).columns(["l_flag"]).run();
+        assert!(matches!(no_aggregate.unwrap_err(), Error::InvalidPlan(_)));
+
+        let zero_workers = engine
+            .query(table)
+            .columns(["l_flag"])
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .parallelism(0)
+            .run();
+        assert!(matches!(zero_workers.unwrap_err(), Error::InvalidPlan(_)));
+
+        let unknown_column = engine
+            .query(table)
+            .columns(["no_such_column"])
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .run();
+        assert!(matches!(
+            unknown_column.unwrap_err(),
+            Error::UnknownColumn { .. }
+        ));
+    }
+
+    #[test]
+    fn parallel_results_match_sequential() {
+        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+            let (engine, table) = engine(policy, 6000);
+            let query = || {
+                engine
+                    .query(table)
+                    .columns(["l_flag", "l_quantity", "l_price"])
+                    .filter(Predicate::new(1, CompareOp::Le, 24))
+                    .aggregate(q1_spec())
+            };
+            let sequential = query().run().unwrap();
+            let parallel = query().parallelism(4).run().unwrap();
+            assert_eq!(sequential, parallel, "policy {policy}");
+            assert_eq!(sequential.len(), 4, "four flag groups");
+            let total: u64 = sequential.values().map(|g| g.count).sum();
+            assert!(total > 0 && total < 6000, "the filter removes some rows");
+        }
+    }
+
+    #[test]
+    fn all_policies_compute_identical_answers() {
+        let mut reference: Option<AggrResult> = None;
+        for policy in [
+            PolicyKind::Lru,
+            PolicyKind::Pbm,
+            PolicyKind::Opt,
+            PolicyKind::CScan,
+        ] {
+            let (engine, table) = engine(policy, 5000);
+            let result = engine
+                .query(table)
+                .columns(["l_flag", "l_quantity", "l_price"])
+                .range(500..4500)
+                .aggregate(q1_spec())
+                .parallelism(4)
+                .run()
+                .unwrap();
+            match &reference {
+                None => reference = Some(result),
+                Some(expected) => assert_eq!(expected, &result, "policy {policy} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn rows_materializes_the_filtered_projection() {
+        let (engine, table) = engine(PolicyKind::CScan, 3000);
+        let rows = engine
+            .query(table)
+            .columns(["l_flag", "l_quantity"])
+            .filter(Predicate::new(0, CompareOp::Eq, 2))
+            .in_order()
+            .rows()
+            .unwrap();
+        assert_eq!(rows.len(), 750, "one of four cyclic flag values");
+        assert!(rows.iter().all(|row| row[0] == 2));
+        // In-order delivery holds even under Cooperative Scans.
+        let unfiltered = engine
+            .query(table)
+            .columns(["l_flag"])
+            .in_order()
+            .rows()
+            .unwrap();
+        let expected: Vec<i64> = (0..3000).map(|i| i % 4).collect();
+        assert_eq!(
+            unfiltered.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            expected
+        );
+    }
+
+    #[test]
+    fn equation_1_partitioning_covers_range_without_overlap() {
+        let parts = TupleRange::new(0, 1000).split_even(8);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts[0], TupleRange::new(0, 125));
+        assert_eq!(parts[7], TupleRange::new(875, 1000));
+        let covered: u64 = parts.iter().map(TupleRange::len).sum();
+        assert_eq!(covered, 1000);
+    }
+
+    #[test]
+    fn single_threaded_fallback_for_tiny_ranges() {
+        let (engine, table) = engine(PolicyKind::Pbm, 100);
+        let result = engine
+            .query(table)
+            .columns(["l_flag", "l_quantity", "l_price"])
+            .range(0..3)
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .parallelism(8)
+            .run()
+            .unwrap();
+        assert_eq!(result[&0].count, 3);
+    }
+}

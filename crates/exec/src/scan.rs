@@ -1,15 +1,29 @@
-//! The traditional in-order `Scan` operator.
+//! The unified scan operator.
 //!
-//! A `Scan` reads its RID ranges in order, requesting pages from the shared
-//! buffer pool as it crosses page boundaries, merging the table's PDT on the
-//! fly and periodically reporting its position and speed to the buffer
-//! manager (which is what PBM exploits). Data is delivered strictly in RID
-//! order, so the operator can sit under order-sensitive plans.
+//! One operator drives every [`ScanBackend`]: it registers its stable (SID)
+//! ranges, asks the backend for the next range to produce
+//! ([`ScanBackend::next_chunk`]) and merges the table's PDT on the fly. For
+//! pooled backends the delivered ranges are sequential and page requests are
+//! issued (and progress reported) as the merge crosses page boundaries —
+//! which is what PBM exploits. For Cooperative Scans the backend hands out
+//! ABM-chosen chunks, generally **out of table order**; per delivered chunk
+//! the operator:
+//!
+//! 1. translates the chunk's SID range into the widest RID range it can
+//!    produce (`SIDtoRIDlow` / `SIDtoRIDhigh`, Section 2.1),
+//! 2. trims that RID range against the rows it has already produced (ranges
+//!    of neighbouring chunks may overlap after translation),
+//! 3. re-initializes PDT merging at the trimmed position and produces the
+//!    merged rows.
+//!
+//! Rows that exist only in the PDT (inserts anchored past the last stable
+//! tuple) are produced after the backend reports completion.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use scanshare_common::{RangeList, Result, ScanId, Sid, TableId, TupleRange};
+use scanshare_core::backend::{ScanRequest, ScanStep};
 use scanshare_pdt::merge::{MergeCursor, StableSource};
 use scanshare_pdt::pdt::Pdt;
 use scanshare_storage::datagen::Value;
@@ -26,8 +40,8 @@ pub const BATCH_SIZE: usize = 1024;
 /// How often (in tuples) the scan reports its position to the buffer manager.
 const REPORT_INTERVAL: u64 = 4096;
 
-/// A stable-tuple source that fetches pages through the engine's buffer pool
-/// and accounts I/O and CPU on the engine's virtual clock.
+/// A stable-tuple source that fetches pages through the engine's scan
+/// backend, which accounts I/O on the engine's virtual clock.
 pub(crate) struct PooledSource {
     engine: Arc<Engine>,
     layout: Arc<TableLayout>,
@@ -44,7 +58,13 @@ impl PooledSource {
         snapshot: Arc<Snapshot>,
         scan_id: Option<ScanId>,
     ) -> Self {
-        Self { engine, layout, snapshot, scan_id, cached: HashMap::new() }
+        Self {
+            engine,
+            layout,
+            snapshot,
+            scan_id,
+            cached: HashMap::new(),
+        }
     }
 }
 
@@ -60,17 +80,12 @@ impl StableSource for PooledSource {
             }
         }
         let page_index = self.layout.page_index_for_sid(col, sid);
-        // Request the page through the buffer pool (if one is configured);
-        // a miss is charged to the simulated I/O device.
-        if let (Some(pool), Some(page_id)) =
-            (self.engine.pool(), self.snapshot.page(col, page_index))
+        // Request the page through the backend; pooled backends count the
+        // hit/miss and charge misses to the simulated I/O device, the ABM
+        // already loaded and accounted the chunk.
+        if let (Some(scan_id), Some(page_id)) = (self.scan_id, self.snapshot.page(col, page_index))
         {
-            let outcome = pool.lock().request_page(page_id, self.scan_id, self.engine.now());
-            if let Ok(outcome) = outcome {
-                if !outcome.is_hit() {
-                    self.engine.charge_io(self.engine.config().page_size_bytes);
-                }
-            }
+            let _ = self.engine.backend().request_page(scan_id, page_id);
         }
         let data = self
             .engine
@@ -83,17 +98,24 @@ impl StableSource for PooledSource {
     }
 }
 
-/// The in-order scan operator.
+/// The scan operator: produces the visible rows of its RID range in batches,
+/// in whatever order its backend schedules the underlying stable data.
 pub struct ScanOperator {
     engine: Arc<Engine>,
     pdt: Pdt,
     source: PooledSource,
     columns: Vec<usize>,
-    /// Remaining RID ranges to produce, in order.
-    pending: Vec<TupleRange>,
-    /// Position within the first pending range.
-    next_rid: u64,
     scan_id: Option<ScanId>,
+    /// RID ranges requested by the plan.
+    requested: RangeList,
+    /// RID ranges already produced (chunk translations may overlap).
+    produced: RangeList,
+    /// RID ranges of the delivered chunk currently being produced.
+    window: VecDeque<TupleRange>,
+    /// The backend has delivered every registered range.
+    backend_done: bool,
+    /// PDT-only rows (past the stable data) have been scheduled.
+    drained: bool,
     tuples_produced: u64,
     last_report: u64,
     finished: bool,
@@ -101,12 +123,14 @@ pub struct ScanOperator {
 
 impl ScanOperator {
     /// Creates a scan over `columns` of `table` covering the visible rows in
-    /// `rid_range`.
+    /// `rid_range`. `in_order` forces in-order delivery on backends that
+    /// would otherwise reorder (pooled backends always deliver in order).
     pub fn new(
         engine: Arc<Engine>,
         table: TableId,
         columns: Vec<usize>,
         rid_range: TupleRange,
+        in_order: bool,
     ) -> Result<Self> {
         let layout = engine.storage().layout(table)?;
         let snapshot = engine.storage().master_snapshot(table)?;
@@ -114,35 +138,55 @@ impl ScanOperator {
         let visible = pdt.visible_count(snapshot.stable_tuples());
         let rid_range = rid_range.intersect(&TupleRange::new(0, visible));
 
-        // Convert the RID range to SID ranges and register the page plan with
-        // the buffer manager (RegisterScan).
-        let scan_id = if let Some(pool) = engine.pool() {
-            let sid_ranges = rid_range_to_sid_ranges(&pdt, &rid_range, snapshot.stable_tuples());
-            let plan = layout.scan_page_plan(&snapshot, &columns, &sid_ranges);
-            Some(pool.lock().register_scan(&plan, engine.now()))
-        } else {
+        // Convert the RID range to SID ranges and register the plan with the
+        // backend (RegisterScan / RegisterCScan). A range that touches no
+        // stable data (an empty range, or pure PDT inserts) needs no backend.
+        let sid_ranges = rid_range_to_sid_ranges(&pdt, &rid_range, snapshot.stable_tuples());
+        let scan_id = if rid_range.is_empty() || sid_ranges.is_empty() {
             None
+        } else {
+            Some(engine.backend().register_scan(ScanRequest {
+                table,
+                snapshot: Arc::clone(&snapshot),
+                layout: Arc::clone(&layout),
+                columns: columns.clone(),
+                ranges: sid_ranges,
+                in_order,
+            })?)
         };
 
-        let source =
-            PooledSource::new(Arc::clone(&engine), layout, Arc::clone(&snapshot), scan_id);
+        let source = PooledSource::new(Arc::clone(&engine), layout, Arc::clone(&snapshot), scan_id);
         Ok(Self {
             engine,
             pdt,
             source,
             columns,
-            pending: if rid_range.is_empty() { vec![] } else { vec![rid_range] },
-            next_rid: rid_range.start,
             scan_id,
+            requested: if rid_range.is_empty() {
+                RangeList::new()
+            } else {
+                RangeList::from_ranges([rid_range])
+            },
+            produced: RangeList::new(),
+            window: VecDeque::new(),
+            backend_done: scan_id.is_none(),
+            drained: false,
             tuples_produced: 0,
             last_report: 0,
-            finished: rid_range.is_empty(),
+            finished: false,
         })
     }
 
+    /// The backend scan id of this operator, if stable data is being read.
+    pub fn scan_id(&self) -> Option<ScanId> {
+        self.scan_id
+    }
+
     fn report_progress(&mut self) {
-        if let (Some(pool), Some(scan_id)) = (self.engine.pool(), self.scan_id) {
-            pool.lock().report_scan_position(scan_id, self.tuples_produced, self.engine.now());
+        if let Some(scan_id) = self.scan_id {
+            self.engine
+                .backend()
+                .report_position(scan_id, self.tuples_produced);
         }
         self.last_report = self.tuples_produced;
     }
@@ -152,9 +196,43 @@ impl ScanOperator {
             return;
         }
         self.finished = true;
-        if let (Some(pool), Some(scan_id)) = (self.engine.pool(), self.scan_id) {
-            pool.lock().unregister_scan(scan_id, self.engine.now());
+        if let Some(scan_id) = self.scan_id {
+            self.engine.backend().finish_scan(scan_id);
         }
+    }
+
+    /// Produces up to [`BATCH_SIZE`] rows from the front of the current
+    /// window (re-initializing the PDT merge at that position).
+    fn produce_from_window(&mut self) -> Vec<Vec<Value>> {
+        let range = self.window.front().copied().expect("window is non-empty");
+        let end = (range.start + BATCH_SIZE as u64).min(range.end);
+        let piece = TupleRange::new(range.start, end);
+        let mut cursor = MergeCursor::new(&self.pdt, &mut self.source, self.columns.clone(), piece);
+        let rows = cursor.collect_rows();
+        drop(cursor);
+        if end >= range.end {
+            self.window.pop_front();
+        } else {
+            self.window.front_mut().expect("checked above").start = end;
+        }
+        self.produced.add(piece);
+        let produced = rows.len() as u64;
+        self.tuples_produced += produced;
+        self.engine.charge_cpu(produced);
+        if self.tuples_produced - self.last_report >= REPORT_INTERVAL {
+            self.report_progress();
+        }
+        rows
+    }
+
+    /// Translates a delivered chunk into the RID ranges still to produce and
+    /// queues them on the window.
+    fn queue_chunk(&mut self, chunk_sids: TupleRange) {
+        let rid_window = sid_range_to_rid_range(&self.pdt, &chunk_sids);
+        let fresh = RangeList::from_ranges([rid_window])
+            .intersect(&self.requested)
+            .subtract(&self.produced);
+        self.window.extend(fresh.ranges().iter().copied());
     }
 }
 
@@ -165,37 +243,34 @@ impl BatchSource for ScanOperator {
 
     fn next_batch(&mut self) -> Result<Option<Batch>> {
         loop {
-            let Some(range) = self.pending.first().copied() else {
-                self.finish();
+            if self.finished {
                 return Ok(None);
-            };
-            if self.next_rid >= range.end {
-                self.pending.remove(0);
-                if let Some(next) = self.pending.first() {
-                    self.next_rid = next.start;
+            }
+            if !self.window.is_empty() {
+                let rows = self.produce_from_window();
+                if rows.is_empty() {
+                    continue;
+                }
+                return Ok(Some(Batch::from_rows(self.columns.len(), &rows)));
+            }
+            if !self.backend_done {
+                let scan_id = self.scan_id.expect("backend_done is set when unregistered");
+                match self.engine.backend().next_chunk(scan_id)? {
+                    ScanStep::Deliver(chunk_sids) => self.queue_chunk(chunk_sids),
+                    ScanStep::Finished => self.backend_done = true,
                 }
                 continue;
             }
-            let end = (self.next_rid + BATCH_SIZE as u64).min(range.end);
-            let mut cursor = MergeCursor::new(
-                &self.pdt,
-                &mut self.source,
-                self.columns.clone(),
-                TupleRange::new(self.next_rid, end),
-            );
-            let rows = cursor.collect_rows();
-            drop(cursor);
-            let produced = rows.len() as u64;
-            self.next_rid = end;
-            self.tuples_produced += produced;
-            self.engine.charge_cpu(produced);
-            if self.tuples_produced - self.last_report >= REPORT_INTERVAL {
-                self.report_progress();
-            }
-            if rows.is_empty() {
+            if !self.drained {
+                // Rows that exist only in the PDT (inserts anchored past the
+                // last stable tuple) are not covered by any chunk window.
+                self.drained = true;
+                let rest = self.requested.subtract(&self.produced);
+                self.window.extend(rest.ranges().iter().copied());
                 continue;
             }
-            return Ok(Some(Batch::from_rows(self.columns.len(), &rows)));
+            self.finish();
+            return Ok(None);
         }
     }
 }
@@ -243,7 +318,12 @@ mod tests {
     use scanshare_storage::storage::Storage;
     use scanshare_storage::table::TableSpec;
 
-    fn engine(policy: PolicyKind, tuples: u64) -> (Arc<Engine>, TableId) {
+    fn engine_with(
+        policy: PolicyKind,
+        buffer_bytes: u64,
+        tuples: u64,
+        fill: Value,
+    ) -> (Arc<Engine>, TableId) {
         let storage = Storage::with_seed(1024, 500, 5);
         let spec = TableSpec::new(
             "t",
@@ -256,17 +336,24 @@ mod tests {
         let table = storage
             .create_table_with_data(
                 spec,
-                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(3)],
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Constant(fill),
+                ],
             )
             .unwrap();
         let config = ScanShareConfig {
             page_size_bytes: 1024,
             chunk_tuples: 500,
-            buffer_pool_bytes: 32 * 1024,
+            buffer_pool_bytes: buffer_bytes,
             policy,
             ..Default::default()
         };
         (Engine::new(storage, config).unwrap(), table)
+    }
+
+    fn engine(policy: PolicyKind, tuples: u64) -> (Arc<Engine>, TableId) {
+        engine_with(policy, 32 * 1024, tuples, 3)
     }
 
     fn collect(op: &mut dyn BatchSource) -> Vec<Vec<Value>> {
@@ -277,12 +364,23 @@ mod tests {
         rows
     }
 
+    fn collect_sorted(op: &mut dyn BatchSource) -> Vec<Vec<Value>> {
+        let mut rows = collect(op);
+        rows.sort();
+        rows
+    }
+
     #[test]
     fn scan_returns_all_rows_in_order() {
         let (engine, table) = engine(PolicyKind::Lru, 3000);
-        let mut op =
-            ScanOperator::new(Arc::clone(&engine), table, vec![0, 1], TupleRange::new(0, 3000))
-                .unwrap();
+        let mut op = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0, 1],
+            TupleRange::new(0, 3000),
+            false,
+        )
+        .unwrap();
         let rows = collect(&mut op);
         assert_eq!(rows.len(), 3000);
         assert_eq!(rows[0], vec![0, 3]);
@@ -299,39 +397,95 @@ mod tests {
     #[test]
     fn scan_respects_rid_range_and_projection() {
         let (engine, table) = engine(PolicyKind::Pbm, 2000);
-        let mut op =
-            ScanOperator::new(Arc::clone(&engine), table, vec![0], TupleRange::new(100, 110))
-                .unwrap();
+        let mut op = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0],
+            TupleRange::new(100, 110),
+            false,
+        )
+        .unwrap();
         let rows = collect(&mut op);
         assert_eq!(rows, (100..110).map(|i| vec![i as i64]).collect::<Vec<_>>());
         // Out-of-bounds ranges are clamped.
-        let mut op =
-            ScanOperator::new(Arc::clone(&engine), table, vec![0], TupleRange::new(1990, 99_999))
-                .unwrap();
+        let mut op = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0],
+            TupleRange::new(1990, 99_999),
+            false,
+        )
+        .unwrap();
         assert_eq!(collect(&mut op).len(), 10);
+        // Empty ranges produce an empty scan without touching the backend.
+        let mut op = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0],
+            TupleRange::new(5, 5),
+            false,
+        )
+        .unwrap();
+        assert!(op.scan_id().is_none());
+        assert!(collect(&mut op).is_empty());
     }
 
     #[test]
     fn scan_sees_pdt_updates() {
-        let (engine, table) = engine(PolicyKind::Pbm, 1000);
-        engine.delete_row(table, 0).unwrap();
-        engine.insert_row(table, 0, vec![-1, -2]).unwrap();
-        engine.update_value(table, 10, 1, 99).unwrap();
-        let mut op =
-            ScanOperator::new(Arc::clone(&engine), table, vec![0, 1], TupleRange::new(0, 20))
-                .unwrap();
-        let rows = collect(&mut op);
-        assert_eq!(rows[0], vec![-1, -2]);
-        assert_eq!(rows[1], vec![1, 3]);
-        assert_eq!(rows[10], vec![10, 99]);
+        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+            let (engine, table) = engine(policy, 1000);
+            engine.delete_row(table, 0).unwrap();
+            engine.insert_row(table, 0, vec![-1, -2]).unwrap();
+            engine.update_value(table, 10, 1, 99).unwrap();
+            let mut op = ScanOperator::new(
+                Arc::clone(&engine),
+                table,
+                vec![0, 1],
+                TupleRange::new(0, 20),
+                true,
+            )
+            .unwrap();
+            let rows = collect(&mut op);
+            assert_eq!(rows[0], vec![-1, -2], "{policy}");
+            assert_eq!(rows[1], vec![1, 3], "{policy}");
+            assert_eq!(rows[10], vec![10, 99], "{policy}");
+        }
+    }
+
+    #[test]
+    fn scan_produces_trailing_inserts_past_the_stable_data() {
+        for policy in [PolicyKind::Lru, PolicyKind::CScan] {
+            let (engine, table) = engine(policy, 1000);
+            engine.insert_row(table, 1000, vec![7_000, 7_001]).unwrap();
+            engine.insert_row(table, 1001, vec![8_000, 8_001]).unwrap();
+            let visible = engine.visible_rows(table).unwrap();
+            assert_eq!(visible, 1002);
+            let mut op = ScanOperator::new(
+                Arc::clone(&engine),
+                table,
+                vec![0, 1],
+                TupleRange::new(0, visible),
+                false,
+            )
+            .unwrap();
+            let rows = collect_sorted(&mut op);
+            assert_eq!(rows.len(), 1002, "{policy}");
+            assert!(rows.contains(&vec![7_000, 7_001]), "{policy}");
+            assert!(rows.contains(&vec![8_000, 8_001]), "{policy}");
+        }
     }
 
     #[test]
     fn scan_isolation_from_later_updates() {
         let (engine, table) = engine(PolicyKind::Lru, 100);
-        let mut op =
-            ScanOperator::new(Arc::clone(&engine), table, vec![0], TupleRange::new(0, 100))
-                .unwrap();
+        let mut op = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0],
+            TupleRange::new(0, 100),
+            false,
+        )
+        .unwrap();
         // Updates applied after the operator was created are not visible to it.
         engine.delete_row(table, 0).unwrap();
         let rows = collect(&mut op);
@@ -343,9 +497,14 @@ mod tests {
     fn repeated_scans_hit_the_buffer_pool() {
         let (engine, table) = engine(PolicyKind::Lru, 1000);
         let run = |engine: &Arc<Engine>| {
-            let mut op =
-                ScanOperator::new(Arc::clone(engine), table, vec![0, 1], TupleRange::new(0, 1000))
-                    .unwrap();
+            let mut op = ScanOperator::new(
+                Arc::clone(engine),
+                table,
+                vec![0, 1],
+                TupleRange::new(0, 1000),
+                false,
+            )
+            .unwrap();
             collect(&mut op).len()
         };
         assert_eq!(run(&engine), 1000);
@@ -358,11 +517,148 @@ mod tests {
         assert!(warm.hits > cold.hits);
     }
 
+    // ------------------------------------------------------------------
+    // Cooperative Scans (out-of-order chunk delivery)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn cscan_produces_every_row_exactly_once() {
+        let (engine, table) = engine_with(PolicyKind::CScan, 1 << 20, 3000, 7);
+        let mut op = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0, 1],
+            TupleRange::new(0, 3000),
+            false,
+        )
+        .unwrap();
+        let rows = collect_sorted(&mut op);
+        assert_eq!(rows.len(), 3000);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row[0], i as i64);
+            assert_eq!(row[1], 7);
+        }
+        assert!(engine.buffer_stats().io_bytes > 0);
+    }
+
+    #[test]
+    fn cscan_sees_pdt_updates_despite_out_of_order_delivery() {
+        let (engine, table) = engine_with(PolicyKind::CScan, 1 << 20, 2000, 7);
+        engine.delete_row(table, 100).unwrap();
+        engine.insert_row(table, 0, vec![-5, -5]).unwrap();
+        engine.update_value(table, 1999, 1, 42).unwrap();
+        let visible = engine.visible_rows(table).unwrap();
+        assert_eq!(visible, 2000);
+        let mut op = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0, 1],
+            TupleRange::new(0, visible),
+            false,
+        )
+        .unwrap();
+        let rows = collect_sorted(&mut op);
+        assert_eq!(rows.len(), 2000);
+        assert!(rows.contains(&vec![-5, -5]));
+        assert!(
+            !rows.iter().any(|r| r[0] == 100),
+            "deleted row must not appear"
+        );
+        assert!(rows.contains(&vec![1999, 42]));
+    }
+
+    #[test]
+    fn cscan_with_small_buffer_still_completes() {
+        // Each chunk is ~6 pages; give the ABM room for only two chunks.
+        let (engine, table) = engine_with(PolicyKind::CScan, 12 * 1024, 5000, 7);
+        let mut op = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0, 1],
+            TupleRange::new(0, 5000),
+            false,
+        )
+        .unwrap();
+        let rows = collect_sorted(&mut op);
+        assert_eq!(rows.len(), 5000);
+        assert!(engine.buffer_stats().evictions > 0);
+    }
+
+    #[test]
+    fn two_concurrent_cscans_share_io() {
+        let (engine, table) = engine_with(PolicyKind::CScan, 1 << 20, 4000, 7);
+        let mut a = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0, 1],
+            TupleRange::new(0, 4000),
+            false,
+        )
+        .unwrap();
+        let mut b = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0, 1],
+            TupleRange::new(0, 4000),
+            false,
+        )
+        .unwrap();
+        // Interleave the two scans so they run "concurrently".
+        let mut rows_a = Vec::new();
+        let mut rows_b = Vec::new();
+        loop {
+            let batch_a = a.next_batch().unwrap();
+            let batch_b = b.next_batch().unwrap();
+            if let Some(batch) = &batch_a {
+                rows_a.extend(batch.to_rows());
+            }
+            if let Some(batch) = &batch_b {
+                rows_b.extend(batch.to_rows());
+            }
+            if batch_a.is_none() && batch_b.is_none() {
+                break;
+            }
+        }
+        assert_eq!(rows_a.len(), 4000);
+        assert_eq!(rows_b.len(), 4000);
+        // The table occupies 32 pages (column k, 8 B/tuple) + 16 pages
+        // (column v, 4 B/tuple) = 48 pages. Two cooperative scans sharing
+        // chunks read it exactly once instead of twice.
+        let io = engine.buffer_stats().io_bytes;
+        assert_eq!(
+            io,
+            48 * 1024,
+            "two cooperative scans read the table exactly once"
+        );
+    }
+
+    #[test]
+    fn in_order_cscan_delivers_rows_in_rid_order() {
+        let (engine, table) = engine_with(PolicyKind::CScan, 1 << 20, 2000, 7);
+        let mut op = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0],
+            TupleRange::new(0, 2000),
+            true,
+        )
+        .unwrap();
+        let mut last = -1;
+        while let Some(batch) = op.next_batch().unwrap() {
+            for &v in batch.column(0) {
+                assert!(v > last, "in-order CScan must deliver ascending keys");
+                last = v;
+            }
+        }
+        assert_eq!(last, 1999);
+    }
+
     #[test]
     fn rid_sid_translation_helpers() {
         let mut pdt = Pdt::new(1);
         pdt.delete(scanshare_common::Rid::new(0), 100).unwrap();
-        pdt.insert(scanshare_common::Rid::new(10), vec![1], 100).unwrap();
+        pdt.insert(scanshare_common::Rid::new(10), vec![1], 100)
+            .unwrap();
         // Visible rows 0..99 map to stable tuples 1..99 (tuple 0 is deleted,
         // the inserted row is anchored inside the range).
         let sids = rid_range_to_sid_ranges(&pdt, &TupleRange::new(0, 99), 100);

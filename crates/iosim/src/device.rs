@@ -6,7 +6,7 @@
 //! transfer time. This reproduces the paper's experimental knob of limiting
 //! the rate of page delivery from the storage layer to the buffer manager.
 
-use parking_lot::Mutex;
+use scanshare_common::sync::Mutex;
 
 use scanshare_common::{Bandwidth, VirtualDuration, VirtualInstant};
 
@@ -55,7 +55,11 @@ impl IoDevice {
     /// issued while the device is busy starts when the device frees up.
     pub fn submit(&self, now: VirtualInstant, bytes: u64) -> VirtualInstant {
         let mut state = self.state.lock();
-        let start = if state.busy_until > now { state.busy_until } else { now };
+        let start = if state.busy_until > now {
+            state.busy_until
+        } else {
+            now
+        };
         let service = self.request_latency + self.bandwidth.transfer_time(bytes);
         let done = start.after(service);
         state.busy_until = done;
@@ -71,7 +75,11 @@ impl IoDevice {
             return now;
         }
         let mut state = self.state.lock();
-        let start = if state.busy_until > now { state.busy_until } else { now };
+        let start = if state.busy_until > now {
+            state.busy_until
+        } else {
+            now
+        };
         let service = self.request_latency + self.bandwidth.transfer_time(pages * page_size);
         let done = start.after(service);
         state.busy_until = done;
@@ -105,14 +113,17 @@ mod tests {
     use super::*;
 
     fn device(mb_per_sec: f64) -> IoDevice {
-        IoDevice::new(Bandwidth::from_mb_per_sec(mb_per_sec), VirtualDuration::from_micros(100))
+        IoDevice::new(
+            Bandwidth::from_mb_per_sec(mb_per_sec),
+            VirtualDuration::from_micros(100),
+        )
     }
 
     #[test]
     fn single_request_takes_latency_plus_transfer() {
         let dev = device(100.0); // 100 MB/s
         let done = dev.submit(VirtualInstant::EPOCH, 1_000_000); // 1 MB
-        // 100us latency + 10ms transfer
+                                                                 // 100us latency + 10ms transfer
         assert_eq!(done.as_nanos(), 100_000 + 10_000_000);
         assert_eq!(dev.stats().bytes_read, 1_000_000);
         assert_eq!(dev.stats().requests, 1);

@@ -1,10 +1,8 @@
 //! I/O accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// Accumulated I/O counters. "Total volume of performed I/O" is the second
 /// performance measure used throughout the paper's evaluation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Total bytes read from the device.
     pub bytes_read: u64,

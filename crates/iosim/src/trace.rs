@@ -5,13 +5,12 @@
 //! trace: an append-only sequence of page references, optionally tagged with
 //! the scan that issued them.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use scanshare_common::sync::Mutex;
 
 use scanshare_common::{PageId, ScanId};
 
 /// One recorded page reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Reference {
     /// The referenced page.
     pub page: PageId,

@@ -34,7 +34,12 @@ pub fn checkpoint_table(
         .collect::<Result<_>>()?;
     let all_columns: Vec<usize> = (0..column_count).collect();
     let visible = pdt.visible_count(stable);
-    let rows = merge_range(pdt, SliceSource::new(columns), &all_columns, TupleRange::new(0, visible));
+    let rows = merge_range(
+        pdt,
+        SliceSource::new(columns),
+        &all_columns,
+        TupleRange::new(0, visible),
+    );
 
     // Transpose back to column-major for installation.
     let mut new_values: Vec<Vec<i64>> = vec![Vec::with_capacity(rows.len()); column_count];
@@ -80,7 +85,10 @@ mod tests {
         let id = storage
             .create_table_with_data(
                 spec,
-                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(7)],
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Constant(7),
+                ],
             )
             .unwrap();
         (storage, id)
@@ -103,18 +111,26 @@ mod tests {
         assert_eq!(storage.master_snapshot(table).unwrap().id(), new.id());
 
         // Row 0 of the new image is old stable tuple 1 (tuple 0 was deleted).
-        let head = storage.read_range(&layout, &new, 0, TupleRange::new(0, 3)).unwrap();
+        let head = storage
+            .read_range(&layout, &new, 0, TupleRange::new(0, 3))
+            .unwrap();
         assert_eq!(head, vec![1, 2, 3]);
         // The inserted row shows up at position 10.
-        let ins = storage.read_range(&layout, &new, 0, TupleRange::new(10, 11)).unwrap();
+        let ins = storage
+            .read_range(&layout, &new, 0, TupleRange::new(10, 11))
+            .unwrap();
         assert_eq!(ins, vec![-5]);
         // The modification is applied (old RID 500 shifted: delete at 0 and
         // insert at 10 cancel out for positions past 10, so it is still 500).
-        let modified = storage.read_range(&layout, &new, 1, TupleRange::new(500, 501)).unwrap();
+        let modified = storage
+            .read_range(&layout, &new, 1, TupleRange::new(500, 501))
+            .unwrap();
         assert_eq!(modified, vec![999]);
 
         // The old snapshot still reads pre-checkpoint data.
-        let old_head = storage.read_range(&layout, &old, 0, TupleRange::new(0, 3)).unwrap();
+        let old_head = storage
+            .read_range(&layout, &old, 0, TupleRange::new(0, 3))
+            .unwrap();
         assert_eq!(old_head, vec![0, 1, 2]);
     }
 
@@ -125,8 +141,12 @@ mod tests {
         let old = storage.master_snapshot(table).unwrap();
         let new = checkpoint_table(&storage, table, &old, &Pdt::new(2)).unwrap();
         assert_eq!(new.stable_tuples(), 300);
-        let a = storage.read_range(&layout, &new, 0, TupleRange::new(0, 300)).unwrap();
-        let b = storage.read_range(&layout, &old, 0, TupleRange::new(0, 300)).unwrap();
+        let a = storage
+            .read_range(&layout, &new, 0, TupleRange::new(0, 300))
+            .unwrap();
+        let b = storage
+            .read_range(&layout, &old, 0, TupleRange::new(0, 300))
+            .unwrap();
         assert_eq!(a, b);
         assert!(!new.same_pages(&old));
     }
@@ -144,7 +164,9 @@ mod tests {
 
         let new = checkpoint_stack(&storage, table, &old, &stack).unwrap();
         assert_eq!(new.stable_tuples(), 200);
-        let head = storage.read_range(&layout, &new, 0, TupleRange::new(0, 6)).unwrap();
+        let head = storage
+            .read_range(&layout, &new, 0, TupleRange::new(0, 6))
+            .unwrap();
         // Visible stream: [-1], 0, 1, 2, 3, (4 deleted at visible pos 5), 5...
         assert_eq!(head, vec![-1, 0, 1, 2, 3, 5]);
     }

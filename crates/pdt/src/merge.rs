@@ -44,7 +44,10 @@ impl SliceSource {
     /// length.
     pub fn new(columns: Vec<Vec<Value>>) -> Self {
         if let Some(first) = columns.first() {
-            assert!(columns.iter().all(|c| c.len() == first.len()), "column lengths must match");
+            assert!(
+                columns.iter().all(|c| c.len() == first.len()),
+                "column lengths must match"
+            );
         }
         Self { columns }
     }
@@ -52,7 +55,9 @@ impl SliceSource {
     /// Builds a source with `columns` generated as `f(col, sid)`.
     pub fn generate(column_count: usize, tuples: u64, f: impl Fn(usize, u64) -> Value) -> Self {
         Self::new(
-            (0..column_count).map(|c| (0..tuples).map(|s| f(c, s)).collect()).collect(),
+            (0..column_count)
+                .map(|c| (0..tuples).map(|s| f(c, s)).collect())
+                .collect(),
         )
     }
 }
@@ -268,7 +273,8 @@ mod tests {
         let n = 20;
         let mut pdt = Pdt::new(2);
         for i in 0..5 {
-            pdt.insert(Rid::new(i * 3), vec![-(i as Value), 0], n).unwrap();
+            pdt.insert(Rid::new(i * 3), vec![-(i as Value), 0], n)
+                .unwrap();
         }
         pdt.delete(Rid::new(10), n).unwrap();
         pdt.modify(Rid::new(7), 0, 777, n).unwrap();
@@ -280,7 +286,12 @@ mod tests {
         // Any split into sub-ranges must reproduce the same stream.
         for split in 1..visible {
             let mut parts = merge_range(&pdt, source(n), &[0, 1], TupleRange::new(0, split));
-            parts.extend(merge_range(&pdt, source(n), &[0, 1], TupleRange::new(split, visible)));
+            parts.extend(merge_range(
+                &pdt,
+                source(n),
+                &[0, 1],
+                TupleRange::new(split, visible),
+            ));
             assert_eq!(parts, full, "split at {split}");
         }
     }
@@ -328,7 +339,8 @@ mod tests {
         let n = 30;
         let mut pdt = Pdt::new(2);
         for i in 0..6 {
-            pdt.insert(Rid::new(i * 4 + 1), vec![1000 + i as Value, 0], n).unwrap();
+            pdt.insert(Rid::new(i * 4 + 1), vec![1000 + i as Value, 0], n)
+                .unwrap();
         }
         for _ in 0..3 {
             pdt.delete(Rid::new(12), n).unwrap();

@@ -93,7 +93,10 @@ impl Clone for Pdt {
 impl Pdt {
     /// Creates an empty PDT for a table with `column_count` columns.
     pub fn new(column_count: usize) -> Self {
-        Self { column_count, ..Default::default() }
+        Self {
+            column_count,
+            ..Default::default()
+        }
     }
 
     /// Number of table columns each inserted row must provide.
@@ -139,7 +142,11 @@ impl Pdt {
             for (&sid, node) in &self.nodes {
                 inserts += node.inserts.len() as u64;
                 deletes += u64::from(node.deleted);
-                entries.push(IndexEntry { sid, inserts_incl: inserts, deletes_incl: deletes });
+                entries.push(IndexEntry {
+                    sid,
+                    inserts_incl: inserts,
+                    deletes_incl: deletes,
+                });
             }
             *borrow = Some(entries);
         }
@@ -212,7 +219,7 @@ impl Pdt {
     pub fn sid_to_rid_high(&self, sid: Sid) -> Rid {
         let low = self.sid_to_rid_low(sid).raw();
         let rows = self.rows_at(sid.raw());
-        Rid::new(low + rows.saturating_sub(1).max(0))
+        Rid::new(low + rows.saturating_sub(1))
     }
 
     /// Number of visible rows anchored at `sid`: its inserts plus the stable
@@ -235,7 +242,7 @@ impl Pdt {
         let mut lo = 0u64;
         let mut hi = stable_tuples;
         while lo < hi {
-            let mid = lo + (hi - lo + 1) / 2;
+            let mid = lo + (hi - lo).div_ceil(2);
             if self.sid_to_rid_low(Sid::new(mid)).raw() <= rid {
                 lo = mid;
             } else {
@@ -276,7 +283,10 @@ impl Pdt {
         self.check_row(&row)?;
         let visible = self.visible_count(stable_tuples);
         if rid.raw() > visible {
-            return Err(Error::PositionOutOfBounds { position: rid.raw(), visible });
+            return Err(Error::PositionOutOfBounds {
+                position: rid.raw(),
+                visible,
+            });
         }
         let (sid, offset) = if rid.raw() == visible {
             // Append at the very end: anchor at the end-of-table position.
@@ -296,7 +306,10 @@ impl Pdt {
     pub fn delete(&mut self, rid: Rid, stable_tuples: u64) -> Result<()> {
         let visible = self.visible_count(stable_tuples);
         if rid.raw() >= visible {
-            return Err(Error::PositionOutOfBounds { position: rid.raw(), visible });
+            return Err(Error::PositionOutOfBounds {
+                position: rid.raw(),
+                visible,
+            });
         }
         let (sid, offset) = self.locate(rid, stable_tuples);
         let node = self.nodes.entry(sid).or_default();
@@ -304,7 +317,10 @@ impl Pdt {
             node.inserts.remove(offset);
             self.total_inserts -= 1;
         } else {
-            debug_assert!(!node.deleted, "visible row cannot be an already deleted tuple");
+            debug_assert!(
+                !node.deleted,
+                "visible row cannot be an already deleted tuple"
+            );
             node.deleted = true;
             node.modifies.clear();
             self.total_deletes += 1;
@@ -326,7 +342,10 @@ impl Pdt {
         }
         let visible = self.visible_count(stable_tuples);
         if rid.raw() >= visible {
-            return Err(Error::PositionOutOfBounds { position: rid.raw(), visible });
+            return Err(Error::PositionOutOfBounds {
+                position: rid.raw(),
+                visible,
+            });
         }
         let (sid, offset) = self.locate(rid, stable_tuples);
         let node = self.nodes.entry(sid).or_default();
@@ -355,7 +374,9 @@ mod tests {
 
     impl Model {
         fn new(stable: &[Vec<Value>]) -> Self {
-            Self { rows: stable.to_vec() }
+            Self {
+                rows: stable.to_vec(),
+            }
         }
         fn insert(&mut self, rid: usize, row: Vec<Value>) {
             self.rows.insert(rid, row);
@@ -369,7 +390,9 @@ mod tests {
     }
 
     fn stable(n: u64) -> Vec<Vec<Value>> {
-        (0..n).map(|i| vec![i as Value, (i * 10) as Value]).collect()
+        (0..n)
+            .map(|i| vec![i as Value, (i * 10) as Value])
+            .collect()
     }
 
     /// Merge `pdt` over the given stable rows (test helper mirroring what the
@@ -382,9 +405,9 @@ mod tests {
             }
             if sid < stable_rows.len() as u64 && !pdt.node_deleted(sid) {
                 let mut row = stable_rows[sid as usize].clone();
-                for col in 0..row.len() {
+                for (col, value) in row.iter_mut().enumerate() {
                     if let Some(v) = pdt.node_modify(sid, col) {
-                        row[col] = v;
+                        *value = v;
                     }
                 }
                 out.push(row);
@@ -442,7 +465,10 @@ mod tests {
         assert_eq!(pdt.visible_count(n), 6);
         pdt.delete(Rid::new(2), n).unwrap();
         assert_eq!(pdt.visible_count(n), 5);
-        assert!(pdt.is_empty(), "insert followed by delete of it leaves no state");
+        assert!(
+            pdt.is_empty(),
+            "insert followed by delete of it leaves no state"
+        );
     }
 
     #[test]
@@ -467,9 +493,18 @@ mod tests {
         assert!(pdt.insert(Rid::new(5), vec![1], n).is_err());
         assert!(pdt.delete(Rid::new(3), n).is_err());
         assert!(pdt.modify(Rid::new(3), 0, 1, n).is_err());
-        assert!(pdt.insert(Rid::new(3), vec![1], n).is_ok(), "append at end is allowed");
-        assert!(pdt.modify(Rid::new(0), 5, 1, n).is_err(), "column bound checked");
-        assert!(pdt.insert(Rid::new(0), vec![1, 2], n).is_err(), "row arity checked");
+        assert!(
+            pdt.insert(Rid::new(3), vec![1], n).is_ok(),
+            "append at end is allowed"
+        );
+        assert!(
+            pdt.modify(Rid::new(0), 5, 1, n).is_err(),
+            "column bound checked"
+        );
+        assert!(
+            pdt.insert(Rid::new(0), vec![1, 2], n).is_err(),
+            "row arity checked"
+        );
     }
 
     #[test]

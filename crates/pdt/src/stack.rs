@@ -31,7 +31,10 @@ impl PdtStack {
     /// Creates a stack of `depth` empty layers (Vectorwise uses three).
     pub fn new(column_count: usize, depth: usize) -> Self {
         assert!(depth >= 1, "a stack needs at least one layer");
-        Self { column_count, layers: (0..depth).map(|_| Pdt::new(column_count)).collect() }
+        Self {
+            column_count,
+            layers: (0..depth).map(|_| Pdt::new(column_count)).collect(),
+        }
     }
 
     /// Number of table columns.
@@ -61,12 +64,16 @@ impl PdtStack {
 
     /// Number of rows visible after all layers are applied.
     pub fn visible_count(&self, stable_tuples: u64) -> u64 {
-        self.layers.iter().fold(stable_tuples, |acc, layer| layer.visible_count(acc))
+        self.layers
+            .iter()
+            .fold(stable_tuples, |acc, layer| layer.visible_count(acc))
     }
 
     /// Visible count after applying only the first `upto` layers.
     fn visible_below(&self, stable_tuples: u64, upto: usize) -> u64 {
-        self.layers[..upto].iter().fold(stable_tuples, |acc, layer| layer.visible_count(acc))
+        self.layers[..upto]
+            .iter()
+            .fold(stable_tuples, |acc, layer| layer.visible_count(acc))
     }
 
     /// Translates a top-level RID down to the stable SID it is anchored at,
@@ -147,7 +154,12 @@ impl PdtStack {
         // The layer needs *all* columns of its input rows because inserted
         // rows store every column; we materialize the input lazily through a
         // recursive source.
-        let lower = StackSource { stack: self, upto: upto - 1, source, cache: None };
+        let lower = StackSource {
+            stack: self,
+            upto: upto - 1,
+            source,
+            cache: None,
+        };
         let mut cursor = MergeCursor::new(layer, lower, columns.to_vec(), range);
         cursor.collect_rows()
     }
@@ -207,7 +219,10 @@ fn compose_into(lower: &mut Pdt, upper: &Pdt, lower_stable: u64) -> Result<()> {
         // 2. Rows inserted before position `anchor`, preserving their order.
         let inserts = upper.node_inserts(anchor);
         for i in 0..inserts {
-            let row = upper.node_insert_row(anchor, i).expect("i < inserts").clone();
+            let row = upper
+                .node_insert_row(anchor, i)
+                .expect("i < inserts")
+                .clone();
             let pos = (anchor + i as u64).min(lower_visible + i as u64);
             lower.insert(Rid::new(pos), row, lower_stable)?;
         }
@@ -246,7 +261,10 @@ impl<'a, S: StableSource + Clone> StableSource for StackSource<'a, S> {
             &all_columns,
             TupleRange::new(sid, sid + 1),
         );
-        let row = rows.into_iter().next().unwrap_or_else(|| vec![0; self.stack.column_count]);
+        let row = rows
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| vec![0; self.stack.column_count]);
         let v = row[col];
         self.cache = Some((sid, row));
         v
@@ -365,7 +383,9 @@ mod tests {
         let n = 25;
         let mut stack = PdtStack::new(2, 2);
         for i in 0..5 {
-            stack.insert(Rid::new(i * 5), vec![-(i as Value), 0], n).unwrap();
+            stack
+                .insert(Rid::new(i * 5), vec![-(i as Value), 0], n)
+                .unwrap();
         }
         stack.propagate(n).unwrap();
         stack.delete(Rid::new(3), n).unwrap();

@@ -18,11 +18,9 @@ use scanshare_common::{
 };
 use scanshare_core::bufferpool::BufferPool;
 use scanshare_core::cscan::{Abm, AbmConfig, CScanHandle, CScanRequest, LoadPlan};
-use scanshare_core::lru::LruPolicy;
 use scanshare_core::metrics::BufferStats;
 use scanshare_core::opt::simulate_opt;
-use scanshare_core::pbm::{PbmConfig, PbmPolicy};
-use scanshare_core::policy::ReplacementPolicy;
+use scanshare_core::registry::{pooled_policy_name, PolicyRegistry};
 use scanshare_iosim::{IoDevice, ReferenceTrace};
 use scanshare_storage::storage::Storage;
 use scanshare_workload::spec::{QuerySpec, WorkloadSpec};
@@ -144,7 +142,9 @@ impl Simulation {
     pub fn new(storage: Arc<Storage>, config: SimConfig) -> Result<Self> {
         config.scanshare.validate()?;
         if config.cores == 0 {
-            return Err(Error::config("the simulated machine needs at least one core"));
+            return Err(Error::config(
+                "the simulated machine needs at least one core",
+            ));
         }
         Ok(Self { storage, config })
     }
@@ -202,14 +202,17 @@ impl Simulation {
     // Order-preserving policies: LRU / PBM (and the PBM run behind OPT)
     // -----------------------------------------------------------------
 
-    fn make_pool(&self, policy: PolicyKind, trace: Option<Arc<ReferenceTrace>>) -> BufferPool {
-        let replacement: Box<dyn ReplacementPolicy> = match policy {
-            PolicyKind::Lru => Box::new(LruPolicy::new()),
-            _ => Box::new(PbmPolicy::new(PbmConfig {
-                default_scan_speed: self.config.scanshare.cpu_tuples_per_sec as f64,
-                ..PbmConfig::default()
-            })),
-        };
+    fn make_pool(
+        &self,
+        policy: PolicyKind,
+        trace: Option<Arc<ReferenceTrace>>,
+    ) -> Result<BufferPool> {
+        // The simulator shares policy construction with the execution engine:
+        // the page-level policy comes from the registry (honouring
+        // `custom_policy`), so the policies the figures measure are the
+        // policies the engine runs.
+        let name = pooled_policy_name(&self.config.scanshare, policy);
+        let replacement = PolicyRegistry::default().build(name, &self.config.scanshare)?;
         let mut pool = BufferPool::new(
             self.config.scanshare.buffer_pool_pages().max(1),
             self.config.scanshare.page_size_bytes,
@@ -218,7 +221,7 @@ impl Simulation {
         if let Some(trace) = trace {
             pool = pool.with_trace(trace);
         }
-        pool
+        Ok(pool)
     }
 
     fn build_query_run(
@@ -234,9 +237,17 @@ impl Simulation {
             let snapshot = self.storage.master_snapshot(scan.table)?;
             let plan = layout.scan_page_plan(&snapshot, &scan.columns, &scan.ranges);
             let scan_id = pool.register_scan(&plan, now);
-            let pages: Vec<(PageId, u64)> =
-                plan.interleaved().iter().map(|p| (p.page, p.tuple_count)).collect();
-            parts.push(PartRun { scan_id, pages, next: 0, consumed: 0 });
+            let pages: Vec<(PageId, u64)> = plan
+                .interleaved()
+                .iter()
+                .map(|p| (p.page, p.tuple_count))
+                .collect();
+            parts.push(PartRun {
+                scan_id,
+                pages,
+                next: 0,
+                consumed: 0,
+            });
         }
         Ok(QueryRun {
             parts,
@@ -253,7 +264,7 @@ impl Simulation {
         record_trace: bool,
     ) -> Result<(SimResult, Option<Arc<ReferenceTrace>>)> {
         let trace = record_trace.then(|| Arc::new(ReferenceTrace::new()));
-        let mut pool = self.make_pool(policy, trace.clone());
+        let mut pool = self.make_pool(policy, trace.clone())?;
         let device = self.device();
         let stream_count = workload.stream_count();
         let page_size = self.config.scanshare.page_size_bytes;
@@ -271,7 +282,12 @@ impl Simulation {
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut push = |heap: &mut BinaryHeap<Reverse<Event>>, time: u64, kind: EventKind| {
-            heap.push(Reverse(Event { time, seq, kind, plan: None }));
+            heap.push(Reverse(Event {
+                time,
+                seq,
+                kind,
+                plan: None,
+            }));
             seq += 1;
         };
         for s in 0..stream_count {
@@ -279,14 +295,22 @@ impl Simulation {
         }
 
         let mut query_latencies = Vec::new();
-        let mut sharing = self.config.sharing_sample_interval.map(|_| SharingProfile::default());
+        let mut sharing = self
+            .config
+            .sharing_sample_interval
+            .map(|_| SharingProfile::default());
         let mut next_sample = 0u64;
-        let sample_interval =
-            self.config.sharing_sample_interval.map(|d| d.as_nanos()).unwrap_or(u64::MAX);
+        let sample_interval = self
+            .config
+            .sharing_sample_interval
+            .map(|d| d.as_nanos())
+            .unwrap_or(u64::MAX);
 
         while let Some(Reverse(event)) = heap.pop() {
             let now = VirtualInstant::from_nanos(event.time);
-            let EventKind::Stream(s) = event.kind else { unreachable!("no loader in pool mode") };
+            let EventKind::Stream(s) = event.kind else {
+                unreachable!("no loader in pool mode")
+            };
 
             // Periodic sharing-potential sampling.
             if let Some(profile) = sharing.as_mut() {
@@ -453,11 +477,18 @@ impl Simulation {
 
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut seq = 0u64;
-        let mut push_event =
-            |heap: &mut BinaryHeap<Reverse<Event>>, time: u64, kind: EventKind, plan: Option<LoadPlan>| {
-                heap.push(Reverse(Event { time, seq, kind, plan }));
-                seq += 1;
-            };
+        let mut push_event = |heap: &mut BinaryHeap<Reverse<Event>>,
+                              time: u64,
+                              kind: EventKind,
+                              plan: Option<LoadPlan>| {
+            heap.push(Reverse(Event {
+                time,
+                seq,
+                kind,
+                plan,
+            }));
+            seq += 1;
+        };
         for s in 0..stream_count {
             push_event(&mut heap, 0, EventKind::Stream(s), None);
         }
@@ -470,8 +501,9 @@ impl Simulation {
             ($heap:expr, $now:expr) => {
                 if !loader_busy {
                     if let Some(plan) = abm.next_load(VirtualInstant::from_nanos($now)) {
-                        let done =
-                            device.submit(VirtualInstant::from_nanos($now), plan.bytes).as_nanos();
+                        let done = device
+                            .submit(VirtualInstant::from_nanos($now), plan.bytes)
+                            .as_nanos();
                         loader_busy = true;
                         push_event($heap, done, EventKind::LoadDone, Some(plan));
                     }
@@ -487,7 +519,12 @@ impl Simulation {
                     let plan = event.plan.expect("load event carries its plan");
                     abm.complete_load(&plan, now)?;
                     loader_busy = false;
-                    for s in blocked.drain() {
+                    // Wake blocked streams in index order: HashSet iteration
+                    // order varies between processes and would make ABM
+                    // scheduling (and therefore I/O volumes) nondeterministic.
+                    let mut woken: Vec<usize> = blocked.drain().collect();
+                    woken.sort_unstable();
+                    for s in woken {
                         push_event(&mut heap, now_ns, EventKind::Stream(s), None);
                     }
                     kick_loader!(&mut heap, now_ns);
@@ -563,8 +600,10 @@ impl Simulation {
             .filter_map(|s| s.finished)
             .max()
             .unwrap_or(VirtualInstant::EPOCH);
-        let stream_times: Vec<VirtualDuration> =
-            streams.iter().map(|s| s.finished.unwrap().since(VirtualInstant::EPOCH)).collect();
+        let stream_times: Vec<VirtualDuration> = streams
+            .iter()
+            .map(|s| s.finished.unwrap().since(VirtualInstant::EPOCH))
+            .collect();
         let stats = abm.stats();
         Ok(SimResult {
             workload: workload.name.clone(),
@@ -635,7 +674,10 @@ mod tests {
         // Accessed volume can never exceed the total compressed table size
         // (plus page rounding per column).
         let table_bytes = 1_200_000u64; // 100k tuples * ~11 B/tuple + slack
-        assert!(accessed < 2 * table_bytes, "accessed volume {accessed} looks too large");
+        assert!(
+            accessed < 2 * table_bytes,
+            "accessed volume {accessed} looks too large"
+        );
     }
 
     #[test]
@@ -676,10 +718,13 @@ mod tests {
     #[test]
     fn larger_buffer_pools_reduce_io() {
         let (storage, workload) = build_micro();
-        let small = Simulation::new(Arc::clone(&storage), sim_config(PolicyKind::Pbm, 256 * 1024))
-            .unwrap()
-            .run(&workload)
-            .unwrap();
+        let small = Simulation::new(
+            Arc::clone(&storage),
+            sim_config(PolicyKind::Pbm, 256 * 1024),
+        )
+        .unwrap()
+        .run(&workload)
+        .unwrap();
         let large = Simulation::new(Arc::clone(&storage), sim_config(PolicyKind::Pbm, 8 << 20))
             .unwrap()
             .run(&workload)
@@ -694,15 +739,24 @@ mod tests {
         slow_cfg.scanshare.io_bandwidth = Bandwidth::from_mb_per_sec(200.0);
         let mut fast_cfg = sim_config(PolicyKind::Pbm, 512 * 1024);
         fast_cfg.scanshare.io_bandwidth = Bandwidth::from_gb_per_sec(2.0);
-        let slow = Simulation::new(Arc::clone(&storage), slow_cfg).unwrap().run(&workload).unwrap();
-        let fast = Simulation::new(Arc::clone(&storage), fast_cfg).unwrap().run(&workload).unwrap();
+        let slow = Simulation::new(Arc::clone(&storage), slow_cfg)
+            .unwrap()
+            .run(&workload)
+            .unwrap();
+        let fast = Simulation::new(Arc::clone(&storage), fast_cfg)
+            .unwrap()
+            .run(&workload)
+            .unwrap();
         assert!(fast.avg_stream_time_secs().unwrap() <= slow.avg_stream_time_secs().unwrap());
         // The I/O volume is (approximately) bandwidth-independent. It is not
         // exactly equal for PBM because the scans' observed speeds — and
         // therefore the next-consumption estimates — depend on how fast pages
         // arrive, which is precisely the paper's "approximately constant".
         let ratio = fast.total_io_bytes as f64 / slow.total_io_bytes as f64;
-        assert!((0.85..=1.15).contains(&ratio), "I/O volume changed too much: {ratio}");
+        assert!(
+            (0.85..=1.15).contains(&ratio),
+            "I/O volume changed too much: {ratio}"
+        );
     }
 
     #[test]
@@ -710,7 +764,10 @@ mod tests {
         let (storage, workload) = build_micro();
         let mut cfg = sim_config(PolicyKind::Pbm, 512 * 1024);
         cfg.sharing_sample_interval = Some(VirtualDuration::from_micros(500));
-        let result = Simulation::new(storage, cfg).unwrap().run(&workload).unwrap();
+        let result = Simulation::new(storage, cfg)
+            .unwrap()
+            .run(&workload)
+            .unwrap();
         let profile = result.sharing.expect("sampling enabled");
         assert!(!profile.is_empty());
         assert!(profile.peak_outstanding_bytes() > 0);
@@ -720,10 +777,13 @@ mod tests {
     fn simulation_is_deterministic() {
         let (storage, workload) = build_micro();
         let run = || {
-            Simulation::new(Arc::clone(&storage), sim_config(PolicyKind::Pbm, 512 * 1024))
-                .unwrap()
-                .run(&workload)
-                .unwrap()
+            Simulation::new(
+                Arc::clone(&storage),
+                sim_config(PolicyKind::Pbm, 512 * 1024),
+            )
+            .unwrap()
+            .run(&workload)
+            .unwrap()
         };
         let a = run();
         let b = run();

@@ -9,8 +9,6 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use scanshare_common::{Bandwidth, PolicyKind, Result, ScanShareConfig, VirtualDuration};
 use scanshare_storage::storage::Storage;
 use scanshare_workload::microbench::{self, MicrobenchConfig};
@@ -22,7 +20,7 @@ use crate::sharing::SharingProfile;
 
 /// One data point of a figure: a (policy, x-value) pair with the two metrics
 /// the paper reports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRow {
     /// Figure identifier ("fig11", ...).
     pub figure: String,
@@ -45,7 +43,7 @@ pub struct ExperimentRow {
 
 /// Controls the size of the generated workloads so the same experiment code
 /// serves fast unit tests, the `figures` example and the Criterion benches.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentScale {
     /// `lineitem` tuples in the microbenchmark.
     pub micro_lineitem_tuples: u64,
@@ -167,8 +165,12 @@ impl ExperimentScale {
 }
 
 /// The four policies every figure compares.
-pub const ALL_POLICIES: [PolicyKind; 4] =
-    [PolicyKind::Lru, PolicyKind::CScan, PolicyKind::Pbm, PolicyKind::Opt];
+pub const ALL_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Lru,
+    PolicyKind::CScan,
+    PolicyKind::Pbm,
+    PolicyKind::Opt,
+];
 
 fn run_point(
     storage: &Arc<Storage>,
@@ -262,7 +264,8 @@ fn bandwidth_sweep(
 /// Figure 11: microbenchmark, varying the buffer pool size.
 pub fn fig11_micro_buffer_sweep(scale: &ExperimentScale) -> Result<Vec<ExperimentRow>> {
     let config = scale.micro_config(scale.default_streams);
-    let (storage, workload) = microbench::build(&config, scale.page_size_bytes, scale.chunk_tuples)?;
+    let (storage, workload) =
+        microbench::build(&config, scale.page_size_bytes, scale.chunk_tuples)?;
     buffer_sweep(
         "fig11",
         &storage,
@@ -276,7 +279,8 @@ pub fn fig11_micro_buffer_sweep(scale: &ExperimentScale) -> Result<Vec<Experimen
 /// Figure 12: microbenchmark, varying the I/O bandwidth.
 pub fn fig12_micro_bandwidth_sweep(scale: &ExperimentScale) -> Result<Vec<ExperimentRow>> {
     let config = scale.micro_config(scale.default_streams);
-    let (storage, workload) = microbench::build(&config, scale.page_size_bytes, scale.chunk_tuples)?;
+    let (storage, workload) =
+        microbench::build(&config, scale.page_size_bytes, scale.chunk_tuples)?;
     bandwidth_sweep(
         "fig12",
         &storage,
@@ -411,7 +415,8 @@ fn sharing_profile(
 /// Figure 17: sharing potential over time in the microbenchmark.
 pub fn fig17_sharing_micro(scale: &ExperimentScale) -> Result<SharingProfile> {
     let config = scale.micro_config(scale.default_streams);
-    let (storage, workload) = microbench::build(&config, scale.page_size_bytes, scale.chunk_tuples)?;
+    let (storage, workload) =
+        microbench::build(&config, scale.page_size_bytes, scale.chunk_tuples)?;
     sharing_profile(
         &storage,
         &workload,
@@ -443,7 +448,10 @@ mod tests {
     fn fig11_rows_cover_all_policies_and_fractions() {
         let scale = ExperimentScale::test();
         let rows = fig11_micro_buffer_sweep(&scale).unwrap();
-        assert_eq!(rows.len(), scale.buffer_fractions.len() * ALL_POLICIES.len());
+        assert_eq!(
+            rows.len(),
+            scale.buffer_fractions.len() * ALL_POLICIES.len()
+        );
         for row in &rows {
             assert_eq!(row.figure, "fig11");
             assert!(row.total_io_gb >= 0.0);
@@ -471,8 +479,11 @@ mod tests {
         let scale = ExperimentScale::test();
         let rows = fig12_micro_bandwidth_sweep(&scale).unwrap();
         for (policy, tolerance) in [(PolicyKind::Lru, 1.25), (PolicyKind::Pbm, 1.25)] {
-            let ios: Vec<f64> =
-                rows.iter().filter(|r| r.policy == policy).map(|r| r.total_io_gb).collect();
+            let ios: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.policy == policy)
+                .map(|r| r.total_io_gb)
+                .collect();
             let min = ios.iter().cloned().fold(f64::MAX, f64::min);
             let max = ios.iter().cloned().fold(0.0f64, f64::max);
             assert!(
@@ -493,8 +504,10 @@ mod tests {
     fn fig13_more_streams_increase_total_io() {
         let scale = ExperimentScale::test();
         let rows = fig13_micro_stream_sweep(&scale).unwrap();
-        let lru: Vec<&ExperimentRow> =
-            rows.iter().filter(|r| r.policy == PolicyKind::Lru).collect();
+        let lru: Vec<&ExperimentRow> = rows
+            .iter()
+            .filter(|r| r.policy == PolicyKind::Lru)
+            .collect();
         assert!(lru.last().unwrap().total_io_gb >= lru.first().unwrap().total_io_gb);
     }
 
@@ -503,7 +516,10 @@ mod tests {
         let scale = ExperimentScale::test();
         let micro = fig17_sharing_micro(&scale).unwrap();
         assert!(!micro.is_empty());
-        assert!(micro.avg_shared_fraction() > 0.05, "microbenchmark should show reuse potential");
+        assert!(
+            micro.avg_shared_fraction() > 0.05,
+            "microbenchmark should show reuse potential"
+        );
     }
 
     #[test]

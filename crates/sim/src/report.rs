@@ -131,7 +131,9 @@ pub fn rows_to_json(rows: &[ExperimentRow]) -> String {
                 r.policy.name(),
                 r.x_label,
                 r.x_value,
-                r.avg_stream_time_s.map(|v| format!("{v:.6}")).unwrap_or_else(|| "null".into()),
+                r.avg_stream_time_s
+                    .map(|v| format!("{v:.6}"))
+                    .unwrap_or_else(|| "null".into()),
                 r.total_io_gb,
                 r.hit_ratio
             )
@@ -204,7 +206,10 @@ mod tests {
 
     #[test]
     fn json_output_is_well_formed_enough() {
-        let rows = vec![row(PolicyKind::Lru, 10.0, Some(1.0), 2.0), row(PolicyKind::Opt, 10.0, None, 1.0)];
+        let rows = vec![
+            row(PolicyKind::Lru, 10.0, Some(1.0), 2.0),
+            row(PolicyKind::Opt, 10.0, None, 1.0),
+        ];
         let json = rows_to_json(&rows);
         assert!(json.starts_with('['));
         assert!(json.ends_with(']'));

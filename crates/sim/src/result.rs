@@ -1,14 +1,12 @@
 //! Simulation results.
 
-use serde::{Deserialize, Serialize};
-
 use scanshare_common::{PolicyKind, VirtualDuration};
 use scanshare_core::metrics::BufferStats;
 
 use crate::sharing::SharingProfile;
 
 /// The outcome of simulating one workload under one policy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Workload name.
     pub workload: String,
@@ -39,7 +37,10 @@ impl SimResult {
             return None;
         }
         Some(
-            self.stream_times.iter().map(|d| d.as_secs_f64()).sum::<f64>()
+            self.stream_times
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .sum::<f64>()
                 / self.stream_times.len() as f64,
         )
     }
@@ -50,7 +51,10 @@ impl SimResult {
             return None;
         }
         Some(
-            self.query_latencies.iter().map(|d| d.as_secs_f64()).sum::<f64>()
+            self.query_latencies
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .sum::<f64>()
                 / self.query_latencies.len() as f64,
         )
     }
@@ -82,7 +86,10 @@ mod tests {
         assert_eq!(result.avg_query_latency_secs(), Some(0.5));
         assert_eq!(result.total_io_gb(), 2.0);
 
-        let opt = SimResult { has_timing: false, ..result };
+        let opt = SimResult {
+            has_timing: false,
+            ..result
+        };
         assert_eq!(opt.avg_stream_time_secs(), None);
         assert_eq!(opt.avg_query_latency_secs(), None);
     }

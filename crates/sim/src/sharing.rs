@@ -10,8 +10,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use scanshare_common::{PageId, VirtualInstant};
 
 /// Overlap classes used by the paper's plots: data needed by exactly one
@@ -19,7 +17,7 @@ use scanshare_common::{PageId, VirtualInstant};
 pub const OVERLAP_CLASSES: usize = 4;
 
 /// One sample of the sharing-potential distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SharingSample {
     /// Virtual time of the sample.
     pub time: VirtualInstant,
@@ -35,12 +33,14 @@ impl SharingSample {
 
     /// Bytes needed by at least `n` scans (`n` is 1-based).
     pub fn bytes_with_overlap_at_least(&self, n: usize) -> u64 {
-        self.bytes_by_overlap[(n - 1).min(OVERLAP_CLASSES - 1)..].iter().sum()
+        self.bytes_by_overlap[(n - 1).min(OVERLAP_CLASSES - 1)..]
+            .iter()
+            .sum()
     }
 }
 
 /// A time series of sharing samples.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SharingProfile {
     /// Samples in time order.
     pub samples: Vec<SharingSample>,
@@ -70,7 +70,10 @@ impl SharingProfile {
             let class = (count as usize).min(OVERLAP_CLASSES) - 1;
             bytes_by_overlap[class] += page_size;
         }
-        SharingSample { time, bytes_by_overlap }
+        SharingSample {
+            time,
+            bytes_by_overlap,
+        }
     }
 
     /// Appends a sample.
@@ -109,7 +112,11 @@ impl SharingProfile {
 
     /// Peak of the total outstanding volume across samples, in bytes.
     pub fn peak_outstanding_bytes(&self) -> u64 {
-        self.samples.iter().map(SharingSample::total_bytes).max().unwrap_or(0)
+        self.samples
+            .iter()
+            .map(SharingSample::total_bytes)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -127,11 +134,8 @@ mod tests {
         let b = pages(&[3, 4, 5]);
         let c = pages(&[4, 5]);
         let d = pages(&[4]);
-        let sample = SharingProfile::sample_from_outstanding(
-            VirtualInstant::EPOCH,
-            1000,
-            [&a, &b, &c, &d],
-        );
+        let sample =
+            SharingProfile::sample_from_outstanding(VirtualInstant::EPOCH, 1000, [&a, &b, &c, &d]);
         // Page 1,2 -> 1 scan; 3 -> 2 scans; 5 -> 2 scans; 4 -> 4 scans.
         assert_eq!(sample.bytes_by_overlap, [2000, 2000, 0, 1000]);
         assert_eq!(sample.total_bytes(), 5000);
@@ -143,11 +147,8 @@ mod tests {
     fn overlap_beyond_four_lands_in_the_last_class() {
         let a = pages(&[7]);
         let outstanding: Vec<Vec<PageId>> = (0..10).map(|_| a.clone()).collect();
-        let sample = SharingProfile::sample_from_outstanding(
-            VirtualInstant::EPOCH,
-            512,
-            outstanding.iter(),
-        );
+        let sample =
+            SharingProfile::sample_from_outstanding(VirtualInstant::EPOCH, 512, outstanding.iter());
         assert_eq!(sample.bytes_by_overlap, [0, 0, 0, 512]);
     }
 

@@ -63,7 +63,10 @@ impl Catalog {
     pub fn create_table(&mut self, spec: TableSpec) -> Result<TableId> {
         spec.validate()?;
         if self.by_name.contains_key(&spec.name) {
-            return Err(Error::config(format!("table {:?} already exists", spec.name)));
+            return Err(Error::config(format!(
+                "table {:?} already exists",
+                spec.name
+            )));
         }
         let id = TableId::new(self.tables.len() as u32);
         let column_ids: Vec<ColumnId> = spec
@@ -83,7 +86,12 @@ impl Catalog {
             self.chunk_tuples,
         ));
         self.by_name.insert(spec.name.clone(), id);
-        self.tables.push(Arc::new(TableEntry { id, spec, column_ids, layout }));
+        self.tables.push(Arc::new(TableEntry {
+            id,
+            spec,
+            column_ids,
+            layout,
+        }));
         Ok(id)
     }
 
@@ -115,7 +123,10 @@ impl Catalog {
                 entry
                     .spec
                     .column_index(n)
-                    .ok_or_else(|| Error::UnknownColumn { table, column: (*n).to_string() })
+                    .ok_or_else(|| Error::UnknownColumn {
+                        table,
+                        column: (*n).to_string(),
+                    })
             })
             .collect()
     }
@@ -143,7 +154,9 @@ mod tests {
     #[test]
     fn create_and_lookup_table() {
         let mut cat = catalog();
-        let id = cat.create_table(TableSpec::with_int_columns("lineitem", 4, 1000)).unwrap();
+        let id = cat
+            .create_table(TableSpec::with_int_columns("lineitem", 4, 1000))
+            .unwrap();
         assert_eq!(cat.table(id).unwrap().spec.name, "lineitem");
         assert_eq!(cat.table_by_name("lineitem").unwrap().id, id);
         assert_eq!(cat.table_count(), 1);
@@ -154,15 +167,22 @@ mod tests {
     #[test]
     fn duplicate_table_names_are_rejected() {
         let mut cat = catalog();
-        cat.create_table(TableSpec::with_int_columns("t", 1, 10)).unwrap();
-        assert!(cat.create_table(TableSpec::with_int_columns("t", 2, 10)).is_err());
+        cat.create_table(TableSpec::with_int_columns("t", 1, 10))
+            .unwrap();
+        assert!(cat
+            .create_table(TableSpec::with_int_columns("t", 2, 10))
+            .is_err());
     }
 
     #[test]
     fn column_ids_are_globally_unique() {
         let mut cat = catalog();
-        let a = cat.create_table(TableSpec::with_int_columns("a", 2, 10)).unwrap();
-        let b = cat.create_table(TableSpec::with_int_columns("b", 2, 10)).unwrap();
+        let a = cat
+            .create_table(TableSpec::with_int_columns("a", 2, 10))
+            .unwrap();
+        let b = cat
+            .create_table(TableSpec::with_int_columns("b", 2, 10))
+            .unwrap();
         let a_cols = &cat.table(a).unwrap().column_ids;
         let b_cols = &cat.table(b).unwrap().column_ids;
         assert_eq!(a_cols, &[ColumnId::new(0), ColumnId::new(1)]);
@@ -181,7 +201,11 @@ mod tests {
             100,
         );
         let id = cat.create_table(spec).unwrap();
-        assert_eq!(cat.resolve_columns(id, &["l_shipdate", "l_quantity"]).unwrap(), vec![1, 0]);
+        assert_eq!(
+            cat.resolve_columns(id, &["l_shipdate", "l_quantity"])
+                .unwrap(),
+            vec![1, 0]
+        );
         let err = cat.resolve_columns(id, &["nope"]).unwrap_err();
         assert!(matches!(err, Error::UnknownColumn { .. }));
     }

@@ -7,14 +7,12 @@
 //! physical width of a column after compression and drives the page-count
 //! calculations in [`crate::layout`].
 
-use serde::{Deserialize, Serialize};
-
 /// Logical type of a column.
 ///
 /// The execution engine represents every value as an `i64` (dictionary /
 /// scaled-decimal encoding); the type only influences the default physical
 /// width and how synthetic data is generated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// 64-bit integer key or measure.
     Int64,
@@ -52,7 +50,7 @@ impl ColumnType {
 }
 
 /// Physical description of one column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnSpec {
     /// Column name (unique within its table).
     pub name: String,
@@ -68,7 +66,11 @@ impl ColumnSpec {
     /// Creates a column with the default width for its type.
     pub fn new(name: impl Into<String>, column_type: ColumnType) -> Self {
         let bytes_per_tuple = column_type.default_width();
-        Self { name: name.into(), column_type, bytes_per_tuple }
+        Self {
+            name: name.into(),
+            column_type,
+            bytes_per_tuple,
+        }
     }
 
     /// Creates a column with an explicit compressed width.
@@ -81,7 +83,11 @@ impl ColumnSpec {
             bytes_per_tuple > 0.0 && bytes_per_tuple.is_finite(),
             "bytes_per_tuple must be positive"
         );
-        Self { name: name.into(), column_type, bytes_per_tuple }
+        Self {
+            name: name.into(),
+            column_type,
+            bytes_per_tuple,
+        }
     }
 
     /// Number of tuples that fit in one page of `page_size_bytes`.

@@ -8,15 +8,13 @@
 //! Appended and checkpointed pages store their values explicitly (see
 //! [`crate::storage`]).
 
-use serde::{Deserialize, Serialize};
-
 /// The value type used throughout the execution engine. Decimals are scaled
 //  integers and strings are dictionary codes, as is usual in columnar
 /// engines.
 pub type Value = i64;
 
 /// A deterministic column generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DataGen {
     /// `start + step * sid`.
     Sequential {
@@ -54,7 +52,9 @@ impl DataGen {
     /// different columns that use the same generator parameters.
     pub fn value(&self, seed: u64, sid: u64) -> Value {
         match *self {
-            DataGen::Sequential { start, step } => start.wrapping_add(step.wrapping_mul(sid as i64)),
+            DataGen::Sequential { start, step } => {
+                start.wrapping_add(step.wrapping_mul(sid as i64))
+            }
             DataGen::Uniform { min, max } => {
                 debug_assert!(max >= min);
                 let span = (max - min) as u64 + 1;
@@ -120,12 +120,19 @@ mod tests {
         for sid in 0..1000 {
             seen[g.value(7, sid) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "1000 draws should hit all 10 values");
+        assert!(
+            seen.iter().all(|&s| s),
+            "1000 draws should hit all 10 values"
+        );
     }
 
     #[test]
     fn cyclic_repeats_with_period() {
-        let g = DataGen::Cyclic { period: 10, min: 100, max: 109 };
+        let g = DataGen::Cyclic {
+            period: 10,
+            min: 100,
+            max: 109,
+        };
         assert_eq!(g.value(0, 0), g.value(0, 10));
         assert_eq!(g.value(0, 3), g.value(0, 13));
         for sid in 0..100 {

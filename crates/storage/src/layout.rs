@@ -40,9 +40,19 @@ impl TableLayout {
         chunk_tuples: u64,
     ) -> Self {
         assert_eq!(spec.columns.len(), column_ids.len());
-        let tuples_per_page =
-            spec.columns.iter().map(|c| c.tuples_per_page(page_size_bytes)).collect();
-        Self { table, spec, column_ids, page_size_bytes, chunk_tuples, tuples_per_page }
+        let tuples_per_page = spec
+            .columns
+            .iter()
+            .map(|c| c.tuples_per_page(page_size_bytes))
+            .collect();
+        Self {
+            table,
+            spec,
+            column_ids,
+            page_size_bytes,
+            chunk_tuples,
+            tuples_per_page,
+        }
     }
 
     /// The table this layout describes.
@@ -227,7 +237,11 @@ impl TableLayout {
                 }
             }
         }
-        ScanPagePlan { table: self.table, total_tuples: ranges.total_tuples(), pages }
+        ScanPagePlan {
+            table: self.table,
+            total_tuples: ranges.total_tuples(),
+            pages,
+        }
     }
 
     /// Total bytes occupied by `tuples` tuples across the given columns
@@ -353,8 +367,11 @@ impl ChunkMap {
 
     /// Total number of distinct pages across all chunks.
     pub fn total_pages(&self) -> usize {
-        let mut all: Vec<PageId> =
-            self.chunk_pages.iter().flat_map(|v| v.iter().copied()).collect();
+        let mut all: Vec<PageId> = self
+            .chunk_pages
+            .iter()
+            .flat_map(|v| v.iter().copied())
+            .collect();
         all.sort_unstable();
         all.dedup();
         all.len()
@@ -369,7 +386,11 @@ mod tests {
     use scanshare_common::SnapshotId;
 
     /// Two columns with very different widths: 8 bytes/tuple and 0.5 bytes/tuple.
-    fn test_layout(page_size: u64, chunk_tuples: u64, base_tuples: u64) -> (Arc<TableLayout>, Snapshot) {
+    fn test_layout(
+        page_size: u64,
+        chunk_tuples: u64,
+        base_tuples: u64,
+    ) -> (Arc<TableLayout>, Snapshot) {
         let spec = TableSpec::new(
             "t",
             vec![
@@ -403,9 +424,15 @@ mod tests {
         assert_eq!(layout.page_index_for_sid(0, 0), 0);
         assert_eq!(layout.page_index_for_sid(0, 127), 0);
         assert_eq!(layout.page_index_for_sid(0, 128), 1);
-        assert_eq!(layout.sid_range_of_page(0, 1, 10_000), TupleRange::new(128, 256));
+        assert_eq!(
+            layout.sid_range_of_page(0, 1, 10_000),
+            TupleRange::new(128, 256)
+        );
         // Last page is clamped to the stable tuple count.
-        assert_eq!(layout.sid_range_of_page(0, 78, 10_000), TupleRange::new(9984, 10_000));
+        assert_eq!(
+            layout.sid_range_of_page(0, 78, 10_000),
+            TupleRange::new(9984, 10_000)
+        );
     }
 
     #[test]
@@ -414,9 +441,15 @@ mod tests {
         assert_eq!(layout.chunk_count(10_500), 11);
         assert_eq!(layout.chunk_of_sid(999), ChunkId::new(0));
         assert_eq!(layout.chunk_of_sid(1000), ChunkId::new(1));
-        assert_eq!(layout.chunk_sid_range(ChunkId::new(10), 10_500), TupleRange::new(10_000, 10_500));
+        assert_eq!(
+            layout.chunk_sid_range(ChunkId::new(10), 10_500),
+            TupleRange::new(10_000, 10_500)
+        );
         let chunks = layout.chunks_for_ranges(&RangeList::single(500, 2500), 10_500);
-        assert_eq!(chunks, vec![ChunkId::new(0), ChunkId::new(1), ChunkId::new(2)]);
+        assert_eq!(
+            chunks,
+            vec![ChunkId::new(0), ChunkId::new(1), ChunkId::new(2)]
+        );
     }
 
     #[test]
@@ -436,7 +469,10 @@ mod tests {
         // Only the narrow column: a single page covers more than two chunks.
         let narrow_chunk0 = layout.pages_for_chunk(&snap, &[1], ChunkId::new(0));
         let narrow_chunk1 = layout.pages_for_chunk(&snap, &[1], ChunkId::new(1));
-        assert_eq!(narrow_chunk0, narrow_chunk1, "one page spans adjacent chunks");
+        assert_eq!(
+            narrow_chunk0, narrow_chunk1,
+            "one page spans adjacent chunks"
+        );
     }
 
     #[test]

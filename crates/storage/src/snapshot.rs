@@ -15,14 +15,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use scanshare_common::{Error, PageId, Result, SnapshotId, TableId, TupleRange};
 
 use crate::layout::TableLayout;
 
 /// An immutable storage snapshot of one table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
     id: SnapshotId,
     table: TableId,
@@ -64,7 +62,10 @@ impl Snapshot {
 
     /// Page reference `page_index` of column `col`, if it exists.
     pub fn page(&self, col: usize, page_index: u64) -> Option<PageId> {
-        self.column_pages.get(col).and_then(|pages| pages.get(page_index as usize)).copied()
+        self.column_pages
+            .get(col)
+            .and_then(|pages| pages.get(page_index as usize))
+            .copied()
     }
 
     /// All page references of column `col`.
@@ -188,12 +189,18 @@ impl SnapshotStore {
 
     /// Looks up a snapshot by id.
     pub fn snapshot(&self, id: SnapshotId) -> Result<Arc<Snapshot>> {
-        self.snapshots.get(&id).cloned().ok_or(Error::UnknownSnapshot(id))
+        self.snapshots
+            .get(&id)
+            .cloned()
+            .ok_or(Error::UnknownSnapshot(id))
     }
 
     /// The master snapshot id of a table.
     pub fn master_id(&self, table: TableId) -> Result<SnapshotId> {
-        self.masters.get(&table).copied().ok_or(Error::UnknownTable(table))
+        self.masters
+            .get(&table)
+            .copied()
+            .ok_or(Error::UnknownTable(table))
     }
 
     /// The master snapshot of a table.
@@ -228,9 +235,12 @@ impl SnapshotStore {
         let mut new_pages = Vec::new();
 
         if added_tuples > 0 {
-            for col in 0..layout.column_count() {
+            for (col, pages) in column_pages
+                .iter_mut()
+                .enumerate()
+                .take(layout.column_count())
+            {
                 let tpp = layout.tuples_per_page(col);
-                let pages = &mut column_pages[col];
                 // Replace a partial last page (copy-on-write).
                 let first_new_sid;
                 if old_tuples % tpp != 0 && !pages.is_empty() {
@@ -363,7 +373,10 @@ mod tests {
         // The partial page is rewritten, and 1500 tuples need 12 pages total.
         assert_eq!(appended.column_pages(0).len(), 12);
         let prefix = base.common_prefix_pages(&appended);
-        assert_eq!(prefix[0], 7, "partial last page of the wide column is rewritten");
+        assert_eq!(
+            prefix[0], 7,
+            "partial last page of the wide column is rewritten"
+        );
         // Narrow column: 1000 of 1024 used -> its single page is rewritten too.
         assert_eq!(prefix[1], 0);
 

@@ -10,11 +10,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use scanshare_common::sync::RwLock;
 
-use scanshare_common::{
-    Error, PageId, Result, SnapshotId, TableId, TupleRange,
-};
+use scanshare_common::{Error, PageId, Result, SnapshotId, TableId, TupleRange};
 
 use crate::catalog::{Catalog, TableEntry};
 use crate::datagen::{DataGen, Value};
@@ -37,7 +35,9 @@ impl PageData {
     /// Value of `sid`, if the page covers it.
     pub fn value(&self, sid: u64) -> Option<Value> {
         if self.sid_range.contains(sid) {
-            self.values.get((sid - self.sid_range.start) as usize).copied()
+            self.values
+                .get((sid - self.sid_range.start) as usize)
+                .copied()
         } else {
             None
         }
@@ -99,7 +99,10 @@ impl Storage {
         let gens = spec
             .columns
             .iter()
-            .map(|_| DataGen::Uniform { min: 0, max: 10_000 })
+            .map(|_| DataGen::Uniform {
+                min: 0,
+                max: 10_000,
+            })
             .collect();
         self.create_table_with_data(spec, gens)
     }
@@ -191,7 +194,11 @@ impl Storage {
         let sid_range = layout.sid_range_of_page(col, page_index, snapshot.stable_tuples());
         let inner = self.inner.read();
         if let Some(values) = inner.page_data.get(&page) {
-            return Ok(PageData { page, sid_range, values: Arc::clone(values) });
+            return Ok(PageData {
+                page,
+                sid_range,
+                values: Arc::clone(values),
+            });
         }
         // Base page: materialize from the generator.
         let gens = inner
@@ -201,7 +208,11 @@ impl Storage {
         let gen = gens.get(col).copied().unwrap_or(DataGen::Constant(0));
         let seed = inner.seed ^ ((layout.table().raw() as u64) << 32) ^ col as u64;
         let values = Arc::new(gen.materialize(seed, sid_range.start, sid_range.end));
-        Ok(PageData { page, sid_range, values })
+        Ok(PageData {
+            page,
+            sid_range,
+            values,
+        })
     }
 
     /// Convenience: reads the values of a column over a SID range (crossing
@@ -252,7 +263,9 @@ impl Storage {
                 return Err(Error::config("checkpoint values must cover every column"));
             }
             if v.iter().any(|col| col.len() as u64 != new_tuples) {
-                return Err(Error::config("checkpoint column lengths must equal new_tuples"));
+                return Err(Error::config(
+                    "checkpoint column lengths must equal new_tuples",
+                ));
             }
         }
         let (snapshot, new_pages) = inner.snapshots.derive_checkpoint(&layout, new_tuples);
@@ -318,8 +331,7 @@ impl Storage {
         {
             // Collect the old values needed for rewritten partial pages.
             for np in &new_pages {
-                let overlap =
-                    np.sid_range.intersect(&TupleRange::new(0, old_tuples));
+                let overlap = np.sid_range.intersect(&TupleRange::new(0, old_tuples));
                 if overlap.is_empty() {
                     continue;
                 }
@@ -333,7 +345,10 @@ impl Storage {
                     let values = if let Some(v) = inner.page_data.get(&page) {
                         Arc::clone(v)
                     } else {
-                        let gens = inner.datagens.get(&table).ok_or(Error::UnknownTable(table))?;
+                        let gens = inner
+                            .datagens
+                            .get(&table)
+                            .ok_or(Error::UnknownTable(table))?;
                         let gen = gens.get(col).copied().unwrap_or(DataGen::Constant(0));
                         let seed = inner.seed ^ ((table.raw() as u64) << 32) ^ col as u64;
                         Arc::new(gen.materialize(seed, sid_range.start, sid_range.end))
@@ -346,7 +361,9 @@ impl Storage {
         }
         store_new_page_data(&mut inner.page_data, &new_pages, |col, sid| {
             if sid < old_tuples {
-                *existing[col].get(&sid).expect("old value collected for rewritten page")
+                *existing[col]
+                    .get(&sid)
+                    .expect("old value collected for rewritten page")
             } else {
                 rows[col][(sid - old_tuples) as usize]
             }
@@ -362,8 +379,9 @@ fn store_new_page_data(
     value_of: impl Fn(usize, u64) -> Value,
 ) {
     for np in new_pages {
-        let values: Vec<Value> =
-            (np.sid_range.start..np.sid_range.end).map(|sid| value_of(np.column_index, sid)).collect();
+        let values: Vec<Value> = (np.sid_range.start..np.sid_range.end)
+            .map(|sid| value_of(np.column_index, sid))
+            .collect();
         page_data.insert(np.page, Arc::new(values));
     }
 }
@@ -402,7 +420,9 @@ impl AppendTransaction {
         if !self.open {
             return Err(Error::TransactionClosed);
         }
-        self.working = self.storage.append_to_snapshot(self.table, &self.working, rows)?;
+        self.working = self
+            .storage
+            .append_to_snapshot(self.table, &self.working, rows)?;
         Ok(())
     }
 
@@ -412,7 +432,8 @@ impl AppendTransaction {
             return Err(Error::TransactionClosed);
         }
         self.open = false;
-        self.storage.commit_append(self.table, self.base_master, &self.working)
+        self.storage
+            .commit_append(self.table, self.base_master, &self.working)
     }
 
     /// Aborts the transaction. Its snapshot stays registered (other
@@ -449,14 +470,21 @@ mod tests {
         let id = storage
             .create_table_with_data(
                 two_col_spec(1000),
-                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(5)],
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Constant(5),
+                ],
             )
             .unwrap();
         let layout = storage.layout(id).unwrap();
         let snap = storage.master_snapshot(id).unwrap();
-        let a = storage.read_range(&layout, &snap, 0, TupleRange::new(100, 105)).unwrap();
+        let a = storage
+            .read_range(&layout, &snap, 0, TupleRange::new(100, 105))
+            .unwrap();
         assert_eq!(a, vec![100, 101, 102, 103, 104]);
-        let b = storage.read_range(&layout, &snap, 1, TupleRange::new(0, 3)).unwrap();
+        let b = storage
+            .read_range(&layout, &snap, 1, TupleRange::new(0, 3))
+            .unwrap();
         assert_eq!(b, vec![5, 5, 5]);
     }
 
@@ -466,15 +494,18 @@ mod tests {
         let id = storage.create_table(two_col_spec(100)).unwrap();
         let layout = storage.layout(id).unwrap();
         let snap = storage.master_snapshot(id).unwrap();
-        let v = storage.read_range(&layout, &snap, 0, TupleRange::new(90, 500)).unwrap();
+        let v = storage
+            .read_range(&layout, &snap, 0, TupleRange::new(90, 500))
+            .unwrap();
         assert_eq!(v.len(), 10);
     }
 
     #[test]
     fn generator_count_must_match_columns() {
         let storage = small_storage();
-        let err =
-            storage.create_table_with_data(two_col_spec(10), vec![DataGen::Constant(1)]).unwrap_err();
+        let err = storage
+            .create_table_with_data(two_col_spec(10), vec![DataGen::Constant(1)])
+            .unwrap_err();
         assert!(err.to_string().contains("generators"));
     }
 
@@ -484,21 +515,29 @@ mod tests {
         let id = storage
             .create_table_with_data(
                 two_col_spec(1000),
-                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(5)],
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Constant(5),
+                ],
             )
             .unwrap();
         let layout = storage.layout(id).unwrap();
         let before = storage.master_snapshot(id).unwrap();
 
         let mut tx = storage.begin_append(id).unwrap();
-        tx.append_rows(&[vec![-1, -2, -3], vec![50, 51, 52]]).unwrap();
+        tx.append_rows(&[vec![-1, -2, -3], vec![50, 51, 52]])
+            .unwrap();
         // The transaction sees its own appended rows before commit.
         let local = tx.snapshot();
         assert_eq!(local.stable_tuples(), 1003);
-        let tail = storage.read_range(&layout, &local, 0, TupleRange::new(1000, 1003)).unwrap();
+        let tail = storage
+            .read_range(&layout, &local, 0, TupleRange::new(1000, 1003))
+            .unwrap();
         assert_eq!(tail, vec![-1, -2, -3]);
         // Old values on the rewritten partial page are preserved.
-        let old = storage.read_range(&layout, &local, 0, TupleRange::new(995, 1000)).unwrap();
+        let old = storage
+            .read_range(&layout, &local, 0, TupleRange::new(995, 1000))
+            .unwrap();
         assert_eq!(old, vec![995, 996, 997, 998, 999]);
 
         // Other transactions still see the old master until commit.
@@ -558,7 +597,10 @@ mod tests {
         let id = storage
             .create_table_with_data(
                 two_col_spec(1000),
-                vec![DataGen::Sequential { start: 0, step: 1 }, DataGen::Constant(5)],
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Constant(5),
+                ],
             )
             .unwrap();
         let layout = storage.layout(id).unwrap();
@@ -567,10 +609,14 @@ mod tests {
         let ckpt = storage.install_checkpoint(id, 900, Some(new_vals)).unwrap();
         assert_eq!(storage.master_snapshot(id).unwrap().id(), ckpt.id());
         assert_eq!(old.common_prefix_pages(&ckpt).iter().sum::<usize>(), 0);
-        let v = storage.read_range(&layout, &ckpt, 0, TupleRange::new(10, 13)).unwrap();
+        let v = storage
+            .read_range(&layout, &ckpt, 0, TupleRange::new(10, 13))
+            .unwrap();
         assert_eq!(v, vec![20, 22, 24]);
         // The old snapshot still reads its original data.
-        let v_old = storage.read_range(&layout, &old, 0, TupleRange::new(10, 13)).unwrap();
+        let v_old = storage
+            .read_range(&layout, &old, 0, TupleRange::new(10, 13))
+            .unwrap();
         assert_eq!(v_old, vec![10, 11, 12]);
     }
 
@@ -578,8 +624,12 @@ mod tests {
     fn checkpoint_value_shape_is_validated() {
         let storage = small_storage();
         let id = storage.create_table(two_col_spec(10)).unwrap();
-        assert!(storage.install_checkpoint(id, 5, Some(vec![vec![1; 5]])).is_err());
-        assert!(storage.install_checkpoint(id, 5, Some(vec![vec![1; 4], vec![1; 5]])).is_err());
+        assert!(storage
+            .install_checkpoint(id, 5, Some(vec![vec![1; 5]]))
+            .is_err());
+        assert!(storage
+            .install_checkpoint(id, 5, Some(vec![vec![1; 4], vec![1; 5]]))
+            .is_err());
         assert!(storage.install_checkpoint(id, 5, None).is_ok());
     }
 

@@ -1,12 +1,10 @@
 //! Table specifications.
 
-use serde::{Deserialize, Serialize};
-
 use crate::column::{ColumnSpec, ColumnType};
 use scanshare_common::{Error, Result};
 
 /// Logical and physical description of a table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableSpec {
     /// Table name (unique within the catalog).
     pub name: String,
@@ -20,14 +18,19 @@ pub struct TableSpec {
 impl TableSpec {
     /// Creates a table spec.
     pub fn new(name: impl Into<String>, columns: Vec<ColumnSpec>, base_tuples: u64) -> Self {
-        Self { name: name.into(), columns, base_tuples }
+        Self {
+            name: name.into(),
+            columns,
+            base_tuples,
+        }
     }
 
     /// Convenience constructor: `n` identical Int64 columns named `c0..cN`.
     /// Useful in tests and microbenchmarks.
     pub fn with_int_columns(name: impl Into<String>, n: usize, base_tuples: u64) -> Self {
-        let columns =
-            (0..n).map(|i| ColumnSpec::new(format!("c{i}"), ColumnType::Int64)).collect();
+        let columns = (0..n)
+            .map(|i| ColumnSpec::new(format!("c{i}"), ColumnType::Int64))
+            .collect();
         Self::new(name, columns, base_tuples)
     }
 
@@ -39,10 +42,13 @@ impl TableSpec {
     /// Looks up a column by name, returning an error naming the table when
     /// it does not exist.
     pub fn column(&self, name: &str) -> Result<&ColumnSpec> {
-        self.columns.iter().find(|c| c.name == name).ok_or_else(|| Error::UnknownColumn {
-            table: scanshare_common::TableId::new(u32::MAX),
-            column: name.to_string(),
-        })
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| Error::UnknownColumn {
+                table: scanshare_common::TableId::new(u32::MAX),
+                column: name.to_string(),
+            })
     }
 
     /// Total compressed bytes per tuple across all columns.
@@ -67,7 +73,10 @@ impl TableSpec {
         names.sort_unstable();
         names.dedup();
         if names.len() != self.columns.len() {
-            return Err(Error::config(format!("table {} has duplicate column names", self.name)));
+            return Err(Error::config(format!(
+                "table {} has duplicate column names",
+                self.name
+            )));
         }
         Ok(())
     }
@@ -104,7 +113,10 @@ mod tests {
     fn validate_rejects_duplicates_and_empties() {
         let dup = TableSpec::new(
             "t",
-            vec![ColumnSpec::new("a", ColumnType::Int64), ColumnSpec::new("a", ColumnType::Int64)],
+            vec![
+                ColumnSpec::new("a", ColumnType::Int64),
+                ColumnSpec::new("a", ColumnType::Int64),
+            ],
             10,
         );
         assert!(dup.validate().is_err());

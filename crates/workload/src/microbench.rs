@@ -8,8 +8,6 @@
 //! streams, buffer pool of 40 % of the accessed volume, 700 MB/s of I/O
 //! bandwidth (those last two live in the simulator configuration).
 
-use serde::{Deserialize, Serialize};
-
 use scanshare_common::{RangeList, Result, TableId, TupleRange};
 use scanshare_storage::column::{ColumnSpec, ColumnType};
 use scanshare_storage::datagen::{splitmix64, DataGen};
@@ -19,7 +17,7 @@ use scanshare_storage::table::TableSpec;
 use crate::spec::{QuerySpec, ScanSpec, StreamSpec, WorkloadSpec};
 
 /// Configuration of the microbenchmark generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MicrobenchConfig {
     /// Number of concurrent streams (the paper sweeps 1–32, default 8).
     pub streams: usize,
@@ -101,12 +99,27 @@ pub fn lineitem_spec(tuples: u64) -> TableSpec {
 pub fn lineitem_generators() -> Vec<DataGen> {
     vec![
         DataGen::Uniform { min: 1, max: 50 },
-        DataGen::Uniform { min: 100, max: 100_000 },
+        DataGen::Uniform {
+            min: 100,
+            max: 100_000,
+        },
         DataGen::Uniform { min: 0, max: 10 },
         DataGen::Uniform { min: 0, max: 8 },
-        DataGen::Cyclic { period: 3, min: 0, max: 2 },
-        DataGen::Cyclic { period: 2, min: 0, max: 1 },
-        DataGen::Cyclic { period: 2526, min: 8000, max: 10_500 },
+        DataGen::Cyclic {
+            period: 3,
+            min: 0,
+            max: 2,
+        },
+        DataGen::Cyclic {
+            period: 2,
+            min: 0,
+            max: 1,
+        },
+        DataGen::Cyclic {
+            period: 2526,
+            min: 8000,
+            max: 10_500,
+        },
     ]
 }
 
@@ -161,11 +174,17 @@ pub fn generate(config: &MicrobenchConfig, lineitem: TableId) -> WorkloadSpec {
                     }
                 })
                 .collect();
-            StreamSpec { label: format!("stream-{s}"), queries }
+            StreamSpec {
+                label: format!("stream-{s}"),
+                queries,
+            }
         })
         .collect();
 
-    WorkloadSpec { name: format!("microbench-{}streams", config.streams), streams }
+    WorkloadSpec {
+        name: format!("microbench-{}streams", config.streams),
+        streams,
+    }
 }
 
 /// Convenience: creates the storage, the `lineitem` table and the workload in
@@ -207,7 +226,10 @@ mod tests {
         let (_s1, w1) = build(&config, 64 * 1024, 10_000).unwrap();
         let (_s2, w2) = build(&config, 64 * 1024, 10_000).unwrap();
         assert_eq!(w1, w2);
-        let other = MicrobenchConfig { seed: 99, ..MicrobenchConfig::tiny() };
+        let other = MicrobenchConfig {
+            seed: 99,
+            ..MicrobenchConfig::tiny()
+        };
         let (_s3, w3) = build(&other, 64 * 1024, 10_000).unwrap();
         assert_ne!(w1, w3);
     }
@@ -234,7 +256,10 @@ mod tests {
             .flat_map(|s| &s.queries)
             .map(|q| q.scans[0].ranges.ranges()[0].start)
             .collect();
-        assert!(starts.len() > 10, "query ranges should start at many distinct positions");
+        assert!(
+            starts.len() > 10,
+            "query ranges should start at many distinct positions"
+        );
     }
 
     #[test]

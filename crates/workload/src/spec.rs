@@ -1,11 +1,9 @@
 //! Workload specification types.
 
-use serde::{Deserialize, Serialize};
-
 use scanshare_common::{RangeList, TableId};
 
 /// One range scan performed by a query.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanSpec {
     /// The scanned table.
     pub table: TableId,
@@ -23,7 +21,7 @@ impl ScanSpec {
 }
 
 /// One query of a workload stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// Human-readable label ("Q01", "micro-q6-50%", ...).
     pub label: String,
@@ -43,7 +41,7 @@ impl QuerySpec {
 }
 
 /// A stream: a sequence of queries executed back to back by one client.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamSpec {
     /// Stream label.
     pub label: String,
@@ -52,7 +50,7 @@ pub struct StreamSpec {
 }
 
 /// A complete workload: several concurrent streams.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Workload name used in reports.
     pub name: String,
@@ -73,7 +71,11 @@ impl WorkloadSpec {
 
     /// Total tuples scanned by the whole workload.
     pub fn total_tuples(&self) -> u64 {
-        self.streams.iter().flat_map(|s| &s.queries).map(QuerySpec::total_tuples).sum()
+        self.streams
+            .iter()
+            .flat_map(|s| &s.queries)
+            .map(QuerySpec::total_tuples)
+            .sum()
     }
 }
 
@@ -90,10 +92,20 @@ mod tests {
             ranges: RangeList::from_ranges([TupleRange::new(0, 100), TupleRange::new(200, 250)]),
         };
         assert_eq!(scan.total_tuples(), 150);
-        let query = QuerySpec { label: "q".into(), scans: vec![scan.clone(), scan], cpu_factor: 1.0 };
+        let query = QuerySpec {
+            label: "q".into(),
+            scans: vec![scan.clone(), scan],
+            cpu_factor: 1.0,
+        };
         assert_eq!(query.total_tuples(), 300);
-        let stream = StreamSpec { label: "s".into(), queries: vec![query.clone(), query] };
-        let workload = WorkloadSpec { name: "w".into(), streams: vec![stream.clone(), stream] };
+        let stream = StreamSpec {
+            label: "s".into(),
+            queries: vec![query.clone(), query],
+        };
+        let workload = WorkloadSpec {
+            name: "w".into(),
+            streams: vec![stream.clone(), stream],
+        };
         assert_eq!(workload.stream_count(), 2);
         assert_eq!(workload.query_count(), 4);
         assert_eq!(workload.total_tuples(), 1200);

@@ -14,8 +14,6 @@
 //! with data generators so the execution engine can also run real queries
 //! against it at small scale.
 
-use serde::{Deserialize, Serialize};
-
 use scanshare_common::{RangeList, Result, TableId, TupleRange};
 use scanshare_storage::column::{ColumnSpec, ColumnType};
 use scanshare_storage::datagen::{splitmix64, DataGen};
@@ -25,7 +23,7 @@ use scanshare_storage::table::TableSpec;
 use crate::spec::{QuerySpec, ScanSpec, StreamSpec, WorkloadSpec};
 
 /// Configuration of the TPC-H-like workload generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TpchConfig {
     /// Number of concurrent streams (the paper runs up to 24).
     pub streams: usize,
@@ -38,14 +36,22 @@ pub struct TpchConfig {
 
 impl Default for TpchConfig {
     fn default() -> Self {
-        Self { streams: 8, lineitem_tuples: 1_200_000, seed: 0x7c9 }
+        Self {
+            streams: 8,
+            lineitem_tuples: 1_200_000,
+            seed: 0x7c9,
+        }
     }
 }
 
 impl TpchConfig {
     /// A reduced configuration for unit tests.
     pub fn tiny() -> Self {
-        Self { streams: 2, lineitem_tuples: 60_000, seed: 3 }
+        Self {
+            streams: 2,
+            lineitem_tuples: 60_000,
+            seed: 3,
+        }
     }
 
     /// Returns a copy with a different stream count (Figure 16 sweep).
@@ -148,7 +154,7 @@ impl TpchTable {
                     4 => (ColumnType::Dict { cardinality: 8 }, 0.5),
                     _ => (ColumnType::Varchar { avg_len: 12 }, 12.0),
                 };
-                ColumnSpec::with_width(format!("{}_c{i}", self.name(), ), ty, width)
+                ColumnSpec::with_width(format!("{}_c{i}", self.name(),), ty, width)
             })
             .collect();
         TableSpec::new(self.name(), columns, tuples)
@@ -159,11 +165,25 @@ impl TpchTable {
         (0..self.column_count())
             .map(|i| match i % 6 {
                 0 => DataGen::Sequential { start: 0, step: 1 },
-                1 => DataGen::Uniform { min: 100, max: 100_000 },
+                1 => DataGen::Uniform {
+                    min: 100,
+                    max: 100_000,
+                },
                 2 => DataGen::Uniform { min: 0, max: 100 },
-                3 => DataGen::Cyclic { period: 2526, min: 8000, max: 10_500 },
-                4 => DataGen::Cyclic { period: 8, min: 0, max: 7 },
-                _ => DataGen::Uniform { min: 0, max: 1 << 20 },
+                3 => DataGen::Cyclic {
+                    period: 2526,
+                    min: 8000,
+                    max: 10_500,
+                },
+                4 => DataGen::Cyclic {
+                    period: 8,
+                    min: 0,
+                    max: 7,
+                },
+                _ => DataGen::Uniform {
+                    min: 0,
+                    max: 1 << 20,
+                },
             })
             .collect()
     }
@@ -185,29 +205,131 @@ struct Access {
 /// relative to a plain scan-aggregate query.
 fn query_templates() -> Vec<(&'static str, Vec<Access>, f64)> {
     use TpchTable::*;
-    let a = |table, columns, fraction| Access { table, columns, fraction };
+    let a = |table, columns, fraction| Access {
+        table,
+        columns,
+        fraction,
+    };
     vec![
         ("Q01", vec![a(Lineitem, 7, 0.98)], 2.2),
-        ("Q02", vec![a(Part, 5, 1.0), a(Partsupp, 4, 1.0), a(Supplier, 5, 1.0), a(Nation, 2, 1.0), a(Region, 2, 1.0)], 1.6),
-        ("Q03", vec![a(Customer, 3, 1.0), a(Orders, 5, 0.5), a(Lineitem, 4, 0.55)], 1.8),
+        (
+            "Q02",
+            vec![
+                a(Part, 5, 1.0),
+                a(Partsupp, 4, 1.0),
+                a(Supplier, 5, 1.0),
+                a(Nation, 2, 1.0),
+                a(Region, 2, 1.0),
+            ],
+            1.6,
+        ),
+        (
+            "Q03",
+            vec![a(Customer, 3, 1.0), a(Orders, 5, 0.5), a(Lineitem, 4, 0.55)],
+            1.8,
+        ),
         ("Q04", vec![a(Orders, 4, 0.1), a(Lineitem, 3, 0.12)], 1.4),
-        ("Q05", vec![a(Customer, 3, 1.0), a(Orders, 3, 0.15), a(Lineitem, 4, 0.3), a(Supplier, 3, 1.0), a(Nation, 3, 1.0), a(Region, 2, 1.0)], 1.9),
+        (
+            "Q05",
+            vec![
+                a(Customer, 3, 1.0),
+                a(Orders, 3, 0.15),
+                a(Lineitem, 4, 0.3),
+                a(Supplier, 3, 1.0),
+                a(Nation, 3, 1.0),
+                a(Region, 2, 1.0),
+            ],
+            1.9,
+        ),
         ("Q06", vec![a(Lineitem, 4, 0.15)], 1.0),
-        ("Q07", vec![a(Supplier, 3, 1.0), a(Lineitem, 5, 0.3), a(Orders, 2, 1.0), a(Customer, 2, 1.0), a(Nation, 2, 1.0)], 2.0),
-        ("Q08", vec![a(Part, 3, 1.0), a(Supplier, 2, 1.0), a(Lineitem, 5, 0.3), a(Orders, 3, 0.3), a(Customer, 2, 1.0), a(Nation, 2, 1.0), a(Region, 2, 1.0)], 2.1),
-        ("Q09", vec![a(Part, 3, 1.0), a(Supplier, 2, 1.0), a(Lineitem, 6, 1.0), a(Partsupp, 3, 1.0), a(Orders, 2, 1.0), a(Nation, 2, 1.0)], 2.5),
-        ("Q10", vec![a(Customer, 6, 1.0), a(Orders, 4, 0.04), a(Lineitem, 4, 0.06), a(Nation, 2, 1.0)], 1.7),
-        ("Q11", vec![a(Partsupp, 4, 1.0), a(Supplier, 3, 1.0), a(Nation, 2, 1.0)], 1.3),
+        (
+            "Q07",
+            vec![
+                a(Supplier, 3, 1.0),
+                a(Lineitem, 5, 0.3),
+                a(Orders, 2, 1.0),
+                a(Customer, 2, 1.0),
+                a(Nation, 2, 1.0),
+            ],
+            2.0,
+        ),
+        (
+            "Q08",
+            vec![
+                a(Part, 3, 1.0),
+                a(Supplier, 2, 1.0),
+                a(Lineitem, 5, 0.3),
+                a(Orders, 3, 0.3),
+                a(Customer, 2, 1.0),
+                a(Nation, 2, 1.0),
+                a(Region, 2, 1.0),
+            ],
+            2.1,
+        ),
+        (
+            "Q09",
+            vec![
+                a(Part, 3, 1.0),
+                a(Supplier, 2, 1.0),
+                a(Lineitem, 6, 1.0),
+                a(Partsupp, 3, 1.0),
+                a(Orders, 2, 1.0),
+                a(Nation, 2, 1.0),
+            ],
+            2.5,
+        ),
+        (
+            "Q10",
+            vec![
+                a(Customer, 6, 1.0),
+                a(Orders, 4, 0.04),
+                a(Lineitem, 4, 0.06),
+                a(Nation, 2, 1.0),
+            ],
+            1.7,
+        ),
+        (
+            "Q11",
+            vec![a(Partsupp, 4, 1.0), a(Supplier, 3, 1.0), a(Nation, 2, 1.0)],
+            1.3,
+        ),
         ("Q12", vec![a(Orders, 3, 1.0), a(Lineitem, 5, 0.17)], 1.4),
         ("Q13", vec![a(Customer, 2, 1.0), a(Orders, 3, 1.0)], 1.8),
         ("Q14", vec![a(Lineitem, 4, 0.013), a(Part, 3, 1.0)], 1.2),
         ("Q15", vec![a(Lineitem, 4, 0.04), a(Supplier, 4, 1.0)], 1.3),
-        ("Q16", vec![a(Partsupp, 3, 1.0), a(Part, 4, 1.0), a(Supplier, 2, 1.0)], 1.5),
+        (
+            "Q16",
+            vec![a(Partsupp, 3, 1.0), a(Part, 4, 1.0), a(Supplier, 2, 1.0)],
+            1.5,
+        ),
         ("Q17", vec![a(Lineitem, 3, 1.0), a(Part, 3, 0.01)], 1.6),
-        ("Q18", vec![a(Customer, 2, 1.0), a(Orders, 4, 1.0), a(Lineitem, 3, 1.0)], 2.3),
+        (
+            "Q18",
+            vec![a(Customer, 2, 1.0), a(Orders, 4, 1.0), a(Lineitem, 3, 1.0)],
+            2.3,
+        ),
         ("Q19", vec![a(Lineitem, 6, 0.02), a(Part, 4, 0.02)], 1.2),
-        ("Q20", vec![a(Supplier, 3, 1.0), a(Nation, 2, 1.0), a(Partsupp, 3, 1.0), a(Part, 2, 0.01), a(Lineitem, 4, 0.04)], 1.5),
-        ("Q21", vec![a(Supplier, 3, 1.0), a(Lineitem, 4, 1.0), a(Orders, 2, 1.0), a(Nation, 2, 1.0)], 2.4),
+        (
+            "Q20",
+            vec![
+                a(Supplier, 3, 1.0),
+                a(Nation, 2, 1.0),
+                a(Partsupp, 3, 1.0),
+                a(Part, 2, 0.01),
+                a(Lineitem, 4, 0.04),
+            ],
+            1.5,
+        ),
+        (
+            "Q21",
+            vec![
+                a(Supplier, 3, 1.0),
+                a(Lineitem, 4, 1.0),
+                a(Orders, 2, 1.0),
+                a(Nation, 2, 1.0),
+            ],
+            2.4,
+        ),
         ("Q22", vec![a(Customer, 3, 1.0), a(Orders, 2, 1.0)], 1.3),
     ]
 }
@@ -221,7 +343,10 @@ pub struct TpchTables {
 impl TpchTables {
     /// The id of a table.
     pub fn id(&self, table: TpchTable) -> TableId {
-        self.ids[TpchTable::ALL.iter().position(|&t| t == table).expect("known table")]
+        self.ids[TpchTable::ALL
+            .iter()
+            .position(|&t| t == table)
+            .expect("known table")]
     }
 
     /// All table ids.
@@ -271,14 +396,11 @@ pub fn generate(config: &TpchConfig, tables: &TpchTables) -> WorkloadSpec {
                         .iter()
                         .map(|access| {
                             let tuples = access.table.tuples(config.lineitem_tuples);
-                            let span =
-                                ((tuples as f64 * access.fraction) as u64).clamp(1, tuples);
+                            let span = ((tuples as f64 * access.fraction) as u64).clamp(1, tuples);
                             let start = next(tuples.saturating_sub(span).max(1));
                             ScanSpec {
                                 table: tables.id(access.table),
-                                columns: (0..access
-                                    .columns
-                                    .min(access.table.column_count()))
+                                columns: (0..access.columns.min(access.table.column_count()))
                                     .collect(),
                                 ranges: RangeList::from_ranges([TupleRange::new(
                                     start,
@@ -294,11 +416,17 @@ pub fn generate(config: &TpchConfig, tables: &TpchTables) -> WorkloadSpec {
                     }
                 })
                 .collect();
-            StreamSpec { label: format!("tpch-stream-{s}"), queries }
+            StreamSpec {
+                label: format!("tpch-stream-{s}"),
+                queries,
+            }
         })
         .collect();
 
-    WorkloadSpec { name: format!("tpch-throughput-{}streams", config.streams), streams }
+    WorkloadSpec {
+        name: format!("tpch-throughput-{}streams", config.streams),
+        streams,
+    }
 }
 
 /// Convenience: creates the storage, the schema and the workload in one call.
@@ -351,10 +479,16 @@ mod tests {
             assert_eq!(stream.queries.len(), 22);
         }
         // Streams run different permutations.
-        let order_a: Vec<&str> =
-            workload.streams[0].queries.iter().map(|q| q.label.split('#').next().unwrap()).collect();
-        let order_b: Vec<&str> =
-            workload.streams[1].queries.iter().map(|q| q.label.split('#').next().unwrap()).collect();
+        let order_a: Vec<&str> = workload.streams[0]
+            .queries
+            .iter()
+            .map(|q| q.label.split('#').next().unwrap())
+            .collect();
+        let order_b: Vec<&str> = workload.streams[1]
+            .queries
+            .iter()
+            .map(|q| q.label.split('#').next().unwrap())
+            .collect();
         assert_ne!(order_a, order_b);
         // ... but the same set of queries.
         let mut sa = order_a.clone();
@@ -408,6 +542,9 @@ mod tests {
             .filter(|s| s.table == lineitem)
             .map(|s| s.total_tuples())
             .sum();
-        assert!(lineitem_tuples * 2 > total, "lineitem should dominate the workload");
+        assert!(
+            lineitem_tuples * 2 > total,
+            "lineitem should dominate the workload"
+        );
     }
 }

@@ -30,7 +30,10 @@ fn main() {
     let (storage, workload) =
         microbench::build(&micro, page_size, chunk_tuples).expect("build workload");
 
-    println!("concurrent_scans — {} streams x {} queries", micro.streams, micro.queries_per_stream);
+    println!(
+        "concurrent_scans — {} streams x {} queries",
+        micro.streams, micro.queries_per_stream
+    );
 
     // Buffer pool: 40% of the accessed data volume, 700 MB/s of bandwidth
     // (the defaults of the paper's microbenchmark section).
@@ -52,7 +55,10 @@ fn main() {
         accessed as f64 * 0.4 / 1e6
     );
 
-    println!("{:<8} {:>20} {:>18} {:>12}", "policy", "avg stream time [s]", "total I/O [GB]", "hit ratio");
+    println!(
+        "{:<8} {:>20} {:>18} {:>12}",
+        "policy", "avg stream time [s]", "total I/O [GB]", "hit ratio"
+    );
     for policy in ALL_POLICIES {
         let mut config = base.clone();
         config.scanshare.policy = policy;

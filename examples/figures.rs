@@ -27,43 +27,92 @@ fn main() {
     } else {
         ExperimentScale::quick()
     };
-    let requested: Vec<u32> =
-        args.iter().filter_map(|a| a.parse().ok()).collect::<Vec<u32>>();
+    let requested: Vec<u32> = args
+        .iter()
+        .filter_map(|a| a.parse().ok())
+        .collect::<Vec<u32>>();
     let wanted = |fig: u32| requested.is_empty() || requested.contains(&fig);
 
-    println!("scanshare figure harness (scale: {} lineitem tuples micro / {} tpch)\n",
-        scale.micro_lineitem_tuples, scale.tpch_lineitem_tuples);
+    println!(
+        "scanshare figure harness (scale: {} lineitem tuples micro / {} tpch)\n",
+        scale.micro_lineitem_tuples, scale.tpch_lineitem_tuples
+    );
 
     if wanted(11) {
         let rows = fig11_micro_buffer_sweep(&scale).expect("fig11");
-        println!("{}", format_rows("Figure 11: microbenchmark, varying the buffer pool size", &rows));
+        println!(
+            "{}",
+            format_rows(
+                "Figure 11: microbenchmark, varying the buffer pool size",
+                &rows
+            )
+        );
     }
     if wanted(12) {
         let rows = fig12_micro_bandwidth_sweep(&scale).expect("fig12");
-        println!("{}", format_rows("Figure 12: microbenchmark, varying the I/O bandwidth", &rows));
+        println!(
+            "{}",
+            format_rows(
+                "Figure 12: microbenchmark, varying the I/O bandwidth",
+                &rows
+            )
+        );
     }
     if wanted(13) {
         let rows = fig13_micro_stream_sweep(&scale).expect("fig13");
-        println!("{}", format_rows("Figure 13: microbenchmark, varying the number of streams", &rows));
+        println!(
+            "{}",
+            format_rows(
+                "Figure 13: microbenchmark, varying the number of streams",
+                &rows
+            )
+        );
     }
     if wanted(14) {
         let rows = fig14_tpch_buffer_sweep(&scale).expect("fig14");
-        println!("{}", format_rows("Figure 14: TPC-H throughput, varying the buffer pool size", &rows));
+        println!(
+            "{}",
+            format_rows(
+                "Figure 14: TPC-H throughput, varying the buffer pool size",
+                &rows
+            )
+        );
     }
     if wanted(15) {
         let rows = fig15_tpch_bandwidth_sweep(&scale).expect("fig15");
-        println!("{}", format_rows("Figure 15: TPC-H throughput, varying the I/O bandwidth", &rows));
+        println!(
+            "{}",
+            format_rows(
+                "Figure 15: TPC-H throughput, varying the I/O bandwidth",
+                &rows
+            )
+        );
     }
     if wanted(16) {
         let rows = fig16_tpch_stream_sweep(&scale).expect("fig16");
-        println!("{}", format_rows("Figure 16: TPC-H throughput, varying the number of streams", &rows));
+        println!(
+            "{}",
+            format_rows(
+                "Figure 16: TPC-H throughput, varying the number of streams",
+                &rows
+            )
+        );
     }
     if wanted(17) {
         let profile = fig17_sharing_micro(&scale).expect("fig17");
-        println!("{}", format_sharing("Figure 17: sharing potential in the microbenchmark", &profile));
+        println!(
+            "{}",
+            format_sharing(
+                "Figure 17: sharing potential in the microbenchmark",
+                &profile
+            )
+        );
     }
     if wanted(18) {
         let profile = fig18_sharing_tpch(&scale).expect("fig18");
-        println!("{}", format_sharing("Figure 18: sharing potential in TPC-H throughput", &profile));
+        println!(
+            "{}",
+            format_sharing("Figure 18: sharing potential in TPC-H throughput", &profile)
+        );
     }
 }

@@ -19,15 +19,26 @@ fn build_storage() -> (Arc<Storage>, TableId) {
                     ColumnSpec::with_width("l_orderkey", ColumnType::Int64, 4.0),
                     ColumnSpec::with_width("l_quantity", ColumnType::Decimal, 2.0),
                     ColumnSpec::with_width("l_extendedprice", ColumnType::Decimal, 4.0),
-                    ColumnSpec::with_width("l_returnflag", ColumnType::Dict { cardinality: 3 }, 0.5),
+                    ColumnSpec::with_width(
+                        "l_returnflag",
+                        ColumnType::Dict { cardinality: 3 },
+                        0.5,
+                    ),
                 ],
                 2_000_000,
             ),
             vec![
                 DataGen::Sequential { start: 1, step: 1 },
                 DataGen::Uniform { min: 1, max: 50 },
-                DataGen::Uniform { min: 100, max: 100_000 },
-                DataGen::Cyclic { period: 3, min: 0, max: 2 },
+                DataGen::Uniform {
+                    min: 100,
+                    max: 100_000,
+                },
+                DataGen::Cyclic {
+                    period: 3,
+                    min: 0,
+                    max: 2,
+                },
             ],
         )
         .expect("create table");
@@ -58,20 +69,25 @@ fn main() {
         //                 FROM lineitem WHERE l_quantity <= 25 GROUP BY l_returnflag
         // ... executed twice by "two users", so the second run can reuse the
         // buffer contents left behind by the first.
-        let spec = AggrSpec::grouped(3, vec![Aggregate::Sum(1), Aggregate::Count]);
-        let filter = Some(Predicate::new(1, CompareOp::Le, 25));
         let mut checksum = 0i64;
         for _user in 0..2 {
-            let result = parallel_scan_aggregate(
-                &engine,
-                table,
-                &["l_orderkey", "l_quantity", "l_extendedprice", "l_returnflag"],
-                TupleRange::new(0, 2_000_000),
-                4,
-                filter,
-                &spec,
-            )
-            .expect("query");
+            let result = engine
+                .query(table)
+                .columns([
+                    "l_orderkey",
+                    "l_quantity",
+                    "l_extendedprice",
+                    "l_returnflag",
+                ])
+                .range(..)
+                .filter(Predicate::new(1, CompareOp::Le, 25))
+                .aggregate(AggrSpec::grouped(
+                    3,
+                    vec![Aggregate::Sum(1), Aggregate::Count],
+                ))
+                .parallelism(4)
+                .run()
+                .expect("query");
             checksum = result.values().map(|g| g.accumulators[0]).sum();
         }
 
@@ -86,5 +102,8 @@ fn main() {
         );
     }
 
-    println!("\nAll policies return identical results; the scan-aware ones do less I/O.");
+    println!(
+        "\nAll policies return identical results; PBM exploits the second user's \
+         overlap for the least I/O."
+    );
 }

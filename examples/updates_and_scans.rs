@@ -39,16 +39,14 @@ fn build_storage() -> (Arc<Storage>, TableId) {
 }
 
 fn count_and_sum(engine: &Arc<Engine>, table: TableId, rows: u64) -> (u64, i64) {
-    let result = parallel_scan_aggregate(
-        engine,
-        table,
-        &["o_orderkey", "o_totalprice"],
-        TupleRange::new(0, rows),
-        4,
-        None,
-        &AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(1)]),
-    )
-    .expect("query");
+    let result = engine
+        .query(table)
+        .columns(["o_orderkey", "o_totalprice"])
+        .range(..rows)
+        .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(1)]))
+        .parallelism(4)
+        .run()
+        .expect("query");
     let g = &result[&0];
     (g.count, g.accumulators[1])
 }
@@ -66,7 +64,10 @@ fn main() {
     // --- 1. Trickle updates through the PDT --------------------------------
     let engine = Engine::new(Arc::clone(&storage), config(PolicyKind::Pbm)).unwrap();
     let before = count_and_sum(&engine, table, engine.visible_rows(table).unwrap());
-    println!("initial:              {} rows, sum(o_totalprice) = {}", before.0, before.1);
+    println!(
+        "initial:              {} rows, sum(o_totalprice) = {}",
+        before.0, before.1
+    );
 
     engine.delete_row(table, 0).unwrap();
     engine.delete_row(table, 0).unwrap();
@@ -74,12 +75,16 @@ fn main() {
     engine.update_value(table, 10, 1, 999_999).unwrap();
     let visible = engine.visible_rows(table).unwrap();
     let after = count_and_sum(&engine, table, visible);
-    println!("after trickle updates: {} rows, sum(o_totalprice) = {}", after.0, after.1);
+    println!(
+        "after trickle updates: {} rows, sum(o_totalprice) = {}",
+        after.0, after.1
+    );
     assert_eq!(after.0, before.0 - 1);
 
     // --- 2. Bulk append under snapshot isolation ----------------------------
     let mut tx = storage.begin_append(table).unwrap();
-    tx.append_rows(&[vec![1_000_000, 1_000_001, 1_000_002], vec![7, 7, 7]]).unwrap();
+    tx.append_rows(&[vec![1_000_000, 1_000_001, 1_000_002], vec![7, 7, 7]])
+        .unwrap();
     let appended_snapshot = tx.snapshot();
     println!(
         "append tx sees {} stable tuples before commit (master still {})",
@@ -111,9 +116,17 @@ fn main() {
     for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
         let engine = Engine::new(Arc::clone(&storage), config(policy)).unwrap();
         let answer = count_and_sum(&engine, table, rows);
-        println!("{:<6} -> {} rows, sum = {}", policy.name(), answer.0, answer.1);
+        println!(
+            "{:<6} -> {} rows, sum = {}",
+            policy.name(),
+            answer.0,
+            answer.1
+        );
         answers.push(answer);
     }
-    assert!(answers.windows(2).all(|w| w[0] == w[1]), "policies must agree");
+    assert!(
+        answers.windows(2).all(|w| w[0] == w[1]),
+        "policies must agree"
+    );
     println!("\nAll buffer-management policies see exactly the same database state.");
 }

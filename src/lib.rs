@@ -12,16 +12,21 @@
 //!   page needed furthest in the future (an online approximation of OPT);
 //! * **Cooperative Scans (CScans)** — an Active Buffer Manager that owns all
 //!   load/evict/dispatch decisions at chunk granularity and hands chunks to
-//!   CScan operators out of order, including the machinery needed in a real
-//!   system: PDT differential updates with SID/RID translation, snapshot
-//!   isolation for bulk appends with shared/local chunks, PDT checkpoints and
+//!   scans out of order, including the machinery needed in a real system:
+//!   PDT differential updates with SID/RID translation, snapshot isolation
+//!   for bulk appends with shared/local chunks, PDT checkpoints and
 //!   intra-query parallelism;
 //! * **LRU** and **OPT (Belady)** baselines;
-//! * a vectorized mini execution engine, workload generators (scan-sharing
+//! * a vectorized mini execution engine whose scans drive any of the above
+//!   through one `ScanBackend` interface, workload generators (scan-sharing
 //!   microbenchmarks and a TPC-H-like throughput run) and a discrete-event
 //!   simulator that regenerates every figure of the paper's evaluation.
 //!
 //! ## Quick start
+//!
+//! Queries are expressed with the builder API: pick an engine policy, then
+//! chain `columns` / `range` / `filter` / `aggregate` / `parallelism` and
+//! call `run`.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -57,19 +62,23 @@
 //! let engine = Engine::new(Arc::clone(&storage), config).unwrap();
 //!
 //! // SELECT count(*), sum(v) FROM t WHERE v <= 50
-//! let result = parallel_scan_aggregate(
-//!     &engine,
-//!     table,
-//!     &["k", "v"],
-//!     TupleRange::new(0, 100_000),
-//!     4,
-//!     Some(Predicate::new(1, CompareOp::Le, 50)),
-//!     &AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(1)]),
-//! )
-//! .unwrap();
+//! let result = engine
+//!     .query(table)
+//!     .columns(["k", "v"])
+//!     .range(..)
+//!     .filter(Predicate::new(1, CompareOp::Le, 50))
+//!     .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(1)]))
+//!     .parallelism(4)
+//!     .run()
+//!     .unwrap();
 //! assert!(result[&0].count > 0);
 //! assert!(engine.buffer_stats().io_bytes > 0);
 //! ```
+//!
+//! Custom replacement policies plug in without touching the engine: register
+//! a factory with a [`PolicyRegistry`](prelude::PolicyRegistry), select it
+//! with `ScanShareConfig::with_custom_policy`, and build the engine with
+//! `Engine::with_registry`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -89,12 +98,20 @@ pub mod prelude {
         Bandwidth, PolicyKind, RangeList, Rid, ScanShareConfig, Sid, TableId, TupleRange,
         VirtualClock, VirtualDuration, VirtualInstant,
     };
+    pub use scanshare_core::backend::{
+        CScanBackend, PooledBackend, ScanBackend, ScanRequest, ScanStep,
+    };
+    pub use scanshare_core::opt::simulate_opt;
+    pub use scanshare_core::registry::PolicyRegistry;
     pub use scanshare_core::{
         Abm, AbmConfig, BufferPool, BufferStats, LruPolicy, PbmConfig, PbmPolicy, ReplacementPolicy,
     };
-    pub use scanshare_core::opt::simulate_opt;
-    pub use scanshare_exec::ops::{aggregate, Aggregate, AggrSpec, BatchSource, CompareOp, Predicate};
-    pub use scanshare_exec::{parallel_scan_aggregate, Batch, Engine};
+    pub use scanshare_exec::ops::{
+        aggregate, AggrSpec, Aggregate, BatchSource, CompareOp, Predicate,
+    };
+    #[allow(deprecated)]
+    pub use scanshare_exec::parallel_scan_aggregate;
+    pub use scanshare_exec::{Batch, Engine, Query};
     pub use scanshare_pdt::{Pdt, PdtStack};
     pub use scanshare_sim::{ExperimentScale, SimConfig, SimResult, Simulation};
     pub use scanshare_storage::datagen::DataGen;
@@ -110,5 +127,6 @@ mod tests {
         let _ = PolicyKind::Pbm;
         let _ = ScanShareConfig::default();
         let _ = TupleRange::new(0, 1);
+        let _ = PolicyRegistry::default();
     }
 }

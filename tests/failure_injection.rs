@@ -28,17 +28,13 @@ fn engine(policy: PolicyKind, storage: &Arc<Storage>) -> Arc<Engine> {
 }
 
 fn count_rows(engine: &Arc<Engine>, table: TableId) -> u64 {
-    let rows = engine.visible_rows(table).unwrap();
-    let result = parallel_scan_aggregate(
-        engine,
-        table,
-        &["l_quantity"],
-        TupleRange::new(0, rows),
-        2,
-        None,
-        &AggrSpec::global(vec![Aggregate::Count]),
-    )
-    .unwrap();
+    let result = engine
+        .query(table)
+        .columns(["l_quantity"])
+        .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+        .parallelism(2)
+        .run()
+        .unwrap();
     result[&0].count
 }
 
@@ -49,13 +45,24 @@ fn aborted_appends_are_never_visible() {
     assert_eq!(count_rows(&engine, table), 20_000);
 
     let mut tx = storage.begin_append(table).unwrap();
-    tx.append_rows(&[vec![1; 500], vec![2; 500], vec![3; 500], vec![4; 500], vec![0; 500], vec![1; 500], vec![9000; 500]])
-        .unwrap();
+    tx.append_rows(&[
+        vec![1; 500],
+        vec![2; 500],
+        vec![3; 500],
+        vec![4; 500],
+        vec![0; 500],
+        vec![1; 500],
+        vec![9000; 500],
+    ])
+    .unwrap();
     // The transaction itself sees its rows ...
     assert_eq!(tx.snapshot().stable_tuples(), 20_500);
     // ... but after abort the master snapshot and every query are unchanged.
     tx.abort();
-    assert_eq!(storage.master_snapshot(table).unwrap().stable_tuples(), 20_000);
+    assert_eq!(
+        storage.master_snapshot(table).unwrap().stable_tuples(),
+        20_000
+    );
     assert_eq!(count_rows(&engine, table), 20_000);
 }
 
@@ -81,7 +88,13 @@ fn abandoning_a_scan_mid_flight_leaves_the_system_usable() {
         let engine = engine(policy, &storage);
         // Start a scan, consume only a couple of batches, then drop it.
         {
-            let mut op = engine.scan(table, &["l_quantity", "l_shipdate"], TupleRange::new(0, 50_000)).unwrap();
+            let mut op = engine
+                .scan(
+                    table,
+                    &["l_quantity", "l_shipdate"],
+                    TupleRange::new(0, 50_000),
+                )
+                .unwrap();
             let first = op.next_batch().unwrap().expect("at least one batch");
             assert!(!first.is_empty());
             let _ = op.next_batch().unwrap();
@@ -98,8 +111,9 @@ fn scans_started_before_a_checkpoint_keep_their_snapshot() {
     let engine = engine(PolicyKind::Pbm, &storage);
 
     // Open a scan on the current state.
-    let mut old_scan =
-        engine.scan(table, &["l_quantity"], TupleRange::new(0, 30_000)).unwrap();
+    let mut old_scan = engine
+        .scan(table, &["l_quantity"], TupleRange::new(0, 30_000))
+        .unwrap();
     let first = old_scan.next_batch().unwrap().expect("batch");
     assert!(!first.is_empty());
 
@@ -150,23 +164,28 @@ fn abm_unregisters_cleanly_when_a_cscan_aborts_half_way() {
         ranges: RangeList::from_ranges([range]),
         in_order: false,
     };
-    let doomed = abm.register_cscan(request(TupleRange::new(0, 40_000))).unwrap();
-    let survivor = abm.register_cscan(request(TupleRange::new(0, 40_000))).unwrap();
+    let doomed = abm
+        .register_cscan(request(TupleRange::new(0, 40_000)))
+        .unwrap();
+    let survivor = abm
+        .register_cscan(request(TupleRange::new(0, 40_000)))
+        .unwrap();
     assert_eq!(abm.registered_scans(), 2);
 
     // Let the doomed scan consume a single chunk, then unregister it.
     let now = VirtualInstant::EPOCH;
     while abm.get_chunk(doomed.id).unwrap().is_none() {
         match abm.next_action(now) {
-            scanshare::core::cscan::AbmAction::Load(plan) => {
-                abm.complete_load(&plan, now).unwrap()
-            }
+            scanshare::core::cscan::AbmAction::Load(plan) => abm.complete_load(&plan, now).unwrap(),
             scanshare::core::cscan::AbmAction::Idle => panic!("nothing to load"),
         }
     }
     abm.unregister_cscan(doomed.id).unwrap();
     assert_eq!(abm.registered_scans(), 1);
-    assert!(abm.get_chunk(doomed.id).is_err(), "the aborted scan is gone");
+    assert!(
+        abm.get_chunk(doomed.id).is_err(),
+        "the aborted scan is gone"
+    );
 
     // The surviving scan still receives every one of its chunks.
     let mut delivered = 0;

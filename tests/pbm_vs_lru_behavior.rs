@@ -32,8 +32,11 @@ fn interleaved_scans(
     let columns: Vec<usize> = vec![0, 1, 2, 6];
     let ranges = RangeList::single(0, snapshot.stable_tuples());
     let plan = layout.scan_page_plan(&snapshot, &columns, &ranges);
-    let pages: Vec<(PageId, u64)> =
-        plan.interleaved().iter().map(|p| (p.page, p.tuple_count)).collect();
+    let pages: Vec<(PageId, u64)> = plan
+        .interleaved()
+        .iter()
+        .map(|p| (p.page, p.tuple_count))
+        .collect();
 
     let mut pool = BufferPool::new(pool_pages, 64 * 1024, policy);
     let now = VirtualInstant::EPOCH;
@@ -117,16 +120,15 @@ fn engine_level_scan_sharing_under_pbm() {
     )
     .unwrap();
     let q6 = |range: TupleRange| {
-        parallel_scan_aggregate(
-            &engine,
-            table,
-            &["l_quantity", "l_extendedprice", "l_discount", "l_shipdate"],
-            range,
-            2,
-            Some(Predicate::new(0, CompareOp::Le, 24)),
-            &AggrSpec::global(vec![Aggregate::Sum(1), Aggregate::Count]),
-        )
-        .unwrap()
+        engine
+            .query(table)
+            .columns(["l_quantity", "l_extendedprice", "l_discount", "l_shipdate"])
+            .tuple_range(range)
+            .filter(Predicate::new(0, CompareOp::Le, 24))
+            .aggregate(AggrSpec::global(vec![Aggregate::Sum(1), Aggregate::Count]))
+            .parallelism(2)
+            .run()
+            .unwrap()
     };
     let full = TupleRange::new(0, 300_000);
     let first = q6(full);
@@ -159,21 +161,25 @@ fn opt_engine_reports_a_lower_bound_for_its_own_trace() {
     )
     .unwrap();
     // Two overlapping scans through the engine.
-    for range in [TupleRange::new(0, 150_000), TupleRange::new(50_000, 150_000)] {
-        let result = parallel_scan_aggregate(
-            &engine,
-            table,
-            &["l_quantity", "l_shipdate"],
-            range,
-            2,
-            None,
-            &AggrSpec::global(vec![Aggregate::Count]),
-        )
-        .unwrap();
+    for range in [
+        TupleRange::new(0, 150_000),
+        TupleRange::new(50_000, 150_000),
+    ] {
+        let result = engine
+            .query(table)
+            .columns(["l_quantity", "l_shipdate"])
+            .tuple_range(range)
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .parallelism(2)
+            .run()
+            .unwrap();
         assert_eq!(result[&0].count, range.len());
     }
     let engine_stats = engine.buffer_stats();
     let opt = engine.opt_result().unwrap();
-    assert!(opt.misses <= engine_stats.misses, "OPT replay cannot miss more than the PBM run");
+    assert!(
+        opt.misses <= engine_stats.misses,
+        "OPT replay cannot miss more than the PBM run"
+    );
     assert!(opt.hits + opt.misses > 0);
 }

@@ -24,11 +24,9 @@ fn lineitem_storage(tuples: u64) -> (Arc<Storage>, TableId) {
 }
 
 fn q1(engine: &Arc<Engine>, table: TableId, rows: u64) -> Vec<(i64, i64, u64)> {
-    let spec = AggrSpec::grouped(4, vec![Aggregate::Sum(0), Aggregate::Count]);
-    let result = parallel_scan_aggregate(
-        engine,
-        table,
-        &[
+    let result = engine
+        .query(table)
+        .columns([
             "l_quantity",
             "l_extendedprice",
             "l_discount",
@@ -36,21 +34,32 @@ fn q1(engine: &Arc<Engine>, table: TableId, rows: u64) -> Vec<(i64, i64, u64)> {
             "l_returnflag",
             "l_linestatus",
             "l_shipdate",
-        ],
-        TupleRange::new(0, rows),
-        4,
-        Some(Predicate::new(6, CompareOp::Le, 10_200)),
-        &spec,
-    )
-    .expect("q1");
-    result.iter().map(|(k, g)| (*k, g.accumulators[0], g.count)).collect()
+        ])
+        .range(..rows)
+        .filter(Predicate::new(6, CompareOp::Le, 10_200))
+        .aggregate(AggrSpec::grouped(
+            4,
+            vec![Aggregate::Sum(0), Aggregate::Count],
+        ))
+        .parallelism(4)
+        .run()
+        .expect("q1");
+    result
+        .iter()
+        .map(|(k, g)| (*k, g.accumulators[0], g.count))
+        .collect()
 }
 
 #[test]
 fn all_policies_agree_on_a_read_only_workload() {
     let (storage, table) = lineitem_storage(120_000);
     let mut reference = None;
-    for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::Opt, PolicyKind::CScan] {
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Pbm,
+        PolicyKind::Opt,
+        PolicyKind::CScan,
+    ] {
         let engine = build(policy, &storage);
         let rows = engine.visible_rows(table).unwrap();
         let answer = q1(&engine, table, rows);
@@ -76,7 +85,9 @@ fn all_policies_agree_after_updates_appends_and_checkpoint() {
         writer.delete_row(table, i * 7).unwrap();
     }
     for i in 0..20 {
-        writer.insert_row(table, i * 11, vec![1, 2, 3, 4, 0, 1, 9_000 + i as i64]).unwrap();
+        writer
+            .insert_row(table, i * 11, vec![1, 2, 3, 4, 0, 1, 9_000 + i as i64])
+            .unwrap();
     }
     for i in 0..30 {
         writer.update_value(table, i * 13, 1, -5).unwrap();
@@ -128,10 +139,19 @@ fn scan_and_cscan_coexist_on_the_same_abm_engine() {
     // In-order CScan (drop-in Scan replacement) and a normal out-of-order
     // CScan running against the same ABM must both return the full table.
     let mut in_order = engine
-        .scan_in_order(table, &["l_quantity", "l_shipdate"], TupleRange::new(0, 50_000))
+        .scan_in_order(
+            table,
+            &["l_quantity", "l_shipdate"],
+            TupleRange::new(0, 50_000),
+        )
         .unwrap();
-    let mut out_of_order =
-        engine.scan(table, &["l_quantity", "l_shipdate"], TupleRange::new(0, 50_000)).unwrap();
+    let mut out_of_order = engine
+        .scan(
+            table,
+            &["l_quantity", "l_shipdate"],
+            TupleRange::new(0, 50_000),
+        )
+        .unwrap();
 
     let mut rows_in_order = 0usize;
     let mut rows_out_of_order = 0usize;

@@ -1,8 +1,11 @@
-//! Property-based tests (proptest) on the core invariants of the system:
+//! Randomized property tests on the core invariants of the system:
 //! PDT positional translation and merging, range arithmetic, buffer-pool
 //! capacity, OPT optimality relative to LRU, and PBM consistency.
-
-use proptest::prelude::*;
+//!
+//! The workspace builds without external dependencies, so instead of
+//! `proptest` these use a small deterministic xorshift generator: every run
+//! exercises the same case set, and a failing case can be reproduced from
+//! its printed seed.
 
 use scanshare::common::{PageId, RangeList, Rid, TupleRange, VirtualInstant};
 use scanshare::core::bufferpool::BufferPool;
@@ -11,6 +14,34 @@ use scanshare::core::opt::simulate_opt;
 use scanshare::core::pbm::{PbmConfig, PbmPolicy};
 use scanshare::pdt::merge::{merge_range, SliceSource};
 use scanshare::pdt::Pdt;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // PDT invariants
@@ -24,12 +55,18 @@ enum Op {
     Modify(u64, i64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..2000, any::<i16>()).prop_map(|(p, v)| Op::Insert(p, v as i64)),
-        (0u64..2000).prop_map(Op::Delete),
-        (0u64..2000, any::<i16>()).prop_map(|(p, v)| Op::Modify(p, v as i64)),
-    ]
+fn random_ops(rng: &mut Rng, count: usize) -> Vec<Op> {
+    (0..count)
+        .map(|_| {
+            let pos = rng.below(2000);
+            let value = rng.below(1 << 16) as i64 - (1 << 15);
+            match rng.below(3) {
+                0 => Op::Insert(pos, value),
+                1 => Op::Delete(pos),
+                _ => Op::Modify(pos, value),
+            }
+        })
+        .collect()
 }
 
 fn apply_ops(stable: u64, ops: &[Op]) -> (Pdt, Vec<Vec<i64>>) {
@@ -61,51 +98,63 @@ fn apply_ops(stable: u64, ops: &[Op]) -> (Pdt, Vec<Vec<i64>>) {
     (pdt, model)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Merging the PDT over the stable stream reproduces the reference model,
-    /// no matter how the visible range is split into pieces.
-    #[test]
-    fn pdt_merge_equals_reference_model(
-        stable in 1u64..300,
-        ops in prop::collection::vec(op_strategy(), 0..60),
-        split in 0u64..400,
-    ) {
+/// Merging the PDT over the stable stream reproduces the reference model,
+/// no matter how the visible range is split into pieces.
+#[test]
+fn pdt_merge_equals_reference_model() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed + 1);
+        let stable = rng.range(1, 300);
+        let op_count = rng.below(60) as usize;
+        let ops = random_ops(&mut rng, op_count);
         let (pdt, model) = apply_ops(stable, &ops);
         let source = SliceSource::generate(1, stable, |_, s| s as i64);
         let visible = pdt.visible_count(stable);
-        prop_assert_eq!(visible as usize, model.len());
+        assert_eq!(visible as usize, model.len(), "seed {seed}");
 
         let full = merge_range(&pdt, source.clone(), &[0], TupleRange::new(0, visible));
-        prop_assert_eq!(&full, &model);
+        assert_eq!(full, model, "seed {seed}");
 
         // Split reproduction: any prefix/suffix split produces the same stream.
-        let split = split.min(visible);
+        let split = rng.below(400).min(visible);
         let mut pieces = merge_range(&pdt, source.clone(), &[0], TupleRange::new(0, split));
-        pieces.extend(merge_range(&pdt, source, &[0], TupleRange::new(split, visible)));
-        prop_assert_eq!(pieces, model);
+        pieces.extend(merge_range(
+            &pdt,
+            source,
+            &[0],
+            TupleRange::new(split, visible),
+        ));
+        assert_eq!(pieces, model, "seed {seed}");
     }
+}
 
-    /// Every visible position maps to a SID whose RID window contains it, and
-    /// SID->RID conversions are monotone.
-    #[test]
-    fn pdt_translation_round_trips(
-        stable in 1u64..200,
-        ops in prop::collection::vec(op_strategy(), 0..40),
-    ) {
+/// Every visible position maps to a SID whose RID window contains it, and
+/// SID->RID conversions are monotone.
+#[test]
+fn pdt_translation_round_trips() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed + 1000);
+        let stable = rng.range(1, 200);
+        let op_count = rng.below(40) as usize;
+        let ops = random_ops(&mut rng, op_count);
         let (pdt, _) = apply_ops(stable, &ops);
         let visible = pdt.visible_count(stable);
         for rid in 0..visible {
             let sid = pdt.rid_to_sid(Rid::new(rid), stable);
             let lo = pdt.sid_to_rid_low(sid).raw();
             let hi = pdt.sid_to_rid_high(sid).raw();
-            prop_assert!(lo <= rid && rid <= hi, "rid {} not in [{}, {}]", rid, lo, hi);
+            assert!(
+                lo <= rid && rid <= hi,
+                "seed {seed}: rid {rid} not in [{lo}, {hi}]"
+            );
         }
         let mut last_low = 0;
         for sid in 0..=stable {
             let lo = pdt.sid_to_rid_low(scanshare::common::Sid::new(sid)).raw();
-            prop_assert!(lo >= last_low, "sid_to_rid_low must be monotone");
+            assert!(
+                lo >= last_low,
+                "seed {seed}: sid_to_rid_low must be monotone"
+            );
             last_low = lo;
         }
     }
@@ -115,38 +164,55 @@ proptest! {
 // Range arithmetic invariants
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Equation 1 partitioning covers the range exactly, without overlap.
-    #[test]
-    fn split_even_is_a_partition(start in 0u64..10_000, len in 0u64..10_000, n in 1usize..16) {
+/// Equation 1 partitioning covers the range exactly, without overlap.
+#[test]
+fn split_even_is_a_partition() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed + 2000);
+        let start = rng.below(10_000);
+        let len = rng.below(10_000);
+        let n = rng.range(1, 16) as usize;
         let range = TupleRange::new(start, start + len);
         let parts = range.split_even(n);
-        prop_assert_eq!(parts.len(), n);
-        prop_assert_eq!(parts.iter().map(TupleRange::len).sum::<u64>(), range.len());
+        assert_eq!(parts.len(), n, "seed {seed}");
+        assert_eq!(
+            parts.iter().map(TupleRange::len).sum::<u64>(),
+            range.len(),
+            "seed {seed}"
+        );
         for pair in parts.windows(2) {
-            prop_assert_eq!(pair[0].end, pair[1].start);
+            assert_eq!(pair[0].end, pair[1].start, "seed {seed}");
         }
-        if !parts.is_empty() {
-            prop_assert_eq!(parts[0].start, range.start);
-            prop_assert_eq!(parts[parts.len() - 1].end, range.end);
-        }
+        assert_eq!(parts[0].start, range.start, "seed {seed}");
+        assert_eq!(parts[parts.len() - 1].end, range.end, "seed {seed}");
     }
+}
 
-    /// subtract/intersect/union are consistent: A = (A - B) ∪ (A ∩ B).
-    #[test]
-    fn range_list_subtract_union_identity(
-        a in prop::collection::vec((0u64..500, 1u64..100), 1..8),
-        b in prop::collection::vec((0u64..500, 1u64..100), 1..8),
-    ) {
-        let list_a = RangeList::from_ranges(a.iter().map(|&(s, l)| TupleRange::new(s, s + l)));
-        let list_b = RangeList::from_ranges(b.iter().map(|&(s, l)| TupleRange::new(s, s + l)));
+fn random_range_list(rng: &mut Rng) -> RangeList {
+    let pieces = rng.range(1, 8) as usize;
+    RangeList::from_ranges((0..pieces).map(|_| {
+        let start = rng.below(500);
+        let len = rng.range(1, 100);
+        TupleRange::new(start, start + len)
+    }))
+}
+
+/// subtract/intersect/union are consistent: A = (A - B) ∪ (A ∩ B).
+#[test]
+fn range_list_subtract_union_identity() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed + 3000);
+        let list_a = random_range_list(&mut rng);
+        let list_b = random_range_list(&mut rng);
         let minus = list_a.subtract(&list_b);
         let inter = list_a.intersect(&list_b);
-        prop_assert!(minus.intersect(&list_b).is_empty());
-        prop_assert_eq!(minus.union(&inter), list_a.clone());
-        prop_assert_eq!(minus.total_tuples() + inter.total_tuples(), list_a.total_tuples());
+        assert!(minus.intersect(&list_b).is_empty(), "seed {seed}");
+        assert_eq!(minus.union(&inter), list_a, "seed {seed}");
+        assert_eq!(
+            minus.total_tuples() + inter.total_tuples(),
+            list_a.total_tuples(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -154,17 +220,15 @@ proptest! {
 // Buffer-management invariants
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The buffer pool never exceeds its capacity and never loses pages, for
-    /// both LRU and PBM, on arbitrary reference strings.
-    #[test]
-    fn buffer_pool_respects_capacity(
-        refs in prop::collection::vec(0u64..200, 1..400),
-        capacity in 1usize..64,
-        use_pbm in any::<bool>(),
-    ) {
+/// The buffer pool never exceeds its capacity and never loses pages, for
+/// both LRU and PBM, on arbitrary reference strings.
+#[test]
+fn buffer_pool_respects_capacity() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed + 4000);
+        let capacity = rng.range(1, 64) as usize;
+        let refs: Vec<u64> = (0..rng.range(1, 400)).map(|_| rng.below(200)).collect();
+        let use_pbm = rng.below(2) == 0;
         let policy: Box<dyn scanshare::core::policy::ReplacementPolicy> = if use_pbm {
             Box::new(PbmPolicy::new(PbmConfig::default()))
         } else {
@@ -174,26 +238,29 @@ proptest! {
         let now = VirtualInstant::EPOCH;
         for &r in &refs {
             pool.request_page(PageId::new(r), None, now).unwrap();
-            prop_assert!(pool.resident_count() <= capacity);
+            assert!(pool.resident_count() <= capacity, "seed {seed}");
         }
         let stats = pool.stats();
-        prop_assert_eq!(stats.hits + stats.misses, refs.len() as u64);
-        prop_assert_eq!(stats.io_bytes, stats.misses * 4096);
+        assert_eq!(stats.hits + stats.misses, refs.len() as u64, "seed {seed}");
+        assert_eq!(stats.io_bytes, stats.misses * 4096, "seed {seed}");
         // Distinct pages referenced bounds the resident count.
         let mut distinct = refs.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert!(pool.resident_count() <= distinct.len());
+        assert!(pool.resident_count() <= distinct.len(), "seed {seed}");
     }
+}
 
-    /// OPT never incurs more misses than LRU on the same reference string and
-    /// never fewer than the number of distinct pages (cold misses).
-    #[test]
-    fn opt_is_a_lower_bound(
-        refs in prop::collection::vec(0u64..100, 1..500),
-        capacity in 1usize..32,
-    ) {
-        let trace: Vec<PageId> = refs.iter().map(|&r| PageId::new(r)).collect();
+/// OPT never incurs more misses than LRU on the same reference string and
+/// never fewer than the number of distinct pages (cold misses).
+#[test]
+fn opt_is_a_lower_bound() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed + 5000);
+        let capacity = rng.range(1, 32) as usize;
+        let trace: Vec<PageId> = (0..rng.range(1, 500))
+            .map(|_| PageId::new(rng.below(100)))
+            .collect();
         let opt = simulate_opt(&trace, capacity);
 
         let mut pool = BufferPool::new(capacity, 1, Box::new(LruPolicy::new()));
@@ -202,12 +269,17 @@ proptest! {
             pool.request_page(page, None, now).unwrap();
         }
         let lru_misses = pool.stats().misses;
-        prop_assert!(opt.misses <= lru_misses, "OPT {} vs LRU {}", opt.misses, lru_misses);
+        assert!(
+            opt.misses <= lru_misses,
+            "seed {seed}: OPT {} vs LRU {}",
+            opt.misses,
+            lru_misses
+        );
 
-        let mut distinct = refs.clone();
+        let mut distinct: Vec<u64> = trace.iter().map(|p| p.raw()).collect();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert!(opt.misses >= distinct.len() as u64);
-        prop_assert_eq!(opt.hits + opt.misses, trace.len() as u64);
+        assert!(opt.misses >= distinct.len() as u64, "seed {seed}");
+        assert_eq!(opt.hits + opt.misses, trace.len() as u64, "seed {seed}");
     }
 }

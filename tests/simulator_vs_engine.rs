@@ -54,7 +54,10 @@ fn run(
         cores: 8,
         sharing_sample_interval: None,
     };
-    Simulation::new(Arc::clone(storage), config).unwrap().run(workload).unwrap()
+    Simulation::new(Arc::clone(storage), config)
+        .unwrap()
+        .run(workload)
+        .unwrap()
 }
 
 #[test]
@@ -105,17 +108,19 @@ fn cpu_bound_regime_erases_policy_time_differences() {
     // The remaining gap comes from the fixed per-request latency of the
     // simulated device (which does not shrink with bandwidth); the paper's
     // convergence is likewise "roughly disappears", not exact equality.
-    assert!((t_lru - t_pbm).abs() / t_pbm < 0.25, "lru {t_lru} vs pbm {t_pbm}");
+    assert!(
+        (t_lru - t_pbm).abs() / t_pbm < 0.25,
+        "lru {t_lru} vs pbm {t_pbm}"
+    );
     assert!(lru.total_io_bytes >= pbm.total_io_bytes);
 
     // The gap at high bandwidth must be (relatively) smaller than in the
     // I/O-bound regime at 200 MB/s.
     let slow_lru = run(&storage, &workload, PolicyKind::Lru, pool, 200.0);
     let slow_pbm = run(&storage, &workload, PolicyKind::Pbm, pool, 200.0);
-    let slow_gap = (slow_lru.avg_stream_time_secs().unwrap()
-        - slow_pbm.avg_stream_time_secs().unwrap())
-    .abs()
-        / slow_pbm.avg_stream_time_secs().unwrap();
+    let slow_gap =
+        (slow_lru.avg_stream_time_secs().unwrap() - slow_pbm.avg_stream_time_secs().unwrap()).abs()
+            / slow_pbm.avg_stream_time_secs().unwrap();
     let fast_gap = (t_lru - t_pbm).abs() / t_pbm;
     assert!(
         fast_gap <= slow_gap + 0.05,
@@ -128,7 +133,12 @@ fn cpu_bound_regime_erases_policy_time_differences() {
 fn simulator_is_deterministic_across_runs() {
     let (storage, workload, accessed) = micro_setup();
     let pool = accessed / 2;
-    for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan, PolicyKind::Opt] {
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Pbm,
+        PolicyKind::CScan,
+        PolicyKind::Opt,
+    ] {
         let a = run(&storage, &workload, policy, pool, 700.0);
         let b = run(&storage, &workload, policy, pool, 700.0);
         assert_eq!(a.total_io_bytes, b.total_io_bytes, "{policy}");
@@ -144,7 +154,12 @@ fn figure_harness_smoke_test() {
     let fig14 = fig14_tpch_buffer_sweep(&scale).unwrap();
     assert_eq!(fig14.len(), scale.buffer_fractions.len() * 4);
     // Larger pools never increase I/O for any policy.
-    for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan, PolicyKind::Opt] {
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Pbm,
+        PolicyKind::CScan,
+        PolicyKind::Opt,
+    ] {
         for rows in [&fig11, &fig14] {
             let mut ios: Vec<(f64, f64)> = rows
                 .iter()
