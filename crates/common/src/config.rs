@@ -106,6 +106,15 @@ pub struct ScanShareConfig {
     pub threads_per_query: usize,
     /// Which buffer-management policy to run.
     pub policy: PolicyKind,
+    /// Size of the asynchronous prefetch window, in pages, maintained by the
+    /// page-level backends: up to this many predicted-next pages are kept in
+    /// flight on the I/O device ahead of the scan cursors, so transfers
+    /// overlap with computation. `0` (the default) disables prefetching and
+    /// reproduces the fully synchronous model of the paper's figures. Which
+    /// pages get prefetched is decided by the replacement policy's
+    /// `prefetch_hints` (PBM ranks by predicted next-consumption time, LRU
+    /// falls back to sequential readahead).
+    pub prefetch_pages: usize,
     /// Name of a custom replacement policy registered with a
     /// `PolicyRegistry`, overriding the page-level policy that `policy`
     /// would select. The engine keeps `policy`'s family semantics (OPT trace
@@ -126,6 +135,7 @@ impl Default for ScanShareConfig {
             cpu_tuples_per_sec: 250_000_000,
             threads_per_query: 8,
             policy: PolicyKind::Pbm,
+            prefetch_pages: 0,
             custom_policy: None,
         }
     }
@@ -151,6 +161,14 @@ impl ScanShareConfig {
         }
         if self.threads_per_query == 0 {
             return Err(Error::config("threads_per_query must be at least 1"));
+        }
+        if self.prefetch_pages > 0 && self.prefetch_pages as u64 >= self.buffer_pool_pages() as u64
+        {
+            return Err(Error::config(
+                "prefetch_pages must be smaller than the buffer pool: the window only \
+                 fills free capacity (prefetch never evicts), so a window at least as \
+                 large as the pool can never be satisfied",
+            ));
         }
         if self.custom_policy.is_some() && self.policy == PolicyKind::CScan {
             return Err(Error::config(
@@ -181,6 +199,13 @@ impl ScanShareConfig {
     /// Returns a copy with a different policy.
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different prefetch window (in pages); `0`
+    /// disables prefetching.
+    pub fn with_prefetch_pages(mut self, pages: usize) -> Self {
+        self.prefetch_pages = pages;
         self
     }
 
@@ -252,9 +277,28 @@ mod tests {
         let cfg = ScanShareConfig::default()
             .with_policy(PolicyKind::Lru)
             .with_bandwidth(Bandwidth::from_mb_per_sec(200.0))
-            .with_buffer_pool_bytes(1 << 20);
+            .with_buffer_pool_bytes(1 << 20)
+            .with_prefetch_pages(3);
         assert_eq!(cfg.policy, PolicyKind::Lru);
         assert_eq!(cfg.buffer_pool_bytes, 1 << 20);
         assert_eq!(cfg.io_bandwidth.mb_per_sec(), 200.0);
+        assert_eq!(cfg.prefetch_pages, 3);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn prefetch_window_must_fit_inside_the_pool() {
+        let cfg = ScanShareConfig {
+            page_size_bytes: 1024,
+            buffer_pool_bytes: 4 * 1024, // 4 pages
+            prefetch_pages: 4,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let ok = ScanShareConfig {
+            prefetch_pages: 3,
+            ..cfg
+        };
+        ok.validate().unwrap();
     }
 }

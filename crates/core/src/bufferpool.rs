@@ -14,11 +14,45 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use scanshare_common::{Error, PageId, Result, ScanId, VirtualInstant};
-use scanshare_iosim::ReferenceTrace;
+use scanshare_iosim::{IoDevice, IoKind, ReferenceTrace};
 use scanshare_storage::layout::ScanPagePlan;
 
 use crate::metrics::BufferStats;
 use crate::policy::{ReplacementPolicy, ScanInfo};
+
+/// Tops up a bounded asynchronous prefetch window: drops completed transfers
+/// from `inflight`, asks the pool's policy for the most urgent non-resident
+/// pages, admits them (never evicting — only free capacity is filled) and
+/// submits their transfers to `device` without blocking.
+///
+/// This is the one implementation of the window semantics, shared by the
+/// execution engine's `PooledBackend` and the discrete-event simulator so
+/// the two timing models cannot drift apart.
+pub fn top_up_prefetch_window(
+    pool: &mut BufferPool,
+    device: &IoDevice,
+    inflight: &mut HashMap<PageId, VirtualInstant>,
+    window: usize,
+    now: VirtualInstant,
+) {
+    if window == 0 {
+        return;
+    }
+    // Completed transfers free their window slots; their pages stay
+    // resident in the pool.
+    inflight.retain(|_, done| *done > now);
+    let slots = window.saturating_sub(inflight.len()).min(pool.free_pages());
+    if slots == 0 {
+        return;
+    }
+    let page_size = pool.page_size_bytes();
+    for page in pool.prefetch_candidates(slots, now) {
+        if pool.admit_prefetch(page, now) {
+            let completion = device.submit_async(now, page_size, IoKind::Prefetch);
+            inflight.insert(page, completion.done_at);
+        }
+    }
+}
 
 /// Result of a page request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,6 +147,11 @@ impl BufferPool {
         self.resident.len()
     }
 
+    /// Number of unused page slots (the only capacity prefetching may use).
+    pub fn free_pages(&self) -> usize {
+        self.capacity_pages.saturating_sub(self.resident.len())
+    }
+
     /// Whether `page` is resident.
     pub fn contains(&self, page: PageId) -> bool {
         self.resident.contains(&page)
@@ -187,25 +226,11 @@ impl BufferPool {
 
         // Make room.
         let mut evicted = Vec::new();
-        if self.resident.len() >= self.capacity_pages {
-            let need = self.resident.len() + 1 - self.capacity_pages;
-            let want = need.max(self.evict_batch).min(self.resident.len());
-            let mut exclude: HashSet<PageId> = self.pinned.keys().copied().collect();
-            exclude.insert(page);
-            let victims = self.policy.choose_victims(want, &exclude, now);
-            for victim in victims {
-                if self.resident.remove(&victim) {
-                    self.policy.on_evict(victim);
-                    self.stats.evictions += 1;
-                    evicted.push(victim);
-                }
-            }
-            if self.resident.len() >= self.capacity_pages {
-                return Err(Error::BufferPoolTooSmall {
-                    capacity_pages: self.capacity_pages,
-                    required_pages: self.pinned.len() + 1,
-                });
-            }
+        if !self.make_room(Some(page), now, &mut evicted) {
+            return Err(Error::BufferPoolTooSmall {
+                capacity_pages: self.capacity_pages,
+                required_pages: self.pinned.len() + 1,
+            });
         }
 
         self.resident.insert(page);
@@ -215,6 +240,81 @@ impl BufferPool {
         self.stats.pages_loaded += 1;
         self.stats.io_bytes += self.page_size_bytes;
         Ok(AccessOutcome::Miss { evicted })
+    }
+
+    /// Evicts until one more page fits; returns false when pinned pages make
+    /// that impossible.
+    fn make_room(
+        &mut self,
+        admitting: Option<PageId>,
+        now: VirtualInstant,
+        evicted: &mut Vec<PageId>,
+    ) -> bool {
+        if self.resident.len() >= self.capacity_pages {
+            let need = self.resident.len() + 1 - self.capacity_pages;
+            let want = need.max(self.evict_batch).min(self.resident.len());
+            let mut exclude: HashSet<PageId> = self.pinned.keys().copied().collect();
+            if let Some(page) = admitting {
+                exclude.insert(page);
+            }
+            let victims = self.policy.choose_victims(want, &exclude, now);
+            for victim in victims {
+                if self.resident.remove(&victim) {
+                    self.policy.on_evict(victim);
+                    self.stats.evictions += 1;
+                    evicted.push(victim);
+                }
+            }
+        }
+        self.resident.len() < self.capacity_pages
+    }
+
+    /// Asks the policy which non-resident pages to stage next (see
+    /// [`ReplacementPolicy::prefetch_hints`]) and filters the answer against
+    /// the current residency set. Returns at most `budget` pages, most
+    /// urgent first.
+    pub fn prefetch_candidates(&mut self, budget: usize, now: VirtualInstant) -> Vec<PageId> {
+        if budget == 0 {
+            return Vec::new();
+        }
+        let hints = self.policy.prefetch_hints(now, budget);
+        let mut seen = HashSet::with_capacity(hints.len());
+        hints
+            .into_iter()
+            .filter(|p| !self.resident.contains(p) && seen.insert(*p))
+            .take(budget)
+            .collect()
+    }
+
+    /// Admits `page` speculatively (the caller has submitted the transfer to
+    /// the I/O device). Counts as prefetch I/O, not as a miss: the demand
+    /// access that later consumes the page is a hit.
+    ///
+    /// Prefetch admissions **never evict**: they only fill otherwise-unused
+    /// capacity. Evicting for a speculative load would let one scan's
+    /// readahead displace pages other scans still need — under memory
+    /// pressure that cascades into re-read storms that cost far more I/O
+    /// than the overlap saves. Bounding prefetch to free buffers caps the
+    /// downside at zero extra misses while keeping the full benefit where it
+    /// exists (cold data, pools with headroom).
+    ///
+    /// Returns `false` without side effects when the page is already
+    /// resident or the pool is full (prefetching is best-effort and never
+    /// errors a scan).
+    pub fn admit_prefetch(&mut self, page: PageId, now: VirtualInstant) -> bool {
+        if self.resident.contains(&page) || self.resident.len() >= self.capacity_pages {
+            return false;
+        }
+        if let Some(trace) = &self.trace {
+            trace.record_prefetch(page);
+        }
+        self.resident.insert(page);
+        self.policy.on_admit(page, now);
+        self.stats.pages_loaded += 1;
+        self.stats.io_bytes += self.page_size_bytes;
+        self.stats.prefetched_pages += 1;
+        self.stats.prefetch_io_bytes += self.page_size_bytes;
+        true
     }
 
     /// Drops every resident page and resets the statistics (the policy keeps
@@ -365,5 +465,65 @@ mod tests {
     #[should_panic(expected = "at least one page")]
     fn zero_capacity_is_rejected() {
         let _ = pool(0);
+    }
+
+    #[test]
+    fn prefetch_admission_counts_as_prefetch_io_not_as_miss() {
+        let mut pool = pool(2);
+        assert!(pool.admit_prefetch(p(1), now()));
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert_eq!(stats.prefetched_pages, 1);
+        assert_eq!(stats.prefetch_io_bytes, 1024);
+        assert_eq!(stats.io_bytes, 1024);
+        // The demand access that consumes the prefetched page is a hit.
+        assert!(pool.request_page(p(1), None, now()).unwrap().is_hit());
+        assert_eq!(pool.stats().hits, 1);
+        // Re-prefetching a resident page is a no-op.
+        assert!(!pool.admit_prefetch(p(1), now()));
+        assert_eq!(pool.stats().prefetched_pages, 1);
+    }
+
+    #[test]
+    fn prefetch_never_evicts_resident_pages() {
+        let mut pool = pool(2);
+        pool.request_page(p(1), None, now()).unwrap();
+        pool.request_page(p(2), None, now()).unwrap();
+        // A full pool rejects speculative admissions instead of displacing
+        // pages some scan may still need.
+        assert!(!pool.admit_prefetch(p(3), now()));
+        assert_eq!(pool.stats().prefetched_pages, 0);
+        assert_eq!(pool.stats().evictions, 0);
+        assert!(pool.contains(p(1)) && pool.contains(p(2)));
+        // Once capacity frees up, prefetching resumes.
+        pool.clear();
+        assert!(pool.admit_prefetch(p(3), now()));
+        assert!(pool.contains(p(3)));
+    }
+
+    #[test]
+    fn prefetch_candidates_come_from_the_policy_filtered_by_residency() {
+        // The plain LRU pool only yields candidates once a scan registered a
+        // plan; candidates never include resident pages.
+        let mut pool = pool(4);
+        let plan = ScanPagePlan {
+            table: scanshare_common::TableId::new(0),
+            total_tuples: 300,
+            pages: (0..3)
+                .map(|i| scanshare_storage::layout::PageDescriptor {
+                    page: p(i),
+                    column: scanshare_common::ColumnId::new(0),
+                    column_index: 0,
+                    sid_range: scanshare_common::TupleRange::new(i * 100, (i + 1) * 100),
+                    tuples_behind: i * 100,
+                    tuple_count: 100,
+                })
+                .collect(),
+        };
+        let scan = pool.register_scan(&plan, now());
+        assert_eq!(pool.prefetch_candidates(2, now()), vec![p(0), p(1)]);
+        pool.request_page(p(0), Some(scan), now()).unwrap();
+        assert_eq!(pool.prefetch_candidates(4, now()), vec![p(1), p(2)]);
+        assert!(pool.prefetch_candidates(0, now()).is_empty());
     }
 }

@@ -3,14 +3,33 @@
 //! This is the baseline every figure of the paper compares against. The
 //! implementation keeps an explicit recency order with O(1) amortized
 //! updates (a monotonically increasing access stamp per page plus a queue
-//! with lazy deletion), and ignores all scan-level information.
+//! with lazy deletion), and ignores all scan-level information for its
+//! *eviction* decisions.
+//!
+//! For *prefetching* LRU implements classic sequential readahead: it
+//! remembers each registered scan's page plan and, when asked for
+//! [`prefetch_hints`](ReplacementPolicy::prefetch_hints), proposes the next
+//! non-resident pages directly ahead of each scan's furthest access — the
+//! traditional counterpart to PBM's prediction-ranked prefetching.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use scanshare_common::{PageId, ScanId, VirtualInstant};
 use scanshare_storage::layout::ScanPagePlan;
 
 use crate::policy::{ReplacementPolicy, ScanInfo};
+
+/// Sequential-readahead state for one registered scan.
+#[derive(Debug)]
+struct ScanReadahead {
+    /// Distinct pages in first-consumption order (the interleaved plan order
+    /// with duplicates removed).
+    pages: Vec<PageId>,
+    /// Position of each page in `pages`.
+    index: HashMap<PageId, usize>,
+    /// One past the furthest plan position the scan has accessed.
+    cursor: usize,
+}
 
 /// Least-recently-used replacement policy.
 #[derive(Debug, Default)]
@@ -20,6 +39,8 @@ pub struct LruPolicy {
     /// Recency queue, oldest first; entries whose stamp is stale are skipped.
     queue: VecDeque<(PageId, u64)>,
     next_stamp: u64,
+    /// Readahead cursors, keyed by scan id (ordered for determinism).
+    scans: BTreeMap<ScanId, ScanReadahead>,
 }
 
 impl LruPolicy {
@@ -66,14 +87,44 @@ impl ReplacementPolicy for LruPolicy {
         "lru"
     }
 
-    fn register_scan(&mut self, _info: &ScanInfo, _plan: &ScanPagePlan, _now: VirtualInstant) {}
+    fn register_scan(&mut self, info: &ScanInfo, plan: &ScanPagePlan, _now: VirtualInstant) {
+        // Remember the plan for sequential readahead (eviction stays
+        // oblivious to scans). Duplicates keep their first consumption slot.
+        let mut pages = Vec::with_capacity(plan.pages.len());
+        let mut index = HashMap::with_capacity(plan.pages.len());
+        for desc in plan.interleaved() {
+            if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(desc.page) {
+                slot.insert(pages.len());
+                pages.push(desc.page);
+            }
+        }
+        self.scans.insert(
+            info.id,
+            ScanReadahead {
+                pages,
+                index,
+                cursor: 0,
+            },
+        );
+    }
 
     fn report_scan_position(&mut self, _scan: ScanId, _tuples: u64, _now: VirtualInstant) {}
 
-    fn unregister_scan(&mut self, _scan: ScanId, _now: VirtualInstant) {}
+    fn unregister_scan(&mut self, scan: ScanId, _now: VirtualInstant) {
+        self.scans.remove(&scan);
+    }
 
-    fn on_access(&mut self, page: PageId, _scan: Option<ScanId>, _now: VirtualInstant) {
+    fn on_access(&mut self, page: PageId, scan: Option<ScanId>, _now: VirtualInstant) {
         self.touch(page);
+        // Advance the owning scan's readahead cursor past the accessed page.
+        // Driving the cursor off the access stream (rather than off progress
+        // reports) keeps readahead in lockstep with the actual reference
+        // string, however often the scan reports.
+        if let Some(ra) = scan.and_then(|s| self.scans.get_mut(&s)) {
+            if let Some(&idx) = ra.index.get(&page) {
+                ra.cursor = ra.cursor.max(idx + 1);
+            }
+        }
     }
 
     fn on_admit(&mut self, page: PageId, _now: VirtualInstant) {
@@ -115,6 +166,32 @@ impl ReplacementPolicy for LruPolicy {
             self.queue.push_front(entry);
         }
         victims
+    }
+
+    /// Sequential readahead: the next non-resident pages directly ahead of
+    /// each registered scan's furthest access, scans visited in id order.
+    fn prefetch_hints(&mut self, _now: VirtualInstant, budget: usize) -> Vec<PageId> {
+        let mut hints = Vec::with_capacity(budget);
+        let mut seen: HashSet<PageId> = HashSet::new();
+        let resident = &self.resident;
+        for ra in self.scans.values_mut() {
+            // Fast-forward past resident pages at the cursor: on a warm pool
+            // this makes the steady state O(1) instead of re-walking the
+            // whole remaining plan on every call. Skipped pages that later
+            // get evicted are simply served by demand misses.
+            while ra.cursor < ra.pages.len() && resident.contains_key(&ra.pages[ra.cursor]) {
+                ra.cursor += 1;
+            }
+            for &page in &ra.pages[ra.cursor..] {
+                if hints.len() >= budget {
+                    return hints;
+                }
+                if !resident.contains_key(&page) && seen.insert(page) {
+                    hints.push(page);
+                }
+            }
+        }
+        hints
     }
 }
 
@@ -207,5 +284,71 @@ mod tests {
         lru.report_scan_position(ScanId::new(1), 5, now());
         lru.unregister_scan(ScanId::new(1), now());
         assert_eq!(lru.name(), "lru");
+    }
+
+    fn plan_over(pages: &[u64], tuples_per_page: u64) -> ScanPagePlan {
+        use scanshare_common::{ColumnId, TupleRange};
+        use scanshare_storage::layout::PageDescriptor;
+        let descs = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &page)| PageDescriptor {
+                page: p(page),
+                column: ColumnId::new(0),
+                column_index: 0,
+                sid_range: TupleRange::new(
+                    i as u64 * tuples_per_page,
+                    (i as u64 + 1) * tuples_per_page,
+                ),
+                tuples_behind: i as u64 * tuples_per_page,
+                tuple_count: tuples_per_page,
+            })
+            .collect();
+        ScanPagePlan {
+            table: scanshare_common::TableId::new(0),
+            total_tuples: pages.len() as u64 * tuples_per_page,
+            pages: descs,
+        }
+    }
+
+    fn register(lru: &mut LruPolicy, id: u64, plan: &ScanPagePlan) -> ScanId {
+        let sid = ScanId::new(id);
+        let info = ScanInfo {
+            id: sid,
+            total_tuples: plan.total_tuples,
+            distinct_pages: plan.distinct_pages(),
+        };
+        lru.register_scan(&info, plan, now());
+        sid
+    }
+
+    #[test]
+    fn readahead_follows_the_scan_cursor() {
+        let mut lru = LruPolicy::new();
+        let scan = register(&mut lru, 1, &plan_over(&[10, 11, 12, 13, 14], 100));
+        // Cold scan: the hints are the head of the plan.
+        assert_eq!(lru.prefetch_hints(now(), 2), vec![p(10), p(11)]);
+        // Accessing a page moves the cursor past it.
+        lru.on_admit(p(10), now());
+        lru.on_access(p(10), Some(scan), now());
+        lru.on_admit(p(11), now());
+        lru.on_access(p(11), Some(scan), now());
+        assert_eq!(lru.prefetch_hints(now(), 2), vec![p(12), p(13)]);
+        // Resident pages ahead of the cursor are skipped.
+        lru.on_admit(p(12), now());
+        assert_eq!(lru.prefetch_hints(now(), 2), vec![p(13), p(14)]);
+        // The budget truncates; unregistering clears the readahead state.
+        assert_eq!(lru.prefetch_hints(now(), 1), vec![p(13)]);
+        lru.unregister_scan(scan, now());
+        assert!(lru.prefetch_hints(now(), 4).is_empty());
+    }
+
+    #[test]
+    fn readahead_merges_multiple_scans_without_duplicates() {
+        let mut lru = LruPolicy::new();
+        register(&mut lru, 1, &plan_over(&[1, 2, 3], 100));
+        register(&mut lru, 2, &plan_over(&[2, 3, 4], 100));
+        // Scans are visited in id order and shared pages appear once.
+        assert_eq!(lru.prefetch_hints(now(), 10), vec![p(1), p(2), p(3), p(4)]);
     }
 }

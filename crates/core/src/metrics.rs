@@ -13,8 +13,15 @@ pub struct BufferStats {
     pub evictions: u64,
     /// Pages loaded from the I/O subsystem.
     pub pages_loaded: u64,
-    /// Bytes loaded from the I/O subsystem.
+    /// Bytes loaded from the I/O subsystem (demand misses *and* prefetches:
+    /// the total performed I/O volume).
     pub io_bytes: u64,
+    /// Pages loaded speculatively by the prefetcher (a subset of
+    /// `pages_loaded`).
+    pub prefetched_pages: u64,
+    /// Bytes loaded speculatively by the prefetcher (a subset of
+    /// `io_bytes`).
+    pub prefetch_io_bytes: u64,
 }
 
 impl BufferStats {
@@ -40,6 +47,8 @@ impl BufferStats {
         self.evictions += other.evictions;
         self.pages_loaded += other.pages_loaded;
         self.io_bytes += other.io_bytes;
+        self.prefetched_pages += other.prefetched_pages;
+        self.prefetch_io_bytes += other.prefetch_io_bytes;
     }
 }
 
@@ -64,6 +73,8 @@ mod tests {
             evictions: 3,
             pages_loaded: 4,
             io_bytes: 5,
+            prefetched_pages: 6,
+            prefetch_io_bytes: 7,
         };
         let mut b = a;
         b.merge(&a);
@@ -72,6 +83,8 @@ mod tests {
         assert_eq!(b.evictions, 6);
         assert_eq!(b.pages_loaded, 8);
         assert_eq!(b.io_bytes, 10);
+        assert_eq!(b.prefetched_pages, 12);
+        assert_eq!(b.prefetch_io_bytes, 14);
         assert!((a.io_megabytes() - 5e-6).abs() < 1e-15);
     }
 }

@@ -467,6 +467,31 @@ impl ReplacementPolicy for PbmPolicy {
         }
         victims
     }
+
+    /// PBM prefetching: the same next-consumption estimates that rank
+    /// eviction victims (furthest first) rank prefetch candidates *nearest*
+    /// first. Returns the up-to-`budget` non-resident pages some registered
+    /// scan will consume soonest, ties broken by page id for determinism.
+    fn prefetch_hints(&mut self, now: VirtualInstant, budget: usize) -> Vec<PageId> {
+        if budget == 0 {
+            return Vec::new();
+        }
+        self.refresh(now);
+        let mut candidates: Vec<(u64, PageId)> = self
+            .pages
+            .iter()
+            .filter(|(_, meta)| !meta.is_resident() && !meta.consuming.is_empty())
+            .filter_map(|(&page, _)| self.next_consumption(page).map(|d| (d.as_nanos(), page)))
+            .collect();
+        // Partial selection: only the `budget` nearest candidates need
+        // ordering, so avoid a full sort of every tracked page.
+        if budget < candidates.len() {
+            candidates.select_nth_unstable(budget - 1);
+            candidates.truncate(budget);
+        }
+        candidates.sort_unstable();
+        candidates.into_iter().map(|(_, page)| page).collect()
+    }
 }
 
 #[cfg(test)]
@@ -743,6 +768,28 @@ mod tests {
         pbm.on_access(p(10), None, now_ms(1));
         let victims = pbm.choose_victims(2, &HashSet::new(), now_ms(1));
         assert_eq!(victims, vec![p(11), p(12)]);
+    }
+
+    #[test]
+    fn prefetch_hints_rank_nonresident_pages_by_next_consumption() {
+        let mut pbm = pbm_with_speed(1000.0);
+        let s = register(&mut pbm, 1, &plan(&[1, 2, 3, 4], 100), now_ms(0));
+        // Page 2 is already resident: it must not be hinted.
+        pbm.on_admit(p(2), now_ms(0));
+        let hints = pbm.prefetch_hints(now_ms(0), 2);
+        assert_eq!(hints, vec![p(1), p(3)], "nearest non-resident pages first");
+        // Larger budgets extend further into the future; zero budget is empty.
+        assert_eq!(pbm.prefetch_hints(now_ms(0), 10), vec![p(1), p(3), p(4)]);
+        assert!(pbm.prefetch_hints(now_ms(0), 0).is_empty());
+        // Progress moves the cursor: after 250 tuples pages 1 and 2 are
+        // consumed (interest removed on access) and 3 is nearest.
+        pbm.on_access(p(1), Some(s), now_ms(100));
+        pbm.on_access(p(2), Some(s), now_ms(200));
+        pbm.report_scan_position(s, 250, now_ms(250));
+        assert_eq!(pbm.prefetch_hints(now_ms(250), 2), vec![p(3), p(4)]);
+        // Unregistering the scan removes all interest: no hints remain.
+        pbm.unregister_scan(s, now_ms(300));
+        assert!(pbm.prefetch_hints(now_ms(300), 4).is_empty());
     }
 
     #[test]

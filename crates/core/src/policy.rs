@@ -59,6 +59,25 @@ pub trait ReplacementPolicy: Send + std::fmt::Debug {
         exclude: &HashSet<PageId>,
         now: VirtualInstant,
     ) -> Vec<PageId>;
+
+    /// Proposes up to `budget` non-resident pages worth loading *ahead* of
+    /// the scan cursors, most urgent first — the prediction side of the
+    /// paper's Predictive Buffer Management turned into prefetching: a policy
+    /// that knows *when* each page will next be consumed can also say *which*
+    /// pages to stage next so that their transfers overlap with computation.
+    ///
+    /// Implementations should only return pages they believe are not
+    /// resident (the buffer pool filters again as a safety net) and must be
+    /// deterministic for a given policy state. The default returns no hints,
+    /// which disables prefetching for policies without scan knowledge.
+    ///
+    /// Built-in implementations: [`PbmPolicy`](crate::pbm::PbmPolicy) ranks
+    /// pages by estimated next-consumption time (nearest first);
+    /// [`LruPolicy`](crate::lru::LruPolicy) performs sequential readahead
+    /// along each registered scan's page plan.
+    fn prefetch_hints(&mut self, _now: VirtualInstant, _budget: usize) -> Vec<PageId> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +132,7 @@ mod tests {
         let victims = policy.choose_victims(2, &exclude, now);
         assert_eq!(victims, vec![PageId::new(2)]);
         assert_eq!(policy.name(), "fifo");
+        // Policies without scan knowledge inherit the empty default.
+        assert!(policy.prefetch_hints(now, 8).is_empty());
     }
 }

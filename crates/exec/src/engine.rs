@@ -106,12 +106,10 @@ impl Engine {
                     trace = Some(Arc::clone(&t));
                     pool = pool.with_trace(t);
                 }
-                Box::new(PooledBackend::new(
-                    pool,
-                    Arc::clone(&clock),
-                    Arc::clone(&device),
-                    policy,
-                ))
+                Box::new(
+                    PooledBackend::new(pool, Arc::clone(&clock), Arc::clone(&device), policy)
+                        .with_prefetch_window(config.prefetch_pages),
+                )
             }
         };
 

@@ -1,8 +1,10 @@
 //! The unified scan operator.
 //!
-//! One operator drives every [`ScanBackend`]: it registers its stable (SID)
-//! ranges, asks the backend for the next range to produce
-//! ([`ScanBackend::next_chunk`]) and merges the table's PDT on the fly. For
+//! One operator drives every
+//! [`ScanBackend`](scanshare_core::backend::ScanBackend): it registers its
+//! stable (SID) ranges, asks the backend for the next range to produce
+//! ([`next_chunk`](scanshare_core::backend::ScanBackend::next_chunk)) and
+//! merges the table's PDT on the fly. For
 //! pooled backends the delivered ranges are sequential and page requests are
 //! issued (and progress reported) as the merge crosses page boundaries —
 //! which is what PBM exploits. For Cooperative Scans the backend hands out
@@ -248,6 +250,10 @@ impl BatchSource for ScanOperator {
             }
             if !self.window.is_empty() {
                 let rows = self.produce_from_window();
+                // A batch boundary is a compute point: let the backend top
+                // up its asynchronous prefetch window so the next pages'
+                // transfers overlap with this batch's downstream processing.
+                self.engine.backend().drive_prefetch();
                 if rows.is_empty() {
                     continue;
                 }

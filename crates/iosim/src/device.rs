@@ -1,16 +1,56 @@
 //! A bandwidth-limited I/O device in virtual time.
 //!
 //! The device serves page-load requests sequentially: a request issued while
-//! the device is busy queues behind the in-flight transfers. Each request
-//! pays a fixed latency (seek / queueing overhead) plus `bytes / bandwidth`
-//! transfer time. This reproduces the paper's experimental knob of limiting
-//! the rate of page delivery from the storage layer to the buffer manager.
+//! the device is busy queues behind the in-flight transfers (FIFO service
+//! order). Each request pays a fixed latency (seek / queueing overhead) plus
+//! `bytes / bandwidth` transfer time. This reproduces the paper's
+//! experimental knob of limiting the rate of page delivery from the storage
+//! layer to the buffer manager.
+//!
+//! Requests come in two flavours ([`IoKind`]): *demand* reads a scan blocks
+//! on ([`IoDevice::submit`]), and *prefetch* reads issued asynchronously
+//! ahead of the scan cursor ([`IoDevice::submit_async`]). Asynchronous
+//! submission returns an [`IoCompletion`] handle instead of blocking the
+//! caller's virtual time, so the caller can overlap the transfer with
+//! computation and only wait (via the completion's `done_at`) when it
+//! actually consumes the data.
 
 use scanshare_common::sync::Mutex;
 
 use scanshare_common::{Bandwidth, VirtualDuration, VirtualInstant};
 
-use crate::stats::IoStats;
+use crate::stats::{IoKind, IoStats};
+
+/// The per-request completion handle returned by [`IoDevice::submit_async`].
+///
+/// All times are in virtual time. `started_at - submitted_at` is the queue
+/// wait behind earlier transfers; `done_at - started_at` is the service time
+/// (fixed latency plus transfer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoCompletion {
+    /// When the request entered the device queue.
+    pub submitted_at: VirtualInstant,
+    /// When the device started serving the request (end of queue wait).
+    pub started_at: VirtualInstant,
+    /// When the transfer completes; waiting callers resume here.
+    pub done_at: VirtualInstant,
+    /// Transferred bytes.
+    pub bytes: u64,
+    /// Demand or prefetch.
+    pub kind: IoKind,
+}
+
+impl IoCompletion {
+    /// Time the request spent queued behind earlier transfers.
+    pub fn queue_wait(&self) -> VirtualDuration {
+        self.started_at.since(self.submitted_at)
+    }
+
+    /// Time the device spent serving the request (latency + transfer).
+    pub fn service_time(&self) -> VirtualDuration {
+        self.done_at.since(self.started_at)
+    }
+}
 
 #[derive(Debug)]
 struct DeviceState {
@@ -50,10 +90,25 @@ impl IoDevice {
         self.request_latency
     }
 
-    /// Submits a read of `bytes` bytes at virtual time `now` and returns the
-    /// completion time. Requests are served in submission order; a request
-    /// issued while the device is busy starts when the device frees up.
-    pub fn submit(&self, now: VirtualInstant, bytes: u64) -> VirtualInstant {
+    /// Enqueues a read of `bytes` bytes at virtual time `now` without
+    /// blocking, returning a completion handle. Requests are served strictly
+    /// in submission order; a request issued while the device is busy starts
+    /// when the device frees up.
+    ///
+    /// This is the primitive behind asynchronous prefetching: the caller
+    /// keeps computing while the transfer is in flight and only waits for
+    /// [`IoCompletion::done_at`] when it consumes the data.
+    pub fn submit_async(&self, now: VirtualInstant, bytes: u64, kind: IoKind) -> IoCompletion {
+        self.submit_internal(now, bytes, 0, kind)
+    }
+
+    fn submit_internal(
+        &self,
+        now: VirtualInstant,
+        bytes: u64,
+        pages: u64,
+        kind: IoKind,
+    ) -> IoCompletion {
         let mut state = self.state.lock();
         let start = if state.busy_until > now {
             state.busy_until
@@ -63,28 +118,34 @@ impl IoDevice {
         let service = self.request_latency + self.bandwidth.transfer_time(bytes);
         let done = start.after(service);
         state.busy_until = done;
-        state.stats.record_read(bytes);
-        done
+        state
+            .stats
+            .record_request(kind, bytes, start.since(now), service);
+        state.stats.pages_read += pages;
+        IoCompletion {
+            submitted_at: now,
+            started_at: start,
+            done_at: done,
+            bytes,
+            kind,
+        }
     }
 
-    /// Submits a read of `pages` pages of `page_size` bytes each, as one
-    /// sequential request (used for chunk loads, which preserve sequential
-    /// locality at the page level).
+    /// Submits a blocking (demand) read of `bytes` bytes at virtual time
+    /// `now` and returns the completion time.
+    pub fn submit(&self, now: VirtualInstant, bytes: u64) -> VirtualInstant {
+        self.submit_async(now, bytes, IoKind::Demand).done_at
+    }
+
+    /// Submits a demand read of `pages` pages of `page_size` bytes each, as
+    /// one sequential request (used for chunk loads, which preserve
+    /// sequential locality at the page level).
     pub fn submit_pages(&self, now: VirtualInstant, pages: u64, page_size: u64) -> VirtualInstant {
         if pages == 0 {
             return now;
         }
-        let mut state = self.state.lock();
-        let start = if state.busy_until > now {
-            state.busy_until
-        } else {
-            now
-        };
-        let service = self.request_latency + self.bandwidth.transfer_time(pages * page_size);
-        let done = start.after(service);
-        state.busy_until = done;
-        state.stats.record_pages(pages, page_size);
-        done
+        self.submit_internal(now, pages * page_size, pages, IoKind::Demand)
+            .done_at
     }
 
     /// The time at which the device becomes idle.
@@ -127,6 +188,8 @@ mod tests {
         assert_eq!(done.as_nanos(), 100_000 + 10_000_000);
         assert_eq!(dev.stats().bytes_read, 1_000_000);
         assert_eq!(dev.stats().requests, 1);
+        assert_eq!(dev.stats().demand_bytes, 1_000_000);
+        assert_eq!(dev.stats().prefetch_bytes, 0);
     }
 
     #[test]
@@ -183,5 +246,47 @@ mod tests {
         dev.reset_stats();
         assert_eq!(dev.stats().bytes_read, 0);
         assert_eq!(dev.busy_until(), done, "reset_stats keeps the busy horizon");
+    }
+
+    #[test]
+    fn async_submission_does_not_block_but_keeps_fifo_order() {
+        let dev = device(100.0);
+        let now = VirtualInstant::EPOCH;
+        // A prefetch issued first is served first; the demand read behind it
+        // queues until the prefetch transfer finishes.
+        let prefetch = dev.submit_async(now, 1_000_000, IoKind::Prefetch);
+        let demand = dev.submit_async(now, 1_000_000, IoKind::Demand);
+        assert_eq!(prefetch.queue_wait(), VirtualDuration::ZERO);
+        assert_eq!(demand.started_at, prefetch.done_at);
+        assert_eq!(demand.queue_wait(), prefetch.service_time());
+        assert_eq!(demand.service_time(), prefetch.service_time());
+        assert!(demand.done_at > prefetch.done_at);
+
+        let stats = dev.stats();
+        assert_eq!(stats.demand_bytes + stats.prefetch_bytes, stats.bytes_read);
+        assert_eq!(stats.prefetch_requests, 1);
+        assert_eq!(stats.demand_requests, 1);
+        assert_eq!(stats.queue_wait_nanos, demand.queue_wait().as_nanos());
+        assert_eq!(
+            stats.service_nanos,
+            prefetch.service_time().as_nanos() + demand.service_time().as_nanos()
+        );
+    }
+
+    #[test]
+    fn completion_windows_attribute_wait_and_service() {
+        let dev = device(100.0);
+        let a = dev.submit_async(VirtualInstant::EPOCH, 2_000_000, IoKind::Demand);
+        // Submitted mid-transfer: waits for `a`, then pays its own service.
+        let mid = VirtualInstant::from_nanos(a.done_at.as_nanos() / 2);
+        let b = dev.submit_async(mid, 1_000_000, IoKind::Prefetch);
+        assert_eq!(b.submitted_at, mid);
+        assert_eq!(b.started_at, a.done_at);
+        assert_eq!(b.done_at, b.started_at.after(b.service_time()));
+        assert_eq!(
+            b.done_at.since(b.submitted_at),
+            b.queue_wait() + b.service_time(),
+            "queue wait and service time partition the request's latency"
+        );
     }
 }

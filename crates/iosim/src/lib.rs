@@ -14,6 +14,6 @@ pub mod device;
 pub mod stats;
 pub mod trace;
 
-pub use device::IoDevice;
-pub use stats::IoStats;
+pub use device::{IoCompletion, IoDevice};
+pub use stats::{IoKind, IoStats};
 pub use trace::ReferenceTrace;

@@ -1,7 +1,25 @@
 //! I/O accounting.
 
+use scanshare_common::VirtualDuration;
+
+/// Whether a request was issued on the critical path of a scan (demand) or
+/// speculatively ahead of it (prefetch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// A blocking read a scan waits for.
+    Demand,
+    /// An asynchronous read issued ahead of the scan cursor.
+    Prefetch,
+}
+
 /// Accumulated I/O counters. "Total volume of performed I/O" is the second
-/// performance measure used throughout the paper's evaluation.
+/// performance measure used throughout the paper's evaluation; with the
+/// asynchronous device the volume is additionally attributed to demand reads
+/// versus prefetch reads, and time is attributed to queueing versus transfer.
+///
+/// Invariants maintained by the device:
+/// `demand_bytes + prefetch_bytes == bytes_read` and
+/// `demand_requests + prefetch_requests == requests`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Total bytes read from the device.
@@ -10,21 +28,65 @@ pub struct IoStats {
     pub pages_read: u64,
     /// Number of read requests issued.
     pub requests: u64,
+    /// Bytes read by demand (blocking) requests.
+    pub demand_bytes: u64,
+    /// Bytes read by prefetch (asynchronous) requests.
+    pub prefetch_bytes: u64,
+    /// Number of demand requests.
+    pub demand_requests: u64,
+    /// Number of prefetch requests.
+    pub prefetch_requests: u64,
+    /// Virtual nanoseconds requests spent queued behind earlier transfers
+    /// before the device started serving them.
+    pub queue_wait_nanos: u64,
+    /// Virtual nanoseconds spent actually serving requests (fixed per-request
+    /// latency plus `bytes / bandwidth` transfer time).
+    pub service_nanos: u64,
 }
 
 impl IoStats {
-    /// Records a raw read of `bytes` bytes (counted as one request and, for
-    /// page accounting, zero pages).
+    /// Records a raw read of `bytes` bytes (counted as one demand request
+    /// and, for page accounting, zero pages).
     pub fn record_read(&mut self, bytes: u64) {
-        self.bytes_read += bytes;
-        self.requests += 1;
+        self.record_request(
+            IoKind::Demand,
+            bytes,
+            VirtualDuration::ZERO,
+            VirtualDuration::ZERO,
+        );
     }
 
-    /// Records a read of `pages` pages of `page_size` bytes as one request.
+    /// Records a read of `pages` pages of `page_size` bytes as one demand
+    /// request.
     pub fn record_pages(&mut self, pages: u64, page_size: u64) {
-        self.bytes_read += pages * page_size;
+        self.record_read(pages * page_size);
         self.pages_read += pages;
+    }
+
+    /// Records one request of `kind`, with its time split into the wait
+    /// behind earlier transfers (`queue_wait`) and the time the device spent
+    /// serving it (`service`).
+    pub fn record_request(
+        &mut self,
+        kind: IoKind,
+        bytes: u64,
+        queue_wait: VirtualDuration,
+        service: VirtualDuration,
+    ) {
+        self.bytes_read += bytes;
         self.requests += 1;
+        match kind {
+            IoKind::Demand => {
+                self.demand_bytes += bytes;
+                self.demand_requests += 1;
+            }
+            IoKind::Prefetch => {
+                self.prefetch_bytes += bytes;
+                self.prefetch_requests += 1;
+            }
+        }
+        self.queue_wait_nanos += queue_wait.as_nanos();
+        self.service_nanos += service.as_nanos();
     }
 
     /// Merges another stats snapshot into this one.
@@ -32,11 +94,33 @@ impl IoStats {
         self.bytes_read += other.bytes_read;
         self.pages_read += other.pages_read;
         self.requests += other.requests;
+        self.demand_bytes += other.demand_bytes;
+        self.prefetch_bytes += other.prefetch_bytes;
+        self.demand_requests += other.demand_requests;
+        self.prefetch_requests += other.prefetch_requests;
+        self.queue_wait_nanos += other.queue_wait_nanos;
+        self.service_nanos += other.service_nanos;
     }
 
     /// Bytes read expressed in (decimal) megabytes.
     pub fn megabytes_read(&self) -> f64 {
         self.bytes_read as f64 / 1_000_000.0
+    }
+
+    /// Average time a request waited behind earlier transfers before the
+    /// device started serving it; zero when nothing was recorded.
+    pub fn avg_queue_wait(&self) -> VirtualDuration {
+        VirtualDuration::from_nanos(
+            self.queue_wait_nanos
+                .checked_div(self.requests)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Average time the device spent serving a request (latency + transfer);
+    /// zero when nothing was recorded.
+    pub fn avg_service_time(&self) -> VirtualDuration {
+        VirtualDuration::from_nanos(self.service_nanos.checked_div(self.requests).unwrap_or(0))
     }
 }
 
@@ -52,6 +136,8 @@ mod tests {
         assert_eq!(a.bytes_read, 200);
         assert_eq!(a.pages_read, 2);
         assert_eq!(a.requests, 2);
+        assert_eq!(a.demand_bytes, 200);
+        assert_eq!(a.demand_requests, 2);
 
         let mut b = IoStats::default();
         b.record_pages(1, 1_000_000);
@@ -60,5 +146,40 @@ mod tests {
         assert_eq!(b.pages_read, 3);
         assert_eq!(b.requests, 3);
         assert!((b.megabytes_read() - 1.0002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_and_prefetch_are_attributed_separately() {
+        let mut s = IoStats::default();
+        s.record_request(
+            IoKind::Demand,
+            100,
+            VirtualDuration::from_nanos(10),
+            VirtualDuration::from_nanos(40),
+        );
+        s.record_request(
+            IoKind::Prefetch,
+            300,
+            VirtualDuration::from_nanos(30),
+            VirtualDuration::from_nanos(60),
+        );
+        assert_eq!(s.bytes_read, 400);
+        assert_eq!(s.demand_bytes, 100);
+        assert_eq!(s.prefetch_bytes, 300);
+        assert_eq!(s.demand_requests, 1);
+        assert_eq!(s.prefetch_requests, 1);
+        assert_eq!(s.demand_bytes + s.prefetch_bytes, s.bytes_read);
+        assert_eq!(s.demand_requests + s.prefetch_requests, s.requests);
+        assert_eq!(s.queue_wait_nanos, 40);
+        assert_eq!(s.service_nanos, 100);
+        assert_eq!(s.avg_queue_wait().as_nanos(), 20);
+        assert_eq!(s.avg_service_time().as_nanos(), 50);
+    }
+
+    #[test]
+    fn averages_handle_the_empty_case() {
+        let s = IoStats::default();
+        assert_eq!(s.avg_queue_wait(), VirtualDuration::ZERO);
+        assert_eq!(s.avg_service_time(), VirtualDuration::ZERO);
     }
 }

@@ -9,6 +9,8 @@ use scanshare_common::sync::Mutex;
 
 use scanshare_common::{PageId, ScanId};
 
+use crate::stats::IoKind;
+
 /// One recorded page reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Reference {
@@ -16,6 +18,9 @@ pub struct Reference {
     pub page: PageId,
     /// The scan that referenced it, if known.
     pub scan: Option<ScanId>,
+    /// Whether the reference was a demand access or a speculative prefetch
+    /// admission. Only demand references form the OPT reference string.
+    pub kind: IoKind,
 }
 
 /// A thread-safe, append-only page-reference trace.
@@ -30,9 +35,25 @@ impl ReferenceTrace {
         Self::default()
     }
 
-    /// Records a reference to `page` by `scan`.
+    /// Records a demand reference to `page` by `scan`.
     pub fn record(&self, page: PageId, scan: Option<ScanId>) {
-        self.refs.lock().push(Reference { page, scan });
+        self.refs.lock().push(Reference {
+            page,
+            scan,
+            kind: IoKind::Demand,
+        });
+    }
+
+    /// Records a speculative prefetch admission of `page`. Prefetches are
+    /// kept out of [`ReferenceTrace::pages`] so that an OPT replay of the
+    /// trace still sees exactly the pages the scans consumed, in consumption
+    /// order — the paper's trace methodology.
+    pub fn record_prefetch(&self, page: PageId) {
+        self.refs.lock().push(Reference {
+            page,
+            scan: None,
+            kind: IoKind::Prefetch,
+        });
     }
 
     /// Number of recorded references.
@@ -50,9 +71,15 @@ impl ReferenceTrace {
         self.refs.lock().clone()
     }
 
-    /// Returns just the page ids, in reference order.
+    /// Returns the page ids of the *demand* references, in reference order —
+    /// the reference string an OPT replay consumes.
     pub fn pages(&self) -> Vec<PageId> {
-        self.refs.lock().iter().map(|r| r.page).collect()
+        self.refs
+            .lock()
+            .iter()
+            .filter(|r| r.kind == IoKind::Demand)
+            .map(|r| r.page)
+            .collect()
     }
 
     /// Number of distinct pages referenced.
@@ -91,6 +118,19 @@ mod tests {
         assert_eq!(snap[1].scan, None);
         trace.clear();
         assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn prefetch_references_stay_out_of_the_opt_string() {
+        let trace = ReferenceTrace::new();
+        trace.record(PageId::new(1), None);
+        trace.record_prefetch(PageId::new(2));
+        trace.record(PageId::new(2), None);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.pages(), vec![PageId::new(1), PageId::new(2)]);
+        let snap = trace.snapshot();
+        assert_eq!(snap[1].kind, IoKind::Prefetch);
+        assert_eq!(snap[2].kind, IoKind::Demand);
     }
 
     #[test]

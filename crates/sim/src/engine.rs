@@ -3,20 +3,20 @@
 //! Streams execute their queries back to back. A query is a sequence of range
 //! scans; each scan either issues page requests in order against the shared
 //! [`BufferPool`] (LRU, PBM, OPT-trace runs) or attaches to the
-//! [`Abm`](scanshare_core::cscan::Abm) and consumes chunks out of order
+//! [`Abm`] and consumes chunks out of order
 //! (Cooperative Scans). Misses are served by a bandwidth-limited
 //! [`IoDevice`]; CPU work is charged per tuple, scaled by the query's CPU
 //! factor and by the effective intra-query parallelism
 //! (`min(threads_per_query, cores / streams)`).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use scanshare_common::{
     Error, PageId, PolicyKind, Result, ScanId, ScanShareConfig, VirtualDuration, VirtualInstant,
 };
-use scanshare_core::bufferpool::BufferPool;
+use scanshare_core::bufferpool::{top_up_prefetch_window, BufferPool};
 use scanshare_core::cscan::{Abm, AbmConfig, CScanHandle, CScanRequest, LoadPlan};
 use scanshare_core::metrics::BufferStats;
 use scanshare_core::opt::simulate_opt;
@@ -268,6 +268,12 @@ impl Simulation {
         let device = self.device();
         let stream_count = workload.stream_count();
         let page_size = self.config.scanshare.page_size_bytes;
+        // The asynchronous prefetch window, mirroring
+        // `PooledBackend::top_up_prefetch` in the execution engine: page ->
+        // completion time (ns) of prefetch transfers that may still be in
+        // flight.
+        let prefetch_window = self.config.scanshare.prefetch_pages;
+        let mut inflight: HashMap<PageId, VirtualInstant> = HashMap::new();
 
         let mut streams: Vec<StreamState> = workload
             .streams
@@ -373,12 +379,28 @@ impl Simulation {
             let outcome = pool.request_page(page, Some(part.scan_id), now)?;
             pool.report_scan_position(part.scan_id, part.consumed, now);
             let cpu_ns = (tuples as f64 * cpu_ns_per_tuple).round() as u64;
-            let ready = if outcome.is_hit() {
-                event.time + cpu_ns
+            let mut consumed_inflight = false;
+            let io_done = if outcome.is_hit() {
+                // A hit on a page whose prefetch is still in flight waits
+                // for the remaining transfer time only.
+                match inflight.remove(&page) {
+                    Some(done) => {
+                        consumed_inflight = true;
+                        done.as_nanos().max(event.time)
+                    }
+                    None => event.time,
+                }
             } else {
-                device.submit(now, page_size).as_nanos() + cpu_ns
+                device.submit(now, page_size).as_nanos()
             };
-            push(&mut heap, ready, EventKind::Stream(s));
+            // Top up the prefetch window (after the demand read, which must
+            // not queue behind new speculative transfers), but — like the
+            // engine's PooledBackend — only when this access changed the
+            // prefetch picture, so warm-pool hits stay cheap.
+            if !outcome.is_hit() || consumed_inflight {
+                top_up_prefetch_window(&mut pool, &device, &mut inflight, prefetch_window, now);
+            }
+            push(&mut heap, io_done + cpu_ns, EventKind::Stream(s));
         }
 
         let makespan = streams
@@ -427,6 +449,7 @@ impl Simulation {
                 evictions: opt.evictions,
                 pages_loaded: opt.misses,
                 io_bytes: opt.io_bytes(page_size),
+                ..BufferStats::default()
             },
             makespan: pbm_result.makespan,
             has_timing: false,

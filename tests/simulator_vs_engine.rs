@@ -9,6 +9,7 @@ use scanshare::sim::experiment::{
     fig11_micro_buffer_sweep, fig14_tpch_buffer_sweep, ExperimentScale,
 };
 use scanshare::workload::microbench;
+use scanshare::workload::spec::{QuerySpec, ScanSpec, StreamSpec};
 
 fn micro_setup() -> (Arc<Storage>, WorkloadSpec, u64) {
     let config = MicrobenchConfig {
@@ -144,6 +145,192 @@ fn simulator_is_deterministic_across_runs() {
         assert_eq!(a.total_io_bytes, b.total_io_bytes, "{policy}");
         assert_eq!(a.stream_times, b.stream_times, "{policy}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous prefetching: engine/simulator parity and overlap
+// ---------------------------------------------------------------------------
+
+const PF_PAGE: u64 = 64 * 1024;
+const PF_TUPLES: u64 = 200_000;
+
+/// A two-column table plus the matching one-stream workload spec: the same
+/// scans expressed once for the execution engine and once for the simulator.
+fn prefetch_setup() -> (Arc<Storage>, TableId, WorkloadSpec) {
+    let storage = Storage::with_seed(PF_PAGE, 10_000, 11);
+    let spec = TableSpec::new(
+        "t",
+        vec![
+            ColumnSpec::with_width("a", ColumnType::Int64, 8.0),
+            ColumnSpec::with_width("b", ColumnType::Int64, 4.0),
+        ],
+        PF_TUPLES,
+    );
+    let table = storage
+        .create_table_with_data(
+            spec,
+            vec![
+                DataGen::Sequential { start: 0, step: 1 },
+                DataGen::Constant(3),
+            ],
+        )
+        .unwrap();
+    let query = QuerySpec {
+        label: "full-scan".into(),
+        scans: vec![ScanSpec {
+            table,
+            columns: vec![0, 1],
+            ranges: RangeList::single(0, PF_TUPLES),
+        }],
+        cpu_factor: 1.0,
+    };
+    let workload = WorkloadSpec {
+        name: "prefetch-parity".into(),
+        streams: vec![StreamSpec {
+            label: "s0".into(),
+            queries: vec![query.clone(), query],
+        }],
+    };
+    (storage, table, workload)
+}
+
+fn prefetch_config(policy: PolicyKind, pool_bytes: u64, prefetch_pages: usize) -> ScanShareConfig {
+    ScanShareConfig {
+        page_size_bytes: PF_PAGE,
+        chunk_tuples: 10_000,
+        buffer_pool_bytes: pool_bytes,
+        policy,
+        prefetch_pages,
+        ..Default::default()
+    }
+}
+
+/// Runs the workload on the execution engine (two sequential full scans,
+/// like the simulated stream) and returns the buffer-manager stats.
+fn engine_io(policy: PolicyKind, pool_bytes: u64, prefetch_pages: usize) -> BufferStats {
+    let (storage, table, _) = prefetch_setup();
+    let engine = Engine::new(storage, prefetch_config(policy, pool_bytes, prefetch_pages)).unwrap();
+    for _ in 0..2 {
+        let result = engine
+            .query(table)
+            .columns(["a", "b"])
+            .aggregate(AggrSpec::global(vec![Aggregate::Sum(1), Aggregate::Count]))
+            .run()
+            .unwrap();
+        assert_eq!(result[&0].count, PF_TUPLES);
+    }
+    engine.buffer_stats()
+}
+
+/// Runs the same workload through the discrete-event simulator.
+fn sim_io(policy: PolicyKind, pool_bytes: u64, prefetch_pages: usize) -> SimResult {
+    let (storage, _, workload) = prefetch_setup();
+    let sim = Simulation::new(
+        storage,
+        SimConfig {
+            scanshare: prefetch_config(policy, pool_bytes, prefetch_pages),
+            cores: 8,
+            sharing_sample_interval: None,
+        },
+    )
+    .unwrap();
+    sim.run(&workload).unwrap()
+}
+
+#[test]
+fn engine_and_simulator_agree_on_io_with_prefetch_enabled() {
+    // LRU under replacement pressure (the pool holds ~40 % of the table):
+    // both passes re-read everything, prefetched or not, and the engine and
+    // the simulator must account the identical volume.
+    let pool_small = 15 * PF_PAGE;
+    for window in [0usize, 4] {
+        let engine = engine_io(PolicyKind::Lru, pool_small, window);
+        let sim = sim_io(PolicyKind::Lru, pool_small, window);
+        assert_eq!(
+            engine.io_bytes, sim.total_io_bytes,
+            "lru window {window}: engine and simulator I/O volumes must match"
+        );
+        assert_eq!(
+            engine.io_bytes, sim.buffer.io_bytes,
+            "lru window {window}: sim pool stats agree with its reported total"
+        );
+    }
+
+    // PBM with headroom: every distinct page is read exactly once, by
+    // prefetch or by demand, in both implementations.
+    let pool_large = 64 * PF_PAGE;
+    for window in [0usize, 4] {
+        let engine = engine_io(PolicyKind::Pbm, pool_large, window);
+        let sim = sim_io(PolicyKind::Pbm, pool_large, window);
+        assert_eq!(
+            engine.io_bytes, sim.total_io_bytes,
+            "pbm window {window}: engine and simulator I/O volumes must match"
+        );
+        if window > 0 {
+            assert!(
+                engine.prefetched_pages > 0,
+                "pbm: the engine actually prefetched"
+            );
+            assert!(
+                sim.buffer.prefetched_pages > 0,
+                "pbm: the simulator actually prefetched"
+            );
+        }
+    }
+}
+
+#[test]
+fn prefetch_changes_when_pages_load_not_which() {
+    // Prefetching never evicts, so the I/O volume is invariant in the
+    // window for every pooled policy, under pressure and with headroom.
+    for policy in [PolicyKind::Lru, PolicyKind::Pbm] {
+        for pool in [15 * PF_PAGE, 64 * PF_PAGE] {
+            let sync = sim_io(policy, pool, 0);
+            let prefetch = sim_io(policy, pool, 8);
+            assert_eq!(
+                sync.total_io_bytes, prefetch.total_io_bytes,
+                "{policy}: prefetching must not change the I/O volume"
+            );
+            assert_eq!(
+                prefetch.buffer.io_bytes - prefetch.buffer.prefetch_io_bytes,
+                prefetch.buffer.misses * PF_PAGE,
+                "{policy}: demand I/O is exactly the misses"
+            );
+        }
+    }
+}
+
+#[test]
+fn prefetch_overlap_reduces_stream_time_when_compute_can_hide_io() {
+    // One stream on one core with a fast device: the bench regime where a
+    // synchronous scan pays io + cpu per page while the prefetching scan
+    // pays max(io, cpu). Virtual time is deterministic, so strictly less.
+    let (storage, _, workload) = prefetch_setup();
+    let run = |prefetch_pages: usize| {
+        let mut scanshare = prefetch_config(PolicyKind::Pbm, 64 * PF_PAGE, prefetch_pages);
+        scanshare.io_bandwidth = Bandwidth::from_gb_per_sec(2.0);
+        scanshare.io_latency_nanos = 10_000;
+        Simulation::new(
+            Arc::clone(&storage),
+            SimConfig {
+                scanshare,
+                cores: 1,
+                sharing_sample_interval: None,
+            },
+        )
+        .unwrap()
+        .run(&workload)
+        .unwrap()
+    };
+    let sync = run(0);
+    let prefetch = run(8);
+    assert_eq!(sync.total_io_bytes, prefetch.total_io_bytes);
+    assert!(
+        prefetch.avg_stream_time_secs().unwrap() < sync.avg_stream_time_secs().unwrap(),
+        "prefetching must hide I/O behind compute (sync {:?} vs prefetch {:?})",
+        sync.avg_stream_time_secs(),
+        prefetch.avg_stream_time_secs()
+    );
 }
 
 #[test]
