@@ -15,7 +15,8 @@
 use std::sync::Arc;
 
 use scanshare_bench::crit::{BenchmarkId, Criterion};
-use scanshare_bench::{criterion_group, criterion_main};
+use scanshare_bench::json::Json;
+use scanshare_bench::{bench_preset, criterion_group, criterion_main, write_bench_json};
 
 use scanshare_common::{Bandwidth, PolicyKind, ScanShareConfig};
 use scanshare_sim::{SimConfig, Simulation};
@@ -56,10 +57,18 @@ fn sim(
 }
 
 fn bench(c: &mut Criterion) {
+    // The smoke preset (CI's bench-smoke job) shrinks the workload so the
+    // figure runs in seconds; both clocks here are *virtual*, so the
+    // speedups are deterministic and machine-independent at either scale.
+    let preset = bench_preset();
+    let (queries_per_stream, lineitem_tuples) = match preset {
+        "smoke" => (2, 120_000),
+        _ => (4, 480_000),
+    };
     let micro = MicrobenchConfig {
         streams: 1,
-        queries_per_stream: 4,
-        lineitem_tuples: 480_000,
+        queries_per_stream,
+        lineitem_tuples,
         ..Default::default()
     };
     let (storage, workload) = microbench::build(&micro, PAGE, CHUNK).expect("workload");
@@ -76,6 +85,8 @@ fn bench(c: &mut Criterion) {
         "policy", "pool %", "MB/s", "sync s", "prefetch s", "speedup", "io ratio"
     );
     let mut pbm_headroom_fast: Option<(f64, f64)> = None;
+    let mut metrics = Json::object();
+    let mut io_violations: Vec<String> = Vec::new();
     for policy in [PolicyKind::Lru, PolicyKind::Pbm] {
         // 40 % is the paper's pressure point (prefetch never evicts, so it
         // is inert once the pool fills); 110 % is the headroom regime where
@@ -101,17 +112,58 @@ fn bench(c: &mut Criterion) {
                     t_sync / t_pf,
                     prefetch.total_io_bytes as f64 / sync.total_io_bytes as f64,
                 );
+                // Prefetching never evicts, so it must change *when* bytes
+                // move, never *how many*. Collected here, asserted exactly
+                // after the JSON artifact is written: a one-sided throughput
+                // gate could not catch an upward regression of this ratio,
+                // and a failing figure must still upload its numbers.
+                if prefetch.total_io_bytes != sync.total_io_bytes {
+                    io_violations.push(format!(
+                        "{policy} pool {:.0}% bw {mb}: prefetch {} vs sync {} bytes",
+                        fraction * 100.0,
+                        prefetch.total_io_bytes,
+                        sync.total_io_bytes
+                    ));
+                }
+                metrics.set(
+                    format!(
+                        "virtual_speedup_{}_pool{:.0}_bw{:.0}",
+                        policy.name(),
+                        fraction * 100.0,
+                        mb
+                    ),
+                    t_sync / t_pf,
+                );
                 if policy == PolicyKind::Pbm && fraction > 1.0 && mb >= 2000.0 {
                     pbm_headroom_fast = Some((t_sync, t_pf));
+                    metrics.set(
+                        "io_ratio_pbm_headroom",
+                        prefetch.total_io_bytes as f64 / sync.total_io_bytes as f64,
+                    );
                 }
             }
         }
     }
 
+    let (t_sync, t_pf) = pbm_headroom_fast.expect("PBM headroom high-bandwidth point");
+    metrics.set("virtual_speedup_pbm_headroom", t_sync / t_pf);
+
+    // Emit the artifact before any assertion so a failing figure still
+    // uploads the numbers behind the failure.
+    let mut doc = Json::object();
+    doc.set("figure", "prefetch_overlap")
+        .set("preset", preset)
+        .set("metrics", metrics);
+    write_bench_json("prefetch_overlap", &doc);
+
+    assert!(
+        io_violations.is_empty(),
+        "prefetching changed the I/O volume:\n{}",
+        io_violations.join("\n")
+    );
     // The acceptance property of the figure: with bandwidth high enough that
     // compute can hide the transfers (and pool headroom for the window),
     // prefetching PBM beats the synchronous baseline on average stream time.
-    let (t_sync, t_pf) = pbm_headroom_fast.expect("PBM headroom high-bandwidth point");
     assert!(
         t_pf < t_sync,
         "prefetching PBM must beat the synchronous baseline at high bandwidth \

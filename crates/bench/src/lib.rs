@@ -14,8 +14,38 @@
 #![warn(missing_docs)]
 
 pub mod crit;
+pub mod json;
+
+use std::path::PathBuf;
 
 use scanshare_sim::ExperimentScale;
+
+/// The figure preset selected via `SCANSHARE_BENCH_PRESET`: `"smoke"` (the
+/// CI `bench-smoke` job: small tables, few queries, runs in seconds) or
+/// anything else / unset for the full figure.
+pub fn bench_preset() -> &'static str {
+    match std::env::var("SCANSHARE_BENCH_PRESET").as_deref() {
+        Ok("smoke") => "smoke",
+        _ => "full",
+    }
+}
+
+/// Where `BENCH_<figure>.json` files are written: the directory named by
+/// `SCANSHARE_BENCH_JSON_DIR`, defaulting to the current directory.
+pub fn bench_json_path(figure: &str) -> PathBuf {
+    let dir = std::env::var("SCANSHARE_BENCH_JSON_DIR").unwrap_or_else(|_| ".".into());
+    PathBuf::from(dir).join(format!("BENCH_{figure}.json"))
+}
+
+/// Writes a figure's machine-readable results next to its printed table and
+/// reports where they went.
+pub fn write_bench_json(figure: &str, doc: &json::Json) {
+    let path = bench_json_path(figure);
+    match std::fs::write(&path, doc.to_pretty()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}
 
 /// The experiment scale selected via `SCANSHARE_BENCH_SCALE`.
 pub fn bench_scale() -> ExperimentScale {

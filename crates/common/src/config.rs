@@ -115,6 +115,17 @@ pub struct ScanShareConfig {
     /// `prefetch_hints` (PBM ranks by predicted next-consumption time, LRU
     /// falls back to sequential readahead).
     pub prefetch_pages: usize,
+    /// Number of independently-locked shards the execution engine's page
+    /// buffer is partitioned into. Page residency, pinning and statistics
+    /// are tracked per shard, so concurrent streams hitting warm pages
+    /// synchronize only on the shard owning the page instead of on one
+    /// global pool lock. Replacement decisions stay *globally exact*: the
+    /// replacement policy observes the same access sequence it would see
+    /// with a single shard, so hit counts and the total I/O volume are
+    /// identical for every shard count. `1` (the default) reproduces the
+    /// fully serialized pool. The discrete-event simulator is
+    /// single-threaded and ignores this knob.
+    pub pool_shards: usize,
     /// Name of a custom replacement policy registered with a
     /// `PolicyRegistry`, overriding the page-level policy that `policy`
     /// would select. The engine keeps `policy`'s family semantics (OPT trace
@@ -136,6 +147,7 @@ impl Default for ScanShareConfig {
             threads_per_query: 8,
             policy: PolicyKind::Pbm,
             prefetch_pages: 0,
+            pool_shards: 1,
             custom_policy: None,
         }
     }
@@ -169,6 +181,9 @@ impl ScanShareConfig {
                  fills free capacity (prefetch never evicts), so a window at least as \
                  large as the pool can never be satisfied",
             ));
+        }
+        if self.pool_shards == 0 {
+            return Err(Error::config("pool_shards must be at least 1"));
         }
         if self.custom_policy.is_some() && self.policy == PolicyKind::CScan {
             return Err(Error::config(
@@ -206,6 +221,13 @@ impl ScanShareConfig {
     /// disables prefetching.
     pub fn with_prefetch_pages(mut self, pages: usize) -> Self {
         self.prefetch_pages = pages;
+        self
+    }
+
+    /// Returns a copy with a different buffer shard count (see
+    /// [`ScanShareConfig::pool_shards`]); `1` restores the single-lock pool.
+    pub fn with_pool_shards(mut self, shards: usize) -> Self {
+        self.pool_shards = shards;
         self
     }
 
@@ -278,12 +300,26 @@ mod tests {
             .with_policy(PolicyKind::Lru)
             .with_bandwidth(Bandwidth::from_mb_per_sec(200.0))
             .with_buffer_pool_bytes(1 << 20)
-            .with_prefetch_pages(3);
+            .with_prefetch_pages(3)
+            .with_pool_shards(4);
         assert_eq!(cfg.policy, PolicyKind::Lru);
         assert_eq!(cfg.buffer_pool_bytes, 1 << 20);
         assert_eq!(cfg.io_bandwidth.mb_per_sec(), 200.0);
         assert_eq!(cfg.prefetch_pages, 3);
+        assert_eq!(cfg.pool_shards, 4);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn pool_shards_default_to_one_and_zero_is_rejected() {
+        assert_eq!(ScanShareConfig::default().pool_shards, 1);
+        let bad = ScanShareConfig::default().with_pool_shards(0);
+        assert!(bad.validate().is_err());
+        // Shard counts beyond the page count are pointless but harmless.
+        ScanShareConfig::default()
+            .with_pool_shards(1024)
+            .validate()
+            .unwrap();
     }
 
     #[test]

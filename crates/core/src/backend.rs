@@ -5,8 +5,9 @@
 //! delivers most of Cooperative Scans' benefit *without* forking the system
 //! architecture. The execution layer mirrors that: a scan operator talks to
 //! a [`ScanBackend`] and never needs to know whether the engine runs a
-//! passive [`BufferPool`] with a pluggable replacement policy
-//! ([`PooledBackend`]) or the chunk-dispatching [`Abm`] ([`CScanBackend`]).
+//! passive page buffer (a [`ShardedPool`] with a pluggable replacement
+//! policy, [`PooledBackend`]) or the chunk-dispatching [`Abm`]
+//! ([`CScanBackend`]).
 //!
 //! The protocol is the paper's buffer-manager interface (Figure 3 /
 //! Section 2):
@@ -37,9 +38,9 @@ use scanshare_iosim::{IoDevice, IoKind};
 use scanshare_storage::layout::TableLayout;
 use scanshare_storage::snapshot::Snapshot;
 
-use crate::bufferpool::BufferPool;
 use crate::cscan::{Abm, AbmAction, CScanRequest};
 use crate::metrics::BufferStats;
+use crate::sharded::ShardedPool;
 
 /// What a scan announces to a backend when it registers: the stable data it
 /// is going to read.
@@ -126,15 +127,19 @@ fn charge_io(device: &IoDevice, clock: &VirtualClock, bytes: u64) {
 }
 
 // ---------------------------------------------------------------------------
-// PooledBackend: BufferPool + ReplacementPolicy (LRU / PBM / OPT / custom)
+// PooledBackend: ShardedPool + ReplacementPolicy (LRU / PBM / OPT / custom)
 // ---------------------------------------------------------------------------
 
-/// A [`ScanBackend`] over the page-level [`BufferPool`] and its pluggable
+/// A [`ScanBackend`] over the page-level [`ShardedPool`] and its pluggable
 /// [`ReplacementPolicy`](crate::policy::ReplacementPolicy).
 ///
 /// Ranges are delivered strictly in registration order; the interesting
 /// decisions (what to evict, what the scans' progress reports mean) happen
 /// inside the replacement policy on every [`ScanBackend::request_page`].
+/// The pool synchronizes internally (per-shard page-table locks, one policy
+/// lock fed by an order-preserving event queue — see
+/// [`sharded`](crate::sharded)), so concurrent scans of a multi-stream
+/// workload contend only on the shard owning the page they touch.
 ///
 /// With a non-zero prefetch window
 /// ([`PooledBackend::with_prefetch_window`]), the backend additionally keeps
@@ -144,15 +149,15 @@ fn charge_io(device: &IoDevice, clock: &VirtualClock, bytes: u64) {
 /// transfer time instead of a full synchronous load.
 #[derive(Debug)]
 pub struct PooledBackend {
-    pool: Mutex<BufferPool>,
+    pool: ShardedPool,
     /// Pending SID ranges per registered scan, delivered front to back.
     pending: Mutex<HashMap<ScanId, VecDeque<TupleRange>>>,
     /// Prefetched pages whose transfer may still be in flight, with their
     /// completion times. Entries leave the map when the transfer completes
     /// (freeing a window slot) or when a demand access consumes the page.
     ///
-    /// Lock order: `inflight` may be taken while holding `pool`, never the
-    /// other way around.
+    /// Lock order: the pool's internal locks may be taken while holding
+    /// `inflight` (the prefetch top-up path), never the other way around.
     inflight: Mutex<HashMap<PageId, VirtualInstant>>,
     prefetch_pages: usize,
     clock: Arc<VirtualClock>,
@@ -167,7 +172,7 @@ impl PooledBackend {
     /// policy family reported by [`ScanBackend::kind`] (custom registry
     /// policies report the family they were configured under).
     pub fn new(
-        pool: BufferPool,
+        pool: ShardedPool,
         clock: Arc<VirtualClock>,
         device: Arc<IoDevice>,
         kind: PolicyKind,
@@ -175,7 +180,7 @@ impl PooledBackend {
         let name = pool.policy_name();
         let page_size_bytes = pool.page_size_bytes();
         Self {
-            pool: Mutex::new(pool),
+            pool,
             pending: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
             prefetch_pages: 0,
@@ -202,12 +207,12 @@ impl PooledBackend {
     /// Tops up the prefetch window: asks the pool (and through it the
     /// policy) for the most urgent non-resident pages and submits their
     /// transfers asynchronously, without advancing the caller's clock.
-    fn top_up_prefetch(&self, pool: &mut BufferPool) {
+    fn top_up_prefetch(&self) {
         if self.prefetch_pages == 0 {
             return;
         }
         crate::bufferpool::top_up_prefetch_window(
-            pool,
+            &mut &self.pool,
             &self.device,
             &mut self.inflight.lock(),
             self.prefetch_pages,
@@ -230,13 +235,9 @@ impl ScanBackend for PooledBackend {
             request
                 .layout
                 .scan_page_plan(&request.snapshot, &request.columns, &request.ranges);
-        let id = {
-            let mut pool = self.pool.lock();
-            let id = pool.register_scan(&plan, self.clock.now());
-            // A fresh scan's first pages can start loading immediately.
-            self.top_up_prefetch(&mut pool);
-            id
-        };
+        let id = self.pool.register_scan(&plan, self.clock.now());
+        // A fresh scan's first pages can start loading immediately.
+        self.top_up_prefetch();
         self.pending
             .lock()
             .insert(id, request.ranges.ranges().iter().copied().collect());
@@ -253,10 +254,7 @@ impl ScanBackend for PooledBackend {
     }
 
     fn request_page(&self, scan: ScanId, page: PageId) -> Result<()> {
-        let outcome = self
-            .pool
-            .lock()
-            .request_page(page, Some(scan), self.clock.now())?;
+        let outcome = self.pool.request_page(page, Some(scan), self.clock.now())?;
         let mut consumed_inflight = false;
         if outcome.is_hit() {
             // A hit on a page whose prefetch is still in flight waits for
@@ -276,31 +274,28 @@ impl ScanBackend for PooledBackend {
         // loaded a page, or a window slot was consumed): a hit on an
         // already-warm pool must not pay an O(tracked pages) policy scan.
         if self.prefetch_pages > 0 && (!outcome.is_hit() || consumed_inflight) {
-            self.top_up_prefetch(&mut self.pool.lock());
+            self.top_up_prefetch();
         }
         Ok(())
     }
 
     fn report_position(&self, scan: ScanId, tuples_consumed: u64) {
         self.pool
-            .lock()
             .report_scan_position(scan, tuples_consumed, self.clock.now());
     }
 
     fn finish_scan(&self, scan: ScanId) {
         if self.pending.lock().remove(&scan).is_some() {
-            self.pool.lock().unregister_scan(scan, self.clock.now());
+            self.pool.unregister_scan(scan, self.clock.now());
         }
     }
 
     fn stats(&self) -> BufferStats {
-        self.pool.lock().stats()
+        self.pool.stats()
     }
 
     fn drive_prefetch(&self) {
-        if self.prefetch_pages > 0 {
-            self.top_up_prefetch(&mut self.pool.lock());
-        }
+        self.top_up_prefetch();
     }
 }
 
@@ -501,7 +496,7 @@ mod tests {
         let (_storage, request) = setup(2000);
         let (clock, device) = clock_and_device();
         let backend = PooledBackend::new(
-            BufferPool::new(64, PAGE, Box::new(LruPolicy::new())),
+            ShardedPool::new(64, PAGE, Box::new(LruPolicy::new()), 2),
             Arc::clone(&clock),
             device,
             PolicyKind::Lru,
@@ -568,7 +563,7 @@ mod tests {
         let (clock, device) = clock_and_device();
         let backends: Vec<Box<dyn ScanBackend>> = vec![
             Box::new(PooledBackend::new(
-                BufferPool::new(64, PAGE, Box::new(LruPolicy::new())),
+                ShardedPool::new(64, PAGE, Box::new(LruPolicy::new()), 2),
                 Arc::clone(&clock),
                 Arc::clone(&device),
                 PolicyKind::Lru,
@@ -597,7 +592,7 @@ mod tests {
         // Synchronous baseline.
         let (sync_clock, sync_device) = clock_and_device();
         let sync_backend = PooledBackend::new(
-            BufferPool::new(64, PAGE, Box::new(LruPolicy::new())),
+            ShardedPool::new(64, PAGE, Box::new(LruPolicy::new()), 2),
             Arc::clone(&sync_clock),
             Arc::clone(&sync_device),
             PolicyKind::Lru,
@@ -606,7 +601,7 @@ mod tests {
         // Prefetching backend with a 4-page window.
         let (pf_clock, pf_device) = clock_and_device();
         let pf_backend = PooledBackend::new(
-            BufferPool::new(64, PAGE, Box::new(LruPolicy::new())),
+            ShardedPool::new(64, PAGE, Box::new(LruPolicy::new()), 2),
             Arc::clone(&pf_clock),
             Arc::clone(&pf_device),
             PolicyKind::Lru,
@@ -657,7 +652,7 @@ mod tests {
     fn unknown_scan_ids_error() {
         let (clock, device) = clock_and_device();
         let backend = PooledBackend::new(
-            BufferPool::new(4, PAGE, Box::new(LruPolicy::new())),
+            ShardedPool::new(4, PAGE, Box::new(LruPolicy::new()), 1),
             clock,
             device,
             PolicyKind::Lru,

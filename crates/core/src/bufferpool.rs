@@ -20,6 +20,37 @@ use scanshare_storage::layout::ScanPagePlan;
 use crate::metrics::BufferStats;
 use crate::policy::{ReplacementPolicy, ScanInfo};
 
+/// The pool surface the asynchronous prefetch window drives: free-capacity
+/// probes, policy-ranked candidates and speculative admission. Implemented
+/// by [`BufferPool`] (the simulator's single-threaded pool) and by
+/// `&`[`ShardedPool`](crate::sharded::ShardedPool) (the execution engine's
+/// concurrent pool), so both run the identical window semantics.
+pub trait PrefetchPool {
+    /// Number of unused page slots (the only capacity prefetching may use).
+    fn free_pages(&self) -> usize;
+    /// Page size in bytes.
+    fn page_size_bytes(&self) -> u64;
+    /// Up to `budget` non-resident pages worth staging, most urgent first.
+    fn prefetch_candidates(&mut self, budget: usize, now: VirtualInstant) -> Vec<PageId>;
+    /// Admits `page` speculatively; `false` when resident or full.
+    fn admit_prefetch(&mut self, page: PageId, now: VirtualInstant) -> bool;
+}
+
+impl PrefetchPool for BufferPool {
+    fn free_pages(&self) -> usize {
+        BufferPool::free_pages(self)
+    }
+    fn page_size_bytes(&self) -> u64 {
+        BufferPool::page_size_bytes(self)
+    }
+    fn prefetch_candidates(&mut self, budget: usize, now: VirtualInstant) -> Vec<PageId> {
+        BufferPool::prefetch_candidates(self, budget, now)
+    }
+    fn admit_prefetch(&mut self, page: PageId, now: VirtualInstant) -> bool {
+        BufferPool::admit_prefetch(self, page, now)
+    }
+}
+
 /// Tops up a bounded asynchronous prefetch window: drops completed transfers
 /// from `inflight`, asks the pool's policy for the most urgent non-resident
 /// pages, admits them (never evicting — only free capacity is filled) and
@@ -28,8 +59,8 @@ use crate::policy::{ReplacementPolicy, ScanInfo};
 /// This is the one implementation of the window semantics, shared by the
 /// execution engine's `PooledBackend` and the discrete-event simulator so
 /// the two timing models cannot drift apart.
-pub fn top_up_prefetch_window(
-    pool: &mut BufferPool,
+pub fn top_up_prefetch_window<P: PrefetchPool>(
+    pool: &mut P,
     device: &IoDevice,
     inflight: &mut HashMap<PageId, VirtualInstant>,
     window: usize,

@@ -34,10 +34,11 @@ pub mod pbm;
 pub mod pbm_lru;
 pub mod policy;
 pub mod registry;
+pub mod sharded;
 pub mod throttle;
 
 pub use backend::{CScanBackend, PooledBackend, ScanBackend, ScanRequest, ScanStep};
-pub use bufferpool::{AccessOutcome, BufferPool};
+pub use bufferpool::{AccessOutcome, BufferPool, PrefetchPool};
 pub use cscan::{Abm, AbmAction, AbmConfig, CScanHandle};
 pub use lru::LruPolicy;
 pub use metrics::BufferStats;
@@ -47,4 +48,5 @@ pub use pbm::{PbmConfig, PbmPolicy};
 pub use pbm_lru::{PbmLruConfig, PbmLruPolicy};
 pub use policy::{ReplacementPolicy, ScanInfo};
 pub use registry::{PolicyFactory, PolicyRegistry};
+pub use sharded::ShardedPool;
 pub use throttle::{ScanProgress, ThrottleConfig, ThrottlePlanner};

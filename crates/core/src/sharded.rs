@@ -1,0 +1,748 @@
+//! A sharded page buffer with globally exact replacement decisions.
+//!
+//! [`ShardedPool`] is the concurrent counterpart of [`BufferPool`](crate::bufferpool::BufferPool): the page
+//! table, pin counts and statistics are partitioned across N independently
+//! locked shards (`shard = page id mod N`), so concurrent scans hitting warm
+//! pages synchronize only on the shard that owns the page instead of on one
+//! global pool lock — the serialization point the single
+//! `Mutex<BufferPool>` used to be under multi-stream workloads.
+//!
+//! ## Why the policy is *not* partitioned
+//!
+//! Splitting the replacement policy itself into per-shard instances with
+//! per-shard capacity would change its decisions: global LRU is not the
+//! composition of shard-local LRUs (a skewed trace can overflow one shard
+//! while another has room, producing misses the global policy never takes).
+//! This reproduction's figures hinge on exact I/O-volume accounting, so the
+//! pool keeps **one** policy instance and guarantees it observes *exactly*
+//! the access sequence a single-shard pool would feed it:
+//!
+//! * the hot path (a hit) takes only the owning shard's lock, bumps the
+//!   shard-local hit counter and **buffers** the policy callback
+//!   (`on_access`, and likewise `report_scan_position`) tagged with a
+//!   global sequence number;
+//! * every path that *reads or decides on* policy state — misses (eviction),
+//!   scan registration, prefetch — first drains all buffers and replays the
+//!   events to the policy in sequence order.
+//!
+//! The policy therefore sees the same calls, with the same arguments, in the
+//! same order, at every decision point, for every shard count: hit counts
+//! and total I/O volume are byte-identical to [`BufferPool`](crate::bufferpool::BufferPool) for any
+//! single-threaded trace (`tests/sharded_pool_properties.rs` asserts this
+//! property over randomized traces), and misses — which pay virtual I/O
+//! anyway — are the only accesses that serialize on the policy.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use scanshare_common::sync::{Mutex, MutexGuard};
+use scanshare_common::{Error, PageId, Result, ScanId, VirtualInstant};
+use scanshare_iosim::ReferenceTrace;
+use scanshare_storage::layout::ScanPagePlan;
+
+use crate::bufferpool::AccessOutcome;
+use crate::metrics::BufferStats;
+use crate::policy::{ReplacementPolicy, ScanInfo};
+
+/// How many buffered policy events a single shard (or the report queue)
+/// accumulates before forcing a drain, bounding memory on hit-only
+/// workloads. Draining is order-preserving, so the threshold affects only
+/// *when* the policy catches up, never *what* it observes.
+const EVENT_FLUSH_THRESHOLD: usize = 1024;
+
+/// A deferred policy callback, tagged with its global arrival sequence.
+#[derive(Debug)]
+enum PendingEvent {
+    /// `ReplacementPolicy::on_access` from the hit fast path.
+    Access {
+        page: PageId,
+        scan: Option<ScanId>,
+        now: VirtualInstant,
+    },
+    /// `ReplacementPolicy::report_scan_position`.
+    Report {
+        scan: ScanId,
+        tuples_consumed: u64,
+        now: VirtualInstant,
+    },
+}
+
+/// One lock domain: the pages whose id hashes here, their pin counts, the
+/// statistics they accumulated and the not-yet-replayed policy events.
+#[derive(Debug, Default)]
+struct Shard {
+    resident: HashSet<PageId>,
+    pinned: HashMap<PageId, u32>,
+    stats: BufferStats,
+    events: Vec<(u64, PendingEvent)>,
+}
+
+/// The single policy instance plus the scan-id allocator, guarded by the
+/// lock every *decision* path takes (and hit paths never do).
+#[derive(Debug)]
+struct PoolCore {
+    policy: Box<dyn ReplacementPolicy>,
+    next_scan: u64,
+}
+
+/// All locks held at once, with every pending event already replayed: the
+/// state a single-shard pool would be in. Shard locks are always taken in
+/// ascending index order, then the report queue, then the core.
+struct Locked<'a> {
+    shards: Vec<MutexGuard<'a, Shard>>,
+    core: MutexGuard<'a, PoolCore>,
+}
+
+/// A fixed-capacity page buffer partitioned into independently-locked
+/// shards, driven by one globally consistent replacement policy.
+///
+/// The interface mirrors [`BufferPool`](crate::bufferpool::BufferPool) but takes `&self`: the pool is
+/// shared directly between the scan threads of an engine (see
+/// [`PooledBackend`](crate::backend::PooledBackend)) without an outer lock.
+#[derive(Debug)]
+pub struct ShardedPool {
+    shards: Vec<Mutex<Shard>>,
+    reports: Mutex<Vec<(u64, PendingEvent)>>,
+    core: Mutex<PoolCore>,
+    /// Global arrival order of deferred events.
+    seq: AtomicU64,
+    /// Total resident pages across shards (kept for lock-free capacity
+    /// probes; the authoritative count is the sum of the shard sets).
+    resident_total: AtomicUsize,
+    capacity_pages: usize,
+    page_size_bytes: u64,
+    evict_batch: usize,
+    trace: Option<Arc<ReferenceTrace>>,
+    name: &'static str,
+}
+
+impl ShardedPool {
+    /// Creates a pool of `capacity_pages` pages of `page_size_bytes` each,
+    /// partitioned into `shards` lock domains. `shards == 1` reproduces the
+    /// fully serialized [`BufferPool`](crate::bufferpool::BufferPool) behaviour (and any other shard count
+    /// reproduces its *decisions* — see the module docs).
+    pub fn new(
+        capacity_pages: usize,
+        page_size_bytes: u64,
+        policy: Box<dyn ReplacementPolicy>,
+        shards: usize,
+    ) -> Self {
+        assert!(
+            capacity_pages > 0,
+            "buffer pool must hold at least one page"
+        );
+        assert!(shards > 0, "the pool needs at least one shard");
+        let name = policy.name();
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            reports: Mutex::new(Vec::new()),
+            core: Mutex::new(PoolCore {
+                policy,
+                next_scan: 0,
+            }),
+            seq: AtomicU64::new(0),
+            resident_total: AtomicUsize::new(0),
+            capacity_pages,
+            page_size_bytes,
+            evict_batch: 1,
+            trace: None,
+            name,
+        }
+    }
+
+    /// Attaches a reference-trace recorder (the OPT replay methodology, see
+    /// [`BufferPool::with_trace`](crate::bufferpool::BufferPool::with_trace)).
+    pub fn with_trace(mut self, trace: Arc<ReferenceTrace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Sets the eviction batch size (see
+    /// [`BufferPool::with_evict_batch`](crate::bufferpool::BufferPool::with_evict_batch)).
+    pub fn with_evict_batch(mut self, batch: usize) -> Self {
+        self.evict_batch = batch.max(1);
+        self
+    }
+
+    /// The policy's short name.
+    pub fn policy_name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Page size in bytes.
+    pub fn page_size_bytes(&self) -> u64 {
+        self.page_size_bytes
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of resident pages (across all shards).
+    pub fn resident_count(&self) -> usize {
+        self.resident_total.load(Ordering::Relaxed)
+    }
+
+    /// Number of unused page slots (the only capacity prefetching may use).
+    pub fn free_pages(&self) -> usize {
+        self.capacity_pages.saturating_sub(self.resident_count())
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.shards[self.shard_index(page)]
+            .lock()
+            .resident
+            .contains(&page)
+    }
+
+    /// Statistics aggregated across every shard.
+    pub fn stats(&self) -> BufferStats {
+        let mut total = BufferStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.lock().stats);
+        }
+        total
+    }
+
+    fn shard_index(&self, page: PageId) -> usize {
+        (page.raw() % self.shards.len() as u64) as usize
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Takes every lock (shards in ascending order, then reports, then the
+    /// core) and replays all pending events in global arrival order, leaving
+    /// the policy in exactly the state a single-shard pool would have.
+    fn lock_all(&self) -> Locked<'_> {
+        let mut shards: Vec<MutexGuard<'_, Shard>> = self.shards.iter().map(|s| s.lock()).collect();
+        let mut pending: Vec<(u64, PendingEvent)> = std::mem::take(&mut *self.reports.lock());
+        for shard in &mut shards {
+            pending.append(&mut shard.events);
+        }
+        let mut core = self.core.lock();
+        pending.sort_unstable_by_key(|(seq, _)| *seq);
+        for (_, event) in pending {
+            match event {
+                PendingEvent::Access { page, scan, now } => core.policy.on_access(page, scan, now),
+                PendingEvent::Report {
+                    scan,
+                    tuples_consumed,
+                    now,
+                } => core.policy.report_scan_position(scan, tuples_consumed, now),
+            }
+        }
+        Locked { shards, core }
+    }
+
+    /// Drains and replays all buffered events (bounding buffer memory).
+    fn drain_events(&self) {
+        drop(self.lock_all());
+    }
+
+    /// Registers a scan and announces its page plan to the policy
+    /// (`RegisterScan`). Returns the scan id to use in subsequent calls.
+    pub fn register_scan(&self, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId {
+        let mut locked = self.lock_all();
+        let id = ScanId::new(locked.core.next_scan);
+        locked.core.next_scan += 1;
+        let info = ScanInfo {
+            id,
+            total_tuples: plan.total_tuples,
+            distinct_pages: plan.distinct_pages(),
+        };
+        locked.core.policy.register_scan(&info, plan, now);
+        id
+    }
+
+    /// Reports scan progress (`ReportScanPosition`). Buffered like hit-path
+    /// accesses; the policy replays it in order before its next decision.
+    pub fn report_scan_position(&self, scan: ScanId, tuples_consumed: u64, now: VirtualInstant) {
+        let queued = {
+            let mut reports = self.reports.lock();
+            // The sequence number is taken under the queue lock (like the
+            // hit path takes it under its shard lock) so a drain can never
+            // observe a later event while an earlier one is still in flight.
+            let seq = self.next_seq();
+            reports.push((
+                seq,
+                PendingEvent::Report {
+                    scan,
+                    tuples_consumed,
+                    now,
+                },
+            ));
+            reports.len()
+        };
+        if queued >= EVENT_FLUSH_THRESHOLD {
+            self.drain_events();
+        }
+    }
+
+    /// Unregisters a finished scan (`UnregisterScan`).
+    pub fn unregister_scan(&self, scan: ScanId, now: VirtualInstant) {
+        let mut locked = self.lock_all();
+        locked.core.policy.unregister_scan(scan, now);
+    }
+
+    /// Pins a page, preventing its eviction until unpinned.
+    pub fn pin(&self, page: PageId) {
+        let mut shard = self.shards[self.shard_index(page)].lock();
+        *shard.pinned.entry(page).or_insert(0) += 1;
+    }
+
+    /// Unpins a page previously pinned.
+    pub fn unpin(&self, page: PageId) {
+        let mut shard = self.shards[self.shard_index(page)].lock();
+        if let Some(count) = shard.pinned.get_mut(&page) {
+            *count -= 1;
+            if *count == 0 {
+                shard.pinned.remove(&page);
+            }
+        }
+    }
+
+    /// Requests a page on behalf of `scan`. Hits touch only the shard owning
+    /// the page; on a miss the page is admitted immediately (the caller
+    /// accounts for the load time) after evicting enough unpinned pages —
+    /// chosen by the shared policy, exactly as a single-shard pool would —
+    /// to stay within the global capacity.
+    pub fn request_page(
+        &self,
+        page: PageId,
+        scan: Option<ScanId>,
+        now: VirtualInstant,
+    ) -> Result<AccessOutcome> {
+        let shard_idx = self.shard_index(page);
+        let flush_after = {
+            let mut shard = self.shards[shard_idx].lock();
+            if let Some(trace) = &self.trace {
+                trace.record(page, scan);
+            }
+            if !shard.resident.contains(&page) {
+                drop(shard);
+                return self.admit_demand(page, scan, now);
+            }
+            shard.stats.hits += 1;
+            let seq = self.next_seq();
+            shard
+                .events
+                .push((seq, PendingEvent::Access { page, scan, now }));
+            shard.events.len() >= EVENT_FLUSH_THRESHOLD
+        };
+        if flush_after {
+            self.drain_events();
+        }
+        Ok(AccessOutcome::Hit)
+    }
+
+    /// The miss path: replays pending events, evicts via the shared policy
+    /// and admits `page`. The reference trace was already recorded by
+    /// [`ShardedPool::request_page`].
+    fn admit_demand(
+        &self,
+        page: PageId,
+        scan: Option<ScanId>,
+        now: VirtualInstant,
+    ) -> Result<AccessOutcome> {
+        let mut locked = self.lock_all();
+        let shard_idx = self.shard_index(page);
+        if locked.shards[shard_idx].resident.contains(&page) {
+            // Another thread admitted the page between our shard probe and
+            // the full lock: this request is served from the pool.
+            locked.shards[shard_idx].stats.hits += 1;
+            locked.core.policy.on_access(page, scan, now);
+            return Ok(AccessOutcome::Hit);
+        }
+
+        let mut evicted = Vec::new();
+        let resident: usize = locked.shards.iter().map(|s| s.resident.len()).sum();
+        if resident >= self.capacity_pages {
+            let need = resident + 1 - self.capacity_pages;
+            let want = need.max(self.evict_batch).min(resident);
+            let mut exclude: HashSet<PageId> = locked
+                .shards
+                .iter()
+                .flat_map(|s| s.pinned.keys().copied())
+                .collect();
+            exclude.insert(page);
+            let victims = locked.core.policy.choose_victims(want, &exclude, now);
+            for victim in victims {
+                let vs = self.shard_index(victim);
+                if locked.shards[vs].resident.remove(&victim) {
+                    locked.core.policy.on_evict(victim);
+                    locked.shards[vs].stats.evictions += 1;
+                    self.resident_total.fetch_sub(1, Ordering::Relaxed);
+                    evicted.push(victim);
+                }
+            }
+            let resident: usize = locked.shards.iter().map(|s| s.resident.len()).sum();
+            if resident >= self.capacity_pages {
+                let pinned: usize = locked.shards.iter().map(|s| s.pinned.len()).sum();
+                return Err(Error::BufferPoolTooSmall {
+                    capacity_pages: self.capacity_pages,
+                    required_pages: pinned + 1,
+                });
+            }
+        }
+
+        locked.shards[shard_idx].resident.insert(page);
+        self.resident_total.fetch_add(1, Ordering::Relaxed);
+        locked.core.policy.on_admit(page, now);
+        locked.core.policy.on_access(page, scan, now);
+        let stats = &mut locked.shards[shard_idx].stats;
+        stats.misses += 1;
+        stats.pages_loaded += 1;
+        stats.io_bytes += self.page_size_bytes;
+        Ok(AccessOutcome::Miss { evicted })
+    }
+
+    /// Asks the policy which non-resident pages to stage next, filtered
+    /// against residency (see
+    /// [`BufferPool::prefetch_candidates`](crate::bufferpool::BufferPool::prefetch_candidates)).
+    pub fn prefetch_candidates(&self, budget: usize, now: VirtualInstant) -> Vec<PageId> {
+        if budget == 0 {
+            return Vec::new();
+        }
+        let mut locked = self.lock_all();
+        let hints = locked.core.policy.prefetch_hints(now, budget);
+        let mut seen = HashSet::with_capacity(hints.len());
+        hints
+            .into_iter()
+            .filter(|p| {
+                !locked.shards[self.shard_index(*p)].resident.contains(p) && seen.insert(*p)
+            })
+            .take(budget)
+            .collect()
+    }
+
+    /// Admits `page` speculatively; counts as prefetch I/O, never evicts
+    /// (see [`BufferPool::admit_prefetch`](crate::bufferpool::BufferPool::admit_prefetch)).
+    pub fn admit_prefetch(&self, page: PageId, now: VirtualInstant) -> bool {
+        let mut locked = self.lock_all();
+        let shard_idx = self.shard_index(page);
+        let resident: usize = locked.shards.iter().map(|s| s.resident.len()).sum();
+        if locked.shards[shard_idx].resident.contains(&page) || resident >= self.capacity_pages {
+            return false;
+        }
+        if let Some(trace) = &self.trace {
+            trace.record_prefetch(page);
+        }
+        locked.shards[shard_idx].resident.insert(page);
+        self.resident_total.fetch_add(1, Ordering::Relaxed);
+        locked.core.policy.on_admit(page, now);
+        let stats = &mut locked.shards[shard_idx].stats;
+        stats.pages_loaded += 1;
+        stats.io_bytes += self.page_size_bytes;
+        stats.prefetched_pages += 1;
+        stats.prefetch_io_bytes += self.page_size_bytes;
+        true
+    }
+
+    /// Drops every resident page and resets the statistics (the policy keeps
+    /// its scan registrations).
+    pub fn clear(&self) {
+        let mut locked = self.lock_all();
+        for shard in &mut locked.shards {
+            for page in shard.resident.drain() {
+                locked.core.policy.on_evict(page);
+            }
+            shard.pinned.clear();
+            shard.stats = BufferStats::default();
+        }
+        self.resident_total.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The shared prefetch-window implementation drives a `ShardedPool` through
+/// a shared reference: the pool's interior locks replace the `&mut`
+/// exclusivity [`BufferPool`](crate::bufferpool::BufferPool) relies on.
+impl crate::bufferpool::PrefetchPool for &ShardedPool {
+    fn free_pages(&self) -> usize {
+        ShardedPool::free_pages(self)
+    }
+    fn page_size_bytes(&self) -> u64 {
+        ShardedPool::page_size_bytes(self)
+    }
+    fn prefetch_candidates(&mut self, budget: usize, now: VirtualInstant) -> Vec<PageId> {
+        ShardedPool::prefetch_candidates(self, budget, now)
+    }
+    fn admit_prefetch(&mut self, page: PageId, now: VirtualInstant) -> bool {
+        ShardedPool::admit_prefetch(self, page, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bufferpool::BufferPool;
+    use crate::lru::LruPolicy;
+    use crate::pbm::{PbmConfig, PbmPolicy};
+
+    fn pool(capacity: usize, shards: usize) -> ShardedPool {
+        ShardedPool::new(capacity, 1024, Box::new(LruPolicy::new()), shards)
+    }
+
+    fn p(i: u64) -> PageId {
+        PageId::new(i)
+    }
+
+    fn now() -> VirtualInstant {
+        VirtualInstant::EPOCH
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted_across_shards() {
+        for shards in [1, 2, 8] {
+            let pool = pool(2, shards);
+            assert_eq!(pool.shard_count(), shards);
+            assert!(!pool.request_page(p(1), None, now()).unwrap().is_hit());
+            assert!(pool.request_page(p(1), None, now()).unwrap().is_hit());
+            assert!(!pool.request_page(p(2), None, now()).unwrap().is_hit());
+            let stats = pool.stats();
+            assert_eq!((stats.hits, stats.misses), (1, 2), "shards {shards}");
+            assert_eq!(stats.io_bytes, 2048);
+            assert_eq!(pool.resident_count(), 2);
+            assert_eq!(pool.free_pages(), 0);
+        }
+    }
+
+    #[test]
+    fn capacity_is_globally_enforced() {
+        for shards in [1, 3, 8] {
+            let pool = pool(3, shards);
+            for i in 0..10 {
+                pool.request_page(p(i), None, now()).unwrap();
+                assert!(pool.resident_count() <= 3, "shards {shards}");
+            }
+            assert_eq!(pool.stats().evictions, 7, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn lru_eviction_order_is_global_not_per_shard() {
+        // Pages 1 and 3 share shard 1 of 2; page 2 lives in shard 0. A
+        // per-shard LRU with split capacity would evict 1 to admit 3; the
+        // globally exact policy evicts 2, the least recently used page.
+        let pool = pool(2, 2);
+        pool.request_page(p(1), None, now()).unwrap();
+        pool.request_page(p(2), None, now()).unwrap();
+        pool.request_page(p(1), None, now()).unwrap();
+        let outcome = pool.request_page(p(3), None, now()).unwrap();
+        assert_eq!(
+            outcome,
+            AccessOutcome::Miss {
+                evicted: vec![p(2)]
+            }
+        );
+        assert!(pool.contains(p(1)));
+        assert!(!pool.contains(p(2)));
+        assert!(pool.contains(p(3)));
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_and_exhaust_the_pool() {
+        let pool = pool(2, 4);
+        pool.request_page(p(1), None, now()).unwrap();
+        pool.pin(p(1));
+        pool.request_page(p(2), None, now()).unwrap();
+        pool.request_page(p(3), None, now()).unwrap();
+        assert!(pool.contains(p(1)), "pinned page survived");
+        pool.pin(p(3));
+        let err = pool.request_page(p(4), None, now()).unwrap_err();
+        assert!(matches!(err, Error::BufferPoolTooSmall { .. }));
+        pool.unpin(p(1));
+        pool.request_page(p(4), None, now()).unwrap();
+        assert!(!pool.contains(p(1)));
+    }
+
+    #[test]
+    fn trace_records_every_request_in_order() {
+        let trace = Arc::new(ReferenceTrace::new());
+        let pool =
+            ShardedPool::new(2, 1024, Box::new(LruPolicy::new()), 4).with_trace(Arc::clone(&trace));
+        pool.request_page(p(5), Some(ScanId::new(9)), now())
+            .unwrap();
+        pool.request_page(p(6), None, now()).unwrap();
+        pool.request_page(p(5), None, now()).unwrap();
+        assert_eq!(trace.pages(), vec![p(5), p(6), p(5)]);
+        assert_eq!(trace.snapshot()[0].scan, Some(ScanId::new(9)));
+    }
+
+    #[test]
+    fn clear_resets_contents_and_stats() {
+        let pool = pool(4, 2);
+        pool.request_page(p(1), None, now()).unwrap();
+        pool.request_page(p(2), None, now()).unwrap();
+        pool.clear();
+        assert_eq!(pool.resident_count(), 0);
+        assert_eq!(pool.stats(), BufferStats::default());
+        assert!(!pool.request_page(p(1), None, now()).unwrap().is_hit());
+    }
+
+    #[test]
+    fn prefetch_admissions_fill_free_capacity_only() {
+        let pool = pool(2, 2);
+        assert!(pool.admit_prefetch(p(1), now()));
+        assert!(!pool.admit_prefetch(p(1), now()), "already resident");
+        assert!(pool.admit_prefetch(p(2), now()));
+        assert!(!pool.admit_prefetch(p(3), now()), "pool is full");
+        let stats = pool.stats();
+        assert_eq!(stats.prefetched_pages, 2);
+        assert_eq!(stats.prefetch_io_bytes, 2048);
+        assert_eq!(stats.evictions, 0);
+        // The demand access that consumes a prefetched page is a hit.
+        assert!(pool.request_page(p(1), None, now()).unwrap().is_hit());
+    }
+
+    #[test]
+    fn buffered_events_are_replayed_before_decisions() {
+        // Hit page 1 repeatedly (buffered, no policy lock), then force an
+        // eviction: the policy must know 1 is the most recent and evict 2.
+        let pool = pool(2, 2);
+        pool.request_page(p(1), None, now()).unwrap();
+        pool.request_page(p(2), None, now()).unwrap();
+        for _ in 0..10 {
+            pool.request_page(p(1), None, now()).unwrap();
+        }
+        let outcome = pool.request_page(p(3), None, now()).unwrap();
+        assert_eq!(
+            outcome,
+            AccessOutcome::Miss {
+                evicted: vec![p(2)]
+            }
+        );
+    }
+
+    #[test]
+    fn event_buffers_are_bounded_on_hit_only_workloads() {
+        let pool = pool(4, 2);
+        pool.request_page(p(0), None, now()).unwrap();
+        for _ in 0..(3 * EVENT_FLUSH_THRESHOLD) {
+            pool.request_page(p(0), None, now()).unwrap();
+        }
+        let buffered: usize = pool.shards.iter().map(|s| s.lock().events.len()).sum();
+        assert!(
+            buffered < EVENT_FLUSH_THRESHOLD,
+            "buffers must drain periodically (held {buffered})"
+        );
+        // Reports are bounded the same way.
+        for i in 0..(2 * EVENT_FLUSH_THRESHOLD) {
+            pool.report_scan_position(ScanId::new(0), i as u64, now());
+        }
+        assert!(pool.reports.lock().len() < EVENT_FLUSH_THRESHOLD);
+    }
+
+    /// Replays the same scan-flavoured trace through `BufferPool` and
+    /// through `ShardedPool` at several shard counts: every outcome and
+    /// every counter must match exactly.
+    #[test]
+    fn matches_bufferpool_exactly_for_pbm_scan_traces() {
+        let make_policy = || -> Box<dyn ReplacementPolicy> {
+            Box::new(PbmPolicy::new(PbmConfig {
+                default_scan_speed: 1000.0,
+                ..Default::default()
+            }))
+        };
+        let plan = |pages: &[u64]| -> ScanPagePlan {
+            use scanshare_common::{ColumnId, TupleRange};
+            use scanshare_storage::layout::PageDescriptor;
+            ScanPagePlan {
+                table: scanshare_common::TableId::new(0),
+                total_tuples: pages.len() as u64 * 100,
+                pages: pages
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &page)| PageDescriptor {
+                        page: p(page),
+                        column: ColumnId::new(0),
+                        column_index: 0,
+                        sid_range: TupleRange::new(i as u64 * 100, (i + 1) as u64 * 100),
+                        tuples_behind: i as u64 * 100,
+                        tuple_count: 100,
+                    })
+                    .collect(),
+            }
+        };
+        let pages: Vec<u64> = (0..12).collect();
+
+        let mut reference = BufferPool::new(4, 1024, make_policy());
+        let run_ref = |pool: &mut BufferPool| {
+            let mut outcomes = Vec::new();
+            let scan = pool.register_scan(&plan(&pages), now());
+            let mut consumed = 0;
+            for &page in &pages {
+                outcomes.push(pool.request_page(p(page), Some(scan), now()).unwrap());
+                consumed += 100;
+                pool.report_scan_position(scan, consumed, now());
+            }
+            pool.unregister_scan(scan, now());
+            outcomes
+        };
+        let expected_outcomes = run_ref(&mut reference);
+        let expected_stats = reference.stats();
+
+        for shards in [1, 2, 8] {
+            let pool = ShardedPool::new(4, 1024, make_policy(), shards);
+            let mut outcomes = Vec::new();
+            let scan = pool.register_scan(&plan(&pages), now());
+            let mut consumed = 0;
+            for &page in &pages {
+                outcomes.push(pool.request_page(p(page), Some(scan), now()).unwrap());
+                consumed += 100;
+                pool.report_scan_position(scan, consumed, now());
+            }
+            pool.unregister_scan(scan, now());
+            assert_eq!(outcomes, expected_outcomes, "shards {shards}");
+            assert_eq!(pool.stats(), expected_stats, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn concurrent_hammering_keeps_global_invariants() {
+        let pool = Arc::new(pool(16, 4));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    let mut x = t + 1;
+                    for _ in 0..2000 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let page = p((x >> 33) % 64);
+                        pool.request_page(page, None, now()).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 2000);
+        assert_eq!(stats.io_bytes, stats.pages_loaded * 1024);
+        assert!(pool.resident_count() <= 16);
+        // The resident counter agrees with the shard sets.
+        let exact: usize = pool.shards.iter().map(|s| s.lock().resident.len()).sum();
+        assert_eq!(pool.resident_count(), exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_is_rejected() {
+        let _ = pool(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_are_rejected() {
+        let _ = pool(4, 0);
+    }
+}

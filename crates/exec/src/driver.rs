@@ -1,0 +1,379 @@
+//! Executes a [`WorkloadSpec`] against a live [`Engine`].
+//!
+//! The `workload` crate's multi-stream specifications (microbenchmark and
+//! TPC-H-like) used to be executable only by the discrete-event simulator;
+//! the driver closes that gap: one **real thread per stream**, each query
+//! lowered from its [`QuerySpec`]/[`ScanSpec`](scanshare_workload::spec::ScanSpec)
+//! onto the builder [`Query`](crate::query::Query) API against the shared engine — and
+//! therefore the shared, concurrently-driven buffer-management backend.
+//!
+//! Two clocks are reported side by side:
+//!
+//! * **wall-clock** throughput (`queries/s`, `tuples/s`) and per-query
+//!   latency percentiles — the real cost of running the streams, including
+//!   every lock the backend takes. This is the metric the
+//!   `throughput_scaling` figure sweeps across
+//!   [`ScanShareConfig::pool_shards`](scanshare_common::ScanShareConfig);
+//! * the engine's **virtual** elapsed time plus the aggregated
+//!   [`BufferStats`]/[`IoStats`] — the paper's deterministic I/O-volume
+//!   accounting, unchanged by sharding or scheduling.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use scanshare_common::{Error, Result, TupleRange, VirtualDuration};
+use scanshare_core::metrics::BufferStats;
+use scanshare_iosim::IoStats;
+use scanshare_workload::spec::{QuerySpec, StreamSpec, WorkloadSpec};
+
+use crate::engine::Engine;
+use crate::ops::{AggrSpec, Aggregate};
+
+/// Runs [`WorkloadSpec`]s against an [`Engine`], one thread per stream.
+#[derive(Debug)]
+pub struct WorkloadDriver {
+    engine: Arc<Engine>,
+    parallelism_per_query: usize,
+}
+
+/// What one driver run measured.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Name of the executed workload.
+    pub workload: String,
+    /// Number of concurrent streams (= driver threads).
+    pub streams: usize,
+    /// Queries executed across all streams.
+    pub queries: u64,
+    /// Tuples scanned across all queries (per the specs' scan ranges).
+    pub tuples: u64,
+    /// Wall-clock time from the first query starting to the last finishing.
+    pub wall: Duration,
+    /// Virtual time the engine's clock advanced during the run.
+    pub virtual_elapsed: VirtualDuration,
+    /// Per-query wall-clock latencies, sorted ascending.
+    pub latencies: Vec<Duration>,
+    /// Buffer-manager counters accumulated during the run (aggregated
+    /// across every pool shard).
+    pub buffer: BufferStats,
+    /// I/O-device counters accumulated during the run.
+    pub io: IoStats,
+}
+
+impl WorkloadReport {
+    /// Wall-clock queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Wall-clock tuples per second.
+    pub fn tuples_per_sec(&self) -> f64 {
+        self.tuples as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the per-query wall-clock latency
+    /// (nearest-rank). `None` when the workload had no queries.
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.latencies.len() as f64).ceil() as usize;
+        Some(self.latencies[rank.max(1) - 1])
+    }
+
+    /// Median per-query latency.
+    pub fn p50(&self) -> Option<Duration> {
+        self.latency_quantile(0.50)
+    }
+
+    /// 95th-percentile per-query latency.
+    pub fn p95(&self) -> Option<Duration> {
+        self.latency_quantile(0.95)
+    }
+
+    /// 99th-percentile per-query latency.
+    pub fn p99(&self) -> Option<Duration> {
+        self.latency_quantile(0.99)
+    }
+}
+
+impl WorkloadDriver {
+    /// Creates a driver over `engine`. Queries run single-threaded inside
+    /// their stream by default (the spec's streams provide the concurrency);
+    /// see [`WorkloadDriver::with_parallelism`].
+    pub fn new(engine: Arc<Engine>) -> Self {
+        Self {
+            engine,
+            parallelism_per_query: 1,
+        }
+    }
+
+    /// Sets the intra-query parallelism every lowered query runs with
+    /// (the builder API's `.parallelism(n)` clause).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism_per_query = workers.max(1);
+        self
+    }
+
+    /// The engine the driver executes against.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Executes `workload`: spawns one thread per [`StreamSpec`], runs each
+    /// stream's queries back to back through the builder API and collects
+    /// the merged report. A failing query ends its own stream immediately;
+    /// the error is returned once the remaining streams have run to
+    /// completion (streams are independent sessions and are never aborted
+    /// mid-query).
+    pub fn run(&self, workload: &WorkloadSpec) -> Result<WorkloadReport> {
+        let virtual_start = self.engine.now();
+        let buffer_start = self.engine.buffer_stats();
+        let io_start = self.engine.device().stats();
+        let wall_start = Instant::now();
+
+        let stream_results: Vec<Result<Vec<Duration>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workload
+                .streams
+                .iter()
+                .map(|stream| scope.spawn(move || self.run_stream(stream)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stream thread panicked"))
+                .collect()
+        });
+
+        let wall = wall_start.elapsed();
+        let mut latencies = Vec::with_capacity(workload.query_count());
+        for result in stream_results {
+            latencies.extend(result?);
+        }
+        latencies.sort_unstable();
+
+        let buffer_end = self.engine.buffer_stats();
+        let io_end = self.engine.device().stats();
+        Ok(WorkloadReport {
+            workload: workload.name.clone(),
+            streams: workload.stream_count(),
+            queries: latencies.len() as u64,
+            tuples: workload.total_tuples(),
+            wall,
+            virtual_elapsed: self.engine.now().since(virtual_start),
+            latencies,
+            buffer: diff_buffer(&buffer_start, &buffer_end),
+            io: diff_io(&io_start, &io_end),
+        })
+    }
+
+    /// Runs one stream's queries in order, returning each query's wall time.
+    fn run_stream(&self, stream: &StreamSpec) -> Result<Vec<Duration>> {
+        let mut latencies = Vec::with_capacity(stream.queries.len());
+        for query in &stream.queries {
+            let started = Instant::now();
+            self.run_query(query)?;
+            latencies.push(started.elapsed());
+        }
+        Ok(latencies)
+    }
+
+    /// Lowers one [`QuerySpec`] onto the builder API: each scan becomes one
+    /// aggregation query per SID range (count + sum over the first column),
+    /// so every registered page is actually read and processed.
+    fn run_query(&self, query: &QuerySpec) -> Result<()> {
+        for scan in &query.scans {
+            let table = self.engine.storage().table(scan.table)?;
+            let columns: Vec<String> = scan
+                .columns
+                .iter()
+                .map(|&idx| {
+                    table
+                        .spec
+                        .columns
+                        .get(idx)
+                        .map(|c| c.name.clone())
+                        .ok_or_else(|| {
+                            Error::plan(format!(
+                                "scan of query {:?} selects column index {idx}, but table {} has \
+                                 only {} columns",
+                                query.label,
+                                table.spec.name,
+                                table.spec.columns.len()
+                            ))
+                        })
+                })
+                .collect::<Result<_>>()?;
+            for &range in scan.ranges.ranges() {
+                let expected = range.len();
+                let result = self
+                    .engine
+                    .query(scan.table)
+                    .columns(columns.iter().map(String::as_str))
+                    .tuple_range(TupleRange::new(range.start, range.end))
+                    .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(0)]))
+                    .parallelism(self.parallelism_per_query)
+                    .run()?;
+                let counted = result.get(&0).map(|g| g.count).unwrap_or(0);
+                if counted != expected {
+                    return Err(Error::internal(format!(
+                        "query {:?} counted {counted} tuples in {range:?}, expected {expected}",
+                        query.label
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn diff_buffer(start: &BufferStats, end: &BufferStats) -> BufferStats {
+    BufferStats {
+        hits: end.hits - start.hits,
+        misses: end.misses - start.misses,
+        evictions: end.evictions - start.evictions,
+        pages_loaded: end.pages_loaded - start.pages_loaded,
+        io_bytes: end.io_bytes - start.io_bytes,
+        prefetched_pages: end.prefetched_pages - start.prefetched_pages,
+        prefetch_io_bytes: end.prefetch_io_bytes - start.prefetch_io_bytes,
+    }
+}
+
+fn diff_io(start: &IoStats, end: &IoStats) -> IoStats {
+    IoStats {
+        bytes_read: end.bytes_read - start.bytes_read,
+        pages_read: end.pages_read - start.pages_read,
+        requests: end.requests - start.requests,
+        demand_bytes: end.demand_bytes - start.demand_bytes,
+        prefetch_bytes: end.prefetch_bytes - start.prefetch_bytes,
+        demand_requests: end.demand_requests - start.demand_requests,
+        prefetch_requests: end.prefetch_requests - start.prefetch_requests,
+        queue_wait_nanos: end.queue_wait_nanos - start.queue_wait_nanos,
+        service_nanos: end.service_nanos - start.service_nanos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanshare_common::{PolicyKind, RangeList, ScanShareConfig, TableId};
+    use scanshare_storage::storage::Storage;
+    use scanshare_workload::microbench::{self, MicrobenchConfig};
+    use scanshare_workload::spec::ScanSpec;
+
+    const PAGE: u64 = 16 * 1024;
+
+    fn setup() -> (Arc<Storage>, WorkloadSpec) {
+        let config = MicrobenchConfig {
+            streams: 3,
+            queries_per_stream: 2,
+            lineitem_tuples: 30_000,
+            ..MicrobenchConfig::tiny()
+        };
+        microbench::build(&config, PAGE, 5_000).unwrap()
+    }
+
+    fn engine(storage: &Arc<Storage>, policy: PolicyKind, shards: usize) -> Arc<Engine> {
+        Engine::new(
+            Arc::clone(storage),
+            ScanShareConfig {
+                page_size_bytes: PAGE,
+                chunk_tuples: 5_000,
+                buffer_pool_bytes: 64 * PAGE,
+                policy,
+                pool_shards: shards,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn driver_executes_every_stream_and_reports_consistent_metrics() {
+        let (storage, workload) = setup();
+        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+            let engine = engine(&storage, policy, 2);
+            let report = WorkloadDriver::new(Arc::clone(&engine))
+                .run(&workload)
+                .unwrap();
+            assert_eq!(report.streams, 3, "{policy}");
+            assert_eq!(report.queries, 6, "{policy}");
+            assert_eq!(report.tuples, workload.total_tuples(), "{policy}");
+            assert_eq!(report.latencies.len(), 6, "{policy}");
+            assert!(report.queries_per_sec() > 0.0, "{policy}");
+            assert!(report.tuples_per_sec() > 0.0, "{policy}");
+            assert!(report.virtual_elapsed > VirtualDuration::ZERO, "{policy}");
+            // Percentiles are ordered and taken from the observed samples.
+            let (p50, p99) = (report.p50().unwrap(), report.p99().unwrap());
+            assert!(p50 <= p99, "{policy}");
+            assert_eq!(p99, *report.latencies.last().unwrap(), "{policy}");
+            // The pool and the device agree on the transferred volume.
+            assert!(report.buffer.io_bytes > 0, "{policy}");
+            assert_eq!(report.buffer.io_bytes, report.io.bytes_read, "{policy}");
+        }
+    }
+
+    #[test]
+    fn sharding_does_not_change_the_workload_io_volume() {
+        let (storage, workload) = setup();
+        let mut reference: Option<(u64, u64)> = None;
+        for shards in [1usize, 2, 8] {
+            let engine = engine(&storage, PolicyKind::Pbm, shards);
+            let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+            let observed = (
+                report.buffer.io_bytes,
+                report.buffer.hits + report.buffer.misses,
+            );
+            match &reference {
+                None => reference = Some(observed),
+                Some(expected) => assert_eq!(*expected, observed, "shards {shards}"),
+            }
+        }
+    }
+
+    #[test]
+    fn driver_rejects_specs_with_out_of_range_columns() {
+        let (storage, _) = setup();
+        let engine = engine(&storage, PolicyKind::Lru, 1);
+        let bogus = WorkloadSpec {
+            name: "bogus".into(),
+            streams: vec![StreamSpec {
+                label: "s0".into(),
+                queries: vec![QuerySpec {
+                    label: "bad".into(),
+                    scans: vec![ScanSpec {
+                        table: TableId::new(0),
+                        columns: vec![99],
+                        ranges: RangeList::single(0, 10),
+                    }],
+                    cpu_factor: 1.0,
+                }],
+            }],
+        };
+        assert!(WorkloadDriver::new(engine).run(&bogus).is_err());
+    }
+
+    #[test]
+    fn empty_workloads_produce_an_empty_report() {
+        let (storage, _) = setup();
+        let engine = engine(&storage, PolicyKind::Lru, 1);
+        let empty = WorkloadSpec {
+            name: "empty".into(),
+            streams: Vec::new(),
+        };
+        let report = WorkloadDriver::new(engine).run(&empty).unwrap();
+        assert_eq!(report.queries, 0);
+        assert!(report.p50().is_none());
+    }
+
+    #[test]
+    fn intra_query_parallelism_is_applied_and_results_stay_exact() {
+        let (storage, workload) = setup();
+        let engine = engine(&storage, PolicyKind::Pbm, 4);
+        let report = WorkloadDriver::new(Arc::clone(&engine))
+            .with_parallelism(2)
+            .run(&workload)
+            .unwrap();
+        assert_eq!(report.queries, 6);
+        assert!(report.buffer.io_bytes > 0);
+    }
+}

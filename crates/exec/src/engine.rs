@@ -10,11 +10,11 @@ use scanshare_common::{
     VirtualDuration, VirtualInstant,
 };
 use scanshare_core::backend::{CScanBackend, PooledBackend, ScanBackend};
-use scanshare_core::bufferpool::BufferPool;
 use scanshare_core::cscan::{Abm, AbmConfig};
 use scanshare_core::metrics::BufferStats;
 use scanshare_core::opt::{simulate_opt, OptResult};
 use scanshare_core::registry::PolicyRegistry;
+use scanshare_core::sharded::ShardedPool;
 use scanshare_iosim::{IoDevice, ReferenceTrace};
 use scanshare_pdt::checkpoint::checkpoint_table;
 use scanshare_pdt::pdt::Pdt;
@@ -96,10 +96,14 @@ impl Engine {
             (policy, _custom) => {
                 let name = scanshare_core::registry::pooled_policy_name(&config, policy);
                 let replacement = registry.build(name, &config)?;
-                let mut pool = BufferPool::new(
+                // The page space is partitioned across `pool_shards` lock
+                // domains; replacement decisions stay globally exact, so the
+                // shard count changes contention, never I/O volume.
+                let mut pool = ShardedPool::new(
                     config.buffer_pool_pages().max(1),
                     config.page_size_bytes,
                     replacement,
+                    config.pool_shards,
                 );
                 if policy == PolicyKind::Opt {
                     let t = Arc::new(ReferenceTrace::new());

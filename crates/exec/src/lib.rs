@@ -22,12 +22,16 @@
 //! deliberately small: batches are plain `Vec<i64>` columns and the operator
 //! set (`Scan`, `Select`, `Project`, `Aggr`, XChg-style parallel merge) is
 //! just large enough to run the TPC-H Q1 / Q6 style workloads of the paper's
-//! microbenchmarks.
+//! microbenchmarks. Whole multi-stream workload specifications run through
+//! the [`driver::WorkloadDriver`] — one thread per stream against the shared
+//! (sharded) buffer-management backend, reporting throughput and latency
+//! percentiles.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod driver;
 pub mod engine;
 pub mod ops;
 pub mod parallel;
@@ -35,6 +39,7 @@ pub mod query;
 pub mod scan;
 
 pub use batch::Batch;
+pub use driver::{WorkloadDriver, WorkloadReport};
 pub use engine::{Engine, QueryStats};
 pub use ops::{AggrSpec, Aggregate, Predicate};
 #[allow(deprecated)]

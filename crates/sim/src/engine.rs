@@ -32,7 +32,11 @@ use crate::sharing::SharingProfile;
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Storage / buffer / policy configuration shared with the rest of the
-    /// workspace.
+    /// workspace. The simulator is single-threaded, so
+    /// `ScanShareConfig::pool_shards` — a lock-partitioning knob for the
+    /// live engine — has no effect here; that is sound because sharding
+    /// never changes replacement decisions or I/O accounting (see
+    /// `scanshare_core::sharded`), only contention.
     pub scanshare: ScanShareConfig,
     /// Number of CPU cores of the simulated server (the paper's machine has
     /// two 4-core CPUs).

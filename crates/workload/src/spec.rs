@@ -1,4 +1,19 @@
 //! Workload specification types.
+//!
+//! A [`WorkloadSpec`] is a declarative description — concurrent
+//! [`StreamSpec`]s of [`QuerySpec`]s, each a sequence of [`ScanSpec`]s —
+//! with **two** executors:
+//!
+//! * the discrete-event simulator (`scanshare-sim`), which models the
+//!   workload in virtual time and regenerates the paper's figures;
+//! * the execution engine's `WorkloadDriver` (`scanshare-exec`), which runs
+//!   the same spec against a live `Engine` — one real thread per stream,
+//!   queries lowered onto the builder `Query` API — and reports wall-clock
+//!   throughput, latency percentiles and buffer/I/O statistics.
+//!
+//! The two agree on I/O volume for the same spec and configuration
+//! (`tests/simulator_vs_engine.rs` asserts it), so specs serve both as
+//! figure inputs and as engine throughput workloads.
 
 use scanshare_common::{RangeList, TableId};
 

@@ -104,14 +104,15 @@ pub mod prelude {
     pub use scanshare_core::opt::simulate_opt;
     pub use scanshare_core::registry::PolicyRegistry;
     pub use scanshare_core::{
-        Abm, AbmConfig, BufferPool, BufferStats, LruPolicy, PbmConfig, PbmPolicy, ReplacementPolicy,
+        Abm, AbmConfig, BufferPool, BufferStats, LruPolicy, PbmConfig, PbmPolicy,
+        ReplacementPolicy, ShardedPool,
     };
     pub use scanshare_exec::ops::{
         aggregate, AggrSpec, Aggregate, BatchSource, CompareOp, Predicate,
     };
     #[allow(deprecated)]
     pub use scanshare_exec::parallel_scan_aggregate;
-    pub use scanshare_exec::{Batch, Engine, Query};
+    pub use scanshare_exec::{Batch, Engine, Query, WorkloadDriver, WorkloadReport};
     pub use scanshare_pdt::{Pdt, PdtStack};
     pub use scanshare_sim::{ExperimentScale, SimConfig, SimResult, Simulation};
     pub use scanshare_storage::datagen::DataGen;

@@ -19,7 +19,11 @@ const TUPLES: u64 = 20_000;
 const THREADS: u64 = 4;
 const ROUNDS: u64 = 2;
 
-fn build_engine(policy: PolicyKind, prefetch_pages: usize) -> (Arc<Engine>, TableId) {
+fn build_engine(
+    policy: PolicyKind,
+    prefetch_pages: usize,
+    pool_shards: usize,
+) -> (Arc<Engine>, TableId) {
     let storage = Storage::with_seed(1024, 2_000, 7);
     let spec = TableSpec::new(
         "t",
@@ -44,6 +48,7 @@ fn build_engine(policy: PolicyKind, prefetch_pages: usize) -> (Arc<Engine>, Tabl
         buffer_pool_bytes: 64 * 1024, // 64 pages: real replacement pressure
         policy,
         prefetch_pages,
+        pool_shards,
         ..Default::default()
     };
     (Engine::new(storage, config).unwrap(), table)
@@ -93,9 +98,13 @@ fn run_session(engine: &Arc<Engine>, table: TableId, thread: u64) {
 }
 
 fn stress(policy: PolicyKind, prefetch_pages: usize) {
-    let (engine, table) = build_engine(policy, prefetch_pages);
+    stress_sharded(policy, prefetch_pages, 1, THREADS);
+}
+
+fn stress_sharded(policy: PolicyKind, prefetch_pages: usize, pool_shards: usize, threads: u64) {
+    let (engine, table) = build_engine(policy, prefetch_pages, pool_shards);
     std::thread::scope(|scope| {
-        for thread in 0..THREADS {
+        for thread in 0..threads {
             let engine = Arc::clone(&engine);
             scope.spawn(move || run_session(&engine, table, thread));
         }
@@ -165,4 +174,26 @@ fn concurrent_queries_under_cooperative_scans() {
     // behave identically.
     stress(PolicyKind::CScan, 0);
     stress(PolicyKind::CScan, 4);
+}
+
+#[test]
+fn concurrent_queries_on_a_sharded_pool_eight_streams() {
+    // The multi-stream throughput configuration of the `throughput_scaling`
+    // figure: 8 session threads on a 4-shard pool, with and without the
+    // prefetch window, under every pooled policy. Exact aggregates and the
+    // cross-layer pool == device accounting must survive the sharded fast
+    // path (buffered policy events, per-shard statistics).
+    for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::Opt] {
+        stress_sharded(policy, 0, 4, 8);
+        stress_sharded(policy, 4, 4, 8);
+    }
+}
+
+#[test]
+fn concurrent_queries_shard_sweep_under_pbm() {
+    // Shard counts beside the pool's page count (64) and beyond the thread
+    // count exercise the all-shard lock paths (eviction, registration).
+    for shards in [2usize, 8, 64] {
+        stress_sharded(PolicyKind::Pbm, 0, shards, 4);
+    }
 }

@@ -1,0 +1,430 @@
+//! The sharding-transparency property: for *any* trace, a `ShardedPool`
+//! with any shard count produces exactly the outcomes, statistics and
+//! prefetch decisions of the single-threaded `BufferPool` reference — per
+//! policy, byte for byte.
+//!
+//! This is the invariant the engine's I/O accounting rests on: partitioning
+//! the page table across locks must change contention only, never *what*
+//! is read. The traces below are randomized (deterministic xorshift, like
+//! the other property tests in this workspace): interleaved scans with page
+//! plans, progress reports, scanless accesses, pins, prefetch admissions
+//! and virtual-time advances, replayed under replacement pressure.
+
+use std::sync::Arc;
+
+use scanshare::common::{ColumnId, PageId, ScanId, TableId, TupleRange, VirtualInstant};
+use scanshare::core::bufferpool::{AccessOutcome, BufferPool};
+use scanshare::core::lru::LruPolicy;
+use scanshare::core::pbm::{PbmConfig, PbmPolicy};
+use scanshare::core::pbm_lru::{PbmLruConfig, PbmLruPolicy};
+use scanshare::core::policy::ReplacementPolicy;
+use scanshare::core::sharded::ShardedPool;
+use scanshare::core::BufferStats;
+use scanshare::storage::layout::{PageDescriptor, ScanPagePlan};
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// One step of a trace. Scan handles are *indices* into the registration
+/// order (the pools assign their own `ScanId`s; equal call sequences make
+/// them equal, which the replay asserts).
+#[derive(Debug, Clone)]
+enum Step {
+    Register {
+        pages: Vec<u64>,
+        tuples_per_page: u64,
+    },
+    Access {
+        scan: Option<usize>,
+        page: u64,
+    },
+    Report {
+        scan: usize,
+        tuples: u64,
+    },
+    Unregister {
+        scan: usize,
+    },
+    Pin {
+        page: u64,
+    },
+    Unpin {
+        page: u64,
+    },
+    Prefetch {
+        budget: usize,
+    },
+    Advance {
+        millis: u64,
+    },
+}
+
+/// What a replay observed; compared across pool implementations.
+#[derive(Debug, PartialEq)]
+enum Observation {
+    Outcome(AccessOutcome),
+    ScanId(ScanId),
+    Candidates(Vec<PageId>, Vec<bool>),
+}
+
+fn plan_over(pages: &[u64], tuples_per_page: u64) -> ScanPagePlan {
+    let descs: Vec<PageDescriptor> = pages
+        .iter()
+        .enumerate()
+        .map(|(i, &page)| PageDescriptor {
+            page: PageId::new(page),
+            column: ColumnId::new(0),
+            column_index: 0,
+            sid_range: TupleRange::new(
+                i as u64 * tuples_per_page,
+                (i as u64 + 1) * tuples_per_page,
+            ),
+            tuples_behind: i as u64 * tuples_per_page,
+            tuple_count: tuples_per_page,
+        })
+        .collect();
+    ScanPagePlan {
+        table: TableId::new(0),
+        total_tuples: pages.len() as u64 * tuples_per_page,
+        pages: descs,
+    }
+}
+
+/// The trace operations a pool under test must support. `BufferPool` takes
+/// `&mut self`, `ShardedPool` synchronizes internally; the trait papers
+/// over that difference for the replay.
+trait TracePool {
+    fn register(&mut self, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId;
+    fn request(&mut self, page: PageId, scan: Option<ScanId>, now: VirtualInstant)
+        -> AccessOutcome;
+    fn report(&mut self, scan: ScanId, tuples: u64, now: VirtualInstant);
+    fn unregister(&mut self, scan: ScanId, now: VirtualInstant);
+    fn pin(&mut self, page: PageId);
+    fn unpin(&mut self, page: PageId);
+    fn candidates(&mut self, budget: usize, now: VirtualInstant) -> Vec<PageId>;
+    fn admit_prefetch(&mut self, page: PageId, now: VirtualInstant) -> bool;
+    fn stats(&self) -> BufferStats;
+}
+
+impl TracePool for BufferPool {
+    fn register(&mut self, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId {
+        BufferPool::register_scan(self, plan, now)
+    }
+    fn request(
+        &mut self,
+        page: PageId,
+        scan: Option<ScanId>,
+        now: VirtualInstant,
+    ) -> AccessOutcome {
+        BufferPool::request_page(self, page, scan, now).expect("pins are bounded")
+    }
+    fn report(&mut self, scan: ScanId, tuples: u64, now: VirtualInstant) {
+        BufferPool::report_scan_position(self, scan, tuples, now)
+    }
+    fn unregister(&mut self, scan: ScanId, now: VirtualInstant) {
+        BufferPool::unregister_scan(self, scan, now)
+    }
+    fn pin(&mut self, page: PageId) {
+        BufferPool::pin(self, page)
+    }
+    fn unpin(&mut self, page: PageId) {
+        BufferPool::unpin(self, page)
+    }
+    fn candidates(&mut self, budget: usize, now: VirtualInstant) -> Vec<PageId> {
+        BufferPool::prefetch_candidates(self, budget, now)
+    }
+    fn admit_prefetch(&mut self, page: PageId, now: VirtualInstant) -> bool {
+        BufferPool::admit_prefetch(self, page, now)
+    }
+    fn stats(&self) -> BufferStats {
+        BufferPool::stats(self)
+    }
+}
+
+impl TracePool for ShardedPool {
+    fn register(&mut self, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId {
+        ShardedPool::register_scan(self, plan, now)
+    }
+    fn request(
+        &mut self,
+        page: PageId,
+        scan: Option<ScanId>,
+        now: VirtualInstant,
+    ) -> AccessOutcome {
+        ShardedPool::request_page(self, page, scan, now).expect("pins are bounded")
+    }
+    fn report(&mut self, scan: ScanId, tuples: u64, now: VirtualInstant) {
+        ShardedPool::report_scan_position(self, scan, tuples, now)
+    }
+    fn unregister(&mut self, scan: ScanId, now: VirtualInstant) {
+        ShardedPool::unregister_scan(self, scan, now)
+    }
+    fn pin(&mut self, page: PageId) {
+        ShardedPool::pin(self, page)
+    }
+    fn unpin(&mut self, page: PageId) {
+        ShardedPool::unpin(self, page)
+    }
+    fn candidates(&mut self, budget: usize, now: VirtualInstant) -> Vec<PageId> {
+        ShardedPool::prefetch_candidates(self, budget, now)
+    }
+    fn admit_prefetch(&mut self, page: PageId, now: VirtualInstant) -> bool {
+        ShardedPool::admit_prefetch(self, page, now)
+    }
+    fn stats(&self) -> BufferStats {
+        ShardedPool::stats(self)
+    }
+}
+
+/// Generates a random trace over `pages` page ids with registered scans,
+/// progress reports, pins (bounded so the pool can always admit) and
+/// prefetch probes.
+fn random_trace(rng: &mut Rng, pages: u64, capacity: usize, steps: usize) -> Vec<Step> {
+    let mut trace = Vec::with_capacity(steps);
+    let mut live_scans: Vec<(usize, Vec<u64>, usize)> = Vec::new(); // (index, plan, cursor)
+    let mut registered = 0usize;
+    let mut pinned: Vec<u64> = Vec::new();
+    let max_pinned = capacity.saturating_sub(2).min(3);
+    for _ in 0..steps {
+        match rng.below(16) {
+            0 => {
+                // Register a scan over a random contiguous-ish page window.
+                let len = 2 + rng.below(pages.min(12)) as usize;
+                let start = rng.below(pages);
+                let plan: Vec<u64> = (0..len as u64).map(|i| (start + i) % pages).collect();
+                trace.push(Step::Register {
+                    pages: plan.clone(),
+                    tuples_per_page: 100,
+                });
+                live_scans.push((registered, plan, 0));
+                registered += 1;
+            }
+            1 if !live_scans.is_empty() => {
+                let idx = rng.below(live_scans.len() as u64) as usize;
+                let (scan, _, _) = live_scans.remove(idx);
+                trace.push(Step::Unregister { scan });
+            }
+            2 if !live_scans.is_empty() => {
+                let idx = rng.below(live_scans.len() as u64) as usize;
+                let (scan, _, cursor) = &live_scans[idx];
+                trace.push(Step::Report {
+                    scan: *scan,
+                    tuples: *cursor as u64 * 100,
+                });
+            }
+            3 if pinned.len() < max_pinned => {
+                let page = rng.below(pages);
+                pinned.push(page);
+                trace.push(Step::Pin { page });
+            }
+            4 if !pinned.is_empty() => {
+                let idx = rng.below(pinned.len() as u64) as usize;
+                let page = pinned.remove(idx);
+                trace.push(Step::Unpin { page });
+            }
+            5 => trace.push(Step::Prefetch {
+                budget: 1 + rng.below(6) as usize,
+            }),
+            6 => trace.push(Step::Advance {
+                millis: rng.below(400),
+            }),
+            n if n < 12 && !live_scans.is_empty() => {
+                // Advance a scan along its plan (the PBM-relevant pattern).
+                let idx = rng.below(live_scans.len() as u64) as usize;
+                let (scan, plan, cursor) = &mut live_scans[idx];
+                let page = plan[*cursor % plan.len()];
+                *cursor += 1;
+                trace.push(Step::Access {
+                    scan: Some(*scan),
+                    page,
+                });
+            }
+            _ => trace.push(Step::Access {
+                scan: None,
+                page: rng.below(pages),
+            }),
+        }
+    }
+    // Unpin everything so later replays (and clears) stay comparable.
+    for page in pinned {
+        trace.push(Step::Unpin { page });
+    }
+    trace
+}
+
+/// Replays `trace` against `pool`, returning everything observable.
+fn replay(pool: &mut dyn TracePool, trace: &[Step]) -> (Vec<Observation>, BufferStats) {
+    let mut observations = Vec::with_capacity(trace.len());
+    let mut scan_ids: Vec<ScanId> = Vec::new();
+    let mut now = VirtualInstant::EPOCH;
+    for step in trace {
+        match step {
+            Step::Register {
+                pages,
+                tuples_per_page,
+            } => {
+                let id = pool.register(&plan_over(pages, *tuples_per_page), now);
+                scan_ids.push(id);
+                observations.push(Observation::ScanId(id));
+            }
+            Step::Access { scan, page } => {
+                let scan = scan.map(|idx| scan_ids[idx]);
+                observations.push(Observation::Outcome(pool.request(
+                    PageId::new(*page),
+                    scan,
+                    now,
+                )));
+            }
+            Step::Report { scan, tuples } => pool.report(scan_ids[*scan], *tuples, now),
+            Step::Unregister { scan } => pool.unregister(scan_ids[*scan], now),
+            Step::Pin { page } => pool.pin(PageId::new(*page)),
+            Step::Unpin { page } => pool.unpin(PageId::new(*page)),
+            Step::Prefetch { budget } => {
+                let candidates = pool.candidates(*budget, now);
+                let admitted = candidates
+                    .iter()
+                    .map(|&p| pool.admit_prefetch(p, now))
+                    .collect();
+                observations.push(Observation::Candidates(candidates, admitted));
+            }
+            Step::Advance { millis } => {
+                now = VirtualInstant::from_nanos(now.as_nanos() + millis * 1_000_000);
+            }
+        }
+    }
+    (observations, pool.stats())
+}
+
+type PolicyFactory = fn() -> Box<dyn ReplacementPolicy>;
+
+fn policies() -> Vec<(&'static str, PolicyFactory)> {
+    vec![
+        ("lru", || Box::new(LruPolicy::new())),
+        ("pbm", || {
+            Box::new(PbmPolicy::new(PbmConfig {
+                default_scan_speed: 10_000.0,
+                ..Default::default()
+            }))
+        }),
+        ("pbm-lru", || {
+            Box::new(PbmLruPolicy::new(PbmLruConfig::default()))
+        }),
+    ]
+}
+
+#[test]
+fn any_trace_is_shard_count_invariant_per_policy() {
+    let cases = if cfg!(debug_assertions) { 12 } else { 40 };
+    for case in 0..cases {
+        let mut rng = Rng::new(0x5eed_0000 + case * 7919);
+        let capacity = 2 + rng.below(24) as usize;
+        let pages = capacity as u64 / 2 + rng.below(3 * capacity as u64 + 8);
+        let steps = 300;
+        let trace = random_trace(&mut rng, pages, capacity, steps);
+
+        for (name, make_policy) in policies() {
+            let mut reference = BufferPool::new(capacity, 1024, make_policy());
+            let (expected_obs, expected_stats) = replay(&mut reference, &trace);
+            assert!(
+                expected_stats.hits + expected_stats.misses > 0,
+                "case {case}: trace exercised no accesses"
+            );
+            for shards in [1usize, 2, 8] {
+                let mut pool = ShardedPool::new(capacity, 1024, make_policy(), shards);
+                let (obs, stats) = replay(&mut pool, &trace);
+                assert_eq!(
+                    stats, expected_stats,
+                    "case {case} policy {name} shards {shards}: statistics diverged \
+                     (hits/misses/evictions/io must be byte-identical)"
+                );
+                assert_eq!(
+                    obs, expected_obs,
+                    "case {case} policy {name} shards {shards}: outcomes diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The same property through the *engine*: a query workload on sharded
+/// engines does exactly the I/O of the single-shard engine. (The trace
+/// property above covers the pool in isolation; this covers the wiring.)
+#[test]
+fn engine_io_is_shard_count_invariant_for_sequential_queries() {
+    use scanshare::prelude::*;
+
+    let storage = Storage::with_seed(2048, 1_000, 23);
+    let table = storage
+        .create_table_with_data(
+            TableSpec::new(
+                "t",
+                vec![
+                    ColumnSpec::with_width("k", ColumnType::Int64, 8.0),
+                    ColumnSpec::with_width("v", ColumnType::Int64, 4.0),
+                ],
+                40_000,
+            ),
+            vec![
+                DataGen::Sequential { start: 0, step: 1 },
+                DataGen::Constant(5),
+            ],
+        )
+        .unwrap();
+    let storage = Arc::new(storage);
+
+    for policy in [PolicyKind::Lru, PolicyKind::Pbm] {
+        let mut reference: Option<BufferStats> = None;
+        for shards in [1usize, 2, 8] {
+            let engine = Engine::new(
+                Arc::clone(&storage),
+                ScanShareConfig {
+                    page_size_bytes: 2048,
+                    chunk_tuples: 1_000,
+                    buffer_pool_bytes: 24 * 2048, // pressure: ~24 of ~293 pages
+                    policy,
+                    pool_shards: shards,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            // Sequential (single-threaded) query mix: identical access
+            // order for every shard count.
+            for round in 0..2 {
+                let count = engine
+                    .query(table)
+                    .columns(["k", "v"])
+                    .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+                    .run()
+                    .unwrap()[&0]
+                    .count;
+                assert_eq!(count, 40_000, "{policy} shards {shards} round {round}");
+            }
+            let stats = engine.buffer_stats();
+            assert!(stats.evictions > 0, "{policy}: no replacement pressure");
+            match &reference {
+                None => reference = Some(stats),
+                Some(expected) => assert_eq!(
+                    *expected, stats,
+                    "{policy} shards {shards}: engine-level I/O accounting diverged"
+                ),
+            }
+        }
+    }
+}

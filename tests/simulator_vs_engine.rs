@@ -333,6 +333,120 @@ fn prefetch_overlap_reduces_stream_time_when_compute_can_hide_io() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Whole-workload parity: the WorkloadDriver runs the same specs the
+// simulator executes, against the live engine
+// ---------------------------------------------------------------------------
+
+/// A microbench workload small enough that the pool holds every accessed
+/// page: each distinct page is read exactly once no matter how the driver's
+/// stream threads interleave, so the engine's I/O volume is deterministic
+/// and must equal the simulator's.
+#[test]
+fn workload_driver_and_simulator_agree_on_io_with_headroom() {
+    let config = MicrobenchConfig {
+        streams: 4,
+        queries_per_stream: 3,
+        lineitem_tuples: 60_000,
+        ..Default::default()
+    };
+    let (storage, workload) = microbench::build(&config, 64 * 1024, 10_000).unwrap();
+    let accessed = Simulation::new(
+        Arc::clone(&storage),
+        SimConfig {
+            scanshare: ScanShareConfig {
+                page_size_bytes: 64 * 1024,
+                chunk_tuples: 10_000,
+                ..Default::default()
+            },
+            cores: 8,
+            sharing_sample_interval: None,
+        },
+    )
+    .unwrap()
+    .accessed_volume(&workload)
+    .unwrap();
+
+    for policy in [PolicyKind::Lru, PolicyKind::Pbm] {
+        for shards in [1usize, 4] {
+            let scanshare = ScanShareConfig {
+                page_size_bytes: 64 * 1024,
+                chunk_tuples: 10_000,
+                buffer_pool_bytes: accessed * 2,
+                policy,
+                pool_shards: shards,
+                ..Default::default()
+            };
+            let engine = Engine::new(Arc::clone(&storage), scanshare.clone()).unwrap();
+            let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+            let sim = Simulation::new(
+                Arc::clone(&storage),
+                SimConfig {
+                    scanshare,
+                    cores: 8,
+                    sharing_sample_interval: None,
+                },
+            )
+            .unwrap()
+            .run(&workload)
+            .unwrap();
+            assert_eq!(
+                report.buffer.io_bytes, sim.total_io_bytes,
+                "{policy} shards {shards}: engine and simulator I/O volumes must match"
+            );
+            assert_eq!(
+                report.buffer.io_bytes, accessed,
+                "{policy} shards {shards}: with headroom every accessed page loads exactly once"
+            );
+            assert_eq!(report.queries, workload.query_count() as u64);
+        }
+    }
+}
+
+/// With a single stream there is no thread interleaving at all: the driver
+/// issues the exact page-request sequence the simulator models, so the I/O
+/// volumes must match byte-for-byte even under replacement pressure.
+#[test]
+fn workload_driver_matches_simulator_under_pressure_single_stream() {
+    let config = MicrobenchConfig {
+        streams: 1,
+        queries_per_stream: 6,
+        lineitem_tuples: 80_000,
+        ..Default::default()
+    };
+    let (storage, workload) = microbench::build(&config, 64 * 1024, 10_000).unwrap();
+    for policy in [PolicyKind::Lru, PolicyKind::Pbm] {
+        let scanshare = ScanShareConfig {
+            page_size_bytes: 64 * 1024,
+            chunk_tuples: 10_000,
+            buffer_pool_bytes: 8 * 64 * 1024, // 8 pages: heavy replacement
+            policy,
+            ..Default::default()
+        };
+        let engine = Engine::new(Arc::clone(&storage), scanshare.clone()).unwrap();
+        let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+        let sim = Simulation::new(
+            Arc::clone(&storage),
+            SimConfig {
+                scanshare,
+                cores: 8,
+                sharing_sample_interval: None,
+            },
+        )
+        .unwrap()
+        .run(&workload)
+        .unwrap();
+        assert!(
+            report.buffer.evictions > 0,
+            "{policy}: the pressure configuration must actually evict"
+        );
+        assert_eq!(
+            report.buffer.io_bytes, sim.total_io_bytes,
+            "{policy}: engine and simulator I/O volumes must match under pressure"
+        );
+    }
+}
+
 #[test]
 fn figure_harness_smoke_test() {
     let scale = ExperimentScale::test();
