@@ -1,5 +1,6 @@
 //! Throughput scaling: wall-clock multi-stream throughput of the live
-//! engine across buffer-pool shard counts (streams × shards × policy).
+//! engine across buffer-pool shard counts (streams × shards × policy),
+//! with LRU, PBM **and Cooperative Scans** competing in one gated figure.
 //!
 //! Two measurements per configuration, both at 8 concurrent streams:
 //!
@@ -25,6 +26,16 @@
 //! contended if threads actually run at once, and small shared runners are
 //! too jittery to enforce a wall-clock ratio on. The measured factor is
 //! always printed and emitted to `BENCH_throughput_scaling.json`.
+//!
+//! The Cooperative Scans side mirrors both measurements: an end-to-end
+//! `WorkloadDriver` run under `PolicyKind::CScan` (directory shards ×
+//! load-scheduler window), and a backend phase driving the raw ABM chunk
+//! protocol — `RegisterCScan` → `GetChunk`… → `UnregisterCScan` over a
+//! warm chunk cache — against the decomposed ABM at several shard counts
+//! *and* against the pre-refactor `Mutex<MonolithicAbm>`, whose single
+//! lock serializes every stream. Accounting is asserted identical across
+//! implementations and shard counts; the decomposed-vs-monolithic speedup
+//! is gated (≥1.1×) on parallel hosts.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,12 +44,21 @@ use scanshare_bench::crit::Criterion;
 use scanshare_bench::json::Json;
 use scanshare_bench::{bench_preset, criterion_group, criterion_main, write_bench_json};
 
-use scanshare_common::{ColumnId, PageId, PolicyKind, ScanShareConfig, TupleRange, VirtualInstant};
+use scanshare_common::sync::Mutex;
+use scanshare_common::{
+    ColumnId, PageId, PolicyKind, RangeList, ScanShareConfig, TupleRange, VirtualInstant,
+};
+use scanshare_core::abm::{Abm, AbmConfig, CScanRequest, MonolithicAbm};
+use scanshare_core::metrics::BufferStats;
 use scanshare_core::registry::{pooled_policy_name, PolicyRegistry};
 use scanshare_core::sharded::ShardedPool;
 use scanshare_exec::{Engine, WorkloadDriver};
 use scanshare_sim::{SimConfig, Simulation};
+use scanshare_storage::column::{ColumnSpec, ColumnType};
+use scanshare_storage::datagen::DataGen;
 use scanshare_storage::layout::{PageDescriptor, ScanPagePlan};
+use scanshare_storage::storage::Storage;
+use scanshare_storage::table::TableSpec;
 use scanshare_workload::microbench::{self, MicrobenchConfig};
 
 const STREAMS: usize = 8;
@@ -57,6 +77,12 @@ struct Preset {
     backend_query_pages: u64,
     /// Backend phase: queries per stream thread.
     backend_queries: u64,
+    /// CScan backend phase: chunks in the (fully warm) ABM.
+    cscan_chunks: u64,
+    /// CScan backend phase: chunks per protocol query.
+    cscan_span_chunks: u64,
+    /// CScan backend phase: queries per stream thread.
+    cscan_queries: u64,
 }
 
 fn preset() -> Preset {
@@ -70,6 +96,9 @@ fn preset() -> Preset {
             backend_pages: 4_096,
             backend_query_pages: 512,
             backend_queries: 48,
+            cscan_chunks: 32,
+            cscan_span_chunks: 8,
+            cscan_queries: 64,
         },
         _ => Preset {
             name: "full",
@@ -80,6 +109,9 @@ fn preset() -> Preset {
             backend_pages: 8_192,
             backend_query_pages: 512,
             backend_queries: 192,
+            cscan_chunks: 64,
+            cscan_span_chunks: 16,
+            cscan_queries: 256,
         },
     }
 }
@@ -180,6 +212,158 @@ fn backend_throughput(policy: PolicyKind, shards: usize, preset: &Preset) -> (f6
         stats.io_bytes,
         stats.hits + stats.misses,
     )
+}
+
+// ---------------------------------------------------------------------------
+// CScan backend phase: the ABM protocol (RegisterCScan -> GetChunk ->
+// UnregisterCScan) over a warm chunk cache, decomposed ABM vs the
+// pre-refactor Mutex<MonolithicAbm>
+// ---------------------------------------------------------------------------
+
+/// The two ABM implementations behind the one protocol the phase drives.
+enum CscanPool {
+    /// The pre-refactor single-lock ABM behind the outer mutex the old
+    /// `CScanBackend` used: every stream serializes on one lock.
+    Monolithic(Mutex<MonolithicAbm>),
+    /// The decomposed ABM: sharded directory, internal synchronization.
+    Decomposed(Abm),
+}
+
+impl CscanPool {
+    fn register(&self, request: CScanRequest) -> scanshare_core::abm::CScanHandle {
+        match self {
+            CscanPool::Monolithic(abm) => abm.lock().register_cscan(request).expect("register"),
+            CscanPool::Decomposed(abm) => abm.register_cscan(request).expect("register"),
+        }
+    }
+    fn get_chunk(
+        &self,
+        scan: scanshare_common::ScanId,
+    ) -> Option<scanshare_core::abm::ChunkDelivery> {
+        match self {
+            CscanPool::Monolithic(abm) => abm.lock().get_chunk(scan).expect("get_chunk"),
+            CscanPool::Decomposed(abm) => abm.get_chunk(scan).expect("get_chunk"),
+        }
+    }
+    fn load_step(&self) -> bool {
+        let now = VirtualInstant::EPOCH;
+        match self {
+            CscanPool::Monolithic(abm) => {
+                let mut abm = abm.lock();
+                match abm.next_load(now) {
+                    Some(plan) => {
+                        abm.complete_load(&plan, now).expect("complete");
+                        true
+                    }
+                    None => false,
+                }
+            }
+            CscanPool::Decomposed(abm) => match abm.next_load(now) {
+                Some(plan) => {
+                    abm.complete_load(&plan, now).expect("complete");
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+    fn unregister(&self, scan: scanshare_common::ScanId) {
+        match self {
+            CscanPool::Monolithic(abm) => abm.lock().unregister_cscan(scan).expect("unregister"),
+            CscanPool::Decomposed(abm) => abm.unregister_cscan(scan).expect("unregister"),
+        }
+    }
+    fn stats(&self) -> BufferStats {
+        match self {
+            CscanPool::Monolithic(abm) => abm.lock().stats(),
+            CscanPool::Decomposed(abm) => abm.stats(),
+        }
+    }
+}
+
+/// Builds the CScan phase table: two columns over `chunks` ABM chunks.
+fn cscan_storage(chunks: u64) -> (Arc<Storage>, scanshare_common::TableId, u64) {
+    const CHUNK_TUPLES: u64 = 1_000;
+    let tuples = chunks * CHUNK_TUPLES;
+    let storage = Storage::with_seed(1024, CHUNK_TUPLES, 17);
+    let spec = TableSpec::new(
+        "t",
+        vec![
+            ColumnSpec::with_width("a", ColumnType::Int64, 4.0),
+            ColumnSpec::with_width("b", ColumnType::Int64, 2.0),
+        ],
+        tuples,
+    );
+    let table = storage
+        .create_table_with_data(
+            spec,
+            vec![
+                DataGen::Sequential { start: 0, step: 1 },
+                DataGen::Constant(1),
+            ],
+        )
+        .expect("cscan table");
+    (storage, table, tuples)
+}
+
+/// Runs the CScan protocol phase: a keeper scan warms every chunk, then
+/// `STREAMS` threads register scans over cached subranges and drain their
+/// chunk deliveries — the ABM hot path with zero load traffic, so the
+/// measurement isolates the delivery/registration structure the directory
+/// shards exist to scale. Returns (queries/s, total I/O bytes, deliveries).
+fn cscan_backend_throughput(pool: &CscanPool, preset: &Preset) -> (f64, u64, u64) {
+    const CHUNK_TUPLES: u64 = 1_000;
+    let (storage, table, tuples) = cscan_storage(preset.cscan_chunks);
+    let layout = storage.layout(table).expect("layout");
+    let snapshot = storage.master_snapshot(table).expect("snapshot");
+    let request = |start: u64, end: u64| CScanRequest {
+        table,
+        snapshot: Arc::clone(&snapshot),
+        layout: Arc::clone(&layout),
+        columns: vec![0, 1],
+        ranges: RangeList::single(start, end),
+        in_order: false,
+    };
+
+    // Warm phase: a keeper scan pins the table version and pulls every
+    // chunk into the ABM cache. It never consumes, so the chunks stay
+    // cached (and protected from metadata teardown) for the whole
+    // measured phase.
+    let keeper = pool.register(request(0, tuples));
+    while pool.load_step() {}
+
+    let span = preset.cscan_span_chunks * CHUNK_TUPLES;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in 0..STREAMS as u64 {
+            let pool = &pool;
+            let request = &request;
+            let queries = preset.cscan_queries;
+            scope.spawn(move || {
+                for q in 0..queries {
+                    // Spread scans over the chunk space like the
+                    // microbenchmark's random placement.
+                    let positions = preset.cscan_chunks - preset.cscan_span_chunks;
+                    let start = ((stream * 7 + q * 3) % positions.max(1)) * CHUNK_TUPLES;
+                    let handle = pool.register(request(start, start + span));
+                    let mut delivered = 0usize;
+                    while pool.get_chunk(handle.id).is_some() {
+                        delivered += 1;
+                    }
+                    assert_eq!(
+                        delivered, handle.total_chunks,
+                        "warm ABM must deliver every chunk without loads"
+                    );
+                    pool.unregister(handle.id);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = pool.stats();
+    pool.unregister(keeper.id);
+    let total_queries = (STREAMS as u64 * preset.cscan_queries) as f64;
+    (total_queries / elapsed, stats.io_bytes, stats.hits)
 }
 
 fn bench(c: &mut Criterion) {
@@ -321,6 +505,97 @@ fn bench(c: &mut Criterion) {
         }
     }
 
+    // -----------------------------------------------------------------
+    // Cooperative Scans: end-to-end driver throughput
+    // -----------------------------------------------------------------
+    println!(
+        "{:<8} {:>7} {:>7} {:>12} {:>14} {:>12} {:>10}",
+        "policy", "shards", "window", "e2e q/s", "e2e Mtup/s", "p95 ms", "io MB"
+    );
+    for (shards, window) in [(1usize, 1usize), (4, 4)] {
+        let mut config = engine_config(PolicyKind::CScan, pool_bytes, shards);
+        config.cscan_load_window = window;
+        let engine = Engine::new(Arc::clone(&storage), config).expect("cscan engine");
+        let driver = WorkloadDriver::new(engine);
+        // First pass warms nothing durable — ABM chunk metadata lives only
+        // while scans are registered — so both passes do real chunk I/O;
+        // the second pass is the measurement.
+        let _first = driver.run(&workload).expect("cscan first run");
+        let report = driver.run(&workload).expect("cscan run");
+        assert!(report.stream_errors.is_empty(), "no stream may starve");
+        let qps = report.queries_per_sec();
+        println!(
+            "{:<8} {:>7} {:>7} {:>12.1} {:>14.2} {:>12.3} {:>10.1}",
+            "cscan",
+            shards,
+            window,
+            qps,
+            report.tuples_per_sec() / 1e6,
+            report.p95().map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0),
+            report.buffer.io_megabytes(),
+        );
+        metrics.set(
+            format!("qps_e2e_s{STREAMS}_sh{shards}_w{window}_cscan"),
+            qps,
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Cooperative Scans: ABM protocol, decomposed vs pre-refactor
+    // Mutex<MonolithicAbm>
+    // -----------------------------------------------------------------
+    println!(
+        "{:<14} {:>7} {:>14} {:>14}",
+        "abm impl", "shards", "cscan q/s", "deliveries/s"
+    );
+    let span = preset.cscan_span_chunks as f64;
+    let (mono_qps, mono_io, mono_hits) = cscan_backend_throughput(
+        &CscanPool::Monolithic(Mutex::new(MonolithicAbm::new(AbmConfig::new(
+            1 << 22,
+            1024,
+        )))),
+        &preset,
+    );
+    println!(
+        "{:<14} {:>7} {:>14.1} {:>14.1}",
+        "monolithic",
+        "-",
+        mono_qps,
+        mono_qps * span
+    );
+    metrics.set(format!("qps_backend_cscan_s{STREAMS}_mono"), mono_qps);
+    let mut best_cscan_qps: f64 = 0.0;
+    for &shards in preset.backend_shards {
+        let (qps, io, hits) = cscan_backend_throughput(
+            &CscanPool::Decomposed(Abm::new(AbmConfig::new(1 << 22, 1024).with_shards(shards))),
+            &preset,
+        );
+        // The protocol is deterministic in what it reads and delivers:
+        // both implementations, at every shard count, must account the
+        // identical I/O volume and delivery count.
+        assert_eq!(
+            (io, hits),
+            (mono_io, mono_hits),
+            "cscan backend accounting must match the monolithic ABM (shards {shards})"
+        );
+        println!(
+            "{:<14} {:>7} {:>14.1} {:>14.1}",
+            "decomposed",
+            shards,
+            qps,
+            qps * span
+        );
+        metrics.set(format!("qps_backend_cscan_s{STREAMS}_sh{shards}"), qps);
+        best_cscan_qps = best_cscan_qps.max(qps);
+    }
+    let cscan_speedup = if mono_qps > 0.0 {
+        best_cscan_qps / mono_qps
+    } else {
+        0.0
+    };
+    println!("cscan: decomposed ABM speedup over Mutex<MonolithicAbm>: {cscan_speedup:.2}x");
+    metrics.set(format!("speedup_cscan_backend_s{STREAMS}"), cscan_speedup);
+
     // Emit the machine-readable results *before* any wall-clock assertion:
     // if the scaling check fails, the numbers behind it must still land in
     // the CI artifact for diagnosis.
@@ -346,11 +621,16 @@ fn bench(c: &mut Criterion) {
             "sharding the pool must scale the backend path at {STREAMS} streams \
              (measured {best_backend_speedup:.2}x, expected >= 1.5x)"
         );
+        assert!(
+            cscan_speedup >= 1.1,
+            "the decomposed ABM must beat the pre-refactor Mutex<MonolithicAbm> \
+             at {STREAMS} streams (measured {cscan_speedup:.2}x, expected >= 1.1x)"
+        );
     } else {
         println!(
-            "note: host parallelism {parallelism} < 8; scaling assertion skipped \
-             (best backend speedup {best_backend_speedup:.2}x; set \
-             SCANSHARE_BENCH_ASSERT_SCALING=1 to enforce)"
+            "note: host parallelism {parallelism} < 8; scaling assertions skipped \
+             (best backend speedup {best_backend_speedup:.2}x, cscan speedup \
+             {cscan_speedup:.2}x; set SCANSHARE_BENCH_ASSERT_SCALING=1 to enforce)"
         );
     }
 

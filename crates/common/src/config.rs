@@ -115,17 +115,26 @@ pub struct ScanShareConfig {
     /// `prefetch_hints` (PBM ranks by predicted next-consumption time, LRU
     /// falls back to sequential readahead).
     pub prefetch_pages: usize,
-    /// Number of independently-locked shards the execution engine's page
-    /// buffer is partitioned into. Page residency, pinning and statistics
-    /// are tracked per shard, so concurrent streams hitting warm pages
-    /// synchronize only on the shard owning the page instead of on one
-    /// global pool lock. Replacement decisions stay *globally exact*: the
-    /// replacement policy observes the same access sequence it would see
-    /// with a single shard, so hit counts and the total I/O volume are
-    /// identical for every shard count. `1` (the default) reproduces the
-    /// fully serialized pool. The discrete-event simulator is
-    /// single-threaded and ignores this knob.
+    /// Number of independently-locked shards the execution engine's buffer
+    /// management is partitioned into. For the page-level policies this
+    /// shards the pool's page table (residency, pinning, statistics); under
+    /// Cooperative Scans it shards the ABM's chunk directory (per-scan
+    /// progress and delivery) the same way. In both cases decisions stay
+    /// *globally exact*: the replacement policy / relevance core observes
+    /// the same event sequence it would see with a single shard, so hit
+    /// counts and the total I/O volume are identical for every shard
+    /// count — sharding changes contention, never decisions. `1` (the
+    /// default) reproduces the fully serialized structures. The
+    /// discrete-event simulator is single-threaded and ignores this knob.
     pub pool_shards: usize,
+    /// Maximum number of ABM chunk loads the Cooperative Scans backend
+    /// keeps in flight on the I/O device at once (the load scheduler's
+    /// window). `1` (the default) reproduces the paper-faithful
+    /// one-load-at-a-time model — load decisions are then byte-identical
+    /// to the monolithic ABM's, which the simulator-parity tests rely on;
+    /// larger windows pipeline several chunk transfers behind concurrent
+    /// streams' consumption. Ignored by the page-level policies.
+    pub cscan_load_window: usize,
     /// Name of a custom replacement policy registered with a
     /// `PolicyRegistry`, overriding the page-level policy that `policy`
     /// would select. The engine keeps `policy`'s family semantics (OPT trace
@@ -148,6 +157,7 @@ impl Default for ScanShareConfig {
             policy: PolicyKind::Pbm,
             prefetch_pages: 0,
             pool_shards: 1,
+            cscan_load_window: 1,
             custom_policy: None,
         }
     }
@@ -184,6 +194,9 @@ impl ScanShareConfig {
         }
         if self.pool_shards == 0 {
             return Err(Error::config("pool_shards must be at least 1"));
+        }
+        if self.cscan_load_window == 0 {
+            return Err(Error::config("cscan_load_window must be at least 1"));
         }
         if self.custom_policy.is_some() && self.policy == PolicyKind::CScan {
             return Err(Error::config(
@@ -228,6 +241,14 @@ impl ScanShareConfig {
     /// [`ScanShareConfig::pool_shards`]); `1` restores the single-lock pool.
     pub fn with_pool_shards(mut self, shards: usize) -> Self {
         self.pool_shards = shards;
+        self
+    }
+
+    /// Returns a copy with a different Cooperative Scans load window (see
+    /// [`ScanShareConfig::cscan_load_window`]); `1` restores the
+    /// one-load-at-a-time model.
+    pub fn with_cscan_load_window(mut self, window: usize) -> Self {
+        self.cscan_load_window = window;
         self
     }
 
@@ -308,6 +329,17 @@ mod tests {
         assert_eq!(cfg.prefetch_pages, 3);
         assert_eq!(cfg.pool_shards, 4);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn cscan_load_window_defaults_to_one_and_zero_is_rejected() {
+        assert_eq!(ScanShareConfig::default().cscan_load_window, 1);
+        let bad = ScanShareConfig::default().with_cscan_load_window(0);
+        assert!(bad.validate().is_err());
+        ScanShareConfig::default()
+            .with_cscan_load_window(8)
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub enum Error {
     InvalidPlan(String),
     /// A configuration value was invalid.
     InvalidConfig(String),
+    /// A Cooperative Scan is starved — nothing it needs is cached — but the
+    /// ABM has nothing to load and no load is in flight, so the scan cannot
+    /// make progress. A per-stream scheduling outcome (the workload driver
+    /// reports it per stream instead of aborting the whole workload), not a
+    /// workload-level failure.
+    ScanStarved(ScanId),
     /// An operation is not supported in the current mode (e.g. out-of-order
     /// delivery requested from an in-order CScan).
     Unsupported(String),
@@ -89,6 +95,10 @@ impl fmt::Display for Error {
             ),
             Error::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::ScanStarved(s) => write!(
+                f,
+                "cooperative scan {s} is starved but the ABM has nothing to load"
+            ),
             Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -140,6 +150,13 @@ mod tests {
         assert!(matches!(Error::internal("x"), Error::Internal(_)));
         assert!(matches!(Error::config("x"), Error::InvalidConfig(_)));
         assert!(matches!(Error::plan("x"), Error::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn scan_starved_names_the_scan() {
+        let e = Error::ScanStarved(ScanId::new(3));
+        assert!(e.to_string().contains("starved"));
+        assert!(e.to_string().contains("S3"));
     }
 
     #[test]

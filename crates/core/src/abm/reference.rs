@@ -1,122 +1,34 @@
-//! Cooperative Scans: the Active Buffer Manager (ABM).
+//! The pre-refactor monolithic Active Buffer Manager, kept as the
+//! executable specification of ABM behaviour.
 //!
-//! Under Cooperative Scans the buffer manager stops being a passive cache:
-//! CScan operators register their data interest up front
-//! (`RegisterCScan`), repeatedly ask for whatever chunk is best to process
-//! next (`GetChunk`) and unregister when done (`UnregisterCScan`). The ABM
-//! decides *which chunk to load next, for whom, what to hand out and what to
-//! evict* using four relevance functions (Section 2 of the paper):
+//! [`MonolithicAbm`] is the single-lock state machine the decomposed
+//! [`Abm`](super::Abm) replaced: every operation takes `&mut self`, so
+//! concurrent use requires an outer `Mutex` that serializes all streams —
+//! exactly the bottleneck the directory / relevance / scheduler layering
+//! removes. It is retained (frozen, bug-for-bug) for two jobs:
 //!
-//! * **QueryRelevance** — which CScan most urgently needs data: starved
-//!   queries (nothing cached to process) first, then short queries;
-//! * **LoadRelevance** — which chunk to load for it: favour chunks that many
-//!   other CScans are also interested in (and shared chunks over local ones);
-//! * **UseRelevance** — which cached chunk to hand to the CScan: the one
-//!   fewest other CScans still need, so it becomes evictable soonest;
-//! * **KeepRelevance** — which chunk to evict: the cached chunk fewest CScans
-//!   are interested in, and only if it scores below the load candidate.
+//! * **executable spec** — `tests/abm_equivalence.rs` replays randomized
+//!   traces through this implementation and through the decomposed ABM at
+//!   several shard counts and asserts byte-identical chunk-delivery order,
+//!   load plans, statistics and I/O volume;
+//! * **performance baseline** — the `throughput_scaling` figure drives the
+//!   CScan protocol against a `Mutex<MonolithicAbm>` to quantify what the
+//!   decomposition buys under multi-stream load.
 //!
-//! The ABM works at **chunk** granularity (large logical tuple ranges) and is
-//! aware of storage snapshots: scans working on different snapshots of the
-//! same table share the *longest common prefix* of their page arrays, so
-//! chunks inside that prefix are marked **shared** (worth loading early and
-//! keeping) and chunks outside it are **local** (loaded once, late).
+//! The relevance semantics are documented on the [parent module](super);
+//! do not modify this file when changing ABM behaviour — change the
+//! decomposed implementation and let the equivalence test tell you what
+//! diverged.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
-use scanshare_common::{
-    ChunkId, Error, PageId, RangeList, Result, ScanId, TableId, VirtualInstant,
-};
-use scanshare_storage::layout::{ChunkMap, TableLayout};
+use scanshare_common::{ChunkId, Error, PageId, Result, ScanId, TableId, VirtualInstant};
+use scanshare_storage::layout::ChunkMap;
 use scanshare_storage::snapshot::Snapshot;
 
+use super::{AbmAction, AbmConfig, CScanHandle, CScanRequest, ChunkDelivery, LoadPlan};
 use crate::metrics::BufferStats;
-
-/// Tuning knobs of the Active Buffer Manager.
-#[derive(Debug, Clone, PartialEq)]
-pub struct AbmConfig {
-    /// Capacity of the buffer pool managed by ABM, in bytes.
-    pub buffer_capacity_bytes: u64,
-    /// Page size in bytes (uniform).
-    pub page_size_bytes: u64,
-    /// Extra load-relevance weight given to shared chunks.
-    pub shared_chunk_bonus: f64,
-}
-
-impl AbmConfig {
-    /// Creates a configuration for the given pool capacity and page size.
-    pub fn new(buffer_capacity_bytes: u64, page_size_bytes: u64) -> Self {
-        Self {
-            buffer_capacity_bytes,
-            page_size_bytes,
-            shared_chunk_bonus: 0.5,
-        }
-    }
-}
-
-/// A request to register a CScan with the ABM.
-#[derive(Debug, Clone)]
-pub struct CScanRequest {
-    /// Table being scanned.
-    pub table: TableId,
-    /// Storage snapshot the scan's transaction works on.
-    pub snapshot: Arc<Snapshot>,
-    /// Layout of the table.
-    pub layout: Arc<TableLayout>,
-    /// Column indices the scan reads.
-    pub columns: Vec<usize>,
-    /// SID ranges the scan must cover.
-    pub ranges: RangeList,
-    /// Whether the scan demands in-order (chunk-by-chunk, ascending) delivery
-    /// and therefore acts as a drop-in replacement for a traditional Scan.
-    pub in_order: bool,
-}
-
-/// Handle returned by [`Abm::register_cscan`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CScanHandle {
-    /// The scan id to use in subsequent calls.
-    pub id: ScanId,
-    /// Number of chunks the scan will consume.
-    pub total_chunks: usize,
-    /// Number of tuples the scan will produce (before PDT merging).
-    pub total_tuples: u64,
-}
-
-/// A chunk-load decision produced by [`Abm::next_load`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LoadPlan {
-    /// The scan whose QueryRelevance triggered the load.
-    pub scan: ScanId,
-    /// The chunk to load.
-    pub chunk: ChunkId,
-    /// The table the chunk belongs to.
-    pub table: TableId,
-    /// Pages that actually need to be read (already-cached pages excluded).
-    pub pages: Vec<PageId>,
-    /// Bytes that need to be read.
-    pub bytes: u64,
-}
-
-/// A chunk handed to a CScan by [`Abm::get_chunk`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ChunkDelivery {
-    /// The delivered chunk.
-    pub chunk: ChunkId,
-    /// Number of tuples of the scan's ranges inside this chunk.
-    pub tuples: u64,
-}
-
-/// Generic ABM actions, useful for drivers that poll the ABM in one place.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AbmAction {
-    /// Load the described chunk.
-    Load(LoadPlan),
-    /// Nothing to do right now (every runnable scan has cached data, or no
-    /// buffer space can be freed).
-    Idle,
-}
 
 #[derive(Debug)]
 struct ChunkState {
@@ -189,9 +101,10 @@ struct CScanState {
     cached_available: usize,
 }
 
-/// The Active Buffer Manager.
+/// The single-lock Active Buffer Manager (see the module docs for why it is
+/// kept around).
 #[derive(Debug)]
-pub struct Abm {
+pub struct MonolithicAbm {
     config: AbmConfig,
     scans: HashMap<ScanId, CScanState>,
     tables: HashMap<TableId, TableState>,
@@ -200,8 +113,10 @@ pub struct Abm {
     next_scan: u64,
 }
 
-impl Abm {
-    /// Creates an ABM managing a buffer of `config.buffer_capacity_bytes`.
+impl MonolithicAbm {
+    /// Creates an ABM managing a buffer of `config.buffer_capacity_bytes`
+    /// (`config.directory_shards` is ignored: this implementation has no
+    /// directory to shard).
     pub fn new(config: AbmConfig) -> Self {
         assert!(config.buffer_capacity_bytes >= config.page_size_bytes);
         Self {
@@ -587,7 +502,7 @@ impl Abm {
         None
     }
 
-    fn plan_load_for(&mut self, scan_id: ScanId) -> Option<LoadPlan> {
+    pub(crate) fn plan_load_for(&mut self, scan_id: ScanId) -> Option<LoadPlan> {
         let state = self.scans.get(&scan_id)?;
         let table = state.request.table;
         let version_idx = state.version;
@@ -892,7 +807,7 @@ impl Abm {
     }
 
     /// Whether a chunk is currently cached and available for `scan` (a
-    /// non-consuming variant of [`Abm::get_chunk`]).
+    /// non-consuming variant of [`MonolithicAbm::get_chunk`]).
     pub fn has_cached_chunk(&self, scan: ScanId) -> bool {
         self.cached_chunk_for(scan).is_some()
     }
@@ -914,7 +829,7 @@ impl Abm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scanshare_common::TupleRange;
+    use scanshare_common::{RangeList, TupleRange};
     use scanshare_storage::column::{ColumnSpec, ColumnType};
     use scanshare_storage::datagen::DataGen;
     use scanshare_storage::storage::Storage;
@@ -945,12 +860,7 @@ mod tests {
         (storage, id)
     }
 
-    fn request(
-        storage: &Arc<Storage>,
-        table: TableId,
-        range: TupleRange,
-        in_order: bool,
-    ) -> CScanRequest {
+    fn request(storage: &Arc<Storage>, table: TableId, range: TupleRange) -> CScanRequest {
         let layout = storage.layout(table).unwrap();
         let snapshot = storage.master_snapshot(table).unwrap();
         CScanRequest {
@@ -959,66 +869,16 @@ mod tests {
             layout,
             columns: vec![0, 1],
             ranges: RangeList::from_ranges([range]),
-            in_order,
+            in_order: false,
         }
     }
 
-    fn abm(capacity_bytes: u64) -> Abm {
-        Abm::new(AbmConfig::new(capacity_bytes, PAGE))
+    fn abm(capacity_bytes: u64) -> MonolithicAbm {
+        MonolithicAbm::new(AbmConfig::new(capacity_bytes, PAGE))
     }
 
     fn now() -> VirtualInstant {
         VirtualInstant::EPOCH
-    }
-
-    /// Drives the ABM until `scan` has consumed all of its chunks, returning
-    /// the number of loads performed. Panics if no progress is possible.
-    fn drain_scan(abm: &mut Abm, scan: ScanId) -> usize {
-        let mut loads = 0;
-        let mut guard = 0;
-        while !abm.is_finished(scan) {
-            guard += 1;
-            assert!(guard < 10_000, "scan did not make progress");
-            if let Some(delivery) = abm.get_chunk(scan).unwrap() {
-                assert!(delivery.tuples > 0);
-                continue;
-            }
-            match abm.next_action(now()) {
-                AbmAction::Load(plan) => {
-                    abm.complete_load(&plan, now()).unwrap();
-                    loads += 1;
-                }
-                AbmAction::Idle => panic!("scan starved but ABM is idle"),
-            }
-        }
-        loads
-    }
-
-    #[test]
-    fn register_reports_chunks_and_tuples() {
-        let (storage, table) = setup(10_000);
-        let mut abm = abm(1 << 20);
-        let handle = abm
-            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
-            .unwrap();
-        assert_eq!(handle.total_chunks, 10);
-        assert_eq!(handle.total_tuples, 10_000);
-        assert_eq!(abm.registered_scans(), 1);
-        // Partial range: 2.5 chunks worth of tuples.
-        let handle2 = abm
-            .register_cscan(request(&storage, table, TupleRange::new(500, 3000), false))
-            .unwrap();
-        assert_eq!(handle2.total_chunks, 3);
-        assert_eq!(handle2.total_tuples, 2500);
-    }
-
-    #[test]
-    fn empty_range_registration_is_rejected() {
-        let (storage, table) = setup(1_000);
-        let mut abm = abm(1 << 20);
-        let mut req = request(&storage, table, TupleRange::new(0, 0), false);
-        req.ranges = RangeList::new();
-        assert!(abm.register_cscan(req).is_err());
     }
 
     #[test]
@@ -1026,7 +886,7 @@ mod tests {
         let (storage, table) = setup(5_000);
         let mut abm = abm(1 << 20);
         let handle = abm
-            .register_cscan(request(&storage, table, TupleRange::new(0, 5_000), false))
+            .register_cscan(request(&storage, table, TupleRange::new(0, 5_000)))
             .unwrap();
         let mut delivered = Vec::new();
         let mut guard = 0;
@@ -1060,10 +920,10 @@ mod tests {
         // Plenty of buffer: every chunk is loaded at most once.
         let mut abm = abm(1 << 22);
         let a = abm
-            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
+            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000)))
             .unwrap();
         let b = abm
-            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
+            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000)))
             .unwrap();
 
         // Drive both scans round-robin.
@@ -1094,189 +954,33 @@ mod tests {
     }
 
     #[test]
-    fn load_relevance_prefers_chunks_wanted_by_more_scans() {
-        let (storage, table) = setup(10_000);
-        let mut abm = abm(1 << 22);
-        // Scan A needs everything; scan B only chunks 5..10.
-        let a = abm
-            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
-            .unwrap();
-        let _b = abm
-            .register_cscan(request(
-                &storage,
-                table,
-                TupleRange::new(5_000, 10_000),
-                false,
-            ))
-            .unwrap();
-        // First load decision for A must pick a chunk B also wants.
-        let plan = abm.plan_load_for(a.id).unwrap();
-        assert!(
-            plan.chunk.raw() >= 5,
-            "chunk {} is not shared with scan B",
-            plan.chunk
-        );
-    }
-
-    #[test]
     fn eviction_respects_keep_relevance_and_capacity() {
         let (storage, table) = setup(10_000);
         // Column a needs 4 pages per chunk, column b 2 pages per chunk ->
         // 6 KiB per chunk. Capacity of 2 chunks.
         let mut abm = abm(12 * PAGE);
         let a = abm
-            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
+            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000)))
             .unwrap();
-        let loads = drain_scan(&mut abm, a.id);
+        let mut loads = 0;
+        let mut guard = 0;
+        while !abm.is_finished(a.id) {
+            guard += 1;
+            assert!(guard < 10_000, "scan did not make progress");
+            if abm.get_chunk(a.id).unwrap().is_some() {
+                continue;
+            }
+            match abm.next_action(now()) {
+                AbmAction::Load(plan) => {
+                    abm.complete_load(&plan, now()).unwrap();
+                    loads += 1;
+                }
+                AbmAction::Idle => panic!("scan starved but ABM is idle"),
+            }
+        }
         assert_eq!(loads, 10, "every chunk loaded exactly once");
         assert!(abm.stats().evictions > 0, "small buffer forces evictions");
         assert!(abm.cached_bytes() <= 12 * PAGE);
-    }
-
-    #[test]
-    fn in_order_scans_get_chunks_sequentially() {
-        let (storage, table) = setup(5_000);
-        let mut abm = abm(1 << 22);
-        let handle = abm
-            .register_cscan(request(&storage, table, TupleRange::new(0, 5_000), true))
-            .unwrap();
-        let mut seen = Vec::new();
-        while !abm.is_finished(handle.id) {
-            if let Some(d) = abm.get_chunk(handle.id).unwrap() {
-                seen.push(d.chunk.raw());
-            } else {
-                match abm.next_action(now()) {
-                    AbmAction::Load(plan) => abm.complete_load(&plan, now()).unwrap(),
-                    AbmAction::Idle => panic!("starved"),
-                }
-            }
-        }
-        let expected: Vec<u32> = (0..5).collect();
-        assert_eq!(
-            seen, expected,
-            "in-order CScan must receive chunks in table order"
-        );
-    }
-
-    #[test]
-    fn snapshots_with_common_prefix_share_chunks() {
-        let (storage, table) = setup(10_000);
-        let layout = storage.layout(table).unwrap();
-        let base = storage.master_snapshot(table).unwrap();
-
-        // An append transaction commits, creating a second snapshot version.
-        let mut tx = storage.begin_append(table).unwrap();
-        tx.append_rows(&[vec![1; 3000], vec![2; 3000]]).unwrap();
-        let appended = tx.commit().unwrap();
-        assert_eq!(appended.stable_tuples(), 13_000);
-
-        let mut abm = abm(1 << 22);
-        let old_req = CScanRequest {
-            table,
-            snapshot: Arc::clone(&base),
-            layout: Arc::clone(&layout),
-            columns: vec![0, 1],
-            ranges: RangeList::single(0, 10_000),
-            in_order: false,
-        };
-        let new_req = CScanRequest {
-            table,
-            snapshot: Arc::clone(&appended),
-            layout: Arc::clone(&layout),
-            columns: vec![0, 1],
-            ranges: RangeList::single(0, 13_000),
-            in_order: false,
-        };
-        let _a = abm.register_cscan(old_req).unwrap();
-        let _b = abm.register_cscan(new_req).unwrap();
-        assert_eq!(
-            abm.version_count(table),
-            2,
-            "different snapshots are different versions"
-        );
-        // 10,000 base tuples: the wide column has 256 tuples/page so the last
-        // partial page is rewritten by the append; the shared prefix covers
-        // all but the tail of the table.
-        let prefix = abm.shared_prefix_chunks(table);
-        assert!(
-            prefix >= 9,
-            "most of the table is shared, got {prefix} chunks"
-        );
-        assert!(prefix <= 10);
-    }
-
-    #[test]
-    fn disjoint_snapshots_after_checkpoint_share_nothing() {
-        let (storage, table) = setup(5_000);
-        let layout = storage.layout(table).unwrap();
-        let old = storage.master_snapshot(table).unwrap();
-        let new = storage.install_checkpoint(table, 5_000, None).unwrap();
-
-        let mut abm = abm(1 << 22);
-        let req_old = CScanRequest {
-            table,
-            snapshot: old,
-            layout: Arc::clone(&layout),
-            columns: vec![0],
-            ranges: RangeList::single(0, 5_000),
-            in_order: false,
-        };
-        let req_new = CScanRequest {
-            table,
-            snapshot: new,
-            layout,
-            columns: vec![0],
-            ranges: RangeList::single(0, 5_000),
-            in_order: false,
-        };
-        let a = abm.register_cscan(req_old).unwrap();
-        let _b = abm.register_cscan(req_new).unwrap();
-        assert_eq!(abm.version_count(table), 2);
-        assert_eq!(abm.shared_prefix_chunks(table), 0);
-
-        // Unregistering the old scan destroys its version's metadata.
-        abm.unregister_cscan(a.id).unwrap();
-        assert_eq!(abm.version_count(table), 1);
-    }
-
-    #[test]
-    fn same_snapshot_scans_reuse_the_version() {
-        let (storage, table) = setup(3_000);
-        let mut abm = abm(1 << 22);
-        let a = abm
-            .register_cscan(request(&storage, table, TupleRange::new(0, 3_000), false))
-            .unwrap();
-        let b = abm
-            .register_cscan(request(&storage, table, TupleRange::new(0, 3_000), false))
-            .unwrap();
-        assert_eq!(abm.version_count(table), 1);
-        abm.unregister_cscan(a.id).unwrap();
-        assert_eq!(abm.version_count(table), 1);
-        abm.unregister_cscan(b.id).unwrap();
-        assert_eq!(abm.version_count(table), 0);
-    }
-
-    #[test]
-    fn starved_short_query_is_served_before_long_query() {
-        let (storage, table) = setup(10_000);
-        let mut abm = abm(1 << 22);
-        let long = abm
-            .register_cscan(request(&storage, table, TupleRange::new(0, 10_000), false))
-            .unwrap();
-        let short = abm
-            .register_cscan(request(
-                &storage,
-                table,
-                TupleRange::new(9_000, 10_000),
-                false,
-            ))
-            .unwrap();
-        // Both are starved; the shorter query (1 chunk) wins QueryRelevance.
-        let plan = abm.next_load(now()).unwrap();
-        assert_eq!(plan.scan, short.id);
-        abm.complete_load(&plan, now()).unwrap();
-        // The loaded chunk is also the one the long scan will reuse later.
-        assert!(abm.chunk_is_cached(long.id, plan.chunk));
     }
 
     #[test]

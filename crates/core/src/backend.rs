@@ -26,10 +26,9 @@
 //! 5. [`ScanBackend::finish_scan`] — `UnregisterScan` / `UnregisterCScan`.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use scanshare_common::sync::Mutex;
+use scanshare_common::sync::{Mutex, RwLock};
 use scanshare_common::{
     Error, PageId, PolicyKind, RangeList, Result, ScanId, TableId, TupleRange, VirtualClock,
     VirtualInstant,
@@ -38,7 +37,7 @@ use scanshare_iosim::{IoDevice, IoKind};
 use scanshare_storage::layout::TableLayout;
 use scanshare_storage::snapshot::Snapshot;
 
-use crate::cscan::{Abm, AbmAction, CScanRequest};
+use crate::abm::{Abm, CScanRequest, LoadScheduler, PumpOutcome};
 use crate::metrics::BufferStats;
 use crate::sharded::ShardedPool;
 
@@ -312,31 +311,55 @@ struct CScanMeta {
 }
 
 /// A [`ScanBackend`] over the [`Abm`]: chunks are delivered in whatever
-/// order the ABM's relevance functions consider best, and the ABM's load
-/// loop runs (charged to the device in virtual time) whenever a scan would
-/// otherwise starve.
+/// order the ABM's relevance functions consider best, and chunk loads are
+/// pumped through a shared [`LoadScheduler`] (charged to the device in
+/// virtual time) whenever a scan would otherwise starve.
+///
+/// The backend holds no outer mutex: the decomposed ABM synchronizes
+/// internally (per-shard directory locks for delivery, one relevance-core
+/// lock for decisions — see [`abm`](crate::abm)), the per-scan translation
+/// metadata sits behind a read-mostly `RwLock`, and starved streams retire
+/// each other's in-flight loads through the scheduler instead of
+/// spin-polling one `Mutex<Abm>`.
 #[derive(Debug)]
 pub struct CScanBackend {
-    abm: Mutex<Abm>,
-    scans: Mutex<HashMap<ScanId, CScanMeta>>,
+    abm: Abm,
+    scans: RwLock<HashMap<ScanId, CScanMeta>>,
+    scheduler: LoadScheduler,
     clock: Arc<VirtualClock>,
     device: Arc<IoDevice>,
-    /// Chunk loads taken from `next_action` but not yet completed. Other
-    /// workers of a parallel plan must keep polling (not error out as
-    /// starved) while one of these is in flight.
-    loads_in_flight: AtomicUsize,
 }
 
 impl CScanBackend {
-    /// Wraps `abm`, charging chunk loads to `device` on `clock`.
+    /// Wraps `abm`, charging chunk loads to `device` on `clock`, with the
+    /// paper-faithful one-load-at-a-time window (see
+    /// [`CScanBackend::with_load_window`]).
     pub fn new(abm: Abm, clock: Arc<VirtualClock>, device: Arc<IoDevice>) -> Self {
         Self {
-            abm: Mutex::new(abm),
-            scans: Mutex::new(HashMap::new()),
+            abm,
+            scans: RwLock::new(HashMap::new()),
+            scheduler: LoadScheduler::new(1),
             clock,
             device,
-            loads_in_flight: AtomicUsize::new(0),
         }
+    }
+
+    /// Sets the load scheduler's window: up to `window` chunk loads are
+    /// kept in flight on the device at once (`1` keeps the one-load-at-a-
+    /// time model whose decisions match the monolithic ABM byte for byte).
+    pub fn with_load_window(mut self, window: usize) -> Self {
+        self.scheduler = LoadScheduler::new(window.max(1));
+        self
+    }
+
+    /// The configured load window.
+    pub fn load_window(&self) -> usize {
+        self.scheduler.window()
+    }
+
+    /// The underlying Active Buffer Manager.
+    pub fn abm(&self) -> &Abm {
+        &self.abm
     }
 }
 
@@ -354,7 +377,7 @@ impl ScanBackend for CScanBackend {
             layout: Arc::clone(&request.layout),
             stable_tuples: request.snapshot.stable_tuples(),
         };
-        let handle = self.abm.lock().register_cscan(CScanRequest {
+        let handle = self.abm.register_cscan(CScanRequest {
             table: request.table,
             snapshot: request.snapshot,
             layout: request.layout,
@@ -362,57 +385,43 @@ impl ScanBackend for CScanBackend {
             ranges: request.ranges,
             in_order: request.in_order,
         })?;
-        self.scans.lock().insert(handle.id, meta);
+        self.scans.write().insert(handle.id, meta);
         Ok(handle.id)
     }
 
     fn next_chunk(&self, scan: ScanId) -> Result<ScanStep> {
         loop {
-            // Lock the ABM per step: concurrent scans of a parallel plan
-            // interleave their GetChunk / load-loop calls on the shared ABM.
-            let delivery = self.abm.lock().get_chunk(scan)?;
-            if let Some(delivery) = delivery {
-                let scans = self.scans.lock();
+            // Delivery is the sharded fast path: only the directory shard
+            // owning this scan is locked.
+            if let Some(delivery) = self.abm.get_chunk(scan)? {
+                let scans = self.scans.read();
                 let meta = scans.get(&scan).ok_or(Error::UnknownScan(scan))?;
                 let sids = meta
                     .layout
                     .chunk_sid_range(delivery.chunk, meta.stable_tuples);
                 return Ok(ScanStep::Deliver(sids));
             }
-            if self.abm.lock().is_finished(scan) {
+            if self.abm.is_finished(scan) {
                 return Ok(ScanStep::Finished);
             }
-            // The scan is starved: drive the ABM load loop. In a real system
-            // a dedicated ABM thread does this; in the embedded engine the
-            // load happens on the calling thread, in virtual time.
-            let action = {
-                let mut abm = self.abm.lock();
-                let action = abm.next_action(self.clock.now());
-                if matches!(action, AbmAction::Load(_)) {
-                    // Claimed under the ABM lock, so an Idle observed by
-                    // another worker can only race a load already counted.
-                    self.loads_in_flight.fetch_add(1, Ordering::SeqCst);
-                }
-                action
-            };
-            match action {
-                AbmAction::Load(plan) => {
-                    charge_io(&self.device, &self.clock, plan.bytes);
-                    let completed = self.abm.lock().complete_load(&plan, self.clock.now());
-                    self.loads_in_flight.fetch_sub(1, Ordering::SeqCst);
-                    completed?;
-                }
-                AbmAction::Idle => {
-                    // Another worker may hold the load this scan is waiting
-                    // for (the chunk is marked `loading`, so next_action
-                    // skips it). Keep polling until that load completes.
-                    if self.loads_in_flight.load(Ordering::SeqCst) > 0 {
-                        std::thread::yield_now();
+            // The scan is starved: pump the load scheduler. In a real system
+            // a dedicated ABM thread does this; in the embedded engine
+            // whichever stream is starved drives the pipeline — planning a
+            // new load if the window has room, otherwise retiring the
+            // earliest in-flight load (possibly one another stream planned).
+            match self.scheduler.pump(&self.abm, &self.clock, &self.device)? {
+                PumpOutcome::Progress => continue,
+                PumpOutcome::Idle => {
+                    // Between our failed delivery probe and this pump,
+                    // another stream may have retired the very load this
+                    // scan was waiting for (the pipeline is then rightly
+                    // empty): re-probe before declaring starvation. A scan
+                    // that is still starved here cannot progress — nothing
+                    // cached, nothing loadable, nothing in flight.
+                    if self.abm.has_cached_chunk(scan) || self.abm.is_finished(scan) {
                         continue;
                     }
-                    return Err(Error::internal(
-                        "CScan is starved but the ABM has nothing to load",
-                    ));
+                    return Err(Error::ScanStarved(scan));
                 }
             }
         }
@@ -428,20 +437,20 @@ impl ScanBackend for CScanBackend {
     }
 
     fn finish_scan(&self, scan: ScanId) {
-        if self.scans.lock().remove(&scan).is_some() {
-            let _ = self.abm.lock().unregister_cscan(scan);
+        if self.scans.write().remove(&scan).is_some() {
+            let _ = self.abm.unregister_cscan(scan);
         }
     }
 
     fn stats(&self) -> BufferStats {
-        self.abm.lock().stats()
+        self.abm.stats()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cscan::AbmConfig;
+    use crate::abm::AbmConfig;
     use crate::lru::LruPolicy;
     use scanshare_common::{Bandwidth, VirtualDuration};
     use scanshare_storage::column::{ColumnSpec, ColumnType};
@@ -555,6 +564,38 @@ mod tests {
         // Progress reports are accepted (and ignored) for API symmetry.
         backend.report_position(scan, 1);
         backend.finish_scan(scan);
+    }
+
+    #[test]
+    fn cscan_backend_load_window_pipelines_with_bounded_io_overhead() {
+        // A deep load window loads the same chunks; overlapping in-flight
+        // loads may each fetch a chunk-boundary page the other also plans
+        // (a plan excludes only *resident* pages — exactly what happens
+        // when parallel workers claim overlapping loads), so the volume may
+        // exceed the serial case by at most a page per chunk boundary.
+        let run = |window: usize| {
+            let (_storage, request) = setup(4000);
+            let (clock, device) = clock_and_device();
+            let backend = CScanBackend::new(
+                Abm::new(AbmConfig::new(1 << 20, PAGE).with_shards(2)),
+                clock,
+                device,
+            )
+            .with_load_window(window);
+            assert_eq!(backend.load_window(), window);
+            let scan = backend.register_scan(request).unwrap();
+            while let ScanStep::Deliver(_) = backend.next_chunk(scan).unwrap() {}
+            backend.finish_scan(scan);
+            backend.stats()
+        };
+        let sync = run(1);
+        let deep = run(4);
+        assert_eq!(sync.misses, deep.misses, "same chunks loaded");
+        assert!(deep.io_bytes >= sync.io_bytes);
+        // 8 chunks x 2 columns: at most one duplicated boundary page per
+        // column per adjacent chunk pair.
+        assert!(deep.io_bytes <= sync.io_bytes + 2 * 7 * PAGE);
+        assert!(sync.io_bytes > 0);
     }
 
     #[test]

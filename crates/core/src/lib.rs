@@ -9,10 +9,12 @@
 //!   page accesses and report their progress; the pool estimates for every
 //!   page the time of its next consumption and evicts the page needed
 //!   furthest in the future, using the O(1) bucket timeline of Figure 9/10;
-//! * [`cscan`] — **Cooperative Scans**: an Active Buffer Manager (ABM) takes
+//! * [`abm`] — **Cooperative Scans**: an Active Buffer Manager (ABM) takes
 //!   over load / evict / dispatch decisions at chunk granularity, using the
 //!   QueryRelevance / LoadRelevance / UseRelevance / KeepRelevance functions,
-//!   and delivers chunks to CScan operators out of order;
+//!   and delivers chunks to CScan operators out of order. Decomposed into a
+//!   sharded chunk directory, a pure relevance core and an asynchronous
+//!   load scheduler (the monolithic original is kept as `abm::reference`);
 //! * [`opt`] — Belady's OPT replayed over a recorded page-reference trace,
 //!   the theoretical optimum for order-preserving policies.
 //!
@@ -23,9 +25,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod abm;
 pub mod backend;
 pub mod bufferpool;
-pub mod cscan;
 pub mod lru;
 pub mod metrics;
 pub mod opportunistic;
@@ -37,9 +39,9 @@ pub mod registry;
 pub mod sharded;
 pub mod throttle;
 
+pub use abm::{Abm, AbmAction, AbmConfig, CScanHandle, LoadScheduler, MonolithicAbm};
 pub use backend::{CScanBackend, PooledBackend, ScanBackend, ScanRequest, ScanStep};
 pub use bufferpool::{AccessOutcome, BufferPool, PrefetchPool};
-pub use cscan::{Abm, AbmAction, AbmConfig, CScanHandle};
 pub use lru::LruPolicy;
 pub use metrics::BufferStats;
 pub use opportunistic::OpportunisticPlanner;

@@ -36,6 +36,25 @@ pub struct WorkloadDriver {
     parallelism_per_query: usize,
 }
 
+/// A per-stream scheduling failure surfaced in the report instead of
+/// aborting the workload (currently only Cooperative Scans starvation,
+/// [`Error::ScanStarved`]): the affected stream stops early, the remaining
+/// streams run to completion, and the caller decides how to react.
+#[derive(Debug, Clone)]
+pub struct StreamError {
+    /// Label of the stream that failed (from its [`StreamSpec`]).
+    pub stream: String,
+    /// The typed error that ended the stream.
+    pub error: Error,
+}
+
+/// Whether an error is a per-stream scheduling outcome (reported in
+/// [`WorkloadReport::stream_errors`]) rather than a workload-level failure
+/// (returned as `Err` from [`WorkloadDriver::run`]).
+fn is_stream_local(error: &Error) -> bool {
+    matches!(error, Error::ScanStarved(_))
+}
+
 /// What one driver run measured.
 #[derive(Debug, Clone)]
 pub struct WorkloadReport {
@@ -45,7 +64,9 @@ pub struct WorkloadReport {
     pub streams: usize,
     /// Queries executed across all streams.
     pub queries: u64,
-    /// Tuples scanned across all queries (per the specs' scan ranges).
+    /// Tuples scanned across all *completed* queries (per the specs' scan
+    /// ranges); queries a stream never ran because it ended early on a
+    /// [`StreamError`] do not count.
     pub tuples: u64,
     /// Wall-clock time from the first query starting to the last finishing.
     pub wall: Duration,
@@ -58,6 +79,9 @@ pub struct WorkloadReport {
     pub buffer: BufferStats,
     /// I/O-device counters accumulated during the run.
     pub io: IoStats,
+    /// Streams that ended early on a per-stream scheduling error (see
+    /// [`StreamError`]); empty on a clean run.
+    pub stream_errors: Vec<StreamError>,
 }
 
 impl WorkloadReport {
@@ -123,31 +147,52 @@ impl WorkloadDriver {
     /// Executes `workload`: spawns one thread per [`StreamSpec`], runs each
     /// stream's queries back to back through the builder API and collects
     /// the merged report. A failing query ends its own stream immediately;
-    /// the error is returned once the remaining streams have run to
-    /// completion (streams are independent sessions and are never aborted
-    /// mid-query).
+    /// streams are independent sessions and are never aborted mid-query.
+    /// Per-stream scheduling errors (Cooperative Scans starvation,
+    /// [`Error::ScanStarved`]) are surfaced in
+    /// [`WorkloadReport::stream_errors`] while the other streams' results
+    /// still count; any other error is returned once the remaining streams
+    /// have run to completion.
     pub fn run(&self, workload: &WorkloadSpec) -> Result<WorkloadReport> {
         let virtual_start = self.engine.now();
         let buffer_start = self.engine.buffer_stats();
         let io_start = self.engine.device().stats();
         let wall_start = Instant::now();
 
-        let stream_results: Vec<Result<Vec<Duration>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = workload
-                .streams
-                .iter()
-                .map(|stream| scope.spawn(move || self.run_stream(stream)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("stream thread panicked"))
-                .collect()
-        });
+        let stream_results: Vec<(Vec<Duration>, u64, Option<Error>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = workload
+                    .streams
+                    .iter()
+                    .map(|stream| scope.spawn(move || self.run_stream(stream)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("stream thread panicked"))
+                    .collect()
+            });
 
         let wall = wall_start.elapsed();
         let mut latencies = Vec::with_capacity(workload.query_count());
-        for result in stream_results {
-            latencies.extend(result?);
+        let mut tuples = 0u64;
+        let mut stream_errors = Vec::new();
+        let mut fatal: Option<Error> = None;
+        for (spec, (stream_latencies, stream_tuples, error)) in
+            workload.streams.iter().zip(stream_results)
+        {
+            latencies.extend(stream_latencies);
+            tuples += stream_tuples;
+            match error {
+                Some(error) if is_stream_local(&error) => stream_errors.push(StreamError {
+                    stream: spec.label.clone(),
+                    error,
+                }),
+                Some(error) => fatal = fatal.or(Some(error)),
+                None => {}
+            }
+        }
+        if let Some(error) = fatal {
+            return Err(error);
         }
         latencies.sort_unstable();
 
@@ -157,24 +202,31 @@ impl WorkloadDriver {
             workload: workload.name.clone(),
             streams: workload.stream_count(),
             queries: latencies.len() as u64,
-            tuples: workload.total_tuples(),
+            tuples,
             wall,
             virtual_elapsed: self.engine.now().since(virtual_start),
             latencies,
             buffer: diff_buffer(&buffer_start, &buffer_end),
             io: diff_io(&io_start, &io_end),
+            stream_errors,
         })
     }
 
-    /// Runs one stream's queries in order, returning each query's wall time.
-    fn run_stream(&self, stream: &StreamSpec) -> Result<Vec<Duration>> {
+    /// Runs one stream's queries in order, returning each completed query's
+    /// wall time, the tuples those queries scanned, and the error that ended
+    /// the stream early, if any.
+    fn run_stream(&self, stream: &StreamSpec) -> (Vec<Duration>, u64, Option<Error>) {
         let mut latencies = Vec::with_capacity(stream.queries.len());
+        let mut tuples = 0u64;
         for query in &stream.queries {
             let started = Instant::now();
-            self.run_query(query)?;
+            if let Err(error) = self.run_query(query) {
+                return (latencies, tuples, Some(error));
+            }
             latencies.push(started.elapsed());
+            tuples += query.total_tuples();
         }
-        Ok(latencies)
+        (latencies, tuples, None)
     }
 
     /// Lowers one [`QuerySpec`] onto the builder API: each scan becomes one
@@ -328,6 +380,22 @@ mod tests {
                 Some(expected) => assert_eq!(*expected, observed, "shards {shards}"),
             }
         }
+    }
+
+    #[test]
+    fn starvation_is_stream_local_and_clean_cscan_runs_report_no_stream_errors() {
+        use scanshare_common::ScanId;
+        // Classification: only starvation is surfaced per stream; anything
+        // else fails the workload as before.
+        assert!(is_stream_local(&Error::ScanStarved(ScanId::new(1))));
+        assert!(!is_stream_local(&Error::internal("boom")));
+        assert!(!is_stream_local(&Error::UnknownScan(ScanId::new(1))));
+        // A healthy multi-stream CScan workload reports no stream errors.
+        let (storage, workload) = setup();
+        let engine = engine(&storage, PolicyKind::CScan, 2);
+        let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+        assert!(report.stream_errors.is_empty());
+        assert_eq!(report.queries, 6);
     }
 
     #[test]

@@ -9,8 +9,8 @@ use scanshare_common::{
     Error, PolicyKind, Result, Rid, ScanShareConfig, TableId, TupleRange, VirtualClock,
     VirtualDuration, VirtualInstant,
 };
+use scanshare_core::abm::{Abm, AbmConfig};
 use scanshare_core::backend::{CScanBackend, PooledBackend, ScanBackend};
-use scanshare_core::cscan::{Abm, AbmConfig};
 use scanshare_core::metrics::BufferStats;
 use scanshare_core::opt::{simulate_opt, OptResult};
 use scanshare_core::registry::PolicyRegistry;
@@ -83,15 +83,18 @@ impl Engine {
 
         let backend: Box<dyn ScanBackend> = match (config.policy, &config.custom_policy) {
             (PolicyKind::CScan, None) => {
-                let abm = Abm::new(AbmConfig::new(
-                    config.buffer_pool_bytes,
-                    config.page_size_bytes,
-                ));
-                Box::new(CScanBackend::new(
-                    abm,
-                    Arc::clone(&clock),
-                    Arc::clone(&device),
-                ))
+                // The ABM's chunk directory is partitioned across the same
+                // `pool_shards` lock domains the page pool would use;
+                // relevance decisions stay globally exact, so the shard
+                // count changes contention, never I/O volume.
+                let abm = Abm::new(
+                    AbmConfig::new(config.buffer_pool_bytes, config.page_size_bytes)
+                        .with_shards(config.pool_shards),
+                );
+                Box::new(
+                    CScanBackend::new(abm, Arc::clone(&clock), Arc::clone(&device))
+                        .with_load_window(config.cscan_load_window),
+                )
             }
             (policy, _custom) => {
                 let name = scanshare_core::registry::pooled_policy_name(&config, policy);

@@ -34,15 +34,12 @@ pub mod batch;
 pub mod driver;
 pub mod engine;
 pub mod ops;
-pub mod parallel;
 pub mod query;
 pub mod scan;
 
 pub use batch::Batch;
-pub use driver::{WorkloadDriver, WorkloadReport};
+pub use driver::{StreamError, WorkloadDriver, WorkloadReport};
 pub use engine::{Engine, QueryStats};
 pub use ops::{AggrSpec, Aggregate, Predicate};
-#[allow(deprecated)]
-pub use parallel::parallel_scan_aggregate;
 pub use query::Query;
 pub use scan::ScanOperator;

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use scanshare_common::{
     Error, PageId, PolicyKind, Result, ScanId, ScanShareConfig, VirtualDuration, VirtualInstant,
 };
+use scanshare_core::abm::{Abm, AbmConfig, CScanHandle, CScanRequest, LoadPlan};
 use scanshare_core::bufferpool::{top_up_prefetch_window, BufferPool};
-use scanshare_core::cscan::{Abm, AbmConfig, CScanHandle, CScanRequest, LoadPlan};
 use scanshare_core::metrics::BufferStats;
 use scanshare_core::opt::simulate_opt;
 use scanshare_core::registry::{pooled_policy_name, PolicyRegistry};
@@ -138,6 +138,52 @@ struct CScanStreamState {
     queries: VecDeque<usize>,
     current: Option<CScanQueryRun>,
     finished: Option<VirtualInstant>,
+}
+
+/// Periodic sharing-potential sampling state (Figures 17/18), shared by the
+/// pooled and Cooperative Scans event loops so the sampling cadence exists
+/// exactly once; the loops differ only in how each computes the outstanding
+/// page sets.
+struct SharingSampler {
+    profile: Option<SharingProfile>,
+    next_sample: u64,
+    interval: u64,
+}
+
+impl SharingSampler {
+    fn new(interval: Option<VirtualDuration>) -> Self {
+        Self {
+            profile: interval.map(|_| SharingProfile::default()),
+            next_sample: 0,
+            interval: interval.map(|d| d.as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Pushes a sample when `time_ns` reached the next sampling point;
+    /// `outstanding` (the per-scan still-to-consume page sets) is only
+    /// evaluated when a sample is actually taken.
+    fn sample_if_due<F>(&mut self, time_ns: u64, page_size: u64, outstanding: F)
+    where
+        F: FnOnce() -> Vec<Vec<PageId>>,
+    {
+        let Some(profile) = self.profile.as_mut() else {
+            return;
+        };
+        if time_ns < self.next_sample {
+            return;
+        }
+        let outstanding = outstanding();
+        profile.push(SharingProfile::sample_from_outstanding(
+            VirtualInstant::from_nanos(time_ns),
+            page_size,
+            outstanding.iter(),
+        ));
+        self.next_sample = time_ns + self.interval;
+    }
+
+    fn into_profile(self) -> Option<SharingProfile> {
+        self.profile
+    }
 }
 
 impl Simulation {
@@ -305,16 +351,7 @@ impl Simulation {
         }
 
         let mut query_latencies = Vec::new();
-        let mut sharing = self
-            .config
-            .sharing_sample_interval
-            .map(|_| SharingProfile::default());
-        let mut next_sample = 0u64;
-        let sample_interval = self
-            .config
-            .sharing_sample_interval
-            .map(|d| d.as_nanos())
-            .unwrap_or(u64::MAX);
+        let mut sampler = SharingSampler::new(self.config.sharing_sample_interval);
 
         while let Some(Reverse(event)) = heap.pop() {
             let now = VirtualInstant::from_nanos(event.time);
@@ -323,29 +360,21 @@ impl Simulation {
             };
 
             // Periodic sharing-potential sampling.
-            if let Some(profile) = sharing.as_mut() {
-                if event.time >= next_sample {
-                    let outstanding: Vec<Vec<PageId>> = streams
-                        .iter()
-                        .filter_map(|st| st.current.as_ref())
-                        .flat_map(|q| {
-                            q.parts[q.part_idx..].iter().map(|part| {
-                                let mut pages: Vec<PageId> =
-                                    part.pages[part.next..].iter().map(|(p, _)| *p).collect();
-                                pages.sort_unstable();
-                                pages.dedup();
-                                pages
-                            })
+            sampler.sample_if_due(event.time, page_size, || {
+                streams
+                    .iter()
+                    .filter_map(|st| st.current.as_ref())
+                    .flat_map(|q| {
+                        q.parts[q.part_idx..].iter().map(|part| {
+                            let mut pages: Vec<PageId> =
+                                part.pages[part.next..].iter().map(|(p, _)| *p).collect();
+                            pages.sort_unstable();
+                            pages.dedup();
+                            pages
                         })
-                        .collect();
-                    profile.push(SharingProfile::sample_from_outstanding(
-                        now,
-                        page_size,
-                        outstanding.iter(),
-                    ));
-                    next_sample = event.time + sample_interval;
-                }
-            }
+                    })
+                    .collect()
+            });
 
             // Start the next query if needed.
             if streams[s].current.is_none() {
@@ -426,7 +455,7 @@ impl Simulation {
             buffer: stats,
             makespan: makespan.since(VirtualInstant::EPOCH),
             has_timing: true,
-            sharing,
+            sharing: sampler.into_profile(),
         };
         Ok((result, trace))
     }
@@ -467,7 +496,7 @@ impl Simulation {
 
     fn register_cscan_part(
         &self,
-        abm: &mut Abm,
+        abm: &Abm,
         query: &QuerySpec,
         part_idx: usize,
     ) -> Result<CScanHandle> {
@@ -485,12 +514,13 @@ impl Simulation {
     }
 
     fn run_cscan(&self, workload: &WorkloadSpec) -> Result<SimResult> {
-        let mut abm = Abm::new(AbmConfig::new(
+        let abm = Abm::new(AbmConfig::new(
             self.config.scanshare.buffer_pool_bytes,
             self.config.scanshare.page_size_bytes,
         ));
         let device = self.device();
         let stream_count = workload.stream_count();
+        let page_size = self.config.scanshare.page_size_bytes;
 
         let mut streams: Vec<CScanStreamState> = workload
             .streams
@@ -523,6 +553,7 @@ impl Simulation {
         let mut blocked: HashSet<usize> = HashSet::new();
         let mut loader_busy = false;
         let mut query_latencies = Vec::new();
+        let mut sampler = SharingSampler::new(self.config.sharing_sample_interval);
 
         macro_rules! kick_loader {
             ($heap:expr, $now:expr) => {
@@ -541,6 +572,19 @@ impl Simulation {
         while let Some(Reverse(event)) = heap.pop() {
             let now_ns = event.time;
             let now = VirtualInstant::from_nanos(now_ns);
+
+            // Periodic sharing-potential sampling: the outstanding data of
+            // a CScan is the page set of its still-needed chunks, which the
+            // ABM tracks directly.
+            sampler.sample_if_due(event.time, page_size, || {
+                streams
+                    .iter()
+                    .filter_map(|st| st.current.as_ref())
+                    .filter_map(|q| q.active)
+                    .map(|handle| abm.outstanding_pages(handle.id))
+                    .collect()
+            });
+
             match event.kind {
                 EventKind::LoadDone => {
                     let plan = event.plan.expect("load event carries its plan");
@@ -565,7 +609,7 @@ impl Simulation {
                             continue;
                         };
                         let query = &workload.streams[s].queries[query_idx];
-                        let handle = self.register_cscan_part(&mut abm, query, 0)?;
+                        let handle = self.register_cscan_part(&abm, query, 0)?;
                         streams[s].current = Some(CScanQueryRun {
                             scan_specs: vec![query_idx],
                             part_idx: 0,
@@ -599,7 +643,7 @@ impl Simulation {
                                 run.part_idx += 1;
                                 if run.part_idx < query.scans.len() {
                                     let next =
-                                        self.register_cscan_part(&mut abm, query, run.part_idx)?;
+                                        self.register_cscan_part(&abm, query, run.part_idx)?;
                                     run.active = Some(next);
                                 } else {
                                     run.active = None;
@@ -641,7 +685,7 @@ impl Simulation {
             buffer: stats,
             makespan: makespan.since(VirtualInstant::EPOCH),
             has_timing: true,
-            sharing: None,
+            sharing: sampler.into_profile(),
         })
     }
 }

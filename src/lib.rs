@@ -110,9 +110,7 @@ pub mod prelude {
     pub use scanshare_exec::ops::{
         aggregate, AggrSpec, Aggregate, BatchSource, CompareOp, Predicate,
     };
-    #[allow(deprecated)]
-    pub use scanshare_exec::parallel_scan_aggregate;
-    pub use scanshare_exec::{Batch, Engine, Query, WorkloadDriver, WorkloadReport};
+    pub use scanshare_exec::{Batch, Engine, Query, StreamError, WorkloadDriver, WorkloadReport};
     pub use scanshare_pdt::{Pdt, PdtStack};
     pub use scanshare_sim::{ExperimentScale, SimConfig, SimResult, Simulation};
     pub use scanshare_storage::datagen::DataGen;

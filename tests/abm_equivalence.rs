@@ -1,0 +1,327 @@
+//! The ABM decomposition invariance property.
+//!
+//! PR 4 split the monolithic single-lock Active Buffer Manager into a
+//! sharded chunk directory, a pure relevance core and a load scheduler
+//! (`scanshare_core::abm`). The refactor must not change a single
+//! decision: this test replays randomized CScan traces — staggered
+//! registrations, interleaved `GetChunk` calls, load planning/completion,
+//! mid-flight aborts — through the frozen pre-refactor implementation
+//! (`MonolithicAbm`, the executable spec) and through the decomposed ABM
+//! at 1, 2 and 8 directory shards, and asserts that the **entire op-level
+//! outcome log** is byte-identical: chunk-delivery order per scan, every
+//! load plan (chunk, page list, byte count), starvation probes, and the
+//! final statistics / cached-bytes / I/O volume.
+
+use std::sync::Arc;
+
+use scanshare::core::abm::{Abm, AbmConfig, CScanRequest, LoadPlan, MonolithicAbm};
+use scanshare::prelude::*;
+use scanshare::storage::datagen::{splitmix64, DataGen};
+
+const PAGE: u64 = 1024;
+const CHUNK: u64 = 1000;
+
+fn setup(tuples: u64) -> (Arc<Storage>, TableId) {
+    let storage = Storage::with_seed(PAGE, CHUNK, 23);
+    let spec = TableSpec::new(
+        "lineitem",
+        vec![
+            ColumnSpec::with_width("a", ColumnType::Int64, 4.0),
+            ColumnSpec::with_width("b", ColumnType::Int64, 2.0),
+            ColumnSpec::with_width("c", ColumnType::Int64, 1.0),
+        ],
+        tuples,
+    );
+    let table = storage
+        .create_table_with_data(
+            spec,
+            vec![
+                DataGen::Sequential { start: 0, step: 1 },
+                DataGen::Constant(1),
+                DataGen::Constant(2),
+            ],
+        )
+        .unwrap();
+    (storage, table)
+}
+
+/// Both implementations behind one op interface, so the trace driver is
+/// shared verbatim.
+enum AbmUnderTest {
+    Monolithic(MonolithicAbm),
+    Decomposed(Abm),
+}
+
+impl AbmUnderTest {
+    fn register(&mut self, request: CScanRequest) -> scanshare::core::abm::CScanHandle {
+        match self {
+            AbmUnderTest::Monolithic(abm) => abm.register_cscan(request).unwrap(),
+            AbmUnderTest::Decomposed(abm) => abm.register_cscan(request).unwrap(),
+        }
+    }
+    fn unregister(&mut self, scan: scanshare::common::ScanId) {
+        match self {
+            AbmUnderTest::Monolithic(abm) => abm.unregister_cscan(scan).unwrap(),
+            AbmUnderTest::Decomposed(abm) => abm.unregister_cscan(scan).unwrap(),
+        }
+    }
+    fn get_chunk(
+        &mut self,
+        scan: scanshare::common::ScanId,
+    ) -> Option<scanshare::core::abm::ChunkDelivery> {
+        match self {
+            AbmUnderTest::Monolithic(abm) => abm.get_chunk(scan).unwrap(),
+            AbmUnderTest::Decomposed(abm) => abm.get_chunk(scan).unwrap(),
+        }
+    }
+    fn next_load(&mut self) -> Option<LoadPlan> {
+        let now = VirtualInstant::EPOCH;
+        match self {
+            AbmUnderTest::Monolithic(abm) => abm.next_load(now),
+            AbmUnderTest::Decomposed(abm) => abm.next_load(now),
+        }
+    }
+    fn complete_load(&mut self, plan: &LoadPlan) {
+        let now = VirtualInstant::EPOCH;
+        match self {
+            AbmUnderTest::Monolithic(abm) => abm.complete_load(plan, now).unwrap(),
+            AbmUnderTest::Decomposed(abm) => abm.complete_load(plan, now).unwrap(),
+        }
+    }
+    fn is_finished(&self, scan: scanshare::common::ScanId) -> bool {
+        match self {
+            AbmUnderTest::Monolithic(abm) => abm.is_finished(scan),
+            AbmUnderTest::Decomposed(abm) => abm.is_finished(scan),
+        }
+    }
+    fn has_cached_chunk(&self, scan: scanshare::common::ScanId) -> bool {
+        match self {
+            AbmUnderTest::Monolithic(abm) => abm.has_cached_chunk(scan),
+            AbmUnderTest::Decomposed(abm) => abm.has_cached_chunk(scan),
+        }
+    }
+    fn remaining_chunks(&self, scan: scanshare::common::ScanId) -> usize {
+        match self {
+            AbmUnderTest::Monolithic(abm) => abm.remaining_chunks(scan),
+            AbmUnderTest::Decomposed(abm) => abm.remaining_chunks(scan),
+        }
+    }
+    fn stats(&self) -> scanshare::core::BufferStats {
+        match self {
+            AbmUnderTest::Monolithic(abm) => abm.stats(),
+            AbmUnderTest::Decomposed(abm) => abm.stats(),
+        }
+    }
+    fn cached_bytes(&self) -> u64 {
+        match self {
+            AbmUnderTest::Monolithic(abm) => abm.cached_bytes(),
+            AbmUnderTest::Decomposed(abm) => abm.cached_bytes(),
+        }
+    }
+}
+
+/// The randomized scan mix for one seed: overlapping ranges (so interest
+/// counts matter), a couple of duplicated full scans (sharing), different
+/// column subsets (page-union loads) and an occasional in-order scan.
+fn scan_requests(
+    storage: &Arc<Storage>,
+    table: TableId,
+    tuples: u64,
+    seed: u64,
+) -> Vec<CScanRequest> {
+    let layout = storage.layout(table).unwrap();
+    let snapshot = storage.master_snapshot(table).unwrap();
+    let mut rng = seed | 1;
+    let mut next = |limit: u64| -> u64 {
+        rng = splitmix64(rng);
+        if limit == 0 {
+            0
+        } else {
+            rng % limit
+        }
+    };
+    (0..6)
+        .map(|i| {
+            let span = (tuples / 6).max(CHUNK) * (1 + next(5));
+            let span = span.min(tuples);
+            let start = next((tuples - span).max(1));
+            let columns = match next(3) {
+                0 => vec![0, 1, 2],
+                1 => vec![0, 1],
+                _ => vec![0, 2],
+            };
+            CScanRequest {
+                table,
+                snapshot: Arc::clone(&snapshot),
+                layout: Arc::clone(&layout),
+                columns,
+                ranges: RangeList::single(start, start + span),
+                in_order: i == 4 && next(2) == 0,
+            }
+        })
+        .collect()
+}
+
+/// Replays one randomized trace, returning the serialized outcome of every
+/// operation (the byte-identical artefact the property compares).
+fn run_trace(mut abm: AbmUnderTest, requests: Vec<CScanRequest>, seed: u64) -> Vec<String> {
+    let mut log: Vec<String> = Vec::new();
+    let mut to_register = requests;
+    let mut active: Vec<scanshare::common::ScanId> = Vec::new();
+    let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut next = |limit: u64| -> u64 {
+        rng = splitmix64(rng);
+        if limit == 0 {
+            0
+        } else {
+            rng % limit
+        }
+    };
+    let mut guard = 0u32;
+    loop {
+        guard += 1;
+        assert!(guard < 200_000, "trace made no progress");
+        let all_done = to_register.is_empty() && active.iter().all(|s| abm.is_finished(*s));
+        if all_done {
+            break;
+        }
+        let choice = next(10);
+        if !to_register.is_empty() && (choice < 3 || active.is_empty()) {
+            let handle = abm.register(to_register.remove(0));
+            log.push(format!("register -> {handle:?}"));
+            active.push(handle.id);
+            continue;
+        }
+        let unfinished: Vec<_> = active
+            .iter()
+            .copied()
+            .filter(|s| !abm.is_finished(*s))
+            .collect();
+        if unfinished.is_empty() {
+            continue;
+        }
+        let scan = unfinished[next(unfinished.len() as u64) as usize];
+        if choice == 9 && active.len() > 1 {
+            // Abort a scan mid-flight.
+            abm.unregister(scan);
+            active.retain(|s| *s != scan);
+            log.push(format!("abort {scan:?}"));
+            continue;
+        }
+        if choice < 8 {
+            log.push(format!(
+                "probe {scan:?} cached={} remaining={}",
+                abm.has_cached_chunk(scan),
+                abm.remaining_chunks(scan)
+            ));
+            let delivery = abm.get_chunk(scan);
+            log.push(format!("get {scan:?} -> {delivery:?}"));
+            if delivery.is_some() {
+                continue;
+            }
+        }
+        // Starved (or a scheduled load step): drive the loader once.
+        let plan = abm.next_load();
+        log.push(format!("load -> {plan:?}"));
+        if let Some(plan) = plan {
+            abm.complete_load(&plan);
+        }
+    }
+    // Unregister the survivors in randomized order.
+    while !active.is_empty() {
+        let scan = active.remove(next(active.len() as u64) as usize);
+        abm.unregister(scan);
+        log.push(format!("unregister {scan:?}"));
+    }
+    log.push(format!(
+        "final stats={:?} cached_bytes={}",
+        abm.stats(),
+        abm.cached_bytes()
+    ));
+    log
+}
+
+#[test]
+fn decomposed_abm_matches_the_monolithic_spec_at_every_shard_count() {
+    const TUPLES: u64 = 12_000;
+    let (storage, table) = setup(TUPLES);
+    // Capacity of ~8 chunks of the widest column mix: real replacement
+    // pressure, so KeepRelevance eviction and the protection rule fire.
+    let capacity = 56 * PAGE;
+    for seed in [1u64, 7, 42, 1234, 0xdead] {
+        let requests = scan_requests(&storage, table, TUPLES, seed);
+        let reference = run_trace(
+            AbmUnderTest::Monolithic(MonolithicAbm::new(AbmConfig::new(capacity, PAGE))),
+            requests.clone(),
+            seed,
+        );
+        assert!(
+            reference.iter().any(|line| line.starts_with("get")),
+            "seed {seed}: trace must deliver chunks"
+        );
+        for shards in [1usize, 2, 8] {
+            let decomposed = run_trace(
+                AbmUnderTest::Decomposed(Abm::new(
+                    AbmConfig::new(capacity, PAGE).with_shards(shards),
+                )),
+                requests.clone(),
+                seed,
+            );
+            assert_eq!(
+                decomposed.len(),
+                reference.len(),
+                "seed {seed} shards {shards}: trace lengths diverge"
+            );
+            for (idx, (got, want)) in decomposed.iter().zip(reference.iter()).enumerate() {
+                assert_eq!(
+                    got, want,
+                    "seed {seed} shards {shards}: divergence at op {idx}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn headroom_traces_are_also_invariant_and_load_each_page_once() {
+    const TUPLES: u64 = 10_000;
+    let (storage, table) = setup(TUPLES);
+    let layout = storage.layout(table).unwrap();
+    let snapshot = storage.master_snapshot(table).unwrap();
+    // Two identical full scans plus a suffix scan, plenty of buffer.
+    let requests: Vec<CScanRequest> = [
+        (0u64, TUPLES, vec![0usize, 1, 2]),
+        (0, TUPLES, vec![0, 1, 2]),
+        (5 * CHUNK, TUPLES, vec![0, 1, 2]),
+    ]
+    .into_iter()
+    .map(|(start, end, columns)| CScanRequest {
+        table,
+        snapshot: Arc::clone(&snapshot),
+        layout: Arc::clone(&layout),
+        columns,
+        ranges: RangeList::single(start, end),
+        in_order: false,
+    })
+    .collect();
+    let reference = run_trace(
+        AbmUnderTest::Monolithic(MonolithicAbm::new(AbmConfig::new(1 << 22, PAGE))),
+        requests.clone(),
+        3,
+    );
+    // With headroom, the trace ends with every distinct page loaded once:
+    // 4+2+1 bytes/tuple over 10k tuples = 70 pages.
+    let last = reference.last().unwrap();
+    assert!(
+        last.contains("io_bytes: 71680"),
+        "unexpected final line {last}"
+    );
+    for shards in [2usize, 8] {
+        let decomposed = run_trace(
+            AbmUnderTest::Decomposed(Abm::new(AbmConfig::new(1 << 22, PAGE).with_shards(shards))),
+            requests.clone(),
+            3,
+        );
+        assert_eq!(decomposed, reference, "shards {shards}");
+    }
+}

@@ -19,10 +19,11 @@ const TUPLES: u64 = 20_000;
 const THREADS: u64 = 4;
 const ROUNDS: u64 = 2;
 
-fn build_engine(
+fn build_engine_with_window(
     policy: PolicyKind,
     prefetch_pages: usize,
     pool_shards: usize,
+    cscan_load_window: usize,
 ) -> (Arc<Engine>, TableId) {
     let storage = Storage::with_seed(1024, 2_000, 7);
     let spec = TableSpec::new(
@@ -49,6 +50,7 @@ fn build_engine(
         policy,
         prefetch_pages,
         pool_shards,
+        cscan_load_window,
         ..Default::default()
     };
     (Engine::new(storage, config).unwrap(), table)
@@ -102,7 +104,18 @@ fn stress(policy: PolicyKind, prefetch_pages: usize) {
 }
 
 fn stress_sharded(policy: PolicyKind, prefetch_pages: usize, pool_shards: usize, threads: u64) {
-    let (engine, table) = build_engine(policy, prefetch_pages, pool_shards);
+    stress_with_window(policy, prefetch_pages, pool_shards, threads, 1);
+}
+
+fn stress_with_window(
+    policy: PolicyKind,
+    prefetch_pages: usize,
+    pool_shards: usize,
+    threads: u64,
+    cscan_load_window: usize,
+) {
+    let (engine, table) =
+        build_engine_with_window(policy, prefetch_pages, pool_shards, cscan_load_window);
     std::thread::scope(|scope| {
         for thread in 0..threads {
             let engine = Arc::clone(&engine);
@@ -196,4 +209,25 @@ fn concurrent_queries_shard_sweep_under_pbm() {
     for shards in [2usize, 8, 64] {
         stress_sharded(PolicyKind::Pbm, 0, shards, 4);
     }
+}
+
+#[test]
+fn concurrent_queries_cscan_eight_streams_across_directory_shards() {
+    // Cooperative Scans in the same multi-stream configuration the pooled
+    // policies run: 8 session threads on the decomposed ABM, with the chunk
+    // directory at 1 shard (fully serialized) and 4 shards (the
+    // throughput_scaling configuration). Exact aggregates and the
+    // cross-layer ABM == device I/O accounting must survive the sharded
+    // delivery fast path and its buffered membership events.
+    for shards in [1usize, 4] {
+        stress_sharded(PolicyKind::CScan, 0, shards, 8);
+    }
+}
+
+#[test]
+fn concurrent_queries_cscan_with_deep_load_window() {
+    // A load window > 1 keeps several chunk transfers in flight while the
+    // 8 streams consume; results must stay exact and the ABM's accounting
+    // must still match the device byte for byte.
+    stress_with_window(PolicyKind::CScan, 0, 4, 8, 4);
 }

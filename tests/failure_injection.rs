@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use scanshare::core::cscan::{Abm, AbmConfig, CScanRequest};
+use scanshare::core::abm::{Abm, AbmConfig, CScanRequest};
 use scanshare::prelude::*;
 
 fn lineitem(tuples: u64) -> (Arc<Storage>, TableId) {
@@ -154,7 +154,7 @@ fn abm_unregisters_cleanly_when_a_cscan_aborts_half_way() {
     let (storage, table) = lineitem(40_000);
     let layout = storage.layout(table).unwrap();
     let snapshot = storage.master_snapshot(table).unwrap();
-    let mut abm = Abm::new(AbmConfig::new(4 << 20, 64 * 1024));
+    let abm = Abm::new(AbmConfig::new(4 << 20, 64 * 1024));
 
     let request = |range: TupleRange| CScanRequest {
         table,
@@ -176,8 +176,8 @@ fn abm_unregisters_cleanly_when_a_cscan_aborts_half_way() {
     let now = VirtualInstant::EPOCH;
     while abm.get_chunk(doomed.id).unwrap().is_none() {
         match abm.next_action(now) {
-            scanshare::core::cscan::AbmAction::Load(plan) => abm.complete_load(&plan, now).unwrap(),
-            scanshare::core::cscan::AbmAction::Idle => panic!("nothing to load"),
+            scanshare::core::abm::AbmAction::Load(plan) => abm.complete_load(&plan, now).unwrap(),
+            scanshare::core::abm::AbmAction::Idle => panic!("nothing to load"),
         }
     }
     abm.unregister_cscan(doomed.id).unwrap();
@@ -197,10 +197,10 @@ fn abm_unregisters_cleanly_when_a_cscan_aborts_half_way() {
             delivered += 1;
         } else {
             match abm.next_action(now) {
-                scanshare::core::cscan::AbmAction::Load(plan) => {
+                scanshare::core::abm::AbmAction::Load(plan) => {
                     abm.complete_load(&plan, now).unwrap()
                 }
-                scanshare::core::cscan::AbmAction::Idle => panic!("survivor starved"),
+                scanshare::core::abm::AbmAction::Idle => panic!("survivor starved"),
             }
         }
     }

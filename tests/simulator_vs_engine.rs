@@ -447,6 +447,122 @@ fn workload_driver_matches_simulator_under_pressure_single_stream() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cooperative Scans: engine == simulator parity and sharing-potential
+// sampling over the decomposed ABM
+// ---------------------------------------------------------------------------
+
+/// With a single stream there is no thread interleaving: the driver issues
+/// the exact RegisterCScan / GetChunk / load sequence the simulator's
+/// event loop models (extra no-op `GetChunk` probes aside), so the
+/// decomposed ABM must account the identical I/O volume, hit and miss
+/// counts — under replacement pressure and with headroom, at every
+/// directory shard count.
+#[test]
+fn workload_driver_matches_simulator_under_cscan_single_stream() {
+    let config = MicrobenchConfig {
+        streams: 1,
+        queries_per_stream: 6,
+        lineitem_tuples: 80_000,
+        ..Default::default()
+    };
+    let (storage, workload) = microbench::build(&config, 64 * 1024, 10_000).unwrap();
+    let accessed = Simulation::new(
+        Arc::clone(&storage),
+        SimConfig {
+            scanshare: ScanShareConfig {
+                page_size_bytes: 64 * 1024,
+                chunk_tuples: 10_000,
+                ..Default::default()
+            },
+            cores: 8,
+            sharing_sample_interval: None,
+        },
+    )
+    .unwrap()
+    .accessed_volume(&workload)
+    .unwrap();
+
+    for pool in [accessed * 2 / 5, accessed * 2] {
+        let scanshare = ScanShareConfig {
+            page_size_bytes: 64 * 1024,
+            chunk_tuples: 10_000,
+            buffer_pool_bytes: pool,
+            policy: PolicyKind::CScan,
+            ..Default::default()
+        };
+        let sim = Simulation::new(
+            Arc::clone(&storage),
+            SimConfig {
+                scanshare: scanshare.clone(),
+                cores: 8,
+                sharing_sample_interval: None,
+            },
+        )
+        .unwrap()
+        .run(&workload)
+        .unwrap();
+        for shards in [1usize, 4] {
+            let engine = Engine::new(
+                Arc::clone(&storage),
+                ScanShareConfig {
+                    pool_shards: shards,
+                    ..scanshare.clone()
+                },
+            )
+            .unwrap();
+            let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+            assert!(
+                report.stream_errors.is_empty(),
+                "pool {pool} shards {shards}"
+            );
+            assert_eq!(
+                report.buffer.io_bytes, sim.total_io_bytes,
+                "pool {pool} shards {shards}: engine and simulator I/O must match"
+            );
+            assert_eq!(
+                (report.buffer.hits, report.buffer.misses),
+                (sim.buffer.hits, sim.buffer.misses),
+                "pool {pool} shards {shards}: delivery/load counts must match"
+            );
+        }
+    }
+}
+
+/// The sharing-potential sampling of Figures 17/18 now covers the
+/// Cooperative Scans path too: the ABM reports each scan's outstanding
+/// pages, and heavily-overlapping streams must show shared outstanding
+/// data.
+#[test]
+fn cscan_simulation_records_a_sharing_profile() {
+    let config = MicrobenchConfig::tiny().with_fixed_percentage(100);
+    let (storage, workload) = microbench::build(&config, 64 * 1024, 10_000).unwrap();
+    let result = Simulation::new(
+        storage,
+        SimConfig {
+            scanshare: ScanShareConfig {
+                page_size_bytes: 64 * 1024,
+                chunk_tuples: 10_000,
+                buffer_pool_bytes: 4 << 20,
+                policy: PolicyKind::CScan,
+                ..Default::default()
+            },
+            cores: 8,
+            sharing_sample_interval: Some(VirtualDuration::from_micros(500)),
+        },
+    )
+    .unwrap()
+    .run(&workload)
+    .unwrap();
+    let profile = result.sharing.expect("sampling enabled");
+    assert!(!profile.is_empty());
+    assert!(profile.peak_outstanding_bytes() > 0);
+    assert!(
+        profile.avg_shared_fraction() > 0.0,
+        "full-table streams must overlap in their outstanding data"
+    );
+}
+
 #[test]
 fn figure_harness_smoke_test() {
     let scale = ExperimentScale::test();
