@@ -111,6 +111,22 @@ pub trait ScanBackend: Send + Sync + std::fmt::Debug {
     /// does nothing; backends without a prefetcher (or with
     /// `prefetch_pages == 0`) ignore it.
     fn drive_prefetch(&self) {}
+
+    /// Notifies the backend that a checkpoint replaced `table`'s stable
+    /// image: `stale_pages` belonged to the superseded master snapshot and
+    /// can never be requested by a scan pinned to the new image. `epoch` is
+    /// the table's checkpoint epoch *after* the swap; backends record the
+    /// largest epoch seen per table and ignore calls that do not advance it,
+    /// so a late or replayed invalidation can never clobber state installed
+    /// by a newer checkpoint.
+    ///
+    /// The default does nothing — correctness never depends on this hook
+    /// (stale pages are simply never requested again); it exists so pooled
+    /// backends can return the capacity immediately instead of waiting for
+    /// the replacement policy to age the dead pages out.
+    fn invalidate_stale(&self, table: TableId, epoch: u64, stale_pages: &[PageId]) {
+        let _ = (table, epoch, stale_pages);
+    }
 }
 
 /// Charges a demand read of `bytes` to the device and waits (in virtual
@@ -159,6 +175,9 @@ pub struct PooledBackend {
     /// `inflight` (the prefetch top-up path), never the other way around.
     inflight: Mutex<HashMap<PageId, VirtualInstant>>,
     prefetch_pages: usize,
+    /// Largest checkpoint epoch seen per table (see
+    /// [`ScanBackend::invalidate_stale`]).
+    invalidation_epochs: Mutex<HashMap<TableId, u64>>,
     clock: Arc<VirtualClock>,
     device: Arc<IoDevice>,
     kind: PolicyKind,
@@ -183,6 +202,7 @@ impl PooledBackend {
             pending: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
             prefetch_pages: 0,
+            invalidation_epochs: Mutex::new(HashMap::new()),
             clock,
             device,
             kind,
@@ -296,6 +316,27 @@ impl ScanBackend for PooledBackend {
     fn drive_prefetch(&self) {
         self.top_up_prefetch();
     }
+
+    fn invalidate_stale(&self, table: TableId, epoch: u64, stale_pages: &[PageId]) {
+        {
+            let mut epochs = self.invalidation_epochs.lock();
+            let seen = epochs.entry(table).or_insert(0);
+            if epoch <= *seen {
+                return;
+            }
+            *seen = epoch;
+        }
+        // Stale pages whose prefetch is still in flight just lose their
+        // window slot; the transfer itself already happened (or is charged
+        // regardless), exactly as for a page evicted mid-flight.
+        if self.prefetch_pages > 0 {
+            let mut inflight = self.inflight.lock();
+            for page in stale_pages {
+                inflight.remove(page);
+            }
+        }
+        self.pool.invalidate_pages(stale_pages);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -326,6 +367,9 @@ pub struct CScanBackend {
     abm: Abm,
     scans: RwLock<HashMap<ScanId, CScanMeta>>,
     scheduler: LoadScheduler,
+    /// Largest checkpoint epoch seen per table (see
+    /// [`ScanBackend::invalidate_stale`]).
+    invalidation_epochs: Mutex<HashMap<TableId, u64>>,
     clock: Arc<VirtualClock>,
     device: Arc<IoDevice>,
 }
@@ -339,6 +383,7 @@ impl CScanBackend {
             abm,
             scans: RwLock::new(HashMap::new()),
             scheduler: LoadScheduler::new(1),
+            invalidation_epochs: Mutex::new(HashMap::new()),
             clock,
             device,
         }
@@ -444,6 +489,20 @@ impl ScanBackend for CScanBackend {
 
     fn stats(&self) -> BufferStats {
         self.abm.stats()
+    }
+
+    fn invalidate_stale(&self, table: TableId, epoch: u64, _stale_pages: &[PageId]) {
+        // The ABM caches at chunk granularity, keyed by snapshot *version*:
+        // scans pinned to the superseded snapshot keep their version (and
+        // its cached chunks — they still need them), and the version is
+        // destroyed, releasing every cached byte, the moment its last scan
+        // unregisters (`Abm::unregister_cscan`). That is precisely the
+        // paper's PDT-checkpoint semantics, so the hook only has to record
+        // the epoch for the staleness contract; there is nothing to drop
+        // eagerly that some live scan does not still reference.
+        let mut epochs = self.invalidation_epochs.lock();
+        let seen = epochs.entry(table).or_insert(0);
+        *seen = (*seen).max(epoch);
     }
 }
 

@@ -348,6 +348,27 @@ impl BufferPool {
         true
     }
 
+    /// Drops the listed pages from the pool if resident and unpinned, in the
+    /// given order, telling the policy to forget each one. Used when a
+    /// checkpoint replaces a table's stable image: the old snapshot's pages
+    /// can never be requested again, so keeping them resident only wastes
+    /// capacity. Counted as `invalidated_pages`, not as evictions. Returns
+    /// how many pages were dropped.
+    pub fn invalidate_pages(&mut self, pages: &[PageId]) -> usize {
+        let mut dropped = 0;
+        for &page in pages {
+            if self.pinned.contains_key(&page) {
+                continue;
+            }
+            if self.resident.remove(&page) {
+                self.policy.on_evict(page);
+                self.stats.invalidated_pages += 1;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Drops every resident page and resets the statistics (the policy keeps
     /// its scan registrations). Mostly useful between experiment repetitions.
     pub fn clear(&mut self) {
@@ -464,6 +485,26 @@ mod tests {
         // Two pages were evicted even though only one slot was needed.
         assert_eq!(pool.resident_count(), 3);
         assert_eq!(pool.stats().evictions, 2);
+    }
+
+    #[test]
+    fn invalidation_drops_unpinned_pages_without_counting_evictions() {
+        let mut pool = pool(4);
+        for i in 0..3 {
+            pool.request_page(p(i), None, now()).unwrap();
+        }
+        pool.pin(p(2));
+        // Pages 0 and 2 are stale; 2 is pinned, 9 was never resident.
+        let dropped = pool.invalidate_pages(&[p(0), p(2), p(9)]);
+        assert_eq!(dropped, 1);
+        assert!(!pool.contains(p(0)));
+        assert!(pool.contains(p(1)) && pool.contains(p(2)));
+        let stats = pool.stats();
+        assert_eq!(stats.invalidated_pages, 1);
+        assert_eq!(stats.evictions, 0);
+        // The freed slot is reusable and the policy forgot the page.
+        assert_eq!(pool.free_pages(), 2);
+        assert!(!pool.request_page(p(0), None, now()).unwrap().is_hit());
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct BufferStats {
     /// Bytes loaded speculatively by the prefetcher (a subset of
     /// `io_bytes`).
     pub prefetch_io_bytes: u64,
+    /// Pages dropped by an explicit invalidation (a checkpoint replacing a
+    /// table's stable image), **not** counted as evictions: the pages were
+    /// not displaced by a replacement decision, their data simply ceased to
+    /// exist in the live snapshot.
+    pub invalidated_pages: u64,
 }
 
 impl BufferStats {
@@ -49,6 +54,7 @@ impl BufferStats {
         self.io_bytes += other.io_bytes;
         self.prefetched_pages += other.prefetched_pages;
         self.prefetch_io_bytes += other.prefetch_io_bytes;
+        self.invalidated_pages += other.invalidated_pages;
     }
 }
 
@@ -75,6 +81,7 @@ mod tests {
             io_bytes: 5,
             prefetched_pages: 6,
             prefetch_io_bytes: 7,
+            invalidated_pages: 8,
         };
         let mut b = a;
         b.merge(&a);
@@ -85,6 +92,7 @@ mod tests {
         assert_eq!(b.io_bytes, 10);
         assert_eq!(b.prefetched_pages, 12);
         assert_eq!(b.prefetch_io_bytes, 14);
+        assert_eq!(b.invalidated_pages, 16);
         assert!((a.io_megabytes() - 5e-6).abs() < 1e-15);
     }
 }

@@ -448,6 +448,30 @@ impl ShardedPool {
         true
     }
 
+    /// Drops the listed pages if resident and unpinned, in the given order
+    /// (see [`BufferPool::invalidate_pages`](crate::bufferpool::BufferPool::invalidate_pages)).
+    /// All pending policy events are replayed first, so the policy observes
+    /// the invalidation at exactly the same point in the event sequence a
+    /// single-shard pool would.
+    pub fn invalidate_pages(&self, pages: &[PageId]) -> usize {
+        let mut locked = self.lock_all();
+        let mut dropped = 0;
+        for &page in pages {
+            let shard_idx = self.shard_index(page);
+            let shard = &mut locked.shards[shard_idx];
+            if shard.pinned.contains_key(&page) {
+                continue;
+            }
+            if shard.resident.remove(&page) {
+                locked.core.policy.on_evict(page);
+                shard.stats.invalidated_pages += 1;
+                self.resident_total.fetch_sub(1, Ordering::Relaxed);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Drops every resident page and resets the statistics (the policy keeps
     /// its scan registrations).
     pub fn clear(&self) {
@@ -576,6 +600,27 @@ mod tests {
         pool.request_page(p(5), None, now()).unwrap();
         assert_eq!(trace.pages(), vec![p(5), p(6), p(5)]);
         assert_eq!(trace.snapshot()[0].scan, Some(ScanId::new(9)));
+    }
+
+    #[test]
+    fn invalidation_matches_bufferpool_and_respects_pins() {
+        for shards in [1, 2, 8] {
+            let pool = pool(4, shards);
+            for i in 0..4 {
+                pool.request_page(p(i), None, now()).unwrap();
+            }
+            pool.pin(p(3));
+            let dropped = pool.invalidate_pages(&[p(0), p(1), p(3), p(7)]);
+            assert_eq!(dropped, 2, "shards {shards}");
+            assert_eq!(pool.resident_count(), 2, "shards {shards}");
+            assert!(pool.contains(p(2)) && pool.contains(p(3)));
+            let stats = pool.stats();
+            assert_eq!(stats.invalidated_pages, 2, "shards {shards}");
+            assert_eq!(stats.evictions, 0, "shards {shards}");
+            // Invalidated pages are gone from the policy too: re-requesting
+            // them misses and the LRU order continues from the survivors.
+            assert!(!pool.request_page(p(0), None, now()).unwrap().is_hit());
+        }
     }
 
     #[test]

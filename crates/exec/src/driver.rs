@@ -24,7 +24,9 @@ use std::time::{Duration, Instant};
 use scanshare_common::{Error, Result, TupleRange, VirtualDuration};
 use scanshare_core::metrics::BufferStats;
 use scanshare_iosim::IoStats;
-use scanshare_workload::spec::{QuerySpec, StreamSpec, WorkloadSpec};
+use scanshare_workload::spec::{
+    QuerySpec, StreamSpec, UpdateOp, UpdateOpGen, UpdateStreamSpec, WorkloadSpec,
+};
 
 use crate::engine::Engine;
 use crate::ops::{AggrSpec, Aggregate};
@@ -82,6 +84,11 @@ pub struct WorkloadReport {
     /// Streams that ended early on a per-stream scheduling error (see
     /// [`StreamError`]); empty on a clean run.
     pub stream_errors: Vec<StreamError>,
+    /// Update operations applied by the workload's update streams (0 for
+    /// read-only workloads).
+    pub update_ops: u64,
+    /// Checkpoints performed by the workload's update streams.
+    pub checkpoints: u64,
 }
 
 impl WorkloadReport {
@@ -144,23 +151,35 @@ impl WorkloadDriver {
         &self.engine
     }
 
-    /// Executes `workload`: spawns one thread per [`StreamSpec`], runs each
-    /// stream's queries back to back through the builder API and collects
-    /// the merged report. A failing query ends its own stream immediately;
+    /// Executes `workload` and collects the merged report.
+    ///
+    /// **Read-only workloads** (no update streams) run free: one thread per
+    /// [`StreamSpec`], each stream's queries back to back through the
+    /// builder API. A failing query ends its own stream immediately;
     /// streams are independent sessions and are never aborted mid-query.
     /// Per-stream scheduling errors (Cooperative Scans starvation,
     /// [`Error::ScanStarved`]) are surfaced in
     /// [`WorkloadReport::stream_errors`] while the other streams' results
     /// still count; any other error is returned once the remaining streams
     /// have run to completion.
+    ///
+    /// **Mixed workloads** (non-empty
+    /// [`WorkloadSpec::update_streams`](scanshare_workload::spec::WorkloadSpec::update_streams))
+    /// run in rounds: at each barrier every update stream applies its batch
+    /// as one snapshot-isolated transaction (checkpointing when due), then
+    /// every read stream runs its next query concurrently. The discrete-
+    /// event simulator executes the identical round schedule, which is what
+    /// makes engine == simulator I/O parity exact under updates.
     pub fn run(&self, workload: &WorkloadSpec) -> Result<WorkloadReport> {
         let virtual_start = self.engine.now();
         let buffer_start = self.engine.buffer_stats();
         let io_start = self.engine.device().stats();
         let wall_start = Instant::now();
 
-        let stream_results: Vec<(Vec<Duration>, u64, Option<Error>)> =
-            std::thread::scope(|scope| {
+        let (stream_results, update_ops, checkpoints) = if workload.has_updates() {
+            self.run_rounds(workload)?
+        } else {
+            let results = std::thread::scope(|scope| {
                 let handles: Vec<_> = workload
                     .streams
                     .iter()
@@ -171,6 +190,8 @@ impl WorkloadDriver {
                     .map(|h| h.join().expect("stream thread panicked"))
                     .collect()
             });
+            (results, 0, 0)
+        };
 
         let wall = wall_start.elapsed();
         let mut latencies = Vec::with_capacity(workload.query_count());
@@ -209,7 +230,103 @@ impl WorkloadDriver {
             buffer: diff_buffer(&buffer_start, &buffer_end),
             io: diff_io(&io_start, &io_end),
             stream_errors,
+            update_ops,
+            checkpoints,
         })
+    }
+
+    /// The round-barrier executor for mixed read/write workloads; returns
+    /// the per-stream results plus the applied update-op / checkpoint
+    /// counts. See [`WorkloadDriver::run`] for the model.
+    #[allow(clippy::type_complexity)]
+    fn run_rounds(
+        &self,
+        workload: &WorkloadSpec,
+    ) -> Result<(Vec<(Vec<Duration>, u64, Option<Error>)>, u64, u64)> {
+        let mut generators: Vec<UpdateOpGen> = workload
+            .update_streams
+            .iter()
+            .map(UpdateStreamSpec::ops)
+            .collect();
+        let mut results: Vec<(Vec<Duration>, u64, Option<Error>)> = workload
+            .streams
+            .iter()
+            .map(|_| (Vec::new(), 0u64, None))
+            .collect();
+        let mut update_ops = 0u64;
+        let mut checkpoints = 0u64;
+
+        for round in 0..workload.rounds() {
+            // Barrier phase: update batches apply sequentially in spec
+            // order, each as one transaction, exactly as the simulator's
+            // mirror applies them.
+            for (spec, generator) in workload.update_streams.iter().zip(generators.iter_mut()) {
+                let (ops, ckpts) = self.apply_update_batch(spec, generator, round)?;
+                update_ops += ops;
+                checkpoints += ckpts;
+            }
+
+            // Concurrent phase: one query per still-healthy stream.
+            std::thread::scope(|scope| {
+                let handles: Vec<(usize, _)> = workload
+                    .streams
+                    .iter()
+                    .enumerate()
+                    .filter(|(s, stream)| results[*s].2.is_none() && round < stream.queries.len())
+                    .map(|(s, stream)| {
+                        let query = &stream.queries[round];
+                        (
+                            s,
+                            scope.spawn(move || {
+                                let started = Instant::now();
+                                self.run_query(query, true).map(|()| started.elapsed())
+                            }),
+                        )
+                    })
+                    .collect();
+                for (s, handle) in handles {
+                    match handle.join().expect("stream thread panicked") {
+                        Ok(latency) => {
+                            results[s].0.push(latency);
+                            results[s].1 += workload.streams[s].queries[round].total_tuples();
+                        }
+                        Err(error) => results[s].2 = Some(error),
+                    }
+                }
+            });
+        }
+        Ok((results, update_ops, checkpoints))
+    }
+
+    /// Applies one update stream's batch for `round` as a single
+    /// transaction, plus the periodic checkpoint when due.
+    fn apply_update_batch(
+        &self,
+        spec: &UpdateStreamSpec,
+        generator: &mut UpdateOpGen,
+        round: usize,
+    ) -> Result<(u64, u64)> {
+        let columns = self.engine.storage().table(spec.table)?.spec.columns.len();
+        if spec.ops_per_round > 0 {
+            let mut txn = self.engine.begin();
+            for _ in 0..spec.ops_per_round {
+                let visible = txn.visible_rows(spec.table)?;
+                match generator.next_op(visible, columns) {
+                    UpdateOp::Insert { rid, row } => txn.insert(spec.table, rid, row)?,
+                    UpdateOp::Delete { rid } => txn.delete(spec.table, rid)?,
+                    UpdateOp::Modify { rid, col, value } => {
+                        txn.modify(spec.table, rid, col, value)?
+                    }
+                }
+            }
+            txn.commit()?;
+        }
+        let mut checkpoints = 0;
+        if spec.checkpoint_due(round) {
+            self.engine.checkpoint(spec.table)?;
+            checkpoints = 1;
+        }
+        Ok((spec.ops_per_round, checkpoints))
     }
 
     /// Runs one stream's queries in order, returning each completed query's
@@ -220,7 +337,7 @@ impl WorkloadDriver {
         let mut tuples = 0u64;
         for query in &stream.queries {
             let started = Instant::now();
-            if let Err(error) = self.run_query(query) {
+            if let Err(error) = self.run_query(query, false) {
                 return (latencies, tuples, Some(error));
             }
             latencies.push(started.elapsed());
@@ -232,7 +349,14 @@ impl WorkloadDriver {
     /// Lowers one [`QuerySpec`] onto the builder API: each scan becomes one
     /// aggregation query per SID range (count + sum over the first column),
     /// so every registered page is actually read and processed.
-    fn run_query(&self, query: &QuerySpec) -> Result<()> {
+    ///
+    /// `clamp_to_visible` relaxes the exact-count check to the rows
+    /// currently visible — needed for mixed workloads, whose updates grow
+    /// and shrink the row space between rounds (the visible count is
+    /// barrier-stable, so the clamped expectation is still exact). Read-only
+    /// workloads keep the strict check, so a spec range reaching past the
+    /// table still surfaces as an error instead of silently scanning less.
+    fn run_query(&self, query: &QuerySpec, clamp_to_visible: bool) -> Result<()> {
         for scan in &query.scans {
             let table = self.engine.storage().table(scan.table)?;
             let columns: Vec<String> = scan
@@ -256,7 +380,12 @@ impl WorkloadDriver {
                 })
                 .collect::<Result<_>>()?;
             for &range in scan.ranges.ranges() {
-                let expected = range.len();
+                let expected = if clamp_to_visible {
+                    let visible = self.engine.visible_rows(scan.table)?;
+                    range.intersect(&TupleRange::new(0, visible)).len()
+                } else {
+                    range.len()
+                };
                 let result = self
                     .engine
                     .query(scan.table)
@@ -287,6 +416,7 @@ fn diff_buffer(start: &BufferStats, end: &BufferStats) -> BufferStats {
         io_bytes: end.io_bytes - start.io_bytes,
         prefetched_pages: end.prefetched_pages - start.prefetched_pages,
         prefetch_io_bytes: end.prefetch_io_bytes - start.prefetch_io_bytes,
+        invalidated_pages: end.invalidated_pages - start.invalidated_pages,
     }
 }
 
@@ -402,9 +532,9 @@ mod tests {
     fn driver_rejects_specs_with_out_of_range_columns() {
         let (storage, _) = setup();
         let engine = engine(&storage, PolicyKind::Lru, 1);
-        let bogus = WorkloadSpec {
-            name: "bogus".into(),
-            streams: vec![StreamSpec {
+        let bogus = WorkloadSpec::read_only(
+            "bogus",
+            vec![StreamSpec {
                 label: "s0".into(),
                 queries: vec![QuerySpec {
                     label: "bad".into(),
@@ -416,7 +546,7 @@ mod tests {
                     cpu_factor: 1.0,
                 }],
             }],
-        };
+        );
         assert!(WorkloadDriver::new(engine).run(&bogus).is_err());
     }
 
@@ -424,10 +554,7 @@ mod tests {
     fn empty_workloads_produce_an_empty_report() {
         let (storage, _) = setup();
         let engine = engine(&storage, PolicyKind::Lru, 1);
-        let empty = WorkloadSpec {
-            name: "empty".into(),
-            streams: Vec::new(),
-        };
+        let empty = WorkloadSpec::read_only("empty", Vec::new());
         let report = WorkloadDriver::new(engine).run(&empty).unwrap();
         assert_eq!(report.queries, 0);
         assert!(report.p50().is_none());

@@ -4,10 +4,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use scanshare_common::sync::RwLock;
+use scanshare_common::sync::{Mutex, RwLock};
 use scanshare_common::{
-    Error, PolicyKind, Result, Rid, ScanShareConfig, TableId, TupleRange, VirtualClock,
-    VirtualDuration, VirtualInstant,
+    Error, PageId, PolicyKind, Result, Rid, ScanShareConfig, SnapshotId, TableId, TupleRange,
+    VirtualClock, VirtualDuration, VirtualInstant,
 };
 use scanshare_core::abm::{Abm, AbmConfig};
 use scanshare_core::backend::{CScanBackend, PooledBackend, ScanBackend};
@@ -16,8 +16,9 @@ use scanshare_core::opt::{simulate_opt, OptResult};
 use scanshare_core::registry::PolicyRegistry;
 use scanshare_core::sharded::ShardedPool;
 use scanshare_iosim::{IoDevice, ReferenceTrace};
-use scanshare_pdt::checkpoint::checkpoint_table;
+use scanshare_pdt::checkpoint::checkpoint_stack;
 use scanshare_pdt::pdt::Pdt;
+use scanshare_pdt::stack::PdtStack;
 use scanshare_storage::datagen::Value;
 use scanshare_storage::snapshot::Snapshot;
 use scanshare_storage::storage::Storage;
@@ -25,6 +26,7 @@ use scanshare_storage::storage::Storage;
 use crate::ops::BatchSource;
 use crate::query::Query;
 use crate::scan::ScanOperator;
+use crate::txn::{TablePin, Txn};
 
 /// Summary of the work an engine performed (virtual time and I/O volume).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -33,6 +35,47 @@ pub struct QueryStats {
     pub elapsed: VirtualDuration,
     /// Buffer-manager counters (hits, misses, I/O bytes).
     pub buffer: BufferStats,
+}
+
+/// The published transactional state of one table: an immutable
+/// `(Snapshot, PdtStack)` pair that scans and transactions pin with two
+/// `Arc` clones, swapped atomically under the state mutex by commits,
+/// checkpoints and storage-append adoption. Writers hold the mutex only for
+/// the duration of the swap itself, never across I/O or materialization.
+#[derive(Debug)]
+pub(crate) struct TableTxnState {
+    /// The stable storage image the stack is anchored on (the engine's
+    /// adopted master snapshot; see
+    /// [`Engine::checkpoint`] for when it diverges from the storage-level
+    /// master).
+    pub snapshot: Arc<Snapshot>,
+    /// The shared differential-update layers (depth 1 normally; a second,
+    /// fresh top layer exists while a checkpoint materializes the frozen
+    /// layers below it).
+    pub stack: Arc<PdtStack>,
+    /// Bumped by every committed write (transactions, auto-commit updates
+    /// and adopted bulk appends); the first-committer-wins conflict check
+    /// compares against it.
+    pub commit_seq: u64,
+    /// Bumped by every completed checkpoint; tags the stale-page
+    /// invalidations sent to the scan backend.
+    pub epoch: u64,
+}
+
+/// Per-table transaction bookkeeping: the published state plus the mutex
+/// that serializes checkpoints of this table (checkpoints of different
+/// tables, and writers of this one, proceed concurrently).
+#[derive(Debug)]
+pub(crate) struct TableUpdates {
+    state: Mutex<TableTxnState>,
+    checkpoint: Mutex<()>,
+}
+
+impl TableUpdates {
+    /// The published state mutex.
+    pub(crate) fn state(&self) -> &Mutex<TableTxnState> {
+        &self.state
+    }
 }
 
 /// A query-execution session: storage + differential updates + the
@@ -50,7 +93,7 @@ pub struct Engine {
     device: Arc<IoDevice>,
     clock: Arc<VirtualClock>,
     trace: Option<Arc<ReferenceTrace>>,
-    pdts: RwLock<HashMap<TableId, Arc<RwLock<Pdt>>>>,
+    tables: RwLock<HashMap<TableId, Arc<TableUpdates>>>,
 }
 
 impl Engine {
@@ -127,7 +170,7 @@ impl Engine {
             device,
             clock,
             trace,
-            pdts: RwLock::new(HashMap::new()),
+            tables: RwLock::new(HashMap::new()),
         }))
     }
 
@@ -194,60 +237,204 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
-    // Differential updates (PDT)
+    // Differential updates: snapshot-isolated transactions over stacked
+    // PDTs (see `txn` for the isolation model)
     // ------------------------------------------------------------------
 
-    /// The shared PDT of a table (created on first use).
-    pub fn pdt(&self, table: TableId) -> Result<Arc<RwLock<Pdt>>> {
+    /// The transaction bookkeeping of a table (created on first use from
+    /// the current storage master snapshot).
+    pub(crate) fn table_updates(&self, table: TableId) -> Result<Arc<TableUpdates>> {
         {
-            let pdts = self.pdts.read();
-            if let Some(pdt) = pdts.get(&table) {
-                return Ok(Arc::clone(pdt));
+            let tables = self.tables.read();
+            if let Some(updates) = tables.get(&table) {
+                return Ok(Arc::clone(updates));
             }
         }
         let columns = self.storage.table(table)?.spec.columns.len();
-        let mut pdts = self.pdts.write();
-        Ok(Arc::clone(pdts.entry(table).or_insert_with(|| {
-            Arc::new(RwLock::new(Pdt::new(columns)))
+        let snapshot = self.storage.master_snapshot(table)?;
+        let mut tables = self.tables.write();
+        Ok(Arc::clone(tables.entry(table).or_insert_with(|| {
+            Arc::new(TableUpdates {
+                state: Mutex::new(TableTxnState {
+                    snapshot,
+                    stack: Arc::new(PdtStack::new(columns, 1)),
+                    commit_seq: 0,
+                    epoch: 0,
+                }),
+                checkpoint: Mutex::new(()),
+            })
         })))
     }
 
+    /// Adopts a storage-level master change (a committed bulk append, or a
+    /// checkpoint installed by another engine over the same storage) into
+    /// the published state, when it is safe: always when no differential
+    /// updates are pending, and for append-derived snapshots — whose stable
+    /// stream extends the adopted one — even with pending updates, which are
+    /// then interpreted over the appended image. Adoption counts as a commit
+    /// (the visible stream changed), so open transactions conflict.
+    pub(crate) fn sync_state_with_storage(
+        &self,
+        table: TableId,
+        state: &mut TableTxnState,
+    ) -> Result<()> {
+        let master = self.storage.master_snapshot(table)?;
+        if master.id() == state.snapshot.id() {
+            return Ok(());
+        }
+        if state.stack.is_empty() || self.derives_from(&master, state.snapshot.id())? {
+            state.snapshot = master;
+            state.commit_seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether `snapshot` was derived (through any chain of appends) from
+    /// the snapshot with id `ancestor`.
+    fn derives_from(&self, snapshot: &Snapshot, ancestor: SnapshotId) -> Result<bool> {
+        let mut current = snapshot.parent();
+        while let Some(id) = current {
+            if id == ancestor {
+                return Ok(true);
+            }
+            current = self.storage.snapshot(id)?.parent();
+        }
+        Ok(false)
+    }
+
+    /// Pins the current published `(Snapshot, PdtStack)` pair of `table`:
+    /// the consistent view every scan (and every transaction, at its first
+    /// touch of the table) works against. Cheap — two `Arc` clones under a
+    /// short mutex.
+    pub fn table_pin(&self, table: TableId) -> Result<TablePin> {
+        let updates = self.table_updates(table)?;
+        let mut state = updates.state().lock();
+        self.sync_state_with_storage(table, &mut state)?;
+        Ok(TablePin {
+            table,
+            snapshot: Arc::clone(&state.snapshot),
+            stack: Arc::clone(&state.stack),
+            commit_seq: state.commit_seq,
+            epoch: state.epoch,
+        })
+    }
+
+    /// Begins a snapshot-isolated update transaction; see [`Txn`].
+    pub fn begin(self: &Arc<Self>) -> Txn {
+        Txn::new(Arc::clone(self))
+    }
+
+    /// Applies one auto-committed update under the state mutex (a one-op
+    /// transaction that can never conflict).
+    fn autocommit<R>(
+        &self,
+        table: TableId,
+        op: impl FnOnce(&mut PdtStack, u64) -> Result<R>,
+    ) -> Result<R> {
+        let updates = self.table_updates(table)?;
+        let mut state = updates.state().lock();
+        self.sync_state_with_storage(table, &mut state)?;
+        let stable = state.snapshot.stable_tuples();
+        let result = op(Arc::make_mut(&mut state.stack), stable)?;
+        state.commit_seq += 1;
+        Ok(result)
+    }
+
     /// Number of rows currently visible in `table` (stable tuples of the
-    /// master snapshot plus PDT inserts minus deletes).
+    /// adopted snapshot plus PDT inserts minus deletes).
     pub fn visible_rows(&self, table: TableId) -> Result<u64> {
-        let stable = self.storage.master_snapshot(table)?.stable_tuples();
-        Ok(self.pdt(table)?.read().visible_count(stable))
+        Ok(self.table_pin(table)?.visible_rows())
     }
 
     /// Inserts a row at visible position `rid` (use `visible_rows` to append
-    /// at the end).
+    /// at the end) as a single auto-committed transaction.
     pub fn insert_row(&self, table: TableId, rid: u64, row: Vec<Value>) -> Result<()> {
-        let stable = self.storage.master_snapshot(table)?.stable_tuples();
-        self.pdt(table)?.write().insert(Rid::new(rid), row, stable)
+        self.autocommit(table, |stack, stable| {
+            stack.insert(Rid::new(rid), row, stable)
+        })
     }
 
-    /// Deletes the visible row at `rid`.
+    /// Deletes the visible row at `rid` as a single auto-committed
+    /// transaction.
     pub fn delete_row(&self, table: TableId, rid: u64) -> Result<()> {
-        let stable = self.storage.master_snapshot(table)?.stable_tuples();
-        self.pdt(table)?.write().delete(Rid::new(rid), stable)
+        self.autocommit(table, |stack, stable| stack.delete(Rid::new(rid), stable))
     }
 
-    /// Updates column `col` of the visible row at `rid`.
+    /// Updates column `col` of the visible row at `rid` as a single
+    /// auto-committed transaction.
     pub fn update_value(&self, table: TableId, rid: u64, col: usize, value: Value) -> Result<()> {
-        let stable = self.storage.master_snapshot(table)?.stable_tuples();
-        self.pdt(table)?
-            .write()
-            .modify(Rid::new(rid), col, value, stable)
+        self.autocommit(table, |stack, stable| {
+            stack.modify(Rid::new(rid), col, value, stable)
+        })
     }
 
-    /// Checkpoints `table`: merges its PDT into a brand-new stable image and
-    /// clears the PDT. Returns the new master snapshot.
+    /// Checkpoints `table`: materializes the pending differential updates
+    /// into a brand-new stable image (Figure 7) and swaps it in as the
+    /// table's published snapshot, with a fresh (empty apart from
+    /// mid-checkpoint commits) PDT stack on top.
+    ///
+    /// The checkpoint is **background-safe**: the table's state mutex is
+    /// held only for the freeze and the final swap, never across the
+    /// materialization itself, so writers commit and scans start throughout
+    /// (a regression test drives writers mid-checkpoint). Concretely:
+    ///
+    /// 1. **Freeze** — pin the current `(snapshot, stack)` pair and push a
+    ///    fresh top layer; commits arriving while the checkpoint runs fold
+    ///    into that top layer, whose positions refer to the frozen stream —
+    ///    which is exactly the new image's stable stream.
+    /// 2. **Materialize** — scan the pinned snapshot, merge the frozen
+    ///    layers, install the result as a new storage snapshot sharing no
+    ///    pages with the old one. Scans pinned to the old pair keep reading
+    ///    the old pages.
+    /// 3. **Swap** — atomically publish (new snapshot, during-checkpoint
+    ///    layers), bump the checkpoint epoch and hand the old snapshot's
+    ///    now-unreachable pages to the scan backend's epoch-tagged
+    ///    [`invalidate_stale`](scanshare_core::backend::ScanBackend::invalidate_stale)
+    ///    hook so the buffer manager returns their capacity immediately.
+    ///
+    /// Checkpoints of the same table serialize; checkpoints of different
+    /// tables run concurrently. Returns the new master snapshot.
     pub fn checkpoint(&self, table: TableId) -> Result<Arc<Snapshot>> {
-        let snapshot = self.storage.master_snapshot(table)?;
-        let pdt_handle = self.pdt(table)?;
-        let mut pdt = pdt_handle.write();
-        let new_snapshot = checkpoint_table(&self.storage, table, &snapshot, &pdt)?;
-        *pdt = Pdt::new(pdt.column_count());
+        let updates = self.table_updates(table)?;
+        let _one_at_a_time = updates.checkpoint.lock();
+
+        // Phase 1: freeze.
+        let (old_snapshot, frozen, frozen_depth) = {
+            let mut state = updates.state().lock();
+            self.sync_state_with_storage(table, &mut state)?;
+            let old_snapshot = Arc::clone(&state.snapshot);
+            let frozen = Arc::clone(&state.stack);
+            let depth = frozen.depth();
+            Arc::make_mut(&mut state.stack).push_layer(Pdt::new(frozen.column_count()));
+            (old_snapshot, frozen, depth)
+        };
+
+        // Phase 2: materialize without holding the state mutex.
+        let new_snapshot = match checkpoint_stack(&self.storage, table, &old_snapshot, &frozen) {
+            Ok(snapshot) => snapshot,
+            Err(err) => {
+                // Undo the freeze: fold the during-checkpoint layer back
+                // into the layer it was pushed onto.
+                let mut state = updates.state().lock();
+                let stable = state.snapshot.stable_tuples();
+                let stack = Arc::make_mut(&mut state.stack);
+                if let Some(top) = stack.pop_layer() {
+                    stack.absorb_top(&top, stable)?;
+                }
+                return Err(err);
+            }
+        };
+
+        // Phase 3: swap and invalidate.
+        let stale: Vec<PageId> = old_snapshot.pages().collect();
+        let epoch = {
+            let mut state = updates.state().lock();
+            state.stack = Arc::new(state.stack.split_upper(frozen_depth));
+            state.snapshot = Arc::clone(&new_snapshot);
+            state.epoch += 1;
+            state.epoch
+        };
+        self.backend.invalidate_stale(table, epoch, &stale);
         Ok(new_snapshot)
     }
 
@@ -304,10 +491,24 @@ impl Engine {
         rid_range: TupleRange,
         in_order: bool,
     ) -> Result<Box<dyn BatchSource + Send>> {
-        let column_indices = self.storage.resolve_columns(table, columns)?;
-        Ok(Box::new(ScanOperator::new(
+        let pin = self.table_pin(table)?;
+        self.scan_pinned(pin, columns, rid_range, in_order)
+    }
+
+    /// Like [`Engine::scan`] but reading through an explicit [`TablePin`]
+    /// (a transaction's view, or a pin captured earlier for a consistent
+    /// multi-scan read).
+    pub fn scan_pinned(
+        self: &Arc<Self>,
+        pin: TablePin,
+        columns: &[&str],
+        rid_range: TupleRange,
+        in_order: bool,
+    ) -> Result<Box<dyn BatchSource + Send>> {
+        let column_indices = self.storage.resolve_columns(pin.table, columns)?;
+        Ok(Box::new(ScanOperator::with_pin(
             Arc::clone(self),
-            table,
+            pin,
             column_indices,
             rid_range,
             in_order,
@@ -470,7 +671,7 @@ mod tests {
         let before = engine.visible_rows(table).unwrap();
         let snapshot = engine.checkpoint(table).unwrap();
         assert_eq!(snapshot.stable_tuples(), before);
-        assert!(engine.pdt(table).unwrap().read().is_empty());
+        assert!(engine.table_pin(table).unwrap().stack.is_empty());
         assert_eq!(engine.visible_rows(table).unwrap(), before);
         // The checkpointed data starts with the inserted row.
         let layout = storage.layout(table).unwrap();

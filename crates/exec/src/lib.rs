@@ -36,6 +36,7 @@ pub mod engine;
 pub mod ops;
 pub mod query;
 pub mod scan;
+pub mod txn;
 
 pub use batch::Batch;
 pub use driver::{StreamError, WorkloadDriver, WorkloadReport};
@@ -43,3 +44,4 @@ pub use engine::{Engine, QueryStats};
 pub use ops::{AggrSpec, Aggregate, Predicate};
 pub use query::Query;
 pub use scan::ScanOperator;
+pub use txn::{TablePin, Txn};

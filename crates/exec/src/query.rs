@@ -29,14 +29,23 @@ use scanshare_storage::datagen::Value;
 
 use crate::engine::Engine;
 use crate::ops::{aggregate, merge_aggregates, AggrResult, AggrSpec, BatchSource, Predicate};
+use crate::txn::TablePin;
 
 /// A query under construction; see the [module docs](self) for the clause
-/// semantics. Created with [`Engine::query`].
+/// semantics. Created with [`Engine::query`] (reading the committed state)
+/// or [`Txn::query`](crate::txn::Txn::query) (reading a transaction's
+/// private view).
 #[derive(Debug, Clone)]
 #[must_use = "a Query does nothing until `.run()` or `.rows()` is called"]
 pub struct Query {
     engine: Arc<Engine>,
     table: TableId,
+    /// The `(Snapshot, PdtStack)` pair the query reads through. `None`
+    /// until execution, when the table's published state is pinned; a query
+    /// built by a transaction carries the transaction's view instead.
+    /// Either way every scan of the query — including all parallel workers —
+    /// shares one consistent pin.
+    pin: Option<TablePin>,
     columns: Vec<String>,
     start: u64,
     end: Option<u64>,
@@ -51,6 +60,7 @@ impl Query {
         Self {
             engine,
             table,
+            pin: None,
             columns: Vec::new(),
             start: 0,
             end: None,
@@ -59,6 +69,13 @@ impl Query {
             parallelism: 1,
             in_order: false,
         }
+    }
+
+    /// A query that reads through an explicit pin (a transaction's view).
+    pub(crate) fn with_pin(engine: Arc<Engine>, table: TableId, pin: TablePin) -> Self {
+        let mut query = Self::new(engine, table);
+        query.pin = Some(pin);
+        query
     }
 
     /// Sets the columns (by name) the query scans. Predicate and aggregate
@@ -136,12 +153,22 @@ impl Query {
         Ok(())
     }
 
+    /// Pins the table's published state unless the query already carries a
+    /// pin (a transaction's view, or a retried `run`).
+    fn resolve_pin(&mut self) -> Result<&TablePin> {
+        if self.pin.is_none() {
+            self.pin = Some(self.engine.table_pin(self.table)?);
+        }
+        Ok(self.pin.as_ref().expect("pinned above"))
+    }
+
     /// The effective RID range: the requested bounds clamped to the rows
-    /// visible right now.
-    fn resolve_range(&self) -> Result<TupleRange> {
-        let visible = self.engine.visible_rows(self.table)?;
-        let end = self.end.unwrap_or(visible).min(visible);
-        Ok(TupleRange::new(self.start.min(end), end))
+    /// visible through the query's pin.
+    fn resolve_range(&mut self) -> Result<TupleRange> {
+        let (start, end) = (self.start, self.end);
+        let visible = self.resolve_pin()?.visible_rows();
+        let end = end.unwrap_or(visible).min(visible);
+        Ok(TupleRange::new(start.min(end), end))
     }
 
     fn column_refs(&self) -> Vec<&str> {
@@ -150,11 +177,11 @@ impl Query {
 
     fn open_scan(&self, range: TupleRange) -> Result<Box<dyn BatchSource + Send>> {
         let columns = self.column_refs();
-        if self.in_order {
-            self.engine.scan_in_order(self.table, &columns, range)
-        } else {
-            self.engine.scan(self.table, &columns, range)
-        }
+        let pin = self
+            .pin
+            .clone()
+            .expect("resolve_range pinned the table before any scan opens");
+        self.engine.scan_pinned(pin, &columns, range, self.in_order)
     }
 
     /// Executes the query and returns the aggregation result.
@@ -164,7 +191,7 @@ impl Query {
     /// (Equation 1), each worker runs scan → filter → partial aggregate
     /// against the shared engine (and therefore the shared buffer-management
     /// backend), and the partials are merged by an upper aggregation.
-    pub fn run(self) -> Result<AggrResult> {
+    pub fn run(mut self) -> Result<AggrResult> {
         self.validate()?;
         let spec = self.aggregate.clone().ok_or_else(|| {
             Error::plan("query has no aggregate; call .aggregate(...) or use .rows()")
@@ -208,7 +235,7 @@ impl Query {
     /// aggregating. Rows arrive in backend delivery order unless
     /// [`Query::in_order`] is set. Single-threaded: materialization is for
     /// result inspection, not for the throughput paths.
-    pub fn rows(self) -> Result<Vec<Vec<Value>>> {
+    pub fn rows(mut self) -> Result<Vec<Vec<Value>>> {
         self.validate()?;
         let range = self.resolve_range()?;
         let mut scan = self.open_scan(range)?;

@@ -24,10 +24,11 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use scanshare_common::{RangeList, Result, ScanId, Sid, TableId, TupleRange};
+use scanshare_common::{RangeList, Result, ScanId, TableId, TupleRange};
 use scanshare_core::backend::{ScanRequest, ScanStep};
 use scanshare_pdt::merge::{MergeCursor, StableSource};
 use scanshare_pdt::pdt::Pdt;
+use scanshare_pdt::translate::{rid_range_to_sid_ranges, sid_range_to_rid_range};
 use scanshare_storage::datagen::Value;
 use scanshare_storage::layout::TableLayout;
 use scanshare_storage::snapshot::Snapshot;
@@ -36,6 +37,7 @@ use scanshare_storage::storage::PageData;
 use crate::batch::Batch;
 use crate::engine::Engine;
 use crate::ops::BatchSource;
+use crate::txn::TablePin;
 
 /// How many tuples are produced per batch.
 pub const BATCH_SIZE: usize = 1024;
@@ -125,8 +127,9 @@ pub struct ScanOperator {
 
 impl ScanOperator {
     /// Creates a scan over `columns` of `table` covering the visible rows in
-    /// `rid_range`. `in_order` forces in-order delivery on backends that
-    /// would otherwise reorder (pooled backends always deliver in order).
+    /// `rid_range`, pinning the table's current published state. `in_order`
+    /// forces in-order delivery on backends that would otherwise reorder
+    /// (pooled backends always deliver in order).
     pub fn new(
         engine: Arc<Engine>,
         table: TableId,
@@ -134,9 +137,25 @@ impl ScanOperator {
         rid_range: TupleRange,
         in_order: bool,
     ) -> Result<Self> {
+        let pin = engine.table_pin(table)?;
+        Self::with_pin(engine, pin, columns, rid_range, in_order)
+    }
+
+    /// Creates a scan reading through an explicit [`TablePin`]: the
+    /// operator's whole lifetime — positional translation, PDT merging,
+    /// backend registration — uses exactly the pinned `(Snapshot, PdtStack)`
+    /// pair, so concurrent commits and checkpoints are invisible to it.
+    pub fn with_pin(
+        engine: Arc<Engine>,
+        pin: TablePin,
+        columns: Vec<usize>,
+        rid_range: TupleRange,
+        in_order: bool,
+    ) -> Result<Self> {
+        let table = pin.table;
         let layout = engine.storage().layout(table)?;
-        let snapshot = engine.storage().master_snapshot(table)?;
-        let pdt = engine.pdt(table)?.read().clone();
+        let snapshot = Arc::clone(&pin.snapshot);
+        let pdt = pin.flatten()?;
         let visible = pdt.visible_count(snapshot.stable_tuples());
         let rid_range = rid_range.intersect(&TupleRange::new(0, visible));
 
@@ -285,34 +304,6 @@ impl Drop for ScanOperator {
     fn drop(&mut self) {
         self.finish();
     }
-}
-
-/// Converts a visible-row (RID) range into the stable (SID) ranges that must
-/// be read from storage, using the PDT's positional translation.
-pub(crate) fn rid_range_to_sid_ranges(
-    pdt: &Pdt,
-    rid_range: &TupleRange,
-    stable_tuples: u64,
-) -> RangeList {
-    if rid_range.is_empty() {
-        return RangeList::new();
-    }
-    let lo = pdt.rid_to_sid(scanshare_common::Rid::new(rid_range.start), stable_tuples);
-    let hi = pdt.rid_to_sid(scanshare_common::Rid::new(rid_range.end - 1), stable_tuples);
-    let hi_sid = (hi.raw() + 1).min(stable_tuples);
-    RangeList::single(lo.raw().min(stable_tuples), hi_sid.max(lo.raw()))
-}
-
-/// Translates a chunk's SID range into the widest RID range it can produce,
-/// using `SIDtoRIDlow` for the lower bound and `SIDtoRIDhigh` for the upper
-/// bound (Section 2.1).
-pub(crate) fn sid_range_to_rid_range(pdt: &Pdt, sid_range: &TupleRange) -> TupleRange {
-    if sid_range.is_empty() {
-        return TupleRange::new(0, 0);
-    }
-    let lo = pdt.sid_to_rid_low(Sid::new(sid_range.start)).raw();
-    let hi = pdt.sid_to_rid_high(Sid::new(sid_range.end - 1)).raw() + 1;
-    TupleRange::new(lo, hi.max(lo))
 }
 
 #[cfg(test)]
@@ -660,18 +651,33 @@ mod tests {
     }
 
     #[test]
-    fn rid_sid_translation_helpers() {
-        let mut pdt = Pdt::new(1);
-        pdt.delete(scanshare_common::Rid::new(0), 100).unwrap();
-        pdt.insert(scanshare_common::Rid::new(10), vec![1], 100)
-            .unwrap();
-        // Visible rows 0..99 map to stable tuples 1..99 (tuple 0 is deleted,
-        // the inserted row is anchored inside the range).
-        let sids = rid_range_to_sid_ranges(&pdt, &TupleRange::new(0, 99), 100);
-        assert_eq!(sids.ranges(), &[TupleRange::new(1, 99)]);
-        let rids = sid_range_to_rid_range(&pdt, &TupleRange::new(0, 100));
-        assert_eq!(rids, TupleRange::new(0, 100));
-        assert!(rid_range_to_sid_ranges(&pdt, &TupleRange::new(5, 5), 100).is_empty());
-        assert!(sid_range_to_rid_range(&pdt, &TupleRange::new(5, 5)).is_empty());
+    fn pinned_scan_ignores_later_commits_and_checkpoints() {
+        let (engine, table) = engine(PolicyKind::Lru, 300);
+        let pin = engine.table_pin(table).unwrap();
+        engine.delete_row(table, 0).unwrap();
+        engine.checkpoint(table).unwrap();
+        let mut op = ScanOperator::with_pin(
+            Arc::clone(&engine),
+            pin,
+            vec![0],
+            TupleRange::new(0, 300),
+            true,
+        )
+        .unwrap();
+        let rows = collect(&mut op);
+        assert_eq!(rows.len(), 300, "the pinned view still has every row");
+        assert_eq!(rows[0], vec![0]);
+        // A fresh scan sees the post-commit, post-checkpoint state.
+        let mut fresh = ScanOperator::new(
+            Arc::clone(&engine),
+            table,
+            vec![0],
+            TupleRange::new(0, 300),
+            true,
+        )
+        .unwrap();
+        let fresh_rows = collect(&mut fresh);
+        assert_eq!(fresh_rows.len(), 299);
+        assert_eq!(fresh_rows[0], vec![1]);
     }
 }

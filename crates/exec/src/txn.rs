@@ -1,0 +1,424 @@
+//! Snapshot-isolated update transactions over stacked PDTs.
+//!
+//! Vectorwise gives every transaction a consistent pair of (storage
+//! snapshot, PDT layer stack) and keeps its own updates in a tiny
+//! transaction-private PDT on top of the shared layers (Section 2.1; Héman
+//! et al., SIGMOD 2010). The engine mirrors that:
+//!
+//! * [`Engine::begin`](crate::engine::Engine::begin) returns a [`Txn`].
+//!   The first touch of each table captures a [`TablePin`] — the table's
+//!   published `(Snapshot, PdtStack)` pair plus its commit sequence number —
+//!   and stacks a fresh private PDT on top of it. Reads and scans inside the
+//!   transaction compose the shared layers with the private one; nothing a
+//!   concurrent committer or checkpointer does is ever visible.
+//! * [`Txn::commit`] uses **first-committer-wins** conflict detection: if
+//!   any written table's commit sequence advanced since the pin was taken,
+//!   the commit fails with
+//!   [`Error::TransactionConflict`]
+//!   and the private updates are discarded. Otherwise each private layer is
+//!   folded into the table's shared top layer
+//!   ([`PdtStack::absorb_top`]) — the "propagate" step of stacked PDTs.
+//! * Scans never block writers and writers never block scans: the published
+//!   state is an immutable `Arc` pair swapped under a short mutex, so a
+//!   scan pins it with two reference-count bumps and merges on the fly.
+//!
+//! Background checkpoints interleave freely with transactions: a checkpoint
+//! freezes the current shared layers, pushes a fresh top layer for
+//! commits that arrive while it materializes, and atomically swaps in the
+//! new stable image with exactly those during-checkpoint layers on top (see
+//! [`Engine::checkpoint`](crate::engine::Engine::checkpoint)). A
+//! transaction's RID space is unchanged by a checkpoint, so transactions
+//! spanning one commit normally.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use scanshare_common::{Error, Result, Rid, TableId};
+use scanshare_pdt::pdt::Pdt;
+use scanshare_pdt::stack::PdtStack;
+use scanshare_storage::datagen::Value;
+use scanshare_storage::snapshot::Snapshot;
+
+use crate::engine::Engine;
+use crate::query::Query;
+
+/// A consistent view of one table: the storage snapshot and PDT layer stack
+/// a scan or transaction works against, captured atomically from the
+/// engine's published state.
+///
+/// Pins are cheap (two `Arc` clones) and immutable: updates committed after
+/// the pin was taken swap the engine's published `Arc`s and never mutate the
+/// pinned ones.
+#[derive(Debug, Clone)]
+pub struct TablePin {
+    /// The pinned table.
+    pub table: TableId,
+    /// The stable storage image the stack is anchored on.
+    pub snapshot: Arc<Snapshot>,
+    /// The differential-update layers visible to this pin (bottom layer
+    /// anchored directly on `snapshot`).
+    pub stack: Arc<PdtStack>,
+    /// The table's commit sequence number when the pin was taken; used for
+    /// first-committer-wins conflict detection.
+    pub commit_seq: u64,
+    /// The table's checkpoint epoch when the pin was taken.
+    pub epoch: u64,
+}
+
+impl TablePin {
+    /// Number of rows visible through this pin.
+    pub fn visible_rows(&self) -> u64 {
+        self.stack.visible_count(self.snapshot.stable_tuples())
+    }
+
+    /// Flattens the pinned layer stack into a single equivalent [`Pdt`]
+    /// anchored directly on the pinned snapshot (what a scan operator merges
+    /// with).
+    pub fn flatten(&self) -> Result<Pdt> {
+        self.stack.flatten(self.snapshot.stable_tuples())
+    }
+}
+
+/// One table touched by a transaction: the captured base pin plus a working
+/// stack whose top layer holds the transaction's private updates.
+#[derive(Debug)]
+struct TxnTable {
+    base: TablePin,
+    /// `base.stack` with one extra (private) top layer.
+    work: PdtStack,
+}
+
+/// A snapshot-isolated update transaction; created with
+/// [`Engine::begin`](crate::engine::Engine::begin). See the [module
+/// docs](self) for the isolation and commit semantics.
+///
+/// Dropping a transaction without committing discards its updates
+/// (rollback is the default).
+#[derive(Debug)]
+#[must_use = "a Txn's updates are discarded unless `.commit()` is called"]
+pub struct Txn {
+    engine: Arc<Engine>,
+    /// Touched tables in id order (which is also the commit lock order).
+    tables: BTreeMap<TableId, TxnTable>,
+}
+
+impl Txn {
+    pub(crate) fn new(engine: Arc<Engine>) -> Self {
+        Self {
+            engine,
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// The table state this transaction works on, captured from the engine
+    /// on first touch.
+    fn table_mut(&mut self, table: TableId) -> Result<&mut TxnTable> {
+        if !self.tables.contains_key(&table) {
+            let base = self.engine.table_pin(table)?;
+            let mut work = (*base.stack).clone();
+            work.push_layer(Pdt::new(work.column_count()));
+            self.tables.insert(table, TxnTable { base, work });
+        }
+        Ok(self.tables.get_mut(&table).expect("inserted above"))
+    }
+
+    /// Number of rows visible to this transaction (its own uncommitted
+    /// updates included).
+    pub fn visible_rows(&mut self, table: TableId) -> Result<u64> {
+        let t = self.table_mut(table)?;
+        Ok(t.work.visible_count(t.base.snapshot.stable_tuples()))
+    }
+
+    /// Inserts a row at visible position `rid` of this transaction's view
+    /// (use [`Txn::visible_rows`] to append at the end).
+    pub fn insert(&mut self, table: TableId, rid: u64, row: Vec<Value>) -> Result<()> {
+        let t = self.table_mut(table)?;
+        let stable = t.base.snapshot.stable_tuples();
+        t.work.insert(Rid::new(rid), row, stable)
+    }
+
+    /// Deletes the visible row at `rid` of this transaction's view.
+    pub fn delete(&mut self, table: TableId, rid: u64) -> Result<()> {
+        let t = self.table_mut(table)?;
+        let stable = t.base.snapshot.stable_tuples();
+        t.work.delete(Rid::new(rid), stable)
+    }
+
+    /// Updates column `col` of the visible row at `rid` of this
+    /// transaction's view.
+    pub fn modify(&mut self, table: TableId, rid: u64, col: usize, value: Value) -> Result<()> {
+        let t = self.table_mut(table)?;
+        let stable = t.base.snapshot.stable_tuples();
+        t.work.modify(Rid::new(rid), col, value, stable)
+    }
+
+    /// A pin of this transaction's current view of `table`: the base
+    /// snapshot and shared layers plus a copy of the private layer. Scans
+    /// opened from it see the transaction's own uncommitted updates.
+    pub fn pin(&mut self, table: TableId) -> Result<TablePin> {
+        let t = self.table_mut(table)?;
+        Ok(TablePin {
+            table,
+            snapshot: Arc::clone(&t.base.snapshot),
+            stack: Arc::new(t.work.clone()),
+            commit_seq: t.base.commit_seq,
+            epoch: t.base.epoch,
+        })
+    }
+
+    /// Starts building a query that reads this transaction's view of
+    /// `table` (shared layers + private updates), like
+    /// [`Engine::query`](crate::engine::Engine::query) does for the
+    /// committed state.
+    pub fn query(&mut self, table: TableId) -> Result<Query> {
+        let pin = self.pin(table)?;
+        Ok(Query::with_pin(Arc::clone(&self.engine), table, pin))
+    }
+
+    /// Whether the transaction wrote anything.
+    pub fn is_read_only(&self) -> bool {
+        self.tables.iter().all(|(_, t)| t.work.top().is_empty())
+    }
+
+    /// Commits the transaction with first-committer-wins semantics: for
+    /// every *written* table, if any other transaction (or an engine-level
+    /// auto-commit update, or a storage bulk append the engine adopted)
+    /// committed to it since this transaction first touched it, the whole
+    /// commit fails with
+    /// [`Error::TransactionConflict`]
+    /// and no table is modified. Tables the transaction only read never
+    /// conflict.
+    ///
+    /// On success each private layer is folded into its table's shared top
+    /// layer; scans pinned before the commit keep their view.
+    pub fn commit(mut self) -> Result<()> {
+        // Extract the private layers, keeping only written tables.
+        let mut written: Vec<(TableId, TablePin, Pdt)> = Vec::new();
+        for (table, mut t) in std::mem::take(&mut self.tables) {
+            let private = t.work.pop_layer().expect("work stack has a private layer");
+            if !private.is_empty() {
+                written.push((table, t.base, private));
+            }
+        }
+        if written.is_empty() {
+            return Ok(());
+        }
+
+        // Lock every written table's state in table-id order (`written` is
+        // BTreeMap-ordered), validate all sequence numbers, then apply —
+        // all-or-nothing.
+        let updates: Vec<_> = written
+            .iter()
+            .map(|(table, _, _)| self.engine.table_updates(*table))
+            .collect::<Result<_>>()?;
+        let mut guards: Vec<_> = updates.iter().map(|u| u.state().lock()).collect();
+        for ((table, base, _), guard) in written.iter().zip(guards.iter_mut()) {
+            self.engine.sync_state_with_storage(*table, guard)?;
+            if guard.commit_seq != base.commit_seq {
+                return Err(Error::TransactionConflict(format!(
+                    "table {table}: commit sequence advanced from {} to {} since the \
+                     transaction began (first committer wins)",
+                    base.commit_seq, guard.commit_seq
+                )));
+            }
+        }
+        for ((_, _, private), guard) in written.iter().zip(guards.iter_mut()) {
+            // The conflict check passed, so the table's visible stream is
+            // exactly the one the private layer's positions refer to — even
+            // if a checkpoint swapped the underlying representation in the
+            // meantime (a checkpoint changes the anchoring, never the
+            // stream).
+            let stable = guard.snapshot.stable_tuples();
+            let stack = Arc::make_mut(&mut guard.stack);
+            stack.absorb_top(private, stable)?;
+            guard.commit_seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Discards the transaction's updates (equivalent to dropping it).
+    pub fn rollback(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AggrSpec, Aggregate};
+    use scanshare_common::{PolicyKind, ScanShareConfig};
+    use scanshare_storage::column::{ColumnSpec, ColumnType};
+    use scanshare_storage::datagen::DataGen;
+    use scanshare_storage::storage::Storage;
+    use scanshare_storage::table::TableSpec;
+
+    fn engine(tuples: u64) -> (Arc<Engine>, TableId) {
+        let storage = Storage::with_seed(1024, 500, 5);
+        let spec = TableSpec::new(
+            "t",
+            vec![
+                ColumnSpec::with_width("k", ColumnType::Int64, 8.0),
+                ColumnSpec::with_width("v", ColumnType::Int64, 4.0),
+            ],
+            tuples,
+        );
+        let table = storage
+            .create_table_with_data(
+                spec,
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Constant(7),
+                ],
+            )
+            .unwrap();
+        let config = ScanShareConfig {
+            page_size_bytes: 1024,
+            chunk_tuples: 500,
+            buffer_pool_bytes: 64 * 1024,
+            policy: PolicyKind::Lru,
+            ..Default::default()
+        };
+        (Engine::new(storage, config).unwrap(), table)
+    }
+
+    fn count(engine: &Arc<Engine>, table: TableId) -> u64 {
+        engine
+            .query(table)
+            .columns(["k"])
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .run()
+            .unwrap()
+            .get(&0)
+            .map(|g| g.count)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn uncommitted_updates_are_private() {
+        let (engine, table) = engine(100);
+        let mut txn = engine.begin();
+        txn.insert(table, 0, vec![-1, -1]).unwrap();
+        txn.delete(table, 50).unwrap();
+        assert_eq!(txn.visible_rows(table).unwrap(), 100);
+        // The engine's committed state is untouched.
+        assert_eq!(engine.visible_rows(table).unwrap(), 100);
+        assert_eq!(count(&engine, table), 100);
+        // The transaction's own queries see the private updates.
+        let rows = txn
+            .query(table)
+            .unwrap()
+            .columns(["k", "v"])
+            .range(..2)
+            .in_order()
+            .rows()
+            .unwrap();
+        assert_eq!(rows[0], vec![-1, -1]);
+        txn.commit().unwrap();
+        assert_eq!(engine.visible_rows(table).unwrap(), 100);
+        assert_eq!(count(&engine, table), 100);
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let (engine, table) = engine(100);
+        let mut a = engine.begin();
+        let mut b = engine.begin();
+        a.modify(table, 0, 1, 111).unwrap();
+        b.modify(table, 0, 1, 222).unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(matches!(err, Error::TransactionConflict(_)));
+        // The first committer's value survived.
+        let rows = engine
+            .query(table)
+            .columns(["v"])
+            .range(..1)
+            .rows()
+            .unwrap();
+        assert_eq!(rows[0], vec![111]);
+    }
+
+    #[test]
+    fn read_only_transactions_never_conflict() {
+        let (engine, table) = engine(100);
+        let mut reader = engine.begin();
+        assert_eq!(reader.visible_rows(table).unwrap(), 100);
+        let mut writer = engine.begin();
+        writer.delete(table, 0).unwrap();
+        writer.commit().unwrap();
+        assert!(reader.is_read_only());
+        // Snapshot isolation: the reader still sees its begin state...
+        assert_eq!(reader.visible_rows(table).unwrap(), 100);
+        // ...and commits cleanly despite the interleaved writer.
+        reader.commit().unwrap();
+    }
+
+    #[test]
+    fn autocommit_updates_conflict_with_open_transactions() {
+        let (engine, table) = engine(100);
+        let mut txn = engine.begin();
+        txn.delete(table, 1).unwrap();
+        engine.update_value(table, 0, 1, 9).unwrap();
+        assert!(matches!(
+            txn.commit().unwrap_err(),
+            Error::TransactionConflict(_)
+        ));
+    }
+
+    #[test]
+    fn rollback_discards_updates() {
+        let (engine, table) = engine(50);
+        let mut txn = engine.begin();
+        txn.delete(table, 0).unwrap();
+        txn.rollback();
+        assert_eq!(engine.visible_rows(table).unwrap(), 50);
+        // Dropping without commit is a rollback too, and does not bump the
+        // commit sequence: a later transaction commits cleanly.
+        let mut dropped = engine.begin();
+        dropped.delete(table, 0).unwrap();
+        drop(dropped);
+        let mut txn = engine.begin();
+        txn.insert(table, 0, vec![1, 2]).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(engine.visible_rows(table).unwrap(), 51);
+    }
+
+    #[test]
+    fn scans_pin_their_begin_snapshot() {
+        let (engine, table) = engine(200);
+        let pin = engine.table_pin(table).unwrap();
+        let mut txn = engine.begin();
+        txn.delete(table, 0).unwrap();
+        txn.commit().unwrap();
+        // The pre-commit pin still sees 200 rows; a fresh pin sees 199.
+        assert_eq!(pin.visible_rows(), 200);
+        assert_eq!(engine.table_pin(table).unwrap().visible_rows(), 199);
+        assert_eq!(pin.flatten().unwrap().visible_count(200), 200);
+    }
+
+    #[test]
+    fn multi_table_commits_are_atomic() {
+        let (engine, t1) = engine(100);
+        let storage = Arc::clone(engine.storage());
+        let t2 = storage
+            .create_table_with_data(
+                TableSpec::new(
+                    "u",
+                    vec![ColumnSpec::with_width("x", ColumnType::Int64, 8.0)],
+                    40,
+                ),
+                vec![DataGen::Constant(1)],
+            )
+            .unwrap();
+        // A competing single-table commit on t2 lands first.
+        let mut both = engine.begin();
+        both.delete(t1, 0).unwrap();
+        both.delete(t2, 0).unwrap();
+        engine.delete_row(t2, 5).unwrap();
+        assert!(matches!(
+            both.commit().unwrap_err(),
+            Error::TransactionConflict(_)
+        ));
+        // Neither table saw the conflicted transaction's updates.
+        assert_eq!(engine.visible_rows(t1).unwrap(), 100);
+        assert_eq!(engine.visible_rows(t2).unwrap(), 39);
+    }
+}

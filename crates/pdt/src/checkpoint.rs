@@ -18,6 +18,13 @@ use crate::stack::PdtStack;
 
 /// Scans `snapshot` of `table`, merges `pdt`, and installs the merged result
 /// as a new checkpointed master snapshot. Returns the new snapshot.
+///
+/// The installation is a compare-and-swap against `snapshot`: if the
+/// table's master changed while the merge ran (a concurrent bulk append
+/// committed), the checkpoint fails with
+/// [`Error::TransactionConflict`](scanshare_common::Error::TransactionConflict)
+/// instead of silently discarding the appended rows; retry against the new
+/// master.
 pub fn checkpoint_table(
     storage: &Arc<Storage>,
     table: TableId,
@@ -48,7 +55,7 @@ pub fn checkpoint_table(
             new_values[col].push(v);
         }
     }
-    storage.install_checkpoint(table, visible, Some(new_values))
+    storage.install_checkpoint_from(table, snapshot.id(), visible, Some(new_values))
 }
 
 /// Checkpoints a full [`PdtStack`] by flattening it into a single PDT first.

@@ -14,7 +14,12 @@
 //!   stable tuple stream for an arbitrary RID range — the operation a CScan
 //!   must restart for every out-of-order chunk it receives;
 //! * [`stack`]: stacked PDTs ("differences on differences") used for snapshot
-//!   isolation, with composition (propagation) of layers;
+//!   isolation, with composition (propagation) of layers and the
+//!   transaction primitives the engine's snapshot-isolated update path is
+//!   built on ([`PdtStack::absorb_top`], [`PdtStack::split_upper`]);
+//! * [`translate`]: RID ↔ SID range translation shared by the execution
+//!   engine and the discrete-event simulator, so both executors read the
+//!   same pages for the same visible range;
 //! * [`checkpoint`]: materializing stable storage + PDT into a brand-new
 //!   table image, as performed by a PDT checkpoint (Figure 7).
 
@@ -25,8 +30,10 @@ pub mod checkpoint;
 pub mod merge;
 pub mod pdt;
 pub mod stack;
+pub mod translate;
 
 pub use crate::pdt::{Pdt, UpdateStats};
-pub use checkpoint::checkpoint_table;
+pub use checkpoint::{checkpoint_stack, checkpoint_table};
 pub use merge::{MergeCursor, SliceSource, StableSource};
 pub use stack::PdtStack;
+pub use translate::{rid_range_to_sid_ranges, sid_range_to_rid_range};

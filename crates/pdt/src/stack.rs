@@ -164,6 +164,67 @@ impl PdtStack {
         cursor.collect_rows()
     }
 
+    /// Whether every layer is empty (no pending differences at all).
+    pub fn is_empty(&self) -> bool {
+        self.layers.iter().all(Pdt::is_empty)
+    }
+
+    /// The layers, bottom (closest to stable storage) first.
+    pub fn layers(&self) -> &[Pdt] {
+        &self.layers
+    }
+
+    /// Pushes `layer` as the new top (most private) layer. Its positions must
+    /// refer to the output stream of the current stack.
+    ///
+    /// # Panics
+    /// Panics when `layer` was built for a different column count.
+    pub fn push_layer(&mut self, layer: Pdt) {
+        assert_eq!(
+            layer.column_count(),
+            self.column_count,
+            "layer column count must match the stack"
+        );
+        self.layers.push(layer);
+    }
+
+    /// Pops and returns the top layer. Returns `None` when only one layer is
+    /// left (a stack never goes below depth 1).
+    pub fn pop_layer(&mut self) -> Option<Pdt> {
+        if self.layers.len() <= 1 {
+            return None;
+        }
+        self.layers.pop()
+    }
+
+    /// Folds `upper` — whose positions refer to the output stream of this
+    /// stack — into the top layer, so the stack alone now produces the
+    /// stream `self` followed by `upper` would. This is the commit operation
+    /// of a snapshot-isolated transaction: the transaction's private PDT is
+    /// absorbed into the shared top layer.
+    pub fn absorb_top(&mut self, upper: &Pdt, stable_tuples: u64) -> Result<()> {
+        let below = self.visible_below(stable_tuples, self.layers.len() - 1);
+        let top = self.layers.last_mut().expect("depth >= 1");
+        compose_into(top, upper, below)
+    }
+
+    /// Clones the layers above index `at` (exclusive of the bottom `at`
+    /// layers) into a new stack. Used after a checkpoint: the bottom layers
+    /// were materialized into a new stable image, and the layers above them
+    /// — anchored on exactly that image's visible stream — carry on as the
+    /// table's live differences. Returns a single empty layer when `at`
+    /// covers the whole stack.
+    pub fn split_upper(&self, at: usize) -> PdtStack {
+        let layers: Vec<Pdt> = self.layers[at.min(self.layers.len())..].to_vec();
+        if layers.is_empty() {
+            return PdtStack::new(self.column_count, 1);
+        }
+        Self {
+            column_count: self.column_count,
+            layers,
+        }
+    }
+
     /// Flattens the top layer into the layer below it, leaving a fresh empty
     /// top layer. The observable merged stream is unchanged.
     pub fn propagate(&mut self, stable_tuples: u64) -> Result<()> {
@@ -398,5 +459,64 @@ mod tests {
     #[should_panic(expected = "at least one layer")]
     fn zero_depth_stack_is_rejected() {
         let _ = PdtStack::new(1, 0);
+    }
+
+    #[test]
+    fn absorb_top_matches_a_transactions_private_layer() {
+        // A transaction works on base + private; committing via absorb_top
+        // must produce the same stream the layered stack showed.
+        let n = 20;
+        let mut base = PdtStack::new(2, 1);
+        base.insert(Rid::new(3), vec![-1, -1], n).unwrap();
+        base.delete(Rid::new(10), n).unwrap();
+
+        let mut work = base.clone();
+        work.push_layer(Pdt::new(2));
+        work.insert(Rid::new(0), vec![-9, -9], n).unwrap();
+        work.modify(Rid::new(5), 1, 42, n).unwrap();
+        let expected = work.merge_range(source(n), &[0, 1], TupleRange::new(0, 100));
+
+        let private = work.pop_layer().expect("depth 2");
+        base.absorb_top(&private, n).unwrap();
+        assert_eq!(base.depth(), 1);
+        assert_eq!(
+            base.merge_range(source(n), &[0, 1], TupleRange::new(0, 100)),
+            expected
+        );
+        assert_eq!(base.visible_count(n), expected.len() as u64);
+    }
+
+    #[test]
+    fn pop_layer_never_empties_the_stack() {
+        let mut stack = PdtStack::new(1, 1);
+        assert!(stack.pop_layer().is_none());
+        stack.push_layer(Pdt::new(1));
+        assert!(stack.pop_layer().is_some());
+        assert_eq!(stack.depth(), 1);
+    }
+
+    #[test]
+    fn split_upper_keeps_the_during_checkpoint_layers() {
+        let n = 10;
+        let mut stack = PdtStack::new(2, 1);
+        stack.delete(Rid::new(0), n).unwrap(); // frozen by the checkpoint
+        stack.push_layer(Pdt::new(2)); // pushed at checkpoint begin
+        stack.insert(Rid::new(0), vec![7, 7], n).unwrap(); // committed mid-checkpoint
+        let upper = stack.split_upper(1);
+        assert_eq!(upper.depth(), 1);
+        assert_eq!(upper.top().stats().inserts, 1);
+        assert_eq!(upper.top().stats().deletes, 0);
+        // Splitting past the end yields a fresh empty stack.
+        assert!(stack.split_upper(99).is_empty());
+        assert!(!stack.is_empty());
+        assert!(PdtStack::new(2, 3).is_empty());
+        assert_eq!(stack.layers().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn push_layer_rejects_mismatched_columns() {
+        let mut stack = PdtStack::new(2, 1);
+        stack.push_layer(Pdt::new(3));
     }
 }

@@ -8,13 +8,37 @@
 //! [`IoDevice`]; CPU work is charged per tuple, scaled by the query's CPU
 //! factor and by the effective intra-query parallelism
 //! (`min(threads_per_query, cores / streams)`).
+//!
+//! # Mixed read/write workloads
+//!
+//! A workload with update streams executes in **rounds**, mirroring the
+//! engine-side `WorkloadDriver` exactly: at every round barrier the
+//! simulator applies each update stream's generated batch to a per-table
+//! *mirror* — the same `(Snapshot, PdtStack)` algebra the engine's
+//! transaction layer uses, driven by the identical deterministic operation
+//! generator — checkpoints when due (installing a metadata-only snapshot
+//! and invalidating the superseded pages from the pool, exactly like the
+//! engine's epoch-tagged invalidation hook), and then simulates one query
+//! per stream concurrently. Scan ranges are translated from visible-row
+//! (RID) space to stable (SID) space through the mirrored PDTs with the
+//! *same* `scanshare_pdt::translate` functions the engine's scan operator
+//! uses, so both executors touch the identical page sets and their I/O
+//! volumes match byte for byte. The buffer pool (or ABM) and the I/O device
+//! persist across rounds — the whole point of the model is measuring how
+//! updates and checkpoints churn a *warm* buffer pool.
+//!
+//! Note that simulating a mixed workload **mutates the storage** (checkpoint
+//! snapshots are installed and promoted to master); give each mixed run its
+//! own deterministically rebuilt `Storage` rather than sharing one across
+//! runs.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use scanshare_common::{
-    Error, PageId, PolicyKind, Result, ScanId, ScanShareConfig, VirtualDuration, VirtualInstant,
+    Error, PageId, PolicyKind, RangeList, Result, Rid, ScanId, ScanShareConfig, TableId,
+    TupleRange, VirtualDuration, VirtualInstant,
 };
 use scanshare_core::abm::{Abm, AbmConfig, CScanHandle, CScanRequest, LoadPlan};
 use scanshare_core::bufferpool::{top_up_prefetch_window, BufferPool};
@@ -22,8 +46,12 @@ use scanshare_core::metrics::BufferStats;
 use scanshare_core::opt::simulate_opt;
 use scanshare_core::registry::{pooled_policy_name, PolicyRegistry};
 use scanshare_iosim::{IoDevice, ReferenceTrace};
+use scanshare_pdt::pdt::Pdt;
+use scanshare_pdt::stack::PdtStack;
+use scanshare_pdt::translate::rid_range_to_sid_ranges;
+use scanshare_storage::snapshot::Snapshot;
 use scanshare_storage::storage::Storage;
-use scanshare_workload::spec::{QuerySpec, WorkloadSpec};
+use scanshare_workload::spec::{QuerySpec, UpdateOp, UpdateOpGen, UpdateStreamSpec, WorkloadSpec};
 
 use crate::result::SimResult;
 use crate::sharing::SharingProfile;
@@ -98,6 +126,28 @@ impl Ord for Event {
     }
 }
 
+/// One scan of a query, resolved against the snapshot and SID ranges its
+/// executor actually reads. For read-only workloads this is the spec
+/// verbatim against the master snapshot; in mixed workloads the ranges went
+/// through the mirrored PDT translation and the snapshot is the mirror's
+/// (possibly checkpoint-swapped) pinned image.
+#[derive(Debug, Clone)]
+struct ResolvedScan {
+    table: TableId,
+    columns: Vec<usize>,
+    snapshot: Arc<Snapshot>,
+    /// Stable ranges to read; empty when the visible range maps to no
+    /// stable data (the engine then registers no backend scan either).
+    sid_ranges: RangeList,
+}
+
+/// One query with its scans resolved and its CPU cost precomputed.
+#[derive(Debug, Clone)]
+struct ResolvedQuery {
+    scans: Vec<ResolvedScan>,
+    cpu_ns_per_tuple: f64,
+}
+
 /// One scan of a query in the page-level (order-preserving) model.
 #[derive(Debug)]
 struct PartRun {
@@ -118,15 +168,15 @@ struct QueryRun {
 
 #[derive(Debug)]
 struct StreamState {
-    queries: VecDeque<usize>,
+    queries: VecDeque<ResolvedQuery>,
     current: Option<QueryRun>,
     finished: Option<VirtualInstant>,
 }
 
-/// One scan of a query in the chunk-level (Cooperative Scans) model.
+/// One query in the chunk-level (Cooperative Scans) model.
 #[derive(Debug)]
 struct CScanQueryRun {
-    scan_specs: Vec<usize>,
+    scans: Vec<ResolvedScan>,
     part_idx: usize,
     active: Option<CScanHandle>,
     cpu_ns_per_tuple: f64,
@@ -135,7 +185,7 @@ struct CScanQueryRun {
 
 #[derive(Debug)]
 struct CScanStreamState {
-    queries: VecDeque<usize>,
+    queries: VecDeque<ResolvedQuery>,
     current: Option<CScanQueryRun>,
     finished: Option<VirtualInstant>,
 }
@@ -186,6 +236,42 @@ impl SharingSampler {
     }
 }
 
+/// The engine-state mirror of a mixed workload: per table, the pinned
+/// snapshot and PDT stack the engine's transaction layer would publish at
+/// the same round barrier.
+#[derive(Debug, Default)]
+struct UpdateMirror {
+    tables: HashMap<TableId, MirrorTable>,
+}
+
+#[derive(Debug)]
+struct MirrorTable {
+    snapshot: Arc<Snapshot>,
+    stack: PdtStack,
+}
+
+/// Persistent state of a pooled (LRU / PBM / OPT-trace) run: survives round
+/// barriers so checkpointed tables churn a warm pool, exactly as in the
+/// engine.
+struct PoolRunState {
+    pool: BufferPool,
+    device: IoDevice,
+    /// The asynchronous prefetch window, mirroring
+    /// `PooledBackend::top_up_prefetch` in the execution engine: page ->
+    /// completion time of prefetch transfers that may still be in flight.
+    inflight: HashMap<PageId, VirtualInstant>,
+    sampler: SharingSampler,
+    query_latencies: Vec<VirtualDuration>,
+}
+
+/// Persistent state of a Cooperative Scans run.
+struct CScanRunState {
+    abm: Abm,
+    device: IoDevice,
+    sampler: SharingSampler,
+    query_latencies: Vec<VirtualDuration>,
+}
+
 impl Simulation {
     /// Creates a simulation over `storage` (which must already contain the
     /// workload's tables).
@@ -206,7 +292,8 @@ impl Simulation {
 
     /// Total volume of distinct data accessed by the workload, in bytes
     /// (the quantity the paper sizes buffer pools against: "buffer pool
-    /// capacity equal to 40% of accessed data volume").
+    /// capacity equal to 40% of accessed data volume"). Computed against the
+    /// current master snapshots, before any update stream runs.
     pub fn accessed_volume(&self, workload: &WorkloadSpec) -> Result<u64> {
         let mut pages: HashSet<PageId> = HashSet::new();
         for stream in &workload.streams {
@@ -222,8 +309,17 @@ impl Simulation {
         Ok(pages.len() as u64 * self.config.scanshare.page_size_bytes)
     }
 
-    /// Runs `workload` under the policy selected in the configuration.
+    /// Runs `workload` under the policy selected in the configuration. See
+    /// the [module docs](self) for how workloads with update streams are
+    /// executed (and note they mutate the storage).
     pub fn run(&self, workload: &WorkloadSpec) -> Result<SimResult> {
+        if workload.has_updates() && self.config.scanshare.policy == PolicyKind::Opt {
+            return Err(Error::Unsupported(
+                "OPT trace replay is undefined across checkpoint invalidations; \
+                 run mixed workloads under lru, pbm or cscan"
+                    .into(),
+            ));
+        }
         match self.config.scanshare.policy {
             PolicyKind::CScan => self.run_cscan(workload),
             PolicyKind::Opt => self.run_opt(workload),
@@ -246,6 +342,139 @@ impl Simulation {
             self.config.scanshare.io_bandwidth,
             VirtualDuration::from_nanos(self.config.scanshare.io_latency_nanos),
         )
+    }
+
+    // -----------------------------------------------------------------
+    // Query resolution and the update mirror
+    // -----------------------------------------------------------------
+
+    /// Resolves a query of a read-only workload: spec ranges verbatim (they
+    /// are already SID ranges when no updates exist) against the master
+    /// snapshot.
+    fn resolve_read_only(&self, query: &QuerySpec, streams: usize) -> Result<ResolvedQuery> {
+        let mut scans = Vec::with_capacity(query.scans.len());
+        for scan in &query.scans {
+            scans.push(ResolvedScan {
+                table: scan.table,
+                columns: scan.columns.clone(),
+                snapshot: self.storage.master_snapshot(scan.table)?,
+                sid_ranges: scan.ranges.clone(),
+            });
+        }
+        Ok(ResolvedQuery {
+            scans,
+            cpu_ns_per_tuple: self.cpu_ns_per_tuple(query, streams),
+        })
+    }
+
+    /// The mirror entry of `table`, created on first touch from the current
+    /// master snapshot — exactly like the engine's per-table state.
+    fn mirror_table<'a>(
+        &self,
+        mirror: &'a mut UpdateMirror,
+        table: TableId,
+    ) -> Result<&'a mut MirrorTable> {
+        use std::collections::hash_map::Entry;
+        match mirror.tables.entry(table) {
+            Entry::Occupied(entry) => Ok(entry.into_mut()),
+            Entry::Vacant(entry) => {
+                let snapshot = self.storage.master_snapshot(table)?;
+                let columns = self.storage.table(table)?.spec.columns.len();
+                Ok(entry.insert(MirrorTable {
+                    snapshot,
+                    stack: PdtStack::new(columns, 1),
+                }))
+            }
+        }
+    }
+
+    /// Resolves a query of a mixed workload against the mirror: the spec's
+    /// visible-row ranges are clamped to the mirrored visible count and
+    /// translated to SID ranges through the mirrored PDT — the same
+    /// `rid_range_to_sid_ranges` call the engine's scan operator performs
+    /// on its pin.
+    fn resolve_mixed(
+        &self,
+        mirror: &mut UpdateMirror,
+        query: &QuerySpec,
+        streams: usize,
+    ) -> Result<ResolvedQuery> {
+        let cpu_ns_per_tuple = self.cpu_ns_per_tuple(query, streams);
+        let mut scans = Vec::with_capacity(query.scans.len());
+        for scan in &query.scans {
+            let table = self.mirror_table(mirror, scan.table)?;
+            let stable = table.snapshot.stable_tuples();
+            let flat = table.stack.flatten(stable)?;
+            let visible = flat.visible_count(stable);
+            let mut sid_ranges = RangeList::new();
+            for &range in scan.ranges.ranges() {
+                let rid_range = range.intersect(&TupleRange::new(0, visible));
+                for &sids in rid_range_to_sid_ranges(&flat, &rid_range, stable).ranges() {
+                    sid_ranges.add(sids);
+                }
+            }
+            scans.push(ResolvedScan {
+                table: scan.table,
+                columns: scan.columns.clone(),
+                snapshot: Arc::clone(&table.snapshot),
+                sid_ranges,
+            });
+        }
+        Ok(ResolvedQuery {
+            scans,
+            cpu_ns_per_tuple,
+        })
+    }
+
+    /// Applies one update stream's round batch to the mirror — one
+    /// transaction through the identical `PdtStack` algebra the engine's
+    /// `Txn::commit` uses — and performs the periodic checkpoint when due:
+    /// a metadata-only snapshot install plus `invalidate(stale_pages)`,
+    /// matching the engine's pinned-snapshot checkpoint and its
+    /// epoch-tagged buffer invalidation.
+    fn mirror_update_batch(
+        &self,
+        mirror: &mut UpdateMirror,
+        spec: &UpdateStreamSpec,
+        generator: &mut UpdateOpGen,
+        round: usize,
+        invalidate: &mut dyn FnMut(&[PageId]),
+    ) -> Result<()> {
+        let columns = self.storage.table(spec.table)?.spec.columns.len();
+        if spec.ops_per_round > 0 {
+            let table = self.mirror_table(mirror, spec.table)?;
+            let stable = table.snapshot.stable_tuples();
+            let mut work = table.stack.clone();
+            work.push_layer(Pdt::new(columns));
+            for _ in 0..spec.ops_per_round {
+                let visible = work.visible_count(stable);
+                match generator.next_op(visible, columns) {
+                    UpdateOp::Insert { rid, row } => work.insert(Rid::new(rid), row, stable)?,
+                    UpdateOp::Delete { rid } => work.delete(Rid::new(rid), stable)?,
+                    UpdateOp::Modify { rid, col, value } => {
+                        work.modify(Rid::new(rid), col, value, stable)?
+                    }
+                }
+            }
+            let private = work.pop_layer().expect("pushed above");
+            table.stack.absorb_top(&private, stable)?;
+        }
+        if spec.checkpoint_due(round) {
+            let table = self.mirror_table(mirror, spec.table)?;
+            let stable = table.snapshot.stable_tuples();
+            let new_tuples = table.stack.visible_count(stable);
+            let stale: Vec<PageId> = table.snapshot.pages().collect();
+            let new_snapshot = self.storage.install_checkpoint_from(
+                spec.table,
+                table.snapshot.id(),
+                new_tuples,
+                None,
+            )?;
+            table.snapshot = new_snapshot;
+            table.stack = PdtStack::new(columns, 1);
+            invalidate(&stale);
+        }
+        Ok(())
     }
 
     // -----------------------------------------------------------------
@@ -277,15 +506,18 @@ impl Simulation {
     fn build_query_run(
         &self,
         pool: &mut BufferPool,
-        query: &QuerySpec,
-        streams: usize,
+        query: &ResolvedQuery,
         now: VirtualInstant,
     ) -> Result<QueryRun> {
         let mut parts = Vec::with_capacity(query.scans.len());
         for scan in &query.scans {
+            // A scan whose visible range maps to no stable data registers no
+            // backend scan in the engine either (pure PDT rows cost no I/O).
+            if scan.sid_ranges.is_empty() {
+                continue;
+            }
             let layout = self.storage.layout(scan.table)?;
-            let snapshot = self.storage.master_snapshot(scan.table)?;
-            let plan = layout.scan_page_plan(&snapshot, &scan.columns, &scan.ranges);
+            let plan = layout.scan_page_plan(&scan.snapshot, &scan.columns, &scan.sid_ranges);
             let scan_id = pool.register_scan(&plan, now);
             let pages: Vec<(PageId, u64)> = plan
                 .interleaved()
@@ -302,34 +534,28 @@ impl Simulation {
         Ok(QueryRun {
             parts,
             part_idx: 0,
-            cpu_ns_per_tuple: self.cpu_ns_per_tuple(query, streams),
+            cpu_ns_per_tuple: query.cpu_ns_per_tuple,
             started: now,
         })
     }
 
-    fn run_pool(
+    /// Runs one phase (a whole read-only workload, or one round of a mixed
+    /// one) of the page-level event loop over the persistent `state`.
+    /// `phase_queries` holds each stream's queries for this phase; all
+    /// streams start at `start_ns`. Returns each stream's finish time.
+    fn pool_phase(
         &self,
-        workload: &WorkloadSpec,
-        policy: PolicyKind,
-        record_trace: bool,
-    ) -> Result<(SimResult, Option<Arc<ReferenceTrace>>)> {
-        let trace = record_trace.then(|| Arc::new(ReferenceTrace::new()));
-        let mut pool = self.make_pool(policy, trace.clone())?;
-        let device = self.device();
-        let stream_count = workload.stream_count();
+        state: &mut PoolRunState,
+        phase_queries: Vec<VecDeque<ResolvedQuery>>,
+        start_ns: u64,
+    ) -> Result<Vec<u64>> {
         let page_size = self.config.scanshare.page_size_bytes;
-        // The asynchronous prefetch window, mirroring
-        // `PooledBackend::top_up_prefetch` in the execution engine: page ->
-        // completion time (ns) of prefetch transfers that may still be in
-        // flight.
         let prefetch_window = self.config.scanshare.prefetch_pages;
-        let mut inflight: HashMap<PageId, VirtualInstant> = HashMap::new();
 
-        let mut streams: Vec<StreamState> = workload
-            .streams
-            .iter()
-            .map(|s| StreamState {
-                queries: (0..s.queries.len()).collect(),
+        let mut streams: Vec<StreamState> = phase_queries
+            .into_iter()
+            .map(|queries| StreamState {
+                queries,
                 current: None,
                 finished: None,
             })
@@ -346,12 +572,9 @@ impl Simulation {
             }));
             seq += 1;
         };
-        for s in 0..stream_count {
-            push(&mut heap, 0, EventKind::Stream(s));
+        for s in 0..streams.len() {
+            push(&mut heap, start_ns, EventKind::Stream(s));
         }
-
-        let mut query_latencies = Vec::new();
-        let mut sampler = SharingSampler::new(self.config.sharing_sample_interval);
 
         while let Some(Reverse(event)) = heap.pop() {
             let now = VirtualInstant::from_nanos(event.time);
@@ -360,7 +583,7 @@ impl Simulation {
             };
 
             // Periodic sharing-potential sampling.
-            sampler.sample_if_due(event.time, page_size, || {
+            state.sampler.sample_if_due(event.time, page_size, || {
                 streams
                     .iter()
                     .filter_map(|st| st.current.as_ref())
@@ -378,14 +601,13 @@ impl Simulation {
 
             // Start the next query if needed.
             if streams[s].current.is_none() {
-                let Some(query_idx) = streams[s].queries.pop_front() else {
+                let Some(query) = streams[s].queries.pop_front() else {
                     if streams[s].finished.is_none() {
                         streams[s].finished = Some(now);
                     }
                     continue;
                 };
-                let query = &workload.streams[s].queries[query_idx];
-                let run = self.build_query_run(&mut pool, query, stream_count, now)?;
+                let run = self.build_query_run(&mut state.pool, &query, now)?;
                 streams[s].current = Some(run);
             }
 
@@ -393,7 +615,7 @@ impl Simulation {
             let run = streams[s].current.as_mut().expect("set above");
             if run.part_idx >= run.parts.len() {
                 // Query finished.
-                query_latencies.push(now.since(run.started));
+                state.query_latencies.push(now.since(run.started));
                 streams[s].current = None;
                 push(&mut heap, event.time, EventKind::Stream(s));
                 continue;
@@ -401,7 +623,7 @@ impl Simulation {
             let cpu_ns_per_tuple = run.cpu_ns_per_tuple;
             let part = &mut run.parts[run.part_idx];
             if part.next >= part.pages.len() {
-                pool.unregister_scan(part.scan_id, now);
+                state.pool.unregister_scan(part.scan_id, now);
                 run.part_idx += 1;
                 push(&mut heap, event.time, EventKind::Stream(s));
                 continue;
@@ -409,14 +631,16 @@ impl Simulation {
             let (page, tuples) = part.pages[part.next];
             part.next += 1;
             part.consumed += tuples;
-            let outcome = pool.request_page(page, Some(part.scan_id), now)?;
-            pool.report_scan_position(part.scan_id, part.consumed, now);
+            let outcome = state.pool.request_page(page, Some(part.scan_id), now)?;
+            state
+                .pool
+                .report_scan_position(part.scan_id, part.consumed, now);
             let cpu_ns = (tuples as f64 * cpu_ns_per_tuple).round() as u64;
             let mut consumed_inflight = false;
             let io_done = if outcome.is_hit() {
                 // A hit on a page whose prefetch is still in flight waits
                 // for the remaining transfer time only.
-                match inflight.remove(&page) {
+                match state.inflight.remove(&page) {
                     Some(done) => {
                         consumed_inflight = true;
                         done.as_nanos().max(event.time)
@@ -424,38 +648,130 @@ impl Simulation {
                     None => event.time,
                 }
             } else {
-                device.submit(now, page_size).as_nanos()
+                state.device.submit(now, page_size).as_nanos()
             };
             // Top up the prefetch window (after the demand read, which must
             // not queue behind new speculative transfers), but — like the
             // engine's PooledBackend — only when this access changed the
             // prefetch picture, so warm-pool hits stay cheap.
             if !outcome.is_hit() || consumed_inflight {
-                top_up_prefetch_window(&mut pool, &device, &mut inflight, prefetch_window, now);
+                top_up_prefetch_window(
+                    &mut state.pool,
+                    &state.device,
+                    &mut state.inflight,
+                    prefetch_window,
+                    now,
+                );
             }
             push(&mut heap, io_done + cpu_ns, EventKind::Stream(s));
         }
 
-        let makespan = streams
+        Ok(streams
             .iter()
-            .filter_map(|s| s.finished)
-            .max()
-            .unwrap_or(VirtualInstant::EPOCH);
-        let stream_times: Vec<VirtualDuration> = streams
+            .map(|s| {
+                s.finished
+                    .unwrap_or(VirtualInstant::from_nanos(start_ns))
+                    .as_nanos()
+            })
+            .collect())
+    }
+
+    fn run_pool(
+        &self,
+        workload: &WorkloadSpec,
+        policy: PolicyKind,
+        record_trace: bool,
+    ) -> Result<(SimResult, Option<Arc<ReferenceTrace>>)> {
+        let trace = record_trace.then(|| Arc::new(ReferenceTrace::new()));
+        let stream_count = workload.stream_count();
+        let mut state = PoolRunState {
+            pool: self.make_pool(policy, trace.clone())?,
+            device: self.device(),
+            inflight: HashMap::new(),
+            sampler: SharingSampler::new(self.config.sharing_sample_interval),
+            query_latencies: Vec::new(),
+        };
+
+        let finish_ns = if !workload.has_updates() {
+            let phase: Vec<VecDeque<ResolvedQuery>> = workload
+                .streams
+                .iter()
+                .map(|s| {
+                    s.queries
+                        .iter()
+                        .map(|q| self.resolve_read_only(q, stream_count))
+                        .collect::<Result<VecDeque<_>>>()
+                })
+                .collect::<Result<_>>()?;
+            self.pool_phase(&mut state, phase, 0)?
+        } else {
+            let mut generators: Vec<UpdateOpGen> = workload
+                .update_streams
+                .iter()
+                .map(UpdateStreamSpec::ops)
+                .collect();
+            let mut mirror = UpdateMirror::default();
+            let mut finish = vec![0u64; stream_count];
+            let mut barrier_ns = 0u64;
+            for round in 0..workload.rounds() {
+                // Barrier: apply the update batches (in spec order, exactly
+                // like the driver), invalidating checkpointed pages from
+                // the persistent pool through the same hook semantics the
+                // engine's backend uses.
+                for (spec, generator) in workload.update_streams.iter().zip(generators.iter_mut()) {
+                    let pool = &mut state.pool;
+                    let inflight = &mut state.inflight;
+                    self.mirror_update_batch(&mut mirror, spec, generator, round, &mut |stale| {
+                        for page in stale {
+                            inflight.remove(page);
+                        }
+                        pool.invalidate_pages(stale);
+                    })?;
+                }
+                // Concurrent phase: this round's query of every stream.
+                let phase: Vec<VecDeque<ResolvedQuery>> = workload
+                    .streams
+                    .iter()
+                    .map(|stream| {
+                        let mut queries = VecDeque::new();
+                        if round < stream.queries.len() {
+                            queries.push_back(self.resolve_mixed(
+                                &mut mirror,
+                                &stream.queries[round],
+                                stream_count,
+                            )?);
+                        }
+                        Ok(queries)
+                    })
+                    .collect::<Result<_>>()?;
+                let round_finish = self.pool_phase(&mut state, phase, barrier_ns)?;
+                for (s, stream) in workload.streams.iter().enumerate() {
+                    if round < stream.queries.len() {
+                        finish[s] = round_finish[s];
+                    }
+                }
+                barrier_ns =
+                    barrier_ns.max(round_finish.iter().copied().max().unwrap_or(barrier_ns));
+            }
+            finish
+        };
+
+        let makespan_ns = finish_ns.iter().copied().max().unwrap_or(0);
+        let stream_times: Vec<VirtualDuration> = finish_ns
             .iter()
-            .map(|s| s.finished.unwrap_or(makespan).since(VirtualInstant::EPOCH))
+            .map(|&ns| VirtualInstant::from_nanos(ns).since(VirtualInstant::EPOCH))
             .collect();
-        let stats = pool.stats();
+        let stats = state.pool.stats();
         let result = SimResult {
             workload: workload.name.clone(),
             policy,
             stream_times,
-            query_latencies,
+            query_latencies: state.query_latencies,
             total_io_bytes: stats.io_bytes,
             buffer: stats,
-            makespan: makespan.since(VirtualInstant::EPOCH),
+            makespan: VirtualInstant::from_nanos(makespan_ns).since(VirtualInstant::EPOCH),
             has_timing: true,
-            sharing: sampler.into_profile(),
+            sharing: state.sampler.into_profile(),
         };
         Ok((result, trace))
     }
@@ -494,39 +810,51 @@ impl Simulation {
     // Cooperative Scans
     // -----------------------------------------------------------------
 
-    fn register_cscan_part(
-        &self,
-        abm: &Abm,
-        query: &QuerySpec,
-        part_idx: usize,
-    ) -> Result<CScanHandle> {
-        let scan = &query.scans[part_idx];
+    fn register_cscan_part(&self, abm: &Abm, scan: &ResolvedScan) -> Result<CScanHandle> {
         let layout = self.storage.layout(scan.table)?;
-        let snapshot = self.storage.master_snapshot(scan.table)?;
         abm.register_cscan(CScanRequest {
             table: scan.table,
-            snapshot,
+            snapshot: Arc::clone(&scan.snapshot),
             layout,
             columns: scan.columns.clone(),
-            ranges: scan.ranges.clone(),
+            ranges: scan.sid_ranges.clone(),
             in_order: false,
         })
     }
 
-    fn run_cscan(&self, workload: &WorkloadSpec) -> Result<SimResult> {
-        let abm = Abm::new(AbmConfig::new(
-            self.config.scanshare.buffer_pool_bytes,
-            self.config.scanshare.page_size_bytes,
-        ));
-        let device = self.device();
-        let stream_count = workload.stream_count();
+    /// Advances a CScan query to its next part with stable data to read,
+    /// registering it; `None` when the query has no further parts.
+    fn activate_next_cscan_part(
+        &self,
+        abm: &Abm,
+        run: &mut CScanQueryRun,
+    ) -> Result<Option<CScanHandle>> {
+        while run.part_idx < run.scans.len() {
+            let scan = &run.scans[run.part_idx];
+            if scan.sid_ranges.is_empty() {
+                // The engine registers no backend scan for PDT-only ranges.
+                run.part_idx += 1;
+                continue;
+            }
+            return Ok(Some(self.register_cscan_part(abm, scan)?));
+        }
+        Ok(None)
+    }
+
+    /// One phase of the Cooperative Scans event loop over the persistent
+    /// `state`; the ABM's chunk cache survives phases.
+    fn cscan_phase(
+        &self,
+        state: &mut CScanRunState,
+        phase_queries: Vec<VecDeque<ResolvedQuery>>,
+        start_ns: u64,
+    ) -> Result<Vec<u64>> {
         let page_size = self.config.scanshare.page_size_bytes;
 
-        let mut streams: Vec<CScanStreamState> = workload
-            .streams
-            .iter()
-            .map(|s| CScanStreamState {
-                queries: (0..s.queries.len()).collect(),
+        let mut streams: Vec<CScanStreamState> = phase_queries
+            .into_iter()
+            .map(|queries| CScanStreamState {
+                queries,
                 current: None,
                 finished: None,
             })
@@ -546,20 +874,19 @@ impl Simulation {
             }));
             seq += 1;
         };
-        for s in 0..stream_count {
-            push_event(&mut heap, 0, EventKind::Stream(s), None);
+        for s in 0..streams.len() {
+            push_event(&mut heap, start_ns, EventKind::Stream(s), None);
         }
 
         let mut blocked: HashSet<usize> = HashSet::new();
         let mut loader_busy = false;
-        let mut query_latencies = Vec::new();
-        let mut sampler = SharingSampler::new(self.config.sharing_sample_interval);
 
         macro_rules! kick_loader {
             ($heap:expr, $now:expr) => {
                 if !loader_busy {
-                    if let Some(plan) = abm.next_load(VirtualInstant::from_nanos($now)) {
-                        let done = device
+                    if let Some(plan) = state.abm.next_load(VirtualInstant::from_nanos($now)) {
+                        let done = state
+                            .device
                             .submit(VirtualInstant::from_nanos($now), plan.bytes)
                             .as_nanos();
                         loader_busy = true;
@@ -576,7 +903,8 @@ impl Simulation {
             // Periodic sharing-potential sampling: the outstanding data of
             // a CScan is the page set of its still-needed chunks, which the
             // ABM tracks directly.
-            sampler.sample_if_due(event.time, page_size, || {
+            let abm = &state.abm;
+            state.sampler.sample_if_due(event.time, page_size, || {
                 streams
                     .iter()
                     .filter_map(|st| st.current.as_ref())
@@ -588,7 +916,7 @@ impl Simulation {
             match event.kind {
                 EventKind::LoadDone => {
                     let plan = event.plan.expect("load event carries its plan");
-                    abm.complete_load(&plan, now)?;
+                    state.abm.complete_load(&plan, now)?;
                     loader_busy = false;
                     // Wake blocked streams in index order: HashSet iteration
                     // order varies between processes and would make ABM
@@ -602,52 +930,44 @@ impl Simulation {
                 }
                 EventKind::Stream(s) => {
                     if streams[s].current.is_none() {
-                        let Some(query_idx) = streams[s].queries.pop_front() else {
+                        let Some(query) = streams[s].queries.pop_front() else {
                             if streams[s].finished.is_none() {
                                 streams[s].finished = Some(now);
                             }
                             continue;
                         };
-                        let query = &workload.streams[s].queries[query_idx];
-                        let handle = self.register_cscan_part(&abm, query, 0)?;
-                        streams[s].current = Some(CScanQueryRun {
-                            scan_specs: vec![query_idx],
+                        let mut run = CScanQueryRun {
+                            scans: query.scans,
                             part_idx: 0,
-                            active: Some(handle),
-                            cpu_ns_per_tuple: self.cpu_ns_per_tuple(query, stream_count),
+                            active: None,
+                            cpu_ns_per_tuple: query.cpu_ns_per_tuple,
                             started: now,
-                        });
+                        };
+                        run.active = self.activate_next_cscan_part(&state.abm, &mut run)?;
+                        streams[s].current = Some(run);
                         kick_loader!(&mut heap, now_ns);
                     }
 
-                    let query_idx = streams[s].current.as_ref().expect("set above").scan_specs[0];
-                    let query = &workload.streams[s].queries[query_idx];
                     let run = streams[s].current.as_mut().expect("set above");
                     let Some(handle) = run.active else {
                         // All parts done: the query is finished.
-                        query_latencies.push(now.since(run.started));
+                        state.query_latencies.push(now.since(run.started));
                         streams[s].current = None;
                         push_event(&mut heap, now_ns, EventKind::Stream(s), None);
                         continue;
                     };
 
-                    match abm.get_chunk(handle.id)? {
+                    match state.abm.get_chunk(handle.id)? {
                         Some(delivery) => {
                             let cpu_ns =
                                 (delivery.tuples as f64 * run.cpu_ns_per_tuple).round() as u64;
                             push_event(&mut heap, now_ns + cpu_ns, EventKind::Stream(s), None);
                         }
                         None => {
-                            if abm.is_finished(handle.id) {
-                                abm.unregister_cscan(handle.id)?;
+                            if state.abm.is_finished(handle.id) {
+                                state.abm.unregister_cscan(handle.id)?;
                                 run.part_idx += 1;
-                                if run.part_idx < query.scans.len() {
-                                    let next =
-                                        self.register_cscan_part(&abm, query, run.part_idx)?;
-                                    run.active = Some(next);
-                                } else {
-                                    run.active = None;
-                                }
+                                run.active = self.activate_next_cscan_part(&state.abm, run)?;
                                 push_event(&mut heap, now_ns, EventKind::Stream(s), None);
                                 kick_loader!(&mut heap, now_ns);
                             } else {
@@ -666,26 +986,96 @@ impl Simulation {
             ));
         }
 
-        let makespan = streams
+        Ok(streams
             .iter()
-            .filter_map(|s| s.finished)
-            .max()
-            .unwrap_or(VirtualInstant::EPOCH);
-        let stream_times: Vec<VirtualDuration> = streams
+            .map(|s| s.finished.expect("checked above").as_nanos())
+            .collect())
+    }
+
+    fn run_cscan(&self, workload: &WorkloadSpec) -> Result<SimResult> {
+        let stream_count = workload.stream_count();
+        let mut state = CScanRunState {
+            abm: Abm::new(AbmConfig::new(
+                self.config.scanshare.buffer_pool_bytes,
+                self.config.scanshare.page_size_bytes,
+            )),
+            device: self.device(),
+            sampler: SharingSampler::new(self.config.sharing_sample_interval),
+            query_latencies: Vec::new(),
+        };
+
+        let finish_ns = if !workload.has_updates() {
+            let phase: Vec<VecDeque<ResolvedQuery>> = workload
+                .streams
+                .iter()
+                .map(|s| {
+                    s.queries
+                        .iter()
+                        .map(|q| self.resolve_read_only(q, stream_count))
+                        .collect::<Result<VecDeque<_>>>()
+                })
+                .collect::<Result<_>>()?;
+            self.cscan_phase(&mut state, phase, 0)?
+        } else {
+            let mut generators: Vec<UpdateOpGen> = workload
+                .update_streams
+                .iter()
+                .map(UpdateStreamSpec::ops)
+                .collect();
+            let mut mirror = UpdateMirror::default();
+            let mut finish = vec![0u64; stream_count];
+            let mut barrier_ns = 0u64;
+            for round in 0..workload.rounds() {
+                for (spec, generator) in workload.update_streams.iter().zip(generators.iter_mut()) {
+                    // The ABM's chunk cache is snapshot-versioned: stale
+                    // versions die with their last scan (the engine-side
+                    // CScanBackend invalidation hook is likewise a no-op),
+                    // so checkpoint invalidation drops nothing here.
+                    self.mirror_update_batch(&mut mirror, spec, generator, round, &mut |_| {})?;
+                }
+                let phase: Vec<VecDeque<ResolvedQuery>> = workload
+                    .streams
+                    .iter()
+                    .map(|stream| {
+                        let mut queries = VecDeque::new();
+                        if round < stream.queries.len() {
+                            queries.push_back(self.resolve_mixed(
+                                &mut mirror,
+                                &stream.queries[round],
+                                stream_count,
+                            )?);
+                        }
+                        Ok(queries)
+                    })
+                    .collect::<Result<_>>()?;
+                let round_finish = self.cscan_phase(&mut state, phase, barrier_ns)?;
+                for (s, stream) in workload.streams.iter().enumerate() {
+                    if round < stream.queries.len() {
+                        finish[s] = round_finish[s];
+                    }
+                }
+                barrier_ns =
+                    barrier_ns.max(round_finish.iter().copied().max().unwrap_or(barrier_ns));
+            }
+            finish
+        };
+
+        let makespan_ns = finish_ns.iter().copied().max().unwrap_or(0);
+        let stream_times: Vec<VirtualDuration> = finish_ns
             .iter()
-            .map(|s| s.finished.unwrap().since(VirtualInstant::EPOCH))
+            .map(|&ns| VirtualInstant::from_nanos(ns).since(VirtualInstant::EPOCH))
             .collect();
-        let stats = abm.stats();
+        let stats = state.abm.stats();
         Ok(SimResult {
             workload: workload.name.clone(),
             policy: PolicyKind::CScan,
             stream_times,
-            query_latencies,
+            query_latencies: state.query_latencies,
             total_io_bytes: stats.io_bytes,
             buffer: stats,
-            makespan: makespan.since(VirtualInstant::EPOCH),
+            makespan: VirtualInstant::from_nanos(makespan_ns).since(VirtualInstant::EPOCH),
             has_timing: true,
-            sharing: sampler.into_profile(),
+            sharing: state.sampler.into_profile(),
         })
     }
 }
@@ -869,5 +1259,96 @@ mod tests {
         let mut cfg = sim_config(PolicyKind::Lru, 1 << 20);
         cfg.cores = 0;
         assert!(Simulation::new(storage, cfg).is_err());
+    }
+
+    // -----------------------------------------------------------------
+    // Mixed read/write workloads
+    // -----------------------------------------------------------------
+
+    use scanshare_workload::spec::UpdateMix;
+
+    fn mixed_workload(
+        rate: u64,
+        checkpoint_every: Option<u64>,
+    ) -> scanshare_workload::WorkloadSpec {
+        let config = MicrobenchConfig {
+            streams: 2,
+            queries_per_stream: 4,
+            ..MicrobenchConfig::tiny()
+        };
+        let (storage, workload) = microbench::build(&config, 64 * 1024, 10_000).unwrap();
+        let table = storage.table_ids()[0];
+        drop(storage);
+        workload.with_update_stream(UpdateStreamSpec {
+            label: "updates".into(),
+            table,
+            ops_per_round: rate,
+            mix: UpdateMix::balanced(),
+            checkpoint_every,
+            seed: 0xfeed,
+        })
+    }
+
+    /// Fresh storage matching `mixed_workload` (mixed runs mutate storage,
+    /// so every run gets its own deterministically rebuilt instance).
+    fn mixed_storage() -> Arc<Storage> {
+        let config = MicrobenchConfig {
+            streams: 2,
+            queries_per_stream: 4,
+            ..MicrobenchConfig::tiny()
+        };
+        microbench::build(&config, 64 * 1024, 10_000).unwrap().0
+    }
+
+    #[test]
+    fn mixed_workloads_run_deterministically_under_every_policy() {
+        let workload = mixed_workload(32, Some(2));
+        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+            let run = || {
+                Simulation::new(mixed_storage(), sim_config(policy, 1 << 20))
+                    .unwrap()
+                    .run(&workload)
+                    .unwrap()
+            };
+            let a = run();
+            let b = run();
+            assert!(a.total_io_bytes > 0, "{policy}");
+            assert_eq!(a.total_io_bytes, b.total_io_bytes, "{policy}");
+            assert_eq!(a.stream_times, b.stream_times, "{policy}");
+            assert_eq!(a.query_latencies.len(), workload.query_count(), "{policy}");
+        }
+    }
+
+    #[test]
+    fn checkpoints_cold_start_future_scans() {
+        // Checkpointing swaps the whole stable image: scans after a
+        // checkpoint read brand-new pages, so a pool that fit the table
+        // now re-reads it — more I/O than the update-only run.
+        let no_ckpt = Simulation::new(mixed_storage(), sim_config(PolicyKind::Lru, 8 << 20))
+            .unwrap()
+            .run(&mixed_workload(16, None))
+            .unwrap();
+        let ckpt = Simulation::new(mixed_storage(), sim_config(PolicyKind::Lru, 8 << 20))
+            .unwrap()
+            .run(&mixed_workload(16, Some(1)))
+            .unwrap();
+        assert!(
+            ckpt.total_io_bytes > no_ckpt.total_io_bytes,
+            "checkpoints must invalidate the warm pool (ckpt {} vs none {})",
+            ckpt.total_io_bytes,
+            no_ckpt.total_io_bytes
+        );
+        assert!(ckpt.buffer.invalidated_pages > 0);
+        assert_eq!(no_ckpt.buffer.invalidated_pages, 0);
+    }
+
+    #[test]
+    fn mixed_opt_is_rejected() {
+        let workload = mixed_workload(8, None);
+        let err = Simulation::new(mixed_storage(), sim_config(PolicyKind::Opt, 1 << 20))
+            .unwrap()
+            .run(&workload)
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
     }
 }

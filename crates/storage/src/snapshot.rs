@@ -78,6 +78,16 @@ impl Snapshot {
         self.column_pages.iter().map(Vec::len).sum()
     }
 
+    /// All page references of the snapshot, column by column in table-spec
+    /// order, pages in ascending page-index order within each column. The
+    /// iteration order is deterministic; the engine's checkpoint path feeds
+    /// it verbatim to the buffer-manager invalidation hook, and the
+    /// simulator must invalidate in the identical order to keep replacement
+    /// state byte-identical.
+    pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.column_pages.iter().flatten().copied()
+    }
+
     /// Whether the given page is referenced by this snapshot.
     pub fn references_page(&self, page: PageId) -> bool {
         self.column_pages.iter().any(|pages| pages.contains(&page))

@@ -256,7 +256,43 @@ impl Storage {
         new_tuples: u64,
         values: Option<Vec<Vec<Value>>>,
     ) -> Result<Arc<Snapshot>> {
+        self.install_checkpoint_impl(table, None, new_tuples, values)
+    }
+
+    /// Like [`Storage::install_checkpoint`], but only if the table's master
+    /// snapshot is still `expected_master` — the compare-and-swap form a
+    /// checkpointer uses so a bulk append that committed while the
+    /// checkpoint materialized is never silently overwritten (the append
+    /// wins; the checkpoint fails with [`Error::TransactionConflict`] and
+    /// can be retried against the new image).
+    pub fn install_checkpoint_from(
+        &self,
+        table: TableId,
+        expected_master: SnapshotId,
+        new_tuples: u64,
+        values: Option<Vec<Vec<Value>>>,
+    ) -> Result<Arc<Snapshot>> {
+        self.install_checkpoint_impl(table, Some(expected_master), new_tuples, values)
+    }
+
+    fn install_checkpoint_impl(
+        &self,
+        table: TableId,
+        expected_master: Option<SnapshotId>,
+        new_tuples: u64,
+        values: Option<Vec<Vec<Value>>>,
+    ) -> Result<Arc<Snapshot>> {
         let mut inner = self.inner.write();
+        if let Some(expected) = expected_master {
+            let current = inner.snapshots.master_id(table)?;
+            if current != expected {
+                return Err(Error::TransactionConflict(format!(
+                    "table {table}: master snapshot changed from {expected} to {current} while \
+                     the checkpoint materialized (a concurrent bulk append committed; retry the \
+                     checkpoint against the new image)"
+                )));
+            }
+        }
         let layout = inner.catalog.layout(table)?;
         if let Some(v) = &values {
             if v.len() != layout.column_count() {

@@ -25,5 +25,8 @@ pub mod spec;
 pub mod tpch;
 
 pub use microbench::MicrobenchConfig;
-pub use spec::{QuerySpec, ScanSpec, StreamSpec, WorkloadSpec};
+pub use spec::{
+    QuerySpec, ScanSpec, StreamSpec, UpdateMix, UpdateOp, UpdateOpGen, UpdateStreamSpec,
+    WorkloadSpec,
+};
 pub use tpch::TpchConfig;

@@ -181,10 +181,7 @@ pub fn generate(config: &MicrobenchConfig, lineitem: TableId) -> WorkloadSpec {
         })
         .collect();
 
-    WorkloadSpec {
-        name: format!("microbench-{}streams", config.streams),
-        streams,
-    }
+    WorkloadSpec::read_only(format!("microbench-{}streams", config.streams), streams)
 }
 
 /// Convenience: creates the storage, the `lineitem` table and the workload in

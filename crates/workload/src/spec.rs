@@ -1,7 +1,8 @@
 //! Workload specification types.
 //!
 //! A [`WorkloadSpec`] is a declarative description — concurrent
-//! [`StreamSpec`]s of [`QuerySpec`]s, each a sequence of [`ScanSpec`]s —
+//! [`StreamSpec`]s of [`QuerySpec`]s, each a sequence of [`ScanSpec`]s,
+//! optionally mixed with [`UpdateStreamSpec`]s of differential updates —
 //! with **two** executors:
 //!
 //! * the discrete-event simulator (`scanshare-sim`), which models the
@@ -14,8 +15,24 @@
 //! The two agree on I/O volume for the same spec and configuration
 //! (`tests/simulator_vs_engine.rs` asserts it), so specs serve both as
 //! figure inputs and as engine throughput workloads.
+//!
+//! # Mixed read/write workloads
+//!
+//! A workload with a non-empty [`WorkloadSpec::update_streams`] executes in
+//! **rounds** in both executors: at each round barrier every update stream
+//! applies [`UpdateStreamSpec::ops_per_round`] generated operations as one
+//! snapshot-isolated transaction (and optionally checkpoints the table),
+//! then every read stream runs its next query concurrently. The barrier
+//! makes the sequence of (update batch, checkpoint, scan registration)
+//! events identical in the multi-threaded engine and the single-threaded
+//! simulator, which is what lets the `fig_updates` bench gate exact
+//! engine == simulator I/O parity while updates and checkpoints churn the
+//! table underneath the scans. Operations come from the deterministic
+//! [`UpdateOpGen`], seeded per stream, so both executors generate the
+//! byte-identical operation sequence.
 
 use scanshare_common::{RangeList, TableId};
+use scanshare_storage::datagen::splitmix64;
 
 /// One range scan performed by a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,16 +81,201 @@ pub struct StreamSpec {
     pub queries: Vec<QuerySpec>,
 }
 
-/// A complete workload: several concurrent streams.
+/// Relative weights of the three update kinds in an update stream's mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateMix {
+    /// Weight of row inserts.
+    pub inserts: u32,
+    /// Weight of row deletes.
+    pub deletes: u32,
+    /// Weight of single-column modifications.
+    pub modifies: u32,
+}
+
+impl UpdateMix {
+    /// Equal parts inserts, deletes and modifications.
+    pub fn balanced() -> Self {
+        Self {
+            inserts: 1,
+            deletes: 1,
+            modifies: 1,
+        }
+    }
+
+    /// Modification-heavy mix (the common OLTP-on-OLAP trickle pattern).
+    pub fn mostly_modifies() -> Self {
+        Self {
+            inserts: 1,
+            deletes: 1,
+            modifies: 6,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        (self.inserts as u64 + self.deletes as u64 + self.modifies as u64).max(1)
+    }
+}
+
+/// One update stream of a mixed read/write workload: a client that applies
+/// batches of differential updates to a table between query rounds,
+/// optionally checkpointing periodically. See the [module docs](self) for
+/// the round-barrier execution model shared by the engine and the
+/// simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStreamSpec {
+    /// Stream label used in reports.
+    pub label: String,
+    /// The updated table.
+    pub table: TableId,
+    /// Update operations applied (as one transaction) at every round
+    /// barrier — the workload's "update rate" knob. `0` makes the stream a
+    /// checkpoint-only stream.
+    pub ops_per_round: u64,
+    /// Relative weights of inserts / deletes / modifications.
+    pub mix: UpdateMix,
+    /// Checkpoint the table after every `n`-th round's updates (`None`
+    /// never checkpoints; the PDTs then grow for the whole run).
+    pub checkpoint_every: Option<u64>,
+    /// Seed of the deterministic operation generator.
+    pub seed: u64,
+}
+
+impl UpdateStreamSpec {
+    /// The stream's deterministic operation generator, positioned at the
+    /// first operation. Both executors create one per stream and pull
+    /// exactly [`UpdateStreamSpec::ops_per_round`] operations per round, so
+    /// they apply the byte-identical update sequence.
+    pub fn ops(&self) -> UpdateOpGen {
+        UpdateOpGen {
+            state: self.seed | 1,
+            mix: self.mix,
+        }
+    }
+
+    /// Whether the stream checkpoints its table at the end of (0-based)
+    /// round `round`'s update batch.
+    pub fn checkpoint_due(&self, round: usize) -> bool {
+        matches!(self.checkpoint_every, Some(n) if n > 0 && (round as u64 + 1) % n == 0)
+    }
+}
+
+/// One generated update operation. Positions are in the table's visible-row
+/// (RID) space at the time the operation is applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert a full row at visible position `rid`.
+    Insert {
+        /// Insert position (`0..=visible_rows`).
+        rid: u64,
+        /// One value per table column.
+        row: Vec<i64>,
+    },
+    /// Delete the visible row at `rid`.
+    Delete {
+        /// Deleted position (`0..visible_rows`).
+        rid: u64,
+    },
+    /// Overwrite one column of the visible row at `rid`.
+    Modify {
+        /// Modified position (`0..visible_rows`).
+        rid: u64,
+        /// Column index within the table spec.
+        col: usize,
+        /// The new value.
+        value: i64,
+    },
+}
+
+/// Deterministic update-operation generator (a `splitmix64` stream seeded
+/// from the [`UpdateStreamSpec`]). The generator is fed the table's current
+/// visible row count per operation, so positions are always valid for the
+/// state the operation is applied to.
+#[derive(Debug, Clone)]
+pub struct UpdateOpGen {
+    state: u64,
+    mix: UpdateMix,
+}
+
+impl UpdateOpGen {
+    fn next_raw(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+
+    /// Generates the next operation against a table with `visible_rows`
+    /// visible rows and `columns` columns. An empty table always receives
+    /// an insert (deletes and modifications would have no target).
+    pub fn next_op(&mut self, visible_rows: u64, columns: usize) -> UpdateOp {
+        let columns = columns.max(1);
+        let pick = self.next_raw() % self.mix.total();
+        let value = (self.next_raw() % 1_000_000) as i64;
+        if visible_rows == 0 || pick < self.mix.inserts as u64 {
+            let rid = self.next_raw() % (visible_rows + 1);
+            return UpdateOp::Insert {
+                rid,
+                row: (0..columns).map(|c| value + c as i64).collect(),
+            };
+        }
+        let rid = self.next_raw() % visible_rows;
+        if pick < self.mix.inserts as u64 + self.mix.deletes as u64 {
+            UpdateOp::Delete { rid }
+        } else {
+            UpdateOp::Modify {
+                rid,
+                col: (self.next_raw() % columns as u64) as usize,
+                value,
+            }
+        }
+    }
+}
+
+/// A complete workload: several concurrent read streams, optionally mixed
+/// with update streams (see the [module docs](self) for the mixed
+/// execution model).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Workload name used in reports.
     pub name: String,
     /// Concurrent streams.
     pub streams: Vec<StreamSpec>,
+    /// Update streams applied at round barriers (empty for the read-only
+    /// workloads of the paper's figures).
+    pub update_streams: Vec<UpdateStreamSpec>,
 }
 
 impl WorkloadSpec {
+    /// A read-only workload (the paper's figures).
+    pub fn read_only(name: impl Into<String>, streams: Vec<StreamSpec>) -> Self {
+        Self {
+            name: name.into(),
+            streams,
+            update_streams: Vec::new(),
+        }
+    }
+
+    /// Adds an update stream, turning the workload into a round-barriered
+    /// mixed read/write workload.
+    pub fn with_update_stream(mut self, spec: UpdateStreamSpec) -> Self {
+        self.update_streams.push(spec);
+        self
+    }
+
+    /// Whether any update stream is configured.
+    pub fn has_updates(&self) -> bool {
+        !self.update_streams.is_empty()
+    }
+
+    /// Number of rounds a mixed workload executes: one per query of the
+    /// longest read stream (streams with fewer queries idle in later
+    /// rounds, while updates keep applying).
+    pub fn rounds(&self) -> usize {
+        self.streams
+            .iter()
+            .map(|s| s.queries.len())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Number of streams.
     pub fn stream_count(&self) -> usize {
         self.streams.len()
@@ -117,12 +319,77 @@ mod tests {
             label: "s".into(),
             queries: vec![query.clone(), query],
         };
-        let workload = WorkloadSpec {
-            name: "w".into(),
-            streams: vec![stream.clone(), stream],
-        };
+        let workload = WorkloadSpec::read_only("w", vec![stream.clone(), stream]);
         assert_eq!(workload.stream_count(), 2);
         assert_eq!(workload.query_count(), 4);
         assert_eq!(workload.total_tuples(), 1200);
+        assert!(!workload.has_updates());
+        assert_eq!(workload.rounds(), 2);
+    }
+
+    #[test]
+    fn update_streams_make_a_workload_mixed() {
+        let workload =
+            WorkloadSpec::read_only("w", Vec::new()).with_update_stream(UpdateStreamSpec {
+                label: "u0".into(),
+                table: TableId::new(0),
+                ops_per_round: 16,
+                mix: UpdateMix::balanced(),
+                checkpoint_every: Some(2),
+                seed: 42,
+            });
+        assert!(workload.has_updates());
+        let spec = &workload.update_streams[0];
+        assert!(!spec.checkpoint_due(0));
+        assert!(spec.checkpoint_due(1));
+        assert!(spec.checkpoint_due(3));
+        let never = UpdateStreamSpec {
+            checkpoint_every: None,
+            ..spec.clone()
+        };
+        assert!(!never.checkpoint_due(1));
+    }
+
+    #[test]
+    fn op_generation_is_deterministic_and_in_bounds() {
+        let spec = UpdateStreamSpec {
+            label: "u".into(),
+            table: TableId::new(0),
+            ops_per_round: 0,
+            mix: UpdateMix::mostly_modifies(),
+            checkpoint_every: None,
+            seed: 7,
+        };
+        let run = || {
+            let mut gen = spec.ops();
+            let mut visible = 10u64;
+            let mut ops = Vec::new();
+            for _ in 0..200 {
+                let op = gen.next_op(visible, 3);
+                match &op {
+                    UpdateOp::Insert { rid, row } => {
+                        assert!(*rid <= visible);
+                        assert_eq!(row.len(), 3);
+                        visible += 1;
+                    }
+                    UpdateOp::Delete { rid } => {
+                        assert!(*rid < visible);
+                        visible -= 1;
+                    }
+                    UpdateOp::Modify { rid, col, .. } => {
+                        assert!(*rid < visible);
+                        assert!(*col < 3);
+                    }
+                }
+                ops.push(op);
+            }
+            ops
+        };
+        assert_eq!(run(), run());
+        // An empty table only ever receives inserts.
+        let mut gen = spec.ops();
+        for _ in 0..20 {
+            assert!(matches!(gen.next_op(0, 2), UpdateOp::Insert { .. }));
+        }
     }
 }

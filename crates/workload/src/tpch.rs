@@ -423,10 +423,10 @@ pub fn generate(config: &TpchConfig, tables: &TpchTables) -> WorkloadSpec {
         })
         .collect();
 
-    WorkloadSpec {
-        name: format!("tpch-throughput-{}streams", config.streams),
+    WorkloadSpec::read_only(
+        format!("tpch-throughput-{}streams", config.streams),
         streams,
-    }
+    )
 }
 
 /// Convenience: creates the storage, the schema and the workload in one call.

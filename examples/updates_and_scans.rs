@@ -7,9 +7,11 @@
 //! all of that through the execution engine:
 //!
 //! 1. trickle updates (insert / delete / modify) visible to new scans,
-//! 2. a bulk append whose snapshot shares a prefix with the old one,
-//! 3. a checkpoint creating a brand-new table image,
-//! 4. identical query answers under LRU, PBM and Cooperative Scans engines.
+//! 2. snapshot-isolated transactions with first-committer-wins commits,
+//!    racing a background checkpoint that never blocks them,
+//! 3. a bulk append whose snapshot shares a prefix with the old one,
+//! 4. a checkpoint creating a brand-new table image,
+//! 5. identical query answers under LRU, PBM and Cooperative Scans engines.
 //!
 //! Run with: `cargo run --release --example updates_and_scans`
 
@@ -81,7 +83,42 @@ fn main() {
     );
     assert_eq!(after.0, before.0 - 1);
 
-    // --- 2. Bulk append under snapshot isolation ----------------------------
+    // --- 2. Transactions + a background checkpoint --------------------------
+    // A snapshot-isolated transaction: private until commit, and a reader
+    // pinned before the commit keeps its view.
+    let reader_pin = engine.table_pin(table).unwrap();
+    let mut txn = engine.begin();
+    txn.modify(table, 20, 1, 123_456).unwrap();
+    txn.commit().unwrap();
+    println!(
+        "txn committed; a scan pinned before it still sees {} rows unchanged",
+        reader_pin.visible_rows()
+    );
+    // Two competing writers: the first committer wins, the loser retries.
+    let mut winner = engine.begin();
+    let mut loser = engine.begin();
+    winner.modify(table, 30, 1, 1).unwrap();
+    loser.modify(table, 30, 1, 2).unwrap();
+    winner.commit().unwrap();
+    println!(
+        "conflicting txn correctly failed: {}",
+        loser.commit().unwrap_err()
+    );
+    // Writers keep committing while a checkpoint materializes in the
+    // background — the checkpoint pins its snapshot instead of locking.
+    let committed_mid_checkpoint = std::thread::scope(|scope| {
+        let checkpointer = scope.spawn(|| engine.checkpoint(table).unwrap());
+        let mut commits = 0;
+        while !checkpointer.is_finished() {
+            engine.update_value(table, 40, 1, commits).unwrap();
+            commits += 1;
+        }
+        checkpointer.join().unwrap();
+        commits
+    });
+    println!("{committed_mid_checkpoint} updates committed while the checkpoint ran");
+
+    // --- 3. Bulk append under snapshot isolation ----------------------------
     let mut tx = storage.begin_append(table).unwrap();
     tx.append_rows(&[vec![1_000_000, 1_000_001, 1_000_002], vec![7, 7, 7]])
         .unwrap();
@@ -97,7 +134,7 @@ fn main() {
         storage.master_snapshot(table).unwrap().stable_tuples()
     );
 
-    // --- 3. Checkpoint: PDT contents migrate to a new table image ----------
+    // --- 4. Checkpoint: PDT contents migrate to a new table image ----------
     let old_master = storage.master_snapshot(table).unwrap();
     let new_master = engine.checkpoint(table).unwrap();
     println!(
@@ -110,7 +147,7 @@ fn main() {
             .sum::<usize>()
     );
 
-    // --- 4. Every policy returns the same answer on the final state --------
+    // --- 5. Every policy returns the same answer on the final state --------
     let rows = engine.visible_rows(table).unwrap();
     let mut answers = Vec::new();
     for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {

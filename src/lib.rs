@@ -75,10 +75,75 @@
 //! assert!(engine.buffer_stats().io_bytes > 0);
 //! ```
 //!
+//! ## Updates & transactions
+//!
+//! Updates are differential (Positional Delta Trees stacked on a pinned
+//! storage snapshot): [`Engine::begin`](prelude::Engine::begin) opens a
+//! snapshot-isolated [`Txn`](prelude::Txn), commits are
+//! first-committer-wins, and
+//! [`Engine::checkpoint`](prelude::Engine::checkpoint) migrates the deltas
+//! into a brand-new stable image in the background while writers keep
+//! committing:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use scanshare::prelude::*;
+//!
+//! let storage = Storage::new(64 * 1024, 10_000);
+//! let table = storage
+//!     .create_table_with_data(
+//!         TableSpec::new(
+//!             "t",
+//!             vec![
+//!                 ColumnSpec::new("k", ColumnType::Int64),
+//!                 ColumnSpec::new("v", ColumnType::Int64),
+//!             ],
+//!             10_000,
+//!         ),
+//!         vec![
+//!             DataGen::Sequential { start: 0, step: 1 },
+//!             DataGen::Constant(7),
+//!         ],
+//!     )
+//!     .unwrap();
+//! let engine = Engine::new(
+//!     storage,
+//!     ScanShareConfig {
+//!         page_size_bytes: 64 * 1024,
+//!         chunk_tuples: 10_000,
+//!         policy: PolicyKind::Pbm,
+//!         ..Default::default()
+//!     },
+//! )
+//! .unwrap();
+//!
+//! // Begin, write, commit — private until the commit lands.
+//! let mut txn = engine.begin();
+//! let end = txn.visible_rows(table).unwrap();
+//! txn.insert(table, end, vec![-1, -1]).unwrap();
+//! txn.modify(table, 0, 1, 99).unwrap();
+//! assert_eq!(engine.visible_rows(table).unwrap(), 10_000);
+//! txn.commit().unwrap();
+//! assert_eq!(engine.visible_rows(table).unwrap(), 10_001);
+//!
+//! // Scans pin a consistent (snapshot, PDT-stack) pair at creation.
+//! let rows = engine.query(table).columns(["k", "v"]).range(..1).rows().unwrap();
+//! assert_eq!(rows[0], vec![0, 99]);
+//!
+//! // Checkpoint: the deltas become a brand-new stable image.
+//! let snapshot = engine.checkpoint(table).unwrap();
+//! assert_eq!(snapshot.stable_tuples(), 10_001);
+//! assert_eq!(engine.visible_rows(table).unwrap(), 10_001);
+//! ```
+//!
 //! Custom replacement policies plug in without touching the engine: register
 //! a factory with a [`PolicyRegistry`](prelude::PolicyRegistry), select it
 //! with `ScanShareConfig::with_custom_policy`, and build the engine with
 //! `Engine::with_registry`.
+//!
+//! A top-to-bottom tour of the workspace — crate dependency graph, scan
+//! lifecycle, transaction/checkpoint flow — lives in the repository's
+//! `ARCHITECTURE.md`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -110,12 +175,16 @@ pub mod prelude {
     pub use scanshare_exec::ops::{
         aggregate, AggrSpec, Aggregate, BatchSource, CompareOp, Predicate,
     };
-    pub use scanshare_exec::{Batch, Engine, Query, StreamError, WorkloadDriver, WorkloadReport};
+    pub use scanshare_exec::{
+        Batch, Engine, Query, StreamError, TablePin, Txn, WorkloadDriver, WorkloadReport,
+    };
     pub use scanshare_pdt::{Pdt, PdtStack};
     pub use scanshare_sim::{ExperimentScale, SimConfig, SimResult, Simulation};
     pub use scanshare_storage::datagen::DataGen;
     pub use scanshare_storage::{ColumnSpec, ColumnType, Storage, TableSpec};
-    pub use scanshare_workload::{MicrobenchConfig, TpchConfig, WorkloadSpec};
+    pub use scanshare_workload::{
+        MicrobenchConfig, TpchConfig, UpdateMix, UpdateStreamSpec, WorkloadSpec,
+    };
 }
 
 #[cfg(test)]

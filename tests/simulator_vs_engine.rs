@@ -184,13 +184,13 @@ fn prefetch_setup() -> (Arc<Storage>, TableId, WorkloadSpec) {
         }],
         cpu_factor: 1.0,
     };
-    let workload = WorkloadSpec {
-        name: "prefetch-parity".into(),
-        streams: vec![StreamSpec {
+    let workload = WorkloadSpec::read_only(
+        "prefetch-parity",
+        vec![StreamSpec {
             label: "s0".into(),
             queries: vec![query.clone(), query],
         }],
-    };
+    );
     (storage, table, workload)
 }
 
@@ -561,6 +561,80 @@ fn cscan_simulation_records_a_sharing_profile() {
         profile.avg_shared_fraction() > 0.0,
         "full-table streams must overlap in their outstanding data"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Mixed read/write workloads: update streams + checkpoints, engine == sim
+// ---------------------------------------------------------------------------
+
+use scanshare::workload::spec::{UpdateMix, UpdateStreamSpec};
+
+/// A single-stream microbench workload with one update stream on `lineitem`
+/// (rounds barrier-synchronize updates and queries, so the engine's thread
+/// interleaving cannot perturb the I/O; see `WorkloadDriver::run`).
+fn mixed_setup(rate: u64, checkpoint_every: Option<u64>) -> (Arc<Storage>, WorkloadSpec) {
+    let config = MicrobenchConfig {
+        streams: 1,
+        queries_per_stream: 6,
+        lineitem_tuples: 80_000,
+        ..Default::default()
+    };
+    let (storage, workload) = microbench::build(&config, 64 * 1024, 10_000).unwrap();
+    let table = storage.table_ids()[0];
+    let workload = workload.with_update_stream(UpdateStreamSpec {
+        label: "updates".into(),
+        table,
+        ops_per_round: rate,
+        mix: UpdateMix::balanced(),
+        checkpoint_every,
+        seed: 0xbeef,
+    });
+    (storage, workload)
+}
+
+/// Mixed runs mutate storage (checkpoints install snapshots), so the engine
+/// and the simulator each run against their own deterministically rebuilt
+/// instance; page-id allocation replays identically on both.
+#[test]
+fn workload_driver_matches_simulator_for_mixed_read_write_workloads() {
+    for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+        for rate in [16u64, 96] {
+            let scanshare = ScanShareConfig {
+                page_size_bytes: 64 * 1024,
+                chunk_tuples: 10_000,
+                buffer_pool_bytes: 24 * 64 * 1024, // pressure: ~1/3 of the table
+                policy,
+                ..Default::default()
+            };
+            let (engine_storage, workload) = mixed_setup(rate, Some(2));
+            let engine = Engine::new(engine_storage, scanshare.clone()).unwrap();
+            let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+            assert!(report.stream_errors.is_empty(), "{policy} rate {rate}");
+            assert_eq!(report.update_ops, rate * 6, "{policy} rate {rate}");
+            assert_eq!(report.checkpoints, 3, "{policy} rate {rate}");
+
+            let (sim_storage, workload) = mixed_setup(rate, Some(2));
+            let sim = Simulation::new(
+                sim_storage,
+                SimConfig {
+                    scanshare,
+                    cores: 8,
+                    sharing_sample_interval: None,
+                },
+            )
+            .unwrap()
+            .run(&workload)
+            .unwrap();
+            assert_eq!(
+                report.buffer.io_bytes, sim.total_io_bytes,
+                "{policy} rate {rate}: engine and simulator I/O must match under updates"
+            );
+            assert_eq!(
+                report.buffer.invalidated_pages, sim.buffer.invalidated_pages,
+                "{policy} rate {rate}: checkpoint invalidation must match"
+            );
+        }
+    }
 }
 
 #[test]
