@@ -80,6 +80,53 @@ impl std::str::FromStr for PolicyKind {
     }
 }
 
+/// Which I/O device backs the engine's scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeviceKind {
+    /// The discrete-event simulated device: bandwidth-limited FIFO in virtual
+    /// time, perfectly deterministic. The default, and what every paper
+    /// figure runs on.
+    #[default]
+    Sim,
+    /// A real file-backed device: positional reads against on-disk column
+    /// segment files off a fixed worker pool, measuring wall-clock latency.
+    /// Requires the engine's `Storage` to have a file store attached (tables
+    /// materialized to, or reopened from, a directory).
+    File,
+}
+
+impl DeviceKind {
+    /// Short lowercase name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Sim => "sim",
+            DeviceKind::File => "file",
+        }
+    }
+
+    /// Parses a device name (case-insensitive).
+    pub fn parse(name: &str) -> Result<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "sim" | "simulated" | "iosim" => Ok(DeviceKind::Sim),
+            "file" | "disk" => Ok(DeviceKind::File),
+            other => Err(Error::config(format!("unknown device {other:?}"))),
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DeviceKind {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        Self::parse(s)
+    }
+}
+
 /// Top-level configuration shared by the storage layer, the buffer manager,
 /// the execution engine and the simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +189,23 @@ pub struct ScanShareConfig {
     /// policy with `PolicyKind::CScan` is rejected, as Cooperative Scans
     /// replace the page-level pool wholesale.
     pub custom_policy: Option<String>,
+    /// Which I/O device backs the engine ([`DeviceKind::Sim`] by default).
+    /// With [`DeviceKind::File`] the engine reads on-disk column segments
+    /// through a worker pool and `io_bandwidth`/`io_latency_nanos` only seed
+    /// the virtual-time mirror of measured wall latencies.
+    pub device: DeviceKind,
+    /// Number of worker threads the file device uses for positional reads.
+    /// Ignored by the simulated device.
+    pub io_workers: usize,
+    /// Capacity of the file device's bounded submission queue; submitters
+    /// block once this many requests are waiting. Ignored by the simulated
+    /// device.
+    pub io_queue_depth: usize,
+    /// Ask the file device to open segments with `O_DIRECT`, bypassing the
+    /// OS page cache (Linux only; falls back to buffered reads when the
+    /// platform or alignment does not permit it). Ignored by the simulated
+    /// device.
+    pub o_direct: bool,
 }
 
 impl Default for ScanShareConfig {
@@ -159,6 +223,10 @@ impl Default for ScanShareConfig {
             pool_shards: 1,
             cscan_load_window: 1,
             custom_policy: None,
+            device: DeviceKind::Sim,
+            io_workers: 4,
+            io_queue_depth: 64,
+            o_direct: false,
         }
     }
 }
@@ -203,6 +271,12 @@ impl ScanShareConfig {
                 "custom_policy selects a page-level replacement policy and cannot be \
                  combined with PolicyKind::CScan (the ABM replaces the pool wholesale)",
             ));
+        }
+        if self.io_workers == 0 {
+            return Err(Error::config("io_workers must be at least 1"));
+        }
+        if self.io_queue_depth == 0 {
+            return Err(Error::config("io_queue_depth must be at least 1"));
         }
         Ok(())
     }
@@ -255,6 +329,31 @@ impl ScanShareConfig {
     /// Returns a copy selecting a custom registered replacement policy.
     pub fn with_custom_policy(mut self, name: impl Into<String>) -> Self {
         self.custom_policy = Some(name.into());
+        self
+    }
+
+    /// Returns a copy selecting a different I/O device (see
+    /// [`ScanShareConfig::device`]).
+    pub fn with_device(mut self, device: DeviceKind) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Returns a copy with a different file-device worker count.
+    pub fn with_io_workers(mut self, workers: usize) -> Self {
+        self.io_workers = workers;
+        self
+    }
+
+    /// Returns a copy with a different file-device submission queue depth.
+    pub fn with_io_queue_depth(mut self, depth: usize) -> Self {
+        self.io_queue_depth = depth;
+        self
+    }
+
+    /// Returns a copy toggling `O_DIRECT` for the file device.
+    pub fn with_o_direct(mut self, enabled: bool) -> Self {
+        self.o_direct = enabled;
         self
     }
 }
@@ -352,6 +451,34 @@ mod tests {
             .with_pool_shards(1024)
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn device_kind_parses_and_defaults_to_sim() {
+        assert_eq!(ScanShareConfig::default().device, DeviceKind::Sim);
+        assert_eq!(DeviceKind::parse("sim").unwrap(), DeviceKind::Sim);
+        assert_eq!(DeviceKind::parse("File").unwrap(), DeviceKind::File);
+        assert_eq!(DeviceKind::parse("disk").unwrap(), DeviceKind::File);
+        assert!(DeviceKind::parse("tape").is_err());
+        assert_eq!(DeviceKind::File.to_string(), "file");
+    }
+
+    #[test]
+    fn file_device_knobs_validate() {
+        let cfg = ScanShareConfig::default()
+            .with_device(DeviceKind::File)
+            .with_io_workers(2)
+            .with_io_queue_depth(8)
+            .with_o_direct(true);
+        cfg.validate().unwrap();
+        assert!(ScanShareConfig::default()
+            .with_io_workers(0)
+            .validate()
+            .is_err());
+        assert!(ScanShareConfig::default()
+            .with_io_queue_depth(0)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub enum Error {
     /// An operation is not supported in the current mode (e.g. out-of-order
     /// delivery requested from an in-order CScan).
     Unsupported(String),
+    /// A real-device I/O operation failed (read error, short read after
+    /// retries, worker pool shut down, ...). Carries the rendered OS error so
+    /// the enum keeps its `Clone`/`Eq` derives. Stream-local: the workload
+    /// driver reports it in `stream_errors` instead of aborting the workload.
+    Io(String),
     /// Internal invariant violation; indicates a bug in this library.
     Internal(String),
 }
@@ -100,6 +105,7 @@ impl fmt::Display for Error {
                 "cooperative scan {s} is starved but the ABM has nothing to load"
             ),
             Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -121,6 +127,18 @@ impl Error {
     /// Helper constructing an [`Error::InvalidPlan`].
     pub fn plan(msg: impl fmt::Display) -> Self {
         Error::InvalidPlan(msg.to_string())
+    }
+
+    /// Helper constructing an [`Error::Io`] from anything printable
+    /// (typically a `std::io::Error`).
+    pub fn io(msg: impl fmt::Display) -> Self {
+        Error::Io(msg.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
     }
 }
 
@@ -150,6 +168,15 @@ mod tests {
         assert!(matches!(Error::internal("x"), Error::Internal(_)));
         assert!(matches!(Error::config("x"), Error::InvalidConfig(_)));
         assert!(matches!(Error::plan("x"), Error::InvalidPlan(_)));
+        assert!(matches!(Error::io("x"), Error::Io(_)));
+    }
+
+    #[test]
+    fn io_errors_convert_and_render() {
+        let os = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read");
+        let e: Error = os.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("short read"));
     }
 
     #[test]

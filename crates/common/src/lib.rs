@@ -21,7 +21,7 @@ pub mod rid;
 pub mod sync;
 
 pub use clock::{Bandwidth, VirtualClock, VirtualDuration, VirtualInstant};
-pub use config::{PolicyKind, ScanShareConfig};
+pub use config::{DeviceKind, PolicyKind, ScanShareConfig};
 pub use error::{Error, Result};
 pub use ids::{ChunkId, ColumnId, PageId, QueryId, ScanId, SnapshotId, StreamId, TableId};
 pub use range::{RangeList, TupleRange};

@@ -7,7 +7,7 @@
 //! bounded in-flight window the page-level prefetcher uses
 //! ([`top_up_prefetch_window`](crate::bufferpool::top_up_prefetch_window)):
 //! chunk loads are planned by the relevance core, submitted through
-//! [`IoDevice::submit_async`] and retired by *whichever* stream pumps next
+//! [`BlockDevice::submit_read`] and retired by *whichever* stream pumps next
 //! — concurrent CScan streams overlap loading with consumption instead of
 //! blocking under the ABM lock, and with `window > 1` several transfers
 //! queue on the device while scans process already-delivered chunks.
@@ -18,7 +18,7 @@
 
 use scanshare_common::sync::Mutex;
 use scanshare_common::{Result, VirtualClock, VirtualInstant};
-use scanshare_iosim::{IoDevice, IoKind};
+use scanshare_iosim::{BlockDevice, IoKind, ReadSpec};
 
 use super::{Abm, LoadPlan};
 
@@ -41,7 +41,7 @@ pub enum PumpOutcome {
     Idle,
 }
 
-/// Issues the relevance core's load plans through an [`IoDevice`] with a
+/// Issues the relevance core's load plans through a [`BlockDevice`] with a
 /// bounded in-flight window. Shared by every stream of a `CScanBackend`;
 /// internally synchronized, deadlock-free against the ABM's own locks
 /// (the scheduler lock is only ever taken *before* ABM locks).
@@ -78,7 +78,12 @@ impl LoadScheduler {
     /// Any stream may pump — a scan starved on a chunk that *another*
     /// stream's pump put in flight retires that load itself instead of
     /// spinning until the other stream gets scheduled.
-    pub fn pump(&self, abm: &Abm, clock: &VirtualClock, device: &IoDevice) -> Result<PumpOutcome> {
+    pub fn pump(
+        &self,
+        abm: &Abm,
+        clock: &VirtualClock,
+        device: &dyn BlockDevice,
+    ) -> Result<PumpOutcome> {
         let mut inflight = self.inflight.lock();
         if inflight.len() < self.window {
             if let Some(plan) = abm.next_load(clock.now()) {
@@ -88,11 +93,31 @@ impl LoadScheduler {
                     abm.complete_load(&plan, clock.now())?;
                     return Ok(PumpOutcome::Progress);
                 }
-                let done_at = device
-                    .submit_async(clock.now(), plan.bytes, IoKind::Demand)
-                    .done_at;
-                inflight.push(InflightLoad { plan, done_at });
-                return Ok(PumpOutcome::Progress);
+                let spec = ReadSpec {
+                    bytes: plan.bytes,
+                    pages: plan.pages.len() as u64,
+                    kind: IoKind::Demand,
+                    targets: &plan.pages,
+                };
+                match device.submit_read(clock.now(), spec) {
+                    Ok(completion) => {
+                        inflight.push(InflightLoad {
+                            plan,
+                            done_at: completion.done_at,
+                        });
+                        return Ok(PumpOutcome::Progress);
+                    }
+                    Err(err) => {
+                        // The plan was already claimed from the relevance
+                        // core: complete it anyway so the chunk pipeline
+                        // cannot wedge (correctness never depends on the
+                        // device — storage reads fall back to a synchronous
+                        // path), then surface the device fault to the
+                        // pumping stream.
+                        abm.complete_load(&plan, clock.now())?;
+                        return Err(err);
+                    }
+                }
             }
         }
         // Window full, or nothing new to plan: retire the earliest

@@ -33,7 +33,7 @@ use scanshare_common::{
     Error, PageId, PolicyKind, RangeList, Result, ScanId, TableId, TupleRange, VirtualClock,
     VirtualInstant,
 };
-use scanshare_iosim::{IoDevice, IoKind};
+use scanshare_iosim::{BlockDevice, IoKind, ReadSpec};
 use scanshare_storage::layout::TableLayout;
 use scanshare_storage::snapshot::Snapshot;
 
@@ -129,16 +129,27 @@ pub trait ScanBackend: Send + Sync + std::fmt::Debug {
     }
 }
 
-/// Charges a demand read of `bytes` to the device and waits (in virtual
-/// time) for the transfer to complete.
-fn charge_io(device: &IoDevice, clock: &VirtualClock, bytes: u64) {
+/// Charges a demand read of `targets` (`bytes` in total) to the device and
+/// waits (in virtual time) for the transfer to complete. Device faults are
+/// surfaced to the caller as typed errors.
+fn charge_io(
+    device: &dyn BlockDevice,
+    clock: &VirtualClock,
+    bytes: u64,
+    targets: &[PageId],
+) -> Result<()> {
     if bytes == 0 {
-        return;
+        return Ok(());
     }
-    let done = device
-        .submit_async(clock.now(), bytes, IoKind::Demand)
-        .done_at;
+    let spec = ReadSpec {
+        bytes,
+        pages: targets.len() as u64,
+        kind: IoKind::Demand,
+        targets,
+    };
+    let done = device.submit_read(clock.now(), spec)?.done_at;
     clock.advance_to(done);
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -179,7 +190,7 @@ pub struct PooledBackend {
     /// [`ScanBackend::invalidate_stale`]).
     invalidation_epochs: Mutex<HashMap<TableId, u64>>,
     clock: Arc<VirtualClock>,
-    device: Arc<IoDevice>,
+    device: Arc<dyn BlockDevice>,
     kind: PolicyKind,
     name: &'static str,
     page_size_bytes: u64,
@@ -192,7 +203,7 @@ impl PooledBackend {
     pub fn new(
         pool: ShardedPool,
         clock: Arc<VirtualClock>,
-        device: Arc<IoDevice>,
+        device: Arc<dyn BlockDevice>,
         kind: PolicyKind,
     ) -> Self {
         let name = pool.policy_name();
@@ -232,7 +243,7 @@ impl PooledBackend {
         }
         crate::bufferpool::top_up_prefetch_window(
             &mut &self.pool,
-            &self.device,
+            self.device.as_ref(),
             &mut self.inflight.lock(),
             self.prefetch_pages,
             self.clock.now(),
@@ -287,7 +298,12 @@ impl ScanBackend for PooledBackend {
         } else {
             // The demand read is submitted before any new prefetches so it
             // never queues behind speculative transfers it did not need.
-            charge_io(&self.device, &self.clock, self.page_size_bytes);
+            charge_io(
+                self.device.as_ref(),
+                &self.clock,
+                self.page_size_bytes,
+                std::slice::from_ref(&page),
+            )?;
         }
         // Top up only when this access changed the prefetch picture (a miss
         // loaded a page, or a window slot was consumed): a hit on an
@@ -371,14 +387,14 @@ pub struct CScanBackend {
     /// [`ScanBackend::invalidate_stale`]).
     invalidation_epochs: Mutex<HashMap<TableId, u64>>,
     clock: Arc<VirtualClock>,
-    device: Arc<IoDevice>,
+    device: Arc<dyn BlockDevice>,
 }
 
 impl CScanBackend {
     /// Wraps `abm`, charging chunk loads to `device` on `clock`, with the
     /// paper-faithful one-load-at-a-time window (see
     /// [`CScanBackend::with_load_window`]).
-    pub fn new(abm: Abm, clock: Arc<VirtualClock>, device: Arc<IoDevice>) -> Self {
+    pub fn new(abm: Abm, clock: Arc<VirtualClock>, device: Arc<dyn BlockDevice>) -> Self {
         Self {
             abm,
             scans: RwLock::new(HashMap::new()),
@@ -454,7 +470,10 @@ impl ScanBackend for CScanBackend {
             // whichever stream is starved drives the pipeline — planning a
             // new load if the window has room, otherwise retiring the
             // earliest in-flight load (possibly one another stream planned).
-            match self.scheduler.pump(&self.abm, &self.clock, &self.device)? {
+            match self
+                .scheduler
+                .pump(&self.abm, &self.clock, self.device.as_ref())?
+            {
                 PumpOutcome::Progress => continue,
                 PumpOutcome::Idle => {
                     // Between our failed delivery probe and this pump,
@@ -512,6 +531,7 @@ mod tests {
     use crate::abm::AbmConfig;
     use crate::lru::LruPolicy;
     use scanshare_common::{Bandwidth, VirtualDuration};
+    use scanshare_iosim::IoDevice;
     use scanshare_storage::column::{ColumnSpec, ColumnType};
     use scanshare_storage::datagen::DataGen;
     use scanshare_storage::storage::Storage;
@@ -665,7 +685,7 @@ mod tests {
             Box::new(PooledBackend::new(
                 ShardedPool::new(64, PAGE, Box::new(LruPolicy::new()), 2),
                 Arc::clone(&clock),
-                Arc::clone(&device),
+                device.clone(),
                 PolicyKind::Lru,
             )),
             Box::new(CScanBackend::new(
@@ -694,7 +714,7 @@ mod tests {
         let sync_backend = PooledBackend::new(
             ShardedPool::new(64, PAGE, Box::new(LruPolicy::new()), 2),
             Arc::clone(&sync_clock),
-            Arc::clone(&sync_device),
+            sync_device.clone(),
             PolicyKind::Lru,
         );
         assert_eq!(sync_backend.prefetch_window(), 0);
@@ -703,7 +723,7 @@ mod tests {
         let pf_backend = PooledBackend::new(
             ShardedPool::new(64, PAGE, Box::new(LruPolicy::new()), 2),
             Arc::clone(&pf_clock),
-            Arc::clone(&pf_device),
+            pf_device.clone(),
             PolicyKind::Lru,
         )
         .with_prefetch_window(4);

@@ -14,7 +14,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use scanshare_common::{Error, PageId, Result, ScanId, VirtualInstant};
-use scanshare_iosim::{IoDevice, IoKind, ReferenceTrace};
+use scanshare_iosim::{BlockDevice, IoKind, ReadSpec, ReferenceTrace};
 use scanshare_storage::layout::ScanPagePlan;
 
 use crate::metrics::BufferStats;
@@ -61,7 +61,7 @@ impl PrefetchPool for BufferPool {
 /// the two timing models cannot drift apart.
 pub fn top_up_prefetch_window<P: PrefetchPool>(
     pool: &mut P,
-    device: &IoDevice,
+    device: &dyn BlockDevice,
     inflight: &mut HashMap<PageId, VirtualInstant>,
     window: usize,
     now: VirtualInstant,
@@ -79,8 +79,14 @@ pub fn top_up_prefetch_window<P: PrefetchPool>(
     let page_size = pool.page_size_bytes();
     for page in pool.prefetch_candidates(slots, now) {
         if pool.admit_prefetch(page, now) {
-            let completion = device.submit_async(now, page_size, IoKind::Prefetch);
-            inflight.insert(page, completion.done_at);
+            let spec =
+                ReadSpec::for_pages(std::slice::from_ref(&page), page_size, IoKind::Prefetch);
+            // A failed speculative submission costs only the window slot:
+            // the page stays admitted and a later demand access loads it
+            // through the ordinary (error-reporting) miss path.
+            if let Ok(completion) = device.submit_read(now, spec) {
+                inflight.insert(page, completion.done_at);
+            }
         }
     }
 }

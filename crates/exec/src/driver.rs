@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use scanshare_common::{Error, Result, TupleRange, VirtualDuration};
 use scanshare_core::metrics::BufferStats;
-use scanshare_iosim::IoStats;
+use scanshare_iosim::{IoLatency, IoStats};
 use scanshare_workload::spec::{
     QuerySpec, StreamSpec, UpdateOp, UpdateOpGen, UpdateStreamSpec, WorkloadSpec,
 };
@@ -38,10 +38,10 @@ pub struct WorkloadDriver {
     parallelism_per_query: usize,
 }
 
-/// A per-stream scheduling failure surfaced in the report instead of
-/// aborting the workload (currently only Cooperative Scans starvation,
-/// [`Error::ScanStarved`]): the affected stream stops early, the remaining
-/// streams run to completion, and the caller decides how to react.
+/// A per-stream failure surfaced in the report instead of aborting the
+/// workload — Cooperative Scans starvation ([`Error::ScanStarved`]) and
+/// device I/O faults ([`Error::Io`]): the affected stream stops early, the
+/// remaining streams run to completion, and the caller decides how to react.
 #[derive(Debug, Clone)]
 pub struct StreamError {
     /// Label of the stream that failed (from its [`StreamSpec`]).
@@ -50,11 +50,12 @@ pub struct StreamError {
     pub error: Error,
 }
 
-/// Whether an error is a per-stream scheduling outcome (reported in
+/// Whether an error is a per-stream outcome (reported in
 /// [`WorkloadReport::stream_errors`]) rather than a workload-level failure
-/// (returned as `Err` from [`WorkloadDriver::run`]).
+/// (returned as `Err` from [`WorkloadDriver::run`]). Scheduling starvation
+/// and device I/O faults end one stream; everything else fails the run.
 fn is_stream_local(error: &Error) -> bool {
-    matches!(error, Error::ScanStarved(_))
+    matches!(error, Error::ScanStarved(_) | Error::Io(_))
 }
 
 /// What one driver run measured.
@@ -81,6 +82,12 @@ pub struct WorkloadReport {
     pub buffer: BufferStats,
     /// I/O-device counters accumulated during the run.
     pub io: IoStats,
+    /// Per-kind wall-clock latency percentiles (p50/p95/p99) measured by
+    /// the device, for devices that measure them: the file-backed device
+    /// reports real `pread` timings, the simulated device reports `None`.
+    /// Covers every request the device served since its statistics were
+    /// last reset (the sample buffer is not differenced per run).
+    pub device_latency: Option<IoLatency>,
     /// Streams that ended early on a per-stream scheduling error (see
     /// [`StreamError`]); empty on a clean run.
     pub stream_errors: Vec<StreamError>,
@@ -229,6 +236,7 @@ impl WorkloadDriver {
             latencies,
             buffer: diff_buffer(&buffer_start, &buffer_end),
             io: diff_io(&io_start, &io_end),
+            device_latency: self.engine.device().latency(),
             stream_errors,
             update_ops,
             checkpoints,
@@ -518,6 +526,7 @@ mod tests {
         // Classification: only starvation is surfaced per stream; anything
         // else fails the workload as before.
         assert!(is_stream_local(&Error::ScanStarved(ScanId::new(1))));
+        assert!(is_stream_local(&Error::io("pread failed")));
         assert!(!is_stream_local(&Error::internal("boom")));
         assert!(!is_stream_local(&Error::UnknownScan(ScanId::new(1))));
         // A healthy multi-stream CScan workload reports no stream errors.

@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use scanshare_common::sync::{Mutex, RwLock};
 use scanshare_common::{
-    Error, PageId, PolicyKind, Result, Rid, ScanShareConfig, SnapshotId, TableId, TupleRange,
-    VirtualClock, VirtualDuration, VirtualInstant,
+    DeviceKind, Error, PageId, PolicyKind, Result, Rid, ScanShareConfig, SnapshotId, TableId,
+    TupleRange, VirtualClock, VirtualDuration, VirtualInstant,
 };
 use scanshare_core::abm::{Abm, AbmConfig};
 use scanshare_core::backend::{CScanBackend, PooledBackend, ScanBackend};
@@ -15,7 +15,7 @@ use scanshare_core::metrics::BufferStats;
 use scanshare_core::opt::{simulate_opt, OptResult};
 use scanshare_core::registry::PolicyRegistry;
 use scanshare_core::sharded::ShardedPool;
-use scanshare_iosim::{IoDevice, ReferenceTrace};
+use scanshare_iosim::{BlockDevice, FileIoDevice, IoDevice, ReferenceTrace};
 use scanshare_pdt::checkpoint::checkpoint_stack;
 use scanshare_pdt::pdt::Pdt;
 use scanshare_pdt::stack::PdtStack;
@@ -90,7 +90,7 @@ pub struct Engine {
     storage: Arc<Storage>,
     config: ScanShareConfig,
     backend: Box<dyn ScanBackend>,
-    device: Arc<IoDevice>,
+    device: Arc<dyn BlockDevice>,
     clock: Arc<VirtualClock>,
     trace: Option<Arc<ReferenceTrace>>,
     tables: RwLock<HashMap<TableId, Arc<TableUpdates>>>,
@@ -117,10 +117,46 @@ impl Engine {
         registry: &PolicyRegistry,
     ) -> Result<Arc<Self>> {
         config.validate()?;
-        let device = Arc::new(IoDevice::new(
-            config.io_bandwidth,
-            VirtualDuration::from_nanos(config.io_latency_nanos),
-        ));
+        let device: Arc<dyn BlockDevice> = match config.device {
+            DeviceKind::Sim => Arc::new(IoDevice::new(
+                config.io_bandwidth,
+                VirtualDuration::from_nanos(config.io_latency_nanos),
+            )),
+            DeviceKind::File => {
+                let store = storage.file_store().ok_or_else(|| {
+                    Error::config(
+                        "device = file requires file-backed storage: materialize the tables \
+                         (Storage::materialize_table) or open an on-disk directory \
+                         (Storage::open_directory) first",
+                    )
+                })?;
+                if config.o_direct {
+                    // Best effort: O_DIRECT is a performance knob, and some
+                    // filesystems (notably tmpfs) reject it. Buffered reads
+                    // keep every other property of the file device.
+                    store.set_o_direct(true);
+                }
+                Arc::new(FileIoDevice::new(
+                    store,
+                    config.io_workers,
+                    config.io_queue_depth,
+                ))
+            }
+        };
+        Self::with_device(storage, config, registry, device)
+    }
+
+    /// Like [`Engine::with_registry`], running all I/O through a caller
+    /// supplied [`BlockDevice`] — the hook used by fault-injection tests and
+    /// custom device wrappers. The device's virtual-time completions drive
+    /// the engine's clock exactly as the built-in devices do.
+    pub fn with_device(
+        storage: Arc<Storage>,
+        config: ScanShareConfig,
+        registry: &PolicyRegistry,
+        device: Arc<dyn BlockDevice>,
+    ) -> Result<Arc<Self>> {
+        config.validate()?;
         let clock = VirtualClock::shared();
         let mut trace = None;
 
@@ -194,8 +230,10 @@ impl Engine {
         &self.clock
     }
 
-    /// The simulated I/O device.
-    pub fn device(&self) -> &Arc<IoDevice> {
+    /// The I/O device every backend charge goes through: the simulated
+    /// device by default, the file-backed device under
+    /// [`DeviceKind::File`], or whatever [`Engine::with_device`] injected.
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
         &self.device
     }
 

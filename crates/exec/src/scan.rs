@@ -24,7 +24,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use scanshare_common::{RangeList, Result, ScanId, TableId, TupleRange};
+use scanshare_common::{Error, RangeList, Result, ScanId, TableId, TupleRange};
 use scanshare_core::backend::{ScanRequest, ScanStep};
 use scanshare_pdt::merge::{MergeCursor, StableSource};
 use scanshare_pdt::pdt::Pdt;
@@ -53,6 +53,11 @@ pub(crate) struct PooledSource {
     scan_id: Option<ScanId>,
     /// Last page materialized per column.
     cached: HashMap<usize, PageData>,
+    /// First error encountered while fetching stable data.
+    /// [`StableSource::value`] is infallible, so device and storage faults
+    /// are parked here and re-raised by the operator after the merge step
+    /// instead of panicking mid-merge.
+    error: Option<Error>,
 }
 
 impl PooledSource {
@@ -68,7 +73,13 @@ impl PooledSource {
             snapshot,
             scan_id,
             cached: HashMap::new(),
+            error: None,
         }
+    }
+
+    /// Takes the first parked fault, if any (see the `error` field).
+    fn take_error(&mut self) -> Option<Error> {
+        self.error.take()
     }
 }
 
@@ -78,6 +89,11 @@ impl StableSource for PooledSource {
     }
 
     fn value(&mut self, col: usize, sid: u64) -> Value {
+        if self.error.is_some() {
+            // A fault is already parked: produce placeholders until the
+            // operator notices and aborts the batch.
+            return 0;
+        }
         if let Some(page) = self.cached.get(&col) {
             if let Some(v) = page.value(sid) {
                 return v;
@@ -85,18 +101,34 @@ impl StableSource for PooledSource {
         }
         let page_index = self.layout.page_index_for_sid(col, sid);
         // Request the page through the backend; pooled backends count the
-        // hit/miss and charge misses to the simulated I/O device, the ABM
-        // already loaded and accounted the chunk.
+        // hit/miss and charge misses to the I/O device, the ABM already
+        // loaded and accounted the chunk. Device faults park here and
+        // surface as the batch's error.
         if let (Some(scan_id), Some(page_id)) = (self.scan_id, self.snapshot.page(col, page_index))
         {
-            let _ = self.engine.backend().request_page(scan_id, page_id);
+            if let Err(err) = self.engine.backend().request_page(scan_id, page_id) {
+                self.error = Some(err);
+                return 0;
+            }
         }
-        let data = self
-            .engine
-            .storage()
-            .read_page(&self.layout, &self.snapshot, col, page_index)
-            .expect("page exists for a valid SID");
-        let v = data.value(sid).expect("page covers sid");
+        let data =
+            match self
+                .engine
+                .storage()
+                .read_page(&self.layout, &self.snapshot, col, page_index)
+            {
+                Ok(data) => data,
+                Err(err) => {
+                    self.error = Some(err);
+                    return 0;
+                }
+            };
+        let Some(v) = data.value(sid) else {
+            self.error = Some(Error::internal(format!(
+                "page {page_index} of column {col} does not cover sid {sid}"
+            )));
+            return 0;
+        };
         self.cached.insert(col, data);
         v
     }
@@ -223,14 +255,19 @@ impl ScanOperator {
     }
 
     /// Produces up to [`BATCH_SIZE`] rows from the front of the current
-    /// window (re-initializing the PDT merge at that position).
-    fn produce_from_window(&mut self) -> Vec<Vec<Value>> {
+    /// window (re-initializing the PDT merge at that position). A device or
+    /// storage fault parked by the source mid-merge aborts the batch with
+    /// the typed error.
+    fn produce_from_window(&mut self) -> Result<Vec<Vec<Value>>> {
         let range = self.window.front().copied().expect("window is non-empty");
         let end = (range.start + BATCH_SIZE as u64).min(range.end);
         let piece = TupleRange::new(range.start, end);
         let mut cursor = MergeCursor::new(&self.pdt, &mut self.source, self.columns.clone(), piece);
         let rows = cursor.collect_rows();
         drop(cursor);
+        if let Some(err) = self.source.take_error() {
+            return Err(err);
+        }
         if end >= range.end {
             self.window.pop_front();
         } else {
@@ -243,7 +280,7 @@ impl ScanOperator {
         if self.tuples_produced - self.last_report >= REPORT_INTERVAL {
             self.report_progress();
         }
-        rows
+        Ok(rows)
     }
 
     /// Translates a delivered chunk into the RID ranges still to produce and
@@ -268,7 +305,7 @@ impl BatchSource for ScanOperator {
                 return Ok(None);
             }
             if !self.window.is_empty() {
-                let rows = self.produce_from_window();
+                let rows = self.produce_from_window()?;
                 // A batch boundary is a compute point: let the backend top
                 // up its asynchronous prefetch window so the next pages'
                 // transfers overlap with this batch's downstream processing.

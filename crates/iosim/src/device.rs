@@ -102,7 +102,7 @@ impl IoDevice {
         self.submit_internal(now, bytes, 0, kind)
     }
 
-    fn submit_internal(
+    pub(crate) fn submit_internal(
         &self,
         now: VirtualInstant,
         bytes: u64,

@@ -1,0 +1,224 @@
+//! A fault-injecting [`BlockDevice`] wrapper for failure testing.
+//!
+//! [`FaultInjectingDevice`] wraps any device and injects scripted failures
+//! at chosen request indices: hard I/O errors, short reads, and transient
+//! `EINTR`-style faults that a real device would retry internally. It exists
+//! so integration tests can prove that device errors surface as typed
+//! [`Error::Io`] values on the stream that hit them — instead of panicking,
+//! corrupting accounting, or wedging in-flight completions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scanshare_common::sync::Mutex;
+use scanshare_common::{Error, Result, VirtualInstant};
+
+use crate::block::{BlockDevice, ReadSpec};
+use crate::device::IoCompletion;
+use crate::stats::{IoLatency, IoStats};
+
+/// What kind of failure to inject at a request index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The read returns fewer bytes than requested and cannot make progress:
+    /// surfaced as a typed error.
+    ShortRead,
+    /// The read fails `failures` times with an interrupted-call error that
+    /// the device retries internally, then succeeds. Proves transient faults
+    /// don't surface and don't wedge the request.
+    Transient {
+        /// How many interrupted attempts precede the success.
+        failures: u32,
+    },
+    /// A hard, non-retryable I/O error (`EIO`).
+    HardError,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    seen: u64,
+    faults: HashMap<u64, FaultKind>,
+    fail_all_after: Option<u64>,
+    injected: u64,
+    retries_injected: u64,
+}
+
+/// A [`BlockDevice`] wrapper injecting scripted faults by request index.
+///
+/// Requests are counted across both kinds in submission order; with the
+/// default configuration (no prefetching) every request is a demand read, so
+/// indices are deterministic for a given workload.
+#[derive(Debug)]
+pub struct FaultInjectingDevice {
+    inner: Arc<dyn BlockDevice>,
+    state: Mutex<FaultState>,
+}
+
+impl FaultInjectingDevice {
+    /// Wraps `inner` with an empty fault script (transparent until faults
+    /// are added).
+    pub fn new(inner: Arc<dyn BlockDevice>) -> Self {
+        Self {
+            inner,
+            state: Mutex::new(FaultState::default()),
+        }
+    }
+
+    /// Injects `fault` at the request with 0-based submission index `index`.
+    pub fn with_fault(self, index: u64, fault: FaultKind) -> Self {
+        self.state.lock().faults.insert(index, fault);
+        self
+    }
+
+    /// Makes every request from index `n` onwards fail hard (a device that
+    /// died mid-workload).
+    pub fn with_fail_all_after(self, n: u64) -> Self {
+        self.state.lock().fail_all_after = Some(n);
+        self
+    }
+
+    /// Total requests submitted through the wrapper.
+    pub fn requests_seen(&self) -> u64 {
+        self.state.lock().seen
+    }
+
+    /// Faults injected so far (transient faults count once).
+    pub fn injected_faults(&self) -> u64 {
+        self.state.lock().injected
+    }
+
+    /// Individual interrupted attempts injected by transient faults.
+    pub fn retries_injected(&self) -> u64 {
+        self.state.lock().retries_injected
+    }
+}
+
+impl BlockDevice for FaultInjectingDevice {
+    fn submit_read(&self, now: VirtualInstant, spec: ReadSpec<'_>) -> Result<IoCompletion> {
+        let fault = {
+            let mut state = self.state.lock();
+            let index = state.seen;
+            state.seen += 1;
+            let fault = state
+                .faults
+                .get(&index)
+                .copied()
+                .or(match state.fail_all_after {
+                    Some(n) if index >= n => Some(FaultKind::HardError),
+                    _ => None,
+                });
+            match fault {
+                Some(FaultKind::Transient { failures }) => {
+                    state.injected += 1;
+                    state.retries_injected += u64::from(failures);
+                }
+                Some(_) => state.injected += 1,
+                None => {}
+            }
+            fault
+        };
+        match fault {
+            Some(FaultKind::ShortRead) => Err(Error::io(format!(
+                "short read: got {} of {} bytes",
+                spec.bytes / 2,
+                spec.bytes
+            ))),
+            Some(FaultKind::HardError) => {
+                Err(Error::io("injected hard I/O error (EIO)".to_string()))
+            }
+            // Transient faults are retried inside the device (mirroring the
+            // file device's EINTR loop) and then served normally.
+            Some(FaultKind::Transient { .. }) | None => self.inner.submit_read(now, spec),
+        }
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+
+    fn busy_until(&self) -> VirtualInstant {
+        self.inner.busy_until()
+    }
+
+    fn name(&self) -> &'static str {
+        "fault-injecting"
+    }
+
+    fn latency(&self) -> Option<IoLatency> {
+        self.inner.latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::IoDevice;
+    use crate::stats::IoKind;
+    use scanshare_common::{Bandwidth, VirtualDuration};
+
+    fn wrapped() -> (Arc<dyn BlockDevice>, FaultInjectingDevice) {
+        let inner: Arc<dyn BlockDevice> = Arc::new(IoDevice::new(
+            Bandwidth::from_mb_per_sec(100.0),
+            VirtualDuration::from_micros(100),
+        ));
+        (Arc::clone(&inner), FaultInjectingDevice::new(inner))
+    }
+
+    fn read(dev: &FaultInjectingDevice) -> Result<IoCompletion> {
+        dev.submit_read(
+            VirtualInstant::EPOCH,
+            ReadSpec::accounting(4096, IoKind::Demand),
+        )
+    }
+
+    #[test]
+    fn scripted_faults_fire_at_their_index() {
+        let (_, dev) = wrapped();
+        let dev = dev
+            .with_fault(1, FaultKind::ShortRead)
+            .with_fault(3, FaultKind::HardError);
+        assert!(read(&dev).is_ok());
+        let short = read(&dev).unwrap_err();
+        assert!(short.to_string().contains("short read"));
+        assert!(read(&dev).is_ok());
+        let hard = read(&dev).unwrap_err();
+        assert!(matches!(hard, Error::Io(_)));
+        assert_eq!(dev.requests_seen(), 4);
+        assert_eq!(dev.injected_faults(), 2);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_not_surfaced() {
+        let (inner, dev) = wrapped();
+        let dev = dev.with_fault(0, FaultKind::Transient { failures: 3 });
+        let completion = read(&dev).unwrap();
+        assert_eq!(completion.bytes, 4096);
+        assert_eq!(dev.retries_injected(), 3);
+        // The request still reached the inner device exactly once.
+        assert_eq!(inner.stats().demand_requests, 1);
+    }
+
+    #[test]
+    fn fail_all_after_kills_the_tail() {
+        let (_, dev) = wrapped();
+        let dev = dev.with_fail_all_after(2);
+        assert!(read(&dev).is_ok());
+        assert!(read(&dev).is_ok());
+        assert!(read(&dev).is_err());
+        assert!(read(&dev).is_err());
+    }
+
+    #[test]
+    fn stats_and_accounting_pass_through() {
+        let (inner, dev) = wrapped();
+        read(&dev).unwrap();
+        assert_eq!(dev.stats(), inner.stats());
+        assert_eq!(dev.busy_until(), inner.busy_until());
+        dev.reset_stats();
+        assert_eq!(inner.stats(), IoStats::default());
+    }
+}

@@ -124,6 +124,57 @@ impl IoStats {
     }
 }
 
+/// Wall-clock latency percentiles of one request kind, in nanoseconds.
+///
+/// Computed with the nearest-rank method from the per-request latencies the
+/// file device records (submission to completion). All-zero when no request
+/// of the kind completed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Number of completed requests the percentiles are computed over.
+    pub samples: u64,
+    /// Median request latency.
+    pub p50_nanos: u64,
+    /// 95th-percentile request latency.
+    pub p95_nanos: u64,
+    /// 99th-percentile request latency.
+    pub p99_nanos: u64,
+}
+
+impl LatencyPercentiles {
+    /// Computes nearest-rank percentiles from raw latency samples.
+    pub fn from_unsorted_nanos(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let rank = |q: f64| -> u64 {
+            let n = samples.len();
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            samples[idx]
+        };
+        Self {
+            samples: samples.len() as u64,
+            p50_nanos: rank(0.50),
+            p95_nanos: rank(0.95),
+            p99_nanos: rank(0.99),
+        }
+    }
+}
+
+/// Per-kind wall-clock latency percentiles of a real device.
+///
+/// The simulated device does not report these (its per-request timings are
+/// exact virtual quantities already captured in [`IoStats`]); the file device
+/// measures every request with a wall clock and summarizes here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoLatency {
+    /// Percentiles over demand (blocking) requests.
+    pub demand: LatencyPercentiles,
+    /// Percentiles over prefetch (asynchronous) requests.
+    pub prefetch: LatencyPercentiles,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +232,23 @@ mod tests {
         let s = IoStats::default();
         assert_eq!(s.avg_queue_wait(), VirtualDuration::ZERO);
         assert_eq!(s.avg_service_time(), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let p = LatencyPercentiles::from_unsorted_nanos((1..=100).rev().collect());
+        assert_eq!(p.samples, 100);
+        assert_eq!(p.p50_nanos, 50);
+        assert_eq!(p.p95_nanos, 95);
+        assert_eq!(p.p99_nanos, 99);
+
+        let single = LatencyPercentiles::from_unsorted_nanos(vec![7]);
+        assert_eq!(single.p50_nanos, 7);
+        assert_eq!(single.p99_nanos, 7);
+
+        assert_eq!(
+            LatencyPercentiles::from_unsorted_nanos(Vec::new()),
+            LatencyPercentiles::default()
+        );
     }
 }

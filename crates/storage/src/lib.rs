@@ -25,6 +25,7 @@ pub mod catalog;
 pub mod column;
 pub mod datagen;
 pub mod layout;
+pub mod segment;
 pub mod snapshot;
 pub mod storage;
 pub mod table;
@@ -32,6 +33,7 @@ pub mod table;
 pub use catalog::Catalog;
 pub use column::{ColumnSpec, ColumnType};
 pub use layout::{ChunkMap, PageDescriptor, ScanPagePlan, TableLayout};
+pub use segment::FileStore;
 pub use snapshot::{Snapshot, SnapshotStore};
 pub use storage::{AppendTransaction, PageData, Storage};
 pub use table::TableSpec;

@@ -190,6 +190,35 @@ impl SnapshotStore {
         snapshot
     }
 
+    /// Installs a snapshot with *explicit* page references, registering it
+    /// and making it the table's master. Used when reopening a table
+    /// directory cold: the on-disk manifest records the page ids the
+    /// materialized snapshot was built with, and those ids must survive the
+    /// round trip so `Snapshot::page` keeps mapping to the same (file,
+    /// offset) slots. The page and snapshot counters are bumped past every
+    /// installed id so later appends and checkpoints never collide.
+    pub fn install_snapshot(
+        &mut self,
+        table: TableId,
+        column_pages: Vec<Vec<PageId>>,
+        stable_tuples: u64,
+    ) -> Arc<Snapshot> {
+        let id = self.allocate_snapshot_id();
+        if let Some(max) = column_pages.iter().flatten().map(|p| p.raw()).max() {
+            self.next_page = self.next_page.max(max + 1);
+        }
+        let snapshot = Snapshot {
+            id,
+            table,
+            column_pages,
+            stable_tuples,
+            parent: None,
+        };
+        let arc = self.register(snapshot);
+        self.masters.insert(table, id);
+        arc
+    }
+
     /// Registers a snapshot so it can be looked up by id.
     pub fn register(&mut self, snapshot: Snapshot) -> Arc<Snapshot> {
         let arc = Arc::new(snapshot);

@@ -8,6 +8,7 @@
 //! store their values explicitly.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use scanshare_common::sync::RwLock;
@@ -17,6 +18,7 @@ use scanshare_common::{Error, PageId, Result, SnapshotId, TableId, TupleRange};
 use crate::catalog::{Catalog, TableEntry};
 use crate::datagen::{DataGen, Value};
 use crate::layout::TableLayout;
+use crate::segment::{self, FileStore};
 use crate::snapshot::{NewPage, Snapshot, SnapshotStore};
 use crate::table::TableSpec;
 
@@ -59,6 +61,9 @@ struct Inner {
 #[derive(Debug)]
 pub struct Storage {
     inner: RwLock<Inner>,
+    /// On-disk segment store, present once a table has been materialized
+    /// (or the storage was opened cold from a directory).
+    file_store: RwLock<Option<Arc<FileStore>>>,
     page_size_bytes: u64,
     chunk_tuples: u64,
 }
@@ -79,9 +84,110 @@ impl Storage {
                 datagens: HashMap::new(),
                 seed,
             }),
+            file_store: RwLock::new(None),
             page_size_bytes,
             chunk_tuples,
         })
+    }
+
+    /// Materializes the current master snapshot of `table` as on-disk column
+    /// segments in `dir` and registers the pages with the storage's
+    /// [`FileStore`] (creating it if this is the first materialization).
+    ///
+    /// Whatever the snapshot serves in memory — generated base data,
+    /// appended pages, checkpoint images — is exactly what lands on disk, so
+    /// the call works mid-workload on a freshly installed checkpoint too.
+    /// Re-materializing a table replaces its previous segments.
+    pub fn materialize_table(&self, table: TableId, dir: &Path) -> Result<Arc<FileStore>> {
+        let snapshot = self.master_snapshot(table)?;
+        self.materialize_snapshot(&snapshot, dir)
+    }
+
+    /// Like [`Storage::materialize_table`], but for an explicit snapshot
+    /// (e.g. a checkpoint image that is not master yet).
+    pub fn materialize_snapshot(&self, snapshot: &Snapshot, dir: &Path) -> Result<Arc<FileStore>> {
+        let layout = self.layout(snapshot.table())?;
+        segment::write_table(self, &layout, snapshot, dir)?;
+        let store = {
+            let mut slot = self.file_store.write();
+            match slot.as_ref() {
+                Some(existing) if existing.dir() == dir => Arc::clone(existing),
+                _ => {
+                    let fresh = Arc::new(FileStore::new(dir));
+                    *slot = Some(Arc::clone(&fresh));
+                    fresh
+                }
+            }
+        };
+        store.register_table(&layout, snapshot)?;
+        Ok(store)
+    }
+
+    /// The on-disk segment store, if any table has been materialized (or the
+    /// storage was opened cold). The real-file I/O device is built over this
+    /// handle.
+    pub fn file_store(&self) -> Option<Arc<FileStore>> {
+        self.file_store.read().clone()
+    }
+
+    /// Reopens a directory of materialized tables cold: a brand-new storage
+    /// whose catalog, snapshots and page ids are reconstructed purely from
+    /// the manifests, with every page served from the segment files.
+    ///
+    /// The manifests record the materialized snapshots' page ids verbatim
+    /// and the reopened master snapshots reference those same ids, so
+    /// `Snapshot::page` keeps mapping to the same on-disk slots and I/O
+    /// traces are comparable across the round trip. Tables are created in
+    /// manifest-file-name order, so table ids are deterministic.
+    pub fn open_directory(dir: &Path) -> Result<Arc<Self>> {
+        let manifests = segment::read_manifests(dir)?;
+        let first = manifests
+            .first()
+            .ok_or_else(|| Error::io(format!("{}: no table manifests found", dir.display())))?;
+        let (page_size, chunk_tuples) = (first.page_size, first.chunk_tuples);
+        if manifests
+            .iter()
+            .any(|m| m.page_size != page_size || m.chunk_tuples != chunk_tuples)
+        {
+            return Err(Error::io(format!(
+                "{}: manifests disagree on page size or chunk granularity",
+                dir.display()
+            )));
+        }
+        let storage = Self::with_seed(page_size, chunk_tuples, 0);
+        let store = Arc::new(FileStore::new(dir));
+        for manifest in manifests {
+            let spec = TableSpec::new(
+                manifest.name.clone(),
+                manifest.columns.clone(),
+                manifest.stable_tuples,
+            );
+            let (layout, snapshot) = {
+                let mut inner = storage.inner.write();
+                let id = inner.catalog.create_table(spec)?;
+                let layout = inner.catalog.layout(id)?;
+                let snapshot = inner.snapshots.install_snapshot(
+                    id,
+                    manifest.column_pages.clone(),
+                    manifest.stable_tuples,
+                );
+                (layout, snapshot)
+            };
+            for (col, pages) in manifest.column_pages.iter().enumerate() {
+                let expected = layout.pages_for_tuples(col, manifest.stable_tuples);
+                if pages.len() as u64 != expected {
+                    return Err(Error::io(format!(
+                        "{}: table {} column {col} lists {} pages but its layout needs {expected}",
+                        dir.display(),
+                        manifest.name,
+                        pages.len()
+                    )));
+                }
+            }
+            store.register_table(&layout, &snapshot)?;
+        }
+        *storage.file_store.write() = Some(store);
+        Ok(storage)
     }
 
     /// Page size in bytes (uniform across the engine).
@@ -199,6 +305,22 @@ impl Storage {
                 sid_range,
                 values: Arc::clone(values),
             });
+        }
+        // File-backed page: decode-cache hit if the I/O device already read
+        // it, synchronous segment read otherwise — correctness never depends
+        // on the device having been asked first.
+        if let Some(store) = self.file_store.read().as_ref() {
+            if let Some(values) = store
+                .page_values(page)
+                .map_err(|e| Error::io(format!("reading page {page}: {e}")))?
+            {
+                debug_assert_eq!(values.len() as u64, sid_range.len());
+                return Ok(PageData {
+                    page,
+                    sid_range,
+                    values,
+                });
+            }
         }
         // Base page: materialize from the generator.
         let gens = inner
@@ -360,6 +482,7 @@ impl Storage {
         }
         let (snapshot, new_pages) = inner.snapshots.derive_append(&layout, working, added);
         let old_tuples = working.stable_tuples();
+        let file_store = self.file_store.read().clone();
 
         // Materialize data for the new pages: existing tuples come from the
         // parent snapshot, appended tuples from `rows`.
@@ -380,6 +503,14 @@ impl Storage {
                     let sid_range = layout.sid_range_of_page(col, idx, old_tuples);
                     let values = if let Some(v) = inner.page_data.get(&page) {
                         Arc::clone(v)
+                    } else if let Some(v) = file_store
+                        .as_ref()
+                        .map(|store| store.page_values(page))
+                        .transpose()
+                        .map_err(|e| Error::io(format!("reading page {page}: {e}")))?
+                        .flatten()
+                    {
+                        v
                     } else {
                         let gens = inner
                             .datagens

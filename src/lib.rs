@@ -160,8 +160,8 @@ pub use scanshare_workload as workload;
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use scanshare_common::{
-        Bandwidth, PolicyKind, RangeList, Rid, ScanShareConfig, Sid, TableId, TupleRange,
-        VirtualClock, VirtualDuration, VirtualInstant,
+        Bandwidth, DeviceKind, PolicyKind, RangeList, Rid, ScanShareConfig, Sid, TableId,
+        TupleRange, VirtualClock, VirtualDuration, VirtualInstant,
     };
     pub use scanshare_core::backend::{
         CScanBackend, PooledBackend, ScanBackend, ScanRequest, ScanStep,
@@ -178,10 +178,11 @@ pub mod prelude {
     pub use scanshare_exec::{
         Batch, Engine, Query, StreamError, TablePin, Txn, WorkloadDriver, WorkloadReport,
     };
+    pub use scanshare_iosim::{BlockDevice, FileIoDevice, IoDevice};
     pub use scanshare_pdt::{Pdt, PdtStack};
     pub use scanshare_sim::{ExperimentScale, SimConfig, SimResult, Simulation};
     pub use scanshare_storage::datagen::DataGen;
-    pub use scanshare_storage::{ColumnSpec, ColumnType, Storage, TableSpec};
+    pub use scanshare_storage::{ColumnSpec, ColumnType, FileStore, Storage, TableSpec};
     pub use scanshare_workload::{
         MicrobenchConfig, TpchConfig, UpdateMix, UpdateStreamSpec, WorkloadSpec,
     };

@@ -211,3 +211,138 @@ fn abm_unregisters_cleanly_when_a_cscan_aborts_half_way() {
     assert_eq!(abm.version_count(table), 0);
     assert_eq!(abm.registered_scans(), 0);
 }
+
+// ---------------------------------------------------------------------------
+// Device faults: a failing BlockDevice must surface as typed Error::Io
+// values on the stream that hit it — never a panic, never a wedged workload.
+// ---------------------------------------------------------------------------
+
+mod device_faults {
+    use std::sync::Arc;
+
+    use scanshare::common::Error;
+    use scanshare::core::registry::PolicyRegistry;
+    use scanshare::iosim::{FaultInjectingDevice, FaultKind};
+    use scanshare::prelude::*;
+    use scanshare::workload::microbench::{self, MicrobenchConfig};
+
+    const PAGE: u64 = 16 * 1024;
+
+    fn workload() -> (Arc<Storage>, WorkloadSpec) {
+        let micro = MicrobenchConfig {
+            streams: 3,
+            queries_per_stream: 2,
+            lineitem_tuples: 30_000,
+            ..MicrobenchConfig::tiny()
+        };
+        microbench::build(&micro, PAGE, 5_000).unwrap()
+    }
+
+    fn config(policy: PolicyKind) -> ScanShareConfig {
+        ScanShareConfig {
+            page_size_bytes: PAGE,
+            chunk_tuples: 5_000,
+            buffer_pool_bytes: 64 * PAGE,
+            policy,
+            ..Default::default()
+        }
+    }
+
+    fn sim_device() -> Arc<dyn BlockDevice> {
+        Arc::new(IoDevice::new(
+            Bandwidth::from_mb_per_sec(700.0),
+            VirtualDuration::from_micros(100),
+        ))
+    }
+
+    fn engine_with_device(
+        storage: &Arc<Storage>,
+        policy: PolicyKind,
+        device: Arc<FaultInjectingDevice>,
+    ) -> Arc<Engine> {
+        Engine::with_device(
+            Arc::clone(storage),
+            config(policy),
+            &PolicyRegistry::default(),
+            device,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_hard_fault_ends_exactly_one_stream_with_a_typed_io_error() {
+        let (storage, workload) = workload();
+        for (policy, fault) in [
+            (PolicyKind::Pbm, FaultKind::HardError),
+            (PolicyKind::Lru, FaultKind::ShortRead),
+            (PolicyKind::CScan, FaultKind::HardError),
+        ] {
+            // Fault the third read: every policy reaches it (the cooperative
+            // backend loads each chunk only once, so it issues far fewer
+            // device requests than the per-stream policies).
+            let device = Arc::new(FaultInjectingDevice::new(sim_device()).with_fault(2, fault));
+            let engine = engine_with_device(&storage, policy, Arc::clone(&device));
+            assert_eq!(engine.device().name(), "fault-injecting");
+            let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+            assert_eq!(
+                report.stream_errors.len(),
+                1,
+                "{policy}: exactly the stream that hit the faulted read ends early"
+            );
+            assert!(
+                matches!(report.stream_errors[0].error, Error::Io(_)),
+                "{policy}: the fault surfaces as a typed I/O error, got {:?}",
+                report.stream_errors[0].error
+            );
+            // The other streams ran to completion: 3 streams x 2 queries,
+            // minus the 1 or 2 the failed stream never finished.
+            assert!(
+                (4..6).contains(&report.queries),
+                "{policy}: {} queries",
+                report.queries
+            );
+            assert_eq!(device.injected_faults(), 1, "{policy}");
+        }
+    }
+
+    #[test]
+    fn a_dead_device_fails_every_stream_without_wedging_the_driver() {
+        let (storage, workload) = workload();
+        for policy in [PolicyKind::Pbm, PolicyKind::CScan] {
+            let device = Arc::new(FaultInjectingDevice::new(sim_device()).with_fail_all_after(0));
+            let engine = engine_with_device(&storage, policy, Arc::clone(&device));
+            // The run completes (no panic, no deadlock) and reports the
+            // failures per stream instead of returning a workload error.
+            let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+            assert!(
+                !report.stream_errors.is_empty(),
+                "{policy}: a dead device must surface on at least one stream"
+            );
+            for err in &report.stream_errors {
+                assert!(
+                    matches!(err.error, Error::Io(_)),
+                    "{policy}: {:?}",
+                    err.error
+                );
+            }
+            assert!(device.injected_faults() > 0, "{policy}");
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_retried_inside_the_device_and_never_surface() {
+        let (storage, workload) = workload();
+        for policy in [PolicyKind::Pbm, PolicyKind::CScan] {
+            let device = Arc::new(
+                FaultInjectingDevice::new(sim_device())
+                    .with_fault(2, FaultKind::Transient { failures: 3 }),
+            );
+            let engine = engine_with_device(&storage, policy, Arc::clone(&device));
+            let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+            assert!(report.stream_errors.is_empty(), "{policy}");
+            assert_eq!(report.queries, 6, "{policy}");
+            assert_eq!(device.retries_injected(), 3, "{policy}");
+            assert!(report.io.bytes_read > 0, "{policy}");
+        }
+    }
+}
