@@ -6,6 +6,8 @@
 //! specific tuning (PBM bucket layout, ABM relevance weights) lives next to
 //! the policies in `scanshare-core`.
 
+use std::path::PathBuf;
+
 use crate::clock::Bandwidth;
 use crate::error::{Error, Result};
 
@@ -206,6 +208,23 @@ pub struct ScanShareConfig {
     /// platform or alignment does not permit it). Ignored by the simulated
     /// device.
     pub o_direct: bool,
+    /// Directory holding the engine's durable state: on-disk column
+    /// segments, per-table manifests and the `wal.log` write-ahead log.
+    /// `None` (the default) keeps commits memory-only, reproducing the
+    /// pre-durability behaviour. When set, the engine materializes any
+    /// table that has no durable image yet, logs every `Txn::commit`
+    /// (and autocommit) to the WAL before acknowledging it, and brackets
+    /// checkpoints with begin/end markers so `Engine::recover` can
+    /// rebuild exactly the committed state after a crash.
+    pub wal_dir: Option<PathBuf>,
+    /// Group-commit window for the WAL: a commit's `fsync` is deferred
+    /// until this many commit records have accumulated since the last
+    /// sync (checkpoint markers always sync immediately). `1` (the
+    /// default) makes every commit individually durable; larger values
+    /// amortize the fsync over the window at the cost of losing up to
+    /// `wal_group_commit - 1` most-recent commits on a crash — always a
+    /// consistent prefix, never a torn state. Ignored without `wal_dir`.
+    pub wal_group_commit: usize,
 }
 
 impl Default for ScanShareConfig {
@@ -227,6 +246,8 @@ impl Default for ScanShareConfig {
             io_workers: 4,
             io_queue_depth: 64,
             o_direct: false,
+            wal_dir: None,
+            wal_group_commit: 1,
         }
     }
 }
@@ -277,6 +298,9 @@ impl ScanShareConfig {
         }
         if self.io_queue_depth == 0 {
             return Err(Error::config("io_queue_depth must be at least 1"));
+        }
+        if self.wal_group_commit == 0 {
+            return Err(Error::config("wal_group_commit must be at least 1"));
         }
         Ok(())
     }
@@ -354,6 +378,22 @@ impl ScanShareConfig {
     /// Returns a copy toggling `O_DIRECT` for the file device.
     pub fn with_o_direct(mut self, enabled: bool) -> Self {
         self.o_direct = enabled;
+        self
+    }
+
+    /// Returns a copy enabling durability: segments, manifests and the
+    /// write-ahead log live under `dir` (see
+    /// [`ScanShareConfig::wal_dir`]).
+    pub fn with_wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns a copy with a different group-commit window (see
+    /// [`ScanShareConfig::wal_group_commit`]); `1` makes every commit
+    /// individually durable.
+    pub fn with_wal_group_commit(mut self, window: usize) -> Self {
+        self.wal_group_commit = window;
         self
     }
 }
@@ -477,6 +517,24 @@ mod tests {
             .is_err());
         assert!(ScanShareConfig::default()
             .with_io_queue_depth(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn wal_knobs_validate() {
+        let cfg = ScanShareConfig::default();
+        assert!(cfg.wal_dir.is_none());
+        assert_eq!(cfg.wal_group_commit, 1);
+        let cfg = cfg.with_wal_dir("/tmp/waltest").with_wal_group_commit(8);
+        assert_eq!(
+            cfg.wal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/waltest"))
+        );
+        assert_eq!(cfg.wal_group_commit, 8);
+        cfg.validate().unwrap();
+        assert!(ScanShareConfig::default()
+            .with_wal_group_commit(0)
             .validate()
             .is_err());
     }

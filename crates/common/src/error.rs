@@ -69,6 +69,15 @@ pub enum Error {
     /// the enum keeps its `Clone`/`Eq` derives. Stream-local: the workload
     /// driver reports it in `stream_errors` instead of aborting the workload.
     Io(String),
+    /// The write-ahead log (or a recovery input derived from it) is
+    /// corrupt beyond the torn tail that recovery silently truncates:
+    /// a record whose checksum verifies but whose contents contradict
+    /// the durable snapshot it would replay over.
+    WalCorrupt(String),
+    /// A verified WAL record references a table id that is absent from
+    /// the recovered catalog. Surfaced as a typed error by
+    /// `Engine::recover` instead of panicking during replay.
+    WalUnknownTable(TableId),
     /// Internal invariant violation; indicates a bug in this library.
     Internal(String),
 }
@@ -106,6 +115,11 @@ impl fmt::Display for Error {
             ),
             Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
+            Error::WalCorrupt(msg) => write!(f, "write-ahead log corrupt: {msg}"),
+            Error::WalUnknownTable(t) => write!(
+                f,
+                "write-ahead log references table {t} absent from the recovered catalog"
+            ),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -184,6 +198,17 @@ mod tests {
         let e = Error::ScanStarved(ScanId::new(3));
         assert!(e.to_string().contains("starved"));
         assert!(e.to_string().contains("S3"));
+    }
+
+    #[test]
+    fn wal_errors_render() {
+        let e = Error::WalCorrupt("record 3 body truncated".into());
+        assert!(e.to_string().contains("write-ahead log"));
+        assert!(e.to_string().contains("record 3"));
+
+        let e = Error::WalUnknownTable(TableId::new(9));
+        assert!(e.to_string().contains("T9"));
+        assert!(e.to_string().contains("recovered catalog"));
     }
 
     #[test]

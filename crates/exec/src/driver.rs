@@ -39,15 +39,71 @@ pub struct WorkloadDriver {
 }
 
 /// A per-stream failure surfaced in the report instead of aborting the
-/// workload — Cooperative Scans starvation ([`Error::ScanStarved`]) and
-/// device I/O faults ([`Error::Io`]): the affected stream stops early, the
-/// remaining streams run to completion, and the caller decides how to react.
+/// workload: the affected stream stops early, the remaining streams run to
+/// completion, and the caller decides how to react. Two shapes exist —
+/// typed errors the stream returned (Cooperative Scans starvation,
+/// [`Error::ScanStarved`], and device I/O faults, [`Error::Io`]) and
+/// panics caught from the stream's thread, which would previously abort
+/// the entire workload run.
 #[derive(Debug, Clone)]
-pub struct StreamError {
-    /// Label of the stream that failed (from its [`StreamSpec`]).
-    pub stream: String,
-    /// The typed error that ended the stream.
-    pub error: Error,
+pub enum StreamError {
+    /// The stream's query returned a per-stream typed error.
+    Failed {
+        /// Label of the stream that failed (from its [`StreamSpec`]).
+        stream: String,
+        /// The typed error that ended the stream.
+        error: Error,
+    },
+    /// The stream's thread panicked; the panic was caught at the join
+    /// point instead of propagating into the driver.
+    Panicked {
+        /// Label of the stream that panicked.
+        stream: String,
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+}
+
+impl StreamError {
+    /// Label of the stream this failure ended.
+    pub fn stream(&self) -> &str {
+        match self {
+            StreamError::Failed { stream, .. } | StreamError::Panicked { stream, .. } => stream,
+        }
+    }
+
+    /// The typed error, for failures that have one (`None` for panics).
+    pub fn error(&self) -> Option<&Error> {
+        match self {
+            StreamError::Failed { error, .. } => Some(error),
+            StreamError::Panicked { .. } => None,
+        }
+    }
+
+    /// Whether this failure was a caught panic.
+    pub fn is_panic(&self) -> bool {
+        matches!(self, StreamError::Panicked { .. })
+    }
+}
+
+/// How one stream ended ahead of schedule: with a typed error from its own
+/// queries, or with a panic caught when its thread was joined. Panics are
+/// always stream-local — a panicking stream must never take the rest of
+/// the workload down with it.
+enum StreamEnd {
+    Error(Error),
+    Panic(String),
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "stream thread panicked with a non-string payload".to_string()
+    }
 }
 
 /// Whether an error is a per-stream outcome (reported in
@@ -88,8 +144,8 @@ pub struct WorkloadReport {
     /// Covers every request the device served since its statistics were
     /// last reset (the sample buffer is not differenced per run).
     pub device_latency: Option<IoLatency>,
-    /// Streams that ended early on a per-stream scheduling error (see
-    /// [`StreamError`]); empty on a clean run.
+    /// Streams that ended early — on a per-stream typed error or on a
+    /// caught panic (see [`StreamError`]); empty on a clean run.
     pub stream_errors: Vec<StreamError>,
     /// Update operations applied by the workload's update streams (0 for
     /// read-only workloads).
@@ -194,7 +250,14 @@ impl WorkloadDriver {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("stream thread panicked"))
+                    .map(|h| match h.join() {
+                        Ok(result) => result,
+                        Err(payload) => (
+                            Vec::new(),
+                            0,
+                            Some(StreamEnd::Panic(panic_message(payload))),
+                        ),
+                    })
                     .collect()
             });
             (results, 0, 0)
@@ -211,11 +274,17 @@ impl WorkloadDriver {
             latencies.extend(stream_latencies);
             tuples += stream_tuples;
             match error {
-                Some(error) if is_stream_local(&error) => stream_errors.push(StreamError {
+                Some(StreamEnd::Panic(message)) => stream_errors.push(StreamError::Panicked {
                     stream: spec.label.clone(),
-                    error,
+                    message,
                 }),
-                Some(error) => fatal = fatal.or(Some(error)),
+                Some(StreamEnd::Error(error)) if is_stream_local(&error) => {
+                    stream_errors.push(StreamError::Failed {
+                        stream: spec.label.clone(),
+                        error,
+                    })
+                }
+                Some(StreamEnd::Error(error)) => fatal = fatal.or(Some(error)),
                 None => {}
             }
         }
@@ -250,13 +319,13 @@ impl WorkloadDriver {
     fn run_rounds(
         &self,
         workload: &WorkloadSpec,
-    ) -> Result<(Vec<(Vec<Duration>, u64, Option<Error>)>, u64, u64)> {
+    ) -> Result<(Vec<(Vec<Duration>, u64, Option<StreamEnd>)>, u64, u64)> {
         let mut generators: Vec<UpdateOpGen> = workload
             .update_streams
             .iter()
             .map(UpdateStreamSpec::ops)
             .collect();
-        let mut results: Vec<(Vec<Duration>, u64, Option<Error>)> = workload
+        let mut results: Vec<(Vec<Duration>, u64, Option<StreamEnd>)> = workload
             .streams
             .iter()
             .map(|_| (Vec::new(), 0u64, None))
@@ -293,12 +362,15 @@ impl WorkloadDriver {
                     })
                     .collect();
                 for (s, handle) in handles {
-                    match handle.join().expect("stream thread panicked") {
-                        Ok(latency) => {
+                    match handle.join() {
+                        Ok(Ok(latency)) => {
                             results[s].0.push(latency);
                             results[s].1 += workload.streams[s].queries[round].total_tuples();
                         }
-                        Err(error) => results[s].2 = Some(error),
+                        Ok(Err(error)) => results[s].2 = Some(StreamEnd::Error(error)),
+                        Err(payload) => {
+                            results[s].2 = Some(StreamEnd::Panic(panic_message(payload)))
+                        }
                     }
                 }
             });
@@ -340,13 +412,13 @@ impl WorkloadDriver {
     /// Runs one stream's queries in order, returning each completed query's
     /// wall time, the tuples those queries scanned, and the error that ended
     /// the stream early, if any.
-    fn run_stream(&self, stream: &StreamSpec) -> (Vec<Duration>, u64, Option<Error>) {
+    fn run_stream(&self, stream: &StreamSpec) -> (Vec<Duration>, u64, Option<StreamEnd>) {
         let mut latencies = Vec::with_capacity(stream.queries.len());
         let mut tuples = 0u64;
         for query in &stream.queries {
             let started = Instant::now();
             if let Err(error) = self.run_query(query, false) {
-                return (latencies, tuples, Some(error));
+                return (latencies, tuples, Some(StreamEnd::Error(error)));
             }
             latencies.push(started.elapsed());
             tuples += query.total_tuples();
@@ -567,6 +639,112 @@ mod tests {
         let report = WorkloadDriver::new(engine).run(&empty).unwrap();
         assert_eq!(report.queries, 0);
         assert!(report.p50().is_none());
+    }
+
+    #[test]
+    fn a_panicking_stream_is_reported_not_propagated() {
+        use scanshare_core::policy::{ReplacementPolicy, ScanInfo};
+        use scanshare_core::registry::PolicyRegistry;
+        use scanshare_storage::layout::ScanPagePlan;
+        use std::collections::HashSet;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc as StdArc;
+
+        /// FIFO eviction that panics on the first scan registration — the
+        /// stream that reaches the backend first dies mid-query.
+        #[derive(Debug)]
+        struct PanicOnce {
+            tripped: StdArc<AtomicBool>,
+            order: Vec<scanshare_common::PageId>,
+        }
+
+        impl ReplacementPolicy for PanicOnce {
+            fn name(&self) -> &'static str {
+                "panic-once"
+            }
+            fn register_scan(
+                &mut self,
+                _: &ScanInfo,
+                _: &ScanPagePlan,
+                _: scanshare_common::VirtualInstant,
+            ) {
+                if !self.tripped.swap(true, Ordering::SeqCst) {
+                    panic!("injected register_scan panic");
+                }
+            }
+            fn report_scan_position(
+                &mut self,
+                _: scanshare_common::ScanId,
+                _: u64,
+                _: scanshare_common::VirtualInstant,
+            ) {
+            }
+            fn unregister_scan(
+                &mut self,
+                _: scanshare_common::ScanId,
+                _: scanshare_common::VirtualInstant,
+            ) {
+            }
+            fn on_access(
+                &mut self,
+                _: scanshare_common::PageId,
+                _: Option<scanshare_common::ScanId>,
+                _: scanshare_common::VirtualInstant,
+            ) {
+            }
+            fn on_admit(
+                &mut self,
+                page: scanshare_common::PageId,
+                _: scanshare_common::VirtualInstant,
+            ) {
+                self.order.push(page);
+            }
+            fn on_evict(&mut self, page: scanshare_common::PageId) {
+                self.order.retain(|&p| p != page);
+            }
+            fn choose_victims(
+                &mut self,
+                count: usize,
+                exclude: &HashSet<scanshare_common::PageId>,
+                _: scanshare_common::VirtualInstant,
+            ) -> Vec<scanshare_common::PageId> {
+                self.order
+                    .iter()
+                    .copied()
+                    .filter(|p| !exclude.contains(p))
+                    .take(count)
+                    .collect()
+            }
+        }
+
+        let (storage, workload) = setup();
+        let tripped = StdArc::new(AtomicBool::new(false));
+        let mut registry = PolicyRegistry::default();
+        let shared = StdArc::clone(&tripped);
+        registry.register("panic-once", move |_| {
+            Box::new(PanicOnce {
+                tripped: StdArc::clone(&shared),
+                order: Vec::new(),
+            })
+        });
+        let config = ScanShareConfig {
+            page_size_bytes: PAGE,
+            chunk_tuples: 5_000,
+            buffer_pool_bytes: 64 * PAGE,
+            policy: PolicyKind::Lru,
+            ..Default::default()
+        }
+        .with_custom_policy("panic-once");
+        let engine = Engine::with_registry(storage, config, &registry).unwrap();
+        let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+        assert!(tripped.load(Ordering::SeqCst), "the panic fired");
+        // Exactly one stream ends on the caught panic; the others run to
+        // completion (3 streams x 2 queries - the panicked stream's 2).
+        assert_eq!(report.stream_errors.len(), 1);
+        assert!(report.stream_errors[0].is_panic());
+        assert!(report.stream_errors[0].error().is_none());
+        assert!(format!("{:?}", report.stream_errors[0]).contains("injected register_scan panic"));
+        assert_eq!(report.queries, 4);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! together.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use scanshare_common::sync::{Mutex, RwLock};
@@ -19,9 +20,11 @@ use scanshare_iosim::{BlockDevice, FileIoDevice, IoDevice, ReferenceTrace};
 use scanshare_pdt::checkpoint::checkpoint_stack;
 use scanshare_pdt::pdt::Pdt;
 use scanshare_pdt::stack::PdtStack;
+use scanshare_pdt::wal::{decode_commit, encode_commit, CommitTableRecord};
 use scanshare_storage::datagen::Value;
 use scanshare_storage::snapshot::Snapshot;
 use scanshare_storage::storage::Storage;
+use scanshare_storage::wal::{decode_marker, Wal, WalRecordKind};
 
 use crate::ops::BatchSource;
 use crate::query::Query;
@@ -94,6 +97,11 @@ pub struct Engine {
     clock: Arc<VirtualClock>,
     trace: Option<Arc<ReferenceTrace>>,
     tables: RwLock<HashMap<TableId, Arc<TableUpdates>>>,
+    /// The write-ahead log, present when
+    /// [`ScanShareConfig::wal_dir`] selects a durability directory. Commits
+    /// append to it before they are acknowledged; [`Engine::recover`]
+    /// replays it over the last durable segment image.
+    wal: Option<Arc<Wal>>,
 }
 
 impl Engine {
@@ -117,6 +125,10 @@ impl Engine {
         registry: &PolicyRegistry,
     ) -> Result<Arc<Self>> {
         config.validate()?;
+        // A durability directory needs a base image for every table before
+        // the device is built: `DeviceKind::File` requires the file store
+        // the materialization creates.
+        Self::ensure_durable_base(&storage, &config)?;
         let device: Arc<dyn BlockDevice> = match config.device {
             DeviceKind::Sim => Arc::new(IoDevice::new(
                 config.io_bandwidth,
@@ -157,6 +169,11 @@ impl Engine {
         device: Arc<dyn BlockDevice>,
     ) -> Result<Arc<Self>> {
         config.validate()?;
+        Self::ensure_durable_base(&storage, &config)?;
+        let wal = match &config.wal_dir {
+            Some(dir) => Some(Arc::new(Wal::open(dir, config.wal_group_commit)?)),
+            None => None,
+        };
         let clock = VirtualClock::shared();
         let mut trace = None;
 
@@ -207,7 +224,58 @@ impl Engine {
             clock,
             trace,
             tables: RwLock::new(HashMap::new()),
+            wal,
         }))
+    }
+
+    /// When `config.wal_dir` selects a durability directory, materializes
+    /// every catalog table that has no on-disk manifest there yet, so the
+    /// WAL always replays over a complete durable base image. Idempotent:
+    /// already-materialized tables (including everything restored by
+    /// [`Storage::open_directory`]) are left untouched.
+    fn ensure_durable_base(storage: &Arc<Storage>, config: &ScanShareConfig) -> Result<()> {
+        let Some(dir) = &config.wal_dir else {
+            return Ok(());
+        };
+        for table in storage.table_ids() {
+            if !storage.table_is_materialized(table, dir)? {
+                let snapshot = storage.master_snapshot(table)?;
+                storage.materialize_snapshot(&snapshot, dir)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether commits of this engine are logged to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The engine's write-ahead log, when durability is configured.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Appends one commit's per-table write sets to the WAL without
+    /// syncing, returning the record's log sequence (or `None` when the
+    /// engine has no WAL). Callers must hold the written tables' state
+    /// locks across this call so the log order matches the commit-sequence
+    /// order, and pair it with [`Engine::wal_commit_sync`] after the locks
+    /// are released.
+    pub(crate) fn wal_append_commit(&self, records: &[CommitTableRecord]) -> Result<Option<u64>> {
+        match &self.wal {
+            Some(wal) => Ok(Some(wal.append_commit(&encode_commit(records))?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Makes the commit record `seq` durable subject to group commit; a
+    /// no-op for engines without a WAL.
+    pub(crate) fn wal_commit_sync(&self, seq: Option<u64>) -> Result<()> {
+        if let (Some(wal), Some(seq)) = (&self.wal, seq) {
+            wal.commit_sync(seq)?;
+        }
+        Ok(())
     }
 
     /// The underlying storage engine.
@@ -290,13 +358,18 @@ impl Engine {
         }
         let columns = self.storage.table(table)?.spec.columns.len();
         let snapshot = self.storage.master_snapshot(table)?;
+        // Start the commit sequence at the WAL sequence the durable image
+        // already covers (0 for in-memory tables), so replay after
+        // `Storage::open_directory` can tell folded-in commits from the ones
+        // it must re-apply.
+        let commit_seq = self.storage.durable_wal_seq(table);
         let mut tables = self.tables.write();
         Ok(Arc::clone(tables.entry(table).or_insert_with(|| {
             Arc::new(TableUpdates {
                 state: Mutex::new(TableTxnState {
                     snapshot,
                     stack: Arc::new(PdtStack::new(columns, 1)),
-                    commit_seq: 0,
+                    commit_seq,
                     epoch: 0,
                 }),
                 checkpoint: Mutex::new(()),
@@ -363,7 +436,9 @@ impl Engine {
     }
 
     /// Applies one auto-committed update under the state mutex (a one-op
-    /// transaction that can never conflict).
+    /// transaction that can never conflict). The op runs against a private
+    /// top layer — exactly like a [`Txn`] — so the committed delta can be
+    /// logged to the WAL before it is folded into the shared stack.
     fn autocommit<R>(
         &self,
         table: TableId,
@@ -373,8 +448,31 @@ impl Engine {
         let mut state = updates.state().lock();
         self.sync_state_with_storage(table, &mut state)?;
         let stable = state.snapshot.stable_tuples();
-        let result = op(Arc::make_mut(&mut state.stack), stable)?;
+        let visible_before = state.stack.visible_count(stable);
+        let stack = Arc::make_mut(&mut state.stack);
+        stack.push_layer(Pdt::new(stack.column_count()));
+        let result = match op(stack, stable) {
+            Ok(result) => result,
+            Err(err) => {
+                stack.pop_layer();
+                return Err(err);
+            }
+        };
+        let private = stack.pop_layer().expect("the private layer pushed above");
+        if private.is_empty() {
+            return Ok(result);
+        }
+        let record = CommitTableRecord {
+            table,
+            commit_seq: state.commit_seq + 1,
+            visible_before,
+            pdt: private,
+        };
+        let wal_seq = self.wal_append_commit(std::slice::from_ref(&record))?;
+        Arc::make_mut(&mut state.stack).absorb_top(&record.pdt, stable)?;
         state.commit_seq += 1;
+        drop(state);
+        self.wal_commit_sync(wal_seq)?;
         Ok(result)
     }
 
@@ -437,18 +535,34 @@ impl Engine {
         let _one_at_a_time = updates.checkpoint.lock();
 
         // Phase 1: freeze.
-        let (old_snapshot, frozen, frozen_depth) = {
+        let (old_snapshot, frozen, frozen_depth, through_seq) = {
             let mut state = updates.state().lock();
             self.sync_state_with_storage(table, &mut state)?;
             let old_snapshot = Arc::clone(&state.snapshot);
             let frozen = Arc::clone(&state.stack);
             let depth = frozen.depth();
             Arc::make_mut(&mut state.stack).push_layer(Pdt::new(frozen.column_count()));
-            (old_snapshot, frozen, depth)
+            (old_snapshot, frozen, depth, state.commit_seq)
         };
 
-        // Phase 2: materialize without holding the state mutex.
-        let new_snapshot = match checkpoint_stack(&self.storage, table, &old_snapshot, &frozen) {
+        // Phase 2: materialize without holding the state mutex. For durable
+        // engines the phase is bracketed by WAL markers and additionally
+        // writes the new image's segments + manifest (atomically renamed —
+        // the real durable commit point of the checkpoint); the manifest is
+        // stamped with `through_seq`, so recovery replays exactly the
+        // commits that arrived while the checkpoint ran.
+        let materialized = (|| -> Result<Arc<Snapshot>> {
+            if let Some(wal) = &self.wal {
+                wal.append_marker(WalRecordKind::CheckpointBegin, table, through_seq)?;
+            }
+            let new_snapshot = checkpoint_stack(&self.storage, table, &old_snapshot, &frozen)?;
+            if let Some(dir) = &self.config.wal_dir {
+                self.storage
+                    .materialize_snapshot_logged(&new_snapshot, dir, through_seq)?;
+            }
+            Ok(new_snapshot)
+        })();
+        let new_snapshot = match materialized {
             Ok(snapshot) => snapshot,
             Err(err) => {
                 // Undo the freeze: fold the during-checkpoint layer back
@@ -473,7 +587,99 @@ impl Engine {
             state.epoch
         };
         self.backend.invalidate_stale(table, epoch, &stale);
+        if let Some(wal) = &self.wal {
+            wal.append_marker(WalRecordKind::CheckpointEnd, table, through_seq)?;
+        }
         Ok(new_snapshot)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery
+    // ------------------------------------------------------------------
+
+    /// Recovers an engine from a durability directory after a crash: reopens
+    /// the last durable segment images cold ([`Storage::open_directory`]),
+    /// then replays the write-ahead log's commit records on top — skipping
+    /// everything a completed checkpoint already folded into the segments —
+    /// so the recovered engine sees exactly the durable prefix of the
+    /// committed history (every synced commit; under group commit, possibly
+    /// minus up to `group_commit - 1` of the newest unsynced ones).
+    ///
+    /// `config`'s physical layout (`page_size_bytes`, `chunk_tuples`) is
+    /// overridden by what the manifests record, and `wal_dir` is pointed at
+    /// `dir`, so the recovered engine keeps logging to the same WAL.
+    ///
+    /// Torn state is handled, never fatal: a torn final WAL record is
+    /// truncated away, and a checkpoint that crashed between its begin/end
+    /// markers is ignored (the atomically-renamed manifest means the old
+    /// image is still the authoritative base). Structural contradictions
+    /// surface as typed errors instead of panics:
+    /// [`Error::WalCorrupt`] for records that contradict the rebuilt state
+    /// and [`Error::WalUnknownTable`] for records naming a table absent
+    /// from the recovered catalog.
+    pub fn recover(dir: impl AsRef<Path>, config: ScanShareConfig) -> Result<Arc<Self>> {
+        let dir = dir.as_ref();
+        let storage = Storage::open_directory(dir)?;
+        let mut config = config;
+        config.page_size_bytes = storage.page_size_bytes();
+        config.chunk_tuples = storage.chunk_tuples();
+        config.wal_dir = Some(dir.to_path_buf());
+        let engine = Self::new(storage, config)?;
+        engine.replay_wal(dir)?;
+        Ok(engine)
+    }
+
+    /// Replays every verified WAL record over the freshly opened durable
+    /// images. Commit records re-apply their serialized private PDTs through
+    /// the same [`PdtStack::absorb_top`] a live commit uses; checkpoint
+    /// markers are validated but drive no state (the manifest rename is the
+    /// checkpoint's durable commit point).
+    fn replay_wal(&self, dir: &Path) -> Result<()> {
+        for record in Wal::read_records(dir)? {
+            match record.kind {
+                WalRecordKind::Commit => {
+                    for entry in decode_commit(&record.body)? {
+                        self.replay_commit(entry)?;
+                    }
+                }
+                WalRecordKind::CheckpointBegin | WalRecordKind::CheckpointEnd => {
+                    let (table, _seq) = decode_marker(&record.body)?;
+                    if self.storage.table(table).is_err() {
+                        return Err(Error::WalUnknownTable(table));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-applies one table's share of a logged commit. Records the durable
+    /// image already covers (per-table sequence at or below the manifest's
+    /// `wal_seq`) are skipped; sequence *gaps* are tolerated — adopted bulk
+    /// appends bump the live commit sequence without writing WAL records —
+    /// but the logged pre-commit visible row count must match the rebuilt
+    /// state exactly, which catches a stale image, a lost append or record
+    /// misordering as [`Error::WalCorrupt`] instead of silently diverging.
+    fn replay_commit(&self, entry: CommitTableRecord) -> Result<()> {
+        if self.storage.table(entry.table).is_err() {
+            return Err(Error::WalUnknownTable(entry.table));
+        }
+        let updates = self.table_updates(entry.table)?;
+        let mut state = updates.state().lock();
+        if entry.commit_seq <= state.commit_seq {
+            return Ok(());
+        }
+        let stable = state.snapshot.stable_tuples();
+        let visible = state.stack.visible_count(stable);
+        if visible != entry.visible_before {
+            return Err(Error::WalCorrupt(format!(
+                "commit {} of table {} expects {} visible rows but the recovered state has {}",
+                entry.commit_seq, entry.table, entry.visible_before, visible
+            )));
+        }
+        Arc::make_mut(&mut state.stack).absorb_top(&entry.pdt, stable)?;
+        state.commit_seq = entry.commit_seq;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -717,6 +923,142 @@ mod tests {
             .read_range(&layout, &snapshot, 0, TupleRange::new(0, 2))
             .unwrap();
         assert_eq!(head, vec![-7, 1]);
+    }
+
+    struct TestDir(std::path::PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::{AtomicU32, Ordering};
+            static SEQ: AtomicU32 = AtomicU32::new(0);
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "scanshare-engine-{tag}-{}-{seq}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            Self(path)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn head_rows(engine: &Arc<Engine>, table: TableId, n: u64) -> Vec<Vec<Value>> {
+        engine
+            .query(table)
+            .columns(["k", "v"])
+            .range(..n)
+            .in_order()
+            .rows()
+            .unwrap()
+    }
+
+    #[test]
+    fn committed_updates_survive_recovery() {
+        let dir = TestDir::new("recover");
+        let (storage, table) = storage_with_table(100);
+        let cfg = config(PolicyKind::Lru).with_wal_dir(&dir.0);
+        let engine = Engine::new(storage, cfg).unwrap();
+        assert!(engine.is_durable());
+        engine.insert_row(table, 0, vec![-1, -2]).unwrap();
+        engine.delete_row(table, 50).unwrap();
+        engine.update_value(table, 1, 1, 99).unwrap();
+        let mut txn = engine.begin();
+        txn.insert(table, 0, vec![-3, -4]).unwrap();
+        txn.delete(table, 2).unwrap();
+        txn.commit().unwrap();
+        let visible = engine.visible_rows(table).unwrap();
+        let head = head_rows(&engine, table, 4);
+        drop(engine);
+
+        // "Crash": recover cold from the directory, replaying the WAL.
+        let recovered = Engine::recover(&dir.0, config(PolicyKind::Lru)).unwrap();
+        assert_eq!(recovered.visible_rows(table).unwrap(), visible);
+        assert_eq!(head_rows(&recovered, table, 4), head);
+
+        // A checkpoint folds the replayed updates into a new durable image;
+        // commits after it land in the WAL and survive another recovery.
+        recovered.checkpoint(table).unwrap();
+        recovered.delete_row(table, 0).unwrap();
+        drop(recovered);
+        let again = Engine::recover(&dir.0, config(PolicyKind::Lru)).unwrap();
+        assert_eq!(again.visible_rows(table).unwrap(), visible - 1);
+    }
+
+    #[test]
+    fn recovery_rejects_records_for_unknown_tables() {
+        use scanshare_pdt::wal::{encode_commit, CommitTableRecord};
+        use scanshare_storage::wal::{Wal, WalRecordKind};
+
+        let dir = TestDir::new("unknown");
+        let (storage, table) = storage_with_table(50);
+        let engine = Engine::new(storage, config(PolicyKind::Lru).with_wal_dir(&dir.0)).unwrap();
+        engine.delete_row(table, 0).unwrap();
+        drop(engine);
+
+        // Forge a commit record naming a table the catalog never had.
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        let mut pdt = Pdt::new(2);
+        pdt.delete(Rid::new(0), 10).unwrap();
+        let body = encode_commit(&[CommitTableRecord {
+            table: TableId::new(9),
+            commit_seq: 1,
+            visible_before: 10,
+            pdt,
+        }]);
+        wal.append_commit(&body).unwrap();
+        wal.sync_all().unwrap();
+        drop(wal);
+        let err = Engine::recover(&dir.0, config(PolicyKind::Lru)).unwrap_err();
+        assert!(
+            matches!(err, Error::WalUnknownTable(t) if t == TableId::new(9)),
+            "got {err:?}"
+        );
+
+        // The same applies to checkpoint markers naming absent tables.
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        // Drop the forged commit by rewriting the log: truncate to empty.
+        drop(wal);
+        std::fs::write(dir.0.join("wal.log"), b"").unwrap();
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        wal.append_marker(WalRecordKind::CheckpointBegin, TableId::new(8), 1)
+            .unwrap();
+        drop(wal);
+        let err = Engine::recover(&dir.0, config(PolicyKind::Lru)).unwrap_err();
+        assert!(matches!(err, Error::WalUnknownTable(t) if t == TableId::new(8)));
+    }
+
+    #[test]
+    fn recovery_detects_visible_count_contradictions() {
+        use scanshare_pdt::wal::{encode_commit, CommitTableRecord};
+        use scanshare_storage::wal::Wal;
+
+        let dir = TestDir::new("contradict");
+        let (storage, table) = storage_with_table(50);
+        let engine = Engine::new(storage, config(PolicyKind::Lru).with_wal_dir(&dir.0)).unwrap();
+        engine.delete_row(table, 0).unwrap();
+        drop(engine);
+
+        // A record whose pre-commit visible count contradicts the rebuilt
+        // state (50 stable - 1 replayed delete = 49, not 42).
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        let mut pdt = Pdt::new(2);
+        pdt.delete(Rid::new(0), 50).unwrap();
+        let body = encode_commit(&[CommitTableRecord {
+            table,
+            commit_seq: 5,
+            visible_before: 42,
+            pdt,
+        }]);
+        wal.append_commit(&body).unwrap();
+        wal.sync_all().unwrap();
+        drop(wal);
+        let err = Engine::recover(&dir.0, config(PolicyKind::Lru)).unwrap_err();
+        assert!(matches!(err, Error::WalCorrupt(_)), "got {err:?}");
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::sync::Arc;
 use scanshare_common::{Error, Result, Rid, TableId};
 use scanshare_pdt::pdt::Pdt;
 use scanshare_pdt::stack::PdtStack;
+use scanshare_pdt::wal::CommitTableRecord;
 use scanshare_storage::datagen::Value;
 use scanshare_storage::snapshot::Snapshot;
 
@@ -222,6 +223,28 @@ impl Txn {
                 )));
             }
         }
+        // Log the write sets before applying them, still under the state
+        // locks so the WAL order matches the commit-sequence order. The
+        // fsync (subject to group commit) happens after the locks are
+        // released.
+        let wal_seq = if self.engine.is_durable() {
+            let records: Vec<CommitTableRecord> = written
+                .iter()
+                .zip(guards.iter())
+                .map(|((table, _, private), guard)| {
+                    let stable = guard.snapshot.stable_tuples();
+                    CommitTableRecord {
+                        table: *table,
+                        commit_seq: guard.commit_seq + 1,
+                        visible_before: guard.stack.visible_count(stable),
+                        pdt: private.clone(),
+                    }
+                })
+                .collect();
+            self.engine.wal_append_commit(&records)?
+        } else {
+            None
+        };
         for ((_, _, private), guard) in written.iter().zip(guards.iter_mut()) {
             // The conflict check passed, so the table's visible stream is
             // exactly the one the private layer's positions refer to — even
@@ -233,7 +256,8 @@ impl Txn {
             stack.absorb_top(private, stable)?;
             guard.commit_seq += 1;
         }
-        Ok(())
+        drop(guards);
+        self.engine.wal_commit_sync(wal_seq)
     }
 
     /// Discards the transaction's updates (equivalent to dropping it).

@@ -21,7 +21,10 @@
 //!   engine and the discrete-event simulator, so both executors read the
 //!   same pages for the same visible range;
 //! * [`checkpoint`]: materializing stable storage + PDT into a brand-new
-//!   table image, as performed by a PDT checkpoint (Figure 7).
+//!   table image, as performed by a PDT checkpoint (Figure 7);
+//! * [`wal`]: the write-ahead-log codec for committed write sets — a
+//!   commit is logged as the serialized private PDT per table, so replay
+//!   is the same [`PdtStack::absorb_top`] a live commit performs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,9 +34,11 @@ pub mod merge;
 pub mod pdt;
 pub mod stack;
 pub mod translate;
+pub mod wal;
 
 pub use crate::pdt::{Pdt, UpdateStats};
 pub use checkpoint::{checkpoint_stack, checkpoint_table};
 pub use merge::{MergeCursor, SliceSource, StableSource};
 pub use stack::PdtStack;
 pub use translate::{rid_range_to_sid_ranges, sid_range_to_rid_range};
+pub use wal::{decode_commit, encode_commit, CommitTableRecord};

@@ -202,6 +202,27 @@ impl Pdt {
         self.nodes.range(from..to).map(|(&sid, _)| sid)
     }
 
+    /// Iterates every node with its anchor SID (WAL encoding).
+    pub(crate) fn nodes_iter(&self) -> impl Iterator<Item = (u64, &Node)> + '_ {
+        self.nodes.iter().map(|(&sid, node)| (sid, node))
+    }
+
+    /// Installs a fully-formed node at `sid` (WAL replay decoding). The
+    /// insert/delete totals are recomputed exactly from the node contents;
+    /// `total_modifies` counts one per modified column, which can undercount
+    /// a live PDT that modified the same column twice — a statistics-only
+    /// difference, since positional translation never reads it.
+    pub(crate) fn set_node(&mut self, sid: u64, node: Node) {
+        if node.is_empty() {
+            return;
+        }
+        self.total_inserts += node.inserts.len() as u64;
+        self.total_deletes += u64::from(node.deleted);
+        self.total_modifies += node.modifies.len() as u64;
+        self.nodes.insert(sid, node);
+        self.invalidate();
+    }
+
     // ------------------------------------------------------------------
     // Positional translation (Figure 4)
     // ------------------------------------------------------------------

@@ -29,6 +29,7 @@ pub mod segment;
 pub mod snapshot;
 pub mod storage;
 pub mod table;
+pub mod wal;
 
 pub use catalog::Catalog;
 pub use column::{ColumnSpec, ColumnType};
@@ -37,3 +38,4 @@ pub use segment::FileStore;
 pub use snapshot::{Snapshot, SnapshotStore};
 pub use storage::{AppendTransaction, PageData, Storage};
 pub use table::TableSpec;
+pub use wal::{Wal, WalRecord, WalRecordKind};

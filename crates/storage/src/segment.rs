@@ -70,12 +70,25 @@ pub fn slot_bytes(layout: &TableLayout, col: usize) -> u64 {
     align_up(layout.tuples_per_page(col) * 8, SEGMENT_ALIGN)
 }
 
-fn segment_file_name(table: &str, col: usize) -> String {
-    format!("{table}_col{col}.seg")
+fn segment_file_name(table: &str, col: usize, version: u64) -> String {
+    format!("{table}_col{col}.v{version}.seg")
 }
 
-fn manifest_file_name(table: &str) -> String {
+pub(crate) fn manifest_file_name(table: &str) -> String {
     format!("{table}.manifest")
+}
+
+/// Fsyncs a directory so a just-renamed file inside it is durable.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
 }
 
 fn validate_name(kind: &str, name: &str) -> Result<()> {
@@ -129,16 +142,27 @@ fn parse_type_token(token: &str) -> Result<ColumnType> {
 // ---------------------------------------------------------------------------
 
 /// Writes the segment files and manifest for `snapshot` into `dir`,
-/// overwriting any previous materialization of the same table. Values are
+/// replacing any previous materialization of the same table. Values are
 /// pulled through [`Storage::read_page`], so whatever the snapshot would
 /// serve in memory (generated base data, appended pages, checkpoint images)
 /// is exactly what lands on disk.
+///
+/// The write is *crash-atomic*: segments land in fresh `.v<N>.seg` files
+/// (the previous version's files are never modified), each is fsynced, and
+/// the manifest — the single commit point — is written to a temp file,
+/// fsynced, renamed over `<table>.manifest` and the directory fsynced. A
+/// crash anywhere in between leaves the previous manifest pointing at the
+/// previous, untouched segment files; orphaned new-version segments are
+/// overwritten by the next materialization. `wal_seq` records the WAL
+/// sequence number this image covers, so recovery can skip commit records
+/// the image already contains. Returns the version number written.
 pub(crate) fn write_table(
     storage: &Storage,
     layout: &TableLayout,
     snapshot: &Snapshot,
     dir: &Path,
-) -> Result<()> {
+    wal_seq: u64,
+) -> Result<u64> {
     let table_name = &layout.spec().name;
     validate_name("table", table_name)?;
     for col in &layout.spec().columns {
@@ -146,9 +170,18 @@ pub(crate) fn write_table(
     }
     fs::create_dir_all(dir)?;
 
+    // The previous durable version, if any, fixes the new version number
+    // and tells us which files to clean up once the new image is durable.
+    let manifest_path = dir.join(manifest_file_name(table_name));
+    let previous = match fs::read_to_string(&manifest_path) {
+        Ok(text) => parse_manifest(&manifest_path, &text).ok(),
+        Err(_) => None,
+    };
+    let version = previous.as_ref().map_or(1, |m| m.version + 1);
+
     for col in 0..layout.column_count() {
         let slot = slot_bytes(layout, col);
-        let path = dir.join(segment_file_name(table_name, col));
+        let path = dir.join(segment_file_name(table_name, col, version));
         let file = OpenOptions::new()
             .write(true)
             .create(true)
@@ -190,6 +223,9 @@ pub(crate) fn write_table(
     manifest.push_str(MANIFEST_HEADER);
     manifest.push('\n');
     manifest.push_str(&format!("table {table_name}\n"));
+    manifest.push_str(&format!("table_id {}\n", snapshot.table().raw()));
+    manifest.push_str(&format!("version {version}\n"));
+    manifest.push_str(&format!("wal_seq {wal_seq}\n"));
     manifest.push_str(&format!("page_size {}\n", layout.page_size_bytes()));
     manifest.push_str(&format!("chunk_tuples {}\n", layout.chunk_tuples()));
     manifest.push_str(&format!("stable_tuples {}\n", snapshot.stable_tuples()));
@@ -208,8 +244,24 @@ pub(crate) fn write_table(
         }
         manifest.push('\n');
     }
-    fs::write(dir.join(manifest_file_name(table_name)), manifest)?;
-    Ok(())
+    // Atomic manifest install: temp file, fsync, rename, fsync directory.
+    // The rename is the commit point; a crash before it leaves the previous
+    // manifest (pointing at the previous version's segments) authoritative.
+    let tmp_path = dir.join(format!("{table_name}.manifest.tmp"));
+    {
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(manifest.as_bytes())?;
+        tmp.sync_all()?;
+    }
+    fs::rename(&tmp_path, &manifest_path)?;
+    fsync_dir(dir)?;
+    // Only now is it safe to drop the previous version's segment files.
+    if let Some(old) = previous {
+        for col in 0..old.columns.len() {
+            let _ = fs::remove_file(dir.join(segment_file_name(&old.name, col, old.version)));
+        }
+    }
+    Ok(version)
 }
 
 // ---------------------------------------------------------------------------
@@ -220,6 +272,16 @@ pub(crate) fn write_table(
 #[derive(Debug, Clone)]
 pub(crate) struct ManifestTable {
     pub name: String,
+    /// The table id the image was materialized under, when recorded.
+    /// Reopening restores tables in id order so WAL records — which
+    /// reference tables by id — resolve to the same tables after recovery.
+    pub table_id: Option<u32>,
+    /// Materialization version; segment files are `<name>_col<i>.v<version>.seg`.
+    pub version: u64,
+    /// WAL sequence number this durable image covers: commit records with a
+    /// per-table sequence at or below this are already folded into the
+    /// segments and must be skipped during recovery.
+    pub wal_seq: u64,
     pub page_size: u64,
     pub chunk_tuples: u64,
     pub stable_tuples: u64,
@@ -234,6 +296,9 @@ fn parse_manifest(path: &Path, text: &str) -> Result<ManifestTable> {
         return Err(ctx("not a scanshare table manifest".to_string()));
     }
     let mut name = None;
+    let mut table_id = None;
+    let mut version = 1u64;
+    let mut wal_seq = 0u64;
     let mut page_size = None;
     let mut chunk_tuples = None;
     let mut stable_tuples = None;
@@ -244,6 +309,26 @@ fn parse_manifest(path: &Path, text: &str) -> Result<ManifestTable> {
         let Some(key) = fields.next() else { continue };
         match key {
             "table" => name = fields.next().map(str::to_string),
+            "table_id" => {
+                table_id = Some(
+                    fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ctx("malformed table_id line".to_string()))?,
+                );
+            }
+            "version" => {
+                version = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ctx("malformed version line".to_string()))?;
+            }
+            "wal_seq" => {
+                wal_seq = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ctx("malformed wal_seq line".to_string()))?;
+            }
             "page_size" => page_size = fields.next().and_then(|v| v.parse().ok()),
             "chunk_tuples" => chunk_tuples = fields.next().and_then(|v| v.parse().ok()),
             "stable_tuples" => stable_tuples = fields.next().and_then(|v| v.parse().ok()),
@@ -297,6 +382,9 @@ fn parse_manifest(path: &Path, text: &str) -> Result<ManifestTable> {
     }
     Ok(ManifestTable {
         name,
+        table_id,
+        version,
+        wal_seq,
         page_size: page_size.ok_or_else(|| ctx("missing page_size".to_string()))?,
         chunk_tuples: chunk_tuples.ok_or_else(|| ctx("missing chunk_tuples".to_string()))?,
         stable_tuples: stable_tuples.ok_or_else(|| ctx("missing stable_tuples".to_string()))?,
@@ -305,8 +393,10 @@ fn parse_manifest(path: &Path, text: &str) -> Result<ManifestTable> {
     })
 }
 
-/// Reads every `*.manifest` in `dir`, sorted by file name so table ids are
-/// assigned deterministically on reopen.
+/// Reads every `*.manifest` in `dir`, ordered by recorded table id (file
+/// name breaks ties and orders manifests from before table ids were
+/// recorded), so a reopen assigns every table the id its WAL records
+/// reference.
 pub(crate) fn read_manifests(dir: &Path) -> Result<Vec<ManifestTable>> {
     let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -318,6 +408,10 @@ pub(crate) fn read_manifests(dir: &Path) -> Result<Vec<ManifestTable>> {
         let text = fs::read_to_string(&path)?;
         out.push(parse_manifest(&path, &text)?);
     }
+    out.sort_by(|a, b| {
+        let key = |m: &ManifestTable| m.table_id.map_or(u64::from(u32::MAX) + 1, u64::from);
+        key(a).cmp(&key(b)).then_with(|| a.name.cmp(&b.name))
+    });
     Ok(out)
 }
 
@@ -479,8 +573,14 @@ impl FileStore {
     }
 
     /// Registers (or replaces) the mapping for one materialized table. The
-    /// segment files must already exist on disk.
-    pub(crate) fn register_table(&self, layout: &TableLayout, snapshot: &Snapshot) -> Result<()> {
+    /// segment files of the given materialization version must already
+    /// exist on disk.
+    pub(crate) fn register_table(
+        &self,
+        layout: &TableLayout,
+        snapshot: &Snapshot,
+        version: u64,
+    ) -> Result<()> {
         let table_name = layout.spec().name.clone();
         let o_direct = self.o_direct_active();
         let mut map = self.map.write();
@@ -494,7 +594,7 @@ impl FileStore {
         }
         let mut registered = Vec::new();
         for col in 0..layout.column_count() {
-            let path = self.dir.join(segment_file_name(&table_name, col));
+            let path = self.dir.join(segment_file_name(&table_name, col, version));
             let file = File::open(&path)?;
             let direct = if o_direct { open_direct(&path) } else { None };
             let segment = Segment { path, file, direct };
@@ -708,7 +808,7 @@ mod tests {
         let layout = storage.layout(id).unwrap();
         let snap = storage.master_snapshot(id).unwrap();
         for col in 0..layout.column_count() {
-            let path = dir.0.join(segment_file_name("seg_t", col));
+            let path = dir.0.join(segment_file_name("seg_t", col, 1));
             let bytes = fs::read(&path).unwrap();
             let pages = snap.column_pages(col).len() as u64;
             let slot = slot_bytes(&layout, col);
@@ -825,6 +925,52 @@ mod tests {
                 assert!(page.raw() > max_disk, "fresh page {page} collides");
             }
         }
+    }
+
+    #[test]
+    fn rematerialization_bumps_version_and_drops_old_segments() {
+        let (storage, id) = sample_storage();
+        let dir = TestDir::new("version");
+        storage.materialize_table(id, &dir.0).unwrap();
+        assert!(dir.0.join(segment_file_name("seg_t", 0, 1)).exists());
+        storage.materialize_table(id, &dir.0).unwrap();
+        let parsed = read_manifests(&dir.0).unwrap();
+        assert_eq!(parsed[0].version, 2);
+        assert!(dir.0.join(segment_file_name("seg_t", 0, 2)).exists());
+        assert!(
+            !dir.0.join(segment_file_name("seg_t", 0, 1)).exists(),
+            "previous version is cleaned up once the new manifest is durable"
+        );
+        // The reopened storage reads the new version's files.
+        let reopened = Storage::open_directory(&dir.0).unwrap();
+        let rid = reopened.table_by_name("seg_t").unwrap().id;
+        assert!(reopened.master_snapshot(rid).is_ok());
+    }
+
+    #[test]
+    fn manifest_records_wal_seq() {
+        let (storage, id) = sample_storage();
+        let dir = TestDir::new("walseq");
+        let snap = storage.master_snapshot(id).unwrap();
+        storage
+            .materialize_snapshot_logged(&snap, &dir.0, 42)
+            .unwrap();
+        let parsed = read_manifests(&dir.0).unwrap();
+        assert_eq!(parsed[0].wal_seq, 42);
+        let reopened = Storage::open_directory(&dir.0).unwrap();
+        let rid = reopened.table_by_name("seg_t").unwrap().id;
+        assert_eq!(reopened.durable_wal_seq(rid), 42);
+    }
+
+    #[test]
+    fn leftover_manifest_tmp_is_ignored_on_reopen() {
+        let (storage, id) = sample_storage();
+        let dir = TestDir::new("tmpleft");
+        storage.materialize_table(id, &dir.0).unwrap();
+        // A crash between the temp write and the rename leaves a .tmp file.
+        fs::write(dir.0.join("seg_t.manifest.tmp"), "torn garbage").unwrap();
+        let reopened = Storage::open_directory(&dir.0).unwrap();
+        assert!(reopened.table_by_name("seg_t").is_ok());
     }
 
     #[test]

@@ -54,6 +54,9 @@ struct Inner {
     page_data: HashMap<PageId, Arc<Vec<Value>>>,
     /// Per table: one generator per column for base data.
     datagens: HashMap<TableId, Vec<DataGen>>,
+    /// Per table: the WAL sequence number covered by the durable on-disk
+    /// image (from the manifest on reopen, updated on materialization).
+    wal_seqs: HashMap<TableId, u64>,
     seed: u64,
 }
 
@@ -82,6 +85,7 @@ impl Storage {
                 snapshots: SnapshotStore::new(),
                 page_data: HashMap::new(),
                 datagens: HashMap::new(),
+                wal_seqs: HashMap::new(),
                 seed,
             }),
             file_store: RwLock::new(None),
@@ -104,10 +108,25 @@ impl Storage {
     }
 
     /// Like [`Storage::materialize_table`], but for an explicit snapshot
-    /// (e.g. a checkpoint image that is not master yet).
+    /// (e.g. a checkpoint image that is not master yet). Preserves the
+    /// table's recorded WAL sequence number.
     pub fn materialize_snapshot(&self, snapshot: &Snapshot, dir: &Path) -> Result<Arc<FileStore>> {
+        let wal_seq = self.durable_wal_seq(snapshot.table());
+        self.materialize_snapshot_logged(snapshot, dir, wal_seq)
+    }
+
+    /// Like [`Storage::materialize_snapshot`], but stamps the manifest with
+    /// the WAL sequence number the image covers: on recovery, commit
+    /// records with a per-table sequence at or below `wal_seq` are already
+    /// folded into the segments and are skipped during replay.
+    pub fn materialize_snapshot_logged(
+        &self,
+        snapshot: &Snapshot,
+        dir: &Path,
+        wal_seq: u64,
+    ) -> Result<Arc<FileStore>> {
         let layout = self.layout(snapshot.table())?;
-        segment::write_table(self, &layout, snapshot, dir)?;
+        let version = segment::write_table(self, &layout, snapshot, dir, wal_seq)?;
         let store = {
             let mut slot = self.file_store.write();
             match slot.as_ref() {
@@ -119,8 +138,28 @@ impl Storage {
                 }
             }
         };
-        store.register_table(&layout, snapshot)?;
+        store.register_table(&layout, snapshot, version)?;
+        self.inner
+            .write()
+            .wal_seqs
+            .insert(snapshot.table(), wal_seq);
         Ok(store)
+    }
+
+    /// The WAL sequence number covered by the table's durable on-disk image
+    /// (`0` if the table was never materialized with a WAL sequence).
+    pub fn durable_wal_seq(&self, table: TableId) -> u64 {
+        self.inner.read().wal_seqs.get(&table).copied().unwrap_or(0)
+    }
+
+    /// Whether `dir` holds a durable manifest for `table` (used by the
+    /// engine to decide which tables still need a first materialization
+    /// when durability is enabled).
+    pub fn table_is_materialized(&self, table: TableId, dir: &Path) -> Result<bool> {
+        let entry = self.table(table)?;
+        Ok(dir
+            .join(segment::manifest_file_name(&entry.spec.name))
+            .exists())
     }
 
     /// The on-disk segment store, if any table has been materialized (or the
@@ -157,6 +196,7 @@ impl Storage {
         let storage = Self::with_seed(page_size, chunk_tuples, 0);
         let store = Arc::new(FileStore::new(dir));
         for manifest in manifests {
+            let (version, wal_seq) = (manifest.version, manifest.wal_seq);
             let spec = TableSpec::new(
                 manifest.name.clone(),
                 manifest.columns.clone(),
@@ -165,12 +205,27 @@ impl Storage {
             let (layout, snapshot) = {
                 let mut inner = storage.inner.write();
                 let id = inner.catalog.create_table(spec)?;
+                // Manifests that record their original table id must get it
+                // back: WAL commit records reference tables by id, so an id
+                // shuffle would silently replay updates onto the wrong
+                // table.
+                if manifest.table_id.is_some_and(|want| want != id.raw()) {
+                    return Err(Error::io(format!(
+                        "{}: table {} was materialized as id {} but reopened as {}; the \
+                         directory is missing the manifests of earlier tables",
+                        dir.display(),
+                        manifest.name,
+                        manifest.table_id.unwrap_or_default(),
+                        id.raw()
+                    )));
+                }
                 let layout = inner.catalog.layout(id)?;
                 let snapshot = inner.snapshots.install_snapshot(
                     id,
                     manifest.column_pages.clone(),
                     manifest.stable_tuples,
                 );
+                inner.wal_seqs.insert(id, wal_seq);
                 (layout, snapshot)
             };
             for (col, pages) in manifest.column_pages.iter().enumerate() {
@@ -184,7 +239,7 @@ impl Storage {
                     )));
                 }
             }
-            store.register_table(&layout, &snapshot)?;
+            store.register_table(&layout, &snapshot, version)?;
         }
         *storage.file_store.write() = Some(store);
         Ok(storage)

@@ -1,0 +1,513 @@
+//! Write-ahead log: checksummed record framing, group commit and
+//! torn-tail truncation.
+//!
+//! The WAL is a single append-only file (`wal.log`) in the engine's
+//! durability directory. Every record is framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [kind: u8] [body: len-1 bytes]
+//! ```
+//!
+//! where `len` counts the kind byte plus the body and `crc` is the CRC-32
+//! (IEEE) of exactly those bytes. A record is *valid* only if the frame is
+//! complete, the checksum matches and the kind byte is known; the first
+//! invalid record ends the log — everything after a torn write is
+//! unreachable, and [`Wal::open`] truncates the file back to the valid
+//! prefix so new appends never land behind garbage.
+//!
+//! Three record kinds exist: `Commit` carries the serialized per-table
+//! write sets of one transaction commit (encoded by `scanshare-pdt`),
+//! `CheckpointBegin`/`CheckpointEnd` bracket a checkpoint's segment
+//! materialization so recovery can tell a completed checkpoint from a torn
+//! one (the atomically-renamed manifest is the real commit point; the
+//! markers make the WAL self-describing and are validated by the
+//! failure-injection tests).
+//!
+//! # Group commit
+//!
+//! [`Wal::commit_sync`] amortizes `fsync` over a window of `group_commit`
+//! commits: the sync is skipped while fewer than `group_commit` records
+//! have accumulated since the last durable point. A crash can therefore
+//! lose up to `group_commit - 1` of the most recent commits — always a
+//! *consistent prefix*, never a torn state. With the default window of 1
+//! every commit is individually durable before it is acknowledged. When
+//! several threads reach the sync point together a single leader performs
+//! the `fsync` while the others wait on a condvar and piggyback on its
+//! durable point.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use scanshare_common::{Error, Result, TableId};
+
+/// File name of the write-ahead log inside the durability directory.
+pub const WAL_FILE_NAME: &str = "wal.log";
+
+/// Frame header bytes: 4-byte length + 4-byte checksum.
+const FRAME_HEADER: usize = 8;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) of `bytes` —
+/// the checksum guarding every WAL frame. Hand-rolled so the workspace
+/// stays dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// What one WAL record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalRecordKind {
+    /// A transaction commit: the body holds the serialized per-table
+    /// write sets (see `scanshare-pdt`'s WAL codec).
+    Commit,
+    /// A checkpoint started materializing a new durable image for one
+    /// table; the body names the table and the commit sequence the image
+    /// will cover.
+    CheckpointBegin,
+    /// The checkpoint's new image is durable (manifest renamed) and
+    /// installed.
+    CheckpointEnd,
+}
+
+impl WalRecordKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            WalRecordKind::Commit => 1,
+            WalRecordKind::CheckpointBegin => 2,
+            WalRecordKind::CheckpointEnd => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(WalRecordKind::Commit),
+            2 => Some(WalRecordKind::CheckpointBegin),
+            3 => Some(WalRecordKind::CheckpointEnd),
+            _ => None,
+        }
+    }
+}
+
+/// One verified record read back from the log.
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// The record kind.
+    pub kind: WalRecordKind,
+    /// The record body (kind-specific encoding).
+    pub body: Vec<u8>,
+}
+
+/// Encodes the body of a checkpoint begin/end marker.
+pub fn encode_marker(table: TableId, seq: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16);
+    body.extend_from_slice(&(table.raw() as u64).to_le_bytes());
+    body.extend_from_slice(&seq.to_le_bytes());
+    body
+}
+
+/// Decodes the body of a checkpoint begin/end marker.
+pub fn decode_marker(body: &[u8]) -> Result<(TableId, u64)> {
+    if body.len() != 16 {
+        return Err(Error::WalCorrupt(format!(
+            "checkpoint marker body is {} bytes, expected 16",
+            body.len()
+        )));
+    }
+    let raw = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+    let table = u32::try_from(raw)
+        .map_err(|_| Error::WalCorrupt(format!("checkpoint marker table id {raw} overflows")))?;
+    let seq = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+    Ok((TableId::new(table), seq))
+}
+
+#[derive(Debug)]
+struct SyncState {
+    /// Bytes of complete frames written so far (the durable-candidate
+    /// length; used to roll back a failed partial append).
+    len: u64,
+    /// Records appended so far.
+    appended: u64,
+    /// Records covered by the last successful fsync.
+    synced: u64,
+    /// Whether a leader is currently inside `fsync`.
+    syncing: bool,
+}
+
+fn lock(m: &Mutex<SyncState>) -> MutexGuard<'_, SyncState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The append side of the write-ahead log (see the module docs for the
+/// format and durability semantics).
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    group_commit: usize,
+    state: Mutex<SyncState>,
+    cond: Condvar,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the WAL in `dir`, truncating any torn
+    /// tail left by a crash so new appends extend the valid prefix.
+    /// `group_commit` is the fsync window (see [`Wal::commit_sync`]).
+    pub fn open(dir: &Path, group_commit: usize) -> Result<Self> {
+        if group_commit == 0 {
+            return Err(Error::config("wal group_commit must be at least 1"));
+        }
+        fs::create_dir_all(dir)?;
+        let path = dir.join(WAL_FILE_NAME);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, valid_len) = parse_records(&bytes);
+        if (valid_len as u64) < bytes.len() as u64 {
+            file.set_len(valid_len as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(valid_len as u64))?;
+        // Make the file's directory entry durable (first open creates it).
+        fsync_dir_best_effort(dir);
+        Ok(Self {
+            file,
+            group_commit,
+            state: Mutex::new(SyncState {
+                len: valid_len as u64,
+                appended: records.len() as u64,
+                synced: records.len() as u64,
+                syncing: false,
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Reads every verified record of the WAL in `dir`, silently ignoring
+    /// a torn tail. An absent file reads as an empty log.
+    pub fn read_records(dir: &Path) -> Result<Vec<WalRecord>> {
+        let path: PathBuf = dir.join(WAL_FILE_NAME);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let (records, _) = parse_records(&bytes);
+        Ok(records)
+    }
+
+    /// Appends one record without syncing, returning its (1-based) global
+    /// sequence number. A failed partial write is rolled back so later
+    /// appends never land behind garbage.
+    fn append(&self, kind: WalRecordKind, body: &[u8]) -> Result<u64> {
+        let mut payload = Vec::with_capacity(1 + body.len());
+        payload.push(kind.to_byte());
+        payload.extend_from_slice(body);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let mut st = lock(&self.state);
+        if let Err(e) = (&self.file).write_all(&frame) {
+            // Roll the file back to the last complete frame.
+            let _ = self.file.set_len(st.len);
+            let _ = (&self.file).seek(SeekFrom::Start(st.len));
+            return Err(e.into());
+        }
+        st.len += frame.len() as u64;
+        st.appended += 1;
+        Ok(st.appended)
+    }
+
+    /// Appends a commit record (no fsync; pair with [`Wal::commit_sync`]).
+    /// Callers serialize their appends in commit order — the engine holds
+    /// the per-table commit locks across this call so the log order always
+    /// matches the per-table commit-sequence order.
+    pub fn append_commit(&self, body: &[u8]) -> Result<u64> {
+        self.append(WalRecordKind::Commit, body)
+    }
+
+    /// Makes the commit record `seq` durable subject to group commit: the
+    /// fsync is skipped while fewer than `group_commit` records have
+    /// accumulated since the last durable point (delayed durability — a
+    /// crash loses at most `group_commit - 1` trailing commits).
+    pub fn commit_sync(&self, seq: u64) -> Result<()> {
+        {
+            let st = lock(&self.state);
+            if st.synced >= seq || (st.appended - st.synced) < self.group_commit as u64 {
+                return Ok(());
+            }
+        }
+        self.sync_to(seq)
+    }
+
+    /// Appends a checkpoint begin/end marker and makes it (and everything
+    /// before it) durable immediately — markers never participate in group
+    /// commit.
+    pub fn append_marker(&self, kind: WalRecordKind, table: TableId, seq: u64) -> Result<()> {
+        let at = self.append(kind, &encode_marker(table, seq))?;
+        self.sync_to(at)
+    }
+
+    /// Fsyncs everything appended so far (engine shutdown, tests).
+    pub fn sync_all(&self) -> Result<()> {
+        let target = lock(&self.state).appended;
+        self.sync_to(target)
+    }
+
+    /// Records appended so far.
+    pub fn appended(&self) -> u64 {
+        lock(&self.state).appended
+    }
+
+    /// Records covered by the last successful fsync.
+    pub fn synced(&self) -> u64 {
+        lock(&self.state).synced
+    }
+
+    /// Leader/follower sync: one thread performs the fsync for everything
+    /// appended so far while concurrent callers wait and piggyback.
+    fn sync_to(&self, target: u64) -> Result<()> {
+        let mut st = lock(&self.state);
+        loop {
+            if st.synced >= target {
+                return Ok(());
+            }
+            if st.syncing {
+                st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            st.syncing = true;
+            let upto = st.appended;
+            drop(st);
+            let res = self.file.sync_data();
+            st = lock(&self.state);
+            st.syncing = false;
+            if res.is_ok() {
+                st.synced = st.synced.max(upto);
+            }
+            self.cond.notify_all();
+            res?;
+        }
+    }
+}
+
+/// Splits `bytes` into verified records and the length of the valid
+/// prefix; parsing stops at the first incomplete or corrupt frame.
+fn parse_records(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + FRAME_HEADER) {
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len == 0 {
+            break;
+        }
+        let Some(payload) = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Some(kind) = WalRecordKind::from_byte(payload[0]) else {
+            break;
+        };
+        records.push(WalRecord {
+            kind,
+            body: payload[1..].to_vec(),
+        });
+        pos += FRAME_HEADER + len;
+    }
+    (records, pos)
+}
+
+fn fsync_dir_best_effort(dir: &Path) {
+    #[cfg(unix)]
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static TEST_DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    struct TestDir(PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            let seq = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("scanshare-wal-{tag}-{}-{seq}", std::process::id()));
+            fs::create_dir_all(&path).unwrap();
+            Self(path)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let dir = TestDir::new("roundtrip");
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        wal.append_commit(b"first").unwrap();
+        wal.commit_sync(1).unwrap();
+        wal.append_marker(WalRecordKind::CheckpointBegin, TableId::new(3), 7)
+            .unwrap();
+        wal.append_marker(WalRecordKind::CheckpointEnd, TableId::new(3), 7)
+            .unwrap();
+        drop(wal);
+
+        let records = Wal::read_records(&dir.0).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].kind, WalRecordKind::Commit);
+        assert_eq!(records[0].body, b"first");
+        assert_eq!(records[1].kind, WalRecordKind::CheckpointBegin);
+        assert_eq!(
+            decode_marker(&records[1].body).unwrap(),
+            (TableId::new(3), 7)
+        );
+        assert_eq!(records[2].kind, WalRecordKind::CheckpointEnd);
+
+        // Reopening appends after the existing records.
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        assert_eq!(wal.appended(), 3);
+        wal.append_commit(b"second").unwrap();
+        wal.sync_all().unwrap();
+        drop(wal);
+        let records = Wal::read_records(&dir.0).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[3].body, b"second");
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_truncated() {
+        let dir = TestDir::new("torn");
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        wal.append_commit(b"keep me").unwrap();
+        wal.sync_all().unwrap();
+        drop(wal);
+        let path = dir.0.join(WAL_FILE_NAME);
+        let full = fs::read(&path).unwrap();
+
+        // A torn write: append a record then chop off its last byte.
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        wal.append_commit(b"torn").unwrap();
+        wal.sync_all().unwrap();
+        drop(wal);
+        let long = fs::read(&path).unwrap();
+        fs::write(&path, &long[..long.len() - 1]).unwrap();
+
+        let records = Wal::read_records(&dir.0).unwrap();
+        assert_eq!(records.len(), 1, "torn final record is discarded");
+        assert_eq!(records[0].body, b"keep me");
+
+        // Open truncates the file back to the valid prefix...
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        assert_eq!(wal.appended(), 1);
+        assert_eq!(fs::read(&path).unwrap(), full);
+        // ...and new appends extend it cleanly.
+        wal.append_commit(b"after").unwrap();
+        wal.sync_all().unwrap();
+        drop(wal);
+        let records = Wal::read_records(&dir.0).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].body, b"after");
+    }
+
+    #[test]
+    fn corrupt_checksum_ends_the_log() {
+        let dir = TestDir::new("crc");
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        wal.append_commit(b"one").unwrap();
+        wal.append_commit(b"two").unwrap();
+        wal.sync_all().unwrap();
+        drop(wal);
+        let path = dir.0.join(WAL_FILE_NAME);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a bit inside the first record's body.
+        let idx = FRAME_HEADER + 1;
+        bytes[idx] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let records = Wal::read_records(&dir.0).unwrap();
+        assert!(
+            records.is_empty(),
+            "a corrupt record hides everything after it"
+        );
+    }
+
+    #[test]
+    fn group_commit_defers_the_fsync() {
+        let dir = TestDir::new("group");
+        let wal = Wal::open(&dir.0, 3).unwrap();
+        let s1 = wal.append_commit(b"a").unwrap();
+        wal.commit_sync(s1).unwrap();
+        assert_eq!(wal.synced(), 0, "below the window: no fsync yet");
+        let s2 = wal.append_commit(b"b").unwrap();
+        wal.commit_sync(s2).unwrap();
+        assert_eq!(wal.synced(), 0);
+        let s3 = wal.append_commit(b"c").unwrap();
+        wal.commit_sync(s3).unwrap();
+        assert_eq!(wal.synced(), 3, "window filled: one fsync covers all");
+        // Markers always sync immediately.
+        let s4 = wal.append_commit(b"d").unwrap();
+        wal.commit_sync(s4).unwrap();
+        assert_eq!(wal.synced(), 3);
+        wal.append_marker(WalRecordKind::CheckpointBegin, TableId::new(1), 0)
+            .unwrap();
+        assert_eq!(wal.synced(), 5);
+    }
+
+    #[test]
+    fn marker_decode_rejects_malformed_bodies() {
+        assert!(decode_marker(b"short").is_err());
+        let mut body = encode_marker(TableId::new(1), 2);
+        body.push(0);
+        assert!(decode_marker(&body).is_err());
+        let huge = (u32::MAX as u64 + 1).to_le_bytes();
+        let mut body = huge.to_vec();
+        body.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode_marker(&body).is_err());
+    }
+
+    #[test]
+    fn zero_group_commit_is_rejected() {
+        let dir = TestDir::new("zero");
+        assert!(Wal::open(&dir.0, 0).is_err());
+    }
+
+    #[test]
+    fn missing_wal_reads_as_empty() {
+        let dir = TestDir::new("missing");
+        assert!(Wal::read_records(&dir.0).unwrap().is_empty());
+    }
+}

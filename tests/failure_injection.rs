@@ -290,9 +290,9 @@ mod device_faults {
                 "{policy}: exactly the stream that hit the faulted read ends early"
             );
             assert!(
-                matches!(report.stream_errors[0].error, Error::Io(_)),
+                matches!(report.stream_errors[0].error(), Some(Error::Io(_))),
                 "{policy}: the fault surfaces as a typed I/O error, got {:?}",
-                report.stream_errors[0].error
+                report.stream_errors[0]
             );
             // The other streams ran to completion: 3 streams x 2 queries,
             // minus the 1 or 2 the failed stream never finished.
@@ -320,9 +320,8 @@ mod device_faults {
             );
             for err in &report.stream_errors {
                 assert!(
-                    matches!(err.error, Error::Io(_)),
-                    "{policy}: {:?}",
-                    err.error
+                    matches!(err.error(), Some(Error::Io(_))),
+                    "{policy}: {err:?}"
                 );
             }
             assert!(device.injected_faults() > 0, "{policy}");
@@ -344,5 +343,288 @@ mod device_faults {
             assert_eq!(device.retries_injected(), 3, "{policy}");
             assert!(report.io.bytes_read > 0, "{policy}");
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash/recovery kill points: simulate a crash at every WAL-append and
+// checkpoint boundary by snapshotting the durability directory, then recover
+// each snapshot and compare against a shadow model of the committed prefix.
+// ---------------------------------------------------------------------------
+
+mod crash_recovery {
+    use std::path::{Path, PathBuf};
+    use std::sync::Arc;
+
+    use scanshare::prelude::*;
+    use scanshare::storage::wal::{Wal, WalRecordKind, WAL_FILE_NAME};
+
+    const PAGE: u64 = 16 * 1024;
+    const CHUNK: u64 = 1_000;
+
+    struct TestDir(PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::{AtomicU32, Ordering};
+            static SEQ: AtomicU32 = AtomicU32::new(0);
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "scanshare-crash-{tag}-{}-{seq}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            Self(path)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Byte-for-byte snapshot of the durability directory: what a crashed
+    /// process would leave behind at this instant.
+    fn copy_dir(src: &Path, dst: &Path) {
+        std::fs::create_dir_all(dst).unwrap();
+        for entry in std::fs::read_dir(src).unwrap() {
+            let entry = entry.unwrap();
+            let to = dst.join(entry.file_name());
+            if entry.file_type().unwrap().is_dir() {
+                copy_dir(&entry.path(), &to);
+            } else {
+                std::fs::copy(entry.path(), &to).unwrap();
+            }
+        }
+    }
+
+    fn config() -> ScanShareConfig {
+        ScanShareConfig {
+            page_size_bytes: PAGE,
+            chunk_tuples: CHUNK,
+            buffer_pool_bytes: 64 * PAGE,
+            policy: PolicyKind::Lru,
+            ..Default::default()
+        }
+    }
+
+    /// A durable two-column table plus its shadow model: the rows the
+    /// committed state must contain, maintained alongside every operation.
+    fn durable_engine(
+        dir: &Path,
+        tuples: u64,
+        group_commit: usize,
+    ) -> (Arc<Engine>, TableId, Vec<Vec<i64>>) {
+        let storage = Storage::new(PAGE, CHUNK);
+        let table = storage
+            .create_table_with_data(
+                TableSpec::new(
+                    "t",
+                    vec![
+                        ColumnSpec::new("k", ColumnType::Int64),
+                        ColumnSpec::new("v", ColumnType::Int64),
+                    ],
+                    tuples,
+                ),
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Constant(7),
+                ],
+            )
+            .unwrap();
+        let engine = Engine::new(
+            storage,
+            config()
+                .with_wal_dir(dir)
+                .with_wal_group_commit(group_commit),
+        )
+        .unwrap();
+        let shadow = (0..tuples as i64).map(|k| vec![k, 7]).collect();
+        (engine, table, shadow)
+    }
+
+    fn all_rows(engine: &Arc<Engine>, table: TableId) -> Vec<Vec<i64>> {
+        engine
+            .query(table)
+            .columns(["k", "v"])
+            .range(..)
+            .in_order()
+            .rows()
+            .unwrap()
+    }
+
+    /// The tentpole property: snapshot the durability directory after every
+    /// commit and checkpoint boundary (each snapshot is one kill point), then
+    /// recover each one cold and compare it row-for-row against the shadow
+    /// model of the operations committed up to that point.
+    #[test]
+    fn recovery_matches_the_committed_prefix_at_every_kill_point() {
+        let live = TestDir::new("killpoints");
+        let copies = TestDir::new("killpoints-copies");
+        let (engine, table, mut shadow) = durable_engine(live.path(), 2 * CHUNK + CHUNK / 2, 1);
+
+        let mut points: Vec<(PathBuf, Vec<Vec<i64>>)> = Vec::new();
+        for step in 0..12u64 {
+            match step % 4 {
+                0 => {
+                    // Auto-committed insert at the front of the table.
+                    let row = vec![-(step as i64) - 1, 1_000 + step as i64];
+                    engine.insert_row(table, 0, row.clone()).unwrap();
+                    shadow.insert(0, row);
+                }
+                1 => {
+                    // Auto-committed delete in the middle.
+                    let rid = shadow.len() as u64 / 2;
+                    engine.delete_row(table, rid).unwrap();
+                    shadow.remove(rid as usize);
+                }
+                2 => {
+                    // Multi-operation snapshot-isolated transaction.
+                    let end = shadow.len() as u64;
+                    let mut txn = engine.begin();
+                    txn.insert(table, end, vec![9_000 + step as i64, -5])
+                        .unwrap();
+                    txn.modify(table, 1, 1, step as i64).unwrap();
+                    txn.commit().unwrap();
+                    shadow.push(vec![9_000 + step as i64, -5]);
+                    shadow[1][1] = step as i64;
+                }
+                _ => {
+                    // Checkpoint: new durable image + end marker.
+                    engine.checkpoint(table).unwrap();
+                }
+            }
+            let copy = copies.path().join(format!("kp{step}"));
+            copy_dir(live.path(), &copy);
+            points.push((copy, shadow.clone()));
+        }
+        drop(engine);
+
+        for (idx, (dir, expected)) in points.iter().enumerate() {
+            let recovered = Engine::recover(dir, config()).unwrap();
+            assert_eq!(
+                recovered.visible_rows(table).unwrap(),
+                expected.len() as u64,
+                "kill point {idx}: visible row count"
+            );
+            assert_eq!(
+                &all_rows(&recovered, table),
+                expected,
+                "kill point {idx}: recovered rows"
+            );
+        }
+    }
+
+    /// A crash mid-`write(2)` leaves a torn final record; recovery must drop
+    /// it and come up at the previous commit, whatever the torn length.
+    #[test]
+    fn a_torn_final_wal_record_rolls_back_to_the_previous_commit() {
+        let live = TestDir::new("torn-wal");
+        let (engine, table, mut shadow) = durable_engine(live.path(), 2 * CHUNK, 1);
+        engine.insert_row(table, 0, vec![-1, -1]).unwrap();
+        shadow.insert(0, vec![-1, -1]);
+        let after_first = shadow.clone();
+        engine.delete_row(table, 5).unwrap();
+        drop(engine);
+
+        let wal_path = live.path().join(WAL_FILE_NAME);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        for cut in [1, 3, 8] {
+            std::fs::write(&wal_path, &bytes[..bytes.len() - cut]).unwrap();
+            let recovered = Engine::recover(live.path(), config()).unwrap();
+            assert_eq!(
+                all_rows(&recovered, table),
+                after_first,
+                "cut {cut} bytes: the torn record is dropped, the prefix survives"
+            );
+        }
+    }
+
+    /// With group commit the fsync lags the append, so a crash can lose a
+    /// suffix of trailing commits. Whatever survives must be a consistent
+    /// prefix: truncate the log at every record boundary and recover.
+    #[test]
+    fn losing_a_suffix_of_commits_leaves_a_consistent_prefix() {
+        let live = TestDir::new("prefix");
+        let (engine, table, mut shadow) = durable_engine(live.path(), CHUNK, 4);
+        let wal_path = live.path().join(WAL_FILE_NAME);
+
+        // (log length, shadow state) after each commit = one kill point each.
+        let mut points: Vec<(u64, Vec<Vec<i64>>)> = Vec::new();
+        for step in 0..6i64 {
+            if step % 2 == 0 {
+                engine.insert_row(table, 0, vec![-step - 1, step]).unwrap();
+                shadow.insert(0, vec![-step - 1, step]);
+            } else {
+                engine.delete_row(table, 3).unwrap();
+                shadow.remove(3);
+            }
+            points.push((std::fs::metadata(&wal_path).unwrap().len(), shadow.clone()));
+        }
+        drop(engine);
+
+        let bytes = std::fs::read(&wal_path).unwrap();
+        for (idx, (len, expected)) in points.iter().enumerate() {
+            std::fs::write(&wal_path, &bytes[..*len as usize]).unwrap();
+            let recovered = Engine::recover(live.path(), config()).unwrap();
+            assert_eq!(
+                &all_rows(&recovered, table),
+                expected,
+                "prefix of {} commits",
+                idx + 1
+            );
+        }
+    }
+
+    /// A crash between the CheckpointBegin marker and the manifest install
+    /// leaves Begin with no matching End and no new image. The markers are
+    /// informational: recovery replays the full log over the old image, and
+    /// the recovered engine checkpoints and commits normally afterwards.
+    #[test]
+    fn a_checkpoint_that_crashed_after_its_begin_marker_recovers_cleanly() {
+        let live = TestDir::new("ckpt-begin");
+        let (engine, table, mut shadow) = durable_engine(live.path(), CHUNK + CHUNK / 2, 1);
+        engine.update_value(table, 3, 1, 42).unwrap();
+        shadow[3][1] = 42;
+        drop(engine);
+
+        let wal = Wal::open(live.path(), 1).unwrap();
+        wal.append_marker(WalRecordKind::CheckpointBegin, table, 1)
+            .unwrap();
+        drop(wal);
+
+        let recovered = Engine::recover(live.path(), config()).unwrap();
+        assert_eq!(all_rows(&recovered, table), shadow);
+
+        recovered.checkpoint(table).unwrap();
+        recovered.delete_row(table, 0).unwrap();
+        shadow.remove(0);
+        drop(recovered);
+        let again = Engine::recover(live.path(), config()).unwrap();
+        assert_eq!(all_rows(&again, table), shadow);
+    }
+
+    /// A crash mid-manifest-install leaves a partially written `.tmp` next to
+    /// the authoritative manifest; reopening must ignore it.
+    #[test]
+    fn a_torn_manifest_temp_file_is_ignored_at_recovery() {
+        let live = TestDir::new("torn-manifest");
+        let (engine, table, mut shadow) = durable_engine(live.path(), CHUNK, 1);
+        engine.delete_row(table, 10).unwrap();
+        shadow.remove(10);
+        drop(engine);
+
+        std::fs::write(
+            live.path().join("t.manifest.tmp"),
+            b"scanshare-table-manifest v1\ntable t\ntrunca",
+        )
+        .unwrap();
+        let recovered = Engine::recover(live.path(), config()).unwrap();
+        assert_eq!(all_rows(&recovered, table), shadow);
     }
 }
