@@ -225,6 +225,16 @@ pub struct ScanShareConfig {
     /// `wal_group_commit - 1` most-recent commits on a crash — always a
     /// consistent prefix, never a torn state. Ignored without `wal_dir`.
     pub wal_group_commit: usize,
+    /// Number of OS worker threads in the morsel-driven task scheduler that
+    /// executes query sessions (the `WorkloadDriver` and the serving layer
+    /// both run on it). Each logical session is a cooperative task that
+    /// yields at scan batch boundaries, so thousands of concurrent sessions
+    /// multiplex onto this many threads; per-query work is queued per task
+    /// and idle workers steal from busy ones. The default (8) matches the
+    /// paper's 8-thread evaluation host; `1` serializes every session onto
+    /// one thread (useful for deterministic debugging — results are
+    /// identical at any worker count).
+    pub scheduler_workers: usize,
 }
 
 impl Default for ScanShareConfig {
@@ -248,6 +258,7 @@ impl Default for ScanShareConfig {
             o_direct: false,
             wal_dir: None,
             wal_group_commit: 1,
+            scheduler_workers: 8,
         }
     }
 }
@@ -301,6 +312,9 @@ impl ScanShareConfig {
         }
         if self.wal_group_commit == 0 {
             return Err(Error::config("wal_group_commit must be at least 1"));
+        }
+        if self.scheduler_workers == 0 {
+            return Err(Error::config("scheduler_workers must be at least 1"));
         }
         Ok(())
     }
@@ -394,6 +408,14 @@ impl ScanShareConfig {
     /// individually durable.
     pub fn with_wal_group_commit(mut self, window: usize) -> Self {
         self.wal_group_commit = window;
+        self
+    }
+
+    /// Returns a copy with a different task-scheduler worker pool size (see
+    /// [`ScanShareConfig::scheduler_workers`]); `1` serializes every session
+    /// onto one thread.
+    pub fn with_scheduler_workers(mut self, workers: usize) -> Self {
+        self.scheduler_workers = workers;
         self
     }
 }
@@ -537,6 +559,18 @@ mod tests {
             .with_wal_group_commit(0)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn scheduler_workers_default_to_eight_and_zero_is_rejected() {
+        assert_eq!(ScanShareConfig::default().scheduler_workers, 8);
+        assert!(ScanShareConfig::default()
+            .with_scheduler_workers(0)
+            .validate()
+            .is_err());
+        let cfg = ScanShareConfig::default().with_scheduler_workers(2);
+        assert_eq!(cfg.scheduler_workers, 2);
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -78,6 +78,21 @@ pub enum Error {
     /// the recovered catalog. Surfaced as a typed error by
     /// `Engine::recover` instead of panicking during replay.
     WalUnknownTable(TableId),
+    /// A wire-protocol violation on a serving-layer connection: a frame
+    /// that cannot be decoded, an oversized length prefix, an unknown
+    /// message kind, or a message arriving out of protocol order (e.g. a
+    /// query before the handshake). The connection that produced it is
+    /// closed; other connections and sessions are unaffected.
+    Protocol(String),
+    /// A typed error frame received from a serving-layer peer: the
+    /// numeric protocol error code (see `scanshare-serve`'s `ErrorCode`)
+    /// plus the human-readable message the server attached.
+    Remote {
+        /// The protocol error code from the wire.
+        code: u16,
+        /// The server's diagnostic message.
+        message: String,
+    },
     /// Internal invariant violation; indicates a bug in this library.
     Internal(String),
 }
@@ -120,6 +135,10 @@ impl fmt::Display for Error {
                 f,
                 "write-ahead log references table {t} absent from the recovered catalog"
             ),
+            Error::Protocol(msg) => write!(f, "wire protocol violation: {msg}"),
+            Error::Remote { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -147,6 +166,11 @@ impl Error {
     /// (typically a `std::io::Error`).
     pub fn io(msg: impl fmt::Display) -> Self {
         Error::Io(msg.to_string())
+    }
+
+    /// Helper constructing an [`Error::Protocol`].
+    pub fn protocol(msg: impl fmt::Display) -> Self {
+        Error::Protocol(msg.to_string())
     }
 }
 
@@ -209,6 +233,20 @@ mod tests {
         let e = Error::WalUnknownTable(TableId::new(9));
         assert!(e.to_string().contains("T9"));
         assert!(e.to_string().contains("recovered catalog"));
+    }
+
+    #[test]
+    fn serving_errors_render() {
+        let e = Error::protocol("frame of 9 GiB exceeds the limit");
+        assert!(e.to_string().contains("wire protocol"));
+        assert!(e.to_string().contains("9 GiB"));
+
+        let e = Error::Remote {
+            code: 5,
+            message: "admission queue full".into(),
+        };
+        assert!(e.to_string().contains("server error 5"));
+        assert!(e.to_string().contains("admission queue full"));
     }
 
     #[test]

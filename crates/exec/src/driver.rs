@@ -2,10 +2,16 @@
 //!
 //! The `workload` crate's multi-stream specifications (microbenchmark and
 //! TPC-H-like) used to be executable only by the discrete-event simulator;
-//! the driver closes that gap: one **real thread per stream**, each query
-//! lowered from its [`QuerySpec`]/[`ScanSpec`](scanshare_workload::spec::ScanSpec)
-//! onto the builder [`Query`](crate::query::Query) API against the shared engine — and
-//! therefore the shared, concurrently-driven buffer-management backend.
+//! the driver closes that gap. Each stream becomes one cooperative session
+//! task on the [`TaskScheduler`] — a fixed
+//! pool of [`ScanShareConfig::scheduler_workers`](scanshare_common::ScanShareConfig::scheduler_workers)
+//! OS threads — with every query lowered from its
+//! [`QuerySpec`]/[`ScanSpec`](scanshare_workload::spec::ScanSpec) onto the
+//! builder [`Query`](crate::query::Query) API against the shared engine —
+//! and therefore the shared, concurrently-driven buffer-management backend.
+//! The driver is deliberately a *thin client* of the scheduler: the same
+//! session-task machinery serves the `scanshare-serve` network frontend,
+//! where thousands of logical sessions multiplex onto the same pool.
 //!
 //! Two clocks are reported side by side:
 //!
@@ -24,14 +30,19 @@ use std::time::{Duration, Instant};
 use scanshare_common::{Error, Result, TupleRange, VirtualDuration};
 use scanshare_core::metrics::BufferStats;
 use scanshare_iosim::{IoLatency, IoStats};
-use scanshare_workload::spec::{
-    QuerySpec, StreamSpec, UpdateOp, UpdateOpGen, UpdateStreamSpec, WorkloadSpec,
-};
+use scanshare_workload::spec::{QuerySpec, UpdateOp, UpdateOpGen, UpdateStreamSpec, WorkloadSpec};
+
+use std::collections::VecDeque;
+
+use scanshare_common::sync::Mutex;
+use scanshare_common::TableId;
 
 use crate::engine::Engine;
 use crate::ops::{AggrSpec, Aggregate};
+use crate::sched::{Task, TaskHandle, TaskOutcome, TaskScheduler, TaskStep};
 
-/// Runs [`WorkloadSpec`]s against an [`Engine`], one thread per stream.
+/// Runs [`WorkloadSpec`]s against an [`Engine`], one cooperative session
+/// task per stream on a morsel-driven scheduler.
 #[derive(Debug)]
 pub struct WorkloadDriver {
     engine: Arc<Engine>,
@@ -43,19 +54,20 @@ pub struct WorkloadDriver {
 /// completion, and the caller decides how to react. Two shapes exist —
 /// typed errors the stream returned (Cooperative Scans starvation,
 /// [`Error::ScanStarved`], and device I/O faults, [`Error::Io`]) and
-/// panics caught from the stream's thread, which would previously abort
-/// the entire workload run.
+/// panics caught from the stream's session task, which would previously
+/// abort the entire workload run.
 #[derive(Debug, Clone)]
 pub enum StreamError {
     /// The stream's query returned a per-stream typed error.
     Failed {
-        /// Label of the stream that failed (from its [`StreamSpec`]).
+        /// Label of the stream that failed (from its
+        /// [`StreamSpec`](scanshare_workload::spec::StreamSpec)).
         stream: String,
         /// The typed error that ended the stream.
         error: Error,
     },
-    /// The stream's thread panicked; the panic was caught at the join
-    /// point instead of propagating into the driver.
+    /// The stream's session task panicked; the panic was caught on the
+    /// scheduler worker instead of propagating into the driver.
     Panicked {
         /// Label of the stream that panicked.
         stream: String,
@@ -87,23 +99,12 @@ impl StreamError {
 }
 
 /// How one stream ended ahead of schedule: with a typed error from its own
-/// queries, or with a panic caught when its thread was joined. Panics are
-/// always stream-local — a panicking stream must never take the rest of
-/// the workload down with it.
+/// queries, or with a panic caught on the scheduler worker that was
+/// stepping it. Panics are always stream-local — a panicking stream must
+/// never take the rest of the workload down with it.
 enum StreamEnd {
     Error(Error),
     Panic(String),
-}
-
-/// Extracts a readable message from a caught panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "stream thread panicked with a non-string payload".to_string()
-    }
 }
 
 /// Whether an error is a per-stream outcome (reported in
@@ -216,9 +217,15 @@ impl WorkloadDriver {
 
     /// Executes `workload` and collects the merged report.
     ///
-    /// **Read-only workloads** (no update streams) run free: one thread per
-    /// [`StreamSpec`], each stream's queries back to back through the
-    /// builder API. A failing query ends its own stream immediately;
+    /// All query execution runs on a [`TaskScheduler`] with
+    /// [`ScanShareConfig::scheduler_workers`](scanshare_common::ScanShareConfig::scheduler_workers)
+    /// worker threads, created for the duration of the run.
+    ///
+    /// **Read-only workloads** (no update streams) run free: one session
+    /// task per [`StreamSpec`](scanshare_workload::spec::StreamSpec), each
+    /// stream's queries back to back through
+    /// the builder API, all sessions interleaving cooperatively on the
+    /// worker pool. A failing query ends its own stream immediately;
     /// streams are independent sessions and are never aborted mid-query.
     /// Per-stream scheduling errors (Cooperative Scans starvation,
     /// [`Error::ScanStarved`]) are surfaced in
@@ -230,36 +237,26 @@ impl WorkloadDriver {
     /// [`WorkloadSpec::update_streams`](scanshare_workload::spec::WorkloadSpec::update_streams))
     /// run in rounds: at each barrier every update stream applies its batch
     /// as one snapshot-isolated transaction (checkpointing when due), then
-    /// every read stream runs its next query concurrently. The discrete-
-    /// event simulator executes the identical round schedule, which is what
-    /// makes engine == simulator I/O parity exact under updates.
+    /// every read stream runs its next query concurrently on the scheduler.
+    /// The discrete-event simulator executes the identical round schedule,
+    /// which is what makes engine == simulator I/O parity exact under
+    /// updates.
     pub fn run(&self, workload: &WorkloadSpec) -> Result<WorkloadReport> {
         let virtual_start = self.engine.now();
         let buffer_start = self.engine.buffer_stats();
         let io_start = self.engine.device().stats();
         let wall_start = Instant::now();
+        let scheduler = TaskScheduler::new(self.engine.config().scheduler_workers);
 
         let (stream_results, update_ops, checkpoints) = if workload.has_updates() {
-            self.run_rounds(workload)?
+            self.run_rounds(workload, &scheduler)?
         } else {
-            let results = std::thread::scope(|scope| {
-                let handles: Vec<_> = workload
-                    .streams
-                    .iter()
-                    .map(|stream| scope.spawn(move || self.run_stream(stream)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(result) => result,
-                        Err(payload) => (
-                            Vec::new(),
-                            0,
-                            Some(StreamEnd::Panic(panic_message(payload))),
-                        ),
-                    })
-                    .collect()
-            });
+            let sessions: Vec<_> = workload
+                .streams
+                .iter()
+                .map(|stream| self.spawn_session(&scheduler, stream.queries.clone(), false))
+                .collect();
+            let results = sessions.into_iter().map(collect_session).collect();
             (results, 0, 0)
         };
 
@@ -312,6 +309,26 @@ impl WorkloadDriver {
         })
     }
 
+    /// Spawns one session task covering `queries` on the scheduler,
+    /// returning the session's shared accumulator plus its handle.
+    fn spawn_session(
+        &self,
+        scheduler: &TaskScheduler,
+        queries: Vec<QuerySpec>,
+        clamp_to_visible: bool,
+    ) -> (Arc<Mutex<SessionAccum>>, TaskHandle<StreamSessionTask>) {
+        let accum = Arc::new(Mutex::new(SessionAccum::default()));
+        let task = StreamSessionTask {
+            engine: Arc::clone(&self.engine),
+            parallelism: self.parallelism_per_query,
+            clamp_to_visible,
+            pending: queries.into(),
+            current: None,
+            accum: Arc::clone(&accum),
+        };
+        (accum, scheduler.spawn(task))
+    }
+
     /// The round-barrier executor for mixed read/write workloads; returns
     /// the per-stream results plus the applied update-op / checkpoint
     /// counts. See [`WorkloadDriver::run`] for the model.
@@ -319,6 +336,7 @@ impl WorkloadDriver {
     fn run_rounds(
         &self,
         workload: &WorkloadSpec,
+        scheduler: &TaskScheduler,
     ) -> Result<(Vec<(Vec<Duration>, u64, Option<StreamEnd>)>, u64, u64)> {
         let mut generators: Vec<UpdateOpGen> = workload
             .update_streams
@@ -343,37 +361,28 @@ impl WorkloadDriver {
                 checkpoints += ckpts;
             }
 
-            // Concurrent phase: one query per still-healthy stream.
-            std::thread::scope(|scope| {
-                let handles: Vec<(usize, _)> = workload
-                    .streams
-                    .iter()
-                    .enumerate()
-                    .filter(|(s, stream)| results[*s].2.is_none() && round < stream.queries.len())
-                    .map(|(s, stream)| {
-                        let query = &stream.queries[round];
-                        (
-                            s,
-                            scope.spawn(move || {
-                                let started = Instant::now();
-                                self.run_query(query, true).map(|()| started.elapsed())
-                            }),
-                        )
-                    })
-                    .collect();
-                for (s, handle) in handles {
-                    match handle.join() {
-                        Ok(Ok(latency)) => {
-                            results[s].0.push(latency);
-                            results[s].1 += workload.streams[s].queries[round].total_tuples();
-                        }
-                        Ok(Err(error)) => results[s].2 = Some(StreamEnd::Error(error)),
-                        Err(payload) => {
-                            results[s].2 = Some(StreamEnd::Panic(panic_message(payload)))
-                        }
-                    }
+            // Concurrent phase: one query per still-healthy stream, all
+            // queries of the round interleaving on the scheduler. The
+            // visible row count is barrier-stable, so the clamped
+            // expectations stay exact however the tasks interleave.
+            let phase: Vec<(usize, _)> = workload
+                .streams
+                .iter()
+                .enumerate()
+                .filter(|(s, stream)| results[*s].2.is_none() && round < stream.queries.len())
+                .map(|(s, stream)| {
+                    let query = stream.queries[round].clone();
+                    (s, self.spawn_session(scheduler, vec![query], true))
+                })
+                .collect();
+            for (s, session) in phase {
+                let (latencies, tuples, end) = collect_session(session);
+                results[s].0.extend(latencies);
+                results[s].1 += tuples;
+                if let Some(end) = end {
+                    results[s].2 = Some(end);
                 }
-            });
+            }
         }
         Ok((results, update_ops, checkpoints))
     }
@@ -408,35 +417,76 @@ impl WorkloadDriver {
         }
         Ok((spec.ops_per_round, checkpoints))
     }
+}
 
-    /// Runs one stream's queries in order, returning each completed query's
-    /// wall time, the tuples those queries scanned, and the error that ended
-    /// the stream early, if any.
-    fn run_stream(&self, stream: &StreamSpec) -> (Vec<Duration>, u64, Option<StreamEnd>) {
-        let mut latencies = Vec::with_capacity(stream.queries.len());
-        let mut tuples = 0u64;
-        for query in &stream.queries {
-            let started = Instant::now();
-            if let Err(error) = self.run_query(query, false) {
-                return (latencies, tuples, Some(StreamEnd::Error(error)));
-            }
-            latencies.push(started.elapsed());
-            tuples += query.total_tuples();
-        }
-        (latencies, tuples, None)
-    }
+/// What one session has completed so far. Shared between the session task
+/// and the driver so results accumulated *before* a typed error are still
+/// reported when the stream ends early (a caught panic discards them, like
+/// the thread-per-stream driver did).
+#[derive(Default)]
+struct SessionAccum {
+    latencies: Vec<Duration>,
+    tuples: u64,
+}
 
-    /// Lowers one [`QuerySpec`] onto the builder API: each scan becomes one
-    /// aggregation query per SID range (count + sum over the first column),
-    /// so every registered page is actually read and processed.
-    ///
-    /// `clamp_to_visible` relaxes the exact-count check to the rows
-    /// currently visible — needed for mixed workloads, whose updates grow
-    /// and shrink the row space between rounds (the visible count is
-    /// barrier-stable, so the clamped expectation is still exact). Read-only
-    /// workloads keep the strict check, so a spec range reaching past the
-    /// table still surfaces as an error instead of silently scanning less.
-    fn run_query(&self, query: &QuerySpec, clamp_to_visible: bool) -> Result<()> {
+/// Waits for one session task and maps its outcome onto the driver's
+/// per-stream result shape.
+fn collect_session(
+    session: (Arc<Mutex<SessionAccum>>, TaskHandle<StreamSessionTask>),
+) -> (Vec<Duration>, u64, Option<StreamEnd>) {
+    let (accum, handle) = session;
+    let end = match handle.wait() {
+        TaskOutcome::Finished(_) => None,
+        TaskOutcome::Failed(error) => Some(StreamEnd::Error(error)),
+        TaskOutcome::Panicked(message) => return (Vec::new(), 0, Some(StreamEnd::Panic(message))),
+    };
+    let mut accum = accum.lock();
+    (std::mem::take(&mut accum.latencies), accum.tuples, end)
+}
+
+/// One scan-range unit of a lowered [`QuerySpec`]: an aggregation query
+/// (count + sum over the first column) over one SID range, so every
+/// registered page is actually read and processed.
+struct QueryUnit {
+    table: TableId,
+    columns: Vec<String>,
+    range: TupleRange,
+    expected: u64,
+    label: String,
+}
+
+/// One [`QuerySpec`] mid-execution inside a session task.
+struct RunningQuery {
+    started: Instant,
+    tuples: u64,
+    units: VecDeque<QueryUnit>,
+    active: Option<(crate::sched::QueryTask, u64, String, TupleRange)>,
+}
+
+/// A workload stream as a cooperative session task: runs its
+/// [`QuerySpec`]s back to back, one scan-range unit at a time, yielding at
+/// every unit's batch boundaries via the embedded
+/// [`QueryTask`](crate::sched::QueryTask).
+struct StreamSessionTask {
+    engine: Arc<Engine>,
+    parallelism: usize,
+    /// Relaxes the exact-count check to the rows currently visible — needed
+    /// for mixed workloads, whose updates grow and shrink the row space
+    /// between rounds (the visible count is barrier-stable, so the clamped
+    /// expectation is still exact). Read-only workloads keep the strict
+    /// check, so a spec range reaching past the table still surfaces as an
+    /// error instead of silently scanning less.
+    clamp_to_visible: bool,
+    pending: VecDeque<QuerySpec>,
+    current: Option<RunningQuery>,
+    accum: Arc<Mutex<SessionAccum>>,
+}
+
+impl StreamSessionTask {
+    /// Lowers one [`QuerySpec`] into its scan-range units, resolving column
+    /// indices to names and fixing each unit's expected tuple count.
+    fn lower(&self, query: &QuerySpec) -> Result<RunningQuery> {
+        let mut units = VecDeque::new();
         for scan in &query.scans {
             let table = self.engine.storage().table(scan.table)?;
             let columns: Vec<String> = scan
@@ -460,30 +510,91 @@ impl WorkloadDriver {
                 })
                 .collect::<Result<_>>()?;
             for &range in scan.ranges.ranges() {
-                let expected = if clamp_to_visible {
+                let expected = if self.clamp_to_visible {
                     let visible = self.engine.visible_rows(scan.table)?;
                     range.intersect(&TupleRange::new(0, visible)).len()
                 } else {
                     range.len()
                 };
-                let result = self
-                    .engine
-                    .query(scan.table)
-                    .columns(columns.iter().map(String::as_str))
-                    .tuple_range(TupleRange::new(range.start, range.end))
-                    .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(0)]))
-                    .parallelism(self.parallelism_per_query)
-                    .run()?;
-                let counted = result.get(&0).map(|g| g.count).unwrap_or(0);
-                if counted != expected {
-                    return Err(Error::internal(format!(
-                        "query {:?} counted {counted} tuples in {range:?}, expected {expected}",
-                        query.label
-                    )));
+                units.push_back(QueryUnit {
+                    table: scan.table,
+                    columns: columns.clone(),
+                    range,
+                    expected,
+                    label: query.label.clone(),
+                });
+            }
+        }
+        Ok(RunningQuery {
+            started: Instant::now(),
+            tuples: query.total_tuples(),
+            units,
+            active: None,
+        })
+    }
+
+    /// Opens one unit's scans as a [`QueryTask`](crate::sched::QueryTask).
+    fn open_unit(
+        &self,
+        unit: QueryUnit,
+    ) -> Result<(crate::sched::QueryTask, u64, String, TupleRange)> {
+        let task = self
+            .engine
+            .query(unit.table)
+            .columns(unit.columns.iter().map(String::as_str))
+            .tuple_range(TupleRange::new(unit.range.start, unit.range.end))
+            .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(0)]))
+            .parallelism(self.parallelism)
+            .into_task()?;
+        Ok((task, unit.expected, unit.label, unit.range))
+    }
+}
+
+impl Task for StreamSessionTask {
+    fn step(&mut self) -> Result<TaskStep> {
+        // The running query is taken out of `self` for the quantum (and put
+        // back unless it completed); on an error path it stays out, but an
+        // erroring step ends the whole session anyway.
+        let Some(mut running) = self.current.take() else {
+            // Between queries: lower the next spec or finish the session.
+            return match self.pending.pop_front() {
+                Some(query) => {
+                    self.current = Some(self.lower(&query)?);
+                    Ok(TaskStep::Yield)
+                }
+                None => Ok(TaskStep::Done),
+            };
+        };
+        if let Some((task, expected, label, range)) = &mut running.active {
+            match task.step()? {
+                TaskStep::Yield => {
+                    self.current = Some(running);
+                    return Ok(TaskStep::Yield);
+                }
+                TaskStep::Done => {
+                    let counted = task.result().get(&0).map(|g| g.count).unwrap_or(0);
+                    if counted != *expected {
+                        return Err(Error::internal(format!(
+                            "query {label:?} counted {counted} tuples in {range:?}, expected \
+                             {expected}"
+                        )));
+                    }
+                    running.active = None;
                 }
             }
         }
-        Ok(())
+        match running.units.pop_front() {
+            Some(unit) => {
+                running.active = Some(self.open_unit(unit)?);
+                self.current = Some(running);
+            }
+            None => {
+                let mut accum = self.accum.lock();
+                accum.latencies.push(running.started.elapsed());
+                accum.tuples += running.tuples;
+            }
+        }
+        Ok(TaskStep::Yield)
     }
 }
 
@@ -520,7 +631,7 @@ mod tests {
     use scanshare_common::{PolicyKind, RangeList, ScanShareConfig, TableId};
     use scanshare_storage::storage::Storage;
     use scanshare_workload::microbench::{self, MicrobenchConfig};
-    use scanshare_workload::spec::ScanSpec;
+    use scanshare_workload::spec::{ScanSpec, StreamSpec};
 
     const PAGE: u64 = 16 * 1024;
 

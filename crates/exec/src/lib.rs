@@ -36,6 +36,7 @@ pub mod engine;
 pub mod ops;
 pub mod query;
 pub mod scan;
+pub mod sched;
 pub mod txn;
 
 pub use batch::Batch;
@@ -44,4 +45,7 @@ pub use engine::{Engine, QueryStats};
 pub use ops::{AggrSpec, Aggregate, Predicate};
 pub use query::Query;
 pub use scan::ScanOperator;
+pub use sched::{
+    QueryTask, SchedHandle, SchedulerStats, Task, TaskHandle, TaskOutcome, TaskScheduler, TaskStep,
+};
 pub use txn::{TablePin, Txn};

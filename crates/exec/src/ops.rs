@@ -160,6 +160,51 @@ pub struct GroupState {
 /// to its aggregate values, ordered by key.
 pub type AggrResult = BTreeMap<Value, GroupState>;
 
+/// Folds one batch into a running aggregation: applies `filter` (if any)
+/// and accumulates every surviving row into `groups` under `spec`. The
+/// incremental form of [`aggregate`], used by the morsel-driven
+/// [`QueryTask`](crate::sched::QueryTask), which processes a bounded number
+/// of batches per scheduler quantum and must carry the accumulator state
+/// across yields.
+pub fn fold_batch(
+    groups: &mut AggrResult,
+    batch: Batch,
+    filter: Option<&Predicate>,
+    spec: &AggrSpec,
+) {
+    let batch = match filter {
+        Some(pred) => batch.filter(&pred.mask(&batch)),
+        None => batch,
+    };
+    if batch.is_empty() {
+        return;
+    }
+    for row in 0..batch.len() {
+        let key = spec.group_by.map(|c| batch.value(row, c)).unwrap_or(0);
+        let entry = groups.entry(key).or_insert_with(|| GroupState {
+            count: 0,
+            accumulators: spec
+                .aggregates
+                .iter()
+                .map(|a| match a {
+                    Aggregate::Count | Aggregate::Sum(_) => 0,
+                    Aggregate::Min(_) => Value::MAX,
+                    Aggregate::Max(_) => Value::MIN,
+                })
+                .collect(),
+        });
+        entry.count += 1;
+        for (acc, agg) in entry.accumulators.iter_mut().zip(spec.aggregates.iter()) {
+            match agg {
+                Aggregate::Count => *acc += 1,
+                Aggregate::Sum(c) => *acc += batch.value(row, *c),
+                Aggregate::Min(c) => *acc = (*acc).min(batch.value(row, *c)),
+                Aggregate::Max(c) => *acc = (*acc).max(batch.value(row, *c)),
+            }
+        }
+    }
+}
+
 /// Consumes `source`, applying `filter` (if any) and computing `spec`.
 /// This is the Select → Project → Aggr pipeline of the microbenchmark
 /// queries, fused into one pass over the batches.
@@ -170,37 +215,7 @@ pub fn aggregate(
 ) -> Result<AggrResult> {
     let mut groups: AggrResult = BTreeMap::new();
     while let Some(batch) = source.next_batch()? {
-        let batch = match &filter {
-            Some(pred) => batch.filter(&pred.mask(&batch)),
-            None => batch,
-        };
-        if batch.is_empty() {
-            continue;
-        }
-        for row in 0..batch.len() {
-            let key = spec.group_by.map(|c| batch.value(row, c)).unwrap_or(0);
-            let entry = groups.entry(key).or_insert_with(|| GroupState {
-                count: 0,
-                accumulators: spec
-                    .aggregates
-                    .iter()
-                    .map(|a| match a {
-                        Aggregate::Count | Aggregate::Sum(_) => 0,
-                        Aggregate::Min(_) => Value::MAX,
-                        Aggregate::Max(_) => Value::MIN,
-                    })
-                    .collect(),
-            });
-            entry.count += 1;
-            for (acc, agg) in entry.accumulators.iter_mut().zip(spec.aggregates.iter()) {
-                match agg {
-                    Aggregate::Count => *acc += 1,
-                    Aggregate::Sum(c) => *acc += batch.value(row, *c),
-                    Aggregate::Min(c) => *acc = (*acc).min(batch.value(row, *c)),
-                    Aggregate::Max(c) => *acc = (*acc).max(batch.value(row, *c)),
-                }
-            }
-        }
+        fold_batch(&mut groups, batch, filter.as_ref(), spec);
     }
     Ok(groups)
 }

@@ -231,6 +231,37 @@ impl Query {
         Ok(merge_aggregates(&spec, results))
     }
 
+    /// Lowers the query onto the task scheduler instead of executing it
+    /// inline: validates the plan, pins the table, opens one scan per
+    /// Equation-1 range part and returns a [`QueryTask`](crate::sched::QueryTask) ready for
+    /// [`TaskScheduler::spawn`](crate::sched::TaskScheduler::spawn).
+    ///
+    /// Semantics match [`Query::run`] exactly (same validation errors, same
+    /// results — the per-quantum [`fold_batch`](crate::ops::fold_batch) is
+    /// equivalent to the partial-aggregate-then-merge of the threaded
+    /// exchange plan), but execution is cooperative: the task yields at
+    /// batch boundaries so thousands of queries share a fixed worker pool.
+    /// `parallelism` here controls how many partial scans the task
+    /// *interleaves*, not how many OS threads it occupies — cross-worker
+    /// parallelism comes from running many tasks, and from work stealing.
+    pub fn into_task(mut self) -> Result<crate::sched::QueryTask> {
+        self.validate()?;
+        let spec = self.aggregate.clone().ok_or_else(|| {
+            Error::plan("query has no aggregate; call .aggregate(...) or use .rows()")
+        })?;
+        let range = self.resolve_range()?;
+        let parts = if self.parallelism == 1 || range.len() < self.parallelism as u64 {
+            vec![range]
+        } else {
+            range.split_even(self.parallelism)
+        };
+        let mut scans = Vec::with_capacity(parts.len());
+        for part in parts.into_iter().filter(|part| !part.is_empty()) {
+            scans.push(self.open_scan(part)?);
+        }
+        Ok(crate::sched::QueryTask::new(scans, self.filter, spec))
+    }
+
     /// Executes the query and materializes the (filtered) rows instead of
     /// aggregating. Rows arrive in backend delivery order unless
     /// [`Query::in_order`] is set. Single-threaded: materialization is for

@@ -1,0 +1,786 @@
+//! The morsel-driven task scheduler: thousands of logical sessions on a
+//! fixed pool of OS threads.
+//!
+//! The thread-per-stream [`WorkloadDriver`](crate::driver::WorkloadDriver)
+//! capped scenario realism at tens of streams — one OS thread per session
+//! does not survive contact with a server facing thousands of concurrent
+//! query streams, which is exactly the regime the paper's buffer-management
+//! policies were designed for. This module replaces it with cooperative
+//! scheduling:
+//!
+//! * a **fixed worker pool** ([`ScanShareConfig::scheduler_workers`]
+//!   threads) owns all query execution;
+//! * each logical session is a [`Task`]: a resumable state machine whose
+//!   [`Task::step`] runs one *quantum* of work and then yields. For queries
+//!   the natural yield point is the [`ScanOperator`] batch boundary — the
+//!   scan produces a bounded number of batches per quantum
+//!   ([`BATCHES_PER_QUANTUM`]) and hands the worker back;
+//! * every worker keeps its own run queue and **steals from the back** of
+//!   other workers' queues when it runs dry, so an uneven session mix still
+//!   saturates the pool;
+//! * a task that yields goes to the **back** of its worker's queue, so
+//!   sessions on one worker interleave round-robin: a short query never
+//!   stalls behind a long scan (see the starvation test in
+//!   `tests/scheduler_semantics.rs`).
+//!
+//! Scheduling never changes results: queries compute order-insensitive
+//! aggregates over snapshot-pinned scans, so the same sessions produce
+//! byte-identical per-session results at 1 worker and at N (the determinism
+//! test relies on this). Panics are task-local — a panicking task completes
+//! its handle with [`TaskOutcome::Panicked`] and the worker moves on, the
+//! cooperative analogue of the driver's caught stream panics.
+//!
+//! [`QueryTask`] lowers a builder [`Query`](crate::query::Query) onto the
+//! scheduler: the query's RID range is split into `parallelism` parts
+//! (Equation 1) forming the *per-query task queue*; each quantum produces
+//! batches from the front part and rotates it to the back, so one session
+//! interleaves its own partial scans exactly like the scheduler interleaves
+//! sessions.
+//!
+//! [`ScanShareConfig::scheduler_workers`]: scanshare_common::ScanShareConfig::scheduler_workers
+//! [`ScanOperator`]: crate::scan::ScanOperator
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+
+use scanshare_common::sync::Mutex;
+use scanshare_common::{Error, Result};
+
+use crate::ops::{fold_batch, AggrResult, AggrSpec, BatchSource, Predicate};
+
+/// How many scan batches a [`QueryTask`] produces per scheduler quantum
+/// before yielding. With the operator's 1024-tuple batches this makes a
+/// quantum a few thousand tuples: long enough to amortize queue traffic,
+/// short enough that thousands of sessions interleave at millisecond
+/// granularity.
+pub const BATCHES_PER_QUANTUM: usize = 8;
+
+/// What one [`Task::step`] quantum reports back to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStep {
+    /// The task has more work; requeue it behind its worker's other tasks.
+    Yield,
+    /// The task is finished; complete its handle.
+    Done,
+}
+
+/// A cooperatively scheduled unit of work (one logical session, one query,
+/// one serving-layer request, ...). `step` runs one bounded quantum; a task
+/// that needs something unavailable right now (buffer space, a full
+/// outbound queue) returns [`TaskStep::Yield`] and is retried after the
+/// worker's other tasks have had their turn.
+pub trait Task: Send {
+    /// Runs one quantum. Errors complete the task's handle with
+    /// [`TaskOutcome::Failed`]; panics are caught and complete it with
+    /// [`TaskOutcome::Panicked`].
+    fn step(&mut self) -> Result<TaskStep>;
+}
+
+/// How a scheduled task ended.
+#[derive(Debug)]
+pub enum TaskOutcome<T> {
+    /// The task ran to completion; the task value is handed back so the
+    /// caller can extract its results.
+    Finished(T),
+    /// The task returned a typed error from one of its quanta (or was
+    /// cancelled by scheduler shutdown before completing).
+    Failed(Error),
+    /// The task panicked mid-quantum; the panic was caught on the worker.
+    Panicked(String),
+}
+
+impl<T> TaskOutcome<T> {
+    /// Converts the outcome into a `Result`, mapping panics onto
+    /// [`Error::Internal`].
+    pub fn into_result(self) -> Result<T> {
+        match self {
+            TaskOutcome::Finished(task) => Ok(task),
+            TaskOutcome::Failed(error) => Err(error),
+            TaskOutcome::Panicked(message) => {
+                Err(Error::internal(format!("task panicked: {message}")))
+            }
+        }
+    }
+}
+
+/// Extracts a readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked with a non-string payload".to_string()
+    }
+}
+
+/// Completion slot shared between a [`TaskHandle`] and the worker that
+/// finishes the task.
+struct HandleState<T> {
+    slot: Mutex<Option<TaskOutcome<T>>>,
+    done: Condvar,
+}
+
+impl<T> HandleState<T> {
+    fn complete(&self, outcome: TaskOutcome<T>) {
+        *self.slot.lock() = Some(outcome);
+        self.done.notify_all();
+    }
+}
+
+/// Waits for one spawned task; returned by [`TaskScheduler::spawn`].
+/// Dropping the handle detaches the task — it still runs to completion,
+/// its outcome is simply discarded (the serving layer does this: its tasks
+/// deliver results over the wire themselves).
+pub struct TaskHandle<T> {
+    state: Arc<HandleState<T>>,
+}
+
+impl<T> TaskHandle<T> {
+    /// Blocks until the task completes and returns its outcome.
+    pub fn wait(self) -> TaskOutcome<T> {
+        let mut guard = self.state.slot.lock();
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self.state.done.wait(guard).expect("condvar poisoned");
+        }
+    }
+
+    /// Whether the task has already completed (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.state.slot.lock().is_some()
+    }
+}
+
+impl<T> std::fmt::Debug for TaskHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+/// What the worker does with a runnable after one quantum.
+enum StepResult {
+    Requeue,
+    Complete,
+}
+
+/// Type-erased task + completion slot living on the run queues. The
+/// `before_complete` callback runs just before the handle is signalled so
+/// the scheduler's counters are consistent by the time a waiter wakes.
+trait Runnable: Send {
+    fn run_step(&mut self, before_complete: &dyn Fn()) -> StepResult;
+    fn cancel(&mut self, error: Error, before_complete: &dyn Fn());
+}
+
+struct TypedRun<T: Task> {
+    task: Option<T>,
+    state: Arc<HandleState<T>>,
+}
+
+impl<T: Task> Runnable for TypedRun<T> {
+    fn run_step(&mut self, before_complete: &dyn Fn()) -> StepResult {
+        let task = self.task.as_mut().expect("task present until completion");
+        let outcome = match catch_unwind(AssertUnwindSafe(|| task.step())) {
+            Ok(Ok(TaskStep::Yield)) => return StepResult::Requeue,
+            Ok(Ok(TaskStep::Done)) => {
+                let task = self.task.take().expect("checked above");
+                TaskOutcome::Finished(task)
+            }
+            Ok(Err(error)) => {
+                self.task = None;
+                TaskOutcome::Failed(error)
+            }
+            Err(payload) => {
+                self.task = None;
+                TaskOutcome::Panicked(panic_message(payload))
+            }
+        };
+        before_complete();
+        self.state.complete(outcome);
+        StepResult::Complete
+    }
+
+    fn cancel(&mut self, error: Error, before_complete: &dyn Fn()) {
+        if self.task.take().is_some() {
+            before_complete();
+            self.state.complete(TaskOutcome::Failed(error));
+        }
+    }
+}
+
+/// Counters the scheduler accumulates over its lifetime; snapshot with
+/// [`TaskScheduler::stats`]. Useful for benches (`fig_serving` reports
+/// them) and for asserting scheduling behaviour in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Tasks accepted by [`TaskScheduler::spawn`].
+    pub submitted: u64,
+    /// Tasks that completed (finished, failed or panicked).
+    pub completed: u64,
+    /// Quanta after which a task yielded and was requeued.
+    pub yields: u64,
+    /// Tasks a worker stole from another worker's queue.
+    pub steals: u64,
+}
+
+struct Shared {
+    /// One run queue per worker; a yielding task goes to the back of the
+    /// queue of the worker that ran it.
+    queues: Vec<Mutex<VecDeque<Box<dyn Runnable>>>>,
+    /// Freshly spawned tasks land here; each worker moves at most one
+    /// injector task into its own queue per scheduling iteration, so new
+    /// sessions are admitted round-robin with the already-running ones.
+    injector: Mutex<VecDeque<Box<dyn Runnable>>>,
+    /// Version counter + condvar parking: bumped (with a wake) on every
+    /// push, so a worker that observed version V and then found no work can
+    /// sleep until the version moves.
+    park: std::sync::Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    yields: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl Shared {
+    fn bump(&self) {
+        *self.park.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        self.wake.notify_all();
+    }
+
+    fn version(&self) -> u64 {
+        *self.park.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The fixed worker pool executing [`Task`]s; see the [module docs](self).
+pub struct TaskScheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TaskScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskScheduler")
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl TaskScheduler {
+    /// Starts a scheduler with `workers` OS threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            park: std::sync::Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            yields: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sched-worker-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Submits a task; it starts running as soon as a worker frees up.
+    /// After [`TaskScheduler::shutdown`] the task is not run — the returned
+    /// handle completes immediately with [`TaskOutcome::Failed`].
+    pub fn spawn<T: Task + 'static>(&self, task: T) -> TaskHandle<T> {
+        spawn_on(&self.shared, task)
+    }
+
+    /// A cloneable spawning handle that stays valid after the scheduler is
+    /// moved or borrowed elsewhere — tasks and callbacks (e.g. the serving
+    /// layer's admission release) use it to submit follow-up work from any
+    /// thread, including scheduler workers. Spawning through a handle after
+    /// shutdown behaves like [`TaskScheduler::spawn`] after shutdown: the
+    /// task fails immediately.
+    pub fn handle(&self) -> SchedHandle {
+        SchedHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A snapshot of the scheduler's lifetime counters.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            yields: self.shared.yields.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the pool: workers finish the quantum they are on and exit,
+    /// every task still queued (including tasks mid-flight that had
+    /// yielded) completes its handle with [`TaskOutcome::Failed`], and the
+    /// worker threads are joined. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.bump();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        let mut cancelled: Vec<Box<dyn Runnable>> = self.shared.injector.lock().drain(..).collect();
+        for queue in &self.shared.queues {
+            cancelled.extend(queue.lock().drain(..));
+        }
+        let shared = Arc::clone(&self.shared);
+        for mut run in cancelled {
+            run.cancel(shutdown_error(), &|| {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    }
+}
+
+impl Drop for TaskScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// See [`TaskScheduler::handle`].
+#[derive(Clone)]
+pub struct SchedHandle {
+    shared: Arc<Shared>,
+}
+
+impl SchedHandle {
+    /// Submits a task through the handle; see [`TaskScheduler::spawn`].
+    pub fn spawn<T: Task + 'static>(&self, task: T) -> TaskHandle<T> {
+        spawn_on(&self.shared, task)
+    }
+}
+
+impl std::fmt::Debug for SchedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedHandle")
+            .field("workers", &self.shared.queues.len())
+            .finish()
+    }
+}
+
+fn spawn_on<T: Task + 'static>(shared: &Arc<Shared>, task: T) -> TaskHandle<T> {
+    let state = Arc::new(HandleState {
+        slot: Mutex::new(None),
+        done: Condvar::new(),
+    });
+    let handle = TaskHandle {
+        state: Arc::clone(&state),
+    };
+    let mut run = TypedRun {
+        task: Some(task),
+        state,
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        run.cancel(shutdown_error(), &|| {});
+        return handle;
+    }
+    shared.submitted.fetch_add(1, Ordering::Relaxed);
+    shared.injector.lock().push_back(Box::new(run));
+    shared.bump();
+    handle
+}
+
+/// The typed error queued-but-never-run tasks fail with on shutdown.
+fn shutdown_error() -> Error {
+    Error::Unsupported("task scheduler shut down before the task completed".into())
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Snapshot the park version *before* looking for work: any push
+        // that races with the scan below bumps it, which keeps the final
+        // wait from sleeping through the wakeup.
+        let version = shared.version();
+        if let Some(mut run) = find_work(shared, me) {
+            let step = run.run_step(&|| {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+            });
+            if let StepResult::Requeue = step {
+                shared.yields.fetch_add(1, Ordering::Relaxed);
+                shared.queues[me].lock().push_back(run);
+                shared.bump();
+            }
+            continue;
+        }
+        let mut guard = shared.park.lock().unwrap_or_else(|e| e.into_inner());
+        while *guard == version && !shared.shutdown.load(Ordering::SeqCst) {
+            guard = shared.wake.wait(guard).expect("condvar poisoned");
+        }
+    }
+}
+
+/// One scheduling decision for worker `me`: admit at most one freshly
+/// spawned task behind the already-running ones (round-robin admission),
+/// run the front of the own queue, and steal from the back of a busy
+/// worker's queue when the own queue is dry.
+fn find_work(shared: &Shared, me: usize) -> Option<Box<dyn Runnable>> {
+    if let Some(fresh) = shared.injector.lock().pop_front() {
+        shared.queues[me].lock().push_back(fresh);
+    }
+    if let Some(run) = shared.queues[me].lock().pop_front() {
+        return Some(run);
+    }
+    let workers = shared.queues.len();
+    for offset in 1..workers {
+        let victim = (me + offset) % workers;
+        if let Some(run) = shared.queues[victim].lock().pop_back() {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(run);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// QueryTask: a builder query as a cooperative task
+// ---------------------------------------------------------------------------
+
+/// One partial scan of a query (one Equation-1 range part).
+struct ScanPart {
+    scan: Box<dyn BatchSource + Send>,
+}
+
+/// A builder [`Query`](crate::query::Query) lowered onto the scheduler: the
+/// morsel-driven form of [`Query::run`](crate::query::Query::run).
+///
+/// The query's RID range is split into `parallelism` parts exactly like the
+/// thread-based path; the parts form the query's own task queue. Each
+/// [`Task::step`] produces up to [`BATCHES_PER_QUANTUM`] batches from the
+/// front part, folds them into the running aggregation
+/// ([`fold_batch`] — equivalent to the
+/// partial-aggregate-then-merge of the exchange plan, since every supported
+/// aggregate commutes), rotates the part to the back and yields. Obtain one
+/// with [`Query::into_task`](crate::query::Query::into_task), run it with
+/// [`TaskScheduler::spawn`], and take the result from the finished task
+/// with [`QueryTask::into_result`].
+pub struct QueryTask {
+    parts: VecDeque<ScanPart>,
+    filter: Option<Predicate>,
+    spec: AggrSpec,
+    groups: AggrResult,
+}
+
+impl std::fmt::Debug for QueryTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryTask")
+            .field("parts_remaining", &self.parts.len())
+            .field("groups", &self.groups.len())
+            .finish()
+    }
+}
+
+impl QueryTask {
+    pub(crate) fn new(
+        parts: Vec<Box<dyn BatchSource + Send>>,
+        filter: Option<Predicate>,
+        spec: AggrSpec,
+    ) -> Self {
+        Self {
+            parts: parts.into_iter().map(|scan| ScanPart { scan }).collect(),
+            filter,
+            spec,
+            groups: AggrResult::new(),
+        }
+    }
+
+    /// The aggregation accumulated so far (complete once the task has
+    /// finished).
+    pub fn result(&self) -> &AggrResult {
+        &self.groups
+    }
+
+    /// Consumes the finished task, returning the aggregation result.
+    pub fn into_result(self) -> AggrResult {
+        self.groups
+    }
+}
+
+impl Task for QueryTask {
+    fn step(&mut self) -> Result<TaskStep> {
+        let Some(mut part) = self.parts.pop_front() else {
+            return Ok(TaskStep::Done);
+        };
+        for _ in 0..BATCHES_PER_QUANTUM {
+            match part.scan.next_batch()? {
+                Some(batch) => {
+                    fold_batch(&mut self.groups, batch, self.filter.as_ref(), &self.spec)
+                }
+                None => {
+                    // Part exhausted; drop its operator (unregistering the
+                    // scan) before deciding whether the query is done.
+                    return Ok(if self.parts.is_empty() {
+                        TaskStep::Done
+                    } else {
+                        TaskStep::Yield
+                    });
+                }
+            }
+        }
+        self.parts.push_back(part);
+        Ok(TaskStep::Yield)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counts down `left` quanta, appending its label to `log` when done.
+    struct CountTask {
+        label: usize,
+        left: usize,
+        log: Arc<Mutex<Vec<usize>>>,
+    }
+
+    impl Task for CountTask {
+        fn step(&mut self) -> Result<TaskStep> {
+            if self.left == 0 {
+                self.log.lock().push(self.label);
+                return Ok(TaskStep::Done);
+            }
+            self.left -= 1;
+            Ok(TaskStep::Yield)
+        }
+    }
+
+    #[test]
+    fn tasks_complete_at_any_worker_count() {
+        for workers in [1usize, 4] {
+            let sched = TaskScheduler::new(workers);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let handles: Vec<_> = (0..32)
+                .map(|label| {
+                    sched.spawn(CountTask {
+                        label,
+                        left: label % 5,
+                        log: Arc::clone(&log),
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let outcome = handle.wait();
+                assert!(matches!(outcome, TaskOutcome::Finished(_)), "{workers}");
+            }
+            assert_eq!(log.lock().len(), 32);
+            let stats = sched.stats();
+            assert_eq!(stats.submitted, 32);
+            assert_eq!(stats.completed, 32);
+        }
+    }
+
+    #[test]
+    fn single_worker_round_robins_so_short_tasks_finish_first() {
+        // The long task spins in its first quantum until both tasks are
+        // spawned, so the single worker cannot burn through all 200 quanta
+        // before the short task even reaches the injector.
+        struct GatedCount {
+            start: Arc<AtomicBool>,
+            inner: CountTask,
+        }
+        impl Task for GatedCount {
+            fn step(&mut self) -> Result<TaskStep> {
+                while !self.start.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                self.inner.step()
+            }
+        }
+        let sched = TaskScheduler::new(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let start = Arc::new(AtomicBool::new(false));
+        // The long task is submitted first and needs 200 quanta; the short
+        // one needs 2. Round-robin admission and requeueing mean the short
+        // task must complete long before the long one.
+        let long = sched.spawn(GatedCount {
+            start: Arc::clone(&start),
+            inner: CountTask {
+                label: 0,
+                left: 200,
+                log: Arc::clone(&log),
+            },
+        });
+        let short = sched.spawn(CountTask {
+            label: 1,
+            left: 2,
+            log: Arc::clone(&log),
+        });
+        start.store(true, Ordering::SeqCst);
+        let _ = short.wait();
+        let _ = long.wait();
+        assert_eq!(*log.lock(), vec![1, 0], "short task completed first");
+    }
+
+    #[test]
+    fn task_errors_and_panics_are_task_local() {
+        struct FailTask;
+        impl Task for FailTask {
+            fn step(&mut self) -> Result<TaskStep> {
+                Err(Error::internal("typed failure"))
+            }
+        }
+        #[derive(Debug)]
+        struct PanicTask;
+        impl Task for PanicTask {
+            fn step(&mut self) -> Result<TaskStep> {
+                panic!("injected task panic");
+            }
+        }
+        let sched = TaskScheduler::new(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let ok = sched.spawn(CountTask {
+            label: 7,
+            left: 10,
+            log: Arc::clone(&log),
+        });
+        let failed = sched.spawn(FailTask);
+        let panicked = sched.spawn(PanicTask);
+        assert!(matches!(
+            failed.wait(),
+            TaskOutcome::Failed(Error::Internal(_))
+        ));
+        match panicked.wait() {
+            TaskOutcome::Panicked(message) => assert!(message.contains("injected task panic")),
+            other => panic!("expected a caught panic, got {other:?}"),
+        }
+        // The healthy task is unaffected by its neighbours' failures.
+        assert!(matches!(ok.wait(), TaskOutcome::Finished(_)));
+    }
+
+    #[test]
+    fn spawn_after_shutdown_fails_immediately() {
+        let mut sched = TaskScheduler::new(1);
+        sched.shutdown();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let handle = sched.spawn(CountTask {
+            label: 0,
+            left: 5,
+            log,
+        });
+        assert!(handle.is_done());
+        assert!(matches!(
+            handle.wait(),
+            TaskOutcome::Failed(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_tasks_with_a_typed_error() {
+        // A task that parks its worker until released, so tasks behind it
+        // are still queued when shutdown fires.
+        struct GateTask {
+            release: Arc<AtomicBool>,
+            entered: Arc<AtomicUsize>,
+        }
+        impl Task for GateTask {
+            fn step(&mut self) -> Result<TaskStep> {
+                self.entered.fetch_add(1, Ordering::SeqCst);
+                while !self.release.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                Ok(TaskStep::Done)
+            }
+        }
+        let mut sched = TaskScheduler::new(1);
+        let release = Arc::new(AtomicBool::new(false));
+        let entered = Arc::new(AtomicUsize::new(0));
+        let gate = sched.spawn(GateTask {
+            release: Arc::clone(&release),
+            entered: Arc::clone(&entered),
+        });
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let queued = sched.spawn(CountTask {
+            label: 0,
+            left: 1,
+            log,
+        });
+        // Release the gate as shutdown runs so the worker can finish its
+        // current quantum; the queued task never runs.
+        release.store(true, Ordering::SeqCst);
+        sched.shutdown();
+        assert!(matches!(gate.wait(), TaskOutcome::Finished(_)));
+        assert!(matches!(
+            queued.wait(),
+            TaskOutcome::Failed(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn outcome_into_result_maps_variants() {
+        assert!(TaskOutcome::Finished(1u8).into_result().is_ok());
+        assert!(matches!(
+            TaskOutcome::<u8>::Failed(Error::internal("x")).into_result(),
+            Err(Error::Internal(_))
+        ));
+        assert!(matches!(
+            TaskOutcome::<u8>::Panicked("boom".into()).into_result(),
+            Err(Error::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn work_stealing_keeps_many_workers_busy() {
+        // 4 workers x 64 yieldy tasks: not deterministic enough to assert a
+        // steal count, but every task must complete and the yield counter
+        // must reflect the requeues.
+        let sched = TaskScheduler::new(4);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..64)
+            .map(|label| {
+                sched.spawn(CountTask {
+                    label,
+                    left: 20,
+                    log: Arc::clone(&log),
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert!(matches!(handle.wait(), TaskOutcome::Finished(_)));
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.completed, 64);
+        assert_eq!(stats.yields, 64 * 20);
+    }
+}

@@ -1,0 +1,137 @@
+//! Closed-loop load generator: thousands of sessions against a scanshare
+//! server, reporting p50/p95/p99/p999 tail latencies.
+//!
+//! ```text
+//! cargo run --release -p scanshare-serve --bin loadgen -- \
+//!     --tcp 127.0.0.1:7878 --sessions 1000 --connections 8 --queries 5
+//! ```
+//!
+//! Options:
+//!   --tcp ADDR        server TCP address
+//!   --unix PATH       server Unix-domain socket (unix only)
+//!   --sessions N      logical sessions (default 1000)
+//!   --connections N   connections to multiplex them over (default 8)
+//!   --queries N       queries per session (default 3)
+//!   --tenant NAME     tenant in the handshake (default "loadgen")
+//!   --table NAME      table to aggregate (default "lineitem")
+//!   --column NAME     column to scan and sum (default "l_quantity")
+//!   --parallelism N   intra-query scan parts (default 1)
+
+use scanshare_exec::Aggregate;
+use scanshare_serve::loadgen::{self, LoadgenConfig, Target};
+use scanshare_serve::QueryRequest;
+
+struct Args {
+    target: Option<Target>,
+    sessions: usize,
+    connections: usize,
+    queries: usize,
+    tenant: String,
+    table: String,
+    column: String,
+    parallelism: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        target: None,
+        sessions: 1000,
+        connections: 8,
+        queries: 3,
+        tenant: "loadgen".into(),
+        table: "lineitem".into(),
+        column: "l_quantity".into(),
+        parallelism: 1,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--tcp" => args.target = Some(Target::Tcp(value("--tcp")?)),
+            "--unix" => {
+                #[cfg(unix)]
+                {
+                    args.target = Some(Target::Unix(value("--unix")?.into()));
+                }
+                #[cfg(not(unix))]
+                return Err("--unix is not supported on this platform".into());
+            }
+            "--sessions" => {
+                args.sessions = value("--sessions")?
+                    .parse()
+                    .map_err(|e| format!("--sessions: {e}"))?
+            }
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?
+            }
+            "--queries" => {
+                args.queries = value("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?
+            }
+            "--tenant" => args.tenant = value("--tenant")?,
+            "--table" => args.table = value("--table")?,
+            "--column" => args.column = value("--column")?,
+            "--parallelism" => {
+                args.parallelism = value("--parallelism")?
+                    .parse()
+                    .map_err(|e| format!("--parallelism: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.target.is_none() {
+        return Err("need --tcp ADDR or --unix PATH".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut request = QueryRequest::count_star(args.table.clone(), vec![args.column.clone()]);
+    request.aggregates.push(Aggregate::Sum(0));
+    request.parallelism = args.parallelism;
+
+    let config = LoadgenConfig {
+        target: args.target.expect("checked above"),
+        tenant: args.tenant,
+        connections: args.connections,
+        sessions: args.sessions,
+        queries_per_session: args.queries,
+        request,
+    };
+
+    println!(
+        "loadgen: {} sessions x {} queries over {} connections ...",
+        config.sessions, config.queries_per_session, config.connections
+    );
+    let report = match loadgen::run(&config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("loadgen: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "loadgen: served {} queries ({} shed, {} errors) in {:.2?}",
+        report.completed, report.shed, report.errors, report.wall
+    );
+    println!("loadgen: throughput {:.0} q/s", report.qps());
+    println!(
+        "loadgen: latency p50 {:.2?}  p95 {:.2?}  p99 {:.2?}  p999 {:.2?}",
+        report.p50(),
+        report.p95(),
+        report.p99(),
+        report.p999()
+    );
+}

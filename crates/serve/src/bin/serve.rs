@@ -1,0 +1,150 @@
+//! A standalone scanshare server over a generated demo table.
+//!
+//! ```text
+//! cargo run --release -p scanshare-serve --bin serve -- --tcp 127.0.0.1:7878
+//! ```
+//!
+//! Options:
+//!   --tcp ADDR          listen on a TCP address (repeatable)
+//!   --unix PATH         listen on a Unix-domain socket (unix only)
+//!   --rows N            tuples in the generated `lineitem` table (default 2000000)
+//!   --workers N         scheduler worker threads (default: engine default)
+//!   --max-inflight N    concurrently running queries (default 64)
+//!   --max-queued N      queued queries per tenant before shedding (default 256)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use scanshare_common::ScanShareConfig;
+use scanshare_exec::Engine;
+use scanshare_serve::{ServeConfig, Server};
+use scanshare_storage::datagen::DataGen;
+use scanshare_storage::{ColumnSpec, ColumnType, Storage, TableSpec};
+
+struct Args {
+    tcp: Vec<String>,
+    unix: Vec<String>,
+    rows: u64,
+    workers: Option<usize>,
+    max_inflight: usize,
+    max_queued: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tcp: Vec::new(),
+        unix: Vec::new(),
+        rows: 2_000_000,
+        workers: None,
+        max_inflight: 64,
+        max_queued: 256,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--tcp" => args.tcp.push(value("--tcp")?),
+            "--unix" => args.unix.push(value("--unix")?),
+            "--rows" => {
+                args.rows = value("--rows")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
+            "--max-inflight" => {
+                args.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--max-queued" => {
+                args.max_queued = value("--max-queued")?
+                    .parse()
+                    .map_err(|e| format!("--max-queued: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.tcp.is_empty() && args.unix.is_empty() {
+        return Err("need at least one --tcp ADDR or --unix PATH".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("serve: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let storage = Storage::new(128 * 1024, 50_000);
+    storage
+        .create_table_with_data(
+            TableSpec::new(
+                "lineitem",
+                vec![
+                    ColumnSpec::new("l_orderkey", ColumnType::Int64),
+                    ColumnSpec::new("l_quantity", ColumnType::Int64),
+                    ColumnSpec::new("l_extendedprice", ColumnType::Int64),
+                ],
+                args.rows,
+            ),
+            vec![
+                DataGen::Sequential { start: 1, step: 1 },
+                DataGen::Uniform { min: 1, max: 50 },
+                DataGen::Uniform {
+                    min: 100,
+                    max: 100_000,
+                },
+            ],
+        )
+        .expect("create demo table");
+
+    let mut config = ScanShareConfig::default();
+    if let Some(workers) = args.workers {
+        config = config.with_scheduler_workers(workers);
+    }
+    let engine = Engine::new(Arc::clone(&storage), config).expect("engine");
+
+    let serve_config = ServeConfig::default()
+        .with_max_inflight(args.max_inflight)
+        .with_max_queued_per_tenant(args.max_queued);
+    let server = Server::new(engine, serve_config);
+
+    for addr in &args.tcp {
+        let bound = server.bind_tcp(addr.as_str()).expect("bind tcp");
+        println!("serve: listening on tcp://{bound}");
+    }
+    for path in &args.unix {
+        #[cfg(unix)]
+        {
+            server.bind_unix(path).expect("bind unix");
+            println!("serve: listening on unix://{path}");
+        }
+        #[cfg(not(unix))]
+        {
+            eprintln!("serve: --unix {path} ignored on this platform");
+        }
+    }
+    println!(
+        "serve: {} rows of lineitem ready; press Ctrl-C to stop",
+        args.rows
+    );
+
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+        let stats = server.stats();
+        println!(
+            "serve: admitted={} queued={} shed={} completed={}",
+            stats.admitted, stats.queued, stats.shed, stats.completed
+        );
+    }
+}

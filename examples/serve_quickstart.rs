@@ -1,0 +1,99 @@
+//! Serving queries over the network: start a server, query it with the
+//! blocking client, then drive it with the closed-loop load generator.
+//!
+//! Run with: `cargo run --release --example serve_quickstart`
+//!
+//! The server multiplexes every logical session onto the engine's
+//! morsel-driven task scheduler (`ScanShareConfig::scheduler_workers` OS
+//! threads), so the 512-session burst at the end runs on 8 workers. The
+//! wire format is documented byte-for-byte in `PROTOCOL.md`.
+
+use scanshare::prelude::*;
+use scanshare::serve::loadgen::{self, LoadgenConfig, Target};
+
+fn main() {
+    // A 1M-tuple table to serve.
+    let storage = Storage::new(64 * 1024, 10_000);
+    storage
+        .create_table_with_data(
+            TableSpec::new(
+                "lineitem",
+                vec![
+                    ColumnSpec::new("l_orderkey", ColumnType::Int64),
+                    ColumnSpec::new("l_quantity", ColumnType::Int64),
+                ],
+                1_000_000,
+            ),
+            vec![
+                DataGen::Sequential { start: 1, step: 1 },
+                DataGen::Uniform { min: 1, max: 50 },
+            ],
+        )
+        .expect("create table");
+    let engine = Engine::new(
+        storage,
+        ScanShareConfig {
+            policy: PolicyKind::Pbm,
+            buffer_pool_bytes: 32 << 20,
+            ..Default::default()
+        },
+    )
+    .expect("engine");
+
+    // Serve it on an ephemeral TCP port. The admission queue is sized for
+    // the 512-session burst below; the defaults (64 in flight, 256 queued
+    // per tenant) would shed part of it with OVERLOADED instead.
+    let mut server = Server::new(
+        engine,
+        ServeConfig::default().with_max_queued_per_tenant(2048),
+    );
+    let addr = server.bind_tcp("127.0.0.1:0").expect("bind");
+    println!("serving lineitem on tcp://{addr}");
+
+    // One blocking client: SELECT count(*), sum(l_quantity) FROM lineitem.
+    let mut client = ServeClient::connect_tcp(addr, "tenant-a").expect("connect");
+    let mut request =
+        QueryRequest::count_star("lineitem", vec!["l_orderkey".into(), "l_quantity".into()]);
+    request.aggregates.push(Aggregate::Sum(1));
+    let groups = client.query(request.clone()).expect("query");
+    println!(
+        "count(*) = {}, sum(l_quantity) = {}",
+        groups[0].count, groups[0].accumulators[1]
+    );
+
+    // A typed error: unknown tables come back as an ERROR frame, and the
+    // session keeps working afterwards.
+    let mut bad = request.clone();
+    bad.table = "no_such_table".into();
+    match client.query(bad) {
+        Err(scanshare::common::Error::Remote { code, message }) => {
+            println!("typed error frame: code {code} ({message})")
+        }
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+
+    // 512 closed-loop sessions over 8 connections, 2 cheap queries each.
+    request.end = Some(10_000);
+    let report = loadgen::run(&LoadgenConfig {
+        target: Target::Tcp(addr.to_string()),
+        tenant: "tenant-a".into(),
+        connections: 8,
+        sessions: 512,
+        queries_per_session: 2,
+        request,
+    })
+    .expect("loadgen");
+    println!(
+        "{} sessions: {} served at {:.0} q/s — p50 {:.2?}, p95 {:.2?}, p99 {:.2?}, p999 {:.2?}",
+        report.sessions,
+        report.completed,
+        report.qps(),
+        report.p50(),
+        report.p95(),
+        report.p99(),
+        report.p999()
+    );
+
+    server.shutdown();
+    println!("server shut down cleanly");
+}

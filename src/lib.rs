@@ -220,6 +220,19 @@
 //! point; the `fig_durability` bench sweeps group commit × update rate with
 //! a gated recovery-parity check.
 //!
+//! ## Serving queries over the network
+//!
+//! The [`serve`] crate puts the engine behind a small length-prefixed wire
+//! protocol (documented byte-for-byte in the repository's `PROTOCOL.md`)
+//! over TCP or Unix-domain sockets. Sessions — not connections or threads —
+//! are the unit of concurrency: each session's queries run as cooperative
+//! tasks on the engine's morsel-driven
+//! [`TaskScheduler`](prelude::TaskScheduler), so thousands of concurrent
+//! sessions multiplex onto `ScanShareConfig::scheduler_workers` OS threads,
+//! with admission control, per-tenant fairness and load shedding in front.
+//! `examples/serve_quickstart.rs` starts a server and drives it with the
+//! bundled client and load generator.
+//!
 //! Custom replacement policies plug in without touching the engine: register
 //! a factory with a [`PolicyRegistry`](prelude::PolicyRegistry), select it
 //! with `ScanShareConfig::with_custom_policy`, and build the engine with
@@ -237,6 +250,7 @@ pub use scanshare_core as core;
 pub use scanshare_exec as exec;
 pub use scanshare_iosim as iosim;
 pub use scanshare_pdt as pdt;
+pub use scanshare_serve as serve;
 pub use scanshare_sim as sim;
 pub use scanshare_storage as storage;
 pub use scanshare_workload as workload;
@@ -260,10 +274,14 @@ pub mod prelude {
         aggregate, AggrSpec, Aggregate, BatchSource, CompareOp, Predicate,
     };
     pub use scanshare_exec::{
-        Batch, Engine, Query, StreamError, TablePin, Txn, WorkloadDriver, WorkloadReport,
+        Batch, Engine, Query, QueryTask, SchedulerStats, StreamError, TablePin, Task, TaskHandle,
+        TaskOutcome, TaskScheduler, TaskStep, Txn, WorkloadDriver, WorkloadReport,
     };
     pub use scanshare_iosim::{BlockDevice, FileIoDevice, IoDevice};
     pub use scanshare_pdt::{Pdt, PdtStack};
+    pub use scanshare_serve::{
+        ErrorCode, QueryRequest, ResultGroup, ServeClient, ServeConfig, Server, ServerStats,
+    };
     pub use scanshare_sim::{ExperimentScale, SimConfig, SimResult, Simulation};
     pub use scanshare_storage::datagen::DataGen;
     pub use scanshare_storage::wal::{Wal, WalRecord, WalRecordKind};

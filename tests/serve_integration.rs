@@ -1,0 +1,314 @@
+//! End-to-end tests of the serving layer over a Unix-domain socket:
+//! wire results match in-process engine results across concurrent
+//! sessions, protocol violations and bad queries come back as typed
+//! error frames, admission control sheds under overload, and shutdown
+//! mid-query is clean.
+
+#![cfg(unix)]
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use scanshare::prelude::*;
+use scanshare::serve::loadgen::{self, LoadgenConfig, Target};
+use scanshare::serve::protocol::{read_frame, Message, PROTOCOL_VERSION};
+
+const PAGE: u64 = 64 * 1024;
+const CHUNK: u64 = 10_000;
+const TUPLES: u64 = 200_000;
+
+static TEST_DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// Self-cleaning tempdir (no external tempfile dependency).
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> Self {
+        let seq = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "scanshare-serve-{tag}-{}-{seq}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).unwrap();
+        Self(path)
+    }
+
+    fn socket(&self) -> PathBuf {
+        self.0.join("serve.sock")
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn build_engine() -> (Arc<Engine>, TableId) {
+    let storage = Storage::new(PAGE, CHUNK);
+    let table = storage
+        .create_table_with_data(
+            TableSpec::new(
+                "lineitem",
+                vec![
+                    ColumnSpec::new("l_orderkey", ColumnType::Int64),
+                    ColumnSpec::new("l_quantity", ColumnType::Int64),
+                ],
+                TUPLES,
+            ),
+            vec![
+                DataGen::Sequential { start: 1, step: 1 },
+                DataGen::Uniform { min: 1, max: 50 },
+            ],
+        )
+        .unwrap();
+    let engine = Engine::new(
+        storage,
+        ScanShareConfig {
+            page_size_bytes: PAGE,
+            chunk_tuples: CHUNK,
+            buffer_pool_bytes: 4 << 20,
+            policy: PolicyKind::Pbm,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (engine, table)
+}
+
+fn sum_request() -> QueryRequest {
+    let mut request =
+        QueryRequest::count_star("lineitem", vec!["l_orderkey".into(), "l_quantity".into()]);
+    request.aggregates.push(Aggregate::Sum(1));
+    request
+}
+
+/// Concurrent sessions over one Unix socket must each receive exactly the
+/// result the in-process engine computes.
+#[test]
+fn concurrent_sessions_match_direct_engine_results() {
+    let dir = TestDir::new("parity");
+    let (engine, table) = build_engine();
+    let reference = engine
+        .query(table)
+        .columns(["l_orderkey", "l_quantity"])
+        .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(1)]))
+        .run()
+        .unwrap();
+    let expected_count = reference[&0].count;
+    let expected_sum = reference[&0].accumulators[1];
+
+    let mut server = Server::new(engine, ServeConfig::default());
+    server.bind_unix(dir.socket()).unwrap();
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let socket = dir.socket();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect_unix(&socket, "tenant-a").unwrap();
+                for _ in 0..3 {
+                    let groups = client.query(sum_request()).unwrap();
+                    assert_eq!(groups.len(), 1);
+                    assert_eq!(groups[0].count, expected_count);
+                    assert_eq!(groups[0].accumulators[1], expected_sum);
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().unwrap();
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.completed, 24);
+    assert_eq!(stats.shed, 0);
+    server.shutdown();
+}
+
+/// The load generator multiplexes many logical sessions over few
+/// connections; with generous admission limits every query is served.
+#[test]
+fn multiplexed_sessions_all_complete() {
+    let dir = TestDir::new("loadgen");
+    let (engine, _) = build_engine();
+    let mut server = Server::new(
+        engine,
+        ServeConfig::default().with_max_queued_per_tenant(4096),
+    );
+    server.bind_unix(dir.socket()).unwrap();
+
+    let mut request = sum_request();
+    request.end = Some(5_000); // keep each query cheap
+    let report = loadgen::run(&LoadgenConfig {
+        target: Target::Unix(dir.socket()),
+        tenant: "tenant-a".into(),
+        connections: 4,
+        sessions: 96,
+        queries_per_session: 2,
+        request,
+    })
+    .unwrap();
+
+    assert_eq!(report.completed, 96 * 2);
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.errors, 0);
+    assert!(report.p50() <= report.p999());
+    server.shutdown();
+}
+
+/// Server-side failures arrive as typed ERROR frames, and a failed query
+/// leaves the session usable for the next one.
+#[test]
+fn bad_requests_get_typed_error_frames() {
+    let dir = TestDir::new("errors");
+    let (engine, _) = build_engine();
+    let mut server = Server::new(engine, ServeConfig::default());
+    server.bind_unix(dir.socket()).unwrap();
+
+    let mut client = ServeClient::connect_unix(dir.socket(), "tenant-a").unwrap();
+
+    let mut unknown_table = sum_request();
+    unknown_table.table = "no_such_table".into();
+    match client.query(unknown_table) {
+        Err(scanshare::common::Error::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::UnknownTable.as_u16())
+        }
+        other => panic!("expected UNKNOWN_TABLE error frame, got {other:?}"),
+    }
+
+    let mut unknown_column = sum_request();
+    unknown_column.columns = vec!["no_such_column".into()];
+    match client.query(unknown_column) {
+        Err(scanshare::common::Error::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::BadQuery.as_u16())
+        }
+        other => panic!("expected BAD_QUERY error frame, got {other:?}"),
+    }
+
+    // The session survives typed errors: a good query still works.
+    let groups = client.query(sum_request()).unwrap();
+    assert_eq!(groups[0].count, TUPLES);
+    server.shutdown();
+}
+
+/// Handshake violations: a wrong protocol version and a QUERY before HELLO
+/// are both rejected with the documented codes, closing the connection.
+#[test]
+fn handshake_violations_are_rejected() {
+    let dir = TestDir::new("handshake");
+    let (engine, _) = build_engine();
+    let mut server = Server::new(engine, ServeConfig::default());
+    server.bind_unix(dir.socket()).unwrap();
+
+    // Wrong version.
+    let mut sock = UnixStream::connect(dir.socket()).unwrap();
+    sock.write_all(
+        &Message::Hello {
+            version: PROTOCOL_VERSION + 7,
+            tenant: "tenant-a".into(),
+        }
+        .encode(0),
+    )
+    .unwrap();
+    let frame = read_frame(&mut sock).unwrap().expect("an error frame");
+    match Message::decode(&frame).unwrap() {
+        Message::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::UnsupportedVersion.as_u16())
+        }
+        other => panic!("expected ERROR frame, got {other:?}"),
+    }
+    assert!(
+        read_frame(&mut sock).unwrap().is_none(),
+        "connection closes"
+    );
+
+    // QUERY before HELLO.
+    let mut sock = UnixStream::connect(dir.socket()).unwrap();
+    sock.write_all(&Message::Query(sum_request()).encode(0))
+        .unwrap();
+    let frame = read_frame(&mut sock).unwrap().expect("an error frame");
+    match Message::decode(&frame).unwrap() {
+        Message::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame.as_u16()),
+        other => panic!("expected ERROR frame, got {other:?}"),
+    }
+    assert!(
+        read_frame(&mut sock).unwrap().is_none(),
+        "connection closes"
+    );
+    server.shutdown();
+}
+
+/// With max_inflight 1 and no queueing, a burst of closed-loop sessions is
+/// visibly shed with OVERLOADED while admitted queries still complete.
+#[test]
+fn overload_sheds_with_typed_errors() {
+    let dir = TestDir::new("overload");
+    let (engine, _) = build_engine();
+    let mut server = Server::new(
+        engine,
+        ServeConfig::default()
+            .with_max_inflight(1)
+            .with_max_queued_per_tenant(0),
+    );
+    server.bind_unix(dir.socket()).unwrap();
+
+    let report = loadgen::run(&LoadgenConfig {
+        target: Target::Unix(dir.socket()),
+        tenant: "tenant-a".into(),
+        connections: 2,
+        sessions: 16,
+        queries_per_session: 3,
+        request: sum_request(), // full 200k-tuple scan: slow enough to pile up
+    })
+    .unwrap();
+
+    assert_eq!(report.completed + report.shed, 16 * 3);
+    assert_eq!(report.errors, 0);
+    assert!(report.completed >= 1, "admitted queries must still finish");
+    assert!(
+        report.shed > 0,
+        "a 16-session burst against max_inflight=1 with no queue must shed"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.shed, report.shed);
+    server.shutdown();
+}
+
+/// Shutting the server down mid-query neither hangs the server nor the
+/// client: the client observes a closed connection or a SHUTTING_DOWN
+/// frame, and `shutdown()` returns promptly.
+#[test]
+fn shutdown_mid_query_is_clean() {
+    let dir = TestDir::new("shutdown");
+    let (engine, _) = build_engine();
+    let mut server = Server::new(engine, ServeConfig::default());
+    server.bind_unix(dir.socket()).unwrap();
+
+    let socket = dir.socket();
+    let client = std::thread::spawn(move || {
+        let mut client = ServeClient::connect_unix(&socket, "tenant-a").unwrap();
+        // Keep querying until the server goes away.
+        loop {
+            match client.query(sum_request()) {
+                Ok(groups) => assert_eq!(groups[0].count, TUPLES),
+                Err(error) => return error,
+            }
+        }
+    });
+
+    // Let at least one query get in flight, then pull the plug.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    server.shutdown();
+
+    let error = client.join().unwrap();
+    match error {
+        scanshare::common::Error::Remote { code, .. } => {
+            assert_eq!(code, ErrorCode::ShuttingDown.as_u16())
+        }
+        scanshare::common::Error::Protocol(_) | scanshare::common::Error::Io(_) => {}
+        other => panic!("expected a shutdown-shaped error, got {other:?}"),
+    }
+}
