@@ -225,6 +225,15 @@ pub struct ScanShareConfig {
     /// `wal_group_commit - 1` most-recent commits on a crash — always a
     /// consistent prefix, never a torn state. Ignored without `wal_dir`.
     pub wal_group_commit: usize,
+    /// Whether scans consult per-chunk min/max zone metadata to skip chunks
+    /// their predicate disqualifies (data skipping). Pruning happens before
+    /// the buffer-management backend sees the chunk list, so skipped chunks
+    /// never register with the ABM's relevance machinery or PBM's
+    /// consumption predictions. `true` (the default) is safe: a query
+    /// without a predicate, or a scan over a table whose pending updates
+    /// could change predicate outcomes, prunes nothing and behaves exactly
+    /// as before.
+    pub zone_maps: bool,
     /// Number of OS worker threads in the morsel-driven task scheduler that
     /// executes query sessions (the `WorkloadDriver` and the serving layer
     /// both run on it). Each logical session is a cooperative task that
@@ -258,6 +267,7 @@ impl Default for ScanShareConfig {
             o_direct: false,
             wal_dir: None,
             wal_group_commit: 1,
+            zone_maps: true,
             scheduler_workers: 8,
         }
     }
@@ -408,6 +418,14 @@ impl ScanShareConfig {
     /// individually durable.
     pub fn with_wal_group_commit(mut self, window: usize) -> Self {
         self.wal_group_commit = window;
+        self
+    }
+
+    /// Returns a copy toggling zone-map data skipping (see
+    /// [`ScanShareConfig::zone_maps`]); `false` restores full scans for
+    /// every query.
+    pub fn with_zone_maps(mut self, enabled: bool) -> Self {
+        self.zone_maps = enabled;
         self
     }
 
@@ -570,6 +588,15 @@ mod tests {
             .is_err());
         let cfg = ScanShareConfig::default().with_scheduler_workers(2);
         assert_eq!(cfg.scheduler_workers, 2);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn zone_maps_default_on_and_toggle_off() {
+        let cfg = ScanShareConfig::default();
+        assert!(cfg.zone_maps);
+        let cfg = cfg.with_zone_maps(false);
+        assert!(!cfg.zone_maps);
         cfg.validate().unwrap();
     }
 

@@ -26,6 +26,7 @@
 //! 5. [`ScanBackend::finish_scan`] — `UnregisterScan` / `UnregisterCScan`.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use scanshare_common::sync::{Mutex, RwLock};
@@ -102,6 +103,16 @@ pub trait ScanBackend: Send + Sync + std::fmt::Debug {
     /// Accumulated buffer statistics (`io_bytes` is the paper's total I/O
     /// volume metric).
     fn stats(&self) -> BufferStats;
+
+    /// Records that zone-map pruning removed `tuples` stable tuples from a
+    /// scan's interest *before* registration: the backend never sees a page
+    /// request, an ABM chunk interest or a PBM consumption prediction for
+    /// them. Called even when pruning removes the entire range (and the scan
+    /// therefore never registers), so the counter reflects every skipped
+    /// tuple. Folded into [`BufferStats::pruned_tuples`].
+    fn record_pruned(&self, tuples: u64) {
+        let _ = tuples;
+    }
 
     /// Gives the backend an opportunity to issue asynchronous prefetch I/O
     /// (top up its in-flight window from the policy's
@@ -189,6 +200,9 @@ pub struct PooledBackend {
     /// Largest checkpoint epoch seen per table (see
     /// [`ScanBackend::invalidate_stale`]).
     invalidation_epochs: Mutex<HashMap<TableId, u64>>,
+    /// Tuples skipped by zone-map pruning before scans registered (see
+    /// [`ScanBackend::record_pruned`]).
+    pruned_tuples: AtomicU64,
     clock: Arc<VirtualClock>,
     device: Arc<dyn BlockDevice>,
     kind: PolicyKind,
@@ -214,6 +228,7 @@ impl PooledBackend {
             inflight: Mutex::new(HashMap::new()),
             prefetch_pages: 0,
             invalidation_epochs: Mutex::new(HashMap::new()),
+            pruned_tuples: AtomicU64::new(0),
             clock,
             device,
             kind,
@@ -326,7 +341,13 @@ impl ScanBackend for PooledBackend {
     }
 
     fn stats(&self) -> BufferStats {
-        self.pool.stats()
+        let mut stats = self.pool.stats();
+        stats.pruned_tuples = self.pruned_tuples.load(Ordering::Relaxed);
+        stats
+    }
+
+    fn record_pruned(&self, tuples: u64) {
+        self.pruned_tuples.fetch_add(tuples, Ordering::Relaxed);
     }
 
     fn drive_prefetch(&self) {
@@ -386,6 +407,9 @@ pub struct CScanBackend {
     /// Largest checkpoint epoch seen per table (see
     /// [`ScanBackend::invalidate_stale`]).
     invalidation_epochs: Mutex<HashMap<TableId, u64>>,
+    /// Tuples skipped by zone-map pruning before scans registered (see
+    /// [`ScanBackend::record_pruned`]).
+    pruned_tuples: AtomicU64,
     clock: Arc<VirtualClock>,
     device: Arc<dyn BlockDevice>,
 }
@@ -400,6 +424,7 @@ impl CScanBackend {
             scans: RwLock::new(HashMap::new()),
             scheduler: LoadScheduler::new(1),
             invalidation_epochs: Mutex::new(HashMap::new()),
+            pruned_tuples: AtomicU64::new(0),
             clock,
             device,
         }
@@ -507,7 +532,13 @@ impl ScanBackend for CScanBackend {
     }
 
     fn stats(&self) -> BufferStats {
-        self.abm.stats()
+        let mut stats = self.abm.stats();
+        stats.pruned_tuples = self.pruned_tuples.load(Ordering::Relaxed);
+        stats
+    }
+
+    fn record_pruned(&self, tuples: u64) {
+        self.pruned_tuples.fetch_add(tuples, Ordering::Relaxed);
     }
 
     fn invalidate_stale(&self, table: TableId, epoch: u64, _stale_pages: &[PageId]) {
@@ -766,6 +797,30 @@ mod tests {
             pf_clock.now(),
             sync_clock.now()
         );
+    }
+
+    #[test]
+    fn record_pruned_accumulates_into_stats_on_both_backends() {
+        let (clock, device) = clock_and_device();
+        let backends: Vec<Box<dyn ScanBackend>> = vec![
+            Box::new(PooledBackend::new(
+                ShardedPool::new(4, PAGE, Box::new(LruPolicy::new()), 1),
+                Arc::clone(&clock),
+                device.clone(),
+                PolicyKind::Lru,
+            )),
+            Box::new(CScanBackend::new(
+                Abm::new(AbmConfig::new(1 << 20, PAGE)),
+                clock,
+                device,
+            )),
+        ];
+        for backend in backends {
+            assert_eq!(backend.stats().pruned_tuples, 0);
+            backend.record_pruned(1000);
+            backend.record_pruned(24);
+            assert_eq!(backend.stats().pruned_tuples, 1024);
+        }
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub struct BufferStats {
     /// not displaced by a replacement decision, their data simply ceased to
     /// exist in the live snapshot.
     pub invalidated_pages: u64,
+    /// Tuples that registered scans skipped via zone-map pruning: the
+    /// backend never saw a page request, an ABM chunk interest or a PBM
+    /// consumption prediction for them. Tuple-granular (not chunk-granular)
+    /// because parallel query parts split ranges at arbitrary boundaries.
+    pub pruned_tuples: u64,
 }
 
 impl BufferStats {
@@ -55,6 +60,7 @@ impl BufferStats {
         self.prefetched_pages += other.prefetched_pages;
         self.prefetch_io_bytes += other.prefetch_io_bytes;
         self.invalidated_pages += other.invalidated_pages;
+        self.pruned_tuples += other.pruned_tuples;
     }
 }
 
@@ -82,6 +88,7 @@ mod tests {
             prefetched_pages: 6,
             prefetch_io_bytes: 7,
             invalidated_pages: 8,
+            pruned_tuples: 9,
         };
         let mut b = a;
         b.merge(&a);
@@ -93,6 +100,7 @@ mod tests {
         assert_eq!(b.prefetched_pages, 12);
         assert_eq!(b.prefetch_io_bytes, 14);
         assert_eq!(b.invalidated_pages, 16);
+        assert_eq!(b.pruned_tuples, 18);
         assert!((a.io_megabytes() - 5e-6).abs() < 1e-15);
     }
 }

@@ -37,8 +37,10 @@ use std::collections::VecDeque;
 use scanshare_common::sync::Mutex;
 use scanshare_common::TableId;
 
+use scanshare_storage::zone::ZoneOp;
+
 use crate::engine::Engine;
-use crate::ops::{AggrSpec, Aggregate};
+use crate::ops::{AggrSpec, Aggregate, CompareOp, Predicate};
 use crate::sched::{Task, TaskHandle, TaskOutcome, TaskScheduler, TaskStep};
 
 /// Runs [`WorkloadSpec`]s against an [`Engine`], one cooperative session
@@ -451,7 +453,13 @@ struct QueryUnit {
     table: TableId,
     columns: Vec<String>,
     range: TupleRange,
-    expected: u64,
+    /// Row-level predicate lowered from the spec (projection-relative), fed
+    /// to the builder API's `.filter(...)` — and through it to zone-map
+    /// pruning.
+    predicate: Option<Predicate>,
+    /// Exact tuple count the unit must produce; `None` for predicated
+    /// units, whose count depends on the data.
+    expected: Option<u64>,
     label: String,
 }
 
@@ -460,7 +468,18 @@ struct RunningQuery {
     started: Instant,
     tuples: u64,
     units: VecDeque<QueryUnit>,
-    active: Option<(crate::sched::QueryTask, u64, String, TupleRange)>,
+    active: Option<(crate::sched::QueryTask, Option<u64>, String, TupleRange)>,
+}
+
+/// The row-level form of a spec's zone-predicate operator (1:1).
+fn compare_op(op: ZoneOp) -> CompareOp {
+    match op {
+        ZoneOp::Lt => CompareOp::Lt,
+        ZoneOp::Le => CompareOp::Le,
+        ZoneOp::Gt => CompareOp::Gt,
+        ZoneOp::Ge => CompareOp::Ge,
+        ZoneOp::Eq => CompareOp::Eq,
+    }
 }
 
 /// A workload stream as a cooperative session task: runs its
@@ -509,17 +528,41 @@ impl StreamSessionTask {
                         })
                 })
                 .collect::<Result<_>>()?;
+            // The spec's predicate is table-relative; the builder API wants
+            // the column's position within the projection.
+            let predicate = match &scan.predicate {
+                Some(pred) => {
+                    let position = scan
+                        .columns
+                        .iter()
+                        .position(|&idx| idx == pred.column)
+                        .ok_or_else(|| {
+                            Error::plan(format!(
+                                "scan of query {:?} filters on column index {}, which is not \
+                                     among its scanned columns {:?}",
+                                query.label, pred.column, scan.columns
+                            ))
+                        })?;
+                    Some(Predicate::new(position, compare_op(pred.op), pred.value))
+                }
+                None => None,
+            };
             for &range in scan.ranges.ranges() {
-                let expected = if self.clamp_to_visible {
+                let expected = if predicate.is_some() {
+                    // Predicated units count whatever matches; the spec
+                    // cannot know the data-dependent cardinality.
+                    None
+                } else if self.clamp_to_visible {
                     let visible = self.engine.visible_rows(scan.table)?;
-                    range.intersect(&TupleRange::new(0, visible)).len()
+                    Some(range.intersect(&TupleRange::new(0, visible)).len())
                 } else {
-                    range.len()
+                    Some(range.len())
                 };
                 units.push_back(QueryUnit {
                     table: scan.table,
                     columns: columns.clone(),
                     range,
+                    predicate,
                     expected,
                     label: query.label.clone(),
                 });
@@ -537,15 +580,18 @@ impl StreamSessionTask {
     fn open_unit(
         &self,
         unit: QueryUnit,
-    ) -> Result<(crate::sched::QueryTask, u64, String, TupleRange)> {
-        let task = self
+    ) -> Result<(crate::sched::QueryTask, Option<u64>, String, TupleRange)> {
+        let mut query = self
             .engine
             .query(unit.table)
             .columns(unit.columns.iter().map(String::as_str))
             .tuple_range(TupleRange::new(unit.range.start, unit.range.end))
             .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(0)]))
-            .parallelism(self.parallelism)
-            .into_task()?;
+            .parallelism(self.parallelism);
+        if let Some(predicate) = unit.predicate {
+            query = query.filter(predicate);
+        }
+        let task = query.into_task()?;
         Ok((task, unit.expected, unit.label, unit.range))
     }
 }
@@ -573,11 +619,13 @@ impl Task for StreamSessionTask {
                 }
                 TaskStep::Done => {
                     let counted = task.result().get(&0).map(|g| g.count).unwrap_or(0);
-                    if counted != *expected {
-                        return Err(Error::internal(format!(
-                            "query {label:?} counted {counted} tuples in {range:?}, expected \
-                             {expected}"
-                        )));
+                    if let Some(expected) = *expected {
+                        if counted != expected {
+                            return Err(Error::internal(format!(
+                                "query {label:?} counted {counted} tuples in {range:?}, expected \
+                                 {expected}"
+                            )));
+                        }
                     }
                     running.active = None;
                 }
@@ -608,6 +656,7 @@ fn diff_buffer(start: &BufferStats, end: &BufferStats) -> BufferStats {
         prefetched_pages: end.prefetched_pages - start.prefetched_pages,
         prefetch_io_bytes: end.prefetch_io_bytes - start.prefetch_io_bytes,
         invalidated_pages: end.invalidated_pages - start.invalidated_pages,
+        pruned_tuples: end.pruned_tuples - start.pruned_tuples,
     }
 }
 
@@ -734,6 +783,7 @@ mod tests {
                         table: TableId::new(0),
                         columns: vec![99],
                         ranges: RangeList::single(0, 10),
+                        predicate: None,
                     }],
                     cpu_factor: 1.0,
                 }],

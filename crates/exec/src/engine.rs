@@ -25,8 +25,9 @@ use scanshare_storage::datagen::Value;
 use scanshare_storage::snapshot::Snapshot;
 use scanshare_storage::storage::Storage;
 use scanshare_storage::wal::{decode_marker, Wal, WalRecordKind};
+use scanshare_storage::zone::{ZoneOp, ZonePredicate};
 
-use crate::ops::BatchSource;
+use crate::ops::{BatchSource, CompareOp, Predicate};
 use crate::query::Query;
 use crate::scan::ScanOperator;
 use crate::txn::{TablePin, Txn};
@@ -589,8 +590,38 @@ impl Engine {
         self.backend.invalidate_stale(table, epoch, &stale);
         if let Some(wal) = &self.wal {
             wal.append_marker(WalRecordKind::CheckpointEnd, table, through_seq)?;
+            // The durable images now cover everything up to `through_seq`
+            // for this table: rotate the covered prefix out of the log so it
+            // stops growing without bound across checkpoints.
+            self.rotate_wal(wal)?;
         }
         Ok(new_snapshot)
+    }
+
+    /// Rotates the WAL, dropping every record the durable segment manifests
+    /// already cover: commit records whose *every* table entry is at or
+    /// below that table's manifest `wal_seq`, and checkpoint markers of
+    /// completed checkpoints. Records that fail to decode are conservatively
+    /// kept (recovery, not rotation, is the place to diagnose them).
+    fn rotate_wal(&self, wal: &Wal) -> Result<()> {
+        let storage = &self.storage;
+        wal.rotate(|record| match record.kind {
+            WalRecordKind::Commit => match decode_commit(&record.body) {
+                Ok(entries) => entries
+                    .iter()
+                    .all(|e| e.commit_seq <= storage.durable_wal_seq(e.table)),
+                Err(_) => false,
+            },
+            WalRecordKind::CheckpointBegin | WalRecordKind::CheckpointEnd => {
+                match decode_marker(&record.body) {
+                    Ok((table, seq)) => seq <= storage.durable_wal_seq(table),
+                    Err(_) => false,
+                }
+            }
+            // Never surfaced by record iteration; unreachable in practice.
+            WalRecordKind::Rotate => false,
+        })?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -648,6 +679,9 @@ impl Engine {
                         return Err(Error::WalUnknownTable(table));
                     }
                 }
+                // Rotation bases are folded into record sequences by the
+                // reader and never surface as records.
+                WalRecordKind::Rotate => {}
             }
         }
         Ok(())
@@ -736,26 +770,42 @@ impl Engine {
         in_order: bool,
     ) -> Result<Box<dyn BatchSource + Send>> {
         let pin = self.table_pin(table)?;
-        self.scan_pinned(pin, columns, rid_range, in_order)
+        self.scan_pinned(pin, columns, rid_range, in_order, None)
     }
 
     /// Like [`Engine::scan`] but reading through an explicit [`TablePin`]
     /// (a transaction's view, or a pin captured earlier for a consistent
-    /// multi-scan read).
+    /// multi-scan read). `filter` is the row-level predicate the plan will
+    /// apply (column index within the `columns` projection); the engine uses
+    /// it for zone-map pruning — chunks whose min/max metadata proves no row
+    /// can match are removed from the scan's stable interest *before* the
+    /// backend sees the chunk list — while the row-level filtering itself
+    /// stays the caller's job.
     pub fn scan_pinned(
         self: &Arc<Self>,
         pin: TablePin,
         columns: &[&str],
         rid_range: TupleRange,
         in_order: bool,
+        filter: Option<&Predicate>,
     ) -> Result<Box<dyn BatchSource + Send>> {
         let column_indices = self.storage.resolve_columns(pin.table, columns)?;
+        // Translate the projection-relative predicate into a table-relative
+        // zone predicate. A predicate naming a column outside the projection
+        // is left to the row-level filter to reject; it never prunes.
+        let zone_pred = match filter {
+            Some(pred) if self.config.zone_maps => column_indices
+                .get(pred.column)
+                .map(|&table_col| ZonePredicate::new(table_col, zone_op(pred.op), pred.value)),
+            _ => None,
+        };
         Ok(Box::new(ScanOperator::with_pin(
             Arc::clone(self),
             pin,
             column_indices,
             rid_range,
             in_order,
+            zone_pred,
         )?))
     }
 
@@ -763,6 +813,18 @@ impl Engine {
     pub(crate) fn charge_cpu(&self, tuples: u64) {
         let secs = tuples as f64 / self.config.cpu_tuples_per_sec as f64;
         self.clock.advance(VirtualDuration::from_secs_f64(secs));
+    }
+}
+
+/// The zone-map form of a row-level comparison operator (1:1 — both sides
+/// compare a column against an inclusive/exclusive constant bound).
+fn zone_op(op: CompareOp) -> ZoneOp {
+    match op {
+        CompareOp::Lt => ZoneOp::Lt,
+        CompareOp::Le => ZoneOp::Le,
+        CompareOp::Gt => ZoneOp::Gt,
+        CompareOp::Ge => ZoneOp::Ge,
+        CompareOp::Eq => ZoneOp::Eq,
     }
 }
 

@@ -181,7 +181,8 @@ impl Query {
             .pin
             .clone()
             .expect("resolve_range pinned the table before any scan opens");
-        self.engine.scan_pinned(pin, &columns, range, self.in_order)
+        self.engine
+            .scan_pinned(pin, &columns, range, self.in_order, self.filter.as_ref())
     }
 
     /// Executes the query and returns the aggregation result.

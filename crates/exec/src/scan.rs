@@ -33,6 +33,7 @@ use scanshare_storage::datagen::Value;
 use scanshare_storage::layout::TableLayout;
 use scanshare_storage::snapshot::Snapshot;
 use scanshare_storage::storage::PageData;
+use scanshare_storage::zone::ZonePredicate;
 
 use crate::batch::Batch;
 use crate::engine::Engine;
@@ -170,19 +171,30 @@ impl ScanOperator {
         in_order: bool,
     ) -> Result<Self> {
         let pin = engine.table_pin(table)?;
-        Self::with_pin(engine, pin, columns, rid_range, in_order)
+        Self::with_pin(engine, pin, columns, rid_range, in_order, None)
     }
 
     /// Creates a scan reading through an explicit [`TablePin`]: the
     /// operator's whole lifetime — positional translation, PDT merging,
     /// backend registration — uses exactly the pinned `(Snapshot, PdtStack)`
     /// pair, so concurrent commits and checkpoints are invisible to it.
+    ///
+    /// `zone_pred` enables data skipping: stable chunks whose zone metadata
+    /// proves no row can satisfy the predicate are removed from the scan's
+    /// interest before the backend registration, so the buffer manager never
+    /// sees a page request, an ABM chunk interest or a PBM consumption
+    /// prediction for them. Pruning only happens when the pin carries **no**
+    /// differential updates — RID and SID then coincide and no PDT modify
+    /// can turn a base-failing row into a match — and the caller must apply
+    /// the same predicate row-level (zone metadata is conservative: kept
+    /// chunks may still hold non-matching rows).
     pub fn with_pin(
         engine: Arc<Engine>,
         pin: TablePin,
         columns: Vec<usize>,
         rid_range: TupleRange,
         in_order: bool,
+        zone_pred: Option<ZonePredicate>,
     ) -> Result<Self> {
         let table = pin.table;
         let layout = engine.storage().layout(table)?;
@@ -195,6 +207,30 @@ impl ScanOperator {
         // backend (RegisterScan / RegisterCScan). A range that touches no
         // stable data (an empty range, or pure PDT inserts) needs no backend.
         let sid_ranges = rid_range_to_sid_ranges(&pdt, &rid_range, snapshot.stable_tuples());
+        let mut requested = if rid_range.is_empty() {
+            RangeList::new()
+        } else {
+            RangeList::from_ranges([rid_range])
+        };
+        let sid_ranges = match zone_pred {
+            Some(pred) if pdt.is_empty() && !sid_ranges.is_empty() => {
+                let (pruned, skipped) =
+                    engine
+                        .storage()
+                        .prune_sid_ranges(&snapshot, &pred, &sid_ranges);
+                if skipped > 0 {
+                    // Counted even when the whole range is pruned and the
+                    // scan never registers.
+                    engine.backend().record_pruned(skipped);
+                    // With an empty PDT the requested RID ranges are the SID
+                    // ranges: dropping the pruned chunks here keeps the
+                    // drain phase from reading them through the page path.
+                    requested = pruned.clone();
+                }
+                pruned
+            }
+            _ => sid_ranges,
+        };
         let scan_id = if rid_range.is_empty() || sid_ranges.is_empty() {
             None
         } else {
@@ -215,11 +251,7 @@ impl ScanOperator {
             source,
             columns,
             scan_id,
-            requested: if rid_range.is_empty() {
-                RangeList::new()
-            } else {
-                RangeList::from_ranges([rid_range])
-            },
+            requested,
             produced: RangeList::new(),
             window: VecDeque::new(),
             backend_done: scan_id.is_none(),
@@ -688,6 +720,97 @@ mod tests {
     }
 
     #[test]
+    fn zone_pruning_skips_chunks_and_keeps_results_exact() {
+        use crate::ops::{AggrSpec, Aggregate, CompareOp, Predicate};
+        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+            // Column k is Sequential: chunk c holds exactly [500c, 500c+500).
+            let run = |filtered: bool| {
+                let (engine, table) = engine(policy, 3000);
+                let mut query = engine
+                    .query(table)
+                    .columns(["k", "v"])
+                    .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(0)]));
+                if filtered {
+                    query = query.filter(Predicate::new(0, CompareOp::Lt, 500));
+                }
+                let result = query.run().unwrap();
+                (result[&0].clone(), engine.buffer_stats())
+            };
+            let (full, full_stats) = run(false);
+            let (sel, sel_stats) = run(true);
+            assert_eq!(full.count, 3000, "{policy}");
+            assert_eq!(sel.count, 500, "{policy}");
+            assert_eq!(sel.accumulators[1], (0..500).sum::<i64>(), "{policy}");
+            assert_eq!(full_stats.pruned_tuples, 0, "{policy}");
+            assert_eq!(
+                sel_stats.pruned_tuples, 2500,
+                "{policy}: five of six chunks pruned"
+            );
+            assert!(
+                sel_stats.io_bytes * 5 <= full_stats.io_bytes,
+                "{policy}: pruning must cut I/O ~6x ({} vs {})",
+                sel_stats.io_bytes,
+                full_stats.io_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn zone_pruning_is_disabled_by_config_and_by_pending_updates() {
+        use crate::ops::{AggrSpec, Aggregate, CompareOp, Predicate};
+        let run = |zone_maps: bool, update: bool| {
+            let storage = Storage::with_seed(1024, 500, 5);
+            let spec = TableSpec::new(
+                "t",
+                vec![
+                    ColumnSpec::with_width("k", ColumnType::Int64, 8.0),
+                    ColumnSpec::with_width("v", ColumnType::Int64, 4.0),
+                ],
+                3000,
+            );
+            let table = storage
+                .create_table_with_data(
+                    spec,
+                    vec![
+                        DataGen::Sequential { start: 0, step: 1 },
+                        DataGen::Constant(3),
+                    ],
+                )
+                .unwrap();
+            let config = ScanShareConfig {
+                page_size_bytes: 1024,
+                chunk_tuples: 500,
+                buffer_pool_bytes: 32 * 1024,
+                policy: PolicyKind::Lru,
+                ..Default::default()
+            }
+            .with_zone_maps(zone_maps);
+            let engine = Engine::new(storage, config).unwrap();
+            if update {
+                // Any pending differential update suspends pruning: a PDT
+                // modify could turn a base-failing row into a match.
+                engine.update_value(table, 2999, 0, -1).unwrap();
+            }
+            let count = engine
+                .query(table)
+                .columns(["k", "v"])
+                .filter(Predicate::new(0, CompareOp::Lt, 500))
+                .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+                .run()
+                .unwrap()[&0]
+                .count;
+            (count, engine.buffer_stats().pruned_tuples)
+        };
+        assert_eq!(run(true, false), (500, 2500));
+        assert_eq!(run(false, false), (500, 0), "config off: no pruning");
+        assert_eq!(
+            run(true, true),
+            (501, 0),
+            "pending PDT: no pruning, and the modified row matches"
+        );
+    }
+
+    #[test]
     fn pinned_scan_ignores_later_commits_and_checkpoints() {
         let (engine, table) = engine(PolicyKind::Lru, 300);
         let pin = engine.table_pin(table).unwrap();
@@ -699,6 +822,7 @@ mod tests {
             vec![0],
             TupleRange::new(0, 300),
             true,
+            None,
         )
         .unwrap();
         let rows = collect(&mut op);

@@ -16,8 +16,9 @@
 //! simulator applies each update stream's generated batch to a per-table
 //! *mirror* — the same `(Snapshot, PdtStack)` algebra the engine's
 //! transaction layer uses, driven by the identical deterministic operation
-//! generator — checkpoints when due (installing a metadata-only snapshot
-//! and invalidating the superseded pages from the pool, exactly like the
+//! generator — checkpoints when due (merging the mirrored PDT stack into a
+//! brand-new stable image via the engine's own `checkpoint_stack`, then
+//! invalidating the superseded pages from the pool, exactly like the
 //! engine's epoch-tagged invalidation hook), and then simulates one query
 //! per stream concurrently. Scan ranges are translated from visible-row
 //! (RID) space to stable (SID) space through the mirrored PDTs with the
@@ -46,6 +47,7 @@ use scanshare_core::metrics::BufferStats;
 use scanshare_core::opt::simulate_opt;
 use scanshare_core::registry::{pooled_policy_name, PolicyRegistry};
 use scanshare_iosim::{IoDevice, ReferenceTrace};
+use scanshare_pdt::checkpoint::checkpoint_stack;
 use scanshare_pdt::pdt::Pdt;
 use scanshare_pdt::stack::PdtStack;
 use scanshare_pdt::translate::rid_range_to_sid_ranges;
@@ -350,15 +352,33 @@ impl Simulation {
 
     /// Resolves a query of a read-only workload: spec ranges verbatim (they
     /// are already SID ranges when no updates exist) against the master
-    /// snapshot.
-    fn resolve_read_only(&self, query: &QuerySpec, streams: usize) -> Result<ResolvedQuery> {
+    /// snapshot, minus the chunks whose zone maps refute the scan's
+    /// predicate — the identical `prune_sid_ranges` call (and the identical
+    /// skipped-tuple accounting into `pruned`) the engine's scan operator
+    /// performs.
+    fn resolve_read_only(
+        &self,
+        query: &QuerySpec,
+        streams: usize,
+        pruned: &mut u64,
+    ) -> Result<ResolvedQuery> {
         let mut scans = Vec::with_capacity(query.scans.len());
         for scan in &query.scans {
+            let snapshot = self.storage.master_snapshot(scan.table)?;
+            let mut sid_ranges = scan.ranges.clone();
+            if let Some(pred) = scan.predicate {
+                if self.config.scanshare.zone_maps {
+                    let (kept, skipped) =
+                        self.storage.prune_sid_ranges(&snapshot, &pred, &sid_ranges);
+                    *pruned += skipped;
+                    sid_ranges = kept;
+                }
+            }
             scans.push(ResolvedScan {
                 table: scan.table,
                 columns: scan.columns.clone(),
-                snapshot: self.storage.master_snapshot(scan.table)?,
-                sid_ranges: scan.ranges.clone(),
+                snapshot,
+                sid_ranges,
             });
         }
         Ok(ResolvedQuery {
@@ -398,6 +418,7 @@ impl Simulation {
         mirror: &mut UpdateMirror,
         query: &QuerySpec,
         streams: usize,
+        pruned: &mut u64,
     ) -> Result<ResolvedQuery> {
         let cpu_ns_per_tuple = self.cpu_ns_per_tuple(query, streams);
         let mut scans = Vec::with_capacity(query.scans.len());
@@ -411,6 +432,19 @@ impl Simulation {
                 let rid_range = range.intersect(&TupleRange::new(0, visible));
                 for &sids in rid_range_to_sid_ranges(&flat, &rid_range, stable).ranges() {
                     sid_ranges.add(sids);
+                }
+            }
+            // Zone-map pruning mirrors the engine's scan operator exactly,
+            // including its safety gate: prune only while the mirrored PDT
+            // is empty (RID == SID), because a pending Modify could make a
+            // base-failing row match the predicate.
+            if let Some(pred) = scan.predicate {
+                if self.config.scanshare.zone_maps && flat.is_empty() {
+                    let (kept, skipped) =
+                        self.storage
+                            .prune_sid_ranges(&table.snapshot, &pred, &sid_ranges);
+                    *pruned += skipped;
+                    sid_ranges = kept;
                 }
             }
             scans.push(ResolvedScan {
@@ -429,9 +463,9 @@ impl Simulation {
     /// Applies one update stream's round batch to the mirror — one
     /// transaction through the identical `PdtStack` algebra the engine's
     /// `Txn::commit` uses — and performs the periodic checkpoint when due:
-    /// a metadata-only snapshot install plus `invalidate(stale_pages)`,
-    /// matching the engine's pinned-snapshot checkpoint and its
-    /// epoch-tagged buffer invalidation.
+    /// the same merged `checkpoint_stack` the engine runs (so the new image
+    /// carries values and zone maps), plus `invalidate(stale_pages)`,
+    /// matching the engine's epoch-tagged buffer invalidation.
     fn mirror_update_batch(
         &self,
         mirror: &mut UpdateMirror,
@@ -461,15 +495,13 @@ impl Simulation {
         }
         if spec.checkpoint_due(round) {
             let table = self.mirror_table(mirror, spec.table)?;
-            let stable = table.snapshot.stable_tuples();
-            let new_tuples = table.stack.visible_count(stable);
             let stale: Vec<PageId> = table.snapshot.pages().collect();
-            let new_snapshot = self.storage.install_checkpoint_from(
-                spec.table,
-                table.snapshot.id(),
-                new_tuples,
-                None,
-            )?;
+            // A real merged checkpoint (not a metadata-only install): the new
+            // stable image carries the merged values, so its zone maps are
+            // rebuilt exactly as the engine's checkpoint rebuilds them — the
+            // post-checkpoint pruning decisions of both executors agree.
+            let new_snapshot =
+                checkpoint_stack(&self.storage, spec.table, &table.snapshot, &table.stack)?;
             table.snapshot = new_snapshot;
             table.stack = PdtStack::new(columns, 1);
             invalidate(&stale);
@@ -691,6 +723,7 @@ impl Simulation {
             sampler: SharingSampler::new(self.config.sharing_sample_interval),
             query_latencies: Vec::new(),
         };
+        let mut pruned = 0u64;
 
         let finish_ns = if !workload.has_updates() {
             let phase: Vec<VecDeque<ResolvedQuery>> = workload
@@ -699,7 +732,7 @@ impl Simulation {
                 .map(|s| {
                     s.queries
                         .iter()
-                        .map(|q| self.resolve_read_only(q, stream_count))
+                        .map(|q| self.resolve_read_only(q, stream_count, &mut pruned))
                         .collect::<Result<VecDeque<_>>>()
                 })
                 .collect::<Result<_>>()?;
@@ -739,6 +772,7 @@ impl Simulation {
                                 &mut mirror,
                                 &stream.queries[round],
                                 stream_count,
+                                &mut pruned,
                             )?);
                         }
                         Ok(queries)
@@ -761,7 +795,8 @@ impl Simulation {
             .iter()
             .map(|&ns| VirtualInstant::from_nanos(ns).since(VirtualInstant::EPOCH))
             .collect();
-        let stats = state.pool.stats();
+        let mut stats = state.pool.stats();
+        stats.pruned_tuples = pruned;
         let result = SimResult {
             workload: workload.name.clone(),
             policy,
@@ -1003,6 +1038,7 @@ impl Simulation {
             sampler: SharingSampler::new(self.config.sharing_sample_interval),
             query_latencies: Vec::new(),
         };
+        let mut pruned = 0u64;
 
         let finish_ns = if !workload.has_updates() {
             let phase: Vec<VecDeque<ResolvedQuery>> = workload
@@ -1011,7 +1047,7 @@ impl Simulation {
                 .map(|s| {
                     s.queries
                         .iter()
-                        .map(|q| self.resolve_read_only(q, stream_count))
+                        .map(|q| self.resolve_read_only(q, stream_count, &mut pruned))
                         .collect::<Result<VecDeque<_>>>()
                 })
                 .collect::<Result<_>>()?;
@@ -1043,6 +1079,7 @@ impl Simulation {
                                 &mut mirror,
                                 &stream.queries[round],
                                 stream_count,
+                                &mut pruned,
                             )?);
                         }
                         Ok(queries)
@@ -1065,7 +1102,8 @@ impl Simulation {
             .iter()
             .map(|&ns| VirtualInstant::from_nanos(ns).since(VirtualInstant::EPOCH))
             .collect();
-        let stats = state.abm.stats();
+        let mut stats = state.abm.stats();
+        stats.pruned_tuples = pruned;
         Ok(SimResult {
             workload: workload.name.clone(),
             policy: PolicyKind::CScan,
@@ -1340,6 +1378,35 @@ mod tests {
         );
         assert!(ckpt.buffer.invalidated_pages > 0);
         assert_eq!(no_ckpt.buffer.invalidated_pages, 0);
+    }
+
+    #[test]
+    fn zone_maps_cut_io_for_selective_workloads() {
+        use scanshare_workload::skipping::{self, SkippingConfig};
+        let config = SkippingConfig::tiny().with_selectivity(0.01);
+        let run = |policy: PolicyKind, zone_maps: bool| {
+            let (storage, workload) = skipping::build(&config, 16 * 1024, 1000).unwrap();
+            let mut cfg = sim_config(policy, 256 * 1024);
+            cfg.scanshare.page_size_bytes = 16 * 1024;
+            cfg.scanshare.chunk_tuples = 1000;
+            cfg.scanshare.zone_maps = zone_maps;
+            Simulation::new(storage, cfg)
+                .unwrap()
+                .run(&workload)
+                .unwrap()
+        };
+        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+            let on = run(policy, true);
+            let off = run(policy, false);
+            assert!(on.buffer.pruned_tuples > 0, "{policy}: nothing pruned");
+            assert_eq!(off.buffer.pruned_tuples, 0, "{policy}");
+            assert!(
+                on.total_io_bytes * 5 <= off.total_io_bytes,
+                "{policy}: skipping saved too little I/O ({} vs {})",
+                on.total_io_bytes,
+                off.total_io_bytes
+            );
+        }
     }
 
     #[test]

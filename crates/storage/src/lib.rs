@@ -30,6 +30,7 @@ pub mod snapshot;
 pub mod storage;
 pub mod table;
 pub mod wal;
+pub mod zone;
 
 pub use catalog::Catalog;
 pub use column::{ColumnSpec, ColumnType};
@@ -39,3 +40,4 @@ pub use snapshot::{Snapshot, SnapshotStore};
 pub use storage::{AppendTransaction, PageData, Storage};
 pub use table::TableSpec;
 pub use wal::{Wal, WalRecord, WalRecordKind};
+pub use zone::{ZoneEntry, ZoneMap, ZoneOp, ZonePredicate};

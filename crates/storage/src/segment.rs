@@ -44,6 +44,7 @@ use crate::datagen::Value;
 use crate::layout::TableLayout;
 use crate::snapshot::Snapshot;
 use crate::storage::Storage;
+use crate::zone::ZoneEntry;
 
 /// Slot (and footer) alignment in bytes; the strictest alignment `O_DIRECT`
 /// requires on common filesystems.
@@ -231,6 +232,7 @@ pub(crate) fn write_table(
     manifest.push_str(&format!("stable_tuples {}\n", snapshot.stable_tuples()));
     manifest.push_str(&format!("snapshot {}\n", snapshot.id().raw()));
     manifest.push_str(&format!("columns {}\n", layout.column_count()));
+    let zone_map = storage.zone_map(snapshot.id());
     for (idx, col) in layout.spec().columns.iter().enumerate() {
         manifest.push_str(&format!(
             "column {idx} {} {} {}\n",
@@ -243,6 +245,16 @@ pub(crate) fn write_table(
             manifest.push_str(&format!(" {}", page.raw()));
         }
         manifest.push('\n');
+        // Persist the snapshot's zone metadata (min/max pairs per chunk) so
+        // a cold reopen keeps pruning exactly like the engine that wrote
+        // this image.
+        if let Some(entries) = zone_map.as_ref().and_then(|z| z.entries().get(idx)) {
+            manifest.push_str(&format!("zones {idx}"));
+            for e in entries {
+                manifest.push_str(&format!(" {} {}", e.min, e.max));
+            }
+            manifest.push('\n');
+        }
     }
     // Atomic manifest install: temp file, fsync, rename, fsync directory.
     // The rename is the commit point; a crash before it leaves the previous
@@ -287,6 +299,9 @@ pub(crate) struct ManifestTable {
     pub stable_tuples: u64,
     pub columns: Vec<ColumnSpec>,
     pub column_pages: Vec<Vec<PageId>>,
+    /// Per-column per-chunk min/max zone entries, empty when the image was
+    /// written without zone metadata (older manifests stay readable).
+    pub zones: Vec<Vec<ZoneEntry>>,
 }
 
 fn parse_manifest(path: &Path, text: &str) -> Result<ManifestTable> {
@@ -304,6 +319,7 @@ fn parse_manifest(path: &Path, text: &str) -> Result<ManifestTable> {
     let mut stable_tuples = None;
     let mut columns: Vec<ColumnSpec> = Vec::new();
     let mut column_pages: Vec<Vec<PageId>> = Vec::new();
+    let mut zones: Vec<Vec<ZoneEntry>> = Vec::new();
     for line in lines {
         let mut fields = line.split_whitespace();
         let Some(key) = fields.next() else { continue };
@@ -369,6 +385,30 @@ fn parse_manifest(path: &Path, text: &str) -> Result<ManifestTable> {
                 column_pages
                     .push(ids.ok_or_else(|| ctx("pages line holds a non-numeric id".to_string()))?);
             }
+            "zones" => {
+                let idx: usize = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ctx("malformed zones line".to_string()))?;
+                if idx != zones.len() {
+                    return Err(ctx(format!("zones {idx} out of order")));
+                }
+                let nums: Vec<i64> = fields
+                    .map(|v| v.parse::<i64>())
+                    .collect::<std::result::Result<_, _>>()
+                    .map_err(|_| ctx("zones line holds a non-numeric bound".to_string()))?;
+                if nums.len() % 2 != 0 {
+                    return Err(ctx("zones line holds an odd number of bounds".to_string()));
+                }
+                zones.push(
+                    nums.chunks_exact(2)
+                        .map(|pair| ZoneEntry {
+                            min: pair[0],
+                            max: pair[1],
+                        })
+                        .collect(),
+                );
+            }
             other => return Err(ctx(format!("unknown manifest key {other:?}"))),
         }
     }
@@ -380,6 +420,13 @@ fn parse_manifest(path: &Path, text: &str) -> Result<ManifestTable> {
             column_pages.len()
         )));
     }
+    if !zones.is_empty()
+        && (zones.len() != columns.len() || zones.windows(2).any(|w| w[0].len() != w[1].len()))
+    {
+        return Err(ctx(
+            "zone entries must cover every column with equal chunk counts".to_string(),
+        ));
+    }
     Ok(ManifestTable {
         name,
         table_id,
@@ -390,6 +437,7 @@ fn parse_manifest(path: &Path, text: &str) -> Result<ManifestTable> {
         stable_tuples: stable_tuples.ok_or_else(|| ctx("missing stable_tuples".to_string()))?,
         columns,
         column_pages,
+        zones,
     })
 }
 
@@ -994,6 +1042,71 @@ mod tests {
         }
         assert!(parse_type_token("blob").is_err());
         assert!(parse_type_token("dict:abc").is_err());
+    }
+
+    #[test]
+    fn zone_metadata_round_trips_through_the_manifest() {
+        let (storage, id) = sample_storage();
+        let dir = TestDir::new("zones");
+        storage.materialize_table(id, &dir.0).unwrap();
+        let snap = storage.master_snapshot(id).unwrap();
+        let zones = storage.zone_map(snap.id()).expect("base table has zones");
+        let manifest = fs::read_to_string(dir.0.join("seg_t.manifest")).unwrap();
+        assert!(manifest.contains("\nzones 0 "), "manifest persists zones");
+
+        let reopened = Storage::open_directory(&dir.0).unwrap();
+        let rid = reopened.table_by_name("seg_t").unwrap().id;
+        let rsnap = reopened.master_snapshot(rid).unwrap();
+        let rzones = reopened
+            .zone_map(rsnap.id())
+            .expect("cold reopen restores zones");
+        assert_eq!(zones.entries(), rzones.entries());
+    }
+
+    #[test]
+    fn manifests_without_zones_stay_readable_and_zoneless() {
+        let (storage, id) = sample_storage();
+        let dir = TestDir::new("nozones");
+        storage.materialize_table(id, &dir.0).unwrap();
+        // Strip the zones lines, as an older engine would have written.
+        let path = dir.0.join("seg_t.manifest");
+        let stripped: String = fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.starts_with("zones "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        fs::write(&path, stripped).unwrap();
+        let reopened = Storage::open_directory(&dir.0).unwrap();
+        let rid = reopened.table_by_name("seg_t").unwrap().id;
+        let rsnap = reopened.master_snapshot(rid).unwrap();
+        assert!(reopened.zone_map(rsnap.id()).is_none());
+    }
+
+    #[test]
+    fn partial_zone_coverage_is_rejected() {
+        let (storage, id) = sample_storage();
+        let dir = TestDir::new("partialzones");
+        storage.materialize_table(id, &dir.0).unwrap();
+        let path = dir.0.join("seg_t.manifest");
+        // Keep zones for column 0 only: the manifest becomes inconsistent.
+        let mut seen = false;
+        let broken: String = fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .filter(|l| {
+                if l.starts_with("zones ") && seen {
+                    return false;
+                }
+                if l.starts_with("zones ") {
+                    seen = true;
+                }
+                true
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        fs::write(&path, broken).unwrap();
+        assert!(Storage::open_directory(&dir.0).is_err());
     }
 
     #[test]

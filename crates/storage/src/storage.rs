@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use scanshare_common::sync::RwLock;
 
-use scanshare_common::{Error, PageId, Result, SnapshotId, TableId, TupleRange};
+use scanshare_common::{Error, PageId, RangeList, Result, SnapshotId, TableId, TupleRange};
 
 use crate::catalog::{Catalog, TableEntry};
 use crate::datagen::{DataGen, Value};
@@ -21,6 +21,7 @@ use crate::layout::TableLayout;
 use crate::segment::{self, FileStore};
 use crate::snapshot::{NewPage, Snapshot, SnapshotStore};
 use crate::table::TableSpec;
+use crate::zone::{ZoneMap, ZonePredicate};
 
 /// The materialized contents of one page of one column.
 #[derive(Debug, Clone)]
@@ -57,6 +58,10 @@ struct Inner {
     /// Per table: the WAL sequence number covered by the durable on-disk
     /// image (from the manifest on reopen, updated on materialization).
     wal_seqs: HashMap<TableId, u64>,
+    /// Per snapshot: chunk-granular min/max zone metadata used for data
+    /// skipping. Keyed by snapshot id because every checkpoint or append
+    /// produces a new image with its own (rebuilt or widened) zones.
+    zones: HashMap<SnapshotId, Arc<ZoneMap>>,
     seed: u64,
 }
 
@@ -86,6 +91,7 @@ impl Storage {
                 page_data: HashMap::new(),
                 datagens: HashMap::new(),
                 wal_seqs: HashMap::new(),
+                zones: HashMap::new(),
                 seed,
             }),
             file_store: RwLock::new(None),
@@ -226,6 +232,14 @@ impl Storage {
                     manifest.stable_tuples,
                 );
                 inner.wal_seqs.insert(id, wal_seq);
+                // Restore persisted zone metadata so cold reopens keep
+                // pruning exactly like the engine that wrote the manifest.
+                if !manifest.zones.is_empty() {
+                    inner.zones.insert(
+                        snapshot.id(),
+                        Arc::new(ZoneMap::from_entries(chunk_tuples, manifest.zones.clone())),
+                    );
+                }
                 (layout, snapshot)
             };
             for (col, pages) in manifest.column_pages.iter().enumerate() {
@@ -283,11 +297,30 @@ impl Storage {
                 generators.len()
             )));
         }
+        let stable = spec.base_tuples;
         let mut inner = self.inner.write();
         let id = inner.catalog.create_table(spec)?;
         let layout = inner.catalog.layout(id)?;
         let snapshot_id = inner.snapshots.allocate_snapshot_id();
         inner.snapshots.create_base_snapshot(&layout, snapshot_id);
+        // Zone metadata of the base image, straight from the generators:
+        // O(chunks), conservative where a generator is pseudo-random.
+        let entries = generators
+            .iter()
+            .map(|gen| {
+                (0..stable.div_ceil(self.chunk_tuples))
+                    .map(|chunk| {
+                        let first = chunk * self.chunk_tuples;
+                        let last = ((chunk + 1) * self.chunk_tuples).min(stable) - 1;
+                        gen.zone_entry(first, last)
+                    })
+                    .collect()
+            })
+            .collect();
+        inner.zones.insert(
+            snapshot_id,
+            Arc::new(ZoneMap::from_entries(self.chunk_tuples, entries)),
+        );
         inner.datagens.insert(id, generators);
         Ok(id)
     }
@@ -315,6 +348,33 @@ impl Storage {
     /// Ids of all tables currently in the catalog.
     pub fn table_ids(&self) -> Vec<TableId> {
         self.inner.read().catalog.tables().map(|t| t.id).collect()
+    }
+
+    /// The zone metadata of a snapshot, if any was recorded for it.
+    pub fn zone_map(&self, snapshot: SnapshotId) -> Option<Arc<ZoneMap>> {
+        self.inner.read().zones.get(&snapshot).cloned()
+    }
+
+    /// Intersects a scan's SID `ranges` with the chunks of `snapshot` that
+    /// can satisfy `pred`, returning the pruned ranges and the number of
+    /// tuples skipped. Snapshots without zone metadata prune nothing.
+    ///
+    /// Both executors (engine and simulator) route their skipping decisions
+    /// through this one helper so the pruned sets — and therefore every
+    /// downstream ABM relevance and PBM prediction — are byte-identical.
+    pub fn prune_sid_ranges(
+        &self,
+        snapshot: &Snapshot,
+        pred: &ZonePredicate,
+        ranges: &RangeList,
+    ) -> (RangeList, u64) {
+        let Some(zones) = self.zone_map(snapshot.id()) else {
+            return (ranges.clone(), 0);
+        };
+        let survivors = zones.surviving_ranges(pred, snapshot.stable_tuples());
+        let pruned = ranges.intersect(&survivors);
+        let skipped = ranges.total_tuples() - pruned.total_tuples();
+        (pruned, skipped)
     }
 
     /// The current master snapshot of a table.
@@ -482,12 +542,22 @@ impl Storage {
             }
         }
         let (snapshot, new_pages) = inner.snapshots.derive_checkpoint(&layout, new_tuples);
+        // A value-carrying checkpoint rebuilds exact zone metadata from the
+        // merged data (this is how PDT-touched chunks get fresh bounds on
+        // absorb); a metadata-only checkpoint installs no zones, so scans of
+        // the new image simply never prune — conservative and safe.
+        let zones = values
+            .as_ref()
+            .map(|v| Arc::new(ZoneMap::from_values(self.chunk_tuples, v)));
         if let Some(values) = values {
             store_new_page_data(&mut inner.page_data, &new_pages, |col, sid| {
                 values[col][sid as usize]
             });
         }
         let arc = inner.snapshots.register(snapshot);
+        if let Some(zones) = zones {
+            inner.zones.insert(arc.id(), zones);
+        }
         inner.snapshots.set_master(arc.id())?;
         Ok(arc)
     }
@@ -590,7 +660,19 @@ impl Storage {
                 rows[col][(sid - old_tuples) as usize]
             }
         });
-        Ok(inner.snapshots.register(snapshot))
+        // Inherit the parent snapshot's zone metadata, widened by the
+        // appended rows (the last partial chunk absorbs them; fresh chunks
+        // get exact entries). Parents without zones stay zone-less.
+        let widened = inner.zones.get(&working.id()).map(|parent| {
+            let mut zones = (**parent).clone();
+            zones.widen_append(old_tuples, rows);
+            Arc::new(zones)
+        });
+        let arc = inner.snapshots.register(snapshot);
+        if let Some(zones) = widened {
+            inner.zones.insert(arc.id(), zones);
+        }
+        Ok(arc)
     }
 }
 
@@ -853,6 +935,76 @@ mod tests {
             .install_checkpoint(id, 5, Some(vec![vec![1; 4], vec![1; 5]]))
             .is_err());
         assert!(storage.install_checkpoint(id, 5, None).is_ok());
+    }
+
+    #[test]
+    fn base_tables_get_zone_maps_and_prune_clustered_columns() {
+        use crate::zone::{ZoneOp, ZonePredicate};
+        let storage = small_storage();
+        let id = storage
+            .create_table_with_data(
+                two_col_spec(10_000),
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Uniform { min: 0, max: 100 },
+                ],
+            )
+            .unwrap();
+        let snap = storage.master_snapshot(id).unwrap();
+        assert!(storage.zone_map(snap.id()).is_some());
+        // Clustered column: value < 1000 keeps exactly the first chunk.
+        let all = RangeList::single(0, 10_000);
+        let (kept, skipped) =
+            storage.prune_sid_ranges(&snap, &ZonePredicate::new(0, ZoneOp::Lt, 1000), &all);
+        assert_eq!(kept.total_tuples(), 1000);
+        assert_eq!(skipped, 9000);
+        // Random column: conservative entries keep everything.
+        let (kept, skipped) =
+            storage.prune_sid_ranges(&snap, &ZonePredicate::new(1, ZoneOp::Eq, 7), &all);
+        assert_eq!(kept.total_tuples(), 10_000);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn appends_widen_zones_and_value_checkpoints_rebuild_them() {
+        use crate::zone::{ZoneOp, ZonePredicate};
+        let storage = small_storage();
+        let id = storage
+            .create_table_with_data(
+                two_col_spec(1000),
+                vec![
+                    DataGen::Sequential { start: 0, step: 1 },
+                    DataGen::Constant(5),
+                ],
+            )
+            .unwrap();
+        // Append a value far outside the base range: the predicate that used
+        // to prune the tail chunk must now keep it.
+        let mut tx = storage.begin_append(id).unwrap();
+        tx.append_rows(&[vec![-50], vec![5]]).unwrap();
+        let appended = tx.commit().unwrap();
+        let zones = storage.zone_map(appended.id()).expect("append keeps zones");
+        let pred = ZonePredicate::new(0, ZoneOp::Lt, 0);
+        let survivors = zones.surviving_ranges(&pred, appended.stable_tuples());
+        assert!(
+            survivors.contains(1000),
+            "widened tail chunk must survive a value<0 predicate"
+        );
+        // Base chunk [0, 1000) has min 0 and is still pruned; only the
+        // one-tuple tail chunk survives.
+        assert_eq!(survivors.total_tuples(), 1);
+        // A value-carrying checkpoint rebuilds exact zones.
+        let vals = vec![(0..900).map(|i| i * 2).collect::<Vec<i64>>(), vec![9; 900]];
+        let ckpt = storage.install_checkpoint(id, 900, Some(vals)).unwrap();
+        let zones = storage.zone_map(ckpt.id()).expect("checkpoint rebuilds");
+        assert_eq!(zones.entry(0, 0).unwrap().min, 0);
+        // A metadata-only checkpoint installs no zones (never prunes).
+        let meta = storage.install_checkpoint(id, 900, None).unwrap();
+        assert!(storage.zone_map(meta.id()).is_none());
+        let all = RangeList::single(0, 900);
+        let (kept, skipped) =
+            storage.prune_sid_ranges(&meta, &ZonePredicate::new(0, ZoneOp::Eq, -1), &all);
+        assert_eq!((kept.total_tuples(), skipped), (900, 0));
     }
 
     #[test]

@@ -38,7 +38,8 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use scanshare_common::{Error, Result, TableId};
 
@@ -76,6 +77,12 @@ pub enum WalRecordKind {
     /// The checkpoint's new image is durable (manifest renamed) and
     /// installed.
     CheckpointEnd,
+    /// Internal rotation marker: the first record of a rotated log, whose
+    /// body holds the cumulative count of records dropped by all rotations
+    /// so far. Never returned by [`Wal::read_records`] — the parser folds it
+    /// into the sequence-number base so global record numbering stays
+    /// monotonic across rotations.
+    Rotate,
 }
 
 impl WalRecordKind {
@@ -84,6 +91,7 @@ impl WalRecordKind {
             WalRecordKind::Commit => 1,
             WalRecordKind::CheckpointBegin => 2,
             WalRecordKind::CheckpointEnd => 3,
+            WalRecordKind::Rotate => 4,
         }
     }
 
@@ -92,6 +100,7 @@ impl WalRecordKind {
             1 => Some(WalRecordKind::Commit),
             2 => Some(WalRecordKind::CheckpointBegin),
             3 => Some(WalRecordKind::CheckpointEnd),
+            4 => Some(WalRecordKind::Rotate),
             _ => None,
         }
     }
@@ -146,12 +155,22 @@ fn lock(m: &Mutex<SyncState>) -> MutexGuard<'_, SyncState> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+fn read_file(f: &RwLock<File>) -> RwLockReadGuard<'_, File> {
+    f.read().unwrap_or_else(|e| e.into_inner())
+}
+
 /// The append side of the write-ahead log (see the module docs for the
 /// format and durability semantics).
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    /// Behind a read-write lock so [`Wal::rotate`] can atomically swap the
+    /// handle for the rewritten file; appends and syncs take read access.
+    file: RwLock<File>,
+    dir: PathBuf,
+    path: PathBuf,
     group_commit: usize,
+    /// Rotations performed by this handle.
+    rotated: AtomicU64,
     state: Mutex<SyncState>,
     cond: Condvar,
 }
@@ -174,7 +193,7 @@ impl Wal {
             .open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let (records, valid_len) = parse_records(&bytes);
+        let (records, base, valid_len) = parse_records(&bytes);
         if (valid_len as u64) < bytes.len() as u64 {
             file.set_len(valid_len as u64)?;
             file.sync_data()?;
@@ -182,13 +201,17 @@ impl Wal {
         file.seek(SeekFrom::Start(valid_len as u64))?;
         // Make the file's directory entry durable (first open creates it).
         fsync_dir_best_effort(dir);
+        let appended = base + records.len() as u64;
         Ok(Self {
-            file,
+            file: RwLock::new(file),
+            dir: dir.to_path_buf(),
+            path,
             group_commit,
+            rotated: AtomicU64::new(0),
             state: Mutex::new(SyncState {
                 len: valid_len as u64,
-                appended: records.len() as u64,
-                synced: records.len() as u64,
+                appended,
+                synced: appended,
                 syncing: false,
             }),
             cond: Condvar::new(),
@@ -204,7 +227,7 @@ impl Wal {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e.into()),
         };
-        let (records, _) = parse_records(&bytes);
+        let (records, _, _) = parse_records(&bytes);
         Ok(records)
     }
 
@@ -212,19 +235,13 @@ impl Wal {
     /// sequence number. A failed partial write is rolled back so later
     /// appends never land behind garbage.
     fn append(&self, kind: WalRecordKind, body: &[u8]) -> Result<u64> {
-        let mut payload = Vec::with_capacity(1 + body.len());
-        payload.push(kind.to_byte());
-        payload.extend_from_slice(body);
-        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-
+        let frame = encode_frame(kind, body);
         let mut st = lock(&self.state);
-        if let Err(e) = (&self.file).write_all(&frame) {
+        let file = read_file(&self.file);
+        if let Err(e) = (&*file).write_all(&frame) {
             // Roll the file back to the last complete frame.
-            let _ = self.file.set_len(st.len);
-            let _ = (&self.file).seek(SeekFrom::Start(st.len));
+            let _ = file.set_len(st.len);
+            let _ = (&*file).seek(SeekFrom::Start(st.len));
             return Err(e.into());
         }
         st.len += frame.len() as u64;
@@ -268,6 +285,60 @@ impl Wal {
         self.sync_to(target)
     }
 
+    /// Rotates the log: drops every record for which `covered` returns
+    /// `true` (it is folded into a durable image and no longer needed for
+    /// recovery) and rewrites the file crash-atomically — surviving records
+    /// land in a temp file behind a `Rotate` marker carrying the cumulative
+    /// dropped count, the temp file is fsynced and renamed over the log, and
+    /// the directory fsynced. A crash at any point leaves either the old or
+    /// the new file intact, never a mix. Returns the number of records
+    /// dropped (0 means the file was left untouched).
+    ///
+    /// Global sequence numbers are preserved: the `Rotate` marker's base
+    /// keeps [`Wal::appended`] monotonic across the rewrite, so group-commit
+    /// accounting and callers holding sequence numbers are unaffected.
+    pub fn rotate(&self, mut covered: impl FnMut(&WalRecord) -> bool) -> Result<u64> {
+        // Hold the state lock for the whole rewrite so no append or sync
+        // interleaves; wait out any in-flight fsync leader first.
+        let mut st = lock(&self.state);
+        while st.syncing {
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let bytes = fs::read(&self.path)?;
+        let (records, base, _) = parse_records(&bytes);
+        let (dropped, kept): (Vec<_>, Vec<_>) = records.into_iter().partition(&mut covered);
+        if dropped.is_empty() {
+            return Ok(0);
+        }
+        let new_base = base + dropped.len() as u64;
+        let mut out = encode_frame(WalRecordKind::Rotate, &new_base.to_le_bytes());
+        for record in &kept {
+            out.extend_from_slice(&encode_frame(record.kind, &record.body));
+        }
+        let tmp_path = self.dir.join(format!("{WAL_FILE_NAME}.tmp"));
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&out)?;
+            tmp.sync_all()?;
+        }
+        fs::rename(&tmp_path, &self.path)?;
+        fsync_dir_best_effort(&self.dir);
+        // Swap the append handle onto the new file, cursor at its end.
+        let mut fresh = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        fresh.seek(SeekFrom::End(0))?;
+        *self.file.write().unwrap_or_else(|e| e.into_inner()) = fresh;
+        st.len = out.len() as u64;
+        st.appended = new_base + kept.len() as u64;
+        st.synced = st.appended;
+        self.rotated.fetch_add(1, Ordering::Relaxed);
+        Ok(dropped.len() as u64)
+    }
+
+    /// Number of rotations this handle has performed.
+    pub fn wal_rotated(&self) -> u64 {
+        self.rotated.load(Ordering::Relaxed)
+    }
+
     /// Records appended so far.
     pub fn appended(&self) -> u64 {
         lock(&self.state).appended
@@ -293,7 +364,7 @@ impl Wal {
             st.syncing = true;
             let upto = st.appended;
             drop(st);
-            let res = self.file.sync_data();
+            let res = read_file(&self.file).sync_data();
             st = lock(&self.state);
             st.syncing = false;
             if res.is_ok() {
@@ -305,10 +376,13 @@ impl Wal {
     }
 }
 
-/// Splits `bytes` into verified records and the length of the valid
-/// prefix; parsing stops at the first incomplete or corrupt frame.
-fn parse_records(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+/// Splits `bytes` into verified records, the sequence-number base (records
+/// dropped by earlier rotations, from a leading `Rotate` record) and the
+/// length of the valid prefix; parsing stops at the first incomplete or
+/// corrupt frame. `Rotate` records are folded into the base, never returned.
+fn parse_records(bytes: &[u8]) -> (Vec<WalRecord>, u64, usize) {
     let mut records = Vec::new();
+    let mut base = 0u64;
     let mut pos = 0usize;
     while let Some(header) = bytes.get(pos..pos + FRAME_HEADER) {
         let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
@@ -325,13 +399,31 @@ fn parse_records(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
         let Some(kind) = WalRecordKind::from_byte(payload[0]) else {
             break;
         };
-        records.push(WalRecord {
-            kind,
-            body: payload[1..].to_vec(),
-        });
+        if kind == WalRecordKind::Rotate {
+            if payload.len() == 9 {
+                base = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+            }
+        } else {
+            records.push(WalRecord {
+                kind,
+                body: payload[1..].to_vec(),
+            });
+        }
         pos += FRAME_HEADER + len;
     }
-    (records, pos)
+    (records, base, pos)
+}
+
+/// Encodes one record frame (length, checksum, kind, body).
+fn encode_frame(kind: WalRecordKind, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + body.len());
+    payload.push(kind.to_byte());
+    payload.extend_from_slice(body);
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
 }
 
 fn fsync_dir_best_effort(dir: &Path) {
@@ -509,5 +601,74 @@ mod tests {
     fn missing_wal_reads_as_empty() {
         let dir = TestDir::new("missing");
         assert!(Wal::read_records(&dir.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rotation_drops_covered_records_and_preserves_sequence_numbers() {
+        let dir = TestDir::new("rotate");
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        wal.append_commit(b"old-1").unwrap();
+        wal.append_commit(b"old-2").unwrap();
+        wal.append_marker(WalRecordKind::CheckpointEnd, TableId::new(1), 2)
+            .unwrap();
+        wal.append_commit(b"new-1").unwrap();
+        wal.sync_all().unwrap();
+        assert_eq!(wal.appended(), 4);
+
+        let dropped = wal
+            .rotate(|r| r.kind != WalRecordKind::Commit || r.body.starts_with(b"old"))
+            .unwrap();
+        assert_eq!(dropped, 3);
+        assert_eq!(wal.wal_rotated(), 1);
+        assert_eq!(wal.appended(), 4, "sequence numbers survive rotation");
+        let records = Wal::read_records(&dir.0).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].body, b"new-1");
+
+        // Appends continue with the pre-rotation numbering, and a reopen
+        // reconstructs the same counts from the Rotate marker's base.
+        assert_eq!(wal.append_commit(b"new-2").unwrap(), 5);
+        wal.sync_all().unwrap();
+        drop(wal);
+        let reopened = Wal::open(&dir.0, 1).unwrap();
+        assert_eq!(reopened.appended(), 5);
+        let records = Wal::read_records(&dir.0).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].body, b"new-2");
+
+        // A second rotation stacks its base on top of the first.
+        reopened.rotate(|r| r.body == b"new-1").unwrap();
+        drop(reopened);
+        let again = Wal::open(&dir.0, 1).unwrap();
+        assert_eq!(again.appended(), 5);
+        assert_eq!(Wal::read_records(&dir.0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rotation_with_nothing_covered_leaves_the_file_untouched() {
+        let dir = TestDir::new("rotate-noop");
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        wal.append_commit(b"keep").unwrap();
+        wal.sync_all().unwrap();
+        let before = fs::read(dir.0.join(WAL_FILE_NAME)).unwrap();
+        assert_eq!(wal.rotate(|_| false).unwrap(), 0);
+        assert_eq!(wal.wal_rotated(), 0);
+        assert_eq!(fs::read(dir.0.join(WAL_FILE_NAME)).unwrap(), before);
+    }
+
+    #[test]
+    fn leftover_rotation_tmp_is_harmless() {
+        let dir = TestDir::new("rotate-tmp");
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        wal.append_commit(b"a").unwrap();
+        wal.sync_all().unwrap();
+        // A crash between the tmp write and the rename leaves a .tmp file;
+        // it must not shadow the real log.
+        fs::write(dir.0.join(format!("{WAL_FILE_NAME}.tmp")), b"garbage").unwrap();
+        drop(wal);
+        let records = Wal::read_records(&dir.0).unwrap();
+        assert_eq!(records.len(), 1);
+        let wal = Wal::open(&dir.0, 1).unwrap();
+        assert_eq!(wal.appended(), 1);
     }
 }

@@ -21,10 +21,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod microbench;
+pub mod skipping;
 pub mod spec;
 pub mod tpch;
 
 pub use microbench::MicrobenchConfig;
+pub use skipping::SkippingConfig;
 pub use spec::{
     QuerySpec, ScanSpec, StreamSpec, UpdateMix, UpdateOp, UpdateOpGen, UpdateStreamSpec,
     WorkloadSpec,

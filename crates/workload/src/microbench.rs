@@ -169,6 +169,7 @@ pub fn generate(config: &MicrobenchConfig, lineitem: TableId) -> WorkloadSpec {
                             table: lineitem,
                             columns,
                             ranges: RangeList::from_ranges([range]),
+                            predicate: None,
                         }],
                         cpu_factor,
                     }

@@ -1,0 +1,213 @@
+//! The zone-map data-skipping workload: predicated range scans over a
+//! clustered table, with a **per-stream predicate selectivity**.
+//!
+//! The `events` table models the common log/fact-table shape where zone
+//! maps shine: a monotonically increasing clustered key (`ev_key`,
+//! sequential — every chunk's `[min, max]` is a disjoint slice of the key
+//! space), a Zipf-skewed measure (`ev_value` — most mass near zero, the
+//! heavy tail exercises conservative zone bounds) and a uniform payload
+//! column that makes scans pay for real page volume.
+//!
+//! Every stream runs full-table scans filtered by `ev_key <
+//! selectivity * tuples`, so the predicate selects exactly the leading
+//! `selectivity` fraction of the rows — and, with zone maps enabled, the
+//! executors skip the trailing `1 - selectivity` of the chunks entirely.
+//! Streams take their selectivity from [`SkippingConfig::selectivities`]
+//! round-robin, so one workload mixes highly selective probes with broad
+//! sweeps, exactly the mix where cooperative relevance accounting and PBM
+//! predictions must agree on what a queued query will *actually* read.
+//! Like every workload in this crate, the spec runs identically on the
+//! discrete-event simulator and the live engine.
+
+use scanshare_common::{RangeList, Result, TableId, TupleRange};
+use scanshare_storage::column::{ColumnSpec, ColumnType};
+use scanshare_storage::datagen::DataGen;
+use scanshare_storage::storage::Storage;
+use scanshare_storage::table::TableSpec;
+use scanshare_storage::zone::{ZoneOp, ZonePredicate};
+
+use crate::spec::{QuerySpec, ScanSpec, StreamSpec, WorkloadSpec};
+
+/// Configuration of the data-skipping workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippingConfig {
+    /// Number of concurrent streams.
+    pub streams: usize,
+    /// Queries per stream.
+    pub queries_per_stream: usize,
+    /// Number of tuples in the `events` table.
+    pub tuples: u64,
+    /// Predicate selectivities in `[0, 1]`, assigned to streams round-robin
+    /// (stream `s` uses `selectivities[s % len]`). `1.0` scans everything
+    /// (no predicate at all — the unfiltered baseline); smaller values keep
+    /// only the leading fraction of the clustered key space.
+    pub selectivities: Vec<f64>,
+    /// Zipfian span of the `ev_value` column.
+    pub value_span: u64,
+    /// Seed for the table's data generators.
+    pub seed: u64,
+}
+
+impl Default for SkippingConfig {
+    fn default() -> Self {
+        Self {
+            streams: 4,
+            queries_per_stream: 4,
+            tuples: 500_000,
+            selectivities: vec![0.01, 0.10, 1.0],
+            value_span: 1_000_000,
+            seed: 0x51a9,
+        }
+    }
+}
+
+impl SkippingConfig {
+    /// A reduced configuration suitable for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            streams: 3,
+            queries_per_stream: 2,
+            tuples: 20_000,
+            selectivities: vec![0.01, 0.5, 1.0],
+            value_span: 10_000,
+            seed: 11,
+        }
+    }
+
+    /// Returns a copy where every stream runs at one fixed selectivity
+    /// (used by the `fig_skipping` sweep).
+    pub fn with_selectivity(mut self, selectivity: f64) -> Self {
+        self.selectivities = vec![selectivity];
+        self
+    }
+}
+
+/// Column layout of the clustered `events` table.
+pub fn events_spec(tuples: u64) -> TableSpec {
+    TableSpec::new(
+        "events",
+        vec![
+            ColumnSpec::with_width("ev_key", ColumnType::Int64, 8.0),
+            ColumnSpec::with_width("ev_value", ColumnType::Int64, 4.0),
+            ColumnSpec::with_width("ev_payload", ColumnType::Int64, 8.0),
+        ],
+        tuples,
+    )
+}
+
+/// Data generators matching [`events_spec`]: a clustered sequential key, a
+/// Zipf-skewed value and a uniform payload.
+pub fn events_generators(value_span: u64) -> Vec<DataGen> {
+    vec![
+        DataGen::Sequential { start: 0, step: 1 },
+        DataGen::Zipfian {
+            span: value_span.max(1),
+        },
+        DataGen::Uniform {
+            min: 0,
+            max: 1_000_000,
+        },
+    ]
+}
+
+/// Creates the `events` table in `storage` and returns its id.
+pub fn setup_events(storage: &std::sync::Arc<Storage>, config: &SkippingConfig) -> Result<TableId> {
+    storage.create_table_with_data(
+        events_spec(config.tuples),
+        events_generators(config.value_span),
+    )
+}
+
+/// The predicate a stream at `selectivity` applies: `ev_key <
+/// selectivity * tuples` (`None` at full selectivity — the unfiltered
+/// baseline scan).
+pub fn stream_predicate(selectivity: f64, tuples: u64) -> Option<ZonePredicate> {
+    if selectivity >= 1.0 {
+        return None;
+    }
+    let bound = ((tuples as f64 * selectivity.max(0.0)).round() as i64).max(1);
+    Some(ZonePredicate::new(0, ZoneOp::Lt, bound))
+}
+
+/// Generates the skipping workload against an already-created `events`
+/// table.
+pub fn generate(config: &SkippingConfig, events: TableId) -> WorkloadSpec {
+    let streams = (0..config.streams)
+        .map(|s| {
+            let selectivity = config.selectivities[s % config.selectivities.len().max(1)];
+            let predicate = stream_predicate(selectivity, config.tuples);
+            let queries = (0..config.queries_per_stream)
+                .map(|q| QuerySpec {
+                    label: format!("skip-{:.0}%#{s}.{q}", selectivity * 100.0),
+                    scans: vec![ScanSpec {
+                        table: events,
+                        columns: vec![0, 1, 2],
+                        ranges: RangeList::from_ranges([TupleRange::new(0, config.tuples)]),
+                        predicate,
+                    }],
+                    cpu_factor: 1.0,
+                })
+                .collect();
+            StreamSpec {
+                label: format!("sel-{:.2}-{s}", selectivity),
+                queries,
+            }
+        })
+        .collect();
+    WorkloadSpec::read_only(format!("skipping-{}streams", config.streams), streams)
+}
+
+/// Convenience: creates the storage, the `events` table and the workload in
+/// one call.
+pub fn build(
+    config: &SkippingConfig,
+    page_size_bytes: u64,
+    chunk_tuples: u64,
+) -> Result<(std::sync::Arc<Storage>, WorkloadSpec)> {
+    let storage = Storage::with_seed(page_size_bytes, chunk_tuples, config.seed);
+    let events = setup_events(&storage, config)?;
+    Ok((storage, generate(config, events)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shape_and_per_stream_selectivity() {
+        let config = SkippingConfig::tiny();
+        let (_storage, workload) = build(&config, 1024, 1000).unwrap();
+        assert_eq!(workload.stream_count(), 3);
+        assert_eq!(workload.query_count(), 6);
+        // Stream 0: 1% selectivity -> Lt 200 on the clustered key.
+        let scan = &workload.streams[0].queries[0].scans[0];
+        let pred = scan.predicate.expect("selective streams carry a predicate");
+        assert_eq!(pred.column, 0);
+        assert_eq!(pred.op, ZoneOp::Lt);
+        assert_eq!(pred.value, 200);
+        // Stream 2: 100% selectivity -> unfiltered baseline.
+        assert!(workload.streams[2].queries[0].scans[0].predicate.is_none());
+        // Every scan covers the full table; the predicate does the limiting.
+        assert!(workload
+            .streams
+            .iter()
+            .flat_map(|s| &s.queries)
+            .all(|q| q.scans[0].total_tuples() == config.tuples));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = SkippingConfig::tiny();
+        let (_s1, w1) = build(&config, 1024, 1000).unwrap();
+        let (_s2, w2) = build(&config, 1024, 1000).unwrap();
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn predicate_bound_tracks_selectivity() {
+        assert_eq!(stream_predicate(0.5, 1000).unwrap().value, 500);
+        assert_eq!(stream_predicate(0.0, 1000).unwrap().value, 1);
+        assert!(stream_predicate(1.0, 1000).is_none());
+        assert!(stream_predicate(1.5, 1000).is_none());
+    }
+}

@@ -33,6 +33,7 @@
 
 use scanshare_common::{RangeList, TableId};
 use scanshare_storage::datagen::splitmix64;
+use scanshare_storage::zone::ZonePredicate;
 
 /// One range scan performed by a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,10 +44,16 @@ pub struct ScanSpec {
     pub columns: Vec<usize>,
     /// Tuple ranges (SID space) the scan covers.
     pub ranges: RangeList,
+    /// Optional row-level predicate (the column index is **table**-relative,
+    /// like [`ScanSpec::columns`], and must name a scanned column). Both
+    /// executors apply it to every produced row, and — when zone maps are
+    /// enabled — use it to skip chunks whose min/max metadata proves no row
+    /// can match.
+    pub predicate: Option<ZonePredicate>,
 }
 
 impl ScanSpec {
-    /// Total tuples the scan covers.
+    /// Total tuples the scan covers (before any predicate filtering).
     pub fn total_tuples(&self) -> u64 {
         self.ranges.total_tuples()
     }
@@ -307,6 +314,7 @@ mod tests {
             table: TableId::new(0),
             columns: vec![0, 1],
             ranges: RangeList::from_ranges([TupleRange::new(0, 100), TupleRange::new(200, 250)]),
+            predicate: None,
         };
         assert_eq!(scan.total_tuples(), 150);
         let query = QuerySpec {

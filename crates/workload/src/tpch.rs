@@ -406,6 +406,7 @@ pub fn generate(config: &TpchConfig, tables: &TpchTables) -> WorkloadSpec {
                                     start,
                                     (start + span).min(tuples),
                                 )]),
+                                predicate: None,
                             }
                         })
                         .collect();

@@ -287,7 +287,7 @@ pub mod prelude {
     pub use scanshare_storage::wal::{Wal, WalRecord, WalRecordKind};
     pub use scanshare_storage::{ColumnSpec, ColumnType, FileStore, Storage, TableSpec};
     pub use scanshare_workload::{
-        MicrobenchConfig, TpchConfig, UpdateMix, UpdateStreamSpec, WorkloadSpec,
+        MicrobenchConfig, SkippingConfig, TpchConfig, UpdateMix, UpdateStreamSpec, WorkloadSpec,
     };
 }
 

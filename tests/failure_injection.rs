@@ -609,6 +609,64 @@ mod crash_recovery {
         assert_eq!(all_rows(&again, table), shadow);
     }
 
+    /// Checkpoints rotate the WAL: records the durable image already covers
+    /// are dropped, so the log stops growing without bound. The rotation is
+    /// crash-atomic — a kill point immediately after the checkpoint (and
+    /// after every post-rotation commit) must still recover to exactly the
+    /// committed state from the shrunken log.
+    #[test]
+    fn wal_rotation_after_a_checkpoint_shrinks_the_log_and_survives_a_crash() {
+        let live = TestDir::new("wal-rotate");
+        let copies = TestDir::new("wal-rotate-copies");
+        let (engine, table, mut shadow) = durable_engine(live.path(), CHUNK + CHUNK / 2, 1);
+        let wal_path = live.path().join(WAL_FILE_NAME);
+
+        for step in 0..4i64 {
+            engine.insert_row(table, 0, vec![-step - 1, step]).unwrap();
+            shadow.insert(0, vec![-step - 1, step]);
+        }
+        let before = std::fs::metadata(&wal_path).unwrap().len();
+        engine.checkpoint(table).unwrap();
+        let after = std::fs::metadata(&wal_path).unwrap().len();
+        assert!(
+            after < before,
+            "rotation must shrink the log ({after} vs {before})"
+        );
+        assert_eq!(engine.wal().unwrap().wal_rotated(), 1);
+
+        // Kill point right after the rotation, and after each of a few
+        // post-rotation commits appended to the rotated log.
+        let mut points: Vec<(PathBuf, Vec<Vec<i64>>)> = Vec::new();
+        let snap = copies.path().join("kp-rotated");
+        copy_dir(live.path(), &snap);
+        points.push((snap, shadow.clone()));
+        for step in 0..3i64 {
+            engine
+                .insert_row(table, 0, vec![100 + step, -step])
+                .unwrap();
+            shadow.insert(0, vec![100 + step, -step]);
+            let snap = copies.path().join(format!("kp-after-{step}"));
+            copy_dir(live.path(), &snap);
+            points.push((snap, shadow.clone()));
+        }
+        // A second checkpoint rotates the post-rotation commits out again.
+        engine.checkpoint(table).unwrap();
+        assert_eq!(engine.wal().unwrap().wal_rotated(), 2);
+        let snap = copies.path().join("kp-rotated-again");
+        copy_dir(live.path(), &snap);
+        points.push((snap, shadow.clone()));
+        drop(engine);
+
+        for (dir, expected) in &points {
+            let recovered = Engine::recover(dir, config()).unwrap();
+            assert_eq!(
+                &all_rows(&recovered, table),
+                expected,
+                "kill point {dir:?}: recovered rows"
+            );
+        }
+    }
+
     /// A crash mid-manifest-install leaves a partially written `.tmp` next to
     /// the authoritative manifest; reopening must ignore it.
     #[test]

@@ -181,6 +181,7 @@ fn prefetch_setup() -> (Arc<Storage>, TableId, WorkloadSpec) {
             table,
             columns: vec![0, 1],
             ranges: RangeList::single(0, PF_TUPLES),
+            predicate: None,
         }],
         cpu_factor: 1.0,
     };
@@ -633,6 +634,115 @@ fn workload_driver_matches_simulator_for_mixed_read_write_workloads() {
                 report.buffer.invalidated_pages, sim.buffer.invalidated_pages,
                 "{policy} rate {rate}: checkpoint invalidation must match"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map data skipping: engine == simulator parity with pruning enabled
+// ---------------------------------------------------------------------------
+
+/// Runs the skipping workload on both executors and asserts they account
+/// the identical I/O volume and skipped-tuple count.
+fn assert_skipping_parity(
+    config: &scanshare::workload::skipping::SkippingConfig,
+    policy: PolicyKind,
+    zone_maps: bool,
+    shards: usize,
+    label: &str,
+) {
+    use scanshare::workload::skipping;
+    let scanshare = ScanShareConfig {
+        page_size_bytes: 16 * 1024,
+        chunk_tuples: 1000,
+        buffer_pool_bytes: 8 << 20, // headroom: order-insensitive page sets
+        policy,
+        pool_shards: shards,
+        zone_maps,
+        ..Default::default()
+    };
+    let (storage, workload) = skipping::build(config, 16 * 1024, 1000).unwrap();
+    let engine = Engine::new(Arc::clone(&storage), scanshare.clone()).unwrap();
+    let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+    assert!(
+        report.stream_errors.is_empty(),
+        "{label}: {:?}",
+        report.stream_errors
+    );
+    let sim = Simulation::new(
+        Arc::clone(&storage),
+        SimConfig {
+            scanshare,
+            cores: 8,
+            sharing_sample_interval: None,
+        },
+    )
+    .unwrap()
+    .run(&workload)
+    .unwrap();
+    assert_eq!(
+        report.buffer.io_bytes, sim.total_io_bytes,
+        "{label}: engine and simulator I/O must match"
+    );
+    assert_eq!(
+        report.buffer.pruned_tuples, sim.buffer.pruned_tuples,
+        "{label}: engine and simulator pruning must match"
+    );
+    if zone_maps {
+        assert!(
+            report.buffer.pruned_tuples > 0,
+            "{label}: selective streams must prune"
+        );
+    } else {
+        assert_eq!(report.buffer.pruned_tuples, 0, "{label}");
+    }
+}
+
+/// The skipping workload on the pooled policies, multi-stream with mixed
+/// selectivities and buffer headroom so each surviving page loads exactly
+/// once regardless of thread interleaving: both executors must prune the
+/// identical chunk sets (identical I/O and skipped-tuple counts), and
+/// turning zone maps off must restore the identical unpruned volume.
+#[test]
+fn workload_driver_matches_simulator_with_zone_skipping() {
+    use scanshare::workload::skipping::SkippingConfig;
+    let config = SkippingConfig {
+        streams: 3,
+        queries_per_stream: 2,
+        tuples: 40_000,
+        selectivities: vec![0.01, 0.10, 1.0],
+        value_span: 10_000,
+        seed: 0x5eed,
+    };
+    for policy in [PolicyKind::Lru, PolicyKind::Pbm] {
+        for zone_maps in [true, false] {
+            for shards in [1usize, 4] {
+                let label = format!("{policy} zones {zone_maps} shards {shards}");
+                assert_skipping_parity(&config, policy, zone_maps, shards, &label);
+            }
+        }
+    }
+}
+
+/// Cooperative Scans skipping parity, single-stream (like the other CScan
+/// parity tests: with one stream there is no thread interleaving, so the
+/// ABM's chunk-load sequence is deterministic and must match the simulator
+/// byte for byte) at each selectivity, with zone maps on and off.
+#[test]
+fn workload_driver_matches_simulator_with_zone_skipping_under_cscan() {
+    use scanshare::workload::skipping::SkippingConfig;
+    for selectivity in [0.01, 0.10] {
+        for zone_maps in [true, false] {
+            let config = SkippingConfig {
+                streams: 1,
+                queries_per_stream: 3,
+                tuples: 40_000,
+                selectivities: vec![selectivity],
+                value_span: 10_000,
+                seed: 0x5eed,
+            };
+            let label = format!("cscan sel {selectivity} zones {zone_maps}");
+            assert_skipping_parity(&config, PolicyKind::CScan, zone_maps, 1, &label);
         }
     }
 }

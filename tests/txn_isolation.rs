@@ -45,7 +45,7 @@ fn pinned_read(engine: &Arc<Engine>, table: TableId) -> (u64, Vec<Vec<i64>>) {
     let pin = engine.table_pin(table).unwrap();
     let expected = pin.visible_rows();
     let mut scan = engine
-        .scan_pinned(pin, &["k", "v"], TupleRange::new(0, u64::MAX), true)
+        .scan_pinned(pin, &["k", "v"], TupleRange::new(0, u64::MAX), true, None)
         .unwrap();
     let mut rows = Vec::new();
     while let Some(batch) = scan.next_batch().unwrap() {
@@ -117,7 +117,7 @@ fn randomized_update_checkpoint_trace_matches_model() {
                             model.remove(0);
                         }
                         let mut scan = engine
-                            .scan_pinned(pin, &["k", "v"], TupleRange::new(0, u64::MAX), true)
+                            .scan_pinned(pin, &["k", "v"], TupleRange::new(0, u64::MAX), true, None)
                             .unwrap();
                         let mut rows = Vec::new();
                         while let Some(batch) = scan.next_batch().unwrap() {
