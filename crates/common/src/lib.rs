@@ -16,6 +16,7 @@ pub mod clock;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod quantile;
 pub mod range;
 pub mod rid;
 pub mod sync;
@@ -24,5 +25,6 @@ pub use clock::{Bandwidth, VirtualClock, VirtualDuration, VirtualInstant};
 pub use config::{DeviceKind, PolicyKind, ScanShareConfig};
 pub use error::{Error, Result};
 pub use ids::{ChunkId, ColumnId, PageId, QueryId, ScanId, SnapshotId, StreamId, TableId};
+pub use quantile::{nearest_rank, nearest_rank_unsorted};
 pub use range::{RangeList, TupleRange};
 pub use rid::{Rid, Sid};

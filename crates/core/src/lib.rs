@@ -28,6 +28,7 @@
 pub mod abm;
 pub mod backend;
 pub mod bufferpool;
+pub mod clock;
 pub mod lru;
 pub mod metrics;
 pub mod opportunistic;
@@ -37,11 +38,13 @@ pub mod pbm_lru;
 pub mod policy;
 pub mod registry;
 pub mod sharded;
+pub mod sieve;
 pub mod throttle;
 
 pub use abm::{Abm, AbmAction, AbmConfig, CScanHandle, LoadScheduler, MonolithicAbm};
 pub use backend::{CScanBackend, PooledBackend, ScanBackend, ScanRequest, ScanStep};
 pub use bufferpool::{AccessOutcome, BufferPool, PrefetchPool};
+pub use clock::ClockPolicy;
 pub use lru::LruPolicy;
 pub use metrics::BufferStats;
 pub use opportunistic::OpportunisticPlanner;
@@ -51,4 +54,5 @@ pub use pbm_lru::{PbmLruConfig, PbmLruPolicy};
 pub use policy::{ReplacementPolicy, ScanInfo};
 pub use registry::{PolicyFactory, PolicyRegistry};
 pub use sharded::ShardedPool;
+pub use sieve::SievePolicy;
 pub use throttle::{ScanProgress, ThrottleConfig, ThrottlePlanner};

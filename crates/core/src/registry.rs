@@ -15,10 +15,12 @@ use std::sync::Arc;
 
 use scanshare_common::{Error, PolicyKind, Result, ScanShareConfig};
 
+use crate::clock::ClockPolicy;
 use crate::lru::LruPolicy;
 use crate::pbm::{PbmConfig, PbmPolicy};
 use crate::pbm_lru::{PbmLruConfig, PbmLruPolicy};
 use crate::policy::ReplacementPolicy;
+use crate::sieve::SievePolicy;
 
 /// A factory producing a replacement policy from the engine configuration.
 pub type PolicyFactory = Arc<dyn Fn(&ScanShareConfig) -> Box<dyn ReplacementPolicy> + Send + Sync>;
@@ -69,10 +71,12 @@ impl PolicyRegistry {
     }
 
     /// A registry with the built-in page-level policies registered:
-    /// `"lru"`, `"pbm"` and `"pbm-lru"`.
+    /// `"lru"`, `"pbm"`, `"pbm-lru"`, `"clock"` and `"sieve"`.
     pub fn with_defaults() -> Self {
         let mut registry = Self::empty();
         registry.register("lru", |_| Box::new(LruPolicy::new()));
+        registry.register("clock", |_| Box::new(ClockPolicy::new()));
+        registry.register("sieve", |_| Box::new(SievePolicy::new()));
         registry.register("pbm", |config| {
             Box::new(PbmPolicy::new(pbm_config_for(config)))
         });
@@ -142,9 +146,14 @@ mod tests {
     #[test]
     fn defaults_cover_the_builtin_policies() {
         let registry = PolicyRegistry::default();
-        assert_eq!(registry.names(), vec!["lru", "pbm", "pbm-lru"]);
+        assert_eq!(
+            registry.names(),
+            vec!["clock", "lru", "pbm", "pbm-lru", "sieve"]
+        );
         let config = ScanShareConfig::default();
-        for name in ["lru", "pbm", "pbm-lru", "LRU", "Pbm", "PBM-LRU"] {
+        for name in [
+            "lru", "pbm", "pbm-lru", "clock", "sieve", "LRU", "Pbm", "PBM-LRU", "Clock", "SIEVE",
+        ] {
             assert!(registry.contains(name), "{name}");
             let policy = registry.build(name, &config).unwrap();
             assert_eq!(policy.name(), name.to_ascii_lowercase(), "{name}");

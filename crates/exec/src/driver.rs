@@ -6,7 +6,7 @@
 //! task on the [`TaskScheduler`] — a fixed
 //! pool of [`ScanShareConfig::scheduler_workers`](scanshare_common::ScanShareConfig::scheduler_workers)
 //! OS threads — with every query lowered from its
-//! [`QuerySpec`]/[`ScanSpec`](scanshare_workload::spec::ScanSpec) onto the
+//! [`QuerySpec`]/[`ScanSpec`] onto the
 //! builder [`Query`](crate::query::Query) API against the shared engine —
 //! and therefore the shared, concurrently-driven buffer-management backend.
 //! The driver is deliberately a *thin client* of the scheduler: the same
@@ -30,7 +30,9 @@ use std::time::{Duration, Instant};
 use scanshare_common::{Error, Result, TupleRange, VirtualDuration};
 use scanshare_core::metrics::BufferStats;
 use scanshare_iosim::{IoLatency, IoStats};
-use scanshare_workload::spec::{QuerySpec, UpdateOp, UpdateOpGen, UpdateStreamSpec, WorkloadSpec};
+use scanshare_workload::spec::{
+    JoinSpec, QuerySpec, ScanSpec, UpdateOp, UpdateOpGen, UpdateStreamSpec, WorkloadSpec,
+};
 
 use std::collections::VecDeque;
 
@@ -169,13 +171,12 @@ impl WorkloadReport {
     }
 
     /// The `q`-quantile (`0.0..=1.0`) of the per-query wall-clock latency
-    /// (nearest-rank). `None` when the workload had no queries.
+    /// (nearest-rank, via [`scanshare_common::quantile`]). `None` when the
+    /// workload had no queries. Latencies are **pooled** across all streams
+    /// before ranking — never computed per stream and averaged, which would
+    /// underestimate the tail.
     pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
-        if self.latencies.is_empty() {
-            return None;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.latencies.len() as f64).ceil() as usize;
-        Some(self.latencies[rank.max(1) - 1])
+        scanshare_common::quantile::nearest_rank(&self.latencies, q)
     }
 
     /// Median per-query latency.
@@ -446,6 +447,20 @@ fn collect_session(
     (std::mem::take(&mut accum.latencies), accum.tuples, end)
 }
 
+/// The build side of a lowered join query, attached to the probe unit via
+/// the builder API's `.join(...)` clause: the query fully scans and hashes
+/// `table` before any probe I/O starts.
+struct JoinUnit {
+    table: TableId,
+    /// Probe-projection index of the join key.
+    left_col: usize,
+    /// Build-side join-key column name.
+    right_key: String,
+    /// The remaining build-projection column names, carried into the join
+    /// output after the key.
+    extras: Vec<String>,
+}
+
 /// One scan-range unit of a lowered [`QuerySpec`]: an aggregation query
 /// (count + sum over the first column) over one SID range, so every
 /// registered page is actually read and processed.
@@ -457,6 +472,8 @@ struct QueryUnit {
     /// to the builder API's `.filter(...)` — and through it to zone-map
     /// pruning.
     predicate: Option<Predicate>,
+    /// Broadcast-join build side for join queries (`None` for plain scans).
+    join: Option<JoinUnit>,
     /// Exact tuple count the unit must produce; `None` for predicated
     /// units, whose count depends on the data.
     expected: Option<u64>,
@@ -502,51 +519,67 @@ struct StreamSessionTask {
 }
 
 impl StreamSessionTask {
+    /// Resolves a scan's table-relative column indices to column names.
+    fn resolve_columns(&self, label: &str, scan: &ScanSpec) -> Result<Vec<String>> {
+        let table = self.engine.storage().table(scan.table)?;
+        scan.columns
+            .iter()
+            .map(|&idx| {
+                table
+                    .spec
+                    .columns
+                    .get(idx)
+                    .map(|c| c.name.clone())
+                    .ok_or_else(|| {
+                        Error::plan(format!(
+                            "scan of query {label:?} selects column index {idx}, but table {} has \
+                             only {} columns",
+                            table.spec.name,
+                            table.spec.columns.len()
+                        ))
+                    })
+            })
+            .collect()
+    }
+
+    /// Lowers a scan's table-relative zone predicate into the builder API's
+    /// projection-relative row predicate.
+    fn resolve_predicate(label: &str, scan: &ScanSpec) -> Result<Option<Predicate>> {
+        // The spec's predicate is table-relative; the builder API wants
+        // the column's position within the projection.
+        match &scan.predicate {
+            Some(pred) => {
+                let position = scan
+                    .columns
+                    .iter()
+                    .position(|&idx| idx == pred.column)
+                    .ok_or_else(|| {
+                        Error::plan(format!(
+                            "scan of query {label:?} filters on column index {}, which is not \
+                             among its scanned columns {:?}",
+                            pred.column, scan.columns
+                        ))
+                    })?;
+                Ok(Some(Predicate::new(
+                    position,
+                    compare_op(pred.op),
+                    pred.value,
+                )))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// Lowers one [`QuerySpec`] into its scan-range units, resolving column
     /// indices to names and fixing each unit's expected tuple count.
     fn lower(&self, query: &QuerySpec) -> Result<RunningQuery> {
+        if let Some(join) = &query.join {
+            return self.lower_join(query, join);
+        }
         let mut units = VecDeque::new();
         for scan in &query.scans {
-            let table = self.engine.storage().table(scan.table)?;
-            let columns: Vec<String> = scan
-                .columns
-                .iter()
-                .map(|&idx| {
-                    table
-                        .spec
-                        .columns
-                        .get(idx)
-                        .map(|c| c.name.clone())
-                        .ok_or_else(|| {
-                            Error::plan(format!(
-                                "scan of query {:?} selects column index {idx}, but table {} has \
-                                 only {} columns",
-                                query.label,
-                                table.spec.name,
-                                table.spec.columns.len()
-                            ))
-                        })
-                })
-                .collect::<Result<_>>()?;
-            // The spec's predicate is table-relative; the builder API wants
-            // the column's position within the projection.
-            let predicate = match &scan.predicate {
-                Some(pred) => {
-                    let position = scan
-                        .columns
-                        .iter()
-                        .position(|&idx| idx == pred.column)
-                        .ok_or_else(|| {
-                            Error::plan(format!(
-                                "scan of query {:?} filters on column index {}, which is not \
-                                     among its scanned columns {:?}",
-                                query.label, pred.column, scan.columns
-                            ))
-                        })?;
-                    Some(Predicate::new(position, compare_op(pred.op), pred.value))
-                }
-                None => None,
-            };
+            let columns = self.resolve_columns(&query.label, scan)?;
+            let predicate = Self::resolve_predicate(&query.label, scan)?;
             for &range in scan.ranges.ranges() {
                 let expected = if predicate.is_some() {
                     // Predicated units count whatever matches; the spec
@@ -563,11 +596,96 @@ impl StreamSessionTask {
                     columns: columns.clone(),
                     range,
                     predicate,
+                    join: None,
                     expected,
                     label: query.label.clone(),
                 });
             }
         }
+        Ok(RunningQuery {
+            started: Instant::now(),
+            tuples: query.total_tuples(),
+            units,
+            active: None,
+        })
+    }
+
+    /// Lowers a broadcast-join [`QuerySpec`] (`scans[0]` = build, `scans[1]`
+    /// = probe) into a single probe-side unit with the build side attached
+    /// through the builder API's `.join(...)` clause — the build scan still
+    /// registers with the backend and fully drains before any probe I/O.
+    /// The joined cardinality is data-dependent, so the unit carries no
+    /// expected count.
+    fn lower_join(&self, query: &QuerySpec, join: &JoinSpec) -> Result<RunningQuery> {
+        let [build, probe] = query.scans.as_slice() else {
+            return Err(Error::plan(format!(
+                "join query {:?} needs exactly two scans (build, probe), got {}",
+                query.label,
+                query.scans.len()
+            )));
+        };
+        if build.predicate.is_some() {
+            return Err(Error::plan(format!(
+                "join query {:?} puts a predicate on its build scan; predicates are \
+                 probe-side only",
+                query.label
+            )));
+        }
+        let visible = self.engine.visible_rows(build.table)?;
+        if build.ranges.ranges() != [TupleRange::new(0, visible)] {
+            return Err(Error::plan(format!(
+                "join query {:?} must scan the full build table (0..{visible}), got {:?}",
+                query.label,
+                build.ranges.ranges()
+            )));
+        }
+        let build_columns = self.resolve_columns(&query.label, build)?;
+        let probe_columns = self.resolve_columns(&query.label, probe)?;
+        let right_key = build_columns.get(join.right_col).cloned().ok_or_else(|| {
+            Error::plan(format!(
+                "join query {:?} keys on build column {} of {}",
+                query.label,
+                join.right_col,
+                build_columns.len()
+            ))
+        })?;
+        if join.left_col >= probe_columns.len() {
+            return Err(Error::plan(format!(
+                "join query {:?} keys on probe column {} of {}",
+                query.label,
+                join.left_col,
+                probe_columns.len()
+            )));
+        }
+        let extras: Vec<String> = build_columns
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != join.right_col)
+            .map(|(_, name)| name.clone())
+            .collect();
+        let predicate = Self::resolve_predicate(&query.label, probe)?;
+        let [range] = probe.ranges.ranges() else {
+            return Err(Error::plan(format!(
+                "join query {:?} needs a single-range probe scan, got {} ranges",
+                query.label,
+                probe.ranges.ranges().len()
+            )));
+        };
+        let mut units = VecDeque::new();
+        units.push_back(QueryUnit {
+            table: probe.table,
+            columns: probe_columns,
+            range: *range,
+            predicate,
+            join: Some(JoinUnit {
+                table: build.table,
+                left_col: join.left_col,
+                right_key,
+                extras,
+            }),
+            expected: None,
+            label: query.label.clone(),
+        });
         Ok(RunningQuery {
             started: Instant::now(),
             tuples: query.total_tuples(),
@@ -590,6 +708,11 @@ impl StreamSessionTask {
             .parallelism(self.parallelism);
         if let Some(predicate) = unit.predicate {
             query = query.filter(predicate);
+        }
+        if let Some(join) = unit.join {
+            query = query
+                .join(join.table, join.left_col, join.right_key)
+                .join_columns(join.extras);
         }
         let task = query.into_task()?;
         Ok((task, unit.expected, unit.label, unit.range))
@@ -786,10 +909,85 @@ mod tests {
                         predicate: None,
                     }],
                     cpu_factor: 1.0,
+                    join: None,
                 }],
             }],
         );
         assert!(WorkloadDriver::new(engine).run(&bogus).is_err());
+    }
+
+    #[test]
+    fn join_queries_run_through_the_driver() {
+        use scanshare_storage::column::{ColumnSpec, ColumnType};
+        use scanshare_storage::datagen::DataGen;
+        use scanshare_storage::table::TableSpec;
+
+        let (storage, _) = setup();
+        let dim = storage
+            .create_table_with_data(
+                TableSpec::new(
+                    "dim",
+                    vec![
+                        ColumnSpec::with_width("d_key", ColumnType::Dict { cardinality: 3 }, 0.5),
+                        ColumnSpec::with_width("d_weight", ColumnType::Decimal, 2.0),
+                    ],
+                    3,
+                ),
+                vec![
+                    DataGen::Cyclic {
+                        period: 3,
+                        min: 0,
+                        max: 2,
+                    },
+                    DataGen::Uniform { min: 1, max: 9 },
+                ],
+            )
+            .unwrap();
+        // Probe lineitem's l_returnflag (cardinality 3) against the 3-row
+        // dim key: every probe row matches exactly one build row.
+        let workload = WorkloadSpec::read_only(
+            "join",
+            vec![StreamSpec {
+                label: "s0".into(),
+                queries: vec![QuerySpec {
+                    label: "join-q".into(),
+                    scans: vec![
+                        ScanSpec {
+                            table: dim,
+                            columns: vec![0, 1],
+                            ranges: RangeList::single(0, 3),
+                            predicate: None,
+                        },
+                        ScanSpec {
+                            table: TableId::new(0),
+                            columns: vec![0, 4],
+                            ranges: RangeList::single(0, 10_000),
+                            predicate: None,
+                        },
+                    ],
+                    cpu_factor: 1.0,
+                    join: Some(JoinSpec {
+                        left_col: 1,
+                        right_col: 0,
+                    }),
+                }],
+            }],
+        );
+        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+            let engine = engine(&storage, policy, 2);
+            let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+            assert!(report.stream_errors.is_empty(), "{policy}");
+            assert_eq!(report.queries, 1, "{policy}");
+            assert_eq!(report.tuples, 10_003, "{policy}");
+            assert!(report.buffer.io_bytes > 0, "{policy}");
+        }
+        // A build scan that does not cover the full table is a plan error.
+        let mut bad = workload.clone();
+        bad.streams[0].queries[0].scans[0].ranges = RangeList::single(0, 2);
+        let err = WorkloadDriver::new(engine(&storage, PolicyKind::Lru, 1))
+            .run(&bad)
+            .unwrap_err();
+        assert!(err.to_string().contains("full build table"), "{err}");
     }
 
     #[test]

@@ -1,10 +1,19 @@
-//! Relational operators above the scans: Select, Project and Aggr.
+//! Relational operators above the scans: Select, Project, Aggr, GroupBy,
+//! TopK and the broadcast hash join.
 //!
-//! These are just enough to express the TPC-H Q1 / Q6 style queries used by
-//! the paper's microbenchmarks: a range scan with a selection, projection and
-//! (optionally grouped) aggregation on top.
+//! The original set was just enough to express the TPC-H Q1 / Q6 style
+//! queries of the paper's microbenchmarks: a range scan with a selection,
+//! projection and (optionally grouped) aggregation on top. The pipeline
+//! extensions add multi-key grouping ([`GroupSpec`]), order-insensitive
+//! top-k selection ([`TopKSpec`]/[`TopKState`]) and a broadcast hash join
+//! ([`JoinBuild`]/[`JoinTable`]/[`JoinSource`]). All of them are
+//! deterministic functions of the input *multiset*: grouped results are
+//! ordered maps, top-k breaks value ties by full-row lexicographic order,
+//! and join buckets are sorted at build finish — so out-of-order delivery
+//! (Cooperative Scans) and parallel merges cannot change any result.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use scanshare_common::Result;
 use scanshare_storage::datagen::Value;
@@ -160,6 +169,48 @@ pub struct GroupState {
 /// to its aggregate values, ordered by key.
 pub type AggrResult = BTreeMap<Value, GroupState>;
 
+fn new_group_state(aggregates: &[Aggregate]) -> GroupState {
+    GroupState {
+        count: 0,
+        accumulators: aggregates
+            .iter()
+            .map(|a| match a {
+                Aggregate::Count | Aggregate::Sum(_) => 0,
+                Aggregate::Min(_) => Value::MAX,
+                Aggregate::Max(_) => Value::MIN,
+            })
+            .collect(),
+    }
+}
+
+fn accumulate_row(entry: &mut GroupState, aggregates: &[Aggregate], batch: &Batch, row: usize) {
+    entry.count += 1;
+    for (acc, agg) in entry.accumulators.iter_mut().zip(aggregates.iter()) {
+        match agg {
+            Aggregate::Count => *acc += 1,
+            Aggregate::Sum(c) => *acc += batch.value(row, *c),
+            Aggregate::Min(c) => *acc = (*acc).min(batch.value(row, *c)),
+            Aggregate::Max(c) => *acc = (*acc).max(batch.value(row, *c)),
+        }
+    }
+}
+
+fn merge_group_state(existing: &mut GroupState, other: &GroupState, aggregates: &[Aggregate]) {
+    existing.count += other.count;
+    for ((acc, other), agg) in existing
+        .accumulators
+        .iter_mut()
+        .zip(other.accumulators.iter())
+        .zip(aggregates.iter())
+    {
+        match agg {
+            Aggregate::Count | Aggregate::Sum(_) => *acc += other,
+            Aggregate::Min(_) => *acc = (*acc).min(*other),
+            Aggregate::Max(_) => *acc = (*acc).max(*other),
+        }
+    }
+}
+
 /// Folds one batch into a running aggregation: applies `filter` (if any)
 /// and accumulates every surviving row into `groups` under `spec`. The
 /// incremental form of [`aggregate`], used by the morsel-driven
@@ -181,27 +232,10 @@ pub fn fold_batch(
     }
     for row in 0..batch.len() {
         let key = spec.group_by.map(|c| batch.value(row, c)).unwrap_or(0);
-        let entry = groups.entry(key).or_insert_with(|| GroupState {
-            count: 0,
-            accumulators: spec
-                .aggregates
-                .iter()
-                .map(|a| match a {
-                    Aggregate::Count | Aggregate::Sum(_) => 0,
-                    Aggregate::Min(_) => Value::MAX,
-                    Aggregate::Max(_) => Value::MIN,
-                })
-                .collect(),
-        });
-        entry.count += 1;
-        for (acc, agg) in entry.accumulators.iter_mut().zip(spec.aggregates.iter()) {
-            match agg {
-                Aggregate::Count => *acc += 1,
-                Aggregate::Sum(c) => *acc += batch.value(row, *c),
-                Aggregate::Min(c) => *acc = (*acc).min(batch.value(row, *c)),
-                Aggregate::Max(c) => *acc = (*acc).max(batch.value(row, *c)),
-            }
-        }
+        let entry = groups
+            .entry(key)
+            .or_insert_with(|| new_group_state(&spec.aggregates));
+        accumulate_row(entry, &spec.aggregates, &batch, row);
     }
 }
 
@@ -230,25 +264,312 @@ pub fn merge_aggregates(spec: &AggrSpec, partials: Vec<AggrResult>) -> AggrResul
                 None => {
                     merged.insert(key, state);
                 }
-                Some(existing) => {
-                    existing.count += state.count;
-                    for ((acc, other), agg) in existing
-                        .accumulators
-                        .iter_mut()
-                        .zip(state.accumulators.iter())
-                        .zip(spec.aggregates.iter())
-                    {
-                        match agg {
-                            Aggregate::Count | Aggregate::Sum(_) => *acc += other,
-                            Aggregate::Min(_) => *acc = (*acc).min(*other),
-                            Aggregate::Max(_) => *acc = (*acc).max(*other),
-                        }
-                    }
-                }
+                Some(existing) => merge_group_state(existing, &state, &spec.aggregates),
             }
         }
     }
     merged
+}
+
+// ---------------------------------------------------------------------------
+// Multi-key grouping
+// ---------------------------------------------------------------------------
+
+/// A multi-key grouped aggregation: group by the tuple of `keys` columns and
+/// compute `aggregates` per group. The single-key [`AggrSpec`] is the
+/// degenerate form the microbenchmarks keep using.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSpec {
+    /// Columns (within the operator output) forming the composite group key.
+    pub keys: Vec<usize>,
+    /// Aggregates to compute per group.
+    pub aggregates: Vec<Aggregate>,
+}
+
+/// The result of a multi-key aggregation: composite key (the key columns'
+/// values, in `keys` order) mapped to its group state, ordered by key — the
+/// ordered map makes the result independent of input delivery order.
+pub type GroupedResult = BTreeMap<Vec<Value>, GroupState>;
+
+/// Folds one batch into a running multi-key aggregation; the incremental
+/// form of [`aggregate_grouped`], mirroring [`fold_batch`].
+pub fn fold_batch_grouped(
+    groups: &mut GroupedResult,
+    batch: Batch,
+    filter: Option<&Predicate>,
+    spec: &GroupSpec,
+) {
+    let batch = match filter {
+        Some(pred) => batch.filter(&pred.mask(&batch)),
+        None => batch,
+    };
+    if batch.is_empty() {
+        return;
+    }
+    for row in 0..batch.len() {
+        let key: Vec<Value> = spec.keys.iter().map(|&c| batch.value(row, c)).collect();
+        let entry = groups
+            .entry(key)
+            .or_insert_with(|| new_group_state(&spec.aggregates));
+        accumulate_row(entry, &spec.aggregates, &batch, row);
+    }
+}
+
+/// Consumes `source`, applying `filter` (if any) and computing the
+/// multi-key aggregation `spec` — the GroupBy analogue of [`aggregate`].
+pub fn aggregate_grouped(
+    source: &mut dyn BatchSource,
+    filter: Option<Predicate>,
+    spec: &GroupSpec,
+) -> Result<GroupedResult> {
+    let mut groups: GroupedResult = BTreeMap::new();
+    while let Some(batch) = source.next_batch()? {
+        fold_batch_grouped(&mut groups, batch, filter.as_ref(), spec);
+    }
+    Ok(groups)
+}
+
+/// Merges partial multi-key aggregation results produced by parallel plan
+/// fragments — the GroupBy analogue of [`merge_aggregates`].
+pub fn merge_grouped(spec: &GroupSpec, partials: Vec<GroupedResult>) -> GroupedResult {
+    let mut merged: GroupedResult = BTreeMap::new();
+    for partial in partials {
+        for (key, state) in partial {
+            match merged.get_mut(&key) {
+                None => {
+                    merged.insert(key, state);
+                }
+                Some(existing) => merge_group_state(existing, &state, &spec.aggregates),
+            }
+        }
+    }
+    merged
+}
+
+// ---------------------------------------------------------------------------
+// Top-k selection
+// ---------------------------------------------------------------------------
+
+/// Sort direction of a [`TopKSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Smallest values first.
+    Asc,
+    /// Largest values first.
+    Desc,
+}
+
+/// A top-k selection: keep the `k` rows with the smallest (`Asc`) or
+/// largest (`Desc`) values in `column`, ties broken by full-row
+/// lexicographic order so the result is a deterministic function of the row
+/// multiset (out-of-order backends like Cooperative Scans cannot change it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKSpec {
+    /// Sort column (within the operator output).
+    pub column: usize,
+    /// Number of rows to keep.
+    pub k: usize,
+    /// Sort direction.
+    pub order: SortOrder,
+}
+
+impl TopKSpec {
+    /// The total order top-k sorts by: the sort column in the requested
+    /// direction, then the whole row ascending as a tie-break.
+    pub fn compare(&self, a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+        let primary = match self.order {
+            SortOrder::Asc => a[self.column].cmp(&b[self.column]),
+            SortOrder::Desc => b[self.column].cmp(&a[self.column]),
+        };
+        primary.then_with(|| a.cmp(b))
+    }
+}
+
+/// Streaming accumulator for a [`TopKSpec`]: rows are buffered and
+/// periodically compacted (sort + truncate to `k`), so memory stays
+/// O(k + batch) regardless of input size.
+#[derive(Debug)]
+pub struct TopKState {
+    spec: TopKSpec,
+    rows: Vec<Vec<Value>>,
+}
+
+impl TopKState {
+    /// A fresh accumulator for `spec`.
+    pub fn new(spec: TopKSpec) -> Self {
+        Self {
+            spec,
+            rows: Vec::new(),
+        }
+    }
+
+    fn compact(&mut self) {
+        let spec = self.spec;
+        self.rows.sort_unstable_by(|a, b| spec.compare(a, b));
+        self.rows.truncate(spec.k);
+    }
+
+    /// Feeds one batch of candidate rows.
+    pub fn push_batch(&mut self, batch: &Batch) {
+        self.rows.extend(batch.to_rows());
+        if self.rows.len() > self.spec.k.saturating_mul(2).max(1024) {
+            self.compact();
+        }
+    }
+
+    /// The final top-k rows, sorted by the spec's total order.
+    pub fn finish(mut self) -> Vec<Vec<Value>> {
+        self.compact();
+        self.rows
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast hash join
+// ---------------------------------------------------------------------------
+
+/// Accumulates the build side of a broadcast hash join: every build row is
+/// hashed on its key column. Finishing sorts each bucket so probe output is
+/// a deterministic function of the build row multiset.
+#[derive(Debug)]
+pub struct JoinBuild {
+    key: usize,
+    width: usize,
+    map: HashMap<Value, Vec<Vec<Value>>>,
+}
+
+impl JoinBuild {
+    /// A build accumulator over `width`-column rows keyed on column `key`.
+    pub fn new(key: usize, width: usize) -> Self {
+        assert!(key < width, "join key column out of range");
+        Self {
+            key,
+            width,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Hashes one batch of build rows into the table.
+    pub fn push_batch(&mut self, batch: &Batch) {
+        assert_eq!(batch.width(), self.width, "build batch width mismatch");
+        for row in 0..batch.len() {
+            let key = batch.value(row, self.key);
+            let full: Vec<Value> = (0..self.width).map(|c| batch.value(row, c)).collect();
+            self.map.entry(key).or_default().push(full);
+        }
+    }
+
+    /// Freezes the build side into a probe-ready [`JoinTable`], sorting
+    /// every bucket (build rows arrive in backend delivery order, which
+    /// Cooperative Scans permutes; the sort restores determinism).
+    pub fn finish(mut self) -> JoinTable {
+        for bucket in self.map.values_mut() {
+            bucket.sort_unstable();
+        }
+        JoinTable {
+            width: self.width,
+            map: self.map,
+        }
+    }
+}
+
+/// The frozen build side of a broadcast hash join, shared (`Arc`) by every
+/// probe fragment of the plan.
+#[derive(Debug)]
+pub struct JoinTable {
+    width: usize,
+    map: HashMap<Value, Vec<Vec<Value>>>,
+}
+
+impl JoinTable {
+    /// Number of build-side columns each output row carries.
+    pub fn build_width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of build rows in the table.
+    pub fn build_rows(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Probes one batch: every probe row is matched against the table on
+    /// `key_col` and emits one output row per matching build row (inner
+    /// join), laid out as probe columns followed by build columns.
+    pub fn probe(&self, batch: &Batch, key_col: usize) -> Batch {
+        let probe_width = batch.width();
+        let mut columns: Vec<Vec<Value>> = vec![Vec::new(); probe_width + self.width];
+        for row in 0..batch.len() {
+            let Some(bucket) = self.map.get(&batch.value(row, key_col)) else {
+                continue;
+            };
+            for build_row in bucket {
+                for (c, column) in columns.iter_mut().enumerate().take(probe_width) {
+                    column.push(batch.value(row, c));
+                }
+                for (c, &v) in build_row.iter().enumerate() {
+                    columns[probe_width + c].push(v);
+                }
+            }
+        }
+        Batch::new(columns)
+    }
+}
+
+/// A [`BatchSource`] adapter running the probe side of a broadcast hash
+/// join: applies the (pre-join) `filter` to each inner batch, probes the
+/// shared [`JoinTable`] and yields the joined batches. Wrapping the normal
+/// scan operator keeps the probe scan registered with the buffer-management
+/// backend — it shares pages, prunes via zone maps and yields at batch
+/// boundaries exactly like a plain scan.
+pub struct JoinSource {
+    inner: Box<dyn BatchSource + Send>,
+    table: Arc<JoinTable>,
+    key_col: usize,
+    filter: Option<Predicate>,
+}
+
+impl JoinSource {
+    /// Wraps `inner` (the probe scan) with a probe against `table` on
+    /// `inner`'s column `key_col`; `filter` is applied before probing.
+    pub fn new(
+        inner: Box<dyn BatchSource + Send>,
+        table: Arc<JoinTable>,
+        key_col: usize,
+        filter: Option<Predicate>,
+    ) -> Self {
+        Self {
+            inner,
+            table,
+            key_col,
+            filter,
+        }
+    }
+}
+
+impl std::fmt::Debug for JoinSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinSource")
+            .field("key_col", &self.key_col)
+            .field("build_width", &self.table.build_width())
+            .finish()
+    }
+}
+
+impl BatchSource for JoinSource {
+    fn width(&self) -> usize {
+        self.inner.width() + self.table.build_width()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let Some(batch) = self.inner.next_batch()? else {
+            return Ok(None);
+        };
+        let batch = match &self.filter {
+            Some(pred) => batch.filter(&pred.mask(&batch)),
+            None => batch,
+        };
+        Ok(Some(self.table.probe(&batch, self.key_col)))
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +664,162 @@ mod tests {
         assert_eq!(merged[&1].count, 3);
         assert_eq!(merged[&1].accumulators, vec![35, 3, 5]);
         assert_eq!(merged[&2].accumulators, vec![7, 1, 7]);
+    }
+
+    #[test]
+    fn multi_key_grouping_matches_hand_computation() {
+        // Columns: key (0/1), value. Group by (key, value % nothing) —
+        // use both columns as the composite key on a small source.
+        let spec = GroupSpec {
+            keys: vec![0, 1],
+            aggregates: vec![Aggregate::Count, Aggregate::Sum(1)],
+        };
+        let mut src = VecSource::new(
+            2,
+            vec![Batch::new(vec![vec![0, 0, 1, 0], vec![10, 10, 10, 20]])],
+        );
+        let result = aggregate_grouped(&mut src, None, &spec).unwrap();
+        assert_eq!(result.len(), 3);
+        assert_eq!(result[&vec![0, 10]].accumulators, vec![2, 20]);
+        assert_eq!(result[&vec![0, 20]].accumulators, vec![1, 20]);
+        assert_eq!(result[&vec![1, 10]].accumulators, vec![1, 10]);
+    }
+
+    #[test]
+    fn merge_grouped_equals_single_pass() {
+        let spec = GroupSpec {
+            keys: vec![0],
+            aggregates: vec![Aggregate::Sum(1), Aggregate::Min(1), Aggregate::Max(1)],
+        };
+        let filter = Some(Predicate::new(1, CompareOp::Le, 50));
+        let whole = aggregate_grouped(&mut source(), filter, &spec).unwrap();
+        let mut p1 = VecSource::new(
+            2,
+            vec![Batch::new(vec![vec![0, 1, 0, 1], vec![10, 20, 30, 40]])],
+        );
+        let mut p2 = VecSource::new(2, vec![Batch::new(vec![vec![1, 0], vec![50, 60]])]);
+        let merged = merge_grouped(
+            &spec,
+            vec![
+                aggregate_grouped(&mut p1, filter, &spec).unwrap(),
+                aggregate_grouped(&mut p2, filter, &spec).unwrap(),
+            ],
+        );
+        assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn top_k_is_arrival_order_independent() {
+        let spec = TopKSpec {
+            column: 1,
+            k: 3,
+            order: SortOrder::Desc,
+        };
+        let rows = [
+            vec![1, 40],
+            vec![2, 40], // tied on the sort column
+            vec![3, 10],
+            vec![4, 60],
+            vec![5, 40],
+        ];
+        let run = |ordering: &[usize]| {
+            let mut state = TopKState::new(spec);
+            for &i in ordering {
+                state.push_batch(&Batch::from_rows(2, &[rows[i].clone()]));
+            }
+            state.finish()
+        };
+        let forward = run(&[0, 1, 2, 3, 4]);
+        let backward = run(&[4, 3, 2, 1, 0]);
+        assert_eq!(forward, backward);
+        // 60 first, then the tied 40s in full-row lexicographic order.
+        assert_eq!(forward, vec![vec![4, 60], vec![1, 40], vec![2, 40]]);
+    }
+
+    #[test]
+    fn top_k_compaction_keeps_results_exact() {
+        let spec = TopKSpec {
+            column: 0,
+            k: 5,
+            order: SortOrder::Asc,
+        };
+        let mut state = TopKState::new(spec);
+        // Feed enough rows (descending) to trigger many compactions.
+        for chunk in (0..5000i64).rev().collect::<Vec<_>>().chunks(97) {
+            let rows: Vec<Vec<Value>> = chunk.iter().map(|&v| vec![v, v * 2]).collect();
+            state.push_batch(&Batch::from_rows(2, &rows));
+        }
+        let result = state.finish();
+        let expected: Vec<Vec<Value>> = (0..5).map(|v| vec![v, v * 2]).collect();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn top_k_shorter_input_returns_everything_sorted() {
+        let spec = TopKSpec {
+            column: 0,
+            k: 10,
+            order: SortOrder::Asc,
+        };
+        let mut state = TopKState::new(spec);
+        state.push_batch(&Batch::new(vec![vec![3, 1, 2]]));
+        assert_eq!(state.finish(), vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn join_probe_emits_probe_then_build_columns() {
+        // Build: (key, name) — two rows share key 7 (a one-to-many join).
+        let mut build = JoinBuild::new(0, 2);
+        build.push_batch(&Batch::new(vec![vec![7, 8, 7], vec![70, 80, 71]]));
+        let table = build.finish();
+        assert_eq!(table.build_width(), 2);
+        assert_eq!(table.build_rows(), 3);
+        // Probe: (key, qty); key 9 has no match and is dropped.
+        let probe = Batch::new(vec![vec![7, 9, 8], vec![1, 2, 3]]);
+        let out = table.probe(&probe, 0);
+        assert_eq!(out.width(), 4);
+        // Buckets are sorted: (7,70) before (7,71).
+        assert_eq!(
+            out.to_rows(),
+            vec![vec![7, 1, 7, 70], vec![7, 1, 7, 71], vec![8, 3, 8, 80],]
+        );
+    }
+
+    #[test]
+    fn join_build_bucket_order_is_delivery_order_independent() {
+        let rows = [vec![1, 30], vec![1, 10], vec![1, 20]];
+        let finish = |order: &[usize]| {
+            let mut build = JoinBuild::new(0, 2);
+            for &i in order {
+                build.push_batch(&Batch::from_rows(2, &[rows[i].clone()]));
+            }
+            build.finish()
+        };
+        let probe = Batch::new(vec![vec![1]]);
+        let a = finish(&[0, 1, 2]).probe(&probe, 0);
+        let b = finish(&[2, 0, 1]).probe(&probe, 0);
+        assert_eq!(a, b);
+        assert_eq!(a.column(2), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn join_source_filters_before_probing() {
+        let mut build = JoinBuild::new(0, 1);
+        build.push_batch(&Batch::new(vec![vec![0, 1]]));
+        let table = Arc::new(build.finish());
+        // Inner: (key, value); filter value > 15 before the probe.
+        let inner = VecSource::new(2, vec![Batch::new(vec![vec![0, 1, 2], vec![10, 20, 30]])]);
+        let mut source = JoinSource::new(
+            Box::new(inner),
+            table,
+            0,
+            Some(Predicate::new(1, CompareOp::Gt, 15)),
+        );
+        assert_eq!(source.width(), 3);
+        let batch = source.next_batch().unwrap().unwrap();
+        // Row (0,10) is filtered out; row (2,30) has no build match.
+        assert_eq!(batch.to_rows(), vec![vec![1, 20, 1]]);
+        assert!(source.next_batch().unwrap().is_none());
     }
 
     #[test]

@@ -28,8 +28,38 @@ use scanshare_common::{Error, Result, TableId, TupleRange};
 use scanshare_storage::datagen::Value;
 
 use crate::engine::Engine;
-use crate::ops::{aggregate, merge_aggregates, AggrResult, AggrSpec, BatchSource, Predicate};
+use crate::ops::{
+    aggregate, aggregate_grouped, merge_aggregates, merge_grouped, AggrResult, AggrSpec,
+    BatchSource, GroupSpec, GroupedResult, JoinBuild, JoinSource, JoinTable, Predicate, SortOrder,
+    TopKSpec, TopKState,
+};
 use crate::txn::TablePin;
+
+/// The join clause of a [`Query`]: a broadcast hash join against another
+/// table. The build side (the other table) is fully scanned and hashed
+/// before the probe side opens; the probe side is the query's own scan.
+#[derive(Debug, Clone)]
+pub(crate) struct JoinClause {
+    /// The build-side table.
+    pub table: TableId,
+    /// Probe-projection column index joined against the build key.
+    pub left_col: usize,
+    /// Build-side join key column (by name).
+    pub right_col: String,
+    /// Extra build-side columns carried into the join output after the key.
+    pub extra_columns: Vec<String>,
+}
+
+impl JoinClause {
+    /// The build-side projection: the key column first, then the extras —
+    /// the layout the join output appends after the probe columns.
+    pub fn build_columns(&self) -> Vec<&str> {
+        let mut columns = Vec::with_capacity(1 + self.extra_columns.len());
+        columns.push(self.right_col.as_str());
+        columns.extend(self.extra_columns.iter().map(String::as_str));
+        columns
+    }
+}
 
 /// A query under construction; see the [module docs](self) for the clause
 /// semantics. Created with [`Engine::query`] (reading the committed state)
@@ -51,6 +81,13 @@ pub struct Query {
     end: Option<u64>,
     filter: Option<Predicate>,
     aggregate: Option<AggrSpec>,
+    group_keys: Option<Vec<usize>>,
+    top_k: Option<TopKSpec>,
+    join: Option<JoinClause>,
+    /// Extra build columns from [`Query::join_columns`], merged into the
+    /// join clause at validation (calling it without a join is a plan
+    /// error, reported there).
+    join_extra: Option<Vec<String>>,
     parallelism: usize,
     in_order: bool,
 }
@@ -66,6 +103,10 @@ impl Query {
             end: None,
             filter: None,
             aggregate: None,
+            group_keys: None,
+            top_k: None,
+            join: None,
+            join_extra: None,
             parallelism: 1,
             in_order: false,
         }
@@ -126,6 +167,54 @@ impl Query {
         self
     }
 
+    /// Groups by the composite key formed by `keys` (column indices within
+    /// the operator output — the joined row when a [`Query::join`] is
+    /// present). Combine with [`Query::aggregate`] (a global [`AggrSpec`]
+    /// supplying the per-group aggregates) and execute with
+    /// [`Query::run_grouped`].
+    pub fn group_by(mut self, keys: &[usize]) -> Self {
+        self.group_keys = Some(keys.to_vec());
+        self
+    }
+
+    /// Keeps only the `k` rows with the smallest (`Asc`) or largest
+    /// (`Desc`) values in `column` (an operator-output index), value ties
+    /// broken by full-row lexicographic order so the result is independent
+    /// of delivery order. Consumed by [`Query::rows`].
+    pub fn top_k(mut self, column: usize, k: usize, order: SortOrder) -> Self {
+        self.top_k = Some(TopKSpec { column, k, order });
+        self
+    }
+
+    /// Joins the scanned rows against `table` with a broadcast hash join:
+    /// `table` is fully scanned (key column `right_col` plus any
+    /// [`Query::join_columns`]) and hashed up front, then the query's own
+    /// scan streams through the probe. Output rows are the probe projection
+    /// followed by the build key and the extra build columns; downstream
+    /// aggregate / group-by / top-k indices refer to that joined layout,
+    /// while [`Query::filter`] keeps referring to the probe projection (it
+    /// is applied before the probe).
+    pub fn join(mut self, table: TableId, left_col: usize, right_col: impl Into<String>) -> Self {
+        self.join = Some(JoinClause {
+            table,
+            left_col,
+            right_col: right_col.into(),
+            extra_columns: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds build-side columns (beyond the join key) to the join output;
+    /// requires a preceding [`Query::join`].
+    pub fn join_columns<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.join_extra = Some(columns.into_iter().map(Into::into).collect());
+        self
+    }
+
     /// Parallelizes the plan over `workers` threads using static range
     /// partitioning (Equation 1). Defaults to 1 (inline execution).
     pub fn parallelism(mut self, workers: usize) -> Self {
@@ -141,7 +230,7 @@ impl Query {
         self
     }
 
-    fn validate(&self) -> Result<()> {
+    fn validate(&mut self) -> Result<()> {
         if self.columns.is_empty() {
             return Err(Error::plan(
                 "query selects no columns; call .columns([...]) with at least one column name",
@@ -150,7 +239,37 @@ impl Query {
         if self.parallelism == 0 {
             return Err(Error::plan("query parallelism must be at least 1"));
         }
+        if let Some(extra) = self.join_extra.take() {
+            match self.join.as_mut() {
+                Some(join) => join.extra_columns = extra,
+                None => {
+                    return Err(Error::plan(
+                        "join_columns without a join; call .join(table, left, right) first",
+                    ))
+                }
+            }
+        }
+        if let Some(join) = &self.join {
+            if join.left_col >= self.columns.len() {
+                return Err(Error::plan(format!(
+                    "join key column {} is outside the {}-column probe projection",
+                    join.left_col,
+                    self.columns.len()
+                )));
+            }
+        }
         Ok(())
+    }
+
+    /// The width of the operator output rows: the probe projection plus, in
+    /// join plans, the build key and extra build columns.
+    fn output_width(&self) -> usize {
+        self.columns.len()
+            + self
+                .join
+                .as_ref()
+                .map(|j| 1 + j.extra_columns.len())
+                .unwrap_or(0)
     }
 
     /// Pins the table's published state unless the query already carries a
@@ -175,7 +294,7 @@ impl Query {
         self.columns.iter().map(String::as_str).collect()
     }
 
-    fn open_scan(&self, range: TupleRange) -> Result<Box<dyn BatchSource + Send>> {
+    pub(crate) fn open_scan(&self, range: TupleRange) -> Result<Box<dyn BatchSource + Send>> {
         let columns = self.column_refs();
         let pin = self
             .pin
@@ -183,6 +302,64 @@ impl Query {
             .expect("resolve_range pinned the table before any scan opens");
         self.engine
             .scan_pinned(pin, &columns, range, self.in_order, self.filter.as_ref())
+    }
+
+    /// Opens the build-side scan of the join clause: a full scan of the
+    /// build table's key + extra columns through a fresh pin. The scan
+    /// registers with the backend like any other; dropping the returned
+    /// source unregisters it — the caller drains it fully *before* opening
+    /// any probe scan, which is what makes the join "broadcast": one
+    /// build pass, shared by every probe fragment.
+    pub(crate) fn open_build_scan(&self) -> Result<Box<dyn BatchSource + Send>> {
+        let join = self.join.as_ref().expect("caller checked the join clause");
+        let columns = join.build_columns();
+        let pin = self.engine.table_pin(join.table)?;
+        let range = TupleRange::new(0, pin.visible_rows());
+        self.engine.scan_pinned(pin, &columns, range, false, None)
+    }
+
+    /// Fully builds the join hash table (register → drain → unregister the
+    /// build scan) for the inline execution paths. The cooperative path
+    /// drains the same scan incrementally inside
+    /// [`QueryTask`](crate::sched::QueryTask).
+    fn build_join_table(&self) -> Result<Arc<JoinTable>> {
+        let join = self.join.as_ref().expect("caller checked the join clause");
+        let mut scan = self.open_build_scan()?;
+        let mut build = JoinBuild::new(0, 1 + join.extra_columns.len());
+        while let Some(batch) = scan.next_batch()? {
+            build.push_batch(&batch);
+        }
+        Ok(Arc::new(build.finish()))
+    }
+
+    /// Wraps a probe scan with the join probe when the query has a join
+    /// clause (applying the filter pre-join), or leaves it untouched.
+    /// Returns the filter the *downstream* operators should apply: `None`
+    /// once the join source has consumed it.
+    pub(crate) fn wrap_probe(
+        &self,
+        scan: Box<dyn BatchSource + Send>,
+        table: Option<&Arc<JoinTable>>,
+    ) -> Box<dyn BatchSource + Send> {
+        match (table, self.join.as_ref()) {
+            (Some(table), Some(join)) => Box::new(JoinSource::new(
+                scan,
+                Arc::clone(table),
+                join.left_col,
+                self.filter,
+            )),
+            _ => scan,
+        }
+    }
+
+    /// The filter the operators above the (possibly join-wrapped) scan
+    /// apply: the join source already applied it pre-probe.
+    fn downstream_filter(&self) -> Option<Predicate> {
+        if self.join.is_some() {
+            None
+        } else {
+            self.filter
+        }
     }
 
     /// Executes the query and returns the aggregation result.
@@ -194,14 +371,25 @@ impl Query {
     /// backend), and the partials are merged by an upper aggregation.
     pub fn run(mut self) -> Result<AggrResult> {
         self.validate()?;
+        if self.group_keys.is_some() {
+            return Err(Error::plan(
+                "query has group_by keys; use .run_grouped() instead of .run()",
+            ));
+        }
+        if self.top_k.is_some() {
+            return Err(Error::plan("top_k applies to .rows(), not .run()"));
+        }
         let spec = self.aggregate.clone().ok_or_else(|| {
             Error::plan("query has no aggregate; call .aggregate(...) or use .rows()")
         })?;
         let range = self.resolve_range()?;
+        let join = self.join_table_if_any()?;
+        let filter = self.downstream_filter();
 
         if self.parallelism == 1 || range.len() < self.parallelism as u64 {
-            let mut scan = self.open_scan(range)?;
-            return aggregate(scan.as_mut(), self.filter, &spec);
+            let scan = self.open_scan(range)?;
+            let mut scan = self.wrap_probe(scan, join.as_ref());
+            return aggregate(scan.as_mut(), filter, &spec);
         }
 
         let parts = range.split_even(self.parallelism);
@@ -212,10 +400,12 @@ impl Query {
                 .map(|part| {
                     let query = &self;
                     let spec = &spec;
+                    let join = &join;
                     let part = *part;
                     scope.spawn(move || {
-                        let mut scan = query.open_scan(part)?;
-                        aggregate(scan.as_mut(), query.filter, spec)
+                        let scan = query.open_scan(part)?;
+                        let mut scan = query.wrap_probe(scan, join.as_ref());
+                        aggregate(scan.as_mut(), filter, spec)
                     })
                 })
                 .collect();
@@ -230,6 +420,88 @@ impl Query {
             results.push(partial?);
         }
         Ok(merge_aggregates(&spec, results))
+    }
+
+    /// Executes a multi-key grouped aggregation: requires [`Query::group_by`]
+    /// keys and a *global* [`Query::aggregate`] spec supplying the per-group
+    /// aggregates. Parallelized exactly like [`Query::run`] (partial
+    /// grouped aggregates per Equation-1 range part, merged by an upper
+    /// GroupBy).
+    pub fn run_grouped(mut self) -> Result<GroupedResult> {
+        self.validate()?;
+        if self.top_k.is_some() {
+            return Err(Error::plan("top_k applies to .rows(), not .run_grouped()"));
+        }
+        let keys = self.group_keys.clone().ok_or_else(|| {
+            Error::plan("run_grouped without group keys; call .group_by(&[...]) first")
+        })?;
+        let aggr = self.aggregate.clone().ok_or_else(|| {
+            Error::plan("run_grouped needs aggregates; call .aggregate(AggrSpec::global(...))")
+        })?;
+        if aggr.group_by.is_some() {
+            return Err(Error::plan(
+                "run_grouped takes its keys from .group_by(); pass a global AggrSpec",
+            ));
+        }
+        let width = self.output_width();
+        if let Some(&bad) = keys.iter().find(|&&k| k >= width) {
+            return Err(Error::plan(format!(
+                "group key column {bad} is outside the {width}-column operator output"
+            )));
+        }
+        let spec = GroupSpec {
+            keys,
+            aggregates: aggr.aggregates,
+        };
+        let range = self.resolve_range()?;
+        let join = self.join_table_if_any()?;
+        let filter = self.downstream_filter();
+
+        if self.parallelism == 1 || range.len() < self.parallelism as u64 {
+            let scan = self.open_scan(range)?;
+            let mut scan = self.wrap_probe(scan, join.as_ref());
+            return aggregate_grouped(scan.as_mut(), filter, &spec);
+        }
+
+        let parts = range.split_even(self.parallelism);
+        let partials: Vec<Result<GroupedResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .filter(|part| !part.is_empty())
+                .map(|part| {
+                    let query = &self;
+                    let spec = &spec;
+                    let join = &join;
+                    let part = *part;
+                    scope.spawn(move || {
+                        let scan = query.open_scan(part)?;
+                        let mut scan = query.wrap_probe(scan, join.as_ref());
+                        aggregate_grouped(scan.as_mut(), filter, spec)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+
+        let mut results = Vec::with_capacity(partials.len());
+        for partial in partials {
+            results.push(partial?);
+        }
+        Ok(merge_grouped(&spec, results))
+    }
+
+    /// Builds the join hash table when the query has a join clause; `None`
+    /// otherwise. Must run after `resolve_range` (probe pinned) and before
+    /// any probe scan opens, so the backend sees the paper-shaped sequence:
+    /// build scan registers, drains and unregisters first.
+    fn join_table_if_any(&self) -> Result<Option<Arc<JoinTable>>> {
+        match self.join {
+            Some(_) => Ok(Some(self.build_join_table()?)),
+            None => Ok(None),
+        }
     }
 
     /// Lowers the query onto the task scheduler instead of executing it
@@ -247,17 +519,41 @@ impl Query {
     /// parallelism comes from running many tasks, and from work stealing.
     pub fn into_task(mut self) -> Result<crate::sched::QueryTask> {
         self.validate()?;
+        if self.group_keys.is_some() || self.top_k.is_some() {
+            return Err(Error::plan(
+                "the task path computes aggregates; group_by/top_k plans run inline",
+            ));
+        }
         let spec = self.aggregate.clone().ok_or_else(|| {
             Error::plan("query has no aggregate; call .aggregate(...) or use .rows()")
         })?;
         let range = self.resolve_range()?;
-        let parts = if self.parallelism == 1 || range.len() < self.parallelism as u64 {
-            vec![range]
-        } else {
-            range.split_even(self.parallelism)
-        };
+        let parts: Vec<TupleRange> =
+            if self.parallelism == 1 || range.len() < self.parallelism as u64 {
+                vec![range]
+            } else {
+                range.split_even(self.parallelism)
+            }
+            .into_iter()
+            .filter(|part| !part.is_empty())
+            .collect();
+
+        if let Some(join) = &self.join {
+            // Join plans defer the probe: the task drains the build scan
+            // cooperatively (a bounded number of batches per quantum), and
+            // only once it finishes — build scan unregistered, hash table
+            // frozen — do the probe scans open. The backend therefore sees
+            // the same register/drain/unregister-then-probe sequence as the
+            // inline path, just interleaved with other sessions.
+            let build_scan = self.open_build_scan()?;
+            let build = JoinBuild::new(0, 1 + join.extra_columns.len());
+            return Ok(crate::sched::QueryTask::with_join(
+                build_scan, build, self, parts, spec,
+            ));
+        }
+
         let mut scans = Vec::with_capacity(parts.len());
-        for part in parts.into_iter().filter(|part| !part.is_empty()) {
+        for part in parts {
             scans.push(self.open_scan(part)?);
         }
         Ok(crate::sched::QueryTask::new(scans, self.filter, spec))
@@ -269,17 +565,49 @@ impl Query {
     /// result inspection, not for the throughput paths.
     pub fn rows(mut self) -> Result<Vec<Vec<Value>>> {
         self.validate()?;
-        let range = self.resolve_range()?;
-        let mut scan = self.open_scan(range)?;
-        let mut rows = Vec::new();
-        while let Some(batch) = scan.next_batch()? {
-            let batch = match &self.filter {
-                Some(predicate) => batch.filter(&predicate.mask(&batch)),
-                None => batch,
-            };
-            rows.extend(batch.to_rows());
+        if self.group_keys.is_some() {
+            return Err(Error::plan(
+                "query has group_by keys; use .run_grouped() instead of .rows()",
+            ));
         }
-        Ok(rows)
+        if let Some(top_k) = &self.top_k {
+            let width = self.output_width();
+            if top_k.column >= width {
+                return Err(Error::plan(format!(
+                    "top_k column {} is outside the {width}-column operator output",
+                    top_k.column
+                )));
+            }
+        }
+        let range = self.resolve_range()?;
+        let join = self.join_table_if_any()?;
+        let filter = self.downstream_filter();
+        let scan = self.open_scan(range)?;
+        let mut scan = self.wrap_probe(scan, join.as_ref());
+        match self.top_k {
+            Some(spec) => {
+                let mut state = TopKState::new(spec);
+                while let Some(batch) = scan.next_batch()? {
+                    let batch = match &filter {
+                        Some(predicate) => batch.filter(&predicate.mask(&batch)),
+                        None => batch,
+                    };
+                    state.push_batch(&batch);
+                }
+                Ok(state.finish())
+            }
+            None => {
+                let mut rows = Vec::new();
+                while let Some(batch) = scan.next_batch()? {
+                    let batch = match &filter {
+                        Some(predicate) => batch.filter(&predicate.mask(&batch)),
+                        None => batch,
+                    };
+                    rows.extend(batch.to_rows());
+                }
+                Ok(rows)
+            }
+        }
     }
 }
 
@@ -337,6 +665,95 @@ mod tests {
             0,
             vec![Aggregate::Sum(1), Aggregate::Sum(2), Aggregate::Count],
         )
+    }
+
+    /// Like [`engine`], plus a small dimension table `part` whose `p_key`
+    /// column cycles over the same 0..=3 domain as `l_flag`, so
+    /// `lineitem.l_flag = part.p_key` is a one-to-many broadcast join
+    /// (each key matches `dim_tuples / 4` build rows).
+    fn engine_with_dim(
+        policy: PolicyKind,
+        tuples: u64,
+        dim_tuples: u64,
+    ) -> (Arc<Engine>, TableId, TableId) {
+        let storage = Storage::with_seed(1024, 500, 13);
+        let spec = TableSpec::new(
+            "lineitem",
+            vec![
+                ColumnSpec::with_width("l_flag", ColumnType::Dict { cardinality: 4 }, 1.0),
+                ColumnSpec::with_width("l_quantity", ColumnType::Decimal, 4.0),
+                ColumnSpec::with_width("l_price", ColumnType::Decimal, 4.0),
+            ],
+            tuples,
+        );
+        let table = storage
+            .create_table_with_data(
+                spec,
+                vec![
+                    DataGen::Cyclic {
+                        period: 4,
+                        min: 0,
+                        max: 3,
+                    },
+                    DataGen::Uniform { min: 1, max: 50 },
+                    DataGen::Uniform {
+                        min: 100,
+                        max: 10_000,
+                    },
+                ],
+            )
+            .unwrap();
+        let dim_spec = TableSpec::new(
+            "part",
+            vec![
+                ColumnSpec::with_width("p_key", ColumnType::Dict { cardinality: 4 }, 1.0),
+                ColumnSpec::with_width("p_weight", ColumnType::Decimal, 4.0),
+            ],
+            dim_tuples,
+        );
+        let dim = storage
+            .create_table_with_data(
+                dim_spec,
+                vec![
+                    DataGen::Cyclic {
+                        period: 4,
+                        min: 0,
+                        max: 3,
+                    },
+                    DataGen::Uniform { min: 1, max: 9 },
+                ],
+            )
+            .unwrap();
+        let config = ScanShareConfig {
+            page_size_bytes: 1024,
+            chunk_tuples: 500,
+            buffer_pool_bytes: 256 * 1024,
+            policy,
+            threads_per_query: 4,
+            ..Default::default()
+        };
+        (Engine::new(storage, config).unwrap(), table, dim)
+    }
+
+    /// Reference nested-loop join of the two test tables' raw rows:
+    /// (probe columns..., build key, build extras...) for every matching
+    /// pair, used to check the hash join against first principles.
+    fn nested_loop_join(
+        probe: &[Vec<Value>],
+        build: &[Vec<Value>],
+        left_col: usize,
+    ) -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        for p in probe {
+            for b in build {
+                if p[left_col] == b[0] {
+                    let mut row = p.clone();
+                    row.extend(b.iter().copied());
+                    out.push(row);
+                }
+            }
+        }
+        out
     }
 
     #[test]
@@ -488,6 +905,234 @@ mod tests {
         assert_eq!(parts[7], TupleRange::new(875, 1000));
         let covered: u64 = parts.iter().map(TupleRange::len).sum();
         assert_eq!(covered, 1000);
+    }
+
+    #[test]
+    fn join_matches_the_nested_loop_reference() {
+        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+            let (engine, lineitem, part) = engine_with_dim(policy, 600, 8);
+            let probe_rows = engine
+                .query(lineitem)
+                .columns(["l_flag", "l_quantity"])
+                .filter(Predicate::new(1, CompareOp::Le, 24))
+                .in_order()
+                .rows()
+                .unwrap();
+            let build_rows = engine
+                .query(part)
+                .columns(["p_key", "p_weight"])
+                .in_order()
+                .rows()
+                .unwrap();
+            let mut expected = nested_loop_join(&probe_rows, &build_rows, 0);
+            expected.sort_unstable();
+            let mut joined = engine
+                .query(lineitem)
+                .columns(["l_flag", "l_quantity"])
+                .filter(Predicate::new(1, CompareOp::Le, 24))
+                .join(part, 0, "p_key")
+                .join_columns(["p_weight"])
+                .rows()
+                .unwrap();
+            joined.sort_unstable();
+            assert_eq!(joined, expected, "policy {policy}");
+            // Each probe row matches dim_tuples/4 = 2 build rows.
+            assert_eq!(joined.len(), 2 * probe_rows.len(), "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn join_aggregates_are_parallelism_invariant() {
+        let (engine, lineitem, part) = engine_with_dim(PolicyKind::Pbm, 5000, 12);
+        let query = || {
+            engine
+                .query(lineitem)
+                .columns(["l_flag", "l_price"])
+                .join(part, 0, "p_key")
+                .join_columns(["p_weight"])
+                // Indices refer to the joined layout:
+                // 0=l_flag 1=l_price 2=p_key 3=p_weight.
+                .aggregate(AggrSpec::grouped(
+                    3,
+                    vec![Aggregate::Count, Aggregate::Sum(1)],
+                ))
+        };
+        let sequential = query().run().unwrap();
+        let parallel = query().parallelism(4).run().unwrap();
+        assert_eq!(sequential, parallel);
+        let total: u64 = sequential.values().map(|g| g.count).sum();
+        assert_eq!(total, 3 * 5000, "12 build rows / 4 keys = 3 matches each");
+    }
+
+    #[test]
+    fn join_task_path_matches_inline_run() {
+        let (engine, lineitem, part) = engine_with_dim(PolicyKind::Lru, 3000, 8);
+        let query = || {
+            engine
+                .query(lineitem)
+                .columns(["l_flag", "l_quantity"])
+                .filter(Predicate::new(1, CompareOp::Le, 30))
+                .join(part, 0, "p_key")
+                .join_columns(["p_weight"])
+                .aggregate(AggrSpec::grouped(
+                    0,
+                    vec![Aggregate::Count, Aggregate::Sum(3)],
+                ))
+                .parallelism(2)
+        };
+        let inline = query().run().unwrap();
+        // Drive the cooperative form by hand: build quanta first, then the
+        // probe parts, exactly like a scheduler worker would.
+        use crate::sched::{Task, TaskStep};
+        let mut task = query().into_task().unwrap();
+        while !matches!(task.step().unwrap(), TaskStep::Done) {}
+        assert_eq!(task.into_result(), inline);
+    }
+
+    #[test]
+    fn group_by_multiple_keys_is_parallelism_invariant() {
+        let (engine, table) = engine(PolicyKind::Pbm, 4000);
+        let query = || {
+            engine
+                .query(table)
+                .columns(["l_flag", "l_quantity", "l_price"])
+                .filter(Predicate::new(2, CompareOp::Ge, 2000))
+                .group_by(&[0, 1])
+                .aggregate(AggrSpec::global(vec![
+                    Aggregate::Count,
+                    Aggregate::Sum(2),
+                    Aggregate::Min(2),
+                ]))
+        };
+        let sequential = query().run_grouped().unwrap();
+        let parallel = query().parallelism(4).run_grouped().unwrap();
+        assert_eq!(sequential, parallel);
+        assert!(sequential.len() > 4, "composite keys outnumber l_flag");
+        for (key, group) in &sequential {
+            assert_eq!(key.len(), 2);
+            assert!(group.count > 0);
+        }
+        // Single-key grouping through the new path agrees with AggrSpec.
+        let single = engine
+            .query(table)
+            .columns(["l_flag", "l_price"])
+            .group_by(&[0])
+            .aggregate(AggrSpec::global(vec![Aggregate::Sum(1)]))
+            .run_grouped()
+            .unwrap();
+        let via_aggr = engine
+            .query(table)
+            .columns(["l_flag", "l_price"])
+            .aggregate(AggrSpec::grouped(0, vec![Aggregate::Sum(1)]))
+            .run()
+            .unwrap();
+        for (key, group) in &via_aggr {
+            assert_eq!(single[&vec![*key]].accumulators, group.accumulators);
+        }
+    }
+
+    #[test]
+    fn top_k_rows_are_policy_and_order_invariant() {
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+            let (engine, table) = engine(policy, 3000);
+            // No in_order(): CScan delivers out of order, the top-k total
+            // order must absorb that.
+            let top = engine
+                .query(table)
+                .columns(["l_price", "l_quantity"])
+                .top_k(0, 25, SortOrder::Desc)
+                .rows()
+                .unwrap();
+            assert_eq!(top.len(), 25);
+            for pair in top.windows(2) {
+                assert!(pair[0][0] >= pair[1][0], "descending by l_price");
+            }
+            match &reference {
+                None => reference = Some(top),
+                Some(expected) => assert_eq!(expected, &top, "policy {policy}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_plan_errors_are_descriptive() {
+        let (engine, lineitem, part) = engine_with_dim(PolicyKind::Lru, 100, 8);
+        let orphan_join_columns = engine
+            .query(lineitem)
+            .columns(["l_flag"])
+            .join_columns(["p_weight"])
+            .rows();
+        assert!(matches!(
+            orphan_join_columns.unwrap_err(),
+            Error::InvalidPlan(_)
+        ));
+
+        let join_key_out_of_range = engine
+            .query(lineitem)
+            .columns(["l_flag"])
+            .join(part, 5, "p_key")
+            .rows();
+        assert!(matches!(
+            join_key_out_of_range.unwrap_err(),
+            Error::InvalidPlan(_)
+        ));
+
+        let grouped_run = engine
+            .query(lineitem)
+            .columns(["l_flag"])
+            .group_by(&[0])
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .run();
+        assert!(matches!(grouped_run.unwrap_err(), Error::InvalidPlan(_)));
+
+        let grouped_spec_clash = engine
+            .query(lineitem)
+            .columns(["l_flag"])
+            .group_by(&[0])
+            .aggregate(AggrSpec::grouped(0, vec![Aggregate::Count]))
+            .run_grouped();
+        assert!(matches!(
+            grouped_spec_clash.unwrap_err(),
+            Error::InvalidPlan(_)
+        ));
+
+        let group_key_out_of_range = engine
+            .query(lineitem)
+            .columns(["l_flag"])
+            .group_by(&[3])
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .run_grouped();
+        assert!(matches!(
+            group_key_out_of_range.unwrap_err(),
+            Error::InvalidPlan(_)
+        ));
+
+        let top_k_in_run = engine
+            .query(lineitem)
+            .columns(["l_flag"])
+            .top_k(0, 5, SortOrder::Asc)
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .run();
+        assert!(matches!(top_k_in_run.unwrap_err(), Error::InvalidPlan(_)));
+
+        let top_k_out_of_range = engine
+            .query(lineitem)
+            .columns(["l_flag"])
+            .top_k(7, 5, SortOrder::Asc)
+            .rows();
+        assert!(matches!(
+            top_k_out_of_range.unwrap_err(),
+            Error::InvalidPlan(_)
+        ));
+
+        let task_group = engine
+            .query(lineitem)
+            .columns(["l_flag"])
+            .group_by(&[0])
+            .aggregate(AggrSpec::global(vec![Aggregate::Count]))
+            .into_task();
+        assert!(matches!(task_group.unwrap_err(), Error::InvalidPlan(_)));
     }
 
     #[test]

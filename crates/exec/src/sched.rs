@@ -30,7 +30,7 @@
 //! its handle with [`TaskOutcome::Panicked`] and the worker moves on, the
 //! cooperative analogue of the driver's caught stream panics.
 //!
-//! [`QueryTask`] lowers a builder [`Query`](crate::query::Query) onto the
+//! [`QueryTask`] lowers a builder [`Query`] onto the
 //! scheduler: the query's RID range is split into `parallelism` parts
 //! (Equation 1) forming the *per-query task queue*; each quantum produces
 //! batches from the front part and rotates it to the back, so one session
@@ -51,7 +51,10 @@ use std::thread::JoinHandle;
 use scanshare_common::sync::Mutex;
 use scanshare_common::{Error, Result};
 
-use crate::ops::{fold_batch, AggrResult, AggrSpec, BatchSource, Predicate};
+use scanshare_common::TupleRange;
+
+use crate::ops::{fold_batch, AggrResult, AggrSpec, BatchSource, JoinBuild, Predicate};
+use crate::query::Query;
 
 /// How many scan batches a [`QueryTask`] produces per scheduler quantum
 /// before yielding. With the operator's 1024-tuple batches this makes a
@@ -479,7 +482,22 @@ struct ScanPart {
     scan: Box<dyn BatchSource + Send>,
 }
 
-/// A builder [`Query`](crate::query::Query) lowered onto the scheduler: the
+/// The deferred join-build phase of a [`QueryTask`]: the build scan is
+/// drained cooperatively (at most [`BATCHES_PER_QUANTUM`] batches per
+/// quantum); when it runs dry the hash table is frozen, the build scan is
+/// dropped (unregistering it from the backend) and the probe scans open —
+/// the same build-then-probe sequence as the inline `Query::run` path.
+struct JoinPhase {
+    scan: Box<dyn BatchSource + Send>,
+    build: JoinBuild,
+    /// The probe query, pin already resolved; opens the probe scans once
+    /// the build finishes.
+    probe: Query,
+    /// The Equation-1 probe range parts still to open.
+    parts: Vec<TupleRange>,
+}
+
+/// A builder [`Query`] lowered onto the scheduler: the
 /// morsel-driven form of [`Query::run`](crate::query::Query::run).
 ///
 /// The query's RID range is split into `parallelism` parts exactly like the
@@ -488,11 +506,15 @@ struct ScanPart {
 /// front part, folds them into the running aggregation
 /// ([`fold_batch`] — equivalent to the
 /// partial-aggregate-then-merge of the exchange plan, since every supported
-/// aggregate commutes), rotates the part to the back and yields. Obtain one
+/// aggregate commutes), rotates the part to the back and yields. A join
+/// plan first drains its build scan through a `JoinPhase`, one quantum at
+/// a time, before the probe parts open. Obtain one
 /// with [`Query::into_task`](crate::query::Query::into_task), run it with
 /// [`TaskScheduler::spawn`], and take the result from the finished task
 /// with [`QueryTask::into_result`].
 pub struct QueryTask {
+    /// `Some` while a join plan is still draining its build side.
+    join: Option<JoinPhase>,
     parts: VecDeque<ScanPart>,
     filter: Option<Predicate>,
     spec: AggrSpec,
@@ -515,8 +537,34 @@ impl QueryTask {
         spec: AggrSpec,
     ) -> Self {
         Self {
+            join: None,
             parts: parts.into_iter().map(|scan| ScanPart { scan }).collect(),
             filter,
+            spec,
+            groups: AggrResult::new(),
+        }
+    }
+
+    /// A join plan lowered onto the scheduler: `scan` is the already-open
+    /// build scan, `probe` the query (pin resolved) whose probe scans open
+    /// over `parts` once the build completes. The probe filter is applied
+    /// inside the join source, so the fold filter stays `None`.
+    pub(crate) fn with_join(
+        scan: Box<dyn BatchSource + Send>,
+        build: JoinBuild,
+        probe: Query,
+        parts: Vec<TupleRange>,
+        spec: AggrSpec,
+    ) -> Self {
+        Self {
+            join: Some(JoinPhase {
+                scan,
+                build,
+                probe,
+                parts,
+            }),
+            parts: VecDeque::new(),
+            filter: None,
             spec,
             groups: AggrResult::new(),
         }
@@ -536,6 +584,28 @@ impl QueryTask {
 
 impl Task for QueryTask {
     fn step(&mut self) -> Result<TaskStep> {
+        if let Some(phase) = self.join.as_mut() {
+            for _ in 0..BATCHES_PER_QUANTUM {
+                match phase.scan.next_batch()? {
+                    Some(batch) => phase.build.push_batch(&batch),
+                    None => {
+                        // Build exhausted: unregister the build scan first
+                        // (dropping its operator), then open the probes.
+                        let phase = self.join.take().expect("checked above");
+                        drop(phase.scan);
+                        let table = std::sync::Arc::new(phase.build.finish());
+                        for part in phase.parts {
+                            let scan = phase.probe.open_scan(part)?;
+                            self.parts.push_back(ScanPart {
+                                scan: phase.probe.wrap_probe(scan, Some(&table)),
+                            });
+                        }
+                        return Ok(TaskStep::Yield);
+                    }
+                }
+            }
+            return Ok(TaskStep::Yield);
+        }
         let Some(mut part) = self.parts.pop_front() else {
             return Ok(TaskStep::Done);
         };

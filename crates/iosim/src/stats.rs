@@ -142,17 +142,14 @@ pub struct LatencyPercentiles {
 }
 
 impl LatencyPercentiles {
-    /// Computes nearest-rank percentiles from raw latency samples.
+    /// Computes nearest-rank percentiles (via
+    /// [`scanshare_common::quantile`]) from raw latency samples.
     pub fn from_unsorted_nanos(mut samples: Vec<u64>) -> Self {
         if samples.is_empty() {
             return Self::default();
         }
         samples.sort_unstable();
-        let rank = |q: f64| -> u64 {
-            let n = samples.len();
-            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
-            samples[idx]
-        };
+        let rank = |q: f64| scanshare_common::quantile::nearest_rank(&samples, q).unwrap();
         Self {
             samples: samples.len() as u64,
             p50_nanos: rank(0.50),

@@ -71,6 +71,7 @@ pub mod server;
 pub use client::ServeClient;
 pub use loadgen::{LoadReport, LoadgenConfig, Target};
 pub use protocol::{
-    ErrorCode, Frame, Message, QueryRequest, ResultGroup, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    ErrorCode, Frame, JoinRequest, Message, QueryRequest, ResultGroup, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ServerStats};

@@ -78,14 +78,12 @@ impl LoadReport {
         self.completed as f64 / self.wall.as_secs_f64()
     }
 
-    /// The `p`-th latency percentile (0 < p ≤ 100) over served queries;
-    /// zero when nothing was served.
+    /// The `p`-th latency percentile (0 < p ≤ 100) over served queries,
+    /// pooled across all sessions (nearest-rank, via
+    /// [`scanshare_common::quantile`]); zero when nothing was served.
     pub fn percentile(&self, p: f64) -> Duration {
-        if self.latencies.is_empty() {
-            return Duration::ZERO;
-        }
-        let rank = ((p / 100.0) * self.latencies.len() as f64).ceil() as usize;
-        self.latencies[rank.clamp(1, self.latencies.len()) - 1]
+        scanshare_common::quantile::nearest_rank(&self.latencies, p / 100.0)
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Median latency.

@@ -30,7 +30,8 @@ use scanshare_common::{Error, Result};
 use scanshare_exec::ops::{Aggregate, CompareOp, Predicate};
 
 /// Version carried in HELLO/WELCOME; bumped on incompatible changes.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version 2 added the optional broadcast-join clause to QUERY frames.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a frame's `length` field (1 MiB). Larger announcements
 /// are treated as a protocol violation, bounding per-connection memory.
@@ -103,6 +104,24 @@ impl ErrorCode {
     }
 }
 
+/// The broadcast-join clause of a [`QueryRequest`] (protocol version 2):
+/// the named build table is fully scanned and hashed before the query's
+/// probe scan streams, mirroring the builder API's `.join(...)` /
+/// `.join_columns(...)` clauses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinRequest {
+    /// Build-side table name (resolved against the server's catalog).
+    pub table: String,
+    /// Probe-side join key: an index into the query's projection.
+    pub left_col: usize,
+    /// Build-side join-key column name.
+    pub right_col: String,
+    /// Extra build-side columns carried into the join output after the key
+    /// (aggregate/group-by indices past the probe projection refer to the
+    /// key, then these, in order).
+    pub columns: Vec<String>,
+}
+
 /// A query expressed in wire terms: builder-API fields by name/index.
 /// Lowered by the server onto
 /// [`Engine::query`](scanshare_exec::Engine::query).
@@ -125,6 +144,8 @@ pub struct QueryRequest {
     pub aggregates: Vec<Aggregate>,
     /// Partial scans the query interleaves (the builder's `.parallelism`).
     pub parallelism: usize,
+    /// Optional broadcast hash join against a second table.
+    pub join: Option<JoinRequest>,
 }
 
 impl QueryRequest {
@@ -140,7 +161,14 @@ impl QueryRequest {
             group_by: None,
             aggregates: vec![Aggregate::Count],
             parallelism: 1,
+            join: None,
         }
+    }
+
+    /// Returns the request with a broadcast-join clause attached.
+    pub fn with_join(mut self, join: JoinRequest) -> Self {
+        self.join = Some(join);
+        self
     }
 }
 
@@ -374,6 +402,19 @@ fn encode_query(out: &mut Vec<u8>, q: &QueryRequest) {
         out.push(column.min(255) as u8);
     }
     out.push(q.parallelism.clamp(1, 255) as u8);
+    match &q.join {
+        Some(join) => {
+            out.push(1);
+            put_str(out, &join.table);
+            out.push(join.left_col.min(255) as u8);
+            put_str(out, &join.right_col);
+            out.push(join.columns.len().min(255) as u8);
+            for column in join.columns.iter().take(255) {
+                put_str(out, column);
+            }
+        }
+        None => out.push(0),
+    }
 }
 
 fn decode_query(cursor: &mut Cursor<'_>) -> Result<QueryRequest> {
@@ -417,6 +458,26 @@ fn decode_query(cursor: &mut Cursor<'_>) -> Result<QueryRequest> {
         });
     }
     let parallelism = cursor.u8()?.max(1) as usize;
+    let join = match cursor.u8()? {
+        0 => None,
+        1 => {
+            let table = cursor.string()?;
+            let left_col = cursor.u8()? as usize;
+            let right_col = cursor.string()?;
+            let n = cursor.u8()? as usize;
+            let mut join_columns = Vec::with_capacity(n);
+            for _ in 0..n {
+                join_columns.push(cursor.string()?);
+            }
+            Some(JoinRequest {
+                table,
+                left_col,
+                right_col,
+                columns: join_columns,
+            })
+        }
+        other => return Err(Error::protocol(format!("bad join flag {other}"))),
+    };
     Ok(QueryRequest {
         table,
         start,
@@ -426,6 +487,7 @@ fn decode_query(cursor: &mut Cursor<'_>) -> Result<QueryRequest> {
         group_by,
         aggregates,
         parallelism,
+        join,
     })
 }
 
@@ -563,8 +625,32 @@ mod tests {
                 group_by: Some(0),
                 aggregates: vec![Aggregate::Count, Aggregate::Sum(1), Aggregate::Max(1)],
                 parallelism: 4,
+                join: None,
             }),
             7,
+        );
+        roundtrip(
+            Message::Query(
+                QueryRequest::count_star("lineitem", vec!["l_qty".into(), "l_flag".into()])
+                    .with_join(JoinRequest {
+                        table: "part".into(),
+                        left_col: 1,
+                        right_col: "p_key".into(),
+                        columns: vec!["p_weight".into(), "p_size".into()],
+                    }),
+            ),
+            11,
+        );
+        roundtrip(
+            Message::Query(QueryRequest::count_star("t", vec!["k".into()]).with_join(
+                JoinRequest {
+                    table: "d".into(),
+                    left_col: 0,
+                    right_col: "k".into(),
+                    columns: Vec::new(),
+                },
+            )),
+            12,
         );
         roundtrip(
             Message::Query(QueryRequest::count_star("t", vec!["k".into()])),

@@ -335,9 +335,10 @@ impl Drop for AdmissionTicket {
 
 enum QueryState {
     /// Not yet lowered onto the engine (build errors become error frames).
-    Pending(crate::protocol::QueryRequest),
-    /// Aggregating, one quantum at a time.
-    Running(QueryTask),
+    Pending(Box<crate::protocol::QueryRequest>),
+    /// Aggregating, one quantum at a time (boxed: a join-capable
+    /// `QueryTask` is much larger than the other states).
+    Running(Box<QueryTask>),
     /// Result (or error) frames encoded, draining into the writer queue.
     Draining,
 }
@@ -410,8 +411,22 @@ impl ServeQueryTask {
         if let Some(filter) = request.filter {
             query = query.filter(filter);
         }
+        if let Some(join) = request.join {
+            let build = match self.engine.storage().table_by_name(&join.table) {
+                Ok(table) => table.id,
+                Err(_) => {
+                    return self.fail(
+                        ErrorCode::UnknownTable,
+                        format!("unknown join table {:?}", join.table),
+                    )
+                }
+            };
+            query = query
+                .join(build, join.left_col, join.right_col)
+                .join_columns(join.columns);
+        }
         match query.into_task() {
-            Ok(task) => self.state = QueryState::Running(task),
+            Ok(task) => self.state = QueryState::Running(Box::new(task)),
             Err(error) => self.fail(code_for(&error), error.to_string()),
         }
     }
@@ -421,7 +436,7 @@ impl Task for ServeQueryTask {
     fn step(&mut self) -> scanshare_common::Result<TaskStep> {
         match std::mem::replace(&mut self.state, QueryState::Draining) {
             QueryState::Pending(request) => {
-                self.build(request);
+                self.build(*request);
                 Ok(TaskStep::Yield)
             }
             QueryState::Running(mut task) => {
@@ -591,7 +606,7 @@ impl ServerInner {
     fn spawn_query(self: &Arc<Self>, pending: PendingQuery) {
         let task = ServeQueryTask {
             engine: Arc::clone(&self.engine),
-            state: QueryState::Pending(pending.request),
+            state: QueryState::Pending(Box::new(pending.request)),
             out: VecDeque::new(),
             writer: pending.writer,
             session: pending.session,

@@ -148,6 +148,48 @@ struct ResolvedScan {
 struct ResolvedQuery {
     scans: Vec<ResolvedScan>,
     cpu_ns_per_tuple: f64,
+    /// Whether this is a broadcast-join query: `scans[0]` is the build side
+    /// and the remaining scans (the probe side) register with the pool only
+    /// once the build scan has fully drained, exactly like the engine's
+    /// `QueryTask` join phase.
+    join: bool,
+}
+
+/// Finishes query resolution (shared by the read-only and mixed paths):
+/// validates a join spec's shape and mirrors the engine's build-side
+/// projection order — the join key first, the remaining columns after — so
+/// the simulated build scan reads the identical page sequence the engine's
+/// `open_build_scan` does.
+fn finish_resolve(
+    query: &QuerySpec,
+    mut scans: Vec<ResolvedScan>,
+    cpu_ns_per_tuple: f64,
+) -> Result<ResolvedQuery> {
+    if let Some(join) = &query.join {
+        if scans.len() != 2 {
+            return Err(Error::plan(format!(
+                "join query {:?} needs exactly two scans (build, probe), got {}",
+                query.label,
+                scans.len()
+            )));
+        }
+        let build = &mut scans[0];
+        if join.right_col >= build.columns.len() {
+            return Err(Error::plan(format!(
+                "join query {:?} keys on build column {} of {}",
+                query.label,
+                join.right_col,
+                build.columns.len()
+            )));
+        }
+        let key = build.columns.remove(join.right_col);
+        build.columns.insert(0, key);
+    }
+    Ok(ResolvedQuery {
+        scans,
+        cpu_ns_per_tuple,
+        join: query.join.is_some(),
+    })
 }
 
 /// One scan of a query in the page-level (order-preserving) model.
@@ -164,6 +206,10 @@ struct PartRun {
 struct QueryRun {
     parts: Vec<PartRun>,
     part_idx: usize,
+    /// Probe-side scans of a join query, registered with the pool only once
+    /// every already-registered part has drained (the engine's probe scans
+    /// open together after the build phase finishes).
+    pending: Vec<ResolvedScan>,
     cpu_ns_per_tuple: f64,
     started: VirtualInstant,
 }
@@ -381,10 +427,7 @@ impl Simulation {
                 sid_ranges,
             });
         }
-        Ok(ResolvedQuery {
-            scans,
-            cpu_ns_per_tuple: self.cpu_ns_per_tuple(query, streams),
-        })
+        finish_resolve(query, scans, self.cpu_ns_per_tuple(query, streams))
     }
 
     /// The mirror entry of `table`, created on first touch from the current
@@ -454,10 +497,7 @@ impl Simulation {
                 sid_ranges,
             });
         }
-        Ok(ResolvedQuery {
-            scans,
-            cpu_ns_per_tuple,
-        })
+        finish_resolve(query, scans, cpu_ns_per_tuple)
     }
 
     /// Applies one update stream's round batch to the mirror — one
@@ -535,37 +575,59 @@ impl Simulation {
         Ok(pool)
     }
 
+    /// Registers one resolved scan with the pool and lays out its page
+    /// consumption order; `None` for scans whose visible range maps to no
+    /// stable data (the engine then registers no backend scan either —
+    /// pure PDT rows cost no I/O).
+    fn build_part_run(
+        &self,
+        pool: &mut BufferPool,
+        scan: &ResolvedScan,
+        now: VirtualInstant,
+    ) -> Result<Option<PartRun>> {
+        if scan.sid_ranges.is_empty() {
+            return Ok(None);
+        }
+        let layout = self.storage.layout(scan.table)?;
+        let plan = layout.scan_page_plan(&scan.snapshot, &scan.columns, &scan.sid_ranges);
+        let scan_id = pool.register_scan(&plan, now);
+        let pages: Vec<(PageId, u64)> = plan
+            .interleaved()
+            .iter()
+            .map(|p| (p.page, p.tuple_count))
+            .collect();
+        Ok(Some(PartRun {
+            scan_id,
+            pages,
+            next: 0,
+            consumed: 0,
+        }))
+    }
+
     fn build_query_run(
         &self,
         pool: &mut BufferPool,
         query: &ResolvedQuery,
         now: VirtualInstant,
     ) -> Result<QueryRun> {
-        let mut parts = Vec::with_capacity(query.scans.len());
-        for scan in &query.scans {
-            // A scan whose visible range maps to no stable data registers no
-            // backend scan in the engine either (pure PDT rows cost no I/O).
-            if scan.sid_ranges.is_empty() {
-                continue;
+        // A join query registers only its build scan up front; the probe
+        // scans stay pending until the build side has drained, matching the
+        // engine's build-then-probe registration order.
+        let (eager, pending) = if query.join {
+            query.scans.split_at(1.min(query.scans.len()))
+        } else {
+            query.scans.split_at(query.scans.len())
+        };
+        let mut parts = Vec::with_capacity(eager.len());
+        for scan in eager {
+            if let Some(part) = self.build_part_run(pool, scan, now)? {
+                parts.push(part);
             }
-            let layout = self.storage.layout(scan.table)?;
-            let plan = layout.scan_page_plan(&scan.snapshot, &scan.columns, &scan.sid_ranges);
-            let scan_id = pool.register_scan(&plan, now);
-            let pages: Vec<(PageId, u64)> = plan
-                .interleaved()
-                .iter()
-                .map(|p| (p.page, p.tuple_count))
-                .collect();
-            parts.push(PartRun {
-                scan_id,
-                pages,
-                next: 0,
-                consumed: 0,
-            });
         }
         Ok(QueryRun {
             parts,
             part_idx: 0,
+            pending: pending.to_vec(),
             cpu_ns_per_tuple: query.cpu_ns_per_tuple,
             started: now,
         })
@@ -646,6 +708,18 @@ impl Simulation {
             // Process one page of the current query.
             let run = streams[s].current.as_mut().expect("set above");
             if run.part_idx >= run.parts.len() {
+                if !run.pending.is_empty() {
+                    // Build side of a join drained: register the probe
+                    // scans, exactly when the engine's task opens them.
+                    let pending = std::mem::take(&mut run.pending);
+                    for scan in &pending {
+                        if let Some(part) = self.build_part_run(&mut state.pool, scan, now)? {
+                            run.parts.push(part);
+                        }
+                    }
+                    push(&mut heap, event.time, EventKind::Stream(s));
+                    continue;
+                }
                 // Query finished.
                 state.query_latencies.push(now.since(run.started));
                 streams[s].current = None;

@@ -28,7 +28,7 @@ pub mod tpch;
 pub use microbench::MicrobenchConfig;
 pub use skipping::SkippingConfig;
 pub use spec::{
-    QuerySpec, ScanSpec, StreamSpec, UpdateMix, UpdateOp, UpdateOpGen, UpdateStreamSpec,
+    JoinSpec, QuerySpec, ScanSpec, StreamSpec, UpdateMix, UpdateOp, UpdateOpGen, UpdateStreamSpec,
     WorkloadSpec,
 };
 pub use tpch::TpchConfig;

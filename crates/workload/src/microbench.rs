@@ -172,6 +172,7 @@ pub fn generate(config: &MicrobenchConfig, lineitem: TableId) -> WorkloadSpec {
                             predicate: None,
                         }],
                         cpu_factor,
+                        join: None,
                     }
                 })
                 .collect();

@@ -146,6 +146,7 @@ pub fn generate(config: &SkippingConfig, events: TableId) -> WorkloadSpec {
                         predicate,
                     }],
                     cpu_factor: 1.0,
+                    join: None,
                 })
                 .collect();
             StreamSpec {

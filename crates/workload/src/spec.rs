@@ -59,17 +59,38 @@ impl ScanSpec {
     }
 }
 
+/// A broadcast hash join between the first two scans of a query.
+///
+/// By convention `scans[0]` is the **build** side: it is scanned in full
+/// and hashed before any probe I/O starts. `scans[1]` is the **probe**
+/// side, streamed through the normal shared-scan machinery (so the probe
+/// scan still registers with the buffer manager, shares pages and prunes
+/// via zone maps). Column indices are projection-relative: they index into
+/// the respective scan's `columns` list, not the table spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Probe-side join key: index into `scans[1].columns`.
+    pub left_col: usize,
+    /// Build-side join key: index into `scans[0].columns`.
+    pub right_col: usize,
+}
+
 /// One query of a workload stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// Human-readable label ("Q01", "micro-q6-50%", ...).
     pub label: String,
-    /// The scans the query performs (executed one after another).
+    /// The scans the query performs (executed one after another; for join
+    /// queries `scans[0]` is the build side and `scans[1]` the probe side).
     pub scans: Vec<ScanSpec>,
     /// CPU cost multiplier relative to the baseline tuple-processing rate
     /// (1.0 = a simple scan-select-aggregate; complex TPC-H queries are
     /// higher).
     pub cpu_factor: f64,
+    /// Optional broadcast hash join between `scans[0]` (build) and
+    /// `scans[1]` (probe). `None` keeps the query a plain multi-scan
+    /// aggregation.
+    pub join: Option<JoinSpec>,
 }
 
 impl QuerySpec {
@@ -321,6 +342,7 @@ mod tests {
             label: "q".into(),
             scans: vec![scan.clone(), scan],
             cpu_factor: 1.0,
+            join: None,
         };
         assert_eq!(query.total_tuples(), 300);
         let stream = StreamSpec {

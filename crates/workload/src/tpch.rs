@@ -414,6 +414,7 @@ pub fn generate(config: &TpchConfig, tables: &TpchTables) -> WorkloadSpec {
                         label: format!("{label}#{s}"),
                         scans,
                         cpu_factor: *cpu_factor,
+                        join: None,
                     }
                 })
                 .collect();

@@ -16,11 +16,15 @@
 //!   PDT differential updates with SID/RID translation, snapshot isolation
 //!   for bulk appends with shared/local chunks, PDT checkpoints and
 //!   intra-query parallelism;
-//! * **LRU** and **OPT (Belady)** baselines;
-//! * a vectorized mini execution engine whose scans drive any of the above
-//!   through one `ScanBackend` interface, workload generators (scan-sharing
-//!   microbenchmarks and a TPC-H-like throughput run) and a discrete-event
-//!   simulator that regenerates every figure of the paper's evaluation.
+//! * **LRU** and **OPT (Belady)** baselines, plus the modern **CLOCK** and
+//!   **SIEVE** eviction policies registered by name through the
+//!   [`PolicyRegistry`](prelude::PolicyRegistry);
+//! * a vectorized mini execution engine — scans drive any of the above
+//!   through one `ScanBackend` interface and feed multi-operator pipelines
+//!   (multi-key group-by, top-k, broadcast hash join) — workload generators
+//!   (scan-sharing microbenchmarks and a TPC-H-like throughput run) and a
+//!   discrete-event simulator that regenerates every figure of the paper's
+//!   evaluation.
 //!
 //! ## Quick start
 //!
@@ -73,6 +77,102 @@
 //!     .unwrap();
 //! assert!(result[&0].count > 0);
 //! assert!(engine.buffer_stats().io_bytes > 0);
+//! ```
+//!
+//! ## Query pipelines
+//!
+//! Beyond scan-filter-aggregate, the same builder composes multi-key
+//! group-by ([`Query::group_by`](prelude::Query::group_by) +
+//! [`run_grouped`](prelude::Query::run_grouped)), top-k
+//! ([`Query::top_k`](prelude::Query::top_k) +
+//! [`rows`](prelude::Query::rows)) and a broadcast hash join
+//! ([`Query::join`](prelude::Query::join)): the build side is scanned and
+//! hashed up front, then the probe side streams through the shared-scan
+//! machinery, so joins share pages and zone-map pruning like any other
+//! scan. Results are deterministic functions of the row multiset —
+//! identical under out-of-order Cooperative-Scan delivery, any parallelism
+//! and any shard count:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use scanshare::prelude::*;
+//!
+//! let storage = Storage::new(64 * 1024, 1_000);
+//! let fact = storage
+//!     .create_table_with_data(
+//!         TableSpec::new(
+//!             "fact",
+//!             vec![
+//!                 ColumnSpec::new("f_cat", ColumnType::Int64),
+//!                 ColumnSpec::new("f_val", ColumnType::Int64),
+//!             ],
+//!             10_000,
+//!         ),
+//!         vec![
+//!             DataGen::Cyclic { period: 8, min: 0, max: 7 },
+//!             DataGen::Uniform { min: 0, max: 100 },
+//!         ],
+//!     )
+//!     .unwrap();
+//! let dim = storage
+//!     .create_table_with_data(
+//!         TableSpec::new(
+//!             "dim",
+//!             vec![
+//!                 ColumnSpec::new("d_key", ColumnType::Int64),
+//!                 ColumnSpec::new("d_bonus", ColumnType::Int64),
+//!             ],
+//!             8,
+//!         ),
+//!         vec![
+//!             DataGen::Sequential { start: 0, step: 1 },
+//!             DataGen::Sequential { start: 100, step: 10 },
+//!         ],
+//!     )
+//!     .unwrap();
+//! let engine = Engine::new(
+//!     Arc::clone(&storage),
+//!     ScanShareConfig {
+//!         page_size_bytes: 64 * 1024,
+//!         chunk_tuples: 1_000,
+//!         policy: PolicyKind::Pbm,
+//!         ..Default::default()
+//!     },
+//! )
+//! .unwrap();
+//!
+//! // SELECT f_cat, count(*), sum(f_val) FROM fact GROUP BY f_cat
+//! let groups = engine
+//!     .query(fact)
+//!     .columns(["f_cat", "f_val"])
+//!     .group_by(&[0])
+//!     .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(1)]))
+//!     .run_grouped()
+//!     .unwrap();
+//! assert_eq!(groups.len(), 8); // BTreeMap: group keys come out ordered
+//!
+//! // SELECT f_cat, f_val FROM fact ORDER BY f_val DESC LIMIT 5
+//! let top = engine
+//!     .query(fact)
+//!     .columns(["f_cat", "f_val"])
+//!     .top_k(1, 5, SortOrder::Desc)
+//!     .rows()
+//!     .unwrap();
+//! assert_eq!(top.len(), 5);
+//!
+//! // SELECT count(*), sum(d_bonus) FROM fact JOIN dim ON f_cat = d_key.
+//! // Joined rows are probe columns ++ build key ++ extra build columns,
+//! // so d_bonus is column 3 here.
+//! let joined = engine
+//!     .query(fact)
+//!     .columns(["f_cat", "f_val"])
+//!     .join(dim, 0, "d_key")
+//!     .join_columns(["d_bonus"])
+//!     .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(3)]))
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(joined[&0].count, 10_000);
+//! assert_eq!(joined[&0].accumulators[1], 1_350_000);
 //! ```
 //!
 //! ## Updates & transactions
@@ -236,7 +336,11 @@
 //! Custom replacement policies plug in without touching the engine: register
 //! a factory with a [`PolicyRegistry`](prelude::PolicyRegistry), select it
 //! with `ScanShareConfig::with_custom_policy`, and build the engine with
-//! `Engine::with_registry`.
+//! `Engine::with_registry`. The default registry already carries `clock`
+//! ([`ClockPolicy`](prelude::ClockPolicy)) and `sieve`
+//! ([`SievePolicy`](prelude::SievePolicy)) next to the LRU/PBM built-ins,
+//! and both the engine and the simulator resolve names through it — so a
+//! by-name policy runs on either executor unchanged.
 //!
 //! A top-to-bottom tour of the workspace — crate dependency graph, scan
 //! lifecycle, transaction/checkpoint flow — lives in the repository's
@@ -267,11 +371,12 @@ pub mod prelude {
     pub use scanshare_core::opt::simulate_opt;
     pub use scanshare_core::registry::PolicyRegistry;
     pub use scanshare_core::{
-        Abm, AbmConfig, BufferPool, BufferStats, LruPolicy, PbmConfig, PbmPolicy,
-        ReplacementPolicy, ShardedPool,
+        Abm, AbmConfig, BufferPool, BufferStats, ClockPolicy, LruPolicy, PbmConfig, PbmPolicy,
+        ReplacementPolicy, ShardedPool, SievePolicy,
     };
     pub use scanshare_exec::ops::{
-        aggregate, AggrSpec, Aggregate, BatchSource, CompareOp, Predicate,
+        aggregate, AggrResult, AggrSpec, Aggregate, BatchSource, CompareOp, GroupState,
+        GroupedResult, Predicate, SortOrder, TopKSpec,
     };
     pub use scanshare_exec::{
         Batch, Engine, Query, QueryTask, SchedulerStats, StreamError, TablePin, Task, TaskHandle,
@@ -280,14 +385,16 @@ pub mod prelude {
     pub use scanshare_iosim::{BlockDevice, FileIoDevice, IoDevice};
     pub use scanshare_pdt::{Pdt, PdtStack};
     pub use scanshare_serve::{
-        ErrorCode, QueryRequest, ResultGroup, ServeClient, ServeConfig, Server, ServerStats,
+        ErrorCode, JoinRequest, QueryRequest, ResultGroup, ServeClient, ServeConfig, Server,
+        ServerStats,
     };
     pub use scanshare_sim::{ExperimentScale, SimConfig, SimResult, Simulation};
     pub use scanshare_storage::datagen::DataGen;
     pub use scanshare_storage::wal::{Wal, WalRecord, WalRecordKind};
     pub use scanshare_storage::{ColumnSpec, ColumnType, FileStore, Storage, TableSpec};
     pub use scanshare_workload::{
-        MicrobenchConfig, SkippingConfig, TpchConfig, UpdateMix, UpdateStreamSpec, WorkloadSpec,
+        JoinSpec, MicrobenchConfig, SkippingConfig, TpchConfig, UpdateMix, UpdateStreamSpec,
+        WorkloadSpec,
     };
 }
 
@@ -300,5 +407,12 @@ mod tests {
         let _ = ScanShareConfig::default();
         let _ = TupleRange::new(0, 1);
         let _ = PolicyRegistry::default();
+        let _ = SortOrder::Desc;
+        let _ = ClockPolicy::new();
+        let _ = SievePolicy::new();
+        let _ = JoinSpec {
+            left_col: 0,
+            right_col: 0,
+        };
     }
 }

@@ -159,6 +159,82 @@ fn multiplexed_sessions_all_complete() {
     server.shutdown();
 }
 
+/// A join query over the wire (protocol v2) returns exactly the result the
+/// in-process builder API computes, and an unknown build table comes back
+/// as a typed UNKNOWN_TABLE frame without killing the session.
+#[test]
+fn join_queries_over_the_wire_match_the_engine() {
+    use scanshare::serve::protocol::JoinRequest;
+
+    let dir = TestDir::new("join");
+    let (engine, table) = build_engine();
+    // A 50-row "part" table keyed 1..=50, so every l_quantity value joins
+    // exactly one part row.
+    let part = engine
+        .storage()
+        .create_table_with_data(
+            TableSpec::new(
+                "part",
+                vec![
+                    ColumnSpec::new("p_key", ColumnType::Int64),
+                    ColumnSpec::new("p_weight", ColumnType::Int64),
+                ],
+                50,
+            ),
+            vec![
+                DataGen::Sequential { start: 1, step: 1 },
+                DataGen::Sequential {
+                    start: 100,
+                    step: 1,
+                },
+            ],
+        )
+        .unwrap();
+    // Joined layout: [l_orderkey, l_quantity, p_key, p_weight].
+    let reference = engine
+        .query(table)
+        .columns(["l_orderkey", "l_quantity"])
+        .aggregate(AggrSpec::global(vec![Aggregate::Count, Aggregate::Sum(3)]))
+        .parallelism(2)
+        .join(part, 1, "p_key")
+        .join_columns(["p_weight"])
+        .run()
+        .unwrap();
+    let expected = &reference[&0];
+    assert_eq!(expected.count, TUPLES, "every probe row must match");
+
+    let mut server = Server::new(engine, ServeConfig::default());
+    server.bind_unix(dir.socket()).unwrap();
+    let mut client = ServeClient::connect_unix(dir.socket(), "tenant-a").unwrap();
+
+    let join = JoinRequest {
+        table: "part".into(),
+        left_col: 1,
+        right_col: "p_key".into(),
+        columns: vec!["p_weight".into()],
+    };
+    let mut request = sum_request();
+    request.aggregates = vec![Aggregate::Count, Aggregate::Sum(3)];
+    request.parallelism = 2;
+    let groups = client.query(request.with_join(join.clone())).unwrap();
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].count, expected.count);
+    assert_eq!(groups[0].accumulators, expected.accumulators);
+
+    // Unknown build table: typed error, session stays usable.
+    let mut bad_join = join;
+    bad_join.table = "no_such_dim".into();
+    match client.query(sum_request().with_join(bad_join)) {
+        Err(scanshare::common::Error::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::UnknownTable.as_u16())
+        }
+        other => panic!("expected UNKNOWN_TABLE error frame, got {other:?}"),
+    }
+    let groups = client.query(sum_request()).unwrap();
+    assert_eq!(groups[0].count, TUPLES);
+    server.shutdown();
+}
+
 /// Server-side failures arrive as typed ERROR frames, and a failed query
 /// leaves the session usable for the next one.
 #[test]

@@ -5,312 +5,24 @@
 //!
 //! This is the invariant the engine's I/O accounting rests on: partitioning
 //! the page table across locks must change contention only, never *what*
-//! is read. The traces below are randomized (deterministic xorshift, like
-//! the other property tests in this workspace): interleaved scans with page
+//! is read. The traces are randomized (deterministic xorshift, like the
+//! other property tests in this workspace): interleaved scans with page
 //! plans, progress reports, scanless accesses, pins, prefetch admissions
-//! and virtual-time advances, replayed under replacement pressure.
+//! and virtual-time advances, replayed under replacement pressure. The
+//! trace grammar and replayer live in `pool_harness` and are shared with
+//! `policy_zoo.rs`, which runs the same property for CLOCK and SIEVE.
+
+mod pool_harness;
 
 use std::sync::Arc;
 
-use scanshare::common::{ColumnId, PageId, ScanId, TableId, TupleRange, VirtualInstant};
-use scanshare::core::bufferpool::{AccessOutcome, BufferPool};
+use pool_harness::{random_trace, replay, Rng};
+use scanshare::core::bufferpool::BufferPool;
 use scanshare::core::lru::LruPolicy;
 use scanshare::core::pbm::{PbmConfig, PbmPolicy};
 use scanshare::core::pbm_lru::{PbmLruConfig, PbmLruPolicy};
 use scanshare::core::policy::ReplacementPolicy;
 use scanshare::core::sharded::ShardedPool;
-use scanshare::core::BufferStats;
-use scanshare::storage::layout::{PageDescriptor, ScanPagePlan};
-
-/// Deterministic xorshift64* generator.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Self(seed.max(1))
-    }
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545F4914F6CDD1D)
-    }
-    fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound.max(1)
-    }
-}
-
-/// One step of a trace. Scan handles are *indices* into the registration
-/// order (the pools assign their own `ScanId`s; equal call sequences make
-/// them equal, which the replay asserts).
-#[derive(Debug, Clone)]
-enum Step {
-    Register {
-        pages: Vec<u64>,
-        tuples_per_page: u64,
-    },
-    Access {
-        scan: Option<usize>,
-        page: u64,
-    },
-    Report {
-        scan: usize,
-        tuples: u64,
-    },
-    Unregister {
-        scan: usize,
-    },
-    Pin {
-        page: u64,
-    },
-    Unpin {
-        page: u64,
-    },
-    Prefetch {
-        budget: usize,
-    },
-    Advance {
-        millis: u64,
-    },
-}
-
-/// What a replay observed; compared across pool implementations.
-#[derive(Debug, PartialEq)]
-enum Observation {
-    Outcome(AccessOutcome),
-    ScanId(ScanId),
-    Candidates(Vec<PageId>, Vec<bool>),
-}
-
-fn plan_over(pages: &[u64], tuples_per_page: u64) -> ScanPagePlan {
-    let descs: Vec<PageDescriptor> = pages
-        .iter()
-        .enumerate()
-        .map(|(i, &page)| PageDescriptor {
-            page: PageId::new(page),
-            column: ColumnId::new(0),
-            column_index: 0,
-            sid_range: TupleRange::new(
-                i as u64 * tuples_per_page,
-                (i as u64 + 1) * tuples_per_page,
-            ),
-            tuples_behind: i as u64 * tuples_per_page,
-            tuple_count: tuples_per_page,
-        })
-        .collect();
-    ScanPagePlan {
-        table: TableId::new(0),
-        total_tuples: pages.len() as u64 * tuples_per_page,
-        pages: descs,
-    }
-}
-
-/// The trace operations a pool under test must support. `BufferPool` takes
-/// `&mut self`, `ShardedPool` synchronizes internally; the trait papers
-/// over that difference for the replay.
-trait TracePool {
-    fn register(&mut self, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId;
-    fn request(&mut self, page: PageId, scan: Option<ScanId>, now: VirtualInstant)
-        -> AccessOutcome;
-    fn report(&mut self, scan: ScanId, tuples: u64, now: VirtualInstant);
-    fn unregister(&mut self, scan: ScanId, now: VirtualInstant);
-    fn pin(&mut self, page: PageId);
-    fn unpin(&mut self, page: PageId);
-    fn candidates(&mut self, budget: usize, now: VirtualInstant) -> Vec<PageId>;
-    fn admit_prefetch(&mut self, page: PageId, now: VirtualInstant) -> bool;
-    fn stats(&self) -> BufferStats;
-}
-
-impl TracePool for BufferPool {
-    fn register(&mut self, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId {
-        BufferPool::register_scan(self, plan, now)
-    }
-    fn request(
-        &mut self,
-        page: PageId,
-        scan: Option<ScanId>,
-        now: VirtualInstant,
-    ) -> AccessOutcome {
-        BufferPool::request_page(self, page, scan, now).expect("pins are bounded")
-    }
-    fn report(&mut self, scan: ScanId, tuples: u64, now: VirtualInstant) {
-        BufferPool::report_scan_position(self, scan, tuples, now)
-    }
-    fn unregister(&mut self, scan: ScanId, now: VirtualInstant) {
-        BufferPool::unregister_scan(self, scan, now)
-    }
-    fn pin(&mut self, page: PageId) {
-        BufferPool::pin(self, page)
-    }
-    fn unpin(&mut self, page: PageId) {
-        BufferPool::unpin(self, page)
-    }
-    fn candidates(&mut self, budget: usize, now: VirtualInstant) -> Vec<PageId> {
-        BufferPool::prefetch_candidates(self, budget, now)
-    }
-    fn admit_prefetch(&mut self, page: PageId, now: VirtualInstant) -> bool {
-        BufferPool::admit_prefetch(self, page, now)
-    }
-    fn stats(&self) -> BufferStats {
-        BufferPool::stats(self)
-    }
-}
-
-impl TracePool for ShardedPool {
-    fn register(&mut self, plan: &ScanPagePlan, now: VirtualInstant) -> ScanId {
-        ShardedPool::register_scan(self, plan, now)
-    }
-    fn request(
-        &mut self,
-        page: PageId,
-        scan: Option<ScanId>,
-        now: VirtualInstant,
-    ) -> AccessOutcome {
-        ShardedPool::request_page(self, page, scan, now).expect("pins are bounded")
-    }
-    fn report(&mut self, scan: ScanId, tuples: u64, now: VirtualInstant) {
-        ShardedPool::report_scan_position(self, scan, tuples, now)
-    }
-    fn unregister(&mut self, scan: ScanId, now: VirtualInstant) {
-        ShardedPool::unregister_scan(self, scan, now)
-    }
-    fn pin(&mut self, page: PageId) {
-        ShardedPool::pin(self, page)
-    }
-    fn unpin(&mut self, page: PageId) {
-        ShardedPool::unpin(self, page)
-    }
-    fn candidates(&mut self, budget: usize, now: VirtualInstant) -> Vec<PageId> {
-        ShardedPool::prefetch_candidates(self, budget, now)
-    }
-    fn admit_prefetch(&mut self, page: PageId, now: VirtualInstant) -> bool {
-        ShardedPool::admit_prefetch(self, page, now)
-    }
-    fn stats(&self) -> BufferStats {
-        ShardedPool::stats(self)
-    }
-}
-
-/// Generates a random trace over `pages` page ids with registered scans,
-/// progress reports, pins (bounded so the pool can always admit) and
-/// prefetch probes.
-fn random_trace(rng: &mut Rng, pages: u64, capacity: usize, steps: usize) -> Vec<Step> {
-    let mut trace = Vec::with_capacity(steps);
-    let mut live_scans: Vec<(usize, Vec<u64>, usize)> = Vec::new(); // (index, plan, cursor)
-    let mut registered = 0usize;
-    let mut pinned: Vec<u64> = Vec::new();
-    let max_pinned = capacity.saturating_sub(2).min(3);
-    for _ in 0..steps {
-        match rng.below(16) {
-            0 => {
-                // Register a scan over a random contiguous-ish page window.
-                let len = 2 + rng.below(pages.min(12)) as usize;
-                let start = rng.below(pages);
-                let plan: Vec<u64> = (0..len as u64).map(|i| (start + i) % pages).collect();
-                trace.push(Step::Register {
-                    pages: plan.clone(),
-                    tuples_per_page: 100,
-                });
-                live_scans.push((registered, plan, 0));
-                registered += 1;
-            }
-            1 if !live_scans.is_empty() => {
-                let idx = rng.below(live_scans.len() as u64) as usize;
-                let (scan, _, _) = live_scans.remove(idx);
-                trace.push(Step::Unregister { scan });
-            }
-            2 if !live_scans.is_empty() => {
-                let idx = rng.below(live_scans.len() as u64) as usize;
-                let (scan, _, cursor) = &live_scans[idx];
-                trace.push(Step::Report {
-                    scan: *scan,
-                    tuples: *cursor as u64 * 100,
-                });
-            }
-            3 if pinned.len() < max_pinned => {
-                let page = rng.below(pages);
-                pinned.push(page);
-                trace.push(Step::Pin { page });
-            }
-            4 if !pinned.is_empty() => {
-                let idx = rng.below(pinned.len() as u64) as usize;
-                let page = pinned.remove(idx);
-                trace.push(Step::Unpin { page });
-            }
-            5 => trace.push(Step::Prefetch {
-                budget: 1 + rng.below(6) as usize,
-            }),
-            6 => trace.push(Step::Advance {
-                millis: rng.below(400),
-            }),
-            n if n < 12 && !live_scans.is_empty() => {
-                // Advance a scan along its plan (the PBM-relevant pattern).
-                let idx = rng.below(live_scans.len() as u64) as usize;
-                let (scan, plan, cursor) = &mut live_scans[idx];
-                let page = plan[*cursor % plan.len()];
-                *cursor += 1;
-                trace.push(Step::Access {
-                    scan: Some(*scan),
-                    page,
-                });
-            }
-            _ => trace.push(Step::Access {
-                scan: None,
-                page: rng.below(pages),
-            }),
-        }
-    }
-    // Unpin everything so later replays (and clears) stay comparable.
-    for page in pinned {
-        trace.push(Step::Unpin { page });
-    }
-    trace
-}
-
-/// Replays `trace` against `pool`, returning everything observable.
-fn replay(pool: &mut dyn TracePool, trace: &[Step]) -> (Vec<Observation>, BufferStats) {
-    let mut observations = Vec::with_capacity(trace.len());
-    let mut scan_ids: Vec<ScanId> = Vec::new();
-    let mut now = VirtualInstant::EPOCH;
-    for step in trace {
-        match step {
-            Step::Register {
-                pages,
-                tuples_per_page,
-            } => {
-                let id = pool.register(&plan_over(pages, *tuples_per_page), now);
-                scan_ids.push(id);
-                observations.push(Observation::ScanId(id));
-            }
-            Step::Access { scan, page } => {
-                let scan = scan.map(|idx| scan_ids[idx]);
-                observations.push(Observation::Outcome(pool.request(
-                    PageId::new(*page),
-                    scan,
-                    now,
-                )));
-            }
-            Step::Report { scan, tuples } => pool.report(scan_ids[*scan], *tuples, now),
-            Step::Unregister { scan } => pool.unregister(scan_ids[*scan], now),
-            Step::Pin { page } => pool.pin(PageId::new(*page)),
-            Step::Unpin { page } => pool.unpin(PageId::new(*page)),
-            Step::Prefetch { budget } => {
-                let candidates = pool.candidates(*budget, now);
-                let admitted = candidates
-                    .iter()
-                    .map(|&p| pool.admit_prefetch(p, now))
-                    .collect();
-                observations.push(Observation::Candidates(candidates, admitted));
-            }
-            Step::Advance { millis } => {
-                now = VirtualInstant::from_nanos(now.as_nanos() + millis * 1_000_000);
-            }
-        }
-    }
-    (observations, pool.stats())
-}
 
 type PolicyFactory = fn() -> Box<dyn ReplacementPolicy>;
 

@@ -184,6 +184,7 @@ fn prefetch_setup() -> (Arc<Storage>, TableId, WorkloadSpec) {
             predicate: None,
         }],
         cpu_factor: 1.0,
+        join: None,
     };
     let workload = WorkloadSpec::read_only(
         "prefetch-parity",
@@ -634,6 +635,127 @@ fn workload_driver_matches_simulator_for_mixed_read_write_workloads() {
                 report.buffer.invalidated_pages, sim.buffer.invalidated_pages,
                 "{policy} rate {rate}: checkpoint invalidation must match"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast hash joins: engine == simulator parity (build scan registers and
+// drains first, probe scans stream through the shared-scan machinery)
+// ---------------------------------------------------------------------------
+
+use scanshare::workload::spec::JoinSpec;
+
+/// `lineitem` plus a 3000-row dimension table keyed so every `l_shipdate`
+/// value (8000..10500) matches exactly one dimension row, and a one-stream
+/// workload of two join queries over overlapping probe ranges. The build
+/// columns are deliberately listed probe-key-last so the simulator's
+/// key-first projection reorder is exercised.
+fn join_setup() -> (Arc<Storage>, WorkloadSpec) {
+    let storage = Storage::with_seed(64 * 1024, 10_000, 11);
+    let lineitem = microbench::setup_lineitem(&storage, 80_000).unwrap();
+    let dim = storage
+        .create_table_with_data(
+            TableSpec::new(
+                "dim",
+                vec![
+                    ColumnSpec::with_width("d_weight", ColumnType::Decimal, 2.0),
+                    ColumnSpec::with_width("d_key", ColumnType::Int64, 8.0),
+                ],
+                3000,
+            ),
+            vec![
+                DataGen::Uniform { min: 1, max: 9 },
+                DataGen::Sequential {
+                    start: 8000,
+                    step: 1,
+                },
+            ],
+        )
+        .unwrap();
+    let join_query = |label: &str, range: TupleRange| QuerySpec {
+        label: label.into(),
+        scans: vec![
+            ScanSpec {
+                table: dim,
+                columns: vec![0, 1],
+                ranges: RangeList::single(0, 3000),
+                predicate: None,
+            },
+            ScanSpec {
+                table: lineitem,
+                columns: vec![0, 6],
+                ranges: RangeList::from_ranges([range]),
+                predicate: None,
+            },
+        ],
+        cpu_factor: 1.0,
+        join: Some(JoinSpec {
+            left_col: 1,
+            right_col: 1,
+        }),
+    };
+    let workload = WorkloadSpec::read_only(
+        "join-parity",
+        vec![StreamSpec {
+            label: "s0".into(),
+            queries: vec![
+                join_query("j0", TupleRange::new(0, 60_000)),
+                join_query("j1", TupleRange::new(20_000, 80_000)),
+            ],
+        }],
+    );
+    (storage, workload)
+}
+
+/// Single stream, so both executors issue the identical request sequence:
+/// the driver's lowered join (build first, then the probe) must account the
+/// byte-identical I/O the simulator's deferred-probe registration models —
+/// under replacement pressure and with headroom, at every shard count.
+#[test]
+fn workload_driver_matches_simulator_for_join_queries() {
+    let (storage, workload) = join_setup();
+    for policy in [PolicyKind::Lru, PolicyKind::Pbm, PolicyKind::CScan] {
+        for pool in [24 * 64 * 1024, 8 << 20] {
+            let scanshare = ScanShareConfig {
+                page_size_bytes: 64 * 1024,
+                chunk_tuples: 10_000,
+                buffer_pool_bytes: pool,
+                policy,
+                ..Default::default()
+            };
+            let sim = Simulation::new(
+                Arc::clone(&storage),
+                SimConfig {
+                    scanshare: scanshare.clone(),
+                    cores: 8,
+                    sharing_sample_interval: None,
+                },
+            )
+            .unwrap()
+            .run(&workload)
+            .unwrap();
+            for shards in [1usize, 4] {
+                let engine = Engine::new(
+                    Arc::clone(&storage),
+                    ScanShareConfig {
+                        pool_shards: shards,
+                        ..scanshare.clone()
+                    },
+                )
+                .unwrap();
+                let report = WorkloadDriver::new(engine).run(&workload).unwrap();
+                assert!(
+                    report.stream_errors.is_empty(),
+                    "{policy} pool {pool} shards {shards}: {:?}",
+                    report.stream_errors
+                );
+                assert_eq!(
+                    report.buffer.io_bytes, sim.total_io_bytes,
+                    "{policy} pool {pool} shards {shards}: engine and simulator I/O must match \
+                     for join queries"
+                );
+            }
         }
     }
 }
